@@ -1,0 +1,34 @@
+// Ablation: cubic-spline vs piecewise-linear runtime CPI models. Paper
+// §VI-B: "The choice of the curve fitting algorithm used is independent of
+// the partitioning scheme, and therefore, any other algorithm could also be
+// used." This bench quantifies how much the curve family matters.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "src/report/table.hpp"
+#include "src/trace/benchmarks.hpp"
+
+int main(int argc, char** argv) {
+  using namespace capart;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::banner("Ablation: spline vs piecewise-linear CPI models", opt);
+
+  report::Table table(
+      {"app", "spline vs shared", "linear vs shared", "spline vs linear"});
+  for (const std::string& app : trace::benchmark_names()) {
+    const sim::ExperimentConfig base = bench::base_config(opt, app);
+    sim::ExperimentConfig spline_cfg = bench::model_arm(base);
+    sim::ExperimentConfig linear_cfg = bench::model_arm(base);
+    linear_cfg.policy_options.model_kind = core::ModelKind::kPiecewiseLinear;
+    const auto spline = sim::run_experiment(spline_cfg);
+    const auto linear = sim::run_experiment(linear_cfg);
+    const auto shared = sim::run_experiment(bench::shared_arm(base));
+    table.add_row({app, report::fmt_pct(sim::improvement(spline, shared), 1),
+                   report::fmt_pct(sim::improvement(linear, shared), 1),
+                   report::fmt_pct(sim::improvement(spline, linear), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(paper: the fitting algorithm is interchangeable; both "
+               "families should land close)\n";
+  return 0;
+}

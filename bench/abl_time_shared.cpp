@@ -1,0 +1,38 @@
+// Ablation: the fairness/QoS comparator — a Chang & Sohi-style time-shared
+// partition where a rotating thread holds a large share for a fixed quantum
+// (paper §II/§IV-B). Fair time-averaged allocations do not target the
+// critical path, so the model-based scheme should win.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "src/report/table.hpp"
+#include "src/trace/benchmarks.hpp"
+
+int main(int argc, char** argv) {
+  using namespace capart;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::banner("Ablation: model-based vs time-shared (fairness) partitioning",
+                opt);
+
+  report::Table table({"app", "model vs time-shared",
+                       "model vs fair-slowdown",
+                       "time-shared vs static equal"});
+  for (const std::string& app : trace::benchmark_names()) {
+    const sim::ExperimentConfig base = bench::base_config(opt, app);
+    sim::ExperimentConfig fair_cfg = bench::model_arm(base);
+    fair_cfg.policy = core::PolicyKind::kFairSlowdown;
+    const auto model = sim::run_experiment(bench::model_arm(base));
+    const auto shared_time = sim::run_experiment(bench::time_shared_arm(base));
+    const auto fair = sim::run_experiment(fair_cfg);
+    const auto equal = sim::run_experiment(bench::static_equal_arm(base));
+    table.add_row(
+        {app, report::fmt_pct(sim::improvement(model, shared_time), 1),
+         report::fmt_pct(sim::improvement(model, fair), 1),
+         report::fmt_pct(sim::improvement(shared_time, equal), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(time sharing gives every thread the big partition in "
+               "turn; only the critical thread's turns help the application, "
+               "so the targeted scheme wins)\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace capart::bench {
+namespace {
+
+std::uint64_t parse_u64(std::string_view value, const char* flag) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(value.data(), &end, 10);
+  if (end != value.data() + value.size()) {
+    std::fprintf(stderr, "invalid value for %s: %.*s\n", flag,
+                 static_cast<int>(value.size()), value.data());
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string_view key = arg.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view{} : arg.substr(eq + 1);
+    if (key == "--intervals") {
+      opt.intervals = static_cast<std::uint32_t>(parse_u64(value, "--intervals"));
+    } else if (key == "--interval-instr") {
+      opt.interval_instructions = parse_u64(value, "--interval-instr");
+    } else if (key == "--threads") {
+      opt.threads = static_cast<ThreadId>(parse_u64(value, "--threads"));
+    } else if (key == "--seed") {
+      opt.seed = parse_u64(value, "--seed");
+    } else if (key == "--help" || key == "-h") {
+      std::printf(
+          "flags: --intervals=N --interval-instr=N --threads=N --seed=N\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+sim::ExperimentConfig base_config(const BenchOptions& opt,
+                                  const std::string& profile) {
+  sim::ExperimentConfig cfg;
+  cfg.profile = profile;
+  cfg.num_threads = opt.threads;
+  cfg.num_intervals = opt.intervals;
+  cfg.interval_instructions = opt.interval_instructions != 0
+                                  ? opt.interval_instructions
+                                  : Instructions{60'000} * opt.threads;
+  cfg.seed = opt.seed;
+  return cfg;
+}
+
+sim::ExperimentConfig shared_arm(sim::ExperimentConfig cfg) {
+  cfg.l2_mode = mem::L2Mode::kSharedUnpartitioned;
+  cfg.policy.reset();
+  return cfg;
+}
+
+sim::ExperimentConfig private_arm(sim::ExperimentConfig cfg) {
+  cfg.l2_mode = mem::L2Mode::kPrivatePerThread;
+  cfg.policy.reset();
+  return cfg;
+}
+
+sim::ExperimentConfig static_equal_arm(sim::ExperimentConfig cfg) {
+  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
+  cfg.policy = core::PolicyKind::kStaticEqual;
+  return cfg;
+}
+
+sim::ExperimentConfig model_arm(sim::ExperimentConfig cfg) {
+  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
+  cfg.policy = core::PolicyKind::kModelBased;
+  return cfg;
+}
+
+sim::ExperimentConfig cpi_arm(sim::ExperimentConfig cfg) {
+  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
+  cfg.policy = core::PolicyKind::kCpiProportional;
+  return cfg;
+}
+
+sim::ExperimentConfig throughput_arm(sim::ExperimentConfig cfg) {
+  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
+  cfg.policy = core::PolicyKind::kThroughputOriented;
+  return cfg;
+}
+
+sim::ExperimentConfig time_shared_arm(sim::ExperimentConfig cfg) {
+  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
+  cfg.policy = core::PolicyKind::kTimeShared;
+  return cfg;
+}
+
+void banner(const std::string& what, const BenchOptions& opt) {
+  std::printf("== %s ==\n", what.c_str());
+  std::printf(
+      "threads=%u intervals=%u interval-instr=%llu seed=%llu "
+      "(scaled config; see EXPERIMENTS.md)\n\n",
+      opt.threads, opt.intervals,
+      static_cast<unsigned long long>(
+          opt.interval_instructions != 0
+              ? opt.interval_instructions
+              : Instructions{60'000} * opt.threads),
+      static_cast<unsigned long long>(opt.seed));
+}
+
+}  // namespace capart::bench

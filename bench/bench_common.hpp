@@ -1,0 +1,46 @@
+// Shared command-line handling and experiment-arm builders for the bench
+// binaries. Every figure/table bench accepts:
+//   --intervals=N           execution intervals per run (default 40)
+//   --interval-instr=N      aggregate instructions per interval
+//                           (default 60'000 x threads)
+//   --threads=N             cores/threads (default 4; fig22 uses 8)
+//   --seed=N                workload seed (default 42)
+// Defaults are the scaled-down configuration documented in EXPERIMENTS.md:
+// the paper used 15 M-instruction intervals on a full-system simulator; the
+// dynamics are interval-count-, not interval-length-, driven (paper §VII and
+// the abl_interval_length bench).
+#pragma once
+
+#include <string>
+
+#include "src/sim/experiment.hpp"
+
+namespace capart::bench {
+
+struct BenchOptions {
+  std::uint32_t intervals = 40;
+  Instructions interval_instructions = 0;  // 0 -> 60'000 x threads
+  ThreadId threads = 4;
+  std::uint64_t seed = 42;
+};
+
+/// Parses --key=value flags; unknown flags abort with a usage message.
+BenchOptions parse_options(int argc, char** argv);
+
+/// Baseline experiment configuration for one application profile.
+sim::ExperimentConfig base_config(const BenchOptions& opt,
+                                  const std::string& profile);
+
+/// The four experiment arms the paper compares.
+sim::ExperimentConfig shared_arm(sim::ExperimentConfig cfg);
+sim::ExperimentConfig private_arm(sim::ExperimentConfig cfg);
+sim::ExperimentConfig static_equal_arm(sim::ExperimentConfig cfg);
+sim::ExperimentConfig model_arm(sim::ExperimentConfig cfg);
+sim::ExperimentConfig cpi_arm(sim::ExperimentConfig cfg);
+sim::ExperimentConfig throughput_arm(sim::ExperimentConfig cfg);
+sim::ExperimentConfig time_shared_arm(sim::ExperimentConfig cfg);
+
+/// Prints the standard bench banner.
+void banner(const std::string& what, const BenchOptions& opt);
+
+}  // namespace capart::bench

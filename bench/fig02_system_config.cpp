@@ -1,0 +1,39 @@
+// Fig 2: the default simulated system configuration.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "src/report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace capart;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::banner("Fig 2: default system configuration", opt);
+
+  const sim::ExperimentConfig cfg = bench::base_config(opt, "cg");
+  report::Table t({"Parameter", "Value"});
+  t.add_row({"Core model", "in-order, blocking (UltraSPARC-III-class)"});
+  t.add_row({"Number of cores", std::to_string(cfg.num_threads)});
+  t.add_row({"Number of threads", std::to_string(cfg.num_threads)});
+  t.add_row({"L1 cache (private, per core)",
+             std::to_string(cfg.l1.size_bytes() / 1024) + " KB, " +
+                 std::to_string(cfg.l1.ways) + "-way, " +
+                 std::to_string(cfg.l1.line_bytes) + " B lines"});
+  t.add_row({"L2 cache (shared)",
+             std::to_string(cfg.l2.size_bytes() / 1024) + " KB, " +
+                 std::to_string(cfg.l2.ways) + "-way, " +
+                 std::to_string(cfg.l2.sets) + " sets"});
+  t.add_row({"L2 hit penalty",
+             std::to_string(cfg.timing.l2_hit_penalty) + " cycles"});
+  t.add_row({"Memory penalty",
+             std::to_string(cfg.timing.memory_penalty) + " cycles"});
+  t.add_row({"Streaming (prefetched) miss penalty",
+             std::to_string(cfg.timing.streaming_memory_penalty) + " cycles"});
+  t.add_row({"Execution interval",
+             std::to_string(cfg.interval_instructions) +
+                 " instructions (paper: 15 M; scaled)"});
+  t.add_row({"Run length", std::to_string(cfg.num_intervals) + " intervals"});
+  t.add_row({"Runtime repartition overhead",
+             std::to_string(cfg.runtime_overhead_cycles) + " cycles/interval"});
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig 15: the runtime CPI-vs-ways models the model-based partitioner fits
+// for each thread, and the best partition its heuristic found, on a 32-way
+// cache. Curves are the spline predictions sampled across way counts;
+// observed (ways -> CPI) data points are listed beneath.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "src/report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace capart;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::banner("Fig 15: runtime per-thread CPI models (32-way cache)", opt);
+
+  sim::ExperimentConfig cfg = bench::model_arm(bench::base_config(opt, "cg"));
+  cfg.l2.ways = 32;  // the paper's Fig 15 uses a 32-way cache
+  const auto r = sim::run_experiment(cfg);
+  const sim::ModelSnapshot& snap = *r.model_snapshot;
+
+  std::vector<std::string> headers = {"ways"};
+  for (ThreadId t = 0; t < opt.threads; ++t) {
+    headers.push_back("thread " + std::to_string(t + 1));
+  }
+  report::Table table(headers);
+  for (std::uint32_t w = 1; w <= cfg.l2.ways; ++w) {
+    std::vector<std::string> row = {std::to_string(w)};
+    for (ThreadId t = 0; t < opt.threads; ++t) {
+      row.push_back(report::fmt(snap.predicted[t][w - 1], 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nbest partition found (dotted lines in the paper's figure):";
+  for (ThreadId t = 0; t < opt.threads; ++t) {
+    std::cout << " t" << (t + 1) << "=" << snap.final_allocation[t];
+  }
+  std::cout << "\n\nobserved data points (ways -> smoothed CPI):\n";
+  for (ThreadId t = 0; t < opt.threads; ++t) {
+    std::cout << "  thread " << (t + 1) << ":";
+    for (const auto& [ways, cpi] : snap.observed[t]) {
+      std::cout << " (" << ways << ", " << report::fmt(cpi, 2) << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n(paper: the critical thread receives the largest "
+               "partition; the partition minimizes the predicted maximum "
+               "CPI)\n";
+  return 0;
+}

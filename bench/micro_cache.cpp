@@ -1,0 +1,83 @@
+// Engineering micro-benchmarks (google-benchmark): cost of the hot cache
+// paths, since the simulator's throughput bounds every experiment above.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/mem/partitioned_cache.hpp"
+#include "src/mem/set_assoc_cache.hpp"
+
+namespace {
+
+using namespace capart;
+
+void BM_SetAssocHit(benchmark::State& state) {
+  mem::SetAssocCache cache({.sets = 256, .ways = 8, .line_bytes = 64});
+  cache.access(0, AccessType::kRead);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(0, AccessType::kRead));
+  }
+}
+BENCHMARK(BM_SetAssocHit);
+
+void BM_SetAssocMissStream(benchmark::State& state) {
+  mem::SetAssocCache cache({.sets = 256, .ways = 8, .line_bytes = 64});
+  Addr addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr, AccessType::kRead));
+    addr += 64;
+  }
+}
+BENCHMARK(BM_SetAssocMissStream);
+
+void BM_PartitionedHit(benchmark::State& state) {
+  const auto ways = static_cast<std::uint32_t>(state.range(0));
+  mem::PartitionedCache cache({.sets = 256, .ways = ways, .line_bytes = 64},
+                              4, mem::PartitionMode::kEvictionControl);
+  cache.access(0, 0, AccessType::kRead);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(0, 0, AccessType::kRead));
+  }
+}
+BENCHMARK(BM_PartitionedHit)->Arg(16)->Arg(64);
+
+void BM_PartitionedMissEvictionControl(benchmark::State& state) {
+  const auto ways = static_cast<std::uint32_t>(state.range(0));
+  mem::PartitionedCache cache({.sets = 256, .ways = ways, .line_bytes = 64},
+                              4, mem::PartitionMode::kEvictionControl);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto tid = static_cast<ThreadId>(rng.below(4));
+    benchmark::DoNotOptimize(
+        cache.access(tid, rng.below(1u << 24) * 64, AccessType::kRead));
+  }
+}
+BENCHMARK(BM_PartitionedMissEvictionControl)->Arg(16)->Arg(64);
+
+void BM_PartitionedMissGlobalLru(benchmark::State& state) {
+  mem::PartitionedCache cache({.sets = 256, .ways = 64, .line_bytes = 64}, 4,
+                              mem::PartitionMode::kUnpartitioned);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto tid = static_cast<ThreadId>(rng.below(4));
+    benchmark::DoNotOptimize(
+        cache.access(tid, rng.below(1u << 24) * 64, AccessType::kRead));
+  }
+}
+BENCHMARK(BM_PartitionedMissGlobalLru);
+
+void BM_Retarget(benchmark::State& state) {
+  mem::PartitionedCache cache({.sets = 256, .ways = 64, .line_bytes = 64}, 4,
+                              mem::PartitionMode::kEvictionControl);
+  const std::vector<std::uint32_t> a = {32, 16, 8, 8};
+  const std::vector<std::uint32_t> b = {16, 16, 16, 16};
+  bool flip = false;
+  for (auto _ : state) {
+    cache.set_targets(flip ? a : b);
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_Retarget);
+
+}  // namespace
+
+BENCHMARK_MAIN();

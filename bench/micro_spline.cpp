@@ -1,0 +1,69 @@
+// Engineering micro-benchmarks (google-benchmark): runtime model fitting and
+// evaluation — executed at every interval boundary by the partition engine,
+// so its cost is part of the scheme's overhead budget.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/math/spline.hpp"
+
+namespace {
+
+using namespace capart;
+
+std::pair<std::vector<double>, std::vector<double>> knots(std::size_t n) {
+  Rng rng(42);
+  std::vector<double> x, y;
+  double cursor = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x.push_back(cursor);
+    y.push_back(2.0 + rng.unit() * 10.0);
+    cursor += 1.0 + rng.unit() * 3.0;
+  }
+  return {x, y};
+}
+
+void BM_SplineFit(benchmark::State& state) {
+  const auto [x, y] = knots(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::CubicSpline::fit(x, y));
+  }
+}
+BENCHMARK(BM_SplineFit)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SplineEval(benchmark::State& state) {
+  const auto [x, y] = knots(16);
+  const math::CubicSpline s = math::CubicSpline::fit(x, y);
+  double v = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s(v));
+    v += 0.37;
+    if (v > 40.0) v = 1.0;
+  }
+}
+BENCHMARK(BM_SplineEval);
+
+void BM_PiecewiseLinearFit(benchmark::State& state) {
+  const auto [x, y] = knots(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::PiecewiseLinear::fit(x, y));
+  }
+}
+BENCHMARK(BM_PiecewiseLinearFit)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PiecewiseLinearEval(benchmark::State& state) {
+  const auto [x, y] = knots(16);
+  const math::PiecewiseLinear p = math::PiecewiseLinear::fit(x, y);
+  double v = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p(v));
+    v += 0.37;
+    if (v > 40.0) v = 1.0;
+  }
+}
+BENCHMARK(BM_PiecewiseLinearEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Building a workload from scratch: instead of a named profile, this example
+// constructs per-thread phase schedules directly and drives the simulator
+// with the low-level API — the path a user takes to model their own
+// application's threads.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/runtime_system.hpp"
+#include "src/report/table.hpp"
+#include "src/sim/cmp_system.hpp"
+#include "src/sim/driver.hpp"
+#include "src/sim/experiment.hpp"
+#include "src/trace/phase.hpp"
+
+int main() {
+  using namespace capart;
+
+  // --- Describe four threads of a made-up solver ---------------------------
+  // Thread 0: the "assembly" thread — a large, irregular working set, the
+  // one we expect on the critical path.
+  trace::Phase assembly;
+  assembly.params.working_set_blocks = 13'000;
+  assembly.params.mem_ratio = 0.33;
+  assembly.params.reuse_skew = 2.2;
+  assembly.params.p_new = 0.05;
+  assembly.params.prefetch_friendly_streams = false;
+  assembly.params.share_fraction = 0.05;
+
+  // Thread 1: a streaming I/O formatter — pollutes, rarely stalls.
+  trace::Phase streaming;
+  streaming.params.working_set_blocks = 1'500;
+  streaming.params.mem_ratio = 0.22;
+  streaming.params.p_new = 0.20;
+  streaming.params.share_fraction = 0.05;
+
+  // Threads 2-3: compute workers that alternate between a dense and a
+  // sparse phase every ~400k instructions.
+  trace::Phase dense;
+  dense.params.working_set_blocks = 3'800;
+  dense.params.mem_ratio = 0.28;
+  dense.duration = 400'000;
+  trace::Phase sparse = dense;
+  sparse.params.working_set_blocks = 1'200;
+  sparse.params.mem_ratio = 0.18;
+  sparse.duration = 300'000;
+
+  const std::vector<trace::PhaseSchedule> schedules = {
+      trace::PhaseSchedule({assembly}),
+      trace::PhaseSchedule({streaming}),
+      trace::PhaseSchedule({dense, sparse}),
+      trace::PhaseSchedule({sparse, dense}),  // out of phase with thread 2
+  };
+
+  // --- Wire up the system ---------------------------------------------------
+  sim::SystemConfig sys_cfg;  // paper Fig 2 defaults
+  sim::CmpSystem system(sys_cfg);
+
+  const Rng root(7);
+  std::vector<std::unique_ptr<trace::OpSource>> generators;
+  for (ThreadId t = 0; t < 4; ++t) {
+    generators.push_back(std::make_unique<trace::PhasedGenerator>(
+        schedules[t], root.fork(t), sim::private_region_base(t),
+        sim::shared_region_base()));
+  }
+
+  sim::DriverConfig driver_cfg;
+  driver_cfg.interval_instructions = 240'000;
+  sim::Driver driver(system, sim::make_uniform_program(4, 10, 1'800'000),
+                     std::move(generators), driver_cfg);
+  core::RuntimeSystem runtime(system,
+                              core::make_policy(core::PolicyKind::kModelBased),
+                              /*overhead_cycles=*/800);
+  driver.set_interval_callback(runtime.callback());
+
+  const sim::RunOutcome outcome = driver.run();
+
+  // --- Report ---------------------------------------------------------------
+  std::cout << "custom workload under model-based partitioning\n\n";
+  report::Table table({"thread", "role", "CPI", "final ways", "stall share"});
+  const char* roles[] = {"assembly (critical)", "streaming formatter",
+                         "worker A", "worker B"};
+  const auto& last = runtime.history().back();
+  for (ThreadId t = 0; t < 4; ++t) {
+    const auto& c = system.counters().thread(t);
+    const double stall_share =
+        static_cast<double>(c.stall_cycles) /
+        static_cast<double>(c.exec_cycles + c.stall_cycles);
+    table.add_row({"t" + std::to_string(t + 1), roles[t],
+                   report::fmt(c.cpi(), 2),
+                   std::to_string(last.threads[t].ways),
+                   report::fmt_pct(stall_share, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\ntotal: " << outcome.total_cycles << " cycles over "
+            << outcome.intervals_completed << " intervals\n"
+            << "The assembly thread should end up holding most ways; the "
+               "streaming thread should be confined to a few.\n";
+  return 0;
+}

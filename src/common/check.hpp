@@ -1,0 +1,26 @@
+// Lightweight always-on invariant checking.
+//
+// Simulator state-machine bugs silently corrupt statistics, so invariants are
+// checked in release builds too; the predicates on hot paths are O(1).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace capart::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "capart check failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg);
+  std::abort();
+}
+
+}  // namespace capart::detail
+
+#define CAPART_CHECK(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::capart::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,69 @@
+#include "src/common/rng.hpp"
+
+namespace capart {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// SplitMix64 step; used only for seeding.
+constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : state_{}, seed_(seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  // xoshiro requires a nonzero state; splitmix64 of any seed yields one with
+  // overwhelming probability, but guard the pathological case anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire's multiply-shift bounded generation (biased by < 2^-64 for the
+  // bounds used here; acceptable for workload synthesis).
+  __extension__ using uint128 = unsigned __int128;
+  const std::uint64_t x = (*this)();
+  const uint128 m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::unit() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return unit() < p;
+}
+
+Rng Rng::fork(std::uint64_t tag) const noexcept {
+  // Mix seed and tag through SplitMix64 so sibling streams are decorrelated.
+  std::uint64_t s = seed_ ^ (0x6a09e667f3bcc909ULL + tag * 0x2545f4914f6cdd1dULL);
+  std::uint64_t derived = splitmix64(s);
+  return Rng(derived);
+}
+
+}  // namespace capart

@@ -1,0 +1,49 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Simulations must be bit-reproducible across runs and platforms, so we
+// implement xoshiro256** (Blackman & Vigna) rather than relying on the
+// implementation-defined distributions of <random>.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace capart {
+
+/// xoshiro256** generator with SplitMix64 seeding.
+///
+/// Satisfies std::uniform_random_bit_generator, and additionally provides the
+/// bounded-integer / unit-double helpers the trace generators need, with
+/// platform-independent results.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double unit() noexcept;
+
+  /// Bernoulli draw with success probability `p` (clamped to [0, 1]).
+  bool chance(double p) noexcept;
+
+  /// Derives an independent stream for a child component. Deterministic in
+  /// (parent seed, tag), so component streams never depend on call order.
+  Rng fork(std::uint64_t tag) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  std::uint64_t seed_;  // retained so fork() is order-independent
+};
+
+}  // namespace capart

@@ -1,0 +1,31 @@
+// Fundamental value types shared across the capart library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace capart {
+
+/// Byte address in the simulated physical address space.
+using Addr = std::uint64_t;
+
+/// Cycle count on a core-local or global clock.
+using Cycles = std::uint64_t;
+
+/// Retired-instruction count.
+using Instructions = std::uint64_t;
+
+/// Identifier of an application thread (equivalently, of the core it is
+/// pinned to — the paper uses "thread" and "core" interchangeably).
+using ThreadId = std::uint32_t;
+
+/// Identifier of an application in hierarchical (multi-application) mode.
+using AppId = std::uint32_t;
+
+/// Sentinel for "no thread" (e.g. owner of an invalid cache line).
+inline constexpr ThreadId kNoThread = std::numeric_limits<ThreadId>::max();
+
+/// Kind of memory access issued by a core.
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+}  // namespace capart

@@ -1,0 +1,18 @@
+#include "src/core/cpi_proportional_policy.hpp"
+
+#include "src/common/check.hpp"
+#include "src/math/apportion.hpp"
+
+namespace capart::core {
+
+std::vector<std::uint32_t> CpiProportionalPolicy::repartition(
+    const sim::IntervalRecord& record, const PartitionContext& ctx) {
+  CAPART_CHECK(record.threads.size() == ctx.num_threads,
+               "cpi-proportional: record/context thread mismatch");
+  std::vector<double> cpis;
+  cpis.reserve(ctx.num_threads);
+  for (const auto& t : record.threads) cpis.push_back(t.cpi());
+  return math::apportion(cpis, ctx.total_ways, /*minimum=*/1);
+}
+
+}  // namespace capart::core

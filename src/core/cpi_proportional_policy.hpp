@@ -1,0 +1,22 @@
+// CPI-based dynamic cache partitioning (paper §VI-A, Fig 12):
+//
+//   partition_t = CPI_t / sum_i CPI_i * TotalCacheWays
+//
+// The slowest thread of the interval receives the proportionally largest
+// share. Integer apportionment uses the largest-remainder method with a
+// one-way-per-thread floor.
+#pragma once
+
+#include "src/core/policy.hpp"
+
+namespace capart::core {
+
+class CpiProportionalPolicy final : public PartitionPolicy {
+ public:
+  std::string_view name() const noexcept override { return "cpi-proportional"; }
+
+  std::vector<std::uint32_t> repartition(const sim::IntervalRecord& record,
+                                         const PartitionContext& ctx) override;
+};
+
+}  // namespace capart::core

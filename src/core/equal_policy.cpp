@@ -1,0 +1,10 @@
+#include "src/core/equal_policy.hpp"
+
+namespace capart::core {
+
+std::vector<std::uint32_t> EqualPartitionPolicy::repartition(
+    const sim::IntervalRecord& /*record*/, const PartitionContext& ctx) {
+  return equal_split(ctx.total_ways, ctx.num_threads);
+}
+
+}  // namespace capart::core

@@ -1,0 +1,20 @@
+// Static equal partitioning: every thread keeps ways/n ways for the whole
+// run. Combined with the partitioned-shared L2 this is the paper's "statically
+// partitioned cache"; it also matches the allocation a private cache gives
+// each thread, and is the paper's stand-in for fairness-optimal schemes.
+#pragma once
+
+#include "src/core/policy.hpp"
+
+namespace capart::core {
+
+class EqualPartitionPolicy final : public PartitionPolicy {
+ public:
+  std::string_view name() const noexcept override { return "static-equal"; }
+  bool is_dynamic() const noexcept override { return false; }
+
+  std::vector<std::uint32_t> repartition(const sim::IntervalRecord& record,
+                                         const PartitionContext& ctx) override;
+};
+
+}  // namespace capart::core

@@ -1,0 +1,77 @@
+#include "src/core/fair_slowdown_policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.hpp"
+#include "src/core/hill_climb.hpp"
+
+namespace capart::core {
+
+FairSlowdownPolicy::FairSlowdownPolicy(const PolicyOptions& options)
+    : models_(options.model_kind, options.ewma_alpha),
+      max_moves_(options.max_moves_per_interval) {}
+
+std::vector<std::uint32_t> FairSlowdownPolicy::repartition(
+    const sim::IntervalRecord& record, const PartitionContext& ctx) {
+  CAPART_CHECK(record.threads.size() == ctx.num_threads,
+               "fair-slowdown: record/context thread mismatch");
+  const ThreadId n = ctx.num_threads;
+
+  if (record.index > 0) {  // skip the cold first interval, as elsewhere
+    for (ThreadId t = 0; t < n; ++t) {
+      const auto& tr = record.threads[t];
+      if (tr.ways >= 1 && tr.instructions > 0) {
+        models_.observe(t, tr.ways, tr.cpi());
+      }
+    }
+  }
+  ++intervals_seen_;
+
+  // Same exploration bootstrap as the model-based scheme: CPI-proportional
+  // until the models carry slope information for the observed worst thread.
+  ThreadId observed_worst = 0;
+  for (ThreadId t = 1; t < n; ++t) {
+    if (record.threads[t].cpi() > record.threads[observed_worst].cpi()) {
+      observed_worst = t;
+    }
+  }
+  if (intervals_seen_ <= 2 || !models_.ready(observed_worst)) {
+    return bootstrap_.repartition(record, ctx);
+  }
+
+  models_.fit(n);
+
+  std::vector<std::uint32_t> alloc(n);
+  std::uint32_t sum = 0;
+  for (ThreadId t = 0; t < n; ++t) {
+    alloc[t] = record.threads[t].ways;
+    sum += alloc[t];
+  }
+  if (sum != ctx.total_ways ||
+      std::any_of(alloc.begin(), alloc.end(),
+                  [](std::uint32_t w) { return w == 0; })) {
+    alloc = equal_split(ctx.total_ways, n);
+  }
+
+  // Slowdown relative to the equal (private-equivalent) share.
+  const std::uint32_t equal_share = std::max(1u, ctx.total_ways / n);
+  const auto slowdown = [&](ThreadId t, std::uint32_t ways) {
+    const double reference = models_.predict(t, equal_share);
+    if (reference <= 0.0) return 1.0;
+    return models_.predict(t, ways) / reference;
+  };
+  minimize_max_prediction(alloc, slowdown, max_moves_);
+
+  CAPART_CHECK(std::accumulate(alloc.begin(), alloc.end(), 0u) ==
+                   ctx.total_ways,
+               "fair-slowdown: allocation does not sum to total ways");
+  return alloc;
+}
+
+void FairSlowdownPolicy::reset() {
+  models_.reset();
+  intervals_seen_ = 0;
+}
+
+}  // namespace capart::core

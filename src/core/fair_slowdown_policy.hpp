@@ -1,0 +1,40 @@
+// Fairness-oriented dynamic partitioning in the spirit of Kim, Chandra &
+// Solihin (paper ref [18], §II/§IV-B): instead of speeding up the
+// critical-path thread, equalize the threads' *slowdowns*.
+//
+// Using the same runtime CPI-vs-ways models as the model-based scheme, each
+// thread's slowdown at an allocation is its predicted CPI relative to its
+// predicted CPI at the equal share (the private-cache reference the paper
+// uses for fairness): slowdown_t(w) = CPI_t(w) / CPI_t(ways/n). The policy
+// hill-climbs to minimize the maximum slowdown. A cache-insensitive thread
+// has slowdown ≈ 1 everywhere and donates freely; a sensitive thread is
+// protected even when it is not on the critical path — which is exactly why
+// fairness-oriented schemes underperform for a single application (§IV-B):
+// they spend capacity shielding threads the barrier never waits for.
+#pragma once
+
+#include "src/core/cpi_proportional_policy.hpp"
+#include "src/core/policy.hpp"
+#include "src/core/runtime_model.hpp"
+
+namespace capart::core {
+
+class FairSlowdownPolicy final : public PartitionPolicy {
+ public:
+  explicit FairSlowdownPolicy(const PolicyOptions& options);
+
+  std::string_view name() const noexcept override { return "fair-slowdown"; }
+
+  std::vector<std::uint32_t> repartition(const sim::IntervalRecord& record,
+                                         const PartitionContext& ctx) override;
+
+  void reset() override;
+
+ private:
+  RuntimeModelSet models_;
+  CpiProportionalPolicy bootstrap_;
+  std::uint64_t intervals_seen_ = 0;
+  std::uint32_t max_moves_;
+};
+
+}  // namespace capart::core

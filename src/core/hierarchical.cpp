@@ -1,0 +1,155 @@
+#include "src/core/hierarchical.hpp"
+
+#include <numeric>
+
+#include "src/common/check.hpp"
+#include "src/math/apportion.hpp"
+
+namespace capart::core {
+
+HierarchicalRuntime::HierarchicalRuntime(
+    sim::CmpSystem& system, std::vector<AppSpec> apps,
+    std::vector<std::unique_ptr<PartitionPolicy>> policies,
+    OsAllocationMode os_mode, std::uint32_t os_period_intervals,
+    Cycles overhead_cycles)
+    : system_(system),
+      apps_(std::move(apps)),
+      policies_(std::move(policies)),
+      os_mode_(os_mode),
+      os_period_(os_period_intervals),
+      overhead_cycles_(overhead_cycles),
+      current_targets_(system.l2().current_targets()) {
+  CAPART_CHECK(!apps_.empty(), "hierarchical: need at least one app");
+  CAPART_CHECK(policies_.size() == apps_.size(),
+               "hierarchical: one policy per app required");
+  CAPART_CHECK(os_period_ >= 1, "hierarchical: OS period must be >= 1");
+
+  // Every system thread must belong to exactly one application.
+  std::vector<bool> owned(system_.config().num_threads, false);
+  for (const AppSpec& app : apps_) {
+    CAPART_CHECK(!app.threads.empty(), "hierarchical: empty application");
+    for (ThreadId t : app.threads) {
+      CAPART_CHECK(t < owned.size(), "hierarchical: thread out of range");
+      CAPART_CHECK(!owned[t], "hierarchical: thread owned by two apps");
+      owned[t] = true;
+    }
+  }
+  for (bool o : owned) CAPART_CHECK(o, "hierarchical: unowned thread");
+
+  // Initial OS split: proportional to thread counts.
+  std::vector<double> weights;
+  weights.reserve(apps_.size());
+  std::uint32_t min_sum = 0;
+  for (const AppSpec& app : apps_) {
+    weights.push_back(static_cast<double>(app.threads.size()));
+    min_sum += static_cast<std::uint32_t>(app.threads.size());
+  }
+  const std::uint32_t total = system_.l2().total_ways();
+  CAPART_CHECK(total >= min_sum, "hierarchical: fewer ways than threads");
+  app_shares_ =
+      math::apportion(weights, total - min_sum, /*minimum=*/0);
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    app_shares_[a] += static_cast<std::uint32_t>(apps_[a].threads.size());
+  }
+}
+
+std::vector<std::uint32_t> HierarchicalRuntime::barrier_groups() const {
+  std::vector<std::uint32_t> groups(system_.config().num_threads, 0);
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    for (ThreadId t : apps_[a].threads) {
+      groups[t] = static_cast<std::uint32_t>(a);
+    }
+  }
+  return groups;
+}
+
+void HierarchicalRuntime::reallocate_app_shares(
+    const sim::IntervalRecord& record) {
+  std::vector<double> weights(apps_.size(), 0.0);
+  std::uint32_t min_sum = 0;
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    min_sum += static_cast<std::uint32_t>(apps_[a].threads.size());
+    if (os_mode_ == OsAllocationMode::kStaticEqual) {
+      weights[a] = static_cast<double>(apps_[a].threads.size());
+    } else {
+      for (ThreadId t : apps_[a].threads) {
+        weights[a] += static_cast<double>(record.threads[t].l2_misses);
+      }
+    }
+  }
+  const std::uint32_t total = system_.l2().total_ways();
+  app_shares_ = math::apportion(weights, total - min_sum, /*minimum=*/0);
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    app_shares_[a] += static_cast<std::uint32_t>(apps_[a].threads.size());
+  }
+}
+
+Cycles HierarchicalRuntime::on_interval(std::uint64_t interval_index) {
+  const auto deltas = system_.counters().sample_interval();
+  history_.push_back(
+      sim::make_interval_record(interval_index, deltas, current_targets_));
+  const sim::IntervalRecord& record = history_.back();
+
+  // OS level: reallocate among applications every os_period_ intervals.
+  if (interval_index % os_period_ == 0) {
+    reallocate_app_shares(record);
+  }
+
+  // Runtime level: every app's policy partitions its share among its
+  // threads, seeing a record renumbered to its local thread indices.
+  std::vector<std::uint32_t> next = current_targets_;
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    const AppSpec& app = apps_[a];
+    sim::IntervalRecord sub;
+    sub.index = record.index;
+    sub.threads.reserve(app.threads.size());
+    for (ThreadId t : app.threads) {
+      sub.threads.push_back(record.threads[t]);
+    }
+    // Way counts the app's policy saw in force must be consistent with the
+    // app's *current* share; rescale if the OS just shrank/grew the share so
+    // the policy's starting allocation is feasible.
+    std::uint32_t in_force = 0;
+    for (const auto& tr : sub.threads) in_force += tr.ways;
+    const PartitionContext ctx{
+        .total_ways = app_shares_[a],
+        .num_threads = static_cast<ThreadId>(app.threads.size()),
+    };
+    if (in_force != ctx.total_ways) {
+      std::vector<double> w;
+      w.reserve(sub.threads.size());
+      for (const auto& tr : sub.threads) {
+        w.push_back(static_cast<double>(tr.ways));
+      }
+      const auto rescaled = math::apportion(w, ctx.total_ways, 1);
+      for (std::size_t i = 0; i < sub.threads.size(); ++i) {
+        sub.threads[i].ways = rescaled[i];
+      }
+    }
+    const auto alloc = policies_[a]->repartition(sub, ctx);
+    CAPART_CHECK(alloc.size() == app.threads.size(),
+                 "hierarchical: app policy returned wrong size");
+    std::uint32_t sum = 0;
+    for (std::uint32_t ways : alloc) {
+      CAPART_CHECK(ways >= 1, "hierarchical: zero-way allocation");
+      sum += ways;
+    }
+    CAPART_CHECK(sum == app_shares_[a],
+                 "hierarchical: app allocation exceeds its share");
+    for (std::size_t i = 0; i < app.threads.size(); ++i) {
+      next[app.threads[i]] = alloc[i];
+    }
+  }
+
+  system_.l2().set_targets(next);
+  if (system_.l2().partitionable()) {
+    current_targets_ = std::move(next);
+  }
+  return overhead_cycles_;
+}
+
+sim::IntervalCallback HierarchicalRuntime::callback() {
+  return [this](std::uint64_t idx) { return on_interval(idx); };
+}
+
+}  // namespace capart::core

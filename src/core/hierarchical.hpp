@@ -1,0 +1,74 @@
+// Hierarchical cache partitioning (paper §VI-C, Fig 16): the operating
+// system partitions the shared cache *among applications* and, inside each
+// application's share, a per-application runtime applies an intra-application
+// policy to its threads. Both levels re-evaluate at interval boundaries; the
+// OS level typically reallocates less frequently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/core/policy.hpp"
+#include "src/sim/cmp_system.hpp"
+#include "src/sim/driver.hpp"
+#include "src/sim/interval.hpp"
+
+namespace capart::core {
+
+/// One co-scheduled application: the global thread ids it owns.
+struct AppSpec {
+  std::vector<ThreadId> threads;
+};
+
+/// How the OS divides ways among applications.
+enum class OsAllocationMode : std::uint8_t {
+  kStaticEqual,        ///< proportional to thread counts, fixed
+  kMissProportional,   ///< proportional to recent aggregate L2 misses
+};
+
+class HierarchicalRuntime {
+ public:
+  /// One intra-application policy per app, applied within that app's share.
+  /// `os_period_intervals` controls how often the OS level reallocates.
+  HierarchicalRuntime(sim::CmpSystem& system, std::vector<AppSpec> apps,
+                      std::vector<std::unique_ptr<PartitionPolicy>> policies,
+                      OsAllocationMode os_mode,
+                      std::uint32_t os_period_intervals,
+                      Cycles overhead_cycles);
+
+  Cycles on_interval(std::uint64_t interval_index);
+
+  /// Adapter for Driver::set_interval_callback.
+  sim::IntervalCallback callback();
+
+  const std::vector<sim::IntervalRecord>& history() const noexcept {
+    return history_;
+  }
+
+  /// Current OS-level way shares, one per application.
+  std::span<const std::uint32_t> app_shares() const noexcept {
+    return app_shares_;
+  }
+
+  /// Barrier-group vector for DriverConfig: thread t belongs to the group of
+  /// the application that owns it.
+  std::vector<std::uint32_t> barrier_groups() const;
+
+ private:
+  void reallocate_app_shares(const sim::IntervalRecord& record);
+
+  sim::CmpSystem& system_;
+  std::vector<AppSpec> apps_;
+  std::vector<std::unique_ptr<PartitionPolicy>> policies_;
+  OsAllocationMode os_mode_;
+  std::uint32_t os_period_;
+  Cycles overhead_cycles_;
+  std::vector<sim::IntervalRecord> history_;
+  std::vector<std::uint32_t> app_shares_;       // ways per app
+  std::vector<std::uint32_t> current_targets_;  // ways per global thread
+};
+
+}  // namespace capart::core

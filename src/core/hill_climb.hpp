@@ -1,0 +1,77 @@
+// The reassignment loop shared by the curve-driven partitioning policies
+// (paper Fig 13 with the objective-based termination; see DESIGN.md,
+// "Deviations"): repeatedly move one way from the thread with the lowest
+// predicted CPI to the thread with the highest, as long as the predicted
+// maximum CPI strictly decreases; revert the move that stops improving it.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace capart::core {
+
+/// `predict(t, ways)` must be a pure function of its arguments. `alloc` is
+/// modified in place; every entry stays >= 1 and the sum is preserved.
+/// `max_moves` bounds the ways moved (0 = bounded only by the total).
+template <typename PredictFn>
+void minimize_max_prediction(std::vector<std::uint32_t>& alloc,
+                             PredictFn&& predict, std::uint32_t max_moves) {
+  const auto n = static_cast<ThreadId>(alloc.size());
+  std::uint32_t total = 0;
+  for (std::uint32_t w : alloc) total += w;
+  const std::uint32_t iterations =
+      max_moves == 0 ? total : std::min(max_moves, total);
+
+  auto predicted_max = [&]() {
+    ThreadId best = 0;
+    double worst = -1.0;
+    for (ThreadId t = 0; t < n; ++t) {
+      const double p = predict(t, alloc[t]);
+      if (p > worst) {
+        worst = p;
+        best = t;
+      }
+    }
+    return std::pair<ThreadId, double>{best, worst};
+  };
+
+  // Plateau-tolerant greedy: measured (step-shaped) curves can show no gain
+  // for several consecutive moves before a drop, so equal-objective moves
+  // keep exploring within the iteration budget; the best allocation seen is
+  // what the caller gets. A strictly worse objective means a donor's
+  // predicted CPI overtook the critical thread's — past the optimum — and
+  // terminates the search.
+  std::vector<std::uint32_t> best_alloc = alloc;
+  double best_objective = predicted_max().second;
+  for (std::uint32_t iter = 0; iter < iterations; ++iter) {
+    const ThreadId max_t = predicted_max().first;
+    // Donor: lowest predicted value among threads that can give a way.
+    ThreadId min_t = kNoThread;
+    double best_value = 0.0;
+    for (ThreadId t = 0; t < n; ++t) {
+      if (t == max_t || alloc[t] <= 1) continue;
+      const double p = predict(t, alloc[t]);
+      if (min_t == kNoThread || p < best_value) {
+        best_value = p;
+        min_t = t;
+      }
+    }
+    if (min_t == kNoThread) break;  // nobody can donate
+
+    alloc[max_t] += 1;
+    alloc[min_t] -= 1;
+    const double objective = predicted_max().second;
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_alloc = alloc;
+    } else if (objective > best_objective) {
+      break;
+    }
+  }
+  alloc = std::move(best_alloc);
+}
+
+}  // namespace capart::core

@@ -1,0 +1,91 @@
+#include "src/core/model_based_policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.hpp"
+#include "src/core/hill_climb.hpp"
+
+namespace capart::core {
+
+ModelBasedPolicy::ModelBasedPolicy(const PolicyOptions& options)
+    : models_(options.model_kind, options.ewma_alpha),
+      max_moves_(options.max_moves_per_interval),
+      spline_(options.model_kind == ModelKind::kCubicSpline) {}
+
+std::string_view ModelBasedPolicy::name() const noexcept {
+  return spline_ ? "model-based(spline)" : "model-based(linear)";
+}
+
+std::vector<std::uint32_t> ModelBasedPolicy::repartition(
+    const sim::IntervalRecord& record, const PartitionContext& ctx) {
+  CAPART_CHECK(record.threads.size() == ctx.num_threads,
+               "model-based: record/context thread mismatch");
+  const ThreadId n = ctx.num_threads;
+
+  // The very first interval runs on cold caches; its inflated CPIs would
+  // teach every model that the initial allocation is bad (the paper warms
+  // the caches before measuring). Use it for bootstrapping only.
+  if (record.index > 0) {
+    for (ThreadId t = 0; t < n; ++t) {
+      const auto& tr = record.threads[t];
+      if (tr.ways >= 1 && tr.instructions > 0) {
+        models_.observe(t, tr.ways, tr.cpi());
+      }
+    }
+  }
+  ++intervals_seen_;
+
+  // Paper Fig 13: the first two intervals use the CPI-based scheme, which
+  // also seeds the models with two distinct allocations. We additionally keep
+  // bootstrapping while the *observed* critical thread's model has fewer than
+  // two distinct way counts: a flat one-point model predicts no gain from any
+  // move, which would freeze the partition before anything was learned. The
+  // CPI-proportional step keeps perturbing the allocation (exploration) until
+  // the curve has a slope to follow.
+  ThreadId observed_critical = 0;
+  for (ThreadId t = 1; t < n; ++t) {
+    if (record.threads[t].cpi() > record.threads[observed_critical].cpi()) {
+      observed_critical = t;
+    }
+  }
+  if (intervals_seen_ <= 2 || !models_.ready(observed_critical)) {
+    return bootstrap_.repartition(record, ctx);
+  }
+
+  models_.fit(n);
+
+  // Start from the allocation that was in force; fall back to an equal split
+  // if the record does not carry a consistent partition.
+  std::vector<std::uint32_t> alloc(n);
+  std::uint32_t sum = 0;
+  for (ThreadId t = 0; t < n; ++t) {
+    alloc[t] = record.threads[t].ways;
+    sum += alloc[t];
+  }
+  if (sum != ctx.total_ways ||
+      std::any_of(alloc.begin(), alloc.end(),
+                  [](std::uint32_t w) { return w == 0; })) {
+    alloc = equal_split(ctx.total_ways, n);
+  }
+
+  // Fig 13 reassignment loop: take a way from the fastest (lowest predicted
+  // CPI) thread and give it to the slowest while the predicted maximum CPI
+  // keeps falling (the objective-based termination; see DESIGN.md).
+  minimize_max_prediction(
+      alloc,
+      [&](ThreadId t, std::uint32_t ways) { return models_.predict(t, ways); },
+      max_moves_);
+
+  CAPART_CHECK(std::accumulate(alloc.begin(), alloc.end(), 0u) ==
+                   ctx.total_ways,
+               "model-based: allocation does not sum to total ways");
+  return alloc;
+}
+
+void ModelBasedPolicy::reset() {
+  models_.reset();
+  intervals_seen_ = 0;
+}
+
+}  // namespace capart::core

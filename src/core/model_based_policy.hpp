@@ -1,0 +1,53 @@
+// Dynamic model-based cache partitioning — the paper's headline scheme
+// (§VI-B, Fig 13).
+//
+// The first two intervals bootstrap with CPI-proportional splits to collect
+// distinct (ways, CPI) data points. Afterwards, each interval:
+//   1. records the observed (ways, CPI) point for every thread;
+//   2. refits a per-thread CPI-vs-ways curve (cubic spline by default);
+//   3. iteratively moves one way from the lowest-predicted-CPI thread to the
+//      highest-predicted-CPI thread, re-evaluating the models after every
+//      move, until the identity of the highest-CPI thread changes — then
+//      reverts the last move and stops.
+// Minimizing the predicted maximum CPI is minimizing the critical-path
+// thread's CPI, which is the application's CPI_overall = max(CPI_t).
+#pragma once
+
+#include "src/core/cpi_proportional_policy.hpp"
+#include "src/core/policy.hpp"
+#include "src/core/runtime_model.hpp"
+
+namespace capart::core {
+
+class ModelBasedPolicy final : public PartitionPolicy {
+ public:
+  explicit ModelBasedPolicy(const PolicyOptions& options);
+
+  std::string_view name() const noexcept override;
+
+  std::vector<std::uint32_t> repartition(const sim::IntervalRecord& record,
+                                         const PartitionContext& ctx) override;
+
+  void reset() override;
+
+  /// Fitted models (valid after the bootstrap intervals) — used by the
+  /// Fig 15 bench to dump the per-thread CPI curves and by tests.
+  const RuntimeModelSet& models() const noexcept { return models_; }
+
+  /// Predicted CPI of `thread` at `ways` under the current models.
+  double predict(ThreadId thread, std::uint32_t ways) const {
+    return models_.predict(thread, ways);
+  }
+
+  /// Intervals observed so far (bootstrap ends after 2).
+  std::uint64_t intervals_seen() const noexcept { return intervals_seen_; }
+
+ private:
+  RuntimeModelSet models_;
+  CpiProportionalPolicy bootstrap_;
+  std::uint64_t intervals_seen_ = 0;
+  std::uint32_t max_moves_;
+  bool spline_;
+};
+
+}  // namespace capart::core

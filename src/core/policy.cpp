@@ -1,0 +1,57 @@
+#include "src/core/policy.hpp"
+
+#include "src/common/check.hpp"
+#include "src/core/cpi_proportional_policy.hpp"
+#include "src/core/equal_policy.hpp"
+#include "src/core/model_based_policy.hpp"
+#include "src/core/throughput_policy.hpp"
+#include "src/core/time_shared_policy.hpp"
+#include "src/core/fair_slowdown_policy.hpp"
+#include "src/core/umon_policy.hpp"
+
+namespace capart::core {
+
+std::string_view to_string(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kStaticEqual: return "static-equal";
+    case PolicyKind::kCpiProportional: return "cpi-proportional";
+    case PolicyKind::kModelBased: return "model-based";
+    case PolicyKind::kThroughputOriented: return "throughput-oriented";
+    case PolicyKind::kTimeShared: return "time-shared";
+    case PolicyKind::kUmonCriticalPath: return "umon-critical-path";
+    case PolicyKind::kFairSlowdown: return "fair-slowdown";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<PartitionPolicy> make_policy(PolicyKind kind,
+                                             const PolicyOptions& options) {
+  switch (kind) {
+    case PolicyKind::kStaticEqual:
+      return std::make_unique<EqualPartitionPolicy>();
+    case PolicyKind::kCpiProportional:
+      return std::make_unique<CpiProportionalPolicy>();
+    case PolicyKind::kModelBased:
+      return std::make_unique<ModelBasedPolicy>(options);
+    case PolicyKind::kThroughputOriented:
+      return std::make_unique<ThroughputOrientedPolicy>(options);
+    case PolicyKind::kTimeShared:
+      return std::make_unique<TimeSharedPolicy>(options);
+    case PolicyKind::kUmonCriticalPath:
+      return std::make_unique<UmonPolicy>(options);
+    case PolicyKind::kFairSlowdown:
+      return std::make_unique<FairSlowdownPolicy>(options);
+  }
+  CAPART_CHECK(false, "unreachable policy kind");
+}
+
+std::vector<std::uint32_t> equal_split(std::uint32_t total_ways, ThreadId n) {
+  CAPART_CHECK(n >= 1 && total_ways >= n,
+               "equal_split: need at least one way per thread");
+  std::vector<std::uint32_t> alloc(n, total_ways / n);
+  const std::uint32_t leftover = total_ways % n;
+  for (std::uint32_t t = 0; t < leftover; ++t) alloc[t] += 1;
+  return alloc;
+}
+
+}  // namespace capart::core

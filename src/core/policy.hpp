@@ -1,0 +1,95 @@
+// Partitioning-policy interface: the "Partition Engine" of the paper's
+// runtime system (Fig 17). A policy sees, at every execution-interval
+// boundary, the per-thread counters of the interval that just ended together
+// with the way allocation that was in force, and returns the way targets for
+// the next interval.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/sim/interval.hpp"
+
+namespace capart::mem {
+class UtilityMonitor;
+}
+
+namespace capart::core {
+
+struct PartitionContext {
+  std::uint32_t total_ways = 64;
+  ThreadId num_threads = 4;
+  /// Shadow-tag utility monitor, when the hardware provides one (required
+  /// by the measured-curve policies; null otherwise).
+  const mem::UtilityMonitor* utility_monitor = nullptr;
+  /// DRAM miss penalty of the timing model; the measured-curve policies use
+  /// it to convert miss deltas into CPI deltas.
+  Cycles memory_penalty = 200;
+};
+
+class PartitionPolicy {
+ public:
+  virtual ~PartitionPolicy() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Computes the way targets for the next interval. The result must have
+  /// one entry per thread, each >= 1, summing to `ctx.total_ways` (the
+  /// runtime validates this before applying it to the hardware).
+  virtual std::vector<std::uint32_t> repartition(
+      const sim::IntervalRecord& record, const PartitionContext& ctx) = 0;
+
+  /// Whether repartition() performs real per-interval work — dynamic
+  /// policies incur the runtime overhead charge, static ones do not.
+  virtual bool is_dynamic() const noexcept { return true; }
+
+  /// Clears any accumulated state (learning history, rotation position).
+  virtual void reset() {}
+};
+
+/// The policies evaluated in the paper plus the related-work comparators.
+enum class PolicyKind : std::uint8_t {
+  kStaticEqual,        ///< fixed equal split (≈ private cache / fairness)
+  kCpiProportional,    ///< paper §VI-A
+  kModelBased,         ///< paper §VI-B (the headline scheme)
+  kThroughputOriented, ///< §IV-B comparator: greedy marginal miss utility
+  kTimeShared,         ///< Chang & Sohi-style rotating big partition
+  kUmonCriticalPath,   ///< extension: measured curves (shadow-tag UMON,
+                       ///< Suh-style monitoring, refs [28]/[29]) driving the
+                       ///< same critical-path objective
+  kFairSlowdown,       ///< Kim et al.-style fairness: equalize predicted
+                       ///< per-thread slowdowns (paper ref [18])
+};
+
+/// Curve family for the runtime CPI / miss models (paper §VI-B notes the
+/// fitting algorithm is interchangeable; the ablation compares these).
+enum class ModelKind : std::uint8_t { kCubicSpline, kPiecewiseLinear };
+
+struct PolicyOptions {
+  ModelKind model_kind = ModelKind::kCubicSpline;
+  /// Smoothing for repeated observations at the same way count; 1.0 keeps
+  /// only the latest sample (fast adaptation), lower values smooth phases.
+  double ewma_alpha = 0.6;
+  /// Upper bound on ways the model-based reassignment loop moves per
+  /// interval; 0 removes the bound. Gradual drift keeps the partition inside
+  /// the region the models have data for (the §V mechanism is likewise
+  /// gradual: partitions move via replacements, never abruptly).
+  std::uint32_t max_moves_per_interval = 8;
+  /// TimeShared: fraction of ways in the rotating large partition.
+  double time_shared_big_fraction = 0.5;
+  /// TimeShared: intervals between rotations.
+  std::uint32_t time_shared_quantum = 1;
+};
+
+std::string_view to_string(PolicyKind kind) noexcept;
+
+std::unique_ptr<PartitionPolicy> make_policy(PolicyKind kind,
+                                             const PolicyOptions& options = {});
+
+/// Equal split with the first `total % n` threads receiving the extra way.
+std::vector<std::uint32_t> equal_split(std::uint32_t total_ways, ThreadId n);
+
+}  // namespace capart::core

@@ -1,0 +1,113 @@
+#include "src/core/runtime_model.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace capart::core {
+
+RuntimeModelSet::RuntimeModelSet(ModelKind kind, double ewma_alpha)
+    : kind_(kind), alpha_(ewma_alpha) {
+  CAPART_CHECK(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+               "EWMA alpha must lie in (0, 1]");
+}
+
+void RuntimeModelSet::ensure_thread(ThreadId thread) {
+  if (points_.size() <= thread) {
+    points_.resize(thread + 1);
+    models_.resize(thread + 1);
+  }
+}
+
+void RuntimeModelSet::observe(ThreadId thread, std::uint32_t ways,
+                              double value) {
+  CAPART_CHECK(ways >= 1, "observation needs at least one way");
+  ensure_thread(thread);
+  auto [it, inserted] = points_[thread].try_emplace(ways, value);
+  if (!inserted) {
+    it->second = alpha_ * value + (1.0 - alpha_) * it->second;
+  }
+}
+
+void RuntimeModelSet::fit(ThreadId num_threads) {
+  ensure_thread(num_threads == 0 ? 0 : num_threads - 1);
+  for (ThreadId t = 0; t < num_threads; ++t) {
+    const auto& pts = points_[t];
+    if (pts.size() < 2) {
+      models_[t] = std::monostate{};
+      continue;
+    }
+    std::vector<double> x;
+    std::vector<double> y;
+    x.reserve(pts.size());
+    y.reserve(pts.size());
+    for (const auto& [ways, value] : pts) {
+      x.push_back(static_cast<double>(ways));
+      y.push_back(value);
+    }
+    if (kind_ == ModelKind::kCubicSpline) {
+      models_[t] = math::CubicSpline::fit(x, y);
+    } else {
+      models_[t] = math::PiecewiseLinear::fit(x, y);
+    }
+  }
+}
+
+namespace {
+
+/// Outside the sampled range the curve is extended linearly with the nearest
+/// endpoint slope, clamped to non-positive (CPI/miss curves fall with ways;
+/// a noisy positive slope falls back to flat):
+///  - below range this is *pessimistic*: shrinking an unexplored thread must
+///    not look free, or the reassignment loop drains it in one interval;
+///  - above range it is *cautiously optimistic*: if the curve still slopes
+///    down at its sampled top, more ways plausibly keep helping — without
+///    this the search can never predict gains beyond the allocations it has
+///    already visited and freezes at the bootstrap point. The per-interval
+///    move cap bounds the risk, and the next interval's real observation
+///    corrects the model.
+template <typename Curve>
+double eval_with_guarded_extrapolation(const Curve& curve, double x) {
+  if (x < curve.front_x()) {
+    const double slope = std::min(0.0, curve.front_slope());
+    return curve.front_y() + slope * (x - curve.front_x());
+  }
+  if (x > curve.back_x()) {
+    const double slope = std::min(0.0, curve.back_slope());
+    return std::max(0.0, curve.back_y() + slope * (x - curve.back_x()));
+  }
+  return curve(x);
+}
+
+}  // namespace
+
+double RuntimeModelSet::predict(ThreadId thread, std::uint32_t ways) const {
+  if (thread >= models_.size()) return 0.0;
+  const double x = static_cast<double>(ways);
+  if (const auto* s = std::get_if<math::CubicSpline>(&models_[thread])) {
+    return eval_with_guarded_extrapolation(*s, x);
+  }
+  if (const auto* l = std::get_if<math::PiecewiseLinear>(&models_[thread])) {
+    return eval_with_guarded_extrapolation(*l, x);
+  }
+  // Degenerate model: a single observed value, or nothing.
+  const auto& pts = points_[thread];
+  return pts.empty() ? 0.0 : pts.begin()->second;
+}
+
+const std::map<std::uint32_t, double>& RuntimeModelSet::points(
+    ThreadId thread) const {
+  static const std::map<std::uint32_t, double> kEmpty;
+  return thread < points_.size() ? points_[thread] : kEmpty;
+}
+
+bool RuntimeModelSet::ready(ThreadId thread) const noexcept {
+  return thread < points_.size() && points_[thread].size() >= 2;
+}
+
+void RuntimeModelSet::reset() {
+  points_.clear();
+  models_.clear();
+}
+
+}  // namespace capart::core

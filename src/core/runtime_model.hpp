@@ -1,0 +1,57 @@
+// Runtime performance-model bookkeeping shared by the learning policies.
+//
+// The paper's model-based partitioner accumulates, per thread, the data
+// points (assigned ways -> observed CPI) and refits a curve at every interval
+// (§VI-B). The throughput-oriented comparator does the same with miss counts.
+// Observations at an already-seen way count are smoothed with an EWMA so the
+// models track phase changes instead of averaging over the whole run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <variant>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/core/policy.hpp"
+#include "src/math/spline.hpp"
+
+namespace capart::core {
+
+class RuntimeModelSet {
+ public:
+  RuntimeModelSet(ModelKind kind, double ewma_alpha);
+
+  /// Records one (ways -> value) observation for `thread`.
+  void observe(ThreadId thread, std::uint32_t ways, double value);
+
+  /// (Re)fits every thread's model from its current points. Threads without
+  /// observations get empty models that predict 0.
+  void fit(ThreadId num_threads);
+
+  /// Model value for `thread` at `ways`; requires a prior fit(). With fewer
+  /// than two distinct points the single observed value (or 0) is returned.
+  double predict(ThreadId thread, std::uint32_t ways) const;
+
+  /// Distinct observation points of one thread (ways -> smoothed value).
+  const std::map<std::uint32_t, double>& points(ThreadId thread) const;
+
+  /// True when `thread` has at least two distinct way counts observed —
+  /// i.e. the model carries slope information.
+  bool ready(ThreadId thread) const noexcept;
+
+  void reset();
+
+ private:
+  using Model =
+      std::variant<std::monostate, math::CubicSpline, math::PiecewiseLinear>;
+
+  void ensure_thread(ThreadId thread);
+
+  ModelKind kind_;
+  double alpha_;
+  std::vector<std::map<std::uint32_t, double>> points_;
+  std::vector<Model> models_;
+};
+
+}  // namespace capart::core

@@ -1,0 +1,67 @@
+#include "src/core/runtime_system.hpp"
+
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace capart::core {
+
+RuntimeSystem::RuntimeSystem(sim::CmpSystem& system,
+                             std::unique_ptr<PartitionPolicy> policy,
+                             Cycles overhead_cycles,
+                             Cycles flush_cost_per_line)
+    : system_(system),
+      policy_(std::move(policy)),
+      overhead_cycles_(overhead_cycles),
+      flush_cost_per_line_(flush_cost_per_line),
+      current_targets_(system.l2().current_targets()) {}
+
+Cycles RuntimeSystem::on_interval(std::uint64_t interval_index) {
+  // Monitor: read and rebase the performance counters.
+  const auto deltas = system_.counters().sample_interval();
+  history_.push_back(
+      sim::make_interval_record(interval_index, deltas, current_targets_));
+
+  if (policy_ == nullptr) return 0;
+
+  // Partition engine.
+  const PartitionContext ctx{
+      .total_ways = system_.l2().total_ways(),
+      .num_threads = system_.config().num_threads,
+      .utility_monitor = system_.utility_monitor(),
+      .memory_penalty = system_.timing().params().memory_penalty,
+  };
+  std::vector<std::uint32_t> next =
+      policy_->repartition(history_.back(), ctx);
+  // The monitor's counters are per-interval, mirroring the PMU rebase.
+  if (system_.utility_monitor() != nullptr) {
+    system_.utility_monitor()->reset_interval();
+  }
+
+  // Configuration unit: validate and apply.
+  CAPART_CHECK(next.size() == ctx.num_threads,
+               "policy returned wrong allocation size");
+  std::uint32_t sum = 0;
+  for (std::uint32_t w : next) {
+    CAPART_CHECK(w >= 1, "policy allocated zero ways to a thread");
+    sum += w;
+  }
+  CAPART_CHECK(sum == ctx.total_ways,
+               "policy allocation does not sum to total ways");
+  system_.l2().set_targets(next);
+  if (system_.l2().partitionable()) {
+    current_targets_ = std::move(next);
+  }
+
+  Cycles overhead = policy_->is_dynamic() ? overhead_cycles_ : 0;
+  // Reconfiguration stall: flushing is not free (§V's argument) — writing
+  // back and refetching the discarded lines stalls every core.
+  overhead += flush_cost_per_line_ * system_.l2().flushed_on_last_retarget();
+  return overhead;
+}
+
+sim::IntervalCallback RuntimeSystem::callback() {
+  return [this](std::uint64_t idx) { return on_interval(idx); };
+}
+
+}  // namespace capart::core

@@ -1,0 +1,54 @@
+// The runtime system of paper Fig 17: a Cache/CPI Monitor that samples the
+// performance counters at every interval boundary, a Partition Engine (the
+// pluggable policy) that computes the next way allocation, and a
+// Configuration Unit that applies it to the L2. Attach it to a Driver via
+// callback(). With no policy it degenerates to a pure monitor, which is how
+// the motivation figures (3-9) are collected.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/core/policy.hpp"
+#include "src/sim/cmp_system.hpp"
+#include "src/sim/driver.hpp"
+#include "src/sim/interval.hpp"
+
+namespace capart::core {
+
+class RuntimeSystem {
+ public:
+  /// `overhead_cycles` models the cost of one monitor-repartition pass and is
+  /// charged to every thread at each boundary where a dynamic policy runs
+  /// (the paper reports < 1.5 % total overhead, included in its results).
+  /// `flush_cost_per_line` is the extra reconfiguration stall charged per
+  /// line a flush-reconfiguring L2 discarded on retarget (§V's rejected
+  /// alternative; zero-cost for the eviction-control mechanism).
+  RuntimeSystem(sim::CmpSystem& system, std::unique_ptr<PartitionPolicy> policy,
+                Cycles overhead_cycles, Cycles flush_cost_per_line = 4);
+
+  /// Interval-boundary entry point; wire into Driver::set_interval_callback.
+  Cycles on_interval(std::uint64_t interval_index);
+
+  /// Convenience adapter for Driver::set_interval_callback.
+  sim::IntervalCallback callback();
+
+  const std::vector<sim::IntervalRecord>& history() const noexcept {
+    return history_;
+  }
+
+  /// Null when running as a pure monitor.
+  PartitionPolicy* policy() noexcept { return policy_.get(); }
+  const PartitionPolicy* policy() const noexcept { return policy_.get(); }
+
+ private:
+  sim::CmpSystem& system_;
+  std::unique_ptr<PartitionPolicy> policy_;
+  Cycles overhead_cycles_;
+  Cycles flush_cost_per_line_;
+  std::vector<sim::IntervalRecord> history_;
+  std::vector<std::uint32_t> current_targets_;
+};
+
+}  // namespace capart::core

@@ -1,0 +1,127 @@
+#include "src/core/throughput_policy.hpp"
+
+#include <numeric>
+
+#include "src/common/check.hpp"
+#include "src/math/apportion.hpp"
+
+namespace capart::core {
+
+ThroughputOrientedPolicy::ThroughputOrientedPolicy(
+    const PolicyOptions& options)
+    : models_(options.model_kind, options.ewma_alpha),
+      max_moves_(options.max_moves_per_interval) {}
+
+std::vector<std::uint32_t> ThroughputOrientedPolicy::repartition(
+    const sim::IntervalRecord& record, const PartitionContext& ctx) {
+  CAPART_CHECK(record.threads.size() == ctx.num_threads,
+               "throughput: record/context thread mismatch");
+  const ThreadId n = ctx.num_threads;
+
+  // Skip the cold-cache first interval, as the model-based scheme does. The
+  // modeled quantity is misses per kilo-instruction: per-interval instruction
+  // counts vary with barrier stalls, so raw counts would alias progress into
+  // apparent utility.
+  if (record.index > 0) {
+    for (ThreadId t = 0; t < n; ++t) {
+      const auto& tr = record.threads[t];
+      if (tr.ways >= 1 && tr.instructions > 0) {
+        const double mpki = 1000.0 * static_cast<double>(tr.l2_misses) /
+                            static_cast<double>(tr.instructions);
+        models_.observe(t, tr.ways, mpki);
+      }
+    }
+  }
+  ++intervals_seen_;
+
+  // Bootstrap: allocate proportionally to observed miss counts — the
+  // hill-climbing seed utility-based schemes typically start from — which
+  // also produces a second distinct data point per thread.
+  if (intervals_seen_ <= 2) {
+    std::vector<double> misses;
+    misses.reserve(n);
+    for (const auto& tr : record.threads) {
+      misses.push_back(static_cast<double>(tr.l2_misses));
+    }
+    return math::apportion(misses, ctx.total_ways, /*minimum=*/1);
+  }
+
+  models_.fit(n);
+
+  // Greedy marginal-utility allocation: every next way goes to the thread
+  // whose predicted miss rate drops the most from receiving it. Marginal
+  // gains below a small fraction of the thread's current rate are treated as
+  // zero — fitting noise on a flat (insensitive) curve must not read as
+  // utility.
+  std::vector<std::uint32_t> alloc(n, 1);
+  std::uint32_t left = ctx.total_ways - n;
+  while (left > 0) {
+    ThreadId best = kNoThread;
+    double best_gain = 0.0;
+    for (ThreadId t = 0; t < n; ++t) {
+      const double here = models_.predict(t, alloc[t]);
+      double gain = here - models_.predict(t, alloc[t] + 1);
+      if (gain < 0.02 * here) gain = 0.0;
+      if (best == kNoThread || gain > best_gain) {
+        best_gain = gain;
+        best = t;
+      }
+    }
+    if (best_gain <= 0.0) {
+      // No model predicts further benefit: fill toward an equal split so the
+      // remainder is not parked on one thread arbitrarily.
+      ThreadId smallest = 0;
+      for (ThreadId t = 1; t < n; ++t) {
+        if (alloc[t] < alloc[smallest]) smallest = t;
+      }
+      best = smallest;
+    }
+    alloc[best] += 1;
+    --left;
+  }
+
+  CAPART_CHECK(std::accumulate(alloc.begin(), alloc.end(), 0u) ==
+                   ctx.total_ways,
+               "throughput: allocation does not sum to total ways");
+
+  // Drift from the in-force allocation toward the greedy target at the same
+  // bounded per-interval rate as the model-based scheme, so the comparison
+  // is between objectives, not between stability disciplines.
+  if (max_moves_ == 0) return alloc;
+  std::vector<std::uint32_t> next(n);
+  std::uint32_t in_force_sum = 0;
+  for (ThreadId t = 0; t < n; ++t) {
+    next[t] = record.threads[t].ways;
+    in_force_sum += next[t];
+  }
+  if (in_force_sum != ctx.total_ways) return alloc;  // no consistent base
+  for (std::uint32_t moves = 0; moves < max_moves_; ++moves) {
+    ThreadId give = kNoThread;
+    ThreadId take = kNoThread;
+    std::int64_t worst_deficit = 0;
+    std::int64_t worst_surplus = 0;
+    for (ThreadId t = 0; t < n; ++t) {
+      const std::int64_t delta = static_cast<std::int64_t>(alloc[t]) -
+                                 static_cast<std::int64_t>(next[t]);
+      if (delta > worst_deficit) {
+        worst_deficit = delta;
+        take = t;
+      }
+      if (-delta > worst_surplus && next[t] > 1) {
+        worst_surplus = -delta;
+        give = t;
+      }
+    }
+    if (take == kNoThread || give == kNoThread) break;
+    next[take] += 1;
+    next[give] -= 1;
+  }
+  return next;
+}
+
+void ThroughputOrientedPolicy::reset() {
+  models_.reset();
+  intervals_seen_ = 0;
+}
+
+}  // namespace capart::core

@@ -1,0 +1,39 @@
+// Throughput-oriented cache partitioning — the prior-work comparator the
+// paper evaluates against (§IV-B, Fig 21), in the spirit of Suh et al.'s
+// utility-based dynamic partitioning.
+//
+// The policy learns per-thread miss-count-vs-ways models (same machinery as
+// the model-based scheme) and then allocates ways greedily: every way goes to
+// the thread with the largest predicted *marginal miss reduction*, i.e. it
+// minimizes total predicted misses, maximizing chip throughput regardless of
+// which thread is on the application's critical path. That indifference is
+// precisely why it underperforms for a single multithreaded application.
+#pragma once
+
+#include "src/core/policy.hpp"
+#include "src/core/runtime_model.hpp"
+
+namespace capart::core {
+
+class ThroughputOrientedPolicy final : public PartitionPolicy {
+ public:
+  explicit ThroughputOrientedPolicy(const PolicyOptions& options);
+
+  std::string_view name() const noexcept override {
+    return "throughput-oriented";
+  }
+
+  std::vector<std::uint32_t> repartition(const sim::IntervalRecord& record,
+                                         const PartitionContext& ctx) override;
+
+  void reset() override;
+
+  const RuntimeModelSet& models() const noexcept { return models_; }
+
+ private:
+  RuntimeModelSet models_;
+  std::uint32_t max_moves_;
+  std::uint64_t intervals_seen_ = 0;
+};
+
+}  // namespace capart::core

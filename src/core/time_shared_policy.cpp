@@ -1,0 +1,43 @@
+#include "src/core/time_shared_policy.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace capart::core {
+
+TimeSharedPolicy::TimeSharedPolicy(const PolicyOptions& options)
+    : big_fraction_(options.time_shared_big_fraction),
+      quantum_(options.time_shared_quantum) {
+  CAPART_CHECK(big_fraction_ > 0.0 && big_fraction_ < 1.0,
+               "time-shared: big fraction must lie in (0, 1)");
+  CAPART_CHECK(quantum_ >= 1, "time-shared: quantum must be >= 1 interval");
+}
+
+std::vector<std::uint32_t> TimeSharedPolicy::repartition(
+    const sim::IntervalRecord& /*record*/, const PartitionContext& ctx) {
+  const ThreadId n = ctx.num_threads;
+  const std::uint64_t turn = intervals_seen_++ / quantum_;
+  if (n == 1) return {ctx.total_ways};
+
+  const ThreadId owner = static_cast<ThreadId>(turn % n);
+  auto big = static_cast<std::uint32_t>(static_cast<double>(ctx.total_ways) *
+                                        big_fraction_);
+  // The large partition must leave at least one way for everyone else and be
+  // at least as large as an equal share (otherwise "big" is meaningless).
+  big = std::clamp(big, ctx.total_ways / n, ctx.total_ways - (n - 1));
+
+  std::vector<std::uint32_t> alloc(n, 0);
+  alloc[owner] = big;
+  const std::uint32_t rest = ctx.total_ways - big;
+  const std::uint32_t share = rest / (n - 1);
+  std::uint32_t leftover = rest % (n - 1);
+  for (ThreadId t = 0; t < n; ++t) {
+    if (t == owner) continue;
+    alloc[t] = share + (leftover > 0 ? 1 : 0);
+    if (leftover > 0) --leftover;
+  }
+  return alloc;
+}
+
+}  // namespace capart::core

@@ -1,0 +1,28 @@
+// Time-shared partitioning in the spirit of Chang & Sohi's cooperative cache
+// partitioning (paper §IV-B): one rotating thread holds a large partition for
+// a fixed quantum while the rest share the remainder equally, giving every
+// thread the same time-averaged allocation (a fairness-oriented comparator).
+#pragma once
+
+#include "src/core/policy.hpp"
+
+namespace capart::core {
+
+class TimeSharedPolicy final : public PartitionPolicy {
+ public:
+  explicit TimeSharedPolicy(const PolicyOptions& options);
+
+  std::string_view name() const noexcept override { return "time-shared"; }
+
+  std::vector<std::uint32_t> repartition(const sim::IntervalRecord& record,
+                                         const PartitionContext& ctx) override;
+
+  void reset() override { intervals_seen_ = 0; }
+
+ private:
+  double big_fraction_;
+  std::uint32_t quantum_;
+  std::uint64_t intervals_seen_ = 0;
+};
+
+}  // namespace capart::core

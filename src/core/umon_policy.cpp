@@ -1,0 +1,58 @@
+#include "src/core/umon_policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.hpp"
+#include "src/core/hill_climb.hpp"
+#include "src/mem/utility_monitor.hpp"
+
+namespace capart::core {
+
+UmonPolicy::UmonPolicy(const PolicyOptions& options)
+    : max_moves_(options.max_moves_per_interval) {}
+
+std::vector<std::uint32_t> UmonPolicy::repartition(
+    const sim::IntervalRecord& record, const PartitionContext& ctx) {
+  CAPART_CHECK(record.threads.size() == ctx.num_threads,
+               "umon: record/context thread mismatch");
+  CAPART_CHECK(ctx.utility_monitor != nullptr,
+               "umon policy requires a utility monitor");
+  const mem::UtilityMonitor& umon = *ctx.utility_monitor;
+  const ThreadId n = ctx.num_threads;
+
+  // Start from the allocation in force; fall back to equal if inconsistent.
+  std::vector<std::uint32_t> alloc(n);
+  std::uint32_t sum = 0;
+  for (ThreadId t = 0; t < n; ++t) {
+    alloc[t] = record.threads[t].ways;
+    sum += alloc[t];
+  }
+  if (sum != ctx.total_ways ||
+      std::any_of(alloc.begin(), alloc.end(),
+                  [](std::uint32_t w) { return w == 0; })) {
+    alloc = equal_split(ctx.total_ways, n);
+  }
+
+  // Predicted CPI of thread t at `ways`, anchored at its observed CPI under
+  // the allocation that was in force this interval.
+  const auto predict = [&](ThreadId t, std::uint32_t ways) {
+    const auto& tr = record.threads[t];
+    if (tr.instructions == 0) return 0.0;
+    const double base = umon.predicted_misses(t, record.threads[t].ways);
+    const double delta = umon.predicted_misses(t, ways) - base;
+    const double cpi = tr.cpi() + delta * static_cast<double>(
+                                              ctx.memory_penalty) /
+                                      static_cast<double>(tr.instructions);
+    return std::max(0.0, cpi);
+  };
+
+  minimize_max_prediction(alloc, predict, max_moves_);
+
+  CAPART_CHECK(std::accumulate(alloc.begin(), alloc.end(), 0u) ==
+                   ctx.total_ways,
+               "umon: allocation does not sum to total ways");
+  return alloc;
+}
+
+}  // namespace capart::core

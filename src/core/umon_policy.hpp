@@ -1,0 +1,39 @@
+// Measured-curve critical-path partitioning (extension; see DESIGN.md).
+//
+// Same objective as the paper's model-based scheme — minimize the predicted
+// CPI of the critical-path thread — but the per-thread miss-vs-ways curves
+// come from a shadow-tag utility monitor (the monitoring hardware of the
+// paper's refs [28]/[29]) instead of runtime curve fitting. Because the
+// monitor measures the *whole* curve every interval, no exploration or
+// bootstrap is needed and phase changes are seen immediately; the price is
+// the extra tag-directory hardware the paper's software-only scheme avoids.
+//
+// CPI conversion: with the additive timing model, changing thread t's
+// allocation from w0 to w ways changes its interval CPI by
+//   (predicted_misses(w) - predicted_misses(w0)) * memory_penalty / instr,
+// with both predictions from the monitor so that sharing-induced offsets
+// cancel.
+#pragma once
+
+#include "src/core/policy.hpp"
+
+namespace capart::core {
+
+class UmonPolicy final : public PartitionPolicy {
+ public:
+  explicit UmonPolicy(const PolicyOptions& options);
+
+  std::string_view name() const noexcept override {
+    return "umon-critical-path";
+  }
+
+  /// Requires ctx.utility_monitor (aborts otherwise: the policy models
+  /// hardware that must exist).
+  std::vector<std::uint32_t> repartition(const sim::IntervalRecord& record,
+                                         const PartitionContext& ctx) override;
+
+ private:
+  std::uint32_t max_moves_;
+};
+
+}  // namespace capart::core

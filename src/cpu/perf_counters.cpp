@@ -1,0 +1,44 @@
+#include "src/cpu/perf_counters.hpp"
+
+namespace capart::cpu {
+
+CounterBlock CounterBlock::operator-(const CounterBlock& base) const noexcept {
+  CounterBlock d;
+  d.instructions = instructions - base.instructions;
+  d.exec_cycles = exec_cycles - base.exec_cycles;
+  d.stall_cycles = stall_cycles - base.stall_cycles;
+  d.l1_accesses = l1_accesses - base.l1_accesses;
+  d.l1_misses = l1_misses - base.l1_misses;
+  d.private_l2_accesses = private_l2_accesses - base.private_l2_accesses;
+  d.private_l2_hits = private_l2_hits - base.private_l2_hits;
+  d.private_l2_misses = private_l2_misses - base.private_l2_misses;
+  d.l2_accesses = l2_accesses - base.l2_accesses;
+  d.l2_hits = l2_hits - base.l2_hits;
+  d.l2_misses = l2_misses - base.l2_misses;
+  d.contention_wait_cycles =
+      contention_wait_cycles - base.contention_wait_cycles;
+  return d;
+}
+
+std::vector<CounterBlock> PerfCounters::peek_interval() const {
+  std::vector<CounterBlock> deltas;
+  deltas.reserve(cumulative_.size());
+  for (std::size_t t = 0; t < cumulative_.size(); ++t) {
+    deltas.push_back(cumulative_[t] - interval_base_[t]);
+  }
+  return deltas;
+}
+
+std::vector<CounterBlock> PerfCounters::sample_interval() {
+  std::vector<CounterBlock> deltas = peek_interval();
+  interval_base_ = cumulative_;
+  return deltas;
+}
+
+Instructions PerfCounters::total_instructions() const noexcept {
+  Instructions sum = 0;
+  for (const auto& c : cumulative_) sum += c.instructions;
+  return sum;
+}
+
+}  // namespace capart::cpu

@@ -1,0 +1,77 @@
+// Per-thread hardware-performance-counter model.
+//
+// The runtime system (paper Fig 17, "Cache/CPI Monitor") reads instruction,
+// cycle, and cache-event counts at every execution-interval boundary. This
+// class holds the cumulative counters and produces interval deltas, mirroring
+// the read-and-rebase idiom of real PMU sampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace capart::cpu {
+
+/// Cumulative (or delta) counter values for one thread.
+struct CounterBlock {
+  Instructions instructions = 0;
+  /// Cycles spent executing (excludes barrier stall — the paper's per-thread
+  /// "performance" is progress speed while running).
+  Cycles exec_cycles = 0;
+  /// Cycles spent stalled at barriers waiting for slower threads.
+  Cycles stall_cycles = 0;
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_misses = 0;
+  /// Optional private per-core L2 (zero in two-level configurations).
+  std::uint64_t private_l2_accesses = 0;
+  std::uint64_t private_l2_hits = 0;
+  std::uint64_t private_l2_misses = 0;
+  /// The shared, partitionable cache (the paper's L2; the L3 when private
+  /// L2s are configured). Partitioning policies read these.
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  /// Cycles spent waiting for a busy shared-cache bank (0 when the
+  /// contention model is disabled); included in exec_cycles.
+  Cycles contention_wait_cycles = 0;
+
+  /// Cycles-per-instruction over this block; 0 when no instructions retired.
+  double cpi() const noexcept {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(exec_cycles) /
+                                   static_cast<double>(instructions);
+  }
+
+  CounterBlock operator-(const CounterBlock& base) const noexcept;
+};
+
+/// Counter file for every thread in the system.
+class PerfCounters {
+ public:
+  explicit PerfCounters(ThreadId num_threads)
+      : cumulative_(num_threads), interval_base_(num_threads) {}
+
+  CounterBlock& thread(ThreadId t) { return cumulative_.at(t); }
+  const CounterBlock& thread(ThreadId t) const { return cumulative_.at(t); }
+  ThreadId num_threads() const noexcept {
+    return static_cast<ThreadId>(cumulative_.size());
+  }
+
+  /// Counter deltas since the last rebase, without rebasing.
+  std::vector<CounterBlock> peek_interval() const;
+
+  /// Counter deltas since the last rebase; the baseline moves to "now"
+  /// (what the runtime's monitor does at each interval boundary).
+  std::vector<CounterBlock> sample_interval();
+
+  /// Total retired instructions across all threads (drives interval
+  /// boundaries: the paper's intervals are instruction-count based).
+  Instructions total_instructions() const noexcept;
+
+ private:
+  std::vector<CounterBlock> cumulative_;
+  std::vector<CounterBlock> interval_base_;
+};
+
+}  // namespace capart::cpu

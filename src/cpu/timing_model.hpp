@@ -1,0 +1,75 @@
+// In-order blocking-core timing model.
+//
+// The paper simulates in-order UltraSPARC-III cores; a blocking additive
+// model — one cycle per instruction, plus the miss penalty of the deepest
+// level the access reaches — reproduces the property the whole scheme rests
+// on: interval CPI is an affine function of interval L2 misses (paper Fig 5
+// measures their correlation at ~0.97), so "minimize max CPI" is "speed up
+// the critical-path thread".
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.hpp"
+
+namespace capart::cpu {
+
+/// Latency parameters, in core cycles.
+struct TimingParams {
+  /// Cycles charged per instruction before memory penalties (issue width 1).
+  Cycles base_cycles_per_instruction = 1;
+  /// Extra cycles for an access that misses L1 but hits the optional private
+  /// per-core L2 (three-level configurations only; paper footnote 1).
+  Cycles private_l2_hit_penalty = 8;
+  /// Extra cycles for an access satisfied by the shared (partitionable)
+  /// cache — the L2 in the paper's two-level system, the L3 behind private
+  /// L2s in a Dunnington-style system.
+  Cycles l2_hit_penalty = 12;
+  /// Extra cycles for an access that misses every cache level (DRAM).
+  Cycles memory_penalty = 200;
+  /// Reduced DRAM penalty for prefetch-friendly streaming misses (the
+  /// sequential-stream latency the prefetchers hide; the line is still
+  /// installed and occupies cache space).
+  Cycles streaming_memory_penalty = 40;
+};
+
+/// Deepest level one memory access reached. kSharedCache is the
+/// partitionable shared component (L2 or L3 depending on configuration).
+enum class MemoryLevel : std::uint8_t {
+  kL1,
+  kPrivateL2,
+  kSharedCache,
+  kMemory,
+};
+
+/// Stateless cost function; kept separate from the cache models so the
+/// policies and tests can reason about CPI arithmetic directly.
+class TimingModel {
+ public:
+  explicit TimingModel(const TimingParams& params) : params_(params) {}
+
+  /// Cycles for `count` non-memory instructions.
+  Cycles non_memory_cost(Instructions count) const noexcept {
+    return params_.base_cycles_per_instruction * count;
+  }
+
+  /// Cycles for one memory instruction satisfied at `level`. Prefetchable
+  /// (sequential-streaming) DRAM accesses pay the reduced penalty.
+  Cycles memory_cost(MemoryLevel level, bool prefetchable = false) const noexcept {
+    Cycles c = params_.base_cycles_per_instruction;
+    if (level == MemoryLevel::kPrivateL2) c += params_.private_l2_hit_penalty;
+    if (level == MemoryLevel::kSharedCache) c += params_.l2_hit_penalty;
+    if (level == MemoryLevel::kMemory) {
+      c += prefetchable ? params_.streaming_memory_penalty
+                        : params_.memory_penalty;
+    }
+    return c;
+  }
+
+  const TimingParams& params() const noexcept { return params_; }
+
+ private:
+  TimingParams params_;
+};
+
+}  // namespace capart::cpu

@@ -1,0 +1,77 @@
+#include "src/math/apportion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace capart::math {
+
+std::vector<std::uint32_t> apportion(std::span<const double> weights,
+                                     std::uint32_t total,
+                                     std::uint32_t minimum) {
+  const std::size_t n = weights.size();
+  CAPART_CHECK(n > 0, "apportion: need at least one weight");
+  CAPART_CHECK(total >= minimum * n, "apportion: total below minimum floor");
+
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    CAPART_CHECK(w >= 0.0 && std::isfinite(w),
+                 "apportion: weights must be finite and non-negative");
+    weight_sum += w;
+  }
+
+  // Degenerate weights: equal split (front-loaded remainder), which always
+  // respects the floor since total >= minimum * n.
+  if (weight_sum <= 0.0) {
+    std::vector<std::uint32_t> shares(n, total / static_cast<std::uint32_t>(n));
+    for (std::size_t i = 0; i < total % n; ++i) shares[i] += 1;
+    return shares;
+  }
+
+  // Largest-remainder apportionment over the *full* total, matching the
+  // paper's partition_t = w_t / sum(w) * Total as closely as integers allow.
+  std::vector<double> exact(n);
+  std::vector<std::uint32_t> shares(n);
+  std::uint32_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    exact[i] = weights[i] / weight_sum * static_cast<double>(total);
+    shares[i] = static_cast<std::uint32_t>(std::floor(exact[i]));
+    assigned += shares[i];
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double ra = exact[a] - std::floor(exact[a]);
+                     const double rb = exact[b] - std::floor(exact[b]);
+                     return ra > rb;  // stable sort keeps index order on ties
+                   });
+  CAPART_CHECK(assigned <= total, "apportion: floor sum exceeded total");
+  std::uint32_t leftover = total - assigned;
+  for (std::size_t k = 0; leftover > 0; k = (k + 1) % n) {
+    shares[order[k]] += 1;
+    --leftover;
+  }
+
+  // Enforce the floor by taking units from the currently largest share;
+  // deterministic (lowest index wins ties) and order-preserving.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (shares[i] < minimum) {
+      std::size_t donor = n;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (shares[j] > minimum &&
+            (donor == n || shares[j] > shares[donor])) {
+          donor = j;
+        }
+      }
+      CAPART_CHECK(donor < n, "apportion: no donor above the floor");
+      shares[donor] -= 1;
+      shares[i] += 1;
+    }
+  }
+  return shares;
+}
+
+}  // namespace capart::math

@@ -1,0 +1,30 @@
+// Integer apportionment of cache ways proportionally to real-valued weights.
+//
+// The CPI-based partitioner (paper §VI-A) computes
+//   partition_t = CPI_t / sum(CPI_i) * TotalCacheWays
+// which is fractional; hardware way counts are integers, every thread must
+// keep at least a floor allocation (a thread with zero ways could never
+// insert a line), and the totals must sum exactly to the way count. The
+// largest-remainder method provides all three properties deterministically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace capart::math {
+
+/// Splits `total` units proportionally to `weights`, guaranteeing each share
+/// is at least `minimum` and the shares sum exactly to `total`.
+///
+/// Largest-remainder division runs over the full total (so exactly divisible
+/// weights reproduce the paper's formula bit-for-bit); the floor is then
+/// enforced by taking units from the largest shares. Preconditions: weights
+/// non-empty and non-negative, total >= minimum * |weights|. Zero or all-zero
+/// weights degrade to an equal split. Ties break toward lower indices, so
+/// results are deterministic.
+std::vector<std::uint32_t> apportion(std::span<const double> weights,
+                                     std::uint32_t total,
+                                     std::uint32_t minimum = 1);
+
+}  // namespace capart::math

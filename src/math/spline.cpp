@@ -1,0 +1,118 @@
+#include "src/math/spline.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace capart::math {
+namespace {
+
+/// Index of the interval [x[i], x[i+1]] containing `v` (clamped to the last
+/// interval). Precondition: x.size() >= 2 and x.front() <= v.
+std::size_t interval_index(const std::vector<double>& x, double v) noexcept {
+  const auto it = std::upper_bound(x.begin(), x.end(), v);
+  const auto raw = static_cast<std::size_t>(it - x.begin());
+  const std::size_t hi = x.size() - 1;
+  if (raw == 0) return 0;
+  return std::min(raw - 1, hi - 1);
+}
+
+}  // namespace
+
+CubicSpline CubicSpline::fit(std::span<const double> x,
+                             std::span<const double> y) {
+  CAPART_CHECK(x.size() == y.size(), "spline: |x| must equal |y|");
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    CAPART_CHECK(x[i - 1] < x[i], "spline: abscissae must strictly increase");
+  }
+
+  CubicSpline s;
+  s.x_.assign(x.begin(), x.end());
+  s.y_.assign(y.begin(), y.end());
+  const std::size_t n = s.x_.size();
+  if (n < 2) return s;  // constant (or empty) — no coefficients needed
+
+  s.b_.assign(n - 1, 0.0);
+  s.c_.assign(n, 0.0);
+  s.d_.assign(n - 1, 0.0);
+
+  if (n == 2) {
+    s.b_[0] = (s.y_[1] - s.y_[0]) / (s.x_[1] - s.x_[0]);
+    return s;
+  }
+
+  // Solve the natural-spline tridiagonal system for the second-derivative
+  // coefficients c_ (Thomas algorithm; natural boundary: c_[0]=c_[n-1]=0).
+  std::vector<double> h(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) h[i] = s.x_[i + 1] - s.x_[i];
+
+  std::vector<double> diag(n, 1.0);
+  std::vector<double> upper(n, 0.0);
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    diag[i] = 2.0 * (h[i - 1] + h[i]);
+    upper[i] = h[i];
+    rhs[i] = 3.0 * ((s.y_[i + 1] - s.y_[i]) / h[i] -
+                    (s.y_[i] - s.y_[i - 1]) / h[i - 1]);
+  }
+  // Thomas algorithm with natural boundaries (c[0] = c[n-1] = 0); the lower
+  // diagonal of interior row i is h[i-1].
+  std::vector<double> cp(n, 0.0);  // modified upper diagonal
+  std::vector<double> dp(n, 0.0);  // modified rhs
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double denom = diag[i] - h[i - 1] * cp[i - 1];
+    cp[i] = upper[i] / denom;
+    dp[i] = (rhs[i] - h[i - 1] * dp[i - 1]) / denom;
+  }
+  s.c_[n - 1] = 0.0;
+  for (std::size_t i = n - 1; i-- > 1;) {
+    s.c_[i] = dp[i] - cp[i] * s.c_[i + 1];
+  }
+  s.c_[0] = 0.0;
+
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    s.b_[i] = (s.y_[i + 1] - s.y_[i]) / h[i] -
+              h[i] * (2.0 * s.c_[i] + s.c_[i + 1]) / 3.0;
+    s.d_[i] = (s.c_[i + 1] - s.c_[i]) / (3.0 * h[i]);
+  }
+  return s;
+}
+
+double CubicSpline::back_slope() const noexcept {
+  const std::size_t n = x_.size();
+  if (n < 2) return 0.0;
+  const double h = x_[n - 1] - x_[n - 2];
+  return b_[n - 2] + 2.0 * c_[n - 2] * h + 3.0 * d_[n - 2] * h * h;
+}
+
+double CubicSpline::operator()(double x) const noexcept {
+  if (x_.empty()) return 0.0;
+  if (x <= x_.front() || x_.size() == 1) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  const std::size_t i = interval_index(x_, x);
+  const double dx = x - x_[i];
+  return y_[i] + dx * (b_[i] + dx * (c_[i] + dx * d_[i]));
+}
+
+PiecewiseLinear PiecewiseLinear::fit(std::span<const double> x,
+                                     std::span<const double> y) {
+  CAPART_CHECK(x.size() == y.size(), "pwl: |x| must equal |y|");
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    CAPART_CHECK(x[i - 1] < x[i], "pwl: abscissae must strictly increase");
+  }
+  PiecewiseLinear p;
+  p.x_.assign(x.begin(), x.end());
+  p.y_.assign(y.begin(), y.end());
+  return p;
+}
+
+double PiecewiseLinear::operator()(double x) const noexcept {
+  if (x_.empty()) return 0.0;
+  if (x <= x_.front() || x_.size() == 1) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  const std::size_t i = interval_index(x_, x);
+  const double t = (x - x_[i]) / (x_[i + 1] - x_[i]);
+  return y_[i] + t * (y_[i + 1] - y_[i]);
+}
+
+}  // namespace capart::math

@@ -1,0 +1,109 @@
+// Natural cubic-spline interpolation (paper §VI-B).
+//
+// The model-based partitioner fits, at runtime and per thread, a curve
+// CPI_t = f_t(ways_t) through the (ways, CPI) points observed so far, then
+// evaluates it at candidate allocations. The paper uses "a simple cubic
+// spline interpolation"; we implement the natural cubic spline and clamp
+// evaluation outside the sampled range to the endpoint values, because the
+// cubic extrapolation tail is meaningless for cache models and a single wild
+// extrapolated value would dominate the max-CPI search.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace capart::math {
+
+/// A fitted one-dimensional interpolant over strictly increasing abscissae.
+class CubicSpline {
+ public:
+  /// Fits a natural cubic spline through (x[i], y[i]).
+  ///
+  /// Preconditions: x.size() == y.size(), x strictly increasing.
+  /// Degenerate inputs are handled gracefully rather than rejected, because
+  /// the runtime may have observed very few distinct allocations:
+  ///  - 0 points: evaluates to 0 everywhere;
+  ///  - 1 point:  constant;
+  ///  - 2 points: linear.
+  static CubicSpline fit(std::span<const double> x, std::span<const double> y);
+
+  /// Evaluates the interpolant; outside [x.front(), x.back()] the endpoint
+  /// value is returned (flat extrapolation).
+  double operator()(double x) const noexcept;
+
+  /// Number of knots the spline was fitted through.
+  std::size_t knot_count() const noexcept { return x_.size(); }
+
+  /// True when fit() received at least one point.
+  bool fitted() const noexcept { return !x_.empty(); }
+
+  /// First knot abscissa / ordinate (0 when unfitted).
+  double front_x() const noexcept { return x_.empty() ? 0.0 : x_.front(); }
+  double front_y() const noexcept { return y_.empty() ? 0.0 : y_.front(); }
+
+  /// Derivative at the first knot (0 with fewer than two knots). Callers
+  /// that need below-range extrapolation (the runtime cache models, where
+  /// CPI must not be predicted to *improve* as ways shrink) extend the curve
+  /// linearly with this slope instead of the flat default.
+  double front_slope() const noexcept { return b_.empty() ? 0.0 : b_.front(); }
+
+  /// Last knot abscissa / ordinate (0 when unfitted).
+  double back_x() const noexcept { return x_.empty() ? 0.0 : x_.back(); }
+  double back_y() const noexcept { return y_.empty() ? 0.0 : y_.back(); }
+
+  /// Derivative at the last knot (0 with fewer than two knots); used for
+  /// above-range linear extrapolation by the runtime cache models.
+  double back_slope() const noexcept;
+
+ private:
+  CubicSpline() = default;
+
+  // Knots and per-interval cubic coefficients:
+  // s(x) = y_[i] + b_[i] dx + c_[i] dx^2 + d_[i] dx^3, dx = x - x_[i].
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> b_;
+  std::vector<double> c_;
+  std::vector<double> d_;
+};
+
+/// Piecewise-linear interpolant with the same interface contract as
+/// CubicSpline (flat extrapolation, graceful degeneracy). Used by the
+/// `abl_model_kind` ablation: the paper notes the curve-fitting algorithm is
+/// interchangeable.
+class PiecewiseLinear {
+ public:
+  static PiecewiseLinear fit(std::span<const double> x,
+                             std::span<const double> y);
+
+  double operator()(double x) const noexcept;
+
+  std::size_t knot_count() const noexcept { return x_.size(); }
+  bool fitted() const noexcept { return !x_.empty(); }
+
+  double front_x() const noexcept { return x_.empty() ? 0.0 : x_.front(); }
+  double front_y() const noexcept { return y_.empty() ? 0.0 : y_.front(); }
+
+  /// Slope of the first segment (0 with fewer than two knots).
+  double front_slope() const noexcept {
+    return x_.size() < 2 ? 0.0 : (y_[1] - y_[0]) / (x_[1] - x_[0]);
+  }
+
+  double back_x() const noexcept { return x_.empty() ? 0.0 : x_.back(); }
+  double back_y() const noexcept { return y_.empty() ? 0.0 : y_.back(); }
+
+  /// Slope of the last segment (0 with fewer than two knots).
+  double back_slope() const noexcept {
+    const std::size_t n = x_.size();
+    return n < 2 ? 0.0 : (y_[n - 1] - y_[n - 2]) / (x_[n - 1] - x_[n - 2]);
+  }
+
+ private:
+  PiecewiseLinear() = default;
+
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+}  // namespace capart::math

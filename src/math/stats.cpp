@@ -1,0 +1,63 @@
+#include "src/math/stats.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace capart::math {
+
+double mean(std::span<const double> v) noexcept {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double variance(std::span<const double> v) noexcept {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const double> v) noexcept {
+  return std::sqrt(variance(v));
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) noexcept {
+  CAPART_CHECK(x.size() == y.size(), "pearson: series lengths differ");
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit linear_fit(std::span<const double> x,
+                     std::span<const double> y) noexcept {
+  CAPART_CHECK(x.size() == y.size(), "linear_fit: series lengths differ");
+  const std::size_t n = x.size();
+  if (n == 0) return {};
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+  }
+  if (sxx == 0.0) return {.slope = 0.0, .intercept = my};
+  const double slope = sxy / sxx;
+  return {.slope = slope, .intercept = my - slope * mx};
+}
+
+}  // namespace capart::math

@@ -1,0 +1,34 @@
+// Summary statistics used throughout the evaluation harness.
+#pragma once
+
+#include <span>
+
+namespace capart::math {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> v) noexcept;
+
+/// Population variance; 0 for spans shorter than 2.
+double variance(std::span<const double> v) noexcept;
+
+/// Population standard deviation.
+double stddev(std::span<const double> v) noexcept;
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Used to reproduce Fig 5 (interval CPI vs interval L2-miss correlation).
+/// Returns 0 when either series is constant or the series are shorter than 2,
+/// so callers never see NaN from a flat interval trace.
+double pearson(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Ordinary-least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+
+/// OLS fit; slope 0 / intercept mean(y) when x is constant or short.
+LinearFit linear_fit(std::span<const double> x,
+                     std::span<const double> y) noexcept;
+
+}  // namespace capart::math

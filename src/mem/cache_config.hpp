@@ -1,0 +1,51 @@
+// Cache geometry description and address decomposition helpers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "src/common/check.hpp"
+#include "src/common/types.hpp"
+
+namespace capart::mem {
+
+/// Geometry of one set-associative cache structure.
+///
+/// All three fields must be powers of two so set indexing reduces to a mask.
+/// Way partitioning varies `ways` only; the paper's experiments keep the set
+/// count fixed (256 sets of 64-byte lines) and grow/shrink capacity by ways,
+/// which is how "giving a thread more cache" is always phrased.
+struct CacheGeometry {
+  std::uint32_t sets = 256;
+  std::uint32_t ways = 64;
+  std::uint32_t line_bytes = 64;
+
+  constexpr std::uint64_t size_bytes() const noexcept {
+    return static_cast<std::uint64_t>(sets) * ways * line_bytes;
+  }
+
+  void validate() const {
+    CAPART_CHECK(sets > 0 && std::has_single_bit(sets),
+                 "cache sets must be a nonzero power of two");
+    CAPART_CHECK(ways > 0, "cache must have at least one way");
+    CAPART_CHECK(line_bytes >= 8 && std::has_single_bit(line_bytes),
+                 "line size must be a power of two >= 8");
+  }
+
+  /// Block number (line-granular address).
+  constexpr std::uint64_t block_of(Addr addr) const noexcept {
+    return addr / line_bytes;
+  }
+
+  /// Set index for a block number.
+  constexpr std::uint32_t set_of_block(std::uint64_t block) const noexcept {
+    return static_cast<std::uint32_t>(block & (sets - 1));
+  }
+};
+
+/// Default configuration from the paper's Fig 2: 8 KB 4-way private L1s with
+/// 64 B lines, and a shared 1 MB 64-way L2 (256 sets).
+inline constexpr CacheGeometry kDefaultL1{.sets = 32, .ways = 4, .line_bytes = 64};
+inline constexpr CacheGeometry kDefaultL2{.sets = 256, .ways = 64, .line_bytes = 64};
+
+}  // namespace capart::mem

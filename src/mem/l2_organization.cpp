@@ -1,0 +1,123 @@
+#include "src/mem/l2_organization.hpp"
+
+#include "src/common/check.hpp"
+
+namespace capart::mem {
+
+std::string_view to_string(L2Mode mode) noexcept {
+  switch (mode) {
+    case L2Mode::kSharedUnpartitioned: return "shared-unpartitioned";
+    case L2Mode::kPartitionedShared: return "partitioned-shared";
+    case L2Mode::kPrivatePerThread: return "private-per-thread";
+    case L2Mode::kSetPartitionedShared: return "set-partitioned-shared";
+    case L2Mode::kFlushReconfigureShared: return "flush-reconfigure-shared";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<L2Organization> make_l2(L2Mode mode,
+                                        const CacheGeometry& geometry,
+                                        ThreadId num_threads) {
+  switch (mode) {
+    case L2Mode::kSharedUnpartitioned:
+      return std::make_unique<SharedOrPartitionedL2>(
+          geometry, num_threads, PartitionMode::kUnpartitioned);
+    case L2Mode::kPartitionedShared:
+      return std::make_unique<SharedOrPartitionedL2>(
+          geometry, num_threads, PartitionMode::kEvictionControl);
+    case L2Mode::kPrivatePerThread:
+      return std::make_unique<PrivateL2>(geometry, num_threads);
+    case L2Mode::kSetPartitionedShared:
+      return std::make_unique<SetPartitionedL2>(geometry, num_threads);
+    case L2Mode::kFlushReconfigureShared:
+      return std::make_unique<SharedOrPartitionedL2>(
+          geometry, num_threads, PartitionMode::kFlushReconfigure);
+  }
+  CAPART_CHECK(false, "unreachable L2 mode");
+}
+
+SharedOrPartitionedL2::SharedOrPartitionedL2(const CacheGeometry& geometry,
+                                             ThreadId num_threads,
+                                             PartitionMode partition_mode)
+    : cache_(geometry, num_threads, partition_mode) {}
+
+bool SharedOrPartitionedL2::access(ThreadId thread, Addr addr,
+                                   AccessType type) {
+  return cache_.access(thread, addr, type).hit;
+}
+
+bool SharedOrPartitionedL2::partitionable() const noexcept {
+  return cache_.mode() != PartitionMode::kUnpartitioned;
+}
+
+void SharedOrPartitionedL2::set_targets(
+    std::span<const std::uint32_t> targets) {
+  if (partitionable()) cache_.set_targets(targets);
+}
+
+std::vector<std::uint32_t> SharedOrPartitionedL2::current_targets() const {
+  return {cache_.targets().begin(), cache_.targets().end()};
+}
+
+L2Mode SharedOrPartitionedL2::mode() const noexcept {
+  switch (cache_.mode()) {
+    case PartitionMode::kUnpartitioned: return L2Mode::kSharedUnpartitioned;
+    case PartitionMode::kEvictionControl: return L2Mode::kPartitionedShared;
+    case PartitionMode::kFlushReconfigure:
+      return L2Mode::kFlushReconfigureShared;
+  }
+  return L2Mode::kSharedUnpartitioned;
+}
+
+PrivateL2::PrivateL2(const CacheGeometry& geometry, ThreadId num_threads)
+    : stats_(num_threads), total_ways_(geometry.ways) {
+  CAPART_CHECK(num_threads > 0, "private L2 needs >= 1 thread");
+  CAPART_CHECK(geometry.ways >= num_threads,
+               "private L2: fewer ways than threads");
+  CacheGeometry slice = geometry;
+  slice.ways = geometry.ways / num_threads;
+  slices_.reserve(num_threads);
+  for (ThreadId t = 0; t < num_threads; ++t) slices_.emplace_back(slice);
+}
+
+bool PrivateL2::access(ThreadId thread, Addr addr, AccessType type) {
+  CAPART_CHECK(thread < slices_.size(), "private L2: thread out of range");
+  const bool hit = slices_[thread].access(addr, type);
+  ThreadCacheCounters& c = stats_.thread(thread);
+  ++c.accesses;
+  if (hit) {
+    ++c.hits;
+  } else {
+    ++c.misses;
+  }
+  return hit;
+}
+
+void PrivateL2::set_targets(std::span<const std::uint32_t> /*targets*/) {
+  // Private slices are fixed hardware structures; nothing to reconfigure.
+}
+
+SetPartitionedL2::SetPartitionedL2(const CacheGeometry& geometry,
+                                   ThreadId num_threads)
+    // One color per way keeps the policies' [1, ways] target range intact;
+    // with the default 256-set, 64-way cache that is 64 colors of 4 sets.
+    : cache_(geometry, num_threads, /*colors=*/geometry.ways) {}
+
+bool SetPartitionedL2::access(ThreadId thread, Addr addr, AccessType type) {
+  return cache_.access(thread, addr, type).hit;
+}
+
+void SetPartitionedL2::set_targets(std::span<const std::uint32_t> targets) {
+  cache_.set_targets(targets);
+}
+
+std::vector<std::uint32_t> SetPartitionedL2::current_targets() const {
+  return {cache_.targets().begin(), cache_.targets().end()};
+}
+
+std::vector<std::uint32_t> PrivateL2::current_targets() const {
+  return std::vector<std::uint32_t>(
+      slices_.size(), slices_.empty() ? 0 : slices_.front().geometry().ways);
+}
+
+}  // namespace capart::mem

@@ -1,0 +1,156 @@
+// The three L2 organizations the paper compares (§IV-A2, §VII-B):
+//
+//   * SharedL2       — one unpartitioned cache, global LRU;
+//   * PartitionedL2  — one shared cache with §V way partitioning
+//                      (runtime-controllable targets);
+//   * PrivateL2      — per-thread slices of ways/num_threads ways each
+//                      (no sharing, data replication across slices; also the
+//                      paper's stand-in for fairness-optimal schemes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/mem/cache_config.hpp"
+#include "src/mem/cache_stats.hpp"
+#include "src/mem/partitioned_cache.hpp"
+#include "src/mem/set_assoc_cache.hpp"
+#include "src/mem/set_partitioned_cache.hpp"
+
+namespace capart::mem {
+
+enum class L2Mode : std::uint8_t {
+  kSharedUnpartitioned,
+  kPartitionedShared,
+  kPrivatePerThread,
+  /// Way partitioning by flush-reconfiguration — the hardware alternative
+  /// paper §V rejects; exists to quantify that argument (abl_reconfigure).
+  kFlushReconfigureShared,
+  /// Set partitioning via OS page coloring (related-work mechanism, Lin et
+  /// al.); targets are counted in colors, one color per way by default so
+  /// the partitioning policies apply unchanged.
+  kSetPartitionedShared,
+};
+
+std::string_view to_string(L2Mode mode) noexcept;
+
+/// Uniform interface the CMP system and the runtime use for the L2 level.
+class L2Organization {
+ public:
+  virtual ~L2Organization() = default;
+
+  /// One access by `thread`; returns true on hit (fills on miss).
+  virtual bool access(ThreadId thread, Addr addr, AccessType type) = 0;
+
+  /// Whether set_targets() has any effect.
+  virtual bool partitionable() const noexcept = 0;
+
+  /// Installs per-thread way targets; no-op for non-partitionable modes.
+  virtual void set_targets(std::span<const std::uint32_t> targets) = 0;
+
+  /// Current per-thread way targets (fixed equal split where not applicable).
+  virtual std::vector<std::uint32_t> current_targets() const = 0;
+
+  virtual const CacheStats& stats() const noexcept = 0;
+  virtual std::uint32_t total_ways() const noexcept = 0;
+  virtual ThreadId num_threads() const noexcept = 0;
+  virtual L2Mode mode() const noexcept = 0;
+
+  /// Lines invalidated by the most recent set_targets (nonzero only for the
+  /// flush-reconfiguring organization; the runtime charges stall for them).
+  virtual std::uint64_t flushed_on_last_retarget() const noexcept {
+    return 0;
+  }
+};
+
+/// Factory for the mode requested by an experiment configuration.
+std::unique_ptr<L2Organization> make_l2(L2Mode mode,
+                                        const CacheGeometry& geometry,
+                                        ThreadId num_threads);
+
+/// Shared (optionally way-partitioned) L2 over one PartitionedCache.
+class SharedOrPartitionedL2 final : public L2Organization {
+ public:
+  SharedOrPartitionedL2(const CacheGeometry& geometry, ThreadId num_threads,
+                        PartitionMode partition_mode);
+
+  bool access(ThreadId thread, Addr addr, AccessType type) override;
+  bool partitionable() const noexcept override;
+  void set_targets(std::span<const std::uint32_t> targets) override;
+  std::vector<std::uint32_t> current_targets() const override;
+  const CacheStats& stats() const noexcept override { return cache_.stats(); }
+  std::uint32_t total_ways() const noexcept override {
+    return cache_.geometry().ways;
+  }
+  ThreadId num_threads() const noexcept override {
+    return cache_.num_threads();
+  }
+  L2Mode mode() const noexcept override;
+
+  std::uint64_t flushed_on_last_retarget() const noexcept override {
+    return cache_.flushed_on_last_retarget();
+  }
+
+  /// Underlying cache, for tests and introspection benches.
+  const PartitionedCache& cache() const noexcept { return cache_; }
+
+ private:
+  PartitionedCache cache_;
+};
+
+/// Private per-thread L2 slices (ways split equally; each slice keeps the
+/// full set count, mirroring the paper's ways-only capacity scaling).
+class PrivateL2 final : public L2Organization {
+ public:
+  PrivateL2(const CacheGeometry& geometry, ThreadId num_threads);
+
+  bool access(ThreadId thread, Addr addr, AccessType type) override;
+  bool partitionable() const noexcept override { return false; }
+  void set_targets(std::span<const std::uint32_t> targets) override;
+  std::vector<std::uint32_t> current_targets() const override;
+  const CacheStats& stats() const noexcept override { return stats_; }
+  std::uint32_t total_ways() const noexcept override { return total_ways_; }
+  ThreadId num_threads() const noexcept override {
+    return static_cast<ThreadId>(slices_.size());
+  }
+  L2Mode mode() const noexcept override { return L2Mode::kPrivatePerThread; }
+
+ private:
+  std::vector<SetAssocCache> slices_;
+  CacheStats stats_;
+  std::uint32_t total_ways_;
+};
+
+/// Page-coloring (set-partitioned) shared cache. `total_ways()` reports the
+/// color count so the way-based policies drive it unchanged; the default
+/// pairs one color per way.
+class SetPartitionedL2 final : public L2Organization {
+ public:
+  SetPartitionedL2(const CacheGeometry& geometry, ThreadId num_threads);
+
+  bool access(ThreadId thread, Addr addr, AccessType type) override;
+  bool partitionable() const noexcept override { return true; }
+  void set_targets(std::span<const std::uint32_t> targets) override;
+  std::vector<std::uint32_t> current_targets() const override;
+  const CacheStats& stats() const noexcept override { return cache_.stats(); }
+  std::uint32_t total_ways() const noexcept override {
+    return cache_.colors();
+  }
+  ThreadId num_threads() const noexcept override {
+    return cache_.stats().num_threads();
+  }
+  L2Mode mode() const noexcept override {
+    return L2Mode::kSetPartitionedShared;
+  }
+
+  const SetPartitionedCache& cache() const noexcept { return cache_; }
+
+ private:
+  SetPartitionedCache cache_;
+};
+
+}  // namespace capart::mem

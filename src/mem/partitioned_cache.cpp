@@ -1,0 +1,187 @@
+#include "src/mem/partitioned_cache.hpp"
+
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace capart::mem {
+
+PartitionedCache::PartitionedCache(const CacheGeometry& geometry,
+                                   ThreadId num_threads, PartitionMode mode)
+    : geometry_(geometry),
+      num_threads_(num_threads),
+      mode_(mode),
+      stats_(num_threads) {
+  geometry_.validate();
+  CAPART_CHECK(num_threads_ > 0, "partitioned cache needs >= 1 thread");
+  CAPART_CHECK(num_threads_ <= geometry_.ways,
+               "more threads than ways: cannot guarantee 1 way per thread");
+  lines_.resize(static_cast<std::size_t>(geometry_.sets) * geometry_.ways);
+  owned_.assign(static_cast<std::size_t>(geometry_.sets) * num_threads_, 0);
+  // Start from an equal split (paper Fig 13 initialization).
+  targets_.assign(num_threads_, geometry_.ways / num_threads_);
+  std::uint32_t leftover = geometry_.ways % num_threads_;
+  for (std::uint32_t t = 0; t < leftover; ++t) targets_[t] += 1;
+}
+
+void PartitionedCache::set_targets(std::span<const std::uint32_t> targets) {
+  CAPART_CHECK(mode_ != PartitionMode::kUnpartitioned,
+               "set_targets is only meaningful with eviction control");
+  CAPART_CHECK(targets.size() == num_threads_,
+               "one way target per thread required");
+  std::uint32_t sum = 0;
+  for (std::uint32_t t : targets) {
+    CAPART_CHECK(t >= 1, "every thread must keep at least one way");
+    sum += t;
+  }
+  CAPART_CHECK(sum == geometry_.ways, "way targets must sum to total ways");
+
+  flushed_on_last_retarget_ = 0;
+  if (mode_ == PartitionMode::kFlushReconfigure) {
+    // Reconfiguration removes ways from the shrinking threads immediately:
+    // in every set, each shrinking thread loses its least recently used
+    // lines down to the new target — the data loss §V argues against. The
+    // gradual mechanism (kEvictionControl) never flushes.
+    bool any = false;
+    for (ThreadId t = 0; t < num_threads_; ++t) {
+      any = any || targets[t] < targets_[t];
+    }
+    if (any) {
+      for (std::uint32_t s = 0; s < geometry_.sets; ++s) {
+        Line* base = set_base(s);
+        for (ThreadId t = 0; t < num_threads_; ++t) {
+          if (targets[t] >= targets_[t]) continue;
+          while (owned(s, t) > targets[t]) {
+            Line* lru = nullptr;
+            for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+              Line& line = base[w];
+              if (!line.valid || line.owner != t) continue;
+              if (lru == nullptr || line.stamp < lru->stamp) lru = &line;
+            }
+            if (lru == nullptr) break;  // defensive; owned() says one exists
+            lru->valid = false;
+            owned(s, t) -= 1;
+            ++flushed_on_last_retarget_;
+          }
+        }
+      }
+    }
+  }
+  targets_.assign(targets.begin(), targets.end());
+}
+
+PartitionedCache::Line* PartitionedCache::choose_victim(std::uint32_t set,
+                                                        ThreadId thread) {
+  Line* base = set_base(set);
+  Line* invalid = nullptr;
+  Line* lru_any = nullptr;
+  Line* lru_own = nullptr;
+  Line* lru_foreign = nullptr;
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      if (invalid == nullptr) invalid = &line;
+      continue;
+    }
+    if (lru_any == nullptr || line.stamp < lru_any->stamp) lru_any = &line;
+    if (line.owner == thread) {
+      if (lru_own == nullptr || line.stamp < lru_own->stamp) lru_own = &line;
+    } else {
+      if (lru_foreign == nullptr || line.stamp < lru_foreign->stamp) {
+        lru_foreign = &line;
+      }
+    }
+  }
+  if (invalid != nullptr) return invalid;
+  if (mode_ == PartitionMode::kUnpartitioned) return lru_any;
+
+  // §V eviction control. All lines are valid here, so if the thread is below
+  // target a foreign line must exist (owned < target <= ways), and if it is
+  // at-or-above target it owns at least one line (target >= 1); the fallbacks
+  // are defensive.
+  if (owned(set, thread) < targets_[thread]) {
+    return lru_foreign != nullptr ? lru_foreign : lru_own;
+  }
+  return lru_own != nullptr ? lru_own : lru_any;
+}
+
+PartitionedCache::AccessResult PartitionedCache::access(ThreadId thread,
+                                                        Addr addr,
+                                                        AccessType type) {
+  CAPART_CHECK(thread < num_threads_, "thread id out of range");
+  ++tick_;
+  ThreadCacheCounters& mine = stats_.thread(thread);
+  ++mine.accesses;
+
+  const std::uint64_t block = geometry_.block_of(addr);
+  const std::uint32_t set = geometry_.set_of_block(block);
+  Line* base = set_base(set);
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.block == block) {
+      AccessResult result{.hit = true};
+      ++mine.hits;
+      if (line.last_accessor != thread) {
+        result.inter_thread_hit = true;
+        ++mine.inter_thread_hits;
+      }
+      line.stamp = tick_;
+      line.last_accessor = thread;
+      if (type == AccessType::kWrite) line.dirty = true;
+      return result;
+    }
+  }
+
+  // Miss: choose a victim under the replacement policy and fill.
+  ++mine.misses;
+  AccessResult result{};
+  Line* victim = choose_victim(set, thread);
+  CAPART_CHECK(victim != nullptr, "no victim line found");
+  if (victim->valid) {
+    owned(set, victim->owner) -= 1;
+    if (victim->dirty) ++mine.writebacks;
+    if (victim->last_accessor != thread) {
+      result.inter_thread_eviction = true;
+      ++mine.inter_thread_evictions_caused;
+      ++stats_.thread(victim->last_accessor).inter_thread_evictions_suffered;
+    } else {
+      ++mine.intra_thread_evictions;
+    }
+  }
+  victim->valid = true;
+  victim->block = block;
+  victim->stamp = tick_;
+  victim->owner = thread;
+  victim->last_accessor = thread;
+  victim->dirty = (type == AccessType::kWrite);
+  owned(set, thread) += 1;
+  return result;
+}
+
+std::uint32_t PartitionedCache::owned_in_set(std::uint32_t set,
+                                             ThreadId thread) const {
+  CAPART_CHECK(set < geometry_.sets && thread < num_threads_,
+               "owned_in_set: index out of range");
+  return owned_[static_cast<std::size_t>(set) * num_threads_ + thread];
+}
+
+std::uint64_t PartitionedCache::owned_total(ThreadId thread) const {
+  CAPART_CHECK(thread < num_threads_, "owned_total: thread out of range");
+  std::uint64_t sum = 0;
+  for (std::uint32_t s = 0; s < geometry_.sets; ++s) {
+    sum += owned_[static_cast<std::size_t>(s) * num_threads_ + thread];
+  }
+  return sum;
+}
+
+bool PartitionedCache::contains(Addr addr) const noexcept {
+  const std::uint64_t block = geometry_.block_of(addr);
+  const std::uint32_t set = geometry_.set_of_block(block);
+  const Line* base = set_base(set);
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (base[w].valid && base[w].block == block) return true;
+  }
+  return false;
+}
+
+}  // namespace capart::mem

@@ -1,0 +1,54 @@
+#include "src/mem/set_assoc_cache.hpp"
+
+namespace capart::mem {
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geometry)
+    : geometry_(geometry) {
+  geometry_.validate();
+  lines_.resize(static_cast<std::size_t>(geometry_.sets) * geometry_.ways);
+}
+
+bool SetAssocCache::access(Addr addr, AccessType /*type*/) {
+  ++accesses_;
+  ++tick_;
+  const std::uint64_t block = geometry_.block_of(addr);
+  const std::uint32_t set = geometry_.set_of_block(block);
+  Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
+
+  Line* invalid = nullptr;
+  Line* lru = nullptr;
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.block == block) {
+      line.stamp = tick_;
+      ++hits_;
+      return true;
+    }
+    if (!line.valid) {
+      if (invalid == nullptr) invalid = &line;
+    } else if (lru == nullptr || line.stamp < lru->stamp) {
+      lru = &line;
+    }
+  }
+  Line* victim = (invalid != nullptr) ? invalid : lru;
+  victim->valid = true;
+  victim->block = block;
+  victim->stamp = tick_;
+  return false;
+}
+
+bool SetAssocCache::contains(Addr addr) const noexcept {
+  const std::uint64_t block = geometry_.block_of(addr);
+  const std::uint32_t set = geometry_.set_of_block(block);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (base[w].valid && base[w].block == block) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::flush() {
+  for (Line& line : lines_) line.valid = false;
+}
+
+}  // namespace capart::mem

@@ -1,0 +1,51 @@
+// Plain set-associative cache with true LRU replacement.
+//
+// Used for the private per-core L1 caches and for the slices of the
+// private-L2 organization. Tag/data contents are not modeled — only presence
+// — because the simulator is trace-driven and the timing model needs hit/miss
+// outcomes only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/mem/cache_config.hpp"
+
+namespace capart::mem {
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheGeometry& geometry);
+
+  /// Looks up `addr`; on a miss the block is filled, evicting the set's LRU
+  /// line. Returns true on hit. Writes allocate like reads (write-allocate;
+  /// writeback traffic is not timed — see DESIGN.md timing model).
+  bool access(Addr addr, AccessType type);
+
+  /// True when the block containing `addr` is currently resident.
+  bool contains(Addr addr) const noexcept;
+
+  /// Drops all contents (stats are kept).
+  void flush();
+
+  const CacheGeometry& geometry() const noexcept { return geometry_; }
+  std::uint64_t accesses() const noexcept { return accesses_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return accesses_ - hits_; }
+
+ private:
+  struct Line {
+    std::uint64_t block = 0;
+    std::uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  CacheGeometry geometry_;
+  std::vector<Line> lines_;  // sets * ways, set-major
+  std::uint64_t tick_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace capart::mem

@@ -1,0 +1,168 @@
+#include "src/mem/set_partitioned_cache.hpp"
+
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace capart::mem {
+
+SetPartitionedCache::SetPartitionedCache(const CacheGeometry& geometry,
+                                         ThreadId num_threads,
+                                         std::uint32_t colors,
+                                         std::uint32_t page_bytes)
+    : geometry_(geometry),
+      num_threads_(num_threads),
+      colors_(colors),
+      sets_per_color_(geometry.sets / colors),
+      blocks_per_page_(page_bytes / geometry.line_bytes),
+      stats_(num_threads) {
+  geometry_.validate();
+  CAPART_CHECK(num_threads_ >= 1, "set-partitioned cache needs >= 1 thread");
+  CAPART_CHECK(colors_ >= num_threads_,
+               "need at least one color per thread");
+  CAPART_CHECK(colors_ <= geometry_.sets && geometry_.sets % colors_ == 0,
+               "colors must divide the set count");
+  CAPART_CHECK(page_bytes >= geometry_.line_bytes &&
+                   page_bytes % geometry_.line_bytes == 0,
+               "page size must be a multiple of the line size");
+  lines_.resize(static_cast<std::size_t>(geometry_.sets) * geometry_.ways);
+  next_color_slot_.assign(num_threads_, 0);
+  // Equal initial split, like the way-partitioned cache.
+  targets_.assign(num_threads_, colors_ / num_threads_);
+  for (std::uint32_t t = 0; t < colors_ % num_threads_; ++t) targets_[t] += 1;
+  assign_colors();
+}
+
+void SetPartitionedCache::assign_colors() {
+  color_owner_.assign(colors_, 0);
+  thread_colors_.assign(num_threads_, {});
+  std::uint32_t next = 0;
+  for (ThreadId t = 0; t < num_threads_; ++t) {
+    for (std::uint32_t c = 0; c < targets_[t]; ++c) {
+      color_owner_[next] = t;
+      thread_colors_[t].push_back(next);
+      ++next;
+    }
+  }
+  CAPART_CHECK(next == colors_, "color assignment must cover all colors");
+  // Lazy page migration (Lin et al.): a page keeps its color as long as its
+  // owner still holds that color; only pages sitting on *revoked* colors
+  // remap. Their cached lines are stranded in the old sets and age out —
+  // the recoloring cost, paid only for the colors that actually moved.
+  for (auto& [page, info] : pages_) {
+    if (color_owner_[info.color] == info.owner) continue;
+    const auto& own = thread_colors_[info.owner];
+    info.color = own[page % own.size()];
+  }
+}
+
+void SetPartitionedCache::set_targets(
+    std::span<const std::uint32_t> targets) {
+  CAPART_CHECK(targets.size() == num_threads_,
+               "one color target per thread required");
+  std::uint32_t sum = 0;
+  for (std::uint32_t t : targets) {
+    CAPART_CHECK(t >= 1, "every thread must keep at least one color");
+    sum += t;
+  }
+  CAPART_CHECK(sum == colors_, "color targets must sum to the color count");
+  const bool changed = !std::equal(targets.begin(), targets.end(),
+                                   targets_.begin());
+  targets_.assign(targets.begin(), targets.end());
+  if (changed) assign_colors();
+}
+
+SetPartitionedCache::PageInfo& SetPartitionedCache::page_of(
+    ThreadId toucher, std::uint64_t block) {
+  const std::uint64_t page = block / blocks_per_page_;
+  auto [it, inserted] = pages_.try_emplace(page);
+  if (inserted) {
+    // First-touch placement: the page belongs to the first thread that
+    // touches it and gets the next of that thread's colors, round-robin.
+    PageInfo& info = it->second;
+    info.owner = toucher;
+    const auto& own = thread_colors_[toucher];
+    info.color = own[next_color_slot_[toucher] % own.size()];
+    next_color_slot_[toucher] += 1;
+  }
+  return it->second;
+}
+
+std::uint32_t SetPartitionedCache::set_of(std::uint64_t block,
+                                          const PageInfo& info) const {
+  return info.color * sets_per_color_ +
+         static_cast<std::uint32_t>(block % sets_per_color_);
+}
+
+SetPartitionedCache::AccessResult SetPartitionedCache::access(
+    ThreadId thread, Addr addr, AccessType /*type*/) {
+  CAPART_CHECK(thread < num_threads_, "thread id out of range");
+  ++tick_;
+  ThreadCacheCounters& mine = stats_.thread(thread);
+  ++mine.accesses;
+
+  const std::uint64_t block = geometry_.block_of(addr);
+  const PageInfo& info = page_of(thread, block);
+  const std::uint32_t set = set_of(block, info);
+  Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
+
+  Line* invalid = nullptr;
+  Line* lru = nullptr;
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.block == block) {
+      AccessResult result{.hit = true};
+      ++mine.hits;
+      if (line.last_accessor != thread) {
+        result.inter_thread_hit = true;
+        ++mine.inter_thread_hits;
+      }
+      line.stamp = tick_;
+      line.last_accessor = thread;
+      return result;
+    }
+    if (!line.valid) {
+      if (invalid == nullptr) invalid = &line;
+    } else if (lru == nullptr || line.stamp < lru->stamp) {
+      lru = &line;
+    }
+  }
+
+  ++mine.misses;
+  AccessResult result{};
+  Line* victim = invalid != nullptr ? invalid : lru;
+  if (victim->valid) {
+    if (victim->last_accessor != thread) {
+      result.inter_thread_eviction = true;
+      ++mine.inter_thread_evictions_caused;
+      ++stats_.thread(victim->last_accessor).inter_thread_evictions_suffered;
+    } else {
+      ++mine.intra_thread_evictions;
+    }
+  }
+  victim->valid = true;
+  victim->block = block;
+  victim->stamp = tick_;
+  victim->last_accessor = thread;
+  return result;
+}
+
+std::vector<std::uint32_t> SetPartitionedCache::colors_of(
+    ThreadId thread) const {
+  CAPART_CHECK(thread < num_threads_, "colors_of: thread out of range");
+  return thread_colors_[thread];
+}
+
+bool SetPartitionedCache::contains(Addr addr) const {
+  const std::uint64_t block = geometry_.block_of(addr);
+  const auto it = pages_.find(block / blocks_per_page_);
+  if (it == pages_.end()) return false;
+  const std::uint32_t set = set_of(block, it->second);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (base[w].valid && base[w].block == block) return true;
+  }
+  return false;
+}
+
+}  // namespace capart::mem

@@ -1,0 +1,119 @@
+#include "src/mem/utility_monitor.hpp"
+
+#include "src/common/check.hpp"
+
+namespace capart::mem {
+
+UtilityMonitor::UtilityMonitor(const CacheGeometry& geometry,
+                               ThreadId num_threads,
+                               std::uint32_t sampling_shift)
+    : geometry_(geometry),
+      num_threads_(num_threads),
+      sampling_shift_(sampling_shift),
+      sampled_sets_(geometry.sets >> sampling_shift) {
+  geometry_.validate();
+  CAPART_CHECK(num_threads_ >= 1, "utility monitor needs >= 1 thread");
+  CAPART_CHECK(sampled_sets_ >= 1,
+               "sampling shift leaves no sets to monitor");
+  shadow_.assign(num_threads_,
+                 std::vector<ShadowLine>(
+                     static_cast<std::size_t>(sampled_sets_) * geometry_.ways));
+  depth_hits_.assign(num_threads_,
+                     std::vector<std::uint64_t>(geometry_.ways, 0));
+  accesses_.assign(num_threads_, 0);
+  misses_.assign(num_threads_, 0);
+}
+
+bool UtilityMonitor::sampled(std::uint64_t block,
+                             std::uint32_t& shadow_set) const {
+  const std::uint32_t set = geometry_.set_of_block(block);
+  // Sample sets whose low bits are zero; the shadow index is the remaining
+  // high bits, so sampled sets spread across the whole index space.
+  const std::uint32_t mask = (1u << sampling_shift_) - 1;
+  if ((set & mask) != 0) return false;
+  shadow_set = set >> sampling_shift_;
+  return true;
+}
+
+void UtilityMonitor::observe(ThreadId thread, Addr addr) {
+  CAPART_CHECK(thread < num_threads_, "utility monitor: thread out of range");
+  const std::uint64_t block = geometry_.block_of(addr);
+  std::uint32_t shadow_set = 0;
+  if (!sampled(block, shadow_set)) return;
+
+  ++tick_;
+  ++accesses_[thread];
+  ShadowLine* base =
+      &shadow_[thread][static_cast<std::size_t>(shadow_set) * geometry_.ways];
+
+  // One pass: find the line and, if present, its LRU stack position (number
+  // of valid lines more recently used than it); also track the victim.
+  ShadowLine* found = nullptr;
+  ShadowLine* invalid = nullptr;
+  ShadowLine* lru = nullptr;
+  std::uint32_t more_recent = 0;
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    ShadowLine& line = base[w];
+    if (!line.valid) {
+      if (invalid == nullptr) invalid = &line;
+      continue;
+    }
+    if (line.block == block) {
+      found = &line;
+      continue;
+    }
+    if (lru == nullptr || line.stamp < lru->stamp) lru = &line;
+  }
+  if (found != nullptr) {
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+      if (base[w].valid && base[w].stamp > found->stamp) ++more_recent;
+    }
+    ++depth_hits_[thread][more_recent];
+    found->stamp = tick_;
+    return;
+  }
+  ++misses_[thread];
+  ShadowLine* victim = invalid != nullptr ? invalid : lru;
+  victim->valid = true;
+  victim->block = block;
+  victim->stamp = tick_;
+}
+
+std::uint64_t UtilityMonitor::hits_at_depth(ThreadId thread,
+                                            std::uint32_t depth) const {
+  CAPART_CHECK(thread < num_threads_ && depth < geometry_.ways,
+               "utility monitor: index out of range");
+  return depth_hits_[thread][depth];
+}
+
+std::uint64_t UtilityMonitor::sampled_accesses(ThreadId thread) const {
+  CAPART_CHECK(thread < num_threads_, "utility monitor: thread out of range");
+  return accesses_[thread];
+}
+
+std::uint64_t UtilityMonitor::sampled_misses(ThreadId thread) const {
+  CAPART_CHECK(thread < num_threads_, "utility monitor: thread out of range");
+  return misses_[thread];
+}
+
+double UtilityMonitor::predicted_misses(ThreadId thread,
+                                        std::uint32_t ways) const {
+  CAPART_CHECK(thread < num_threads_, "utility monitor: thread out of range");
+  CAPART_CHECK(ways >= 1 && ways <= geometry_.ways,
+               "utility monitor: ways out of range");
+  std::uint64_t would_miss = misses_[thread];
+  for (std::uint32_t p = ways; p < geometry_.ways; ++p) {
+    would_miss += depth_hits_[thread][p];
+  }
+  return static_cast<double>(would_miss) * scale();
+}
+
+void UtilityMonitor::reset_interval() {
+  for (auto& hist : depth_hits_) {
+    std::fill(hist.begin(), hist.end(), 0);
+  }
+  std::fill(accesses_.begin(), accesses_.end(), 0);
+  std::fill(misses_.begin(), misses_.end(), 0);
+}
+
+}  // namespace capart::mem

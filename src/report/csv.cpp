@@ -1,0 +1,23 @@
+#include "src/report/csv.hpp"
+
+namespace capart::report {
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string& cell = cells[i];
+    const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+    if (quote) {
+      os << '"';
+      for (char ch : cell) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << cell;
+    }
+    os << (i + 1 == cells.size() ? "\n" : ",");
+  }
+}
+
+}  // namespace capart::report

@@ -1,0 +1,13 @@
+// Minimal CSV emission so bench output can be re-plotted outside the repo.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capart::report {
+
+/// Writes one CSV row, quoting cells that contain separators or quotes.
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells);
+
+}  // namespace capart::report

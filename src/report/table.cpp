@@ -1,0 +1,59 @@
+#include "src/report/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.hpp"
+
+namespace capart::report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CAPART_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CAPART_CHECK(cells.size() == headers_.size(),
+               "row width must match header count");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (c == 0) {
+        os << cells[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cells[c];
+      }
+      os << (c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  emit_row(headers_);
+  std::size_t total = 2 * (headers_.size() - 1);  // two-space separators
+  for (std::size_t w : widths) total += w;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_pct(double ratio, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace capart::report

@@ -1,0 +1,36 @@
+// Aligned plain-text tables for the bench harnesses: every bench prints the
+// rows/series the corresponding paper figure or table reports.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capart::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; its width must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with per-column alignment (left for the first column, right for
+  /// the rest — label + numbers, the common case).
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `decimals` fractional digits.
+std::string fmt(double value, int decimals = 2);
+
+/// Formats a ratio as a percentage with `decimals` fractional digits.
+std::string fmt_pct(double ratio, int decimals = 1);
+
+}  // namespace capart::report

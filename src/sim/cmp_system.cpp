@@ -1,0 +1,106 @@
+#include "src/sim/cmp_system.hpp"
+
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace capart::sim {
+
+CmpSystem::CmpSystem(const SystemConfig& config)
+    : config_(config),
+      timing_(config.timing),
+      l2_(mem::make_l2(config.l2_mode, config.l2, config.num_threads)),
+      counters_(config.num_threads),
+      core_of_(config.num_threads) {
+  CAPART_CHECK(config_.num_threads >= 1, "system needs at least one thread");
+  l1s_.reserve(config_.num_threads);
+  for (ThreadId t = 0; t < config_.num_threads; ++t) {
+    l1s_.emplace_back(config_.l1);
+  }
+  if (config_.enable_private_l2) {
+    private_l2s_.reserve(config_.num_threads);
+    for (ThreadId t = 0; t < config_.num_threads; ++t) {
+      private_l2s_.emplace_back(config_.private_l2);
+    }
+  }
+  std::iota(core_of_.begin(), core_of_.end(), ThreadId{0});
+  if (config_.enable_utility_monitor) {
+    umon_ = std::make_unique<mem::UtilityMonitor>(
+        config_.l2, config_.num_threads, config_.umon_sampling_shift);
+  }
+  if (config_.l2_banks > 0) {
+    bank_busy_until_.assign(config_.l2_banks, 0);
+  }
+}
+
+Cycles CmpSystem::memory_access(ThreadId thread, Addr addr, AccessType type,
+                                bool prefetchable, Cycles now) {
+  CAPART_CHECK(thread < config_.num_threads, "thread id out of range");
+  cpu::CounterBlock& c = counters_.thread(thread);
+  c.instructions += 1;
+  c.l1_accesses += 1;
+
+  cpu::MemoryLevel level = cpu::MemoryLevel::kL1;
+  bool reaches_shared = !l1s_[core_of_[thread]].access(addr, type);
+  if (reaches_shared) {
+    c.l1_misses += 1;
+    if (config_.enable_private_l2) {
+      c.private_l2_accesses += 1;
+      if (private_l2s_[core_of_[thread]].access(addr, type)) {
+        c.private_l2_hits += 1;
+        level = cpu::MemoryLevel::kPrivateL2;
+        reaches_shared = false;
+      } else {
+        c.private_l2_misses += 1;
+      }
+    }
+  }
+  Cycles contention_wait = 0;
+  if (reaches_shared) {
+    c.l2_accesses += 1;
+    if (!bank_busy_until_.empty()) {
+      // Serialize same-bank accesses: the requester waits until the bank is
+      // free, then occupies it for one service slot.
+      const auto bank = static_cast<std::uint32_t>(
+          config_.l2.block_of(addr) % bank_busy_until_.size());
+      const Cycles start = std::max(now, bank_busy_until_[bank]);
+      contention_wait = start - now;
+      bank_busy_until_[bank] = start + config_.l2_bank_service_cycles;
+      c.contention_wait_cycles += contention_wait;
+    }
+    if (umon_ != nullptr) umon_->observe(thread, addr);
+    if (l2_->access(thread, addr, type)) {
+      c.l2_hits += 1;
+      level = cpu::MemoryLevel::kSharedCache;
+    } else {
+      c.l2_misses += 1;
+      level = cpu::MemoryLevel::kMemory;
+    }
+  }
+  const Cycles cost = timing_.memory_cost(level, prefetchable) +
+                      contention_wait;
+  c.exec_cycles += cost;
+  return cost;
+}
+
+Cycles CmpSystem::non_memory(ThreadId thread, Instructions count) {
+  CAPART_CHECK(thread < config_.num_threads, "thread id out of range");
+  cpu::CounterBlock& c = counters_.thread(thread);
+  c.instructions += count;
+  const Cycles cost = timing_.non_memory_cost(count);
+  c.exec_cycles += cost;
+  return cost;
+}
+
+void CmpSystem::bind(ThreadId thread, ThreadId core) {
+  CAPART_CHECK(thread < config_.num_threads && core < config_.num_threads,
+               "bind: thread or core out of range");
+  core_of_[thread] = core;
+}
+
+ThreadId CmpSystem::core_of(ThreadId thread) const {
+  CAPART_CHECK(thread < config_.num_threads, "core_of: thread out of range");
+  return core_of_[thread];
+}
+
+}  // namespace capart::sim

@@ -1,0 +1,92 @@
+// The simulated chip multiprocessor: per-core private L1s, one L2
+// organization, the timing model, and the performance-counter file
+// (paper §III-A / Fig 2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/cpu/perf_counters.hpp"
+#include "src/cpu/timing_model.hpp"
+#include "src/mem/cache_config.hpp"
+#include "src/mem/l2_organization.hpp"
+#include "src/mem/set_assoc_cache.hpp"
+#include "src/mem/utility_monitor.hpp"
+
+namespace capart::sim {
+
+/// Hardware configuration (defaults mirror the paper's Fig 2).
+struct SystemConfig {
+  ThreadId num_threads = 4;
+  mem::CacheGeometry l1 = mem::kDefaultL1;
+  mem::CacheGeometry l2 = mem::kDefaultL2;
+  mem::L2Mode l2_mode = mem::L2Mode::kPartitionedShared;
+  cpu::TimingParams timing{};
+  /// Instantiates the shadow-tag utility monitor on the L2 (required by the
+  /// measured-curve policies; extra hardware, so off by default).
+  bool enable_utility_monitor = false;
+  std::uint32_t umon_sampling_shift = 3;
+  /// Inserts a private per-core L2 between the L1 and the shared cache, so
+  /// the partitionable shared component becomes an L3 (Dunnington-style;
+  /// paper footnote 1 — "our work can target any shared cache component").
+  bool enable_private_l2 = false;
+  /// Geometry of each private L2 slice (default 64 KB, 8-way).
+  mem::CacheGeometry private_l2 = {.sets = 128, .ways = 8, .line_bytes = 64};
+  /// Banks of the shared cache for port-contention modeling; 0 disables
+  /// contention (infinite bandwidth, the default). With N banks, concurrent
+  /// accesses to the same bank serialize at `l2_bank_service_cycles` apart
+  /// and the waiting time is charged to the requester.
+  std::uint32_t l2_banks = 0;
+  Cycles l2_bank_service_cycles = 4;
+};
+
+class CmpSystem {
+ public:
+  explicit CmpSystem(const SystemConfig& config);
+
+  /// Executes one memory instruction from `thread` and returns its cycle
+  /// cost. Updates counters and cache state. The access goes through the L1
+  /// of the core the thread is currently bound to, then (on L1 miss) the L2.
+  /// `prefetchable` marks sequential-streaming accesses whose DRAM latency
+  /// the prefetchers mostly hide (see cpu::TimingParams). `now` is the
+  /// issuing thread's cycle clock, used only by the bank-contention model
+  /// (pass 0 when contention is disabled).
+  Cycles memory_access(ThreadId thread, Addr addr, AccessType type,
+                       bool prefetchable = false, Cycles now = 0);
+
+  /// Executes `count` non-memory instructions from `thread`.
+  Cycles non_memory(ThreadId thread, Instructions count);
+
+  /// Rebinds `thread` to `core` (thread-migration ablation; paper §VII notes
+  /// its scheme tolerates rare migrations). Threads start bound 1:1.
+  void bind(ThreadId thread, ThreadId core);
+
+  ThreadId core_of(ThreadId thread) const;
+
+  cpu::PerfCounters& counters() noexcept { return counters_; }
+  const cpu::PerfCounters& counters() const noexcept { return counters_; }
+  mem::L2Organization& l2() noexcept { return *l2_; }
+  const mem::L2Organization& l2() const noexcept { return *l2_; }
+  const SystemConfig& config() const noexcept { return config_; }
+  const cpu::TimingModel& timing() const noexcept { return timing_; }
+
+  /// Null unless SystemConfig::enable_utility_monitor was set.
+  mem::UtilityMonitor* utility_monitor() noexcept { return umon_.get(); }
+  const mem::UtilityMonitor* utility_monitor() const noexcept {
+    return umon_.get();
+  }
+
+ private:
+  SystemConfig config_;
+  cpu::TimingModel timing_;
+  std::vector<mem::SetAssocCache> l1s_;          // one per core
+  std::vector<mem::SetAssocCache> private_l2s_;  // one per core, optional
+  std::unique_ptr<mem::L2Organization> l2_;
+  std::unique_ptr<mem::UtilityMonitor> umon_;
+  std::vector<Cycles> bank_busy_until_;
+  cpu::PerfCounters counters_;
+  std::vector<ThreadId> core_of_;
+};
+
+}  // namespace capart::sim

@@ -1,0 +1,67 @@
+// Multi-application co-scheduling under hierarchical partitioning (paper
+// §VI-C, Fig 16): several applications run side by side on one CMP, each in
+// its own barrier domain with its own shared-data region; the OS level
+// divides the shared cache among the applications and a per-application
+// runtime applies an intra-application policy within each share.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/core/hierarchical.hpp"
+#include "src/core/policy.hpp"
+#include "src/cpu/timing_model.hpp"
+#include "src/mem/cache_config.hpp"
+#include "src/mem/l2_organization.hpp"
+#include "src/sim/interval.hpp"
+
+namespace capart::sim {
+
+/// One co-scheduled application.
+struct CoScheduledApp {
+  /// Workload profile name (trace::benchmark_names()).
+  std::string profile = "cg";
+  ThreadId num_threads = 2;
+  /// Intra-application policy for this app's share; nullopt = static equal.
+  std::optional<core::PolicyKind> policy = core::PolicyKind::kModelBased;
+  core::PolicyOptions policy_options{};
+};
+
+struct CoScheduleConfig {
+  std::vector<CoScheduledApp> apps;
+
+  core::OsAllocationMode os_mode = core::OsAllocationMode::kMissProportional;
+  std::uint32_t os_period_intervals = 4;
+
+  mem::L2Mode l2_mode = mem::L2Mode::kPartitionedShared;
+  mem::CacheGeometry l1 = mem::kDefaultL1;
+  mem::CacheGeometry l2 = mem::kDefaultL2;
+  cpu::TimingParams timing{};
+
+  Instructions interval_instructions = 240'000;  // aggregate
+  std::uint32_t num_intervals = 40;
+  std::uint32_t sections = 12;
+
+  Cycles runtime_overhead_cycles = 800;
+  Cycles barrier_release_cost = 100;
+  std::uint64_t seed = 42;
+};
+
+struct CoScheduleResult {
+  RunOutcome outcome;
+  std::vector<IntervalRecord> intervals;
+  /// Completion time of each application (when its last thread finished).
+  std::vector<Cycles> app_cycles;
+  /// OS-level way shares at the end of the run.
+  std::vector<std::uint32_t> final_app_shares;
+  /// Global thread ids of each app, in configuration order.
+  std::vector<std::vector<ThreadId>> app_threads;
+};
+
+/// Builds the CMP, per-app generators/barrier domains and the hierarchical
+/// runtime, and runs to completion.
+CoScheduleResult run_coscheduled(const CoScheduleConfig& config);
+
+}  // namespace capart::sim

@@ -1,0 +1,186 @@
+#include "src/sim/driver.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace capart::sim {
+
+Driver::Driver(CmpSystem& system, Program program,
+               std::vector<std::unique_ptr<trace::OpSource>> sources,
+               DriverConfig config)
+    : system_(system),
+      program_(std::move(program)),
+      sources_(std::move(sources)),
+      config_(config) {
+  program_.validate();
+  CAPART_CHECK(program_.num_threads() == system_.config().num_threads,
+               "program thread count must match the system");
+  CAPART_CHECK(sources_.size() == program_.num_threads(),
+               "one op source per thread required");
+  for (const auto& source : sources_) {
+    CAPART_CHECK(source != nullptr, "op sources must be non-null");
+  }
+  CAPART_CHECK(config_.interval_instructions > 0,
+               "interval length must be positive");
+  threads_.resize(program_.num_threads());
+  if (config_.barrier_group.empty()) {
+    group_of_.assign(program_.num_threads(), 0);
+  } else {
+    CAPART_CHECK(config_.barrier_group.size() == program_.num_threads(),
+                 "barrier_group must cover every thread");
+    group_of_ = config_.barrier_group;
+  }
+  next_boundary_ = config_.interval_instructions;
+}
+
+void Driver::schedule_migration(std::uint64_t interval_index, ThreadId a,
+                                ThreadId b) {
+  CAPART_CHECK(a < threads_.size() && b < threads_.size(),
+               "migration: thread out of range");
+  migrations_.push_back({interval_index, a, b});
+}
+
+void Driver::enter_section(ThreadState& ts, ThreadId t) {
+  ts.remaining = program_.sections[ts.section].work[t];
+  ts.waiting = (ts.remaining == 0);
+}
+
+bool Driver::group_fully_waiting(std::uint32_t group) const {
+  bool any_live = false;
+  for (ThreadId t = 0; t < threads_.size(); ++t) {
+    if (group_of_[t] != group || threads_[t].done) continue;
+    any_live = true;
+    if (!threads_[t].waiting) return false;
+  }
+  return any_live;
+}
+
+void Driver::release_group_once(std::uint32_t group) {
+  // All live members of the group are waiting: synchronize their clocks to
+  // the slowest (charging the difference as stall time) and open the next
+  // section. Members of one group sit in the same section by construction —
+  // they can only pass a barrier together.
+  Cycles latest = 0;
+  std::size_t next_section = 0;
+  for (ThreadId t = 0; t < threads_.size(); ++t) {
+    const ThreadState& ts = threads_[t];
+    if (group_of_[t] != group || ts.done) continue;
+    latest = std::max(latest, ts.clock);
+    next_section = ts.section + 1;
+  }
+  latest += config_.barrier_release_cost;
+  for (ThreadId t = 0; t < threads_.size(); ++t) {
+    ThreadState& ts = threads_[t];
+    if (group_of_[t] != group || ts.done) continue;
+    system_.counters().thread(t).stall_cycles += latest - ts.clock;
+    ts.clock = latest;
+    ts.section = next_section;
+    if (ts.section >= program_.sections.size()) {
+      ts.done = true;
+    } else {
+      enter_section(ts, t);
+    }
+  }
+}
+
+void Driver::maybe_release_group(std::uint32_t group) {
+  // Zero-work sections resolve to immediate barriers, so keep releasing
+  // until someone has work or the group finishes.
+  while (group_fully_waiting(group)) release_group_once(group);
+}
+
+void Driver::step(ThreadId t) {
+  ThreadState& ts = threads_[t];
+  if (!ts.has_pending) {
+    ts.pending = sources_[t]->next();
+    ts.gap_left = ts.pending.gap;
+    ts.has_pending = true;
+  }
+  if (ts.gap_left > 0) {
+    const Instructions chunk = std::min(ts.gap_left, ts.remaining);
+    if (chunk > 0) {
+      ts.clock += system_.non_memory(t, chunk);
+      ts.gap_left -= chunk;
+      ts.remaining -= chunk;
+      aggregate_instructions_ += chunk;
+    }
+    if (ts.remaining == 0) {
+      // Section ended inside the gap; the pending access carries over.
+      ts.waiting = true;
+      return;
+    }
+  }
+  // Gap exhausted and work remains: perform the memory access.
+  ts.clock += system_.memory_access(t, ts.pending.addr, ts.pending.type,
+                                    ts.pending.prefetchable, ts.clock);
+  ts.remaining -= 1;
+  aggregate_instructions_ += 1;
+  ts.has_pending = false;
+  if (ts.remaining == 0) ts.waiting = true;
+}
+
+void Driver::on_interval_boundary() {
+  const Cycles overhead = callback_ ? callback_(interval_index_) : 0;
+  if (overhead > 0) {
+    for (ThreadId t = 0; t < threads_.size(); ++t) {
+      if (threads_[t].done) continue;
+      threads_[t].clock += overhead;
+      system_.counters().thread(t).exec_cycles += overhead;
+    }
+  }
+  for (const Migration& m : migrations_) {
+    if (m.interval_index == interval_index_) {
+      const ThreadId core_a = system_.core_of(m.a);
+      const ThreadId core_b = system_.core_of(m.b);
+      system_.bind(m.a, core_b);
+      system_.bind(m.b, core_a);
+    }
+  }
+  ++interval_index_;
+  next_boundary_ += config_.interval_instructions;
+}
+
+RunOutcome Driver::run() {
+  for (ThreadId t = 0; t < threads_.size(); ++t) {
+    enter_section(threads_[t], t);
+  }
+  // Zero-work opening sections may leave whole groups waiting already.
+  for (ThreadId t = 0; t < threads_.size(); ++t) {
+    maybe_release_group(group_of_[t]);
+  }
+  for (;;) {
+    // Pick the runnable thread with the smallest clock.
+    ThreadId chosen = kNoThread;
+    bool any_live = false;
+    for (ThreadId t = 0; t < threads_.size(); ++t) {
+      const ThreadState& ts = threads_[t];
+      if (ts.done) continue;
+      any_live = true;
+      if (ts.waiting) continue;
+      if (chosen == kNoThread || ts.clock < threads_[chosen].clock) {
+        chosen = t;
+      }
+    }
+    if (!any_live) break;
+    CAPART_CHECK(chosen != kNoThread,
+                 "deadlock: live threads exist but none are runnable");
+    step(chosen);
+    if (threads_[chosen].waiting) {
+      maybe_release_group(group_of_[chosen]);
+    }
+    if (aggregate_instructions_ >= next_boundary_) {
+      on_interval_boundary();
+    }
+  }
+
+  RunOutcome outcome;
+  for (const ThreadState& ts : threads_) {
+    outcome.total_cycles = std::max(outcome.total_cycles, ts.clock);
+  }
+  outcome.intervals_completed = interval_index_;
+  outcome.instructions_retired = aggregate_instructions_;
+  return outcome;
+}
+
+}  // namespace capart::sim

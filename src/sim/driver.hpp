@@ -1,0 +1,114 @@
+// Multi-thread interleaving execution driver.
+//
+// Threads advance on private cycle clocks; at each step the runnable thread
+// with the smallest clock executes its next unit (a non-memory run and/or one
+// memory access), so cache accesses from different cores interleave in
+// timestamp order. Barrier-delimited sections implement the parallel-program
+// structure of paper §III-B: threads that finish a section stall (stall
+// cycles are accounted separately from execution cycles) until the
+// critical-path thread arrives.
+//
+// Execution intervals (paper §VI) are delimited by aggregate retired
+// instructions; at each boundary an optional callback runs — this is where
+// the runtime system samples counters and repartitions the cache — and may
+// charge a per-thread overhead, modeling the cost of the runtime itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/sim/cmp_system.hpp"
+#include "src/sim/program.hpp"
+#include "src/trace/op_source.hpp"
+
+namespace capart::sim {
+
+struct DriverConfig {
+  /// Aggregate retired instructions per execution interval.
+  Instructions interval_instructions = 240'000;
+  /// Fixed cycles added to every thread at each barrier release (the cost of
+  /// the synchronization construct itself).
+  Cycles barrier_release_cost = 100;
+  /// Barrier domain of each thread; empty means all threads share one
+  /// barrier (the single-application case). In hierarchical mode (paper
+  /// Fig 16) each co-scheduled application is its own group: its threads
+  /// synchronize with one another only.
+  std::vector<std::uint32_t> barrier_group;
+};
+
+/// Invoked at each interval boundary; returns per-thread overhead cycles the
+/// driver charges to every live thread (0 when no runtime is attached).
+using IntervalCallback = std::function<Cycles(std::uint64_t interval_index)>;
+
+struct RunOutcome {
+  /// Wall-clock of the run: when the last thread finished the last section.
+  Cycles total_cycles = 0;
+  std::uint64_t intervals_completed = 0;
+  Instructions instructions_retired = 0;
+};
+
+class Driver {
+ public:
+  /// `sources` supplies one op stream per program thread — live synthetic
+  /// generators (trace::PhasedGenerator), trace replays (trace::TraceReplay),
+  /// or any other trace::OpSource implementation.
+  Driver(CmpSystem& system, Program program,
+         std::vector<std::unique_ptr<trace::OpSource>> sources,
+         DriverConfig config);
+
+  void set_interval_callback(IntervalCallback callback) {
+    callback_ = std::move(callback);
+  }
+
+  /// Schedules a swap of the core bindings of threads `a` and `b` at the
+  /// given interval boundary (thread-migration ablation).
+  void schedule_migration(std::uint64_t interval_index, ThreadId a,
+                          ThreadId b);
+
+  /// Runs the program to completion.
+  RunOutcome run();
+
+ private:
+  struct ThreadState {
+    Cycles clock = 0;
+    std::size_t section = 0;
+    Instructions remaining = 0;  ///< instructions left in current section
+    trace::NextOp pending{};
+    Instructions gap_left = 0;
+    bool has_pending = false;
+    bool waiting = false;  ///< at the current section's barrier
+    bool done = false;     ///< finished the last section
+  };
+
+  struct Migration {
+    std::uint64_t interval_index;
+    ThreadId a;
+    ThreadId b;
+  };
+
+  void enter_section(ThreadState& ts, ThreadId t);
+  /// Releases `group`'s barrier as long as all its live members are waiting
+  /// (several times in a row for zero-work sections).
+  void maybe_release_group(std::uint32_t group);
+  void release_group_once(std::uint32_t group);
+  bool group_fully_waiting(std::uint32_t group) const;
+  void step(ThreadId t);
+  void on_interval_boundary();
+
+  CmpSystem& system_;
+  Program program_;
+  std::vector<std::unique_ptr<trace::OpSource>> sources_;
+  DriverConfig config_;
+  IntervalCallback callback_;
+  std::vector<ThreadState> threads_;
+  std::vector<std::uint32_t> group_of_;
+  std::vector<Migration> migrations_;
+  Instructions aggregate_instructions_ = 0;
+  Instructions next_boundary_ = 0;
+  std::uint64_t interval_index_ = 0;
+};
+
+}  // namespace capart::sim

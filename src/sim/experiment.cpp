@@ -1,0 +1,122 @@
+#include "src/sim/experiment.hpp"
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/model_based_policy.hpp"
+#include "src/core/runtime_system.hpp"
+#include "src/sim/cmp_system.hpp"
+#include "src/trace/benchmarks.hpp"
+
+namespace capart::sim {
+
+Addr private_region_base(ThreadId t) noexcept {
+  return (static_cast<Addr>(t) + 1) << 42;
+}
+
+Addr shared_region_base() noexcept { return Addr{1} << 52; }
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  CAPART_CHECK(config.num_intervals >= 1, "experiment needs >= 1 interval");
+  CAPART_CHECK(config.interval_instructions >= 1'000,
+               "interval too short for stable counters");
+
+  const trace::BenchmarkProfile profile =
+      trace::make_profile(config.profile, config.num_threads);
+
+  SystemConfig sys_config{
+      .num_threads = config.num_threads,
+      .l1 = config.l1,
+      .l2 = config.l2,
+      .l2_mode = config.l2_mode,
+      .timing = config.timing,
+      // The measured-curve policy models monitoring hardware; provision it.
+      .enable_utility_monitor =
+          config.policy == core::PolicyKind::kUmonCriticalPath,
+      .umon_sampling_shift = 3,
+      .enable_private_l2 = config.enable_private_l2,
+      .private_l2 = config.private_l2,
+      .l2_banks = config.l2_banks,
+      .l2_bank_service_cycles = config.l2_bank_service_cycles,
+  };
+  CmpSystem system(sys_config);
+
+  // One deterministic generator stream per thread.
+  const Rng root(config.seed);
+  std::vector<std::unique_ptr<trace::OpSource>> generators;
+  generators.reserve(config.num_threads);
+  for (ThreadId t = 0; t < config.num_threads; ++t) {
+    generators.push_back(std::make_unique<trace::PhasedGenerator>(
+        trace::PhaseSchedule(profile.threads[t].phases), root.fork(t),
+        private_region_base(t), shared_region_base()));
+  }
+
+  const Instructions total_instructions =
+      config.interval_instructions * config.num_intervals;
+  const Instructions per_thread = total_instructions / config.num_threads;
+  const std::uint32_t sections =
+      config.sections != 0 ? config.sections : profile.sections;
+  Program program = make_uniform_program(config.num_threads, sections,
+                                         per_thread);
+
+  DriverConfig driver_config{
+      .interval_instructions = config.interval_instructions,
+      .barrier_release_cost = config.barrier_release_cost,
+      .barrier_group = {},
+  };
+  Driver driver(system, std::move(program), std::move(generators),
+                driver_config);
+  for (const MigrationEvent& m : config.migrations) {
+    driver.schedule_migration(m.interval, m.a, m.b);
+  }
+
+  std::unique_ptr<core::PartitionPolicy> policy;
+  if (config.policy.has_value()) {
+    policy = core::make_policy(*config.policy, config.policy_options);
+  }
+  core::RuntimeSystem runtime(system, std::move(policy),
+                              config.runtime_overhead_cycles,
+                              config.reconfigure_flush_cost_per_line);
+  driver.set_interval_callback(runtime.callback());
+
+  ExperimentResult result;
+  result.outcome = driver.run();
+  result.intervals = runtime.history();
+  result.l2_stats = system.l2().stats();
+  result.thread_totals.reserve(config.num_threads);
+  for (ThreadId t = 0; t < config.num_threads; ++t) {
+    result.thread_totals.push_back(system.counters().thread(t));
+  }
+
+  if (config.policy == core::PolicyKind::kModelBased) {
+    const auto* model_policy =
+        dynamic_cast<const core::ModelBasedPolicy*>(runtime.policy());
+    CAPART_CHECK(model_policy != nullptr,
+                 "model-based run without a model-based policy");
+    ModelSnapshot snapshot;
+    const std::uint32_t total_ways = system.l2().total_ways();
+    snapshot.predicted.resize(config.num_threads);
+    snapshot.observed.resize(config.num_threads);
+    for (ThreadId t = 0; t < config.num_threads; ++t) {
+      snapshot.predicted[t].reserve(total_ways);
+      for (std::uint32_t w = 1; w <= total_ways; ++w) {
+        snapshot.predicted[t].push_back(model_policy->predict(t, w));
+      }
+      for (const auto& [ways, cpi] : model_policy->models().points(t)) {
+        snapshot.observed[t].emplace_back(ways, cpi);
+      }
+    }
+    snapshot.final_allocation = system.l2().current_targets();
+    result.model_snapshot = std::move(snapshot);
+  }
+
+  return result;
+}
+
+double improvement(const ExperimentResult& ours,
+                   const ExperimentResult& baseline) noexcept {
+  const double base = static_cast<double>(baseline.outcome.total_cycles);
+  if (base == 0.0) return 0.0;
+  return (base - static_cast<double>(ours.outcome.total_cycles)) / base;
+}
+
+}  // namespace capart::sim

@@ -1,0 +1,116 @@
+// End-to-end experiment runner: builds the CMP, the workload generators, the
+// program, an optional runtime system, runs to completion and collects
+// everything the evaluation figures need. This is the top-level convenience
+// API; benches, examples and integration tests all go through it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/core/policy.hpp"
+#include "src/cpu/perf_counters.hpp"
+#include "src/cpu/timing_model.hpp"
+#include "src/mem/cache_config.hpp"
+#include "src/mem/cache_stats.hpp"
+#include "src/mem/l2_organization.hpp"
+#include "src/sim/driver.hpp"
+#include "src/sim/interval.hpp"
+
+namespace capart::sim {
+
+/// A migration event for the resilience ablation: at interval boundary
+/// `interval`, threads `a` and `b` swap cores (and therefore L1s).
+struct MigrationEvent {
+  std::uint64_t interval = 0;
+  ThreadId a = 0;
+  ThreadId b = 1;
+};
+
+struct ExperimentConfig {
+  /// Workload profile name (see trace::benchmark_names()).
+  std::string profile = "cg";
+  ThreadId num_threads = 4;
+
+  mem::L2Mode l2_mode = mem::L2Mode::kPartitionedShared;
+  /// Partitioning policy; nullopt runs a pure monitor (baselines and
+  /// motivation figures).
+  std::optional<core::PolicyKind> policy = core::PolicyKind::kModelBased;
+  core::PolicyOptions policy_options{};
+
+  /// Aggregate retired instructions per execution interval (all threads).
+  Instructions interval_instructions = 240'000;
+  /// Run length in intervals; total work is split evenly across threads.
+  std::uint32_t num_intervals = 40;
+  /// Parallel sections per run; 0 uses the profile's default.
+  std::uint32_t sections = 0;
+
+  mem::CacheGeometry l1 = mem::kDefaultL1;
+  mem::CacheGeometry l2 = mem::kDefaultL2;
+  cpu::TimingParams timing{};
+
+  /// Banks of the shared cache for port-contention modeling (0 = infinite
+  /// bandwidth, the default, matching the paper's setup).
+  std::uint32_t l2_banks = 0;
+  Cycles l2_bank_service_cycles = 4;
+
+  /// Three-level mode: private per-core L2s in front of the shared cache
+  /// (which then plays the L3; paper footnote 1). The partitioning runtime
+  /// is unchanged — it targets whatever the shared component is.
+  bool enable_private_l2 = false;
+  mem::CacheGeometry private_l2 = {.sets = 128, .ways = 8, .line_bytes = 64};
+
+  /// Cycles charged to every thread per dynamic repartition (runtime cost).
+  /// Scaled to ~1 % of a default interval, matching the paper's < 1.5 %
+  /// measured overhead.
+  Cycles runtime_overhead_cycles = 800;
+  /// Reconfiguration stall per line a flush-reconfiguring L2 discarded on
+  /// retarget (only relevant with L2Mode::kFlushReconfigureShared).
+  Cycles reconfigure_flush_cost_per_line = 4;
+  Cycles barrier_release_cost = 100;
+
+  std::uint64_t seed = 42;
+
+  std::vector<MigrationEvent> migrations;
+};
+
+/// Fig 15 material: the fitted runtime CPI models at the end of a
+/// model-based run.
+struct ModelSnapshot {
+  /// predicted[t][w-1] = model CPI of thread t at w ways (w = 1..total).
+  std::vector<std::vector<double>> predicted;
+  /// Observed (ways -> smoothed CPI) points per thread.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> observed;
+  /// Way allocation in force when the run ended.
+  std::vector<std::uint32_t> final_allocation;
+};
+
+struct ExperimentResult {
+  RunOutcome outcome;
+  std::vector<IntervalRecord> intervals;
+  mem::CacheStats l2_stats{1};
+  std::vector<cpu::CounterBlock> thread_totals;
+  std::optional<ModelSnapshot> model_snapshot;
+
+  /// The paper's performance metric: inverse of execution time.
+  double performance() const noexcept {
+    return outcome.total_cycles == 0
+               ? 0.0
+               : 1.0 / static_cast<double>(outcome.total_cycles);
+  }
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Relative improvement of `ours` over `baseline` in execution time:
+/// (cycles_baseline - cycles_ours) / cycles_baseline. Positive = faster.
+double improvement(const ExperimentResult& ours,
+                   const ExperimentResult& baseline) noexcept;
+
+/// Private-region base address of thread `t` and the application-wide shared
+/// region base; exposed so custom workloads compose with profile threads.
+Addr private_region_base(ThreadId t) noexcept;
+Addr shared_region_base() noexcept;
+
+}  // namespace capart::sim

@@ -1,0 +1,60 @@
+#include "src/sim/interval.hpp"
+
+#include "src/common/check.hpp"
+
+namespace capart::sim {
+
+double IntervalRecord::max_cpi() const noexcept {
+  double m = 0.0;
+  for (const auto& t : threads) m = std::max(m, t.cpi());
+  return m;
+}
+
+ThreadId IntervalRecord::critical_thread() const noexcept {
+  ThreadId best = 0;
+  double worst = -1.0;
+  for (ThreadId t = 0; t < threads.size(); ++t) {
+    if (threads[t].cpi() > worst) {
+      worst = threads[t].cpi();
+      best = t;
+    }
+  }
+  return best;
+}
+
+double IntervalRecord::aggregate_cpi() const noexcept {
+  Instructions instr = 0;
+  Cycles cycles = 0;
+  for (const auto& t : threads) {
+    instr += t.instructions;
+    cycles += t.exec_cycles;
+  }
+  return instr == 0 ? 0.0
+                    : static_cast<double>(cycles) / static_cast<double>(instr);
+}
+
+IntervalRecord make_interval_record(
+    std::uint64_t index, const std::vector<cpu::CounterBlock>& deltas,
+    const std::vector<std::uint32_t>& ways) {
+  CAPART_CHECK(deltas.size() == ways.size(),
+               "interval record: counter/ways size mismatch");
+  IntervalRecord rec;
+  rec.index = index;
+  rec.threads.reserve(deltas.size());
+  for (std::size_t t = 0; t < deltas.size(); ++t) {
+    const cpu::CounterBlock& d = deltas[t];
+    rec.threads.push_back(ThreadIntervalRecord{
+        .instructions = d.instructions,
+        .exec_cycles = d.exec_cycles,
+        .stall_cycles = d.stall_cycles,
+        .l1_misses = d.l1_misses,
+        .l2_accesses = d.l2_accesses,
+        .l2_hits = d.l2_hits,
+        .l2_misses = d.l2_misses,
+        .ways = ways[t],
+    });
+  }
+  return rec;
+}
+
+}  // namespace capart::sim

@@ -1,0 +1,53 @@
+// Per-execution-interval records: what the runtime's monitor sees at each
+// interval boundary (paper §VI) and what the evaluation figures plot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/cpu/perf_counters.hpp"
+
+namespace capart::sim {
+
+/// One thread's counters over one interval, plus its way allocation.
+struct ThreadIntervalRecord {
+  Instructions instructions = 0;
+  Cycles exec_cycles = 0;
+  Cycles stall_cycles = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  /// Way target in force *during* this interval.
+  std::uint32_t ways = 0;
+
+  double cpi() const noexcept {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(exec_cycles) /
+                                   static_cast<double>(instructions);
+  }
+};
+
+/// One interval across all threads.
+struct IntervalRecord {
+  std::uint64_t index = 0;
+  std::vector<ThreadIntervalRecord> threads;
+
+  /// CPI of the slowest thread — the paper's CPI_overall = max(CPI_t).
+  double max_cpi() const noexcept;
+
+  /// Index of the critical-path (highest-CPI) thread.
+  ThreadId critical_thread() const noexcept;
+
+  /// Aggregate CPI (total cycles / total instructions), for reference.
+  double aggregate_cpi() const noexcept;
+};
+
+/// Builds an interval record from counter deltas and the way targets that
+/// were in force during the interval.
+IntervalRecord make_interval_record(
+    std::uint64_t index, const std::vector<cpu::CounterBlock>& deltas,
+    const std::vector<std::uint32_t>& ways);
+
+}  // namespace capart::sim

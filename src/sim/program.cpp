@@ -1,0 +1,48 @@
+#include "src/sim/program.hpp"
+
+#include "src/common/check.hpp"
+
+namespace capart::sim {
+
+Instructions Program::thread_total(ThreadId t) const {
+  Instructions sum = 0;
+  for (const Section& s : sections) sum += s.work.at(t);
+  return sum;
+}
+
+Instructions Program::total_instructions() const {
+  Instructions sum = 0;
+  for (const Section& s : sections) {
+    for (Instructions w : s.work) sum += w;
+  }
+  return sum;
+}
+
+void Program::validate() const {
+  CAPART_CHECK(!sections.empty(), "program needs at least one section");
+  const std::size_t n = sections.front().work.size();
+  CAPART_CHECK(n >= 1, "program needs at least one thread");
+  for (const Section& s : sections) {
+    CAPART_CHECK(s.work.size() == n,
+                 "every section must cover every thread");
+  }
+}
+
+Program make_uniform_program(ThreadId num_threads, std::uint32_t sections,
+                             Instructions per_thread_total) {
+  CAPART_CHECK(num_threads >= 1 && sections >= 1,
+               "uniform program needs threads and sections");
+  Program p;
+  const Instructions share = per_thread_total / sections;
+  const Instructions last = per_thread_total - share * (sections - 1);
+  p.sections.reserve(sections);
+  for (std::uint32_t s = 0; s < sections; ++s) {
+    Section section;
+    section.work.assign(num_threads, s + 1 == sections ? last : share);
+    p.sections.push_back(std::move(section));
+  }
+  p.validate();
+  return p;
+}
+
+}  // namespace capart::sim

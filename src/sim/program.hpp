@@ -1,0 +1,43 @@
+// Parallel-program structure (paper §III-B, Fig 1): a sequence of
+// barrier-delimited sections, each giving every thread an amount of work.
+// A section with work on a single thread models a sequential region.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace capart::sim {
+
+/// One barrier-delimited section: per-thread instruction counts.
+struct Section {
+  std::vector<Instructions> work;
+};
+
+/// A whole program: sections executed in order, with a barrier after each.
+struct Program {
+  std::vector<Section> sections;
+
+  ThreadId num_threads() const noexcept {
+    return sections.empty() ? 0
+                            : static_cast<ThreadId>(sections.front().work.size());
+  }
+
+  /// Total instructions a given thread retires across all sections.
+  Instructions thread_total(ThreadId t) const;
+
+  /// Total instructions across all threads and sections.
+  Instructions total_instructions() const;
+
+  /// Fails (aborts) unless every section has the same thread count >= 1.
+  void validate() const;
+};
+
+/// A program of `sections` identical parallel sections giving each of
+/// `num_threads` threads `per_thread_total` instructions in equal shares
+/// (remainders go to the final section).
+Program make_uniform_program(ThreadId num_threads, std::uint32_t sections,
+                             Instructions per_thread_total);
+
+}  // namespace capart::sim

@@ -1,0 +1,24 @@
+// Unit of work produced by a trace generator.
+#pragma once
+
+#include "src/common/types.hpp"
+
+namespace capart::trace {
+
+/// A run of non-memory instructions followed by exactly one memory
+/// instruction. Batching the non-memory gap keeps the simulation loop
+/// proportional to memory operations, not instructions.
+struct NextOp {
+  Instructions gap = 0;  ///< non-memory instructions preceding the access
+  Addr addr = 0;
+  AccessType type = AccessType::kRead;
+  /// True for a streaming touch of a never-seen block whose pattern is
+  /// spatially sequential: prefetch-friendly hardware hides most of its miss
+  /// latency (the timing model charges a reduced penalty), while the line
+  /// still occupies cache space. This is what makes a streaming thread a
+  /// cache *polluter* — high insertion rate, little performance return —
+  /// the shared-LRU pathology of paper §I.
+  bool prefetchable = false;
+};
+
+}  // namespace capart::trace

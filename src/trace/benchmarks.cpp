@@ -1,0 +1,200 @@
+#include "src/trace/benchmarks.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace capart::trace {
+namespace {
+
+/// Shorthand phase builder: working set (blocks), memory ratio, reuse skew,
+/// streaming fraction, share fraction, duration (thread instructions).
+Phase ph(std::uint32_t ws, double mem, double skew, double p_new,
+         double share, Instructions dur, bool prefetch_streams = true) {
+  Phase p;
+  p.params.working_set_blocks = ws;
+  p.params.mem_ratio = mem;
+  p.params.reuse_skew = skew;
+  p.params.p_new = p_new;
+  p.params.share_fraction = share;
+  p.params.prefetch_friendly_streams = prefetch_streams;
+  p.duration = dur;
+  return p;
+}
+
+ThreadSpec single(Phase p) { return ThreadSpec{.phases = {std::move(p)}}; }
+
+// Role archetypes (see DESIGN.md): every profile composes these.
+//
+// critical — large irregular working set with two miss components: a
+// capacity-insensitive floor of pointer-chasing first touches (full miss
+// latency, no ways help) and a mildly capacity-sensitive reuse tail well
+// past the private slice. The floor keeps the thread on the critical path
+// under every organization; the tail is what partitioning can relieve.
+ThreadSpec critical(std::uint32_t ws, double mem, double skew, double share) {
+  return single(ph(ws, mem, skew, 0.06, share, 1'000'000,
+                   /*prefetch_streams=*/false));
+}
+
+// streamer — small hot set plus a heavy sequential streaming component whose
+// latency prefetchers hide: modest CPI, but a high cache-insertion rate that
+// pollutes a shared LRU cache (paper §I's "threads with not so good cache
+// behavior occupying most of the shared cache with very little performance
+// gain").
+ThreadSpec streamer(double mem, double p_new, double share) {
+  return single(ph(1'500, mem, 1.5, p_new, share, 1'000'000));
+}
+
+// worker — mid-size working set slightly above a private slice; resists
+// being squeezed, which is what bounds how far the partitioner can inflate
+// the critical thread's share.
+ThreadSpec worker(std::uint32_t ws, double mem, double share) {
+  return single(ph(ws, mem, 1.4, 0.02, share, 1'000'000));
+}
+
+// light — small working set, cache-insensitive, fast.
+ThreadSpec light(std::uint32_t ws, double mem, double share) {
+  return single(ph(ws, mem, 1.5, 0.01, share, 1'000'000));
+}
+
+/// Canonical four-thread profile for each application. Shared-region size is
+/// set per app via the share parameters inside the specs.
+BenchmarkProfile base_profile(std::string_view name) {
+  BenchmarkProfile p;
+  p.name = std::string(name);
+
+  if (name == "cg") {
+    // Irregular sparse solver: pointer-chasing critical thread, a streaming
+    // neighbour-list scan, substantial sharing on the matrix structure.
+    p.threads = {
+        critical(16'000, 0.32, 2.8, 0.05),
+        streamer(0.25, 0.16, 0.05),
+        worker(4'000, 0.30, 0.05),
+        light(2'500, 0.20, 0.05),
+    };
+  } else if (name == "mg") {
+    p.threads = {
+        worker(4'000, 0.28, 0.025),
+        critical(14'000, 0.30, 2.6, 0.025),
+        streamer(0.22, 0.14, 0.025),
+        worker(3'800, 0.26, 0.025),
+    };
+  } else if (name == "ft") {
+    // Transpose-dominated, high sharing, small working sets: one of the
+    // three apps where partitioning barely beats a shared cache.
+    p.threads = {
+        worker(3'200, 0.26, 0.07),
+        worker(2'800, 0.24, 0.07),
+        worker(3'600, 0.27, 0.07),
+        light(2'200, 0.22, 0.07),
+    };
+  } else if (name == "lu") {
+    // Small working sets, little sharing.
+    p.threads = {
+        light(1'800, 0.22, 0.02),
+        light(1'400, 0.20, 0.02),
+        worker(2'000, 0.23, 0.02),
+        light(1'200, 0.19, 0.02),
+    };
+  } else if (name == "bt") {
+    // Small-to-moderate working sets with a light streaming component.
+    p.threads = {
+        worker(3'500, 0.26, 0.03),
+        light(2'000, 0.20, 0.03),
+        streamer(0.16, 0.08, 0.03),
+        light(3'000, 0.22, 0.03),
+    };
+  } else if (name == "swim") {
+    // Strong phase behaviour (paper Figs 6-7) and heterogeneous cache
+    // sensitivity (Fig 10): thread 1 (index 0) is capacity-sensitive, thread
+    // 2 (index 1) is the streaming-heavy thread whose CPI barely moves with
+    // extra ways; criticality alternates between them across phases.
+    p.threads = {
+        ThreadSpec{.phases = {ph(8'000, 0.30, 1.00, 0.02, 0.03, 500'000,
+                                 /*prefetch_streams=*/false),
+                              ph(2'500, 0.22, 1.30, 0.02, 0.03, 400'000,
+                                 /*prefetch_streams=*/false)}},
+        ThreadSpec{.phases = {ph(512, 0.30, 1.80, 0.20, 0.03, 600'000),
+                              ph(512, 0.26, 1.80, 0.16, 0.03, 400'000)}},
+        light(1'500, 0.20, 0.03),
+        ThreadSpec{.phases = {ph(5'000, 0.26, 1.40, 0.02, 0.03, 450'000),
+                              ph(3'000, 0.24, 1.40, 0.02, 0.03, 350'000)}},
+    };
+  } else if (name == "mgrid") {
+    // Memory-bound throughout; very slow critical thread (paper cites CPIs
+    // of 7-12 for mgrid threads).
+    p.threads = {
+        worker(4'000, 0.38, 0.02),
+        critical(17'000, 0.40, 2.4, 0.02),
+        streamer(0.30, 0.22, 0.02),
+        light(1'200, 0.30, 0.02),
+    };
+  } else if (name == "applu") {
+    // The second worker has a steep miss curve at a high access rate — a
+    // throughput-oriented partitioner chases its absolute miss reduction
+    // while the application waits on thread 4.
+    p.threads = {
+        worker(2'500, 0.24, 0.03),
+        worker(3'800, 0.30, 0.03),
+        streamer(0.20, 0.12, 0.03),
+        ThreadSpec{.phases = {ph(16'000, 0.32, 2.6, 0.05, 0.03, 700'000,
+                                 /*prefetch_streams=*/false),
+                              ph(13'000, 0.30, 2.6, 0.05, 0.03, 600'000,
+                                 /*prefetch_streams=*/false)}},
+    };
+  } else if (name == "equake") {
+    p.threads = {
+        critical(15'000, 0.30, 2.6, 0.035),
+        worker(4'000, 0.32, 0.035),
+        streamer(0.22, 0.18, 0.035),
+        light(3'500, 0.24, 0.035),
+    };
+  } else {
+    CAPART_CHECK(false, "unknown benchmark profile name");
+  }
+  return p;
+}
+
+/// Scales every phase's working set by `factor` (floor of 64 blocks).
+ThreadSpec scaled(const ThreadSpec& spec, double factor) {
+  ThreadSpec out = spec;
+  for (Phase& phase : out.phases) {
+    const double ws =
+        static_cast<double>(phase.params.working_set_blocks) * factor;
+    phase.params.working_set_blocks =
+        ws < 64.0 ? 64u : static_cast<std::uint32_t>(ws);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names = {
+      "cg", "mg", "ft", "lu", "bt", "swim", "mgrid", "applu", "equake"};
+  return names;
+}
+
+BenchmarkProfile make_profile(std::string_view name, ThreadId num_threads) {
+  CAPART_CHECK(num_threads >= 1, "profile needs at least one thread");
+  BenchmarkProfile base = base_profile(name);
+  if (num_threads == base.threads.size()) return base;
+
+  // Wider (or narrower) configurations cycle the canonical specs. Beyond the
+  // first cycle, working sets shrink so that doubling the thread count does
+  // not simply double cache pressure — mirroring how OpenMP domain
+  // decomposition shrinks per-thread working sets as threads are added.
+  BenchmarkProfile out;
+  out.name = base.name;
+  out.sections = base.sections;
+  out.threads.reserve(num_threads);
+  for (ThreadId t = 0; t < num_threads; ++t) {
+    const ThreadSpec& spec = base.threads[t % base.threads.size()];
+    const auto cycle = t / base.threads.size();
+    const double factor = std::pow(0.6, static_cast<double>(cycle));
+    out.threads.push_back(cycle == 0 ? spec : scaled(spec, factor));
+  }
+  return out;
+}
+
+}  // namespace capart::trace

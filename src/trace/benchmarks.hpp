@@ -1,0 +1,49 @@
+// Named synthetic workload profiles standing in for the paper's nine
+// NAS / SPEC OMP applications (cg, mg, ft, lu, bt from NAS; swim, mgrid,
+// applu, equake from SPEC OMP).
+//
+// Each profile fixes, per thread, a phase schedule of stack-distance
+// generator parameters chosen to reproduce the qualitative properties the
+// paper measures (see DESIGN.md):
+//   * one clearly slower critical-path thread per app (Fig 3);
+//   * thread miss counts tracking thread CPIs (Figs 4-5);
+//   * app-dependent inter-thread sharing around 5-25 % (Figs 8-9);
+//   * heterogeneous cache sensitivity, incl. a streaming-dominated
+//     insensitive thread in swim (Fig 10);
+//   * interval-scale phase behaviour in swim/applu (Figs 6-7);
+//   * three small-working-set apps (ft, lu, bt) where partitioning gains
+//     over a shared cache are small (paper §VII-B).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/trace/phase.hpp"
+
+namespace capart::trace {
+
+/// Per-thread behaviour of one application profile.
+struct ThreadSpec {
+  std::vector<Phase> phases;
+};
+
+/// A complete application profile.
+struct BenchmarkProfile {
+  std::string name;
+  std::vector<ThreadSpec> threads;
+  /// Number of barrier-delimited parallel sections a run is divided into.
+  std::uint32_t sections = 12;
+};
+
+/// The nine profile names, in the order the paper's figures list them.
+const std::vector<std::string>& benchmark_names();
+
+/// Builds `name` for `num_threads` threads. The canonical profiles are
+/// four-threaded; wider configurations (the paper's 8-core sensitivity
+/// study) cycle the four specs with reduced working sets so that aggregate
+/// pressure grows but stays in a comparable regime. Unknown names abort.
+BenchmarkProfile make_profile(std::string_view name, ThreadId num_threads);
+
+}  // namespace capart::trace

@@ -1,0 +1,20 @@
+// Abstract source of (gap, memory-access) units. The driver pulls from one
+// OpSource per thread; implementations include the live synthetic generator
+// (PhasedGenerator), the trace recorder/replayer (trace_io.hpp), and any
+// user-provided stream (e.g. one backed by real application traces).
+#pragma once
+
+#include "src/trace/access.hpp"
+
+namespace capart::trace {
+
+class OpSource {
+ public:
+  virtual ~OpSource() = default;
+
+  /// Produces the next unit of work. Sources are conceptually unbounded —
+  /// the driver pulls exactly as many ops as the program needs.
+  virtual NextOp next() = 0;
+};
+
+}  // namespace capart::trace

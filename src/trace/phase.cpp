@@ -1,0 +1,44 @@
+#include "src/trace/phase.hpp"
+
+namespace capart::trace {
+
+PhaseSchedule::PhaseSchedule(std::vector<Phase> phases)
+    : phases_(std::move(phases)) {
+  CAPART_CHECK(!phases_.empty(), "phase schedule needs at least one phase");
+  for (const Phase& p : phases_) {
+    CAPART_CHECK(p.duration > 0, "phase duration must be positive");
+    cycle_length_ += p.duration;
+  }
+}
+
+std::size_t PhaseSchedule::index_at(Instructions pos) const noexcept {
+  Instructions offset = pos % cycle_length_;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (offset < phases_[i].duration) return i;
+    offset -= phases_[i].duration;
+  }
+  return phases_.size() - 1;  // unreachable: offset < cycle_length_
+}
+
+const Phase& PhaseSchedule::at(Instructions pos) const noexcept {
+  return phases_[index_at(pos)];
+}
+
+PhasedGenerator::PhasedGenerator(PhaseSchedule schedule, Rng rng,
+                                 Addr private_base, Addr shared_base)
+    : schedule_(std::move(schedule)),
+      generator_(schedule_.at(0).params, rng, private_base, shared_base),
+      current_phase_(schedule_.index_at(0)) {}
+
+NextOp PhasedGenerator::next() {
+  const std::size_t phase = schedule_.index_at(position_);
+  if (phase != current_phase_) {
+    current_phase_ = phase;
+    generator_.set_params(schedule_.phases()[phase].params);
+  }
+  NextOp op = generator_.next();
+  position_ += op.gap + 1;
+  return op;
+}
+
+}  // namespace capart::trace

@@ -1,0 +1,65 @@
+// Phase behaviour: programs move through execution phases with different
+// memory characteristics (paper §IV-A1, Figs 6-7). A PhasedGenerator wraps a
+// StackDistGenerator with a cyclic schedule of (parameters, duration) phases
+// measured in the thread's own retired instructions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/trace/op_source.hpp"
+#include "src/trace/stack_dist_generator.hpp"
+
+namespace capart::trace {
+
+/// One phase: behaviour `params` lasting `duration` instructions.
+struct Phase {
+  GenParams params;
+  Instructions duration = 1'000'000;
+};
+
+/// Cyclic phase schedule for one thread.
+class PhaseSchedule {
+ public:
+  explicit PhaseSchedule(std::vector<Phase> phases);
+
+  /// Phase active at thread-instruction position `pos` (schedule cycles).
+  const Phase& at(Instructions pos) const noexcept;
+
+  /// Index (into the phase list) active at `pos`.
+  std::size_t index_at(Instructions pos) const noexcept;
+
+  std::size_t size() const noexcept { return phases_.size(); }
+  const std::vector<Phase>& phases() const noexcept { return phases_; }
+
+ private:
+  std::vector<Phase> phases_;
+  Instructions cycle_length_ = 0;
+};
+
+/// A trace generator that switches parameters at phase boundaries.
+class PhasedGenerator final : public OpSource {
+ public:
+  PhasedGenerator(PhaseSchedule schedule, Rng rng, Addr private_base,
+                  Addr shared_base);
+
+  /// Next (gap, access) unit; phase boundaries are honoured at operation
+  /// granularity (a boundary inside a gap run takes effect at the next op).
+  NextOp next() override;
+
+  /// Current position in the thread's instruction stream.
+  Instructions position() const noexcept { return position_; }
+
+  const GenParams& current_params() const noexcept {
+    return generator_.params();
+  }
+
+ private:
+  PhaseSchedule schedule_;
+  StackDistGenerator generator_;
+  Instructions position_ = 0;
+  std::size_t current_phase_;
+};
+
+}  // namespace capart::trace

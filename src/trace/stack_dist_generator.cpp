@@ -1,0 +1,116 @@
+#include "src/trace/stack_dist_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace capart::trace {
+namespace {
+
+constexpr std::uint32_t kLineBytes = 64;
+constexpr Instructions kMaxGap = 4096;
+
+double clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace
+
+StackDistGenerator::StackDistGenerator(const GenParams& params, Rng rng,
+                                       Addr private_base, Addr shared_base)
+    : params_(params),
+      rng_(rng),
+      private_base_(private_base),
+      shared_base_(shared_base) {
+  CAPART_CHECK(params_.working_set_blocks >= 1,
+               "working set must hold at least one block");
+  stack_.reserve(params_.working_set_blocks);
+}
+
+void StackDistGenerator::set_params(const GenParams& params) {
+  CAPART_CHECK(params.working_set_blocks >= 1,
+               "working set must hold at least one block");
+  params_ = params;
+  // Shrinking the working set drops the least recently used blocks: the
+  // program stopped touching them.
+  if (stack_.size() > params_.working_set_blocks) {
+    stack_.erase(stack_.begin(),
+                 stack_.begin() + static_cast<std::ptrdiff_t>(
+                                      stack_.size() - params_.working_set_blocks));
+  }
+}
+
+Instructions StackDistGenerator::draw_gap() {
+  const double m = clamp(params_.mem_ratio, 0.005, 0.95);
+  // Geometric gap with mean (1-m)/m so memory ops are an m-fraction of
+  // instructions; inversion sampling.
+  const double u = rng_.unit();
+  const double g = std::log1p(-u) / std::log1p(-m);
+  const auto gap = static_cast<Instructions>(g);
+  return std::min(gap, kMaxGap);
+}
+
+std::uint64_t StackDistGenerator::draw_depth() {
+  // Depths are drawn over the *configured* working set, not the blocks seen
+  // so far; a draw beyond the current stack is a cold touch, which is what
+  // lets the footprint grow toward W even with p_new = 0.
+  const double gamma = clamp(params_.reuse_skew, 0.05, 20.0);
+  const double u = std::pow(rng_.unit(), gamma);
+  const double w = static_cast<double>(params_.working_set_blocks);
+  const double d = std::pow(std::max(w, 2.0), u);
+  return static_cast<std::uint64_t>(d);
+}
+
+Addr StackDistGenerator::shared_access() {
+  const double skew = clamp(params_.shared_skew, 0.05, 20.0);
+  const double u = std::pow(rng_.unit(), skew);
+  const auto region = static_cast<double>(params_.shared_region_blocks);
+  auto idx = static_cast<std::uint64_t>(u * region);
+  if (idx >= params_.shared_region_blocks) idx = params_.shared_region_blocks - 1;
+  return shared_base_ + idx * kLineBytes;
+}
+
+Addr StackDistGenerator::private_access(bool& was_new) {
+  const bool force_new = rng_.chance(params_.p_new);
+  std::uint32_t block;
+  std::uint64_t depth = 0;
+  if (!force_new && !stack_.empty()) {
+    depth = draw_depth();
+  }
+  was_new = false;
+  if (depth >= 1 && depth <= stack_.size()) {
+    // Re-reference the block at stack depth `depth` (1 = MRU) and move it to
+    // the MRU position.
+    const std::size_t idx = stack_.size() - static_cast<std::size_t>(depth);
+    block = stack_[idx];
+    stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(idx));
+    stack_.push_back(block);
+  } else {
+    // Streaming / beyond-working-set access: a fresh block.
+    was_new = true;
+    block = next_block_++;
+    stack_.push_back(block);
+    if (stack_.size() > params_.working_set_blocks) {
+      stack_.erase(stack_.begin());
+    }
+  }
+  return private_base_ + static_cast<Addr>(block) * kLineBytes;
+}
+
+NextOp StackDistGenerator::next() {
+  NextOp op;
+  op.gap = draw_gap();
+  if (rng_.chance(params_.share_fraction)) {
+    op.addr = shared_access();
+  } else {
+    bool was_new = false;
+    op.addr = private_access(was_new);
+    op.prefetchable = was_new && params_.prefetch_friendly_streams;
+  }
+  op.type = rng_.chance(params_.write_fraction) ? AccessType::kWrite
+                                                : AccessType::kRead;
+  return op;
+}
+
+}  // namespace capart::trace

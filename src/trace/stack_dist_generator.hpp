@@ -1,0 +1,98 @@
+// Synthetic memory-reference generator with controlled temporal locality.
+//
+// The paper's workloads are NAS/SPEC-OMP binaries run under Simics; we have
+// no such traces, so each thread's reference stream is synthesized from a
+// stack-distance model (see DESIGN.md, substitutions). The generator keeps an
+// LRU stack of the thread's private blocks; each access either touches a
+// brand-new block (streaming component) or re-touches the block at stack
+// depth d, where d is drawn from a skew-controlled log-family distribution:
+//
+//   d = floor(W ^ (u ^ gamma)),  u ~ U[0,1)
+//
+// giving P(d <= k) = (ln k / ln W)^(1/gamma). Under LRU with effective
+// capacity C blocks, the miss probability of a reuse is therefore about
+// 1 - (ln C / ln W)^(1/gamma): smooth, monotonically decreasing and concave
+// in C — the diminishing-returns miss curves real applications show, and the
+// raw material from which the runtime fits its CPI-vs-ways models.
+//
+// A configurable fraction of accesses targets a process-wide *shared* region
+// with a popularity-skewed block choice; those produce the inter-thread
+// constructive/destructive interactions of paper §IV-A2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+#include "src/trace/access.hpp"
+
+namespace capart::trace {
+
+/// Behavioural parameters of one thread during one phase.
+struct GenParams {
+  /// Fraction of instructions that are memory operations (clamped to
+  /// [0.005, 0.95] when sampling gaps).
+  double mem_ratio = 0.30;
+  /// Private working-set size W in cache blocks (LRU-stack capacity).
+  std::uint32_t working_set_blocks = 4096;
+  /// Reuse-depth skew gamma: > 1 concentrates reuses near the top of the
+  /// stack (strong locality); < 1 spreads them toward full working-set scans.
+  double reuse_skew = 1.0;
+  /// Probability an access streams to a never-seen block (compulsory miss).
+  double p_new = 0.02;
+  /// Probability an access targets the application-shared region.
+  double share_fraction = 0.10;
+  /// Shared-region size in blocks.
+  std::uint32_t shared_region_blocks = 1024;
+  /// Popularity skew of shared blocks (> 1 makes a few blocks hot, which is
+  /// what makes inter-thread reuse constructive).
+  double shared_skew = 2.0;
+  /// Fraction of memory operations that are stores.
+  double write_fraction = 0.30;
+  /// Whether this thread's streaming (never-seen-block) accesses follow a
+  /// sequential, prefetch-friendly pattern. True marks them `prefetchable`
+  /// (reduced miss latency; see trace::NextOp) — a classic cache polluter.
+  /// False models irregular first touches (pointer chasing) that pay the
+  /// full miss latency.
+  bool prefetch_friendly_streams = true;
+};
+
+class StackDistGenerator {
+ public:
+  /// `private_base` / `shared_base` are the byte addresses where this
+  /// thread's private region and the application's shared region begin; the
+  /// shared base must be identical across sibling threads.
+  StackDistGenerator(const GenParams& params, Rng rng, Addr private_base,
+                     Addr shared_base);
+
+  /// Produces the next (gap, memory-access) unit. Deterministic in the
+  /// seeding Rng.
+  NextOp next();
+
+  /// Switches behaviour at a phase boundary. The LRU stack is retained
+  /// (truncated to the new working-set size), modeling a program moving to a
+  /// new phase with warm state.
+  void set_params(const GenParams& params);
+
+  const GenParams& params() const noexcept { return params_; }
+
+  /// Number of distinct private blocks touched so far.
+  std::uint32_t distinct_blocks() const noexcept { return next_block_; }
+
+ private:
+  Instructions draw_gap();
+  std::uint64_t draw_depth();
+  Addr shared_access();
+  /// Returns the address; sets `was_new` when a never-seen block was touched.
+  Addr private_access(bool& was_new);
+
+  GenParams params_;
+  Rng rng_;
+  Addr private_base_;
+  Addr shared_base_;
+  std::vector<std::uint32_t> stack_;  // LRU stack of private blocks, MRU at back
+  std::uint32_t next_block_ = 0;
+};
+
+}  // namespace capart::trace

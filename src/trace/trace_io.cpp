@@ -1,0 +1,101 @@
+#include "src/trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "src/common/check.hpp"
+
+namespace capart::trace {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'C', 'A', 'P', 'T',
+                                        'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint8_t kFlagWrite = 1u << 0;
+constexpr std::uint8_t kFlagPrefetchable = 1u << 1;
+
+template <typename T>
+void put(std::ostream& os, T value) {
+  // The simulator only targets little-endian hosts (checked implicitly by
+  // the round-trip tests); plain byte copies keep the format simple.
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  CAPART_CHECK(is.good(), "trace: truncated input");
+  return value;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const std::vector<NextOp>& ops) {
+  os.write(kMagic.data(), kMagic.size());
+  put<std::uint32_t>(os, kVersion);
+  put<std::uint64_t>(os, ops.size());
+  for (const NextOp& op : ops) {
+    CAPART_CHECK(op.gap <= ~std::uint32_t{0}, "trace: gap exceeds 32 bits");
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(op.gap));
+    put<std::uint64_t>(os, op.addr);
+    std::uint8_t flags = 0;
+    if (op.type == AccessType::kWrite) flags |= kFlagWrite;
+    if (op.prefetchable) flags |= kFlagPrefetchable;
+    put<std::uint8_t>(os, flags);
+  }
+  CAPART_CHECK(os.good(), "trace: write failed");
+}
+
+std::vector<NextOp> read_trace(std::istream& is) {
+  std::array<char, 8> magic{};
+  is.read(magic.data(), magic.size());
+  CAPART_CHECK(is.good() && magic == kMagic, "trace: bad magic");
+  const auto version = get<std::uint32_t>(is);
+  CAPART_CHECK(version == kVersion, "trace: unsupported version");
+  const auto count = get<std::uint64_t>(is);
+  std::vector<NextOp> ops;
+  ops.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    NextOp op;
+    op.gap = get<std::uint32_t>(is);
+    op.addr = get<std::uint64_t>(is);
+    const auto flags = get<std::uint8_t>(is);
+    op.type = (flags & kFlagWrite) != 0 ? AccessType::kWrite
+                                        : AccessType::kRead;
+    op.prefetchable = (flags & kFlagPrefetchable) != 0;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<NextOp>& ops) {
+  std::ofstream os(path, std::ios::binary);
+  CAPART_CHECK(os.is_open(), "trace: cannot open file for writing");
+  write_trace(os, ops);
+}
+
+std::vector<NextOp> read_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CAPART_CHECK(is.is_open(), "trace: cannot open file for reading");
+  return read_trace(is);
+}
+
+TraceReplay::TraceReplay(std::vector<NextOp> ops, OnEnd on_end)
+    : ops_(std::move(ops)), on_end_(on_end) {
+  CAPART_CHECK(!ops_.empty(), "trace: cannot replay an empty trace");
+}
+
+NextOp TraceReplay::next() {
+  if (position_ >= ops_.size()) {
+    CAPART_CHECK(on_end_ == OnEnd::kLoop, "trace: replay exhausted");
+    position_ = 0;
+  }
+  return ops_[position_++];
+}
+
+}  // namespace capart::trace

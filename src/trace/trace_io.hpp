@@ -1,0 +1,73 @@
+// Trace recording and replay.
+//
+// Any OpSource stream can be captured to a compact binary format and played
+// back later — replacing the synthetic generators with recorded (or
+// externally produced, e.g. Pin/DynamoRIO-derived) per-thread traces while
+// keeping every other part of the simulator identical. Record/replay of the
+// same run is bit-exact.
+//
+// Format (little-endian): 8-byte magic "CAPTRACE", u32 version, u64 record
+// count, then per record: u32 gap, u64 address, u8 flags
+// (bit 0 = write, bit 1 = prefetchable).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/op_source.hpp"
+
+namespace capart::trace {
+
+/// Serializes `ops` to a stream.
+void write_trace(std::ostream& os, const std::vector<NextOp>& ops);
+
+/// Deserializes a stream written by write_trace. Aborts on malformed input.
+std::vector<NextOp> read_trace(std::istream& is);
+
+/// Convenience file wrappers (abort when the file cannot be opened).
+void write_trace_file(const std::string& path, const std::vector<NextOp>& ops);
+std::vector<NextOp> read_trace_file(const std::string& path);
+
+/// Pass-through OpSource that captures everything it forwards.
+class TraceRecorder final : public OpSource {
+ public:
+  /// Wraps `inner` (not owned; must outlive the recorder).
+  explicit TraceRecorder(OpSource& inner) : inner_(inner) {}
+
+  NextOp next() override {
+    const NextOp op = inner_.next();
+    recorded_.push_back(op);
+    return op;
+  }
+
+  const std::vector<NextOp>& recorded() const noexcept { return recorded_; }
+  std::vector<NextOp> take() noexcept { return std::move(recorded_); }
+
+ private:
+  OpSource& inner_;
+  std::vector<NextOp> recorded_;
+};
+
+/// Replays a recorded trace. When the trace runs out it either loops (the
+/// default — programs are steady-state) or aborts, per `OnEnd`.
+class TraceReplay final : public OpSource {
+ public:
+  enum class OnEnd : std::uint8_t { kLoop, kAbort };
+
+  explicit TraceReplay(std::vector<NextOp> ops, OnEnd on_end = OnEnd::kLoop);
+
+  NextOp next() override;
+
+  std::size_t size() const noexcept { return ops_.size(); }
+  std::size_t position() const noexcept { return position_; }
+
+ private:
+  std::vector<NextOp> ops_;
+  std::size_t position_ = 0;
+  OnEnd on_end_;
+};
+
+}  // namespace capart::trace

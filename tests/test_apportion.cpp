@@ -1,0 +1,120 @@
+#include "src/math/apportion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace capart::math {
+namespace {
+
+std::uint32_t sum(const std::vector<std::uint32_t>& v) {
+  return std::accumulate(v.begin(), v.end(), 0u);
+}
+
+TEST(Apportion, ExactWhenDivisible) {
+  const std::vector<double> w = {1, 1, 2};
+  const auto shares = apportion(w, 16, 0);
+  EXPECT_EQ(shares, (std::vector<std::uint32_t>{4, 4, 8}));
+}
+
+TEST(Apportion, SumsToTotal) {
+  const std::vector<double> w = {3.7, 1.1, 9.9, 0.4};
+  EXPECT_EQ(sum(apportion(w, 64, 1)), 64u);
+  EXPECT_EQ(sum(apportion(w, 7, 1)), 7u);
+}
+
+TEST(Apportion, RespectsMinimum) {
+  // One weight dominates completely; everyone else still gets the floor.
+  const std::vector<double> w = {1000.0, 0.0, 0.0, 0.0};
+  const auto shares = apportion(w, 64, 1);
+  EXPECT_EQ(shares[0], 61u);
+  EXPECT_EQ(shares[1], 1u);
+  EXPECT_EQ(shares[2], 1u);
+  EXPECT_EQ(shares[3], 1u);
+}
+
+TEST(Apportion, ProportionalToWeights) {
+  const std::vector<double> w = {1, 3};
+  const auto shares = apportion(w, 64, 1);
+  // 1 each floor, 62 distributable: 15.5 / 46.5 -> 15/47 or 16/46.
+  EXPECT_EQ(sum(shares), 64u);
+  EXPECT_GT(shares[1], shares[0] * 2);
+}
+
+TEST(Apportion, AllZeroWeightsSplitsEvenly) {
+  const std::vector<double> w = {0, 0, 0, 0};
+  const auto shares = apportion(w, 64, 1);
+  EXPECT_EQ(shares, (std::vector<std::uint32_t>{16, 16, 16, 16}));
+}
+
+TEST(Apportion, AllEqualWeightsSplitsEvenly) {
+  const std::vector<double> w = {5, 5, 5, 5};
+  const auto shares = apportion(w, 64, 1);
+  EXPECT_EQ(shares, (std::vector<std::uint32_t>{16, 16, 16, 16}));
+}
+
+TEST(Apportion, SingleElementTakesEverything) {
+  const std::vector<double> w = {0.123};
+  EXPECT_EQ(apportion(w, 64, 1), (std::vector<std::uint32_t>{64}));
+}
+
+TEST(Apportion, TotalEqualsFloorSum) {
+  const std::vector<double> w = {9, 1};
+  EXPECT_EQ(apportion(w, 2, 1), (std::vector<std::uint32_t>{1, 1}));
+}
+
+TEST(Apportion, DeterministicTieBreaking) {
+  const std::vector<double> w = {1, 1, 1};
+  const auto a = apportion(w, 4, 1);
+  const auto b = apportion(w, 4, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(sum(a), 4u);
+}
+
+TEST(Apportion, DeathOnEmptyWeights) {
+  EXPECT_DEATH(apportion({}, 8, 1), "at least one");
+}
+
+TEST(Apportion, DeathOnTotalBelowFloor) {
+  const std::vector<double> w = {1, 1, 1};
+  EXPECT_DEATH(apportion(w, 2, 1), "below minimum");
+}
+
+TEST(Apportion, DeathOnNegativeWeight) {
+  const std::vector<double> w = {1, -1};
+  EXPECT_DEATH(apportion(w, 8, 1), "non-negative");
+}
+
+/// Property sweep: random weights and totals always sum exactly and respect
+/// the floor; larger weight never receives fewer units than a smaller one
+/// (monotonicity of the largest-remainder method with a common floor).
+class ApportionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApportionProperty, InvariantsHold) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + rng.below(8);
+    const auto total = static_cast<std::uint32_t>(n + rng.below(100));
+    std::vector<double> w;
+    for (std::size_t i = 0; i < n; ++i) w.push_back(rng.unit() * 10.0);
+    const auto shares = apportion(w, total, 1);
+    EXPECT_EQ(sum(shares), total);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(shares[i], 1u);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (w[i] > w[j]) {
+          EXPECT_GE(shares[i] + 1, shares[j]);  // within rounding of each other
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWeights, ApportionProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace capart::math

@@ -1,0 +1,110 @@
+#include "src/trace/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capart::trace {
+namespace {
+
+TEST(Benchmarks, NinePaperApplications) {
+  const auto& names = benchmark_names();
+  ASSERT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.front(), "cg");
+  EXPECT_EQ(names.back(), "equake");
+}
+
+TEST(Benchmarks, UnknownNameAborts) {
+  EXPECT_DEATH(make_profile("nonexistent", 4), "unknown benchmark");
+}
+
+TEST(Benchmarks, EightThreadProfilesCycleWithReducedWorkingSets) {
+  const BenchmarkProfile four = make_profile("cg", 4);
+  const BenchmarkProfile eight = make_profile("cg", 8);
+  ASSERT_EQ(eight.threads.size(), 8u);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(eight.threads[t].phases.size(), four.threads[t].phases.size());
+    // Second cycle repeats the archetype with a smaller working set.
+    EXPECT_LT(eight.threads[t + 4].phases[0].params.working_set_blocks,
+              four.threads[t].phases[0].params.working_set_blocks);
+    EXPECT_DOUBLE_EQ(eight.threads[t + 4].phases[0].params.mem_ratio,
+                     four.threads[t].phases[0].params.mem_ratio);
+  }
+}
+
+TEST(Benchmarks, SmallWorkingSetTrioFitsTheCache) {
+  // ft, lu, bt are the paper's three small-benefit applications: their
+  // aggregate working sets fit a 16384-block L2.
+  for (const char* name : {"ft", "lu", "bt"}) {
+    const BenchmarkProfile p = make_profile(name, 4);
+    std::uint64_t total_ws = 0;
+    for (const ThreadSpec& spec : p.threads) {
+      std::uint32_t max_ws = 0;
+      for (const Phase& phase : spec.phases) {
+        max_ws = std::max(max_ws, phase.params.working_set_blocks);
+      }
+      total_ws += max_ws;
+    }
+    EXPECT_LT(total_ws, 16'384u) << name;
+  }
+}
+
+TEST(Benchmarks, LargeAppsHaveACriticalThreadBeyondPrivateSlice) {
+  // The other six have at least one thread whose working set exceeds the
+  // 4096-block private slice — the thread partitioning exists to help.
+  for (const char* name : {"cg", "mg", "swim", "mgrid", "applu", "equake"}) {
+    const BenchmarkProfile p = make_profile(name, 4);
+    bool has_big = false;
+    for (const ThreadSpec& spec : p.threads) {
+      for (const Phase& phase : spec.phases) {
+        if (phase.params.working_set_blocks > 4'096) has_big = true;
+      }
+    }
+    EXPECT_TRUE(has_big) << name;
+  }
+}
+
+TEST(Benchmarks, SwimHasPhaseBehaviour) {
+  const BenchmarkProfile p = make_profile("swim", 4);
+  int phased_threads = 0;
+  for (const ThreadSpec& spec : p.threads) {
+    if (spec.phases.size() > 1) ++phased_threads;
+  }
+  EXPECT_GE(phased_threads, 2);  // Figs 6-7 need visible phase variation
+}
+
+/// Parameter sanity across every profile and thread count used anywhere.
+class BenchmarkProfileSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, ThreadId>> {};
+
+TEST_P(BenchmarkProfileSweep, ParametersAreSane) {
+  const auto& [name, threads] = GetParam();
+  const BenchmarkProfile p = make_profile(name, threads);
+  EXPECT_EQ(p.name, name);
+  ASSERT_EQ(p.threads.size(), threads);
+  EXPECT_GE(p.sections, 1u);
+  for (const ThreadSpec& spec : p.threads) {
+    ASSERT_FALSE(spec.phases.empty());
+    for (const Phase& phase : spec.phases) {
+      EXPECT_GT(phase.duration, 0u);
+      const trace::GenParams& g = phase.params;
+      EXPECT_GT(g.mem_ratio, 0.0);
+      EXPECT_LT(g.mem_ratio, 1.0);
+      EXPECT_GE(g.working_set_blocks, 64u);
+      EXPECT_GT(g.reuse_skew, 0.0);
+      EXPECT_GE(g.p_new, 0.0);
+      EXPECT_LE(g.p_new, 1.0);
+      EXPECT_GE(g.share_fraction, 0.0);
+      EXPECT_LT(g.share_fraction, 1.0);
+      EXPECT_GE(g.shared_region_blocks, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, BenchmarkProfileSweep,
+    ::testing::Combine(::testing::Values("cg", "mg", "ft", "lu", "bt", "swim",
+                                         "mgrid", "applu", "equake"),
+                       ::testing::Values(ThreadId{2}, ThreadId{4},
+                                         ThreadId{8})));
+
+}  // namespace
+}  // namespace capart::trace

@@ -1,0 +1,74 @@
+#include "src/mem/cache_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capart::mem {
+namespace {
+
+TEST(CacheStats, TotalAggregatesAllThreads) {
+  CacheStats s(2);
+  s.thread(0).accesses = 10;
+  s.thread(0).hits = 6;
+  s.thread(0).inter_thread_hits = 2;
+  s.thread(1).accesses = 5;
+  s.thread(1).misses = 3;
+  s.thread(1).inter_thread_evictions_caused = 1;
+  const ThreadCacheCounters total = s.total();
+  EXPECT_EQ(total.accesses, 15u);
+  EXPECT_EQ(total.hits, 6u);
+  EXPECT_EQ(total.misses, 3u);
+  EXPECT_EQ(total.inter_thread_hits, 2u);
+  EXPECT_EQ(total.inter_thread_evictions_caused, 1u);
+  EXPECT_EQ(total.inter_thread_interactions(), 3u);
+}
+
+TEST(CacheStats, InterThreadFraction) {
+  CacheStats s(2);
+  s.thread(0).accesses = 80;
+  s.thread(0).inter_thread_hits = 8;
+  s.thread(1).accesses = 20;
+  s.thread(1).inter_thread_evictions_caused = 4;
+  EXPECT_DOUBLE_EQ(s.inter_thread_fraction(), 0.12);
+}
+
+TEST(CacheStats, ConstructiveFraction) {
+  CacheStats s(1);
+  s.thread(0).inter_thread_hits = 3;
+  s.thread(0).inter_thread_evictions_caused = 1;
+  EXPECT_DOUBLE_EQ(s.constructive_fraction(), 0.75);
+}
+
+TEST(CacheStats, FractionsOfEmptyStatsAreZero) {
+  CacheStats s(3);
+  EXPECT_DOUBLE_EQ(s.inter_thread_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(s.constructive_fraction(), 0.0);
+}
+
+TEST(CacheStats, PlusEqualsCombinesEveryField) {
+  ThreadCacheCounters a;
+  a.accesses = 1;
+  a.hits = 2;
+  a.misses = 3;
+  a.inter_thread_hits = 4;
+  a.inter_thread_evictions_caused = 5;
+  a.inter_thread_evictions_suffered = 6;
+  a.intra_thread_evictions = 7;
+  ThreadCacheCounters b = a;
+  b += a;
+  EXPECT_EQ(b.accesses, 2u);
+  EXPECT_EQ(b.hits, 4u);
+  EXPECT_EQ(b.misses, 6u);
+  EXPECT_EQ(b.inter_thread_hits, 8u);
+  EXPECT_EQ(b.inter_thread_evictions_caused, 10u);
+  EXPECT_EQ(b.inter_thread_evictions_suffered, 12u);
+  EXPECT_EQ(b.intra_thread_evictions, 14u);
+}
+
+TEST(CacheStats, ThreadIndexBoundsChecked) {
+  CacheStats s(2);
+  EXPECT_NO_THROW(s.thread(1));
+  EXPECT_THROW(s.thread(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace capart::mem

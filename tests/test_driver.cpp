@@ -1,0 +1,203 @@
+#include "src/sim/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/sim/program.hpp"
+#include "src/trace/phase.hpp"
+
+namespace capart::sim {
+namespace {
+
+SystemConfig config(ThreadId threads) {
+  SystemConfig c;
+  c.num_threads = threads;
+  c.l1 = {.sets = 4, .ways = 2, .line_bytes = 64};
+  c.l2 = {.sets = 16, .ways = 8, .line_bytes = 64};
+  c.l2_mode = mem::L2Mode::kPartitionedShared;
+  return c;
+}
+
+sim::DriverConfig driver_config(Instructions interval_instructions) {
+  sim::DriverConfig dc;
+  dc.interval_instructions = interval_instructions;
+  return dc;
+}
+
+std::unique_ptr<trace::OpSource> generator(ThreadId t, double mem_ratio,
+                                           std::uint32_t ws = 64) {
+  trace::Phase phase;
+  phase.params.mem_ratio = mem_ratio;
+  phase.params.working_set_blocks = ws;
+  phase.params.share_fraction = 0.0;
+  phase.duration = 1'000'000;
+  return std::make_unique<trace::PhasedGenerator>(
+      trace::PhaseSchedule({phase}), Rng(100 + t), (Addr{t} + 1) << 40,
+      Addr{1} << 50);
+}
+
+using Sources = std::vector<std::unique_ptr<trace::OpSource>>;
+
+TEST(Driver, RetiresExactlyTheProgrammedInstructions) {
+  CmpSystem sys(config(2));
+  Sources gens;
+  gens.push_back(generator(0, 0.3));
+  gens.push_back(generator(1, 0.3));
+  Driver driver(sys, make_uniform_program(2, 4, 10'000), std::move(gens),
+                driver_config(5'000));
+  const RunOutcome out = driver.run();
+  EXPECT_EQ(out.instructions_retired, 20'000u);
+  EXPECT_EQ(sys.counters().thread(0).instructions, 10'000u);
+  EXPECT_EQ(sys.counters().thread(1).instructions, 10'000u);
+  EXPECT_GT(out.total_cycles, 20'000u / 2);
+}
+
+TEST(Driver, IntervalCallbackFiresOncePerBoundary) {
+  CmpSystem sys(config(2));
+  Sources gens;
+  gens.push_back(generator(0, 0.3));
+  gens.push_back(generator(1, 0.3));
+  Driver driver(sys, make_uniform_program(2, 2, 10'000), std::move(gens),
+                driver_config(4'000));
+  std::vector<std::uint64_t> fired;
+  driver.set_interval_callback([&](std::uint64_t idx) -> Cycles {
+    fired.push_back(idx);
+    return 0;
+  });
+  const RunOutcome out = driver.run();
+  // 20'000 aggregate instructions / 4'000 = 5 boundaries.
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(out.intervals_completed, 5u);
+}
+
+TEST(Driver, CallbackOverheadSlowsEveryThread) {
+  auto run_with_overhead = [&](Cycles overhead) {
+    CmpSystem sys(config(2));
+    Sources gens;
+    gens.push_back(generator(0, 0.3));
+    gens.push_back(generator(1, 0.3));
+    Driver driver(sys, make_uniform_program(2, 2, 10'000), std::move(gens),
+                  driver_config(4'000));
+    driver.set_interval_callback(
+        [overhead](std::uint64_t) -> Cycles { return overhead; });
+    return driver.run().total_cycles;
+  };
+  const Cycles base = run_with_overhead(0);
+  const Cycles loaded = run_with_overhead(1'000);
+  EXPECT_GE(loaded, base + 4'000);  // ~5 boundaries x 1000 cycles
+}
+
+TEST(Driver, FastThreadStallsAtBarriers) {
+  CmpSystem sys(config(2));
+  // Thread 1 is much more memory-intensive (slower).
+  Sources gens;
+  gens.push_back(generator(0, 0.05));
+  gens.push_back(generator(1, 0.6, 4'096));
+  Driver driver(sys, make_uniform_program(2, 5, 20'000), std::move(gens),
+                driver_config(100'000));
+  driver.run();
+  const auto& fast = sys.counters().thread(0);
+  const auto& slow = sys.counters().thread(1);
+  EXPECT_GT(fast.stall_cycles, slow.stall_cycles * 5);
+  EXPECT_LT(fast.exec_cycles, slow.exec_cycles);
+}
+
+TEST(Driver, TotalCyclesIsTheSlowestThreadWallClock) {
+  CmpSystem sys(config(2));
+  Sources gens;
+  gens.push_back(generator(0, 0.05));
+  gens.push_back(generator(1, 0.5, 4'096));
+  Driver driver(sys, make_uniform_program(2, 3, 9'000), std::move(gens), {});
+  const RunOutcome out = driver.run();
+  // Barriers synchronize: both threads end at the same wall clock, which is
+  // exec + stall for each.
+  const auto& c0 = sys.counters().thread(0);
+  const auto& c1 = sys.counters().thread(1);
+  EXPECT_EQ(c0.exec_cycles + c0.stall_cycles, out.total_cycles);
+  EXPECT_EQ(c1.exec_cycles + c1.stall_cycles, out.total_cycles);
+}
+
+TEST(Driver, BarrierGroupsSynchronizeIndependently) {
+  CmpSystem sys(config(4));
+  // Group 0 = {0 fast, 1 very slow}; group 1 = {2, 3} evenly matched.
+  Sources gens;
+  gens.push_back(generator(0, 0.05));
+  gens.push_back(generator(1, 0.6, 4'096));
+  gens.push_back(generator(2, 0.2));
+  gens.push_back(generator(3, 0.2));
+  DriverConfig dc;
+  dc.barrier_group = {0, 0, 1, 1};
+  Driver driver(sys, make_uniform_program(4, 5, 20'000), std::move(gens), dc);
+  driver.run();
+  // Thread 0 pays for thread 1; threads 2/3 only pay for each other.
+  EXPECT_GT(sys.counters().thread(0).stall_cycles,
+            10 * sys.counters().thread(2).stall_cycles);
+  // Group 1 members end synchronized with each other.
+  const auto& c2 = sys.counters().thread(2);
+  const auto& c3 = sys.counters().thread(3);
+  EXPECT_EQ(c2.exec_cycles + c2.stall_cycles, c3.exec_cycles + c3.stall_cycles);
+}
+
+TEST(Driver, ZeroWorkSectionsDoNotHang) {
+  CmpSystem sys(config(2));
+  Sources gens;
+  gens.push_back(generator(0, 0.3));
+  gens.push_back(generator(1, 0.3));
+  Program p;
+  p.sections.push_back({.work = {1'000, 0}});  // sequential on thread 0
+  p.sections.push_back({.work = {0, 0}});      // empty barrier
+  p.sections.push_back({.work = {0, 1'000}});  // sequential on thread 1
+  Driver driver(sys, p, std::move(gens), {});
+  const RunOutcome out = driver.run();
+  EXPECT_EQ(out.instructions_retired, 2'000u);
+}
+
+TEST(Driver, ScheduledMigrationSwapsCoreBindings) {
+  CmpSystem sys(config(2));
+  Sources gens;
+  gens.push_back(generator(0, 0.3));
+  gens.push_back(generator(1, 0.3));
+  Driver driver(sys, make_uniform_program(2, 2, 10'000), std::move(gens),
+                driver_config(5'000));
+  driver.schedule_migration(1, 0, 1);
+  driver.run();
+  EXPECT_EQ(sys.core_of(0), 1u);
+  EXPECT_EQ(sys.core_of(1), 0u);
+}
+
+TEST(Driver, BarrierReleaseCostIsCharged) {
+  auto run_with_cost = [&](Cycles cost) {
+    CmpSystem sys(config(2));
+    Sources gens;
+    gens.push_back(generator(0, 0.3));
+    gens.push_back(generator(1, 0.3));
+    DriverConfig dc;
+    dc.barrier_release_cost = cost;
+    Driver driver(sys, make_uniform_program(2, 10, 5'000), std::move(gens),
+                  dc);
+    return driver.run().total_cycles;
+  };
+  EXPECT_GE(run_with_cost(1'000), run_with_cost(0) + 10 * 1'000);
+}
+
+TEST(Driver, RejectsMismatchedConfiguration) {
+  CmpSystem sys(config(2));
+  Sources one;
+  one.push_back(generator(0, 0.3));
+  EXPECT_DEATH(Driver(sys, make_uniform_program(2, 2, 100), std::move(one),
+                      {}),
+               "one op source per thread");
+  Sources three;
+  three.push_back(generator(0, 0.3));
+  three.push_back(generator(1, 0.3));
+  three.push_back(generator(2, 0.3));
+  EXPECT_DEATH(Driver(sys, make_uniform_program(3, 2, 100), std::move(three),
+                      {}),
+               "match the system");
+}
+
+}  // namespace
+}  // namespace capart::sim

@@ -1,0 +1,189 @@
+// Tests for the hierarchical OS + runtime partitioning of paper §VI-C.
+#include "src/core/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/policy.hpp"
+
+namespace capart::core {
+namespace {
+
+sim::SystemConfig system_config(ThreadId threads) {
+  sim::SystemConfig c;
+  c.num_threads = threads;
+  c.l1 = {.sets = 4, .ways = 2, .line_bytes = 64};
+  c.l2 = {.sets = 8, .ways = 16, .line_bytes = 64};
+  c.l2_mode = mem::L2Mode::kPartitionedShared;
+  return c;
+}
+
+std::vector<std::unique_ptr<PartitionPolicy>> two_policies(PolicyKind kind) {
+  std::vector<std::unique_ptr<PartitionPolicy>> v;
+  v.push_back(make_policy(kind));
+  v.push_back(make_policy(kind));
+  return v;
+}
+
+std::vector<AppSpec> two_apps() {
+  return {AppSpec{.threads = {0, 1}}, AppSpec{.threads = {2, 3}}};
+}
+
+TEST(HierarchicalRuntime, InitialSharesAreThreadProportional) {
+  sim::CmpSystem sys(system_config(4));
+  HierarchicalRuntime rt(sys, two_apps(),
+                         two_policies(PolicyKind::kStaticEqual),
+                         OsAllocationMode::kStaticEqual, 1, 100);
+  const auto shares = rt.app_shares();
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_EQ(shares[0], 8u);
+  EXPECT_EQ(shares[1], 8u);
+}
+
+TEST(HierarchicalRuntime, UnevenAppsGetProportionalShares) {
+  sim::CmpSystem sys(system_config(4));
+  std::vector<AppSpec> apps = {AppSpec{.threads = {0, 1, 2}},
+                               AppSpec{.threads = {3}}};
+  std::vector<std::unique_ptr<PartitionPolicy>> policies;
+  policies.push_back(make_policy(PolicyKind::kStaticEqual));
+  policies.push_back(make_policy(PolicyKind::kStaticEqual));
+  HierarchicalRuntime rt(sys, std::move(apps), std::move(policies),
+                         OsAllocationMode::kStaticEqual, 1, 100);
+  EXPECT_EQ(rt.app_shares()[0], 12u);
+  EXPECT_EQ(rt.app_shares()[1], 4u);
+}
+
+TEST(HierarchicalRuntime, BarrierGroupsFollowAppOwnership) {
+  sim::CmpSystem sys(system_config(4));
+  HierarchicalRuntime rt(sys, two_apps(),
+                         two_policies(PolicyKind::kStaticEqual),
+                         OsAllocationMode::kStaticEqual, 1, 100);
+  EXPECT_EQ(rt.barrier_groups(), (std::vector<std::uint32_t>{0, 0, 1, 1}));
+}
+
+TEST(HierarchicalRuntime, PerAppPartitionsStayWithinShares) {
+  sim::CmpSystem sys(system_config(4));
+  HierarchicalRuntime rt(sys, two_apps(),
+                         two_policies(PolicyKind::kCpiProportional),
+                         OsAllocationMode::kStaticEqual, 1, 100);
+  // App 0's thread 0 is slow; app 1's threads equal.
+  sys.counters().thread(0).instructions = 1'000;
+  sys.counters().thread(0).exec_cycles = 9'000;
+  sys.counters().thread(1).instructions = 1'000;
+  sys.counters().thread(1).exec_cycles = 1'000;
+  for (ThreadId t = 2; t < 4; ++t) {
+    sys.counters().thread(t).instructions = 1'000;
+    sys.counters().thread(t).exec_cycles = 2'000;
+  }
+  EXPECT_EQ(rt.on_interval(0), 100u);
+  const auto targets = sys.l2().current_targets();
+  EXPECT_EQ(targets[0] + targets[1], 8u);  // app 0's share intact
+  EXPECT_EQ(targets[2] + targets[3], 8u);
+  EXPECT_GT(targets[0], targets[1]);  // slow thread favoured inside app 0
+  EXPECT_EQ(targets[2], targets[3]);
+}
+
+TEST(HierarchicalRuntime, MissProportionalOsShiftsSharesTowardMissierApp) {
+  sim::CmpSystem sys(system_config(4));
+  HierarchicalRuntime rt(sys, two_apps(),
+                         two_policies(PolicyKind::kStaticEqual),
+                         OsAllocationMode::kMissProportional, 1, 100);
+  // App 1 misses 9x more than app 0.
+  sys.counters().thread(0).l2_misses = 100;
+  sys.counters().thread(1).l2_misses = 100;
+  sys.counters().thread(2).l2_misses = 900;
+  sys.counters().thread(3).l2_misses = 900;
+  for (ThreadId t = 0; t < 4; ++t) {
+    sys.counters().thread(t).instructions = 1'000;
+    sys.counters().thread(t).exec_cycles = 2'000;
+  }
+  rt.on_interval(0);
+  EXPECT_GT(rt.app_shares()[1], rt.app_shares()[0]);
+  EXPECT_EQ(rt.app_shares()[0] + rt.app_shares()[1], 16u);
+  EXPECT_GE(rt.app_shares()[0], 2u);  // floor: one way per thread
+}
+
+TEST(HierarchicalRuntime, OsPeriodThrottlesReallocation) {
+  sim::CmpSystem sys(system_config(4));
+  HierarchicalRuntime rt(sys, two_apps(),
+                         two_policies(PolicyKind::kStaticEqual),
+                         OsAllocationMode::kMissProportional,
+                         /*os_period=*/4, 100);
+  auto drive = [&](std::uint64_t idx, std::uint64_t app0_misses,
+                   std::uint64_t app1_misses) {
+    for (ThreadId t = 0; t < 4; ++t) {
+      sys.counters().thread(t).instructions += 1'000;
+      sys.counters().thread(t).exec_cycles += 2'000;
+    }
+    sys.counters().thread(0).l2_misses += app0_misses;
+    sys.counters().thread(2).l2_misses += app1_misses;
+    rt.on_interval(idx);
+  };
+  drive(0, 100, 100);  // interval 0: reallocates (0 % 4 == 0), balanced
+  const std::uint32_t share_after_first = rt.app_shares()[1];
+  // Big app-1 miss bursts — but no OS reallocation until interval 4.
+  drive(1, 100, 10'000);
+  drive(2, 100, 10'000);
+  drive(3, 100, 10'000);
+  EXPECT_EQ(rt.app_shares()[1], share_after_first);
+  drive(4, 100, 10'000);
+  EXPECT_GT(rt.app_shares()[1], share_after_first);
+}
+
+TEST(HierarchicalRuntime, HistoryRecordsEveryInterval) {
+  sim::CmpSystem sys(system_config(4));
+  HierarchicalRuntime rt(sys, two_apps(),
+                         two_policies(PolicyKind::kStaticEqual),
+                         OsAllocationMode::kStaticEqual, 1, 100);
+  rt.on_interval(0);
+  rt.on_interval(1);
+  EXPECT_EQ(rt.history().size(), 2u);
+}
+
+TEST(HierarchicalRuntime, RejectsBadOwnership) {
+  sim::CmpSystem sys(system_config(4));
+  {
+    std::vector<AppSpec> overlapping = {AppSpec{.threads = {0, 1}},
+                                        AppSpec{.threads = {1, 2, 3}}};
+    EXPECT_DEATH(HierarchicalRuntime(sys, std::move(overlapping),
+                                     two_policies(PolicyKind::kStaticEqual),
+                                     OsAllocationMode::kStaticEqual, 1, 100),
+                 "owned by two");
+  }
+  {
+    std::vector<AppSpec> missing = {AppSpec{.threads = {0, 1}},
+                                    AppSpec{.threads = {2}}};
+    EXPECT_DEATH(HierarchicalRuntime(sys, std::move(missing),
+                                     two_policies(PolicyKind::kStaticEqual),
+                                     OsAllocationMode::kStaticEqual, 1, 100),
+                 "unowned");
+  }
+}
+
+TEST(HierarchicalRuntime, ModelBasedPoliciesComposePerApp) {
+  // End-to-end plumbing with the real headline policy inside each app.
+  sim::CmpSystem sys(system_config(4));
+  HierarchicalRuntime rt(sys, two_apps(),
+                         two_policies(PolicyKind::kModelBased),
+                         OsAllocationMode::kStaticEqual, 1, 100);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    for (ThreadId t = 0; t < 4; ++t) {
+      sys.counters().thread(t).instructions += 1'000;
+      // Thread 0 is slow inside app 0.
+      sys.counters().thread(t).exec_cycles += (t == 0) ? 8'000 : 2'000;
+    }
+    rt.on_interval(i);
+    const auto targets = sys.l2().current_targets();
+    std::uint32_t total = 0;
+    for (std::uint32_t w : targets) {
+      EXPECT_GE(w, 1u);
+      total += w;
+    }
+    EXPECT_EQ(total, 16u);
+  }
+  EXPECT_GT(sys.l2().current_targets()[0], sys.l2().current_targets()[1]);
+}
+
+}  // namespace
+}  // namespace capart::core

@@ -1,0 +1,75 @@
+#include "src/sim/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capart::sim {
+namespace {
+
+ThreadIntervalRecord rec(Instructions instr, Cycles cycles) {
+  ThreadIntervalRecord r;
+  r.instructions = instr;
+  r.exec_cycles = cycles;
+  return r;
+}
+
+TEST(IntervalRecord, MaxCpiAndCriticalThread) {
+  IntervalRecord r;
+  r.threads = {rec(100, 300), rec(100, 650), rec(100, 200)};
+  EXPECT_DOUBLE_EQ(r.max_cpi(), 6.5);
+  EXPECT_EQ(r.critical_thread(), 1u);
+}
+
+TEST(IntervalRecord, AggregateCpiWeighsByInstructions) {
+  IntervalRecord r;
+  r.threads = {rec(100, 100), rec(300, 900)};
+  EXPECT_DOUBLE_EQ(r.aggregate_cpi(), 2.5);
+}
+
+TEST(IntervalRecord, EmptyRecordIsZero) {
+  IntervalRecord r;
+  EXPECT_DOUBLE_EQ(r.max_cpi(), 0.0);
+  EXPECT_DOUBLE_EQ(r.aggregate_cpi(), 0.0);
+}
+
+TEST(IntervalRecord, ZeroInstructionThreadHasZeroCpi) {
+  // A thread that spent the whole interval at a barrier must not divide by
+  // zero nor be selected as critical over a real CPI.
+  IntervalRecord r;
+  r.threads = {rec(0, 0), rec(100, 500)};
+  EXPECT_DOUBLE_EQ(r.threads[0].cpi(), 0.0);
+  EXPECT_EQ(r.critical_thread(), 1u);
+}
+
+TEST(MakeIntervalRecord, CopiesCountersAndWays) {
+  std::vector<cpu::CounterBlock> deltas(2);
+  deltas[0].instructions = 10;
+  deltas[0].exec_cycles = 30;
+  deltas[0].stall_cycles = 5;
+  deltas[0].l1_misses = 4;
+  deltas[0].l2_accesses = 4;
+  deltas[0].l2_hits = 3;
+  deltas[0].l2_misses = 1;
+  deltas[1].instructions = 20;
+  const std::vector<std::uint32_t> ways = {48, 16};
+  const IntervalRecord r = make_interval_record(7, deltas, ways);
+  EXPECT_EQ(r.index, 7u);
+  ASSERT_EQ(r.threads.size(), 2u);
+  EXPECT_EQ(r.threads[0].instructions, 10u);
+  EXPECT_EQ(r.threads[0].exec_cycles, 30u);
+  EXPECT_EQ(r.threads[0].stall_cycles, 5u);
+  EXPECT_EQ(r.threads[0].l1_misses, 4u);
+  EXPECT_EQ(r.threads[0].l2_hits, 3u);
+  EXPECT_EQ(r.threads[0].l2_misses, 1u);
+  EXPECT_EQ(r.threads[0].ways, 48u);
+  EXPECT_EQ(r.threads[1].ways, 16u);
+  EXPECT_DOUBLE_EQ(r.threads[0].cpi(), 3.0);
+}
+
+TEST(MakeIntervalRecord, DeathOnSizeMismatch) {
+  std::vector<cpu::CounterBlock> deltas(2);
+  const std::vector<std::uint32_t> ways = {64};
+  EXPECT_DEATH(make_interval_record(0, deltas, ways), "mismatch");
+}
+
+}  // namespace
+}  // namespace capart::sim

@@ -1,0 +1,104 @@
+#include "src/mem/l2_organization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace capart::mem {
+namespace {
+
+CacheGeometry small() { return {.sets = 4, .ways = 8, .line_bytes = 64}; }
+
+Addr blk(std::uint64_t b) { return b * 64; }
+
+TEST(L2Organization, FactoryProducesRequestedModes) {
+  for (L2Mode mode : {L2Mode::kSharedUnpartitioned, L2Mode::kPartitionedShared,
+                      L2Mode::kPrivatePerThread}) {
+    auto l2 = make_l2(mode, small(), 2);
+    EXPECT_EQ(l2->mode(), mode);
+    EXPECT_EQ(l2->num_threads(), 2u);
+    EXPECT_EQ(l2->total_ways(), 8u);
+  }
+}
+
+TEST(L2Organization, OnlyPartitionedSharedIsPartitionable) {
+  EXPECT_FALSE(
+      make_l2(L2Mode::kSharedUnpartitioned, small(), 2)->partitionable());
+  EXPECT_TRUE(
+      make_l2(L2Mode::kPartitionedShared, small(), 2)->partitionable());
+  EXPECT_FALSE(
+      make_l2(L2Mode::kPrivatePerThread, small(), 2)->partitionable());
+}
+
+TEST(L2Organization, SetTargetsIsNoOpWhereNotApplicable) {
+  const std::vector<std::uint32_t> targets = {6, 2};
+  auto shared = make_l2(L2Mode::kSharedUnpartitioned, small(), 2);
+  shared->set_targets(targets);  // must not abort
+  auto priv = make_l2(L2Mode::kPrivatePerThread, small(), 2);
+  priv->set_targets(targets);  // must not abort
+  auto part = make_l2(L2Mode::kPartitionedShared, small(), 2);
+  part->set_targets(targets);
+  EXPECT_EQ(part->current_targets(), targets);
+}
+
+TEST(L2Organization, PrivateTargetsReportSliceWays) {
+  auto priv = make_l2(L2Mode::kPrivatePerThread, small(), 2);
+  EXPECT_EQ(priv->current_targets(), (std::vector<std::uint32_t>{4, 4}));
+}
+
+TEST(PrivateL2, ThreadsAreFullyIsolated) {
+  auto priv = make_l2(L2Mode::kPrivatePerThread, small(), 2);
+  EXPECT_FALSE(priv->access(0, blk(3), AccessType::kRead));
+  EXPECT_TRUE(priv->access(0, blk(3), AccessType::kRead));
+  // Thread 1 cannot see thread 0's copy: no constructive sharing, data is
+  // replicated (the private-cache drawback the paper highlights).
+  EXPECT_FALSE(priv->access(1, blk(3), AccessType::kRead));
+  EXPECT_TRUE(priv->access(1, blk(3), AccessType::kRead));
+  EXPECT_EQ(priv->stats().thread(0).inter_thread_hits, 0u);
+  EXPECT_EQ(priv->stats().thread(1).inter_thread_hits, 0u);
+}
+
+TEST(PrivateL2, SliceCapacityIsTotalOverThreads) {
+  // Two threads, 8 total ways -> 4-way slices over the full set count.
+  auto priv = make_l2(L2Mode::kPrivatePerThread, small(), 2);
+  // Thread 0 loops over 5 blocks of one set: slice associativity 4 -> misses.
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t b = 0; b < 5; ++b) {
+      priv->access(0, blk(b * 4), AccessType::kRead);  // same set (4 sets)
+    }
+  }
+  EXPECT_EQ(priv->stats().thread(0).hits, 0u);
+}
+
+TEST(PrivateL2, StatsPerThread) {
+  auto priv = make_l2(L2Mode::kPrivatePerThread, small(), 2);
+  priv->access(0, blk(1), AccessType::kRead);
+  priv->access(0, blk(1), AccessType::kRead);
+  priv->access(1, blk(2), AccessType::kRead);
+  EXPECT_EQ(priv->stats().thread(0).accesses, 2u);
+  EXPECT_EQ(priv->stats().thread(0).hits, 1u);
+  EXPECT_EQ(priv->stats().thread(1).accesses, 1u);
+  EXPECT_EQ(priv->stats().thread(1).misses, 1u);
+}
+
+TEST(SharedL2, CrossThreadHitsWork) {
+  auto shared = make_l2(L2Mode::kSharedUnpartitioned, small(), 2);
+  shared->access(0, blk(9), AccessType::kRead);
+  EXPECT_TRUE(shared->access(1, blk(9), AccessType::kRead));
+  EXPECT_EQ(shared->stats().thread(1).inter_thread_hits, 1u);
+}
+
+TEST(L2Organization, ModeNames) {
+  EXPECT_EQ(to_string(L2Mode::kSharedUnpartitioned), "shared-unpartitioned");
+  EXPECT_EQ(to_string(L2Mode::kPartitionedShared), "partitioned-shared");
+  EXPECT_EQ(to_string(L2Mode::kPrivatePerThread), "private-per-thread");
+}
+
+TEST(PrivateL2, RejectsMoreThreadsThanWays) {
+  EXPECT_DEATH(make_l2(L2Mode::kPrivatePerThread,
+                       {.sets = 4, .ways = 2, .line_bytes = 64}, 3),
+               "fewer ways than threads");
+}
+
+}  // namespace
+}  // namespace capart::mem

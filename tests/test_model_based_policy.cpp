@@ -1,0 +1,264 @@
+// Tests for the paper's headline scheme (§VI-B, Fig 13) and its runtime
+// model machinery.
+#include "src/core/model_based_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/runtime_model.hpp"
+
+namespace capart::core {
+namespace {
+
+constexpr PartitionContext kCtx{.total_ways = 32, .num_threads = 4};
+
+/// Builds an interval record where thread t ran with `ways[t]` and showed
+/// `cpis[t]`; index >= 1 so observations are recorded (cold-start guard).
+sim::IntervalRecord make_record(std::uint64_t index,
+                                const std::vector<std::uint32_t>& ways,
+                                const std::vector<double>& cpis) {
+  sim::IntervalRecord r;
+  r.index = index;
+  for (std::size_t t = 0; t < ways.size(); ++t) {
+    sim::ThreadIntervalRecord tr;
+    tr.instructions = 10'000;
+    tr.exec_cycles = static_cast<Cycles>(cpis[t] * 10'000.0);
+    tr.ways = ways[t];
+    r.threads.push_back(tr);
+  }
+  return r;
+}
+
+std::uint32_t sum(const std::vector<std::uint32_t>& v) {
+  return std::accumulate(v.begin(), v.end(), 0u);
+}
+
+TEST(RuntimeModelSet, ObserveAndPredictThroughPoints) {
+  RuntimeModelSet m(ModelKind::kCubicSpline, 1.0);
+  m.observe(0, 4, 10.0);
+  m.observe(0, 8, 6.0);
+  m.observe(0, 16, 4.0);
+  m.fit(1);
+  EXPECT_NEAR(m.predict(0, 4), 10.0, 1e-9);
+  EXPECT_NEAR(m.predict(0, 8), 6.0, 1e-9);
+  EXPECT_NEAR(m.predict(0, 16), 4.0, 1e-9);
+  // Interpolation between points is monotone-ish here.
+  EXPECT_LT(m.predict(0, 12), 6.0);
+  EXPECT_GT(m.predict(0, 12), 4.0);
+}
+
+TEST(RuntimeModelSet, EwmaSmoothsRepeatedObservations) {
+  RuntimeModelSet m(ModelKind::kCubicSpline, 0.5);
+  m.observe(0, 8, 10.0);
+  m.observe(0, 8, 20.0);  // EWMA: 0.5*20 + 0.5*10 = 15
+  EXPECT_DOUBLE_EQ(m.points(0).at(8), 15.0);
+}
+
+TEST(RuntimeModelSet, BelowRangePredictionNeverImproves) {
+  // The pessimistic floor: walking below the sampled range must predict
+  // equal-or-worse CPI, otherwise the reassignment loop strips unexplored
+  // threads for free.
+  RuntimeModelSet m(ModelKind::kCubicSpline, 1.0);
+  m.observe(0, 8, 6.0);
+  m.observe(0, 16, 4.0);
+  m.fit(1);
+  EXPECT_GE(m.predict(0, 4), 6.0);
+  EXPECT_GE(m.predict(0, 1), m.predict(0, 4));
+}
+
+TEST(RuntimeModelSet, AboveRangeExtendsADescendingCurve) {
+  // If the sampled curve still slopes down at its top, more ways must be
+  // predicted to keep helping (linearly) — otherwise the reassignment loop
+  // can never explore beyond visited allocations.
+  RuntimeModelSet m(ModelKind::kPiecewiseLinear, 1.0);
+  m.observe(0, 8, 10.0);
+  m.observe(0, 16, 6.0);  // slope -0.5 per way at the top
+  m.fit(1);
+  EXPECT_NEAR(m.predict(0, 20), 4.0, 1e-9);
+  EXPECT_LT(m.predict(0, 24), m.predict(0, 20));
+}
+
+TEST(RuntimeModelSet, AboveRangePredictionIsClampedAtZero) {
+  RuntimeModelSet m(ModelKind::kPiecewiseLinear, 1.0);
+  m.observe(0, 8, 2.0);
+  m.observe(0, 16, 1.0);
+  m.fit(1);
+  EXPECT_DOUBLE_EQ(m.predict(0, 64), 0.0);  // never predicts negative CPI
+}
+
+TEST(RuntimeModelSet, AboveRangeFlatWhenCurveSlopesUpward) {
+  // A rising top slope (noise) must not predict that more ways hurt less
+  // than observed: clamp to flat.
+  RuntimeModelSet m(ModelKind::kPiecewiseLinear, 1.0);
+  m.observe(0, 8, 4.0);
+  m.observe(0, 16, 9.0);
+  m.fit(1);
+  EXPECT_DOUBLE_EQ(m.predict(0, 32), 9.0);
+}
+
+TEST(RuntimeModelSet, BelowRangeFlatWhenCurveSlopesUpward) {
+  // A (noisy) curve that *improves* with fewer ways must not extrapolate
+  // that improvement: clamp to flat.
+  RuntimeModelSet m(ModelKind::kPiecewiseLinear, 1.0);
+  m.observe(0, 8, 4.0);
+  m.observe(0, 16, 9.0);
+  m.fit(1);
+  EXPECT_DOUBLE_EQ(m.predict(0, 2), 4.0);
+}
+
+TEST(RuntimeModelSet, SinglePointPredictsThatValue) {
+  RuntimeModelSet m(ModelKind::kCubicSpline, 1.0);
+  m.observe(0, 8, 7.5);
+  m.fit(1);
+  EXPECT_DOUBLE_EQ(m.predict(0, 1), 7.5);
+  EXPECT_DOUBLE_EQ(m.predict(0, 32), 7.5);
+  EXPECT_FALSE(m.ready(0));
+}
+
+TEST(RuntimeModelSet, UnknownThreadPredictsZero) {
+  RuntimeModelSet m(ModelKind::kCubicSpline, 1.0);
+  m.fit(1);
+  EXPECT_DOUBLE_EQ(m.predict(3, 8), 0.0);
+}
+
+TEST(RuntimeModelSet, ResetClearsEverything) {
+  RuntimeModelSet m(ModelKind::kCubicSpline, 1.0);
+  m.observe(0, 8, 7.5);
+  m.reset();
+  m.fit(1);
+  EXPECT_DOUBLE_EQ(m.predict(0, 8), 0.0);
+  EXPECT_TRUE(m.points(0).empty());
+}
+
+TEST(ModelBasedPolicy, BootstrapsWithCpiProportional) {
+  ModelBasedPolicy p(PolicyOptions{});
+  // First interval (equal ways in force): CPI-proportional output expected.
+  const auto a1 =
+      p.repartition(make_record(0, {8, 8, 8, 8}, {8, 4, 2, 2}), kCtx);
+  EXPECT_EQ(a1, (std::vector<std::uint32_t>{16, 8, 4, 4}));
+  const auto a2 =
+      p.repartition(make_record(1, {16, 8, 4, 4}, {6, 4, 3, 3}), kCtx);
+  EXPECT_EQ(sum(a2), 32u);
+  EXPECT_GT(a2[0], a2[1]);  // still CPI-proportional on interval 2
+}
+
+TEST(ModelBasedPolicy, GivesWaysToTheSensitiveCriticalThread) {
+  ModelBasedPolicy p(PolicyOptions{});
+  // Thread 0 is critical and cache-sensitive: CPI = 40/ways + 2.
+  // Others are flat at CPI 3.
+  auto cpi_of = [](ThreadId t, std::uint32_t ways) {
+    return t == 0 ? 40.0 / ways + 2.0 : 3.0;
+  };
+  std::vector<std::uint32_t> alloc = {8, 8, 8, 8};
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    std::vector<double> cpis;
+    for (ThreadId t = 0; t < 4; ++t) cpis.push_back(cpi_of(t, alloc[t]));
+    alloc = p.repartition(make_record(i, alloc, cpis), kCtx);
+    ASSERT_EQ(sum(alloc), 32u);
+    for (std::uint32_t w : alloc) ASSERT_GE(w, 1u);
+  }
+  // Thread 0 must have accumulated a clear majority of the ways.
+  EXPECT_GT(alloc[0], 16u);
+}
+
+TEST(ModelBasedPolicy, InsensitiveCriticalThreadIsNotOverfed) {
+  // Paper §IV-C: "if the critical path thread is not very cache sensitive
+  // ... there may not be much performance benefit". The models learn the
+  // flat curve and the hill-climb stops: the allocation must not collapse
+  // everyone else to the floor.
+  ModelBasedPolicy p(PolicyOptions{});
+  auto cpi_of = [](ThreadId t, std::uint32_t ways) {
+    if (t == 0) return 9.0;               // critical, flat
+    return 20.0 / ways + 1.0;             // others benefit from ways
+  };
+  std::vector<std::uint32_t> alloc = {8, 8, 8, 8};
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    std::vector<double> cpis;
+    for (ThreadId t = 0; t < 4; ++t) cpis.push_back(cpi_of(t, alloc[t]));
+    alloc = p.repartition(make_record(i, alloc, cpis), kCtx);
+  }
+  EXPECT_GE(alloc[1], 4u);
+  EXPECT_GE(alloc[2], 4u);
+  EXPECT_GE(alloc[3], 4u);
+}
+
+TEST(ModelBasedPolicy, MoveCapBoundsPerIntervalChange) {
+  PolicyOptions opt;
+  opt.max_moves_per_interval = 2;
+  ModelBasedPolicy p(opt);
+  auto cpi_of = [](ThreadId t, std::uint32_t ways) {
+    return t == 0 ? 100.0 / ways : 2.0;
+  };
+  std::vector<std::uint32_t> alloc = {8, 8, 8, 8};
+  // Prime past the bootstrap.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    std::vector<double> cpis;
+    for (ThreadId t = 0; t < 4; ++t) cpis.push_back(cpi_of(t, alloc[t]));
+    alloc = p.repartition(make_record(i, alloc, cpis), kCtx);
+  }
+  // From now on, the L1 distance between consecutive allocations is <= 2*cap.
+  for (std::uint64_t i = 3; i < 8; ++i) {
+    std::vector<double> cpis;
+    for (ThreadId t = 0; t < 4; ++t) cpis.push_back(cpi_of(t, alloc[t]));
+    const auto next = p.repartition(make_record(i, alloc, cpis), kCtx);
+    std::uint32_t moved = 0;
+    for (ThreadId t = 0; t < 4; ++t) {
+      moved += next[t] > alloc[t] ? next[t] - alloc[t] : alloc[t] - next[t];
+    }
+    EXPECT_LE(moved, 2u * opt.max_moves_per_interval);
+    alloc = next;
+  }
+}
+
+TEST(ModelBasedPolicy, InconsistentInForceWaysFallBackToEqualBase) {
+  ModelBasedPolicy p(PolicyOptions{});
+  // Prime two intervals.
+  p.repartition(make_record(0, {8, 8, 8, 8}, {4, 3, 2, 1}), kCtx);
+  p.repartition(make_record(1, {8, 8, 8, 8}, {4, 3, 2, 1}), kCtx);
+  // Record whose ways don't sum to total: must still return a valid split.
+  const auto alloc =
+      p.repartition(make_record(2, {1, 1, 1, 1}, {4, 3, 2, 1}), kCtx);
+  EXPECT_EQ(sum(alloc), 32u);
+  for (std::uint32_t w : alloc) EXPECT_GE(w, 1u);
+}
+
+TEST(ModelBasedPolicy, ResetForgetsHistory) {
+  ModelBasedPolicy p(PolicyOptions{});
+  p.repartition(make_record(0, {8, 8, 8, 8}, {9, 1, 1, 1}), kCtx);
+  p.repartition(make_record(1, {16, 6, 5, 5}, {7, 1, 1, 1}), kCtx);
+  p.reset();
+  EXPECT_EQ(p.intervals_seen(), 0u);
+  EXPECT_TRUE(p.models().points(0).empty());
+  // Back to bootstrap behaviour.
+  const auto alloc =
+      p.repartition(make_record(0, {8, 8, 8, 8}, {8, 4, 2, 2}), kCtx);
+  EXPECT_EQ(alloc, (std::vector<std::uint32_t>{16, 8, 4, 4}));
+}
+
+TEST(ModelBasedPolicy, ColdFirstIntervalIsNotLearned) {
+  ModelBasedPolicy p(PolicyOptions{});
+  p.repartition(make_record(0, {8, 8, 8, 8}, {50, 50, 50, 50}), kCtx);
+  EXPECT_TRUE(p.models().points(0).empty());
+  p.repartition(make_record(1, {8, 8, 8, 8}, {5, 5, 5, 5}), kCtx);
+  EXPECT_EQ(p.models().points(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(p.models().points(0).at(8), 5.0);
+}
+
+TEST(ModelBasedPolicy, PredictExposesTheFittedModel) {
+  ModelBasedPolicy p(PolicyOptions{});
+  std::vector<std::uint32_t> alloc = {8, 8, 8, 8};
+  auto cpi_of = [](ThreadId t, std::uint32_t ways) {
+    return t == 0 ? 64.0 / ways : 2.0;
+  };
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    std::vector<double> cpis;
+    for (ThreadId t = 0; t < 4; ++t) cpis.push_back(cpi_of(t, alloc[t]));
+    alloc = p.repartition(make_record(i, alloc, cpis), kCtx);
+  }
+  // The model for thread 0 should reflect "more ways, lower CPI".
+  EXPECT_GT(p.predict(0, 6), p.predict(0, 20));
+}
+
+}  // namespace
+}  // namespace capart::core

@@ -1,0 +1,92 @@
+#include "src/cpu/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capart::cpu {
+namespace {
+
+TEST(PerfCounters, SampleIntervalReturnsDeltasAndRebases) {
+  PerfCounters c(2);
+  c.thread(0).instructions = 100;
+  c.thread(0).exec_cycles = 250;
+  c.thread(1).l2_misses = 7;
+
+  auto first = c.sample_interval();
+  EXPECT_EQ(first[0].instructions, 100u);
+  EXPECT_EQ(first[0].exec_cycles, 250u);
+  EXPECT_EQ(first[1].l2_misses, 7u);
+
+  c.thread(0).instructions = 130;  // +30
+  c.thread(1).l2_misses = 10;      // +3
+  auto second = c.sample_interval();
+  EXPECT_EQ(second[0].instructions, 30u);
+  EXPECT_EQ(second[1].l2_misses, 3u);
+}
+
+TEST(PerfCounters, PeekDoesNotRebase) {
+  PerfCounters c(1);
+  c.thread(0).instructions = 42;
+  EXPECT_EQ(c.peek_interval()[0].instructions, 42u);
+  EXPECT_EQ(c.peek_interval()[0].instructions, 42u);
+  EXPECT_EQ(c.sample_interval()[0].instructions, 42u);
+  EXPECT_EQ(c.peek_interval()[0].instructions, 0u);
+}
+
+TEST(PerfCounters, TotalInstructionsSumsThreads) {
+  PerfCounters c(3);
+  c.thread(0).instructions = 10;
+  c.thread(1).instructions = 20;
+  c.thread(2).instructions = 30;
+  EXPECT_EQ(c.total_instructions(), 60u);
+}
+
+TEST(CounterBlock, CpiComputation) {
+  CounterBlock b;
+  EXPECT_DOUBLE_EQ(b.cpi(), 0.0);  // no instructions -> defined as 0
+  b.instructions = 100;
+  b.exec_cycles = 350;
+  EXPECT_DOUBLE_EQ(b.cpi(), 3.5);
+}
+
+TEST(CounterBlock, CpiExcludesStallCycles) {
+  // The paper's per-thread performance measures execution speed; barrier
+  // waiting is accounted separately.
+  CounterBlock b;
+  b.instructions = 100;
+  b.exec_cycles = 200;
+  b.stall_cycles = 1'000'000;
+  EXPECT_DOUBLE_EQ(b.cpi(), 2.0);
+}
+
+TEST(CounterBlock, SubtractionCoversEveryField) {
+  CounterBlock now;
+  now.instructions = 10;
+  now.exec_cycles = 20;
+  now.stall_cycles = 30;
+  now.l1_accesses = 40;
+  now.l1_misses = 50;
+  now.l2_accesses = 60;
+  now.l2_hits = 70;
+  now.l2_misses = 80;
+  CounterBlock base;
+  base.instructions = 1;
+  base.exec_cycles = 2;
+  base.stall_cycles = 3;
+  base.l1_accesses = 4;
+  base.l1_misses = 5;
+  base.l2_accesses = 6;
+  base.l2_hits = 7;
+  base.l2_misses = 8;
+  const CounterBlock d = now - base;
+  EXPECT_EQ(d.instructions, 9u);
+  EXPECT_EQ(d.exec_cycles, 18u);
+  EXPECT_EQ(d.stall_cycles, 27u);
+  EXPECT_EQ(d.l1_accesses, 36u);
+  EXPECT_EQ(d.l1_misses, 45u);
+  EXPECT_EQ(d.l2_accesses, 54u);
+  EXPECT_EQ(d.l2_hits, 63u);
+  EXPECT_EQ(d.l2_misses, 72u);
+}
+
+}  // namespace
+}  // namespace capart::cpu

@@ -1,0 +1,109 @@
+#include "src/trace/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace capart::trace {
+namespace {
+
+Phase make_phase(std::uint32_t ws, Instructions dur) {
+  Phase p;
+  p.params.working_set_blocks = ws;
+  p.duration = dur;
+  return p;
+}
+
+TEST(PhaseSchedule, SinglePhaseIsAlwaysActive) {
+  PhaseSchedule s({make_phase(100, 1000)});
+  EXPECT_EQ(s.index_at(0), 0u);
+  EXPECT_EQ(s.index_at(999), 0u);
+  EXPECT_EQ(s.index_at(123'456), 0u);
+}
+
+TEST(PhaseSchedule, BoundariesAreHalfOpen) {
+  PhaseSchedule s({make_phase(1, 100), make_phase(2, 50)});
+  EXPECT_EQ(s.index_at(0), 0u);
+  EXPECT_EQ(s.index_at(99), 0u);
+  EXPECT_EQ(s.index_at(100), 1u);
+  EXPECT_EQ(s.index_at(149), 1u);
+}
+
+TEST(PhaseSchedule, CyclesForever) {
+  PhaseSchedule s({make_phase(1, 100), make_phase(2, 50)});
+  EXPECT_EQ(s.index_at(150), 0u);  // wrapped
+  EXPECT_EQ(s.index_at(250), 1u);
+  EXPECT_EQ(s.index_at(15'000), 0u);
+  EXPECT_EQ(s.index_at(15'100), 1u);
+}
+
+TEST(PhaseSchedule, AtReturnsTheActivePhase) {
+  PhaseSchedule s({make_phase(11, 10), make_phase(22, 10)});
+  EXPECT_EQ(s.at(5).params.working_set_blocks, 11u);
+  EXPECT_EQ(s.at(15).params.working_set_blocks, 22u);
+}
+
+TEST(PhaseSchedule, RejectsEmptyAndZeroDuration) {
+  EXPECT_DEATH(PhaseSchedule({}), "at least one phase");
+  EXPECT_DEATH(PhaseSchedule({make_phase(1, 0)}), "positive");
+}
+
+TEST(PhasedGenerator, SwitchesParamsAtBoundary) {
+  Phase a = make_phase(64, 5'000);
+  a.params.mem_ratio = 0.5;
+  Phase b = make_phase(128, 5'000);
+  b.params.mem_ratio = 0.1;
+  PhasedGenerator g(PhaseSchedule({a, b}), Rng(1), Addr{1} << 40,
+                    Addr{1} << 50);
+  EXPECT_EQ(g.current_params().working_set_blocks, 64u);
+  while (g.position() < 5'100) g.next();
+  // The generator applies the new phase lazily at the next op after the
+  // boundary; by now it must be in phase b.
+  g.next();
+  EXPECT_EQ(g.current_params().working_set_blocks, 128u);
+  // And back to phase a after a full cycle.
+  while (g.position() < 10'100) g.next();
+  g.next();
+  EXPECT_EQ(g.current_params().working_set_blocks, 64u);
+}
+
+TEST(PhasedGenerator, PositionAdvancesByGapPlusOne) {
+  PhasedGenerator g(PhaseSchedule({make_phase(64, 1'000'000)}), Rng(2),
+                    Addr{1} << 40, Addr{1} << 50);
+  Instructions expected = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    const NextOp op = g.next();
+    expected += op.gap + 1;
+    EXPECT_EQ(g.position(), expected);
+  }
+}
+
+TEST(PhasedGenerator, PhaseChangeAffectsBehaviour) {
+  // Memory intensity should visibly differ between phases.
+  Phase dense = make_phase(64, 200'000);
+  dense.params.mem_ratio = 0.8;
+  Phase sparse = make_phase(64, 200'000);
+  sparse.params.mem_ratio = 0.05;
+  PhasedGenerator g(PhaseSchedule({dense, sparse}), Rng(3), Addr{1} << 40,
+                    Addr{1} << 50);
+  // Average gap in the dense phase:
+  double dense_gap = 0;
+  int n = 0;
+  while (g.position() < 190'000) {
+    dense_gap += static_cast<double>(g.next().gap);
+    ++n;
+  }
+  dense_gap /= n;
+  while (g.position() < 210'000) g.next();  // cross boundary
+  double sparse_gap = 0;
+  n = 0;
+  while (g.position() < 390'000) {
+    sparse_gap += static_cast<double>(g.next().gap);
+    ++n;
+  }
+  sparse_gap /= n;
+  EXPECT_GT(sparse_gap, dense_gap * 10);
+}
+
+}  // namespace
+}  // namespace capart::trace

@@ -1,0 +1,259 @@
+// Tests for the static-equal, CPI-proportional, time-shared and
+// throughput-oriented policies (the model-based scheme has its own file).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/cpi_proportional_policy.hpp"
+#include "src/core/equal_policy.hpp"
+#include "src/core/policy.hpp"
+#include "src/core/throughput_policy.hpp"
+#include "src/core/fair_slowdown_policy.hpp"
+#include "src/core/time_shared_policy.hpp"
+
+namespace capart::core {
+namespace {
+
+sim::IntervalRecord record_with_cpis(const std::vector<double>& cpis,
+                                     std::uint32_t ways_each,
+                                     std::uint64_t index = 0) {
+  sim::IntervalRecord r;
+  r.index = index;
+  for (double cpi : cpis) {
+    sim::ThreadIntervalRecord t;
+    t.instructions = 1'000;
+    t.exec_cycles = static_cast<Cycles>(cpi * 1'000.0);
+    t.ways = ways_each;
+    t.l2_misses = static_cast<std::uint64_t>(cpi * 10.0);
+    r.threads.push_back(t);
+  }
+  return r;
+}
+
+std::uint32_t sum(const std::vector<std::uint32_t>& v) {
+  return std::accumulate(v.begin(), v.end(), 0u);
+}
+
+TEST(EqualPolicy, AlwaysReturnsEqualSplit) {
+  EqualPartitionPolicy p;
+  const PartitionContext ctx{.total_ways = 64, .num_threads = 4};
+  const auto alloc = p.repartition(record_with_cpis({9, 1, 5, 3}, 16), ctx);
+  EXPECT_EQ(alloc, (std::vector<std::uint32_t>{16, 16, 16, 16}));
+  EXPECT_FALSE(p.is_dynamic());
+}
+
+TEST(EqualSplit, DistributesRemainderFromTheFront) {
+  EXPECT_EQ(equal_split(64, 4), (std::vector<std::uint32_t>{16, 16, 16, 16}));
+  EXPECT_EQ(equal_split(10, 3), (std::vector<std::uint32_t>{4, 3, 3}));
+  EXPECT_DEATH(equal_split(2, 3), "at least one way");
+}
+
+TEST(CpiProportionalPolicy, AllocationFollowsTheFormula) {
+  // partition_t = CPI_t / sum(CPI) * TotalCacheWays (paper §VI-A).
+  CpiProportionalPolicy p;
+  const PartitionContext ctx{.total_ways = 64, .num_threads = 4};
+  const auto alloc = p.repartition(record_with_cpis({8, 4, 2, 2}, 16), ctx);
+  EXPECT_EQ(sum(alloc), 64u);
+  EXPECT_EQ(alloc[0], 32u);
+  EXPECT_EQ(alloc[1], 16u);
+  EXPECT_EQ(alloc[2], 8u);
+  EXPECT_EQ(alloc[3], 8u);
+}
+
+TEST(CpiProportionalPolicy, SlowestThreadGetsTheLargestShare) {
+  CpiProportionalPolicy p;
+  const PartitionContext ctx{.total_ways = 64, .num_threads = 4};
+  const auto alloc =
+      p.repartition(record_with_cpis({3.1, 11.5, 7.1, 4.4}, 16), ctx);
+  EXPECT_EQ(sum(alloc), 64u);
+  for (std::uint32_t w : alloc) EXPECT_GE(w, 1u);
+  EXPECT_GT(alloc[1], alloc[0]);
+  EXPECT_GT(alloc[1], alloc[2]);
+  EXPECT_GT(alloc[1], alloc[3]);
+}
+
+TEST(CpiProportionalPolicy, ExtremeDominanceRespectsFloors) {
+  CpiProportionalPolicy p;
+  const PartitionContext ctx{.total_ways = 64, .num_threads = 4};
+  const auto alloc =
+      p.repartition(record_with_cpis({1000, 0.001, 0.001, 0.001}, 16), ctx);
+  EXPECT_EQ(sum(alloc), 64u);
+  EXPECT_EQ(alloc[0], 61u);
+  EXPECT_EQ(alloc[1], 1u);
+}
+
+TEST(CpiProportionalPolicy, IsDynamic) {
+  CpiProportionalPolicy p;
+  EXPECT_TRUE(p.is_dynamic());
+}
+
+TEST(TimeSharedPolicy, RotatesTheLargePartition) {
+  PolicyOptions opt;
+  opt.time_shared_big_fraction = 0.5;
+  opt.time_shared_quantum = 1;
+  TimeSharedPolicy p(opt);
+  const PartitionContext ctx{.total_ways = 64, .num_threads = 4};
+  std::vector<ThreadId> owners;
+  for (int i = 0; i < 4; ++i) {
+    const auto alloc = p.repartition(record_with_cpis({1, 1, 1, 1}, 16), ctx);
+    EXPECT_EQ(sum(alloc), 64u);
+    ThreadId owner = 0;
+    for (ThreadId t = 1; t < 4; ++t) {
+      if (alloc[t] > alloc[owner]) owner = t;
+    }
+    EXPECT_EQ(alloc[owner], 32u);
+    owners.push_back(owner);
+  }
+  EXPECT_EQ(owners, (std::vector<ThreadId>{0, 1, 2, 3}));
+}
+
+TEST(TimeSharedPolicy, QuantumHoldsTheOwner) {
+  PolicyOptions opt;
+  opt.time_shared_quantum = 3;
+  opt.time_shared_big_fraction = 0.75;  // 0.5 of 2 threads = equal split
+  TimeSharedPolicy p(opt);
+  const PartitionContext ctx{.total_ways = 64, .num_threads = 2};
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 3; ++i) {
+    const auto alloc = p.repartition(record_with_cpis({1, 1}, 32), ctx);
+    if (i == 0) first = alloc;
+    EXPECT_EQ(alloc, first);
+  }
+  EXPECT_NE(p.repartition(record_with_cpis({1, 1}, 32), ctx), first);
+}
+
+TEST(TimeSharedPolicy, SingleThreadGetsEverything) {
+  TimeSharedPolicy p(PolicyOptions{});
+  const PartitionContext ctx{.total_ways = 64, .num_threads = 1};
+  EXPECT_EQ(p.repartition(record_with_cpis({1}, 64), ctx),
+            (std::vector<std::uint32_t>{64}));
+}
+
+TEST(TimeSharedPolicy, RejectsBadOptions) {
+  PolicyOptions opt;
+  opt.time_shared_big_fraction = 1.0;
+  EXPECT_DEATH(TimeSharedPolicy{opt}, "big fraction");
+  PolicyOptions opt2;
+  opt2.time_shared_quantum = 0;
+  EXPECT_DEATH(TimeSharedPolicy{opt2}, "quantum");
+}
+
+TEST(ThroughputPolicy, BootstrapIsMissProportional) {
+  ThroughputOrientedPolicy p(PolicyOptions{});
+  const PartitionContext ctx{.total_ways = 64, .num_threads = 4};
+  sim::IntervalRecord r = record_with_cpis({1, 1, 1, 1}, 16);
+  r.threads[2].l2_misses = 1'000;
+  r.threads[0].l2_misses = 10;
+  r.threads[1].l2_misses = 10;
+  r.threads[3].l2_misses = 10;
+  const auto alloc = p.repartition(r, ctx);
+  EXPECT_EQ(sum(alloc), 64u);
+  EXPECT_GT(alloc[2], 40u);
+}
+
+TEST(ThroughputPolicy, LearnsToFeedTheSteepestMissCurve) {
+  // Thread 0's misses fall sharply with more ways; thread 1's are flat.
+  // After learning, the greedy allocation must favour thread 0 even though
+  // thread 1 has the higher CPI — the scheme is critical-path-blind, which
+  // is exactly the paper's argument against it (§IV-B).
+  PolicyOptions opt;
+  opt.max_moves_per_interval = 0;  // let it jump straight to its target
+  ThroughputOrientedPolicy p(opt);
+  const PartitionContext ctx{.total_ways = 16, .num_threads = 2};
+  // Feed observations spanning the whole way range so the models carry real
+  // slope information (in a live run the bootstrap + drift provide this).
+  const std::uint32_t sampled_ways[] = {2, 4, 6, 8, 10, 12, 14};
+  std::vector<std::uint32_t> last;
+  std::uint64_t index = 1;  // skip the cold-interval guard
+  for (std::uint32_t w0 : sampled_ways) {
+    sim::IntervalRecord r;
+    r.index = index++;
+    for (ThreadId t = 0; t < 2; ++t) {
+      sim::ThreadIntervalRecord tr;
+      tr.instructions = 10'000;
+      tr.exec_cycles = t == 1 ? 80'000 : 20'000;  // thread 1 is critical
+      tr.ways = t == 0 ? w0 : 16 - w0;
+      tr.l2_misses = t == 0 ? 4'000 / tr.ways  // steep utility
+                            : 3'000;           // flat
+      r.threads.push_back(tr);
+    }
+    last = p.repartition(r, ctx);
+    EXPECT_EQ(sum(last), 16u);
+  }
+  EXPECT_GT(last[0], last[1]);
+}
+
+TEST(FairSlowdownPolicy, ProtectsTheSensitiveThreadNotTheCriticalOne) {
+  // Thread 0: flat high CPI (critical, insensitive — slowdown 1 everywhere).
+  // Thread 1: lower CPI but very cache-sensitive. A fairness scheme must
+  // keep thread 1 near its equal share instead of draining it toward the
+  // critical thread — the §IV-B behaviour that makes fairness the wrong
+  // objective inside one application.
+  FairSlowdownPolicy p(PolicyOptions{});
+  const PartitionContext ctx{.total_ways = 32, .num_threads = 4};
+  auto cpi_of = [](ThreadId t, std::uint32_t ways) {
+    if (t == 0) return 9.0;               // insensitive critical thread
+    if (t == 1) return 60.0 / ways + 1.0; // sensitive
+    return 2.0;
+  };
+  std::vector<std::uint32_t> alloc = {8, 8, 8, 8};
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    sim::IntervalRecord r;
+    r.index = i;
+    for (ThreadId t = 0; t < 4; ++t) {
+      sim::ThreadIntervalRecord tr;
+      tr.instructions = 10'000;
+      tr.exec_cycles =
+          static_cast<Cycles>(cpi_of(t, alloc[t]) * 10'000.0);
+      tr.ways = alloc[t];
+      r.threads.push_back(tr);
+    }
+    alloc = p.repartition(r, ctx);
+    std::uint32_t total = 0;
+    for (std::uint32_t w : alloc) {
+      ASSERT_GE(w, 1u);
+      total += w;
+    }
+    ASSERT_EQ(total, 32u);
+  }
+  // The sensitive thread keeps at least its equal share.
+  EXPECT_GE(alloc[1], 8u);
+}
+
+TEST(FairSlowdownPolicy, BootstrapsAndResets) {
+  FairSlowdownPolicy p(PolicyOptions{});
+  const PartitionContext ctx{.total_ways = 32, .num_threads = 4};
+  const auto a =
+      p.repartition(record_with_cpis({8, 4, 2, 2}, 8, 0), ctx);
+  EXPECT_EQ(a, (std::vector<std::uint32_t>{16, 8, 4, 4}));  // CPI bootstrap
+  p.reset();
+  const auto b =
+      p.repartition(record_with_cpis({8, 4, 2, 2}, 8, 0), ctx);
+  EXPECT_EQ(b, a);
+}
+
+TEST(PolicyFactory, ProducesEveryKindWithMatchingNames) {
+  const std::pair<PolicyKind, std::string_view> table[] = {
+      {PolicyKind::kStaticEqual, "static-equal"},
+      {PolicyKind::kCpiProportional, "cpi-proportional"},
+      {PolicyKind::kModelBased, "model-based(spline)"},
+      {PolicyKind::kThroughputOriented, "throughput-oriented"},
+      {PolicyKind::kTimeShared, "time-shared"},
+      {PolicyKind::kFairSlowdown, "fair-slowdown"},
+  };
+  for (const auto& [kind, name] : table) {
+    auto p = make_policy(kind);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->name(), name) << to_string(kind);
+  }
+}
+
+TEST(PolicyFactory, LinearModelVariantName) {
+  PolicyOptions opt;
+  opt.model_kind = ModelKind::kPiecewiseLinear;
+  EXPECT_EQ(make_policy(PolicyKind::kModelBased, opt)->name(),
+            "model-based(linear)");
+}
+
+}  // namespace
+}  // namespace capart::core

@@ -1,0 +1,58 @@
+#include "src/sim/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capart::sim {
+namespace {
+
+TEST(Program, UniformProgramSplitsWorkEvenly) {
+  const Program p = make_uniform_program(4, 10, 1'000);
+  EXPECT_EQ(p.sections.size(), 10u);
+  EXPECT_EQ(p.num_threads(), 4u);
+  for (ThreadId t = 0; t < 4; ++t) {
+    EXPECT_EQ(p.thread_total(t), 1'000u);
+  }
+  EXPECT_EQ(p.total_instructions(), 4'000u);
+}
+
+TEST(Program, RemainderGoesToFinalSection) {
+  const Program p = make_uniform_program(2, 3, 100);
+  EXPECT_EQ(p.sections[0].work[0], 33u);
+  EXPECT_EQ(p.sections[1].work[0], 33u);
+  EXPECT_EQ(p.sections[2].work[0], 34u);
+  EXPECT_EQ(p.thread_total(0), 100u);
+}
+
+TEST(Program, SingleSectionSingleThread) {
+  const Program p = make_uniform_program(1, 1, 42);
+  EXPECT_EQ(p.thread_total(0), 42u);
+}
+
+TEST(Program, SequentialSectionViaZeroWork) {
+  Program p;
+  p.sections.push_back({.work = {100, 0, 0}});  // only thread 0 runs
+  p.sections.push_back({.work = {50, 50, 50}});
+  p.validate();
+  EXPECT_EQ(p.thread_total(0), 150u);
+  EXPECT_EQ(p.thread_total(1), 50u);
+}
+
+TEST(Program, ValidateRejectsEmptyProgram) {
+  Program p;
+  EXPECT_DEATH(p.validate(), "at least one section");
+}
+
+TEST(Program, ValidateRejectsRaggedSections) {
+  Program p;
+  p.sections.push_back({.work = {1, 2}});
+  p.sections.push_back({.work = {1}});
+  EXPECT_DEATH(p.validate(), "every thread");
+}
+
+TEST(Program, MakeUniformRejectsZeroThreadsOrSections) {
+  EXPECT_DEATH(make_uniform_program(0, 1, 10), "threads and sections");
+  EXPECT_DEATH(make_uniform_program(1, 0, 10), "threads and sections");
+}
+
+}  // namespace
+}  // namespace capart::sim

@@ -1,0 +1,209 @@
+// Cross-module property suites: invariants that must hold for arbitrary
+// (seeded-random) inputs, swept with parameterized tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/common/rng.hpp"
+#include "src/core/policy.hpp"
+#include "src/mem/utility_monitor.hpp"
+#include "src/sim/experiment.hpp"
+#include "src/trace/benchmarks.hpp"
+
+namespace capart {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Every policy kind, fed random-but-plausible interval records, must always
+// return a valid partition: one entry per thread, >= 1 each, summing to the
+// total way count. This is the contract the Configuration Unit enforces with
+// hard aborts, so any violation here is a real bug.
+// ---------------------------------------------------------------------------
+
+struct PolicyCase {
+  core::PolicyKind kind;
+  std::uint64_t seed;
+};
+
+class PolicyAllocationProperty : public ::testing::TestWithParam<PolicyCase> {
+};
+
+TEST_P(PolicyAllocationProperty, AlwaysReturnsValidPartitions) {
+  const auto [kind, seed] = GetParam();
+  Rng rng(seed);
+  core::PolicyOptions opt;
+  auto policy = core::make_policy(kind, opt);
+  const ThreadId n = static_cast<ThreadId>(2 + rng.below(7));
+  const std::uint32_t total = n * (1 + static_cast<std::uint32_t>(rng.below(16)));
+  // The measured-curve policy needs monitoring hardware; give it one fed
+  // with random traffic so its curves are nontrivial.
+  mem::UtilityMonitor umon({.sets = 64, .ways = total, .line_bytes = 64}, n,
+                           /*sampling_shift=*/1);
+  for (int i = 0; i < 5'000; ++i) {
+    umon.observe(static_cast<ThreadId>(rng.below(n)), rng.below(5'000) * 64);
+  }
+  const core::PartitionContext ctx{.total_ways = total,
+                                   .num_threads = n,
+                                   .utility_monitor = &umon,
+                                   .memory_penalty = 200};
+
+  std::vector<std::uint32_t> ways = core::equal_split(total, n);
+  for (std::uint64_t interval = 0; interval < 40; ++interval) {
+    sim::IntervalRecord rec;
+    rec.index = interval;
+    for (ThreadId t = 0; t < n; ++t) {
+      sim::ThreadIntervalRecord tr;
+      tr.instructions = 1'000 + rng.below(50'000);
+      tr.exec_cycles = tr.instructions * (1 + rng.below(12));
+      tr.l2_accesses = rng.below(20'000);
+      tr.l2_misses = rng.below(tr.l2_accesses + 1);
+      tr.l2_hits = tr.l2_accesses - tr.l2_misses;
+      tr.ways = ways[t];
+      rec.threads.push_back(tr);
+    }
+    // Occasionally a thread stalls through the whole interval.
+    if (rng.chance(0.1)) {
+      rec.threads[rng.below(n)] = sim::ThreadIntervalRecord{.ways = ways[0]};
+    }
+    ways = policy->repartition(rec, ctx);
+    ASSERT_EQ(ways.size(), n);
+    std::uint32_t sum = 0;
+    for (std::uint32_t w : ways) {
+      ASSERT_GE(w, 1u);
+      sum += w;
+    }
+    ASSERT_EQ(sum, total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsManySeeds, PolicyAllocationProperty,
+    ::testing::Values(
+        PolicyCase{core::PolicyKind::kStaticEqual, 1},
+        PolicyCase{core::PolicyKind::kStaticEqual, 2},
+        PolicyCase{core::PolicyKind::kCpiProportional, 3},
+        PolicyCase{core::PolicyKind::kCpiProportional, 4},
+        PolicyCase{core::PolicyKind::kModelBased, 5},
+        PolicyCase{core::PolicyKind::kModelBased, 6},
+        PolicyCase{core::PolicyKind::kModelBased, 7},
+        PolicyCase{core::PolicyKind::kThroughputOriented, 8},
+        PolicyCase{core::PolicyKind::kThroughputOriented, 9},
+        PolicyCase{core::PolicyKind::kTimeShared, 10},
+        PolicyCase{core::PolicyKind::kTimeShared, 11},
+        PolicyCase{core::PolicyKind::kUmonCriticalPath, 12},
+        PolicyCase{core::PolicyKind::kUmonCriticalPath, 13},
+        PolicyCase{core::PolicyKind::kFairSlowdown, 14},
+        PolicyCase{core::PolicyKind::kFairSlowdown, 15}));
+
+// ---------------------------------------------------------------------------
+// End-to-end conservation: whatever the profile, policy, and L2 mode, a run
+// retires exactly the configured instructions, wall-clock equals each
+// thread's exec + stall time, and the PMU's L2 view matches the cache's.
+// ---------------------------------------------------------------------------
+
+struct RunCase {
+  const char* profile;
+  mem::L2Mode mode;
+  std::optional<core::PolicyKind> policy;
+};
+
+class RunConservationProperty : public ::testing::TestWithParam<RunCase> {};
+
+TEST_P(RunConservationProperty, WorkAndTimeAreConserved) {
+  const RunCase& param = GetParam();
+  sim::ExperimentConfig cfg;
+  cfg.profile = param.profile;
+  cfg.l2_mode = param.mode;
+  cfg.policy = param.policy;
+  cfg.num_intervals = 8;
+  cfg.interval_instructions = 40'000;
+  cfg.seed = 99;
+  const sim::ExperimentResult r = sim::run_experiment(cfg);
+
+  EXPECT_EQ(r.outcome.instructions_retired, 8u * 40'000u);
+  Instructions per_thread_sum = 0;
+  std::uint64_t pmu_l2_accesses = 0;
+  for (const auto& t : r.thread_totals) {
+    per_thread_sum += t.instructions;
+    pmu_l2_accesses += t.l2_accesses;
+    EXPECT_EQ(t.exec_cycles + t.stall_cycles, r.outcome.total_cycles);
+    EXPECT_EQ(t.l2_hits + t.l2_misses, t.l2_accesses);
+    EXPECT_LE(t.l1_misses, t.l1_accesses);
+  }
+  EXPECT_EQ(per_thread_sum, r.outcome.instructions_retired);
+  EXPECT_EQ(pmu_l2_accesses, r.l2_stats.total().accesses);
+
+  // Interval records decompose the totals.
+  Instructions interval_sum = 0;
+  for (const auto& rec : r.intervals) {
+    for (const auto& t : rec.threads) interval_sum += t.instructions;
+  }
+  EXPECT_LE(interval_sum, r.outcome.instructions_retired);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesAndModes, RunConservationProperty,
+    ::testing::Values(
+        RunCase{"cg", mem::L2Mode::kPartitionedShared,
+                core::PolicyKind::kModelBased},
+        RunCase{"mg", mem::L2Mode::kPartitionedShared,
+                core::PolicyKind::kCpiProportional},
+        RunCase{"ft", mem::L2Mode::kPartitionedShared,
+                core::PolicyKind::kThroughputOriented},
+        RunCase{"lu", mem::L2Mode::kPartitionedShared,
+                core::PolicyKind::kTimeShared},
+        RunCase{"bt", mem::L2Mode::kPartitionedShared,
+                core::PolicyKind::kStaticEqual},
+        RunCase{"swim", mem::L2Mode::kSharedUnpartitioned, std::nullopt},
+        RunCase{"mgrid", mem::L2Mode::kPrivatePerThread, std::nullopt},
+        RunCase{"applu", mem::L2Mode::kSharedUnpartitioned, std::nullopt},
+        RunCase{"equake", mem::L2Mode::kPartitionedShared,
+                core::PolicyKind::kModelBased},
+        RunCase{"cg", mem::L2Mode::kSetPartitionedShared,
+                core::PolicyKind::kModelBased},
+        RunCase{"mg", mem::L2Mode::kFlushReconfigureShared,
+                core::PolicyKind::kModelBased},
+        RunCase{"equake", mem::L2Mode::kPartitionedShared,
+                core::PolicyKind::kUmonCriticalPath}));
+
+// ---------------------------------------------------------------------------
+// Partition targets recorded over a model-based run are always valid and the
+// critical thread's cumulative share never collapses below the equal split
+// for the heterogeneous profiles (the scheme must help, never starve, the
+// slow thread).
+// ---------------------------------------------------------------------------
+
+class CriticalThreadProperty : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(CriticalThreadProperty, SlowestThreadEndsWithAtLeastAnEqualShare) {
+  sim::ExperimentConfig cfg;
+  cfg.profile = GetParam();
+  cfg.num_intervals = 16;
+  cfg.interval_instructions = 60'000;
+  const sim::ExperimentResult r = sim::run_experiment(cfg);
+
+  // Identify the app-level critical thread by cumulative CPI.
+  ThreadId critical = 0;
+  for (ThreadId t = 1; t < r.thread_totals.size(); ++t) {
+    if (r.thread_totals[t].cpi() > r.thread_totals[critical].cpi()) {
+      critical = t;
+    }
+  }
+  // In the second half of the run its allocation should be at least the
+  // 16-way equal share on average.
+  double ways_sum = 0;
+  int samples = 0;
+  for (const auto& rec : r.intervals) {
+    if (rec.index < 8) continue;
+    ways_sum += rec.threads[critical].ways;
+    ++samples;
+  }
+  EXPECT_GE(ways_sum / samples, 16.0) << "critical thread " << critical;
+}
+
+INSTANTIATE_TEST_SUITE_P(HeterogeneousApps, CriticalThreadProperty,
+                         ::testing::Values("cg", "mg", "mgrid", "equake"));
+
+}  // namespace
+}  // namespace capart

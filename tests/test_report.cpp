@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/report/csv.hpp"
+#include "src/report/table.hpp"
+
+namespace capart::report {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"app", "improvement"});
+  t.add_row({"cg", "12.6%"});
+  t.add_row({"swim", "19.8%"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("app"), std::string::npos);
+  EXPECT_NE(out.find("improvement"), std::string::npos);
+  EXPECT_NE(out.find("cg"), std::string::npos);
+  EXPECT_NE(out.find("19.8%"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t({"a", "b"});
+  t.add_row({"longlabel", "1"});
+  t.add_row({"x", "22"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<std::size_t> lengths;
+  while (std::getline(is, line)) lengths.push_back(line.size());
+  // Header, separator and both rows all render to the same width.
+  ASSERT_EQ(lengths.size(), 4u);
+  EXPECT_EQ(lengths[1], lengths[2]);
+  EXPECT_EQ(lengths[2], lengths[3]);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "match header");
+}
+
+TEST(Fmt, FormatsNumbersAndPercentages) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_pct(0.126, 1), "12.6%");
+  EXPECT_EQ(fmt_pct(-0.005, 1), "-0.5%");
+}
+
+TEST(Csv, PlainCellsAreUnquoted) {
+  std::ostringstream os;
+  write_csv_row(os, {"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, SpecialCellsAreQuotedAndEscaped) {
+  std::ostringstream os;
+  write_csv_row(os, {"a,b", "say \"hi\"", "multi\nline"});
+  EXPECT_EQ(os.str(), "\"a,b\",\"say \"\"hi\"\"\",\"multi\nline\"\n");
+}
+
+}  // namespace
+}  // namespace capart::report

@@ -1,0 +1,134 @@
+#include "src/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <vector>
+
+namespace capart {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, UnitIsInHalfOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UnitMeanIsRoughlyHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.unit();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceRateMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIsDeterministicAndOrderIndependent) {
+  const Rng parent(99);
+  Rng child_a1 = parent.fork(1);
+  Rng child_b = parent.fork(2);
+  Rng child_a2 = parent.fork(1);  // forked after another fork
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child_a1(), child_a2());
+  }
+  // Different tags give different streams.
+  Rng child_a3 = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child_a3() == child_b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkedStreamsDifferFromParent) {
+  Rng parent(123);
+  Rng child = parent.fork(0);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, EverySeedProducesWellDistributedBits) {
+  Rng rng(GetParam());
+  // Count set bits over many draws; should be close to 32 per word.
+  double total_bits = 0;
+  constexpr int kWords = 2000;
+  for (int i = 0; i < kWords; ++i) {
+    total_bits += static_cast<double>(std::popcount(rng()));
+  }
+  EXPECT_NEAR(total_bits / kWords, 32.0, 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull, 0xdeadbeefull,
+                                           ~0ull, 1ull << 63));
+
+}  // namespace
+}  // namespace capart

@@ -1,0 +1,123 @@
+#include "src/core/runtime_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/policy.hpp"
+
+namespace capart::core {
+namespace {
+
+sim::SystemConfig small_system() {
+  sim::SystemConfig c;
+  c.num_threads = 2;
+  c.l1 = {.sets = 4, .ways = 2, .line_bytes = 64};
+  c.l2 = {.sets = 8, .ways = 8, .line_bytes = 64};
+  c.l2_mode = mem::L2Mode::kPartitionedShared;
+  return c;
+}
+
+/// Fixed-output stub policy for plumbing tests.
+class StubPolicy final : public PartitionPolicy {
+ public:
+  explicit StubPolicy(std::vector<std::uint32_t> out, bool dynamic = true)
+      : out_(std::move(out)), dynamic_(dynamic) {}
+  std::string_view name() const noexcept override { return "stub"; }
+  bool is_dynamic() const noexcept override { return dynamic_; }
+  std::vector<std::uint32_t> repartition(const sim::IntervalRecord&,
+                                         const PartitionContext&) override {
+    ++calls;
+    return out_;
+  }
+  int calls = 0;
+
+ private:
+  std::vector<std::uint32_t> out_;
+  bool dynamic_;
+};
+
+TEST(RuntimeSystem, MonitorOnlyRecordsHistory) {
+  sim::CmpSystem sys(small_system());
+  RuntimeSystem rt(sys, nullptr, 500);
+  sys.counters().thread(0).instructions = 100;
+  sys.counters().thread(0).exec_cycles = 300;
+  EXPECT_EQ(rt.on_interval(0), 0u);  // no policy, no overhead
+  sys.counters().thread(0).instructions = 150;
+  EXPECT_EQ(rt.on_interval(1), 0u);
+  ASSERT_EQ(rt.history().size(), 2u);
+  EXPECT_EQ(rt.history()[0].threads[0].instructions, 100u);
+  EXPECT_EQ(rt.history()[1].threads[0].instructions, 50u);  // delta
+  EXPECT_EQ(rt.history()[0].threads[0].ways, 4u);           // equal split
+}
+
+TEST(RuntimeSystem, AppliesPolicyTargetsToTheL2) {
+  sim::CmpSystem sys(small_system());
+  auto stub = std::make_unique<StubPolicy>(std::vector<std::uint32_t>{6, 2});
+  StubPolicy* raw = stub.get();
+  RuntimeSystem rt(sys, std::move(stub), 500);
+  EXPECT_EQ(rt.on_interval(0), 500u);  // dynamic policy pays overhead
+  EXPECT_EQ(raw->calls, 1);
+  EXPECT_EQ(sys.l2().current_targets(), (std::vector<std::uint32_t>{6, 2}));
+  // The *next* interval's record carries the new in-force ways.
+  rt.on_interval(1);
+  EXPECT_EQ(rt.history()[1].threads[0].ways, 6u);
+}
+
+TEST(RuntimeSystem, StaticPolicyPaysNoOverhead) {
+  sim::CmpSystem sys(small_system());
+  auto stub = std::make_unique<StubPolicy>(std::vector<std::uint32_t>{4, 4},
+                                           /*dynamic=*/false);
+  RuntimeSystem rt(sys, std::move(stub), 500);
+  EXPECT_EQ(rt.on_interval(0), 0u);
+}
+
+TEST(RuntimeSystem, ValidatesPolicyOutput) {
+  sim::CmpSystem sys(small_system());
+  {
+    RuntimeSystem rt(sys,
+                     std::make_unique<StubPolicy>(
+                         std::vector<std::uint32_t>{8}),
+                     0);
+    EXPECT_DEATH(rt.on_interval(0), "wrong allocation size");
+  }
+  {
+    RuntimeSystem rt(sys,
+                     std::make_unique<StubPolicy>(
+                         std::vector<std::uint32_t>{8, 0}),
+                     0);
+    EXPECT_DEATH(rt.on_interval(0), "zero ways");
+  }
+  {
+    RuntimeSystem rt(sys,
+                     std::make_unique<StubPolicy>(
+                         std::vector<std::uint32_t>{5, 5}),
+                     0);
+    EXPECT_DEATH(rt.on_interval(0), "sum");
+  }
+}
+
+TEST(RuntimeSystem, NonPartitionableL2KeepsReportedTargets) {
+  sim::SystemConfig cfg = small_system();
+  cfg.l2_mode = mem::L2Mode::kSharedUnpartitioned;
+  sim::CmpSystem sys(cfg);
+  RuntimeSystem rt(sys,
+                   std::make_unique<StubPolicy>(std::vector<std::uint32_t>{
+                       6, 2}),
+                   100);
+  rt.on_interval(0);
+  rt.on_interval(1);
+  // The L2 ignored the targets; history keeps reporting the equal split the
+  // hardware actually runs with.
+  EXPECT_EQ(rt.history()[1].threads[0].ways, 4u);
+}
+
+TEST(RuntimeSystem, CallbackAdapterWorks) {
+  sim::CmpSystem sys(small_system());
+  auto stub = std::make_unique<StubPolicy>(std::vector<std::uint32_t>{4, 4});
+  RuntimeSystem rt(sys, std::move(stub), 321);
+  sim::IntervalCallback cb = rt.callback();
+  EXPECT_EQ(cb(0), 321u);
+  EXPECT_EQ(rt.history().size(), 1u);
+}
+
+}  // namespace
+}  // namespace capart::core

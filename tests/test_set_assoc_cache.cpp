@@ -1,0 +1,112 @@
+#include "src/mem/set_assoc_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capart::mem {
+namespace {
+
+// Tiny cache for precise behaviour checks: 4 sets x 2 ways x 64 B lines.
+CacheGeometry tiny() { return {.sets = 4, .ways = 2, .line_bytes = 64}; }
+
+/// Address of block `b` mapping to set (b % 4).
+Addr blk(std::uint64_t b) { return b * 64; }
+
+TEST(SetAssocCache, MissThenHit) {
+  SetAssocCache c(tiny());
+  EXPECT_FALSE(c.access(blk(0), AccessType::kRead));
+  EXPECT_TRUE(c.access(blk(0), AccessType::kRead));
+  EXPECT_EQ(c.accesses(), 2u);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssocCache, SameLineDifferentOffsetHits) {
+  SetAssocCache c(tiny());
+  c.access(0, AccessType::kRead);
+  EXPECT_TRUE(c.access(63, AccessType::kRead));   // same 64 B line
+  EXPECT_FALSE(c.access(64, AccessType::kRead));  // next line
+}
+
+TEST(SetAssocCache, LruEvictionWithinSet) {
+  SetAssocCache c(tiny());
+  // Blocks 0, 4, 8 all map to set 0; associativity 2.
+  c.access(blk(0), AccessType::kRead);
+  c.access(blk(4), AccessType::kRead);
+  c.access(blk(0), AccessType::kRead);  // 0 is now MRU
+  c.access(blk(8), AccessType::kRead);  // evicts 4 (LRU)
+  EXPECT_TRUE(c.contains(blk(0)));
+  EXPECT_FALSE(c.contains(blk(4)));
+  EXPECT_TRUE(c.contains(blk(8)));
+}
+
+TEST(SetAssocCache, DistinctSetsDoNotConflict) {
+  SetAssocCache c(tiny());
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    c.access(blk(b), AccessType::kRead);
+  }
+  // 8 blocks over 4 sets x 2 ways fill the cache exactly; all resident.
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    EXPECT_TRUE(c.contains(blk(b))) << "block " << b;
+  }
+}
+
+TEST(SetAssocCache, WritesAllocateLikeReads) {
+  SetAssocCache c(tiny());
+  EXPECT_FALSE(c.access(blk(3), AccessType::kWrite));
+  EXPECT_TRUE(c.access(blk(3), AccessType::kRead));
+}
+
+TEST(SetAssocCache, FlushDropsContentsKeepsStats) {
+  SetAssocCache c(tiny());
+  c.access(blk(1), AccessType::kRead);
+  c.access(blk(1), AccessType::kRead);
+  c.flush();
+  EXPECT_FALSE(c.contains(blk(1)));
+  EXPECT_EQ(c.accesses(), 2u);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_FALSE(c.access(blk(1), AccessType::kRead));
+}
+
+TEST(SetAssocCache, FullAssociativitySweep) {
+  // 1 set x 8 ways: behaves as a fully associative LRU of capacity 8.
+  SetAssocCache c({.sets = 1, .ways = 8, .line_bytes = 64});
+  for (std::uint64_t b = 0; b < 8; ++b) c.access(blk(b), AccessType::kRead);
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    EXPECT_TRUE(c.access(blk(b), AccessType::kRead));
+  }
+  c.access(blk(100), AccessType::kRead);  // evicts block 0 (LRU)
+  EXPECT_FALSE(c.contains(blk(0)));
+  EXPECT_TRUE(c.contains(blk(1)));
+}
+
+TEST(SetAssocCache, CyclicSweepOverCapacityAlwaysMisses) {
+  // Classic LRU pathology: looping over capacity+1 blocks never hits.
+  SetAssocCache c({.sets = 1, .ways = 4, .line_bytes = 64});
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t b = 0; b < 5; ++b) {
+      c.access(blk(b), AccessType::kRead);
+    }
+  }
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(SetAssocCache, GeometryValidation) {
+  EXPECT_DEATH(SetAssocCache({.sets = 3, .ways = 2, .line_bytes = 64}),
+               "power of two");
+  EXPECT_DEATH(SetAssocCache({.sets = 4, .ways = 0, .line_bytes = 64}),
+               "at least one way");
+  EXPECT_DEATH(SetAssocCache({.sets = 4, .ways = 2, .line_bytes = 48}),
+               "power of two");
+}
+
+TEST(SetAssocCache, GeometryHelpers) {
+  const CacheGeometry g = {.sets = 256, .ways = 64, .line_bytes = 64};
+  EXPECT_EQ(g.size_bytes(), 1024u * 1024u);
+  EXPECT_EQ(g.block_of(0), 0u);
+  EXPECT_EQ(g.block_of(64), 1u);
+  EXPECT_EQ(g.set_of_block(256), 0u);
+  EXPECT_EQ(g.set_of_block(257), 1u);
+}
+
+}  // namespace
+}  // namespace capart::mem

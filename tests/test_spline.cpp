@@ -1,0 +1,188 @@
+#include "src/math/spline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace capart::math {
+namespace {
+
+TEST(CubicSpline, InterpolatesKnotsExactly) {
+  const std::vector<double> x = {1, 2, 4, 8, 16};
+  const std::vector<double> y = {10, 7, 5, 4.5, 4.4};
+  const CubicSpline s = CubicSpline::fit(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(s(x[i]), y[i], 1e-9);
+  }
+}
+
+TEST(CubicSpline, ReproducesLinearDataExactly) {
+  const std::vector<double> x = {0, 1, 3, 7};
+  std::vector<double> y;
+  for (double v : x) y.push_back(2.5 * v + 1.0);
+  const CubicSpline s = CubicSpline::fit(x, y);
+  for (double v = 0.0; v <= 7.0; v += 0.25) {
+    EXPECT_NEAR(s(v), 2.5 * v + 1.0, 1e-9);
+  }
+}
+
+TEST(CubicSpline, ApproximatesSmoothFunction) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 20; ++i) {
+    x.push_back(static_cast<double>(i) * 0.3);
+    y.push_back(std::sin(x.back()));
+  }
+  const CubicSpline s = CubicSpline::fit(x, y);
+  for (double v = 0.0; v <= 6.0; v += 0.05) {
+    EXPECT_NEAR(s(v), std::sin(v), 2.5e-3);
+  }
+}
+
+TEST(CubicSpline, FlatExtrapolationOutsideRange) {
+  const std::vector<double> x = {2, 4, 6};
+  const std::vector<double> y = {9, 5, 3};
+  const CubicSpline s = CubicSpline::fit(x, y);
+  EXPECT_DOUBLE_EQ(s(0.0), 9.0);
+  EXPECT_DOUBLE_EQ(s(1.99), 9.0);
+  EXPECT_DOUBLE_EQ(s(6.0001), 3.0);
+  EXPECT_DOUBLE_EQ(s(100.0), 3.0);
+}
+
+TEST(CubicSpline, EmptyFitEvaluatesToZero) {
+  const CubicSpline s = CubicSpline::fit({}, {});
+  EXPECT_FALSE(s.fitted());
+  EXPECT_DOUBLE_EQ(s(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.front_slope(), 0.0);
+}
+
+TEST(CubicSpline, SinglePointIsConstant) {
+  const std::vector<double> x = {5};
+  const std::vector<double> y = {7};
+  const CubicSpline s = CubicSpline::fit(x, y);
+  EXPECT_DOUBLE_EQ(s(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s(5.0), 7.0);
+  EXPECT_DOUBLE_EQ(s(9.0), 7.0);
+}
+
+TEST(CubicSpline, TwoPointsIsLinearSegment) {
+  const std::vector<double> x = {2, 6};
+  const std::vector<double> y = {10, 2};
+  const CubicSpline s = CubicSpline::fit(x, y);
+  EXPECT_NEAR(s(4.0), 6.0, 1e-9);
+  EXPECT_NEAR(s.front_slope(), -2.0, 1e-9);
+}
+
+TEST(CubicSpline, FrontSlopeMatchesNumericalDerivative) {
+  const std::vector<double> x = {1, 3, 5, 9};
+  const std::vector<double> y = {12, 6, 4, 3};
+  const CubicSpline s = CubicSpline::fit(x, y);
+  const double h = 1e-6;
+  const double numeric = (s(1.0 + h) - s(1.0)) / h;
+  EXPECT_NEAR(s.front_slope(), numeric, 1e-4);
+  EXPECT_DOUBLE_EQ(s.front_x(), 1.0);
+  EXPECT_DOUBLE_EQ(s.front_y(), 12.0);
+}
+
+TEST(CubicSpline, BackSlopeMatchesNumericalDerivative) {
+  const std::vector<double> x = {1, 3, 5, 9};
+  const std::vector<double> y = {12, 6, 4, 3};
+  const CubicSpline s = CubicSpline::fit(x, y);
+  const double h = 1e-6;
+  const double numeric = (s(9.0) - s(9.0 - h)) / h;
+  EXPECT_NEAR(s.back_slope(), numeric, 1e-4);
+  EXPECT_DOUBLE_EQ(s.back_x(), 9.0);
+  EXPECT_DOUBLE_EQ(s.back_y(), 3.0);
+}
+
+TEST(PiecewiseLinear, BackSlopeIsLastSegmentSlope) {
+  const std::vector<double> x = {2, 4, 8};
+  const std::vector<double> y = {10, 4, 2};
+  const PiecewiseLinear p = PiecewiseLinear::fit(x, y);
+  EXPECT_NEAR(p.back_slope(), -0.5, 1e-12);
+}
+
+TEST(CubicSpline, NaturalBoundarySecondDerivativeNearZero) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  const std::vector<double> y = {5, 3, 4, 1, 2};
+  const CubicSpline s = CubicSpline::fit(x, y);
+  const double h = 1e-4;
+  const double second_start = (s(0 + 2 * h) - 2 * s(0 + h) + s(0)) / (h * h);
+  EXPECT_NEAR(second_start, 0.0, 0.05);
+}
+
+TEST(CubicSpline, DeathOnMismatchedSizes) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1};
+  EXPECT_DEATH(CubicSpline::fit(x, y), "spline");
+}
+
+TEST(CubicSpline, DeathOnNonIncreasingAbscissae) {
+  const std::vector<double> x = {1, 1};
+  const std::vector<double> y = {2, 3};
+  EXPECT_DEATH(CubicSpline::fit(x, y), "increase");
+}
+
+TEST(PiecewiseLinear, InterpolatesMidpoints) {
+  const std::vector<double> x = {0, 10, 20};
+  const std::vector<double> y = {0, 100, 50};
+  const PiecewiseLinear p = PiecewiseLinear::fit(x, y);
+  EXPECT_NEAR(p(5.0), 50.0, 1e-12);
+  EXPECT_NEAR(p(15.0), 75.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, FlatExtrapolation) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {4, 8};
+  const PiecewiseLinear p = PiecewiseLinear::fit(x, y);
+  EXPECT_DOUBLE_EQ(p(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(p(3.0), 8.0);
+}
+
+TEST(PiecewiseLinear, FrontSlope) {
+  const std::vector<double> x = {2, 4, 8};
+  const std::vector<double> y = {10, 4, 2};
+  const PiecewiseLinear p = PiecewiseLinear::fit(x, y);
+  EXPECT_NEAR(p.front_slope(), -3.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(PiecewiseLinear::fit({}, {})(1.0), 0.0);
+  const std::vector<double> x = {3};
+  const std::vector<double> y = {6};
+  EXPECT_DOUBLE_EQ(PiecewiseLinear::fit(x, y)(99.0), 6.0);
+}
+
+/// Property sweep: splines through random strictly-increasing knot sets are
+/// knot-exact and bounded inside the sampled range by a reasonable margin.
+class SplineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SplineProperty, KnotExactAndFiniteEverywhere) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.below(12);
+  std::vector<double> x, y;
+  double cursor = rng.unit() * 4.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cursor += 0.5 + rng.unit() * 5.0;
+    x.push_back(cursor);
+    y.push_back(rng.unit() * 20.0);
+  }
+  const CubicSpline s = CubicSpline::fit(x, y);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(s(x[i]), y[i], 1e-8);
+  }
+  for (double v = x.front() - 5.0; v <= x.back() + 5.0; v += 0.21) {
+    EXPECT_TRUE(std::isfinite(s(v)));
+    // Natural cubics can overshoot, but not beyond a few times the data
+    // range; this catches solver blow-ups.
+    EXPECT_LT(std::abs(s(v)), 200.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomKnots, SplineProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace capart::math

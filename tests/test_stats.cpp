@@ -1,0 +1,98 @@
+#include "src/math/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace capart::math {
+namespace {
+
+TEST(Stats, MeanOfKnownData) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, VarianceOfKnownData) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);  // classic example
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, VarianceOfShortSeriesIsZero) {
+  const std::vector<double> v = {42};
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+}
+
+TEST(Stats, PearsonPerfectPositive) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {10, 20, 30, 40, 50};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonAffineInvariance) {
+  const std::vector<double> x = {1, 3, 2, 7, 5};
+  const std::vector<double> y = {4, 9, 5, 20, 13};
+  std::vector<double> y_scaled;
+  for (double v : y) y_scaled.push_back(3.0 * v - 7.0);
+  EXPECT_NEAR(pearson(x, y), pearson(x, y_scaled), 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {3, 5, 7};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(y, x), 0.0);
+}
+
+TEST(Stats, PearsonSymmetry) {
+  const std::vector<double> x = {1, 4, 2, 8};
+  const std::vector<double> y = {3, 1, 7, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, y), pearson(y, x));
+}
+
+TEST(Stats, PearsonShortSeriesIsZero) {
+  const std::vector<double> x = {1};
+  const std::vector<double> y = {2};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Stats, PearsonDeathOnLengthMismatch) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1};
+  EXPECT_DEATH(pearson(x, y), "lengths");
+}
+
+TEST(Stats, LinearFitExactOnLinearData) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {1, 3, 5, 7};
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitConstantXGivesMeanIntercept) {
+  const std::vector<double> x = {2, 2, 2};
+  const std::vector<double> y = {1, 2, 3};
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 2.0);
+}
+
+TEST(Stats, LinearFitEmpty) {
+  const LinearFit f = linear_fit({}, {});
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 0.0);
+}
+
+}  // namespace
+}  // namespace capart::math

@@ -1,0 +1,70 @@
+#include "src/cpu/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capart::cpu {
+namespace {
+
+TimingParams params() {
+  return {.base_cycles_per_instruction = 1,
+          .l2_hit_penalty = 12,
+          .memory_penalty = 200,
+          .streaming_memory_penalty = 40};
+}
+
+TEST(TimingModel, NonMemoryCostScalesLinearly) {
+  TimingModel m(params());
+  EXPECT_EQ(m.non_memory_cost(0), 0u);
+  EXPECT_EQ(m.non_memory_cost(1), 1u);
+  EXPECT_EQ(m.non_memory_cost(1000), 1000u);
+}
+
+TEST(TimingModel, WiderIssueReducesBaseCost) {
+  TimingParams p = params();
+  p.base_cycles_per_instruction = 2;
+  TimingModel m(p);
+  EXPECT_EQ(m.non_memory_cost(10), 20u);
+  EXPECT_EQ(m.memory_cost(MemoryLevel::kL1), 2u);
+}
+
+TEST(TimingModel, L1HitIsBaseCost) {
+  TimingModel m(params());
+  EXPECT_EQ(m.memory_cost(MemoryLevel::kL1), 1u);
+}
+
+TEST(TimingModel, L2HitAddsL2Penalty) {
+  TimingModel m(params());
+  EXPECT_EQ(m.memory_cost(MemoryLevel::kSharedCache), 13u);
+}
+
+TEST(TimingModel, MemoryAddsFullPenalty) {
+  TimingModel m(params());
+  EXPECT_EQ(m.memory_cost(MemoryLevel::kMemory), 201u);
+}
+
+TEST(TimingModel, PrefetchableStreamingPaysReducedPenalty) {
+  TimingModel m(params());
+  EXPECT_EQ(m.memory_cost(MemoryLevel::kMemory, /*prefetchable=*/true), 41u);
+  // The hint only matters at the memory level.
+  EXPECT_EQ(m.memory_cost(MemoryLevel::kSharedCache, true), 13u);
+  EXPECT_EQ(m.memory_cost(MemoryLevel::kL1, true), 1u);
+}
+
+TEST(TimingModel, CpiIsAffineInMissCounts) {
+  // The structural property behind the paper's Fig 5 correlation: with I
+  // instructions, h L2 hits and m L2 misses, cycles = I + 12 h + 200 m.
+  TimingModel model(params());
+  const Instructions instr = 1000;
+  const std::uint64_t l2_hits = 50, l2_misses = 20;
+  Cycles total = model.non_memory_cost(instr - l2_hits - l2_misses);
+  for (std::uint64_t i = 0; i < l2_hits; ++i) {
+    total += model.memory_cost(MemoryLevel::kSharedCache);
+  }
+  for (std::uint64_t i = 0; i < l2_misses; ++i) {
+    total += model.memory_cost(MemoryLevel::kMemory);
+  }
+  EXPECT_EQ(total, instr + 12 * l2_hits + 200 * l2_misses);
+}
+
+}  // namespace
+}  // namespace capart::cpu

@@ -1,0 +1,167 @@
+// Tests for trace recording, serialization and replay.
+#include "src/trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "src/common/rng.hpp"
+#include "src/sim/cmp_system.hpp"
+#include "src/sim/driver.hpp"
+#include "src/sim/program.hpp"
+#include "src/trace/phase.hpp"
+
+namespace capart::trace {
+namespace {
+
+std::vector<NextOp> sample_ops() {
+  return {
+      NextOp{.gap = 3, .addr = 0x1000, .type = AccessType::kRead,
+             .prefetchable = false},
+      NextOp{.gap = 0, .addr = 0xdeadbeef40, .type = AccessType::kWrite,
+             .prefetchable = true},
+      NextOp{.gap = 4095, .addr = (Addr{1} << 52) + 64,
+             .type = AccessType::kRead, .prefetchable = false},
+  };
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField) {
+  std::stringstream buffer;
+  write_trace(buffer, sample_ops());
+  const std::vector<NextOp> back = read_trace(buffer);
+  const std::vector<NextOp> expected = sample_ops();
+  ASSERT_EQ(back.size(), expected.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].gap, expected[i].gap);
+    EXPECT_EQ(back[i].addr, expected[i].addr);
+    EXPECT_EQ(back[i].type, expected[i].type);
+    EXPECT_EQ(back[i].prefetchable, expected[i].prefetchable);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  write_trace(buffer, {});
+  EXPECT_TRUE(read_trace(buffer).empty());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "NOTATRACEFILE.....";
+  EXPECT_DEATH(read_trace(buffer), "bad magic");
+}
+
+TEST(TraceIo, RejectsTruncatedInput) {
+  std::stringstream buffer;
+  write_trace(buffer, sample_ops());
+  const std::string whole = buffer.str();
+  std::stringstream truncated(whole.substr(0, whole.size() - 5));
+  EXPECT_DEATH(read_trace(truncated), "truncated");
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/capart_trace_test.bin";
+  write_trace_file(path, sample_ops());
+  const std::vector<NextOp> back = read_trace_file(path);
+  EXPECT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[1].addr, 0xdeadbeef40u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileAborts) {
+  EXPECT_DEATH(read_trace_file("/nonexistent/path/trace.bin"),
+               "cannot open");
+}
+
+TEST(TraceRecorder, CapturesThePassthroughStream) {
+  trace::Phase phase;
+  phase.params.working_set_blocks = 64;
+  PhasedGenerator inner(PhaseSchedule({phase}), Rng(5), Addr{1} << 40,
+                        Addr{1} << 50);
+  TraceRecorder recorder(inner);
+  std::vector<NextOp> seen;
+  for (int i = 0; i < 100; ++i) seen.push_back(recorder.next());
+  ASSERT_EQ(recorder.recorded().size(), 100u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(recorder.recorded()[i].addr, seen[i].addr);
+  }
+}
+
+TEST(TraceReplay, ReplaysInOrderAndLoops) {
+  TraceReplay replay(sample_ops(), TraceReplay::OnEnd::kLoop);
+  EXPECT_EQ(replay.next().addr, 0x1000u);
+  EXPECT_EQ(replay.next().addr, 0xdeadbeef40u);
+  replay.next();
+  // Wrapped around.
+  EXPECT_EQ(replay.next().addr, 0x1000u);
+}
+
+TEST(TraceReplay, AbortModeDiesOnExhaustion) {
+  TraceReplay replay(sample_ops(), TraceReplay::OnEnd::kAbort);
+  replay.next();
+  replay.next();
+  replay.next();
+  EXPECT_DEATH(replay.next(), "exhausted");
+}
+
+TEST(TraceReplay, RejectsEmptyTrace) {
+  EXPECT_DEATH(TraceReplay({}, TraceReplay::OnEnd::kLoop), "empty trace");
+}
+
+TEST(TraceReplay, RecordedRunReplaysBitExactly) {
+  // Record a live two-thread run, then drive an identical system from the
+  // recorded traces: cycle-for-cycle identical results.
+  auto make_system = [] {
+    sim::SystemConfig cfg;
+    cfg.num_threads = 2;
+    cfg.l1 = {.sets = 4, .ways = 2, .line_bytes = 64};
+    cfg.l2 = {.sets = 16, .ways = 8, .line_bytes = 64};
+    return cfg;
+  };
+  auto make_generator = [](ThreadId t) {
+    trace::Phase phase;
+    phase.params.working_set_blocks = 512;
+    phase.params.mem_ratio = 0.3;
+    return std::make_unique<PhasedGenerator>(
+        PhaseSchedule({phase}), Rng(40 + t), (Addr{t} + 1) << 40,
+        Addr{1} << 50);
+  };
+
+  // Live run with recorders wrapped around the generators.
+  std::vector<std::unique_ptr<PhasedGenerator>> inner;
+  inner.push_back(make_generator(0));
+  inner.push_back(make_generator(1));
+  std::vector<std::unique_ptr<OpSource>> recording;
+  recording.push_back(std::make_unique<TraceRecorder>(*inner[0]));
+  recording.push_back(std::make_unique<TraceRecorder>(*inner[1]));
+  auto* rec0 = static_cast<TraceRecorder*>(recording[0].get());
+  auto* rec1 = static_cast<TraceRecorder*>(recording[1].get());
+
+  sim::CmpSystem live_system(make_system());
+  sim::Driver live(live_system, sim::make_uniform_program(2, 3, 10'000),
+                   std::move(recording), {});
+  const sim::RunOutcome live_out = live.run();
+
+  // Replay run.
+  std::vector<std::unique_ptr<OpSource>> replaying;
+  replaying.push_back(std::make_unique<TraceReplay>(rec0->take()));
+  replaying.push_back(std::make_unique<TraceReplay>(rec1->take()));
+  sim::CmpSystem replay_system(make_system());
+  sim::Driver replay(replay_system, sim::make_uniform_program(2, 3, 10'000),
+                     std::move(replaying), {});
+  const sim::RunOutcome replay_out = replay.run();
+
+  EXPECT_EQ(replay_out.total_cycles, live_out.total_cycles);
+  EXPECT_EQ(replay_out.instructions_retired, live_out.instructions_retired);
+  for (ThreadId t = 0; t < 2; ++t) {
+    EXPECT_EQ(replay_system.counters().thread(t).exec_cycles,
+              live_system.counters().thread(t).exec_cycles);
+    EXPECT_EQ(replay_system.counters().thread(t).l2_misses,
+              live_system.counters().thread(t).l2_misses);
+  }
+}
+
+}  // namespace
+}  // namespace capart::trace
