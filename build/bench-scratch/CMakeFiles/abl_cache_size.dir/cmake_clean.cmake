@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_cache_size"
+  "../bench/abl_cache_size.pdb"
+  "CMakeFiles/abl_cache_size.dir/abl_cache_size.cpp.o"
+  "CMakeFiles/abl_cache_size.dir/abl_cache_size.cpp.o.d"
+  "CMakeFiles/abl_cache_size.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_cache_size.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_cpi_vs_model"
+  "../bench/abl_cpi_vs_model.pdb"
+  "CMakeFiles/abl_cpi_vs_model.dir/abl_cpi_vs_model.cpp.o"
+  "CMakeFiles/abl_cpi_vs_model.dir/abl_cpi_vs_model.cpp.o.d"
+  "CMakeFiles/abl_cpi_vs_model.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_cpi_vs_model.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cpi_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_hierarchical"
+  "../bench/abl_hierarchical.pdb"
+  "CMakeFiles/abl_hierarchical.dir/abl_hierarchical.cpp.o"
+  "CMakeFiles/abl_hierarchical.dir/abl_hierarchical.cpp.o.d"
+  "CMakeFiles/abl_hierarchical.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_hierarchical.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

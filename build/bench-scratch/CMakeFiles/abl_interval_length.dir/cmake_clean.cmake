@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_interval_length"
+  "../bench/abl_interval_length.pdb"
+  "CMakeFiles/abl_interval_length.dir/abl_interval_length.cpp.o"
+  "CMakeFiles/abl_interval_length.dir/abl_interval_length.cpp.o.d"
+  "CMakeFiles/abl_interval_length.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_interval_length.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_interval_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_l3_target"
+  "../bench/abl_l3_target.pdb"
+  "CMakeFiles/abl_l3_target.dir/abl_l3_target.cpp.o"
+  "CMakeFiles/abl_l3_target.dir/abl_l3_target.cpp.o.d"
+  "CMakeFiles/abl_l3_target.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_l3_target.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_l3_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

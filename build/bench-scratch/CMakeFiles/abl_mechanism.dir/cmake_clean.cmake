@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_mechanism"
+  "../bench/abl_mechanism.pdb"
+  "CMakeFiles/abl_mechanism.dir/abl_mechanism.cpp.o"
+  "CMakeFiles/abl_mechanism.dir/abl_mechanism.cpp.o.d"
+  "CMakeFiles/abl_mechanism.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_mechanism.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_model_kind"
+  "../bench/abl_model_kind.pdb"
+  "CMakeFiles/abl_model_kind.dir/abl_model_kind.cpp.o"
+  "CMakeFiles/abl_model_kind.dir/abl_model_kind.cpp.o.d"
+  "CMakeFiles/abl_model_kind.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_model_kind.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_model_kind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

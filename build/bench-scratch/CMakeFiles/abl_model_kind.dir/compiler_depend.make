@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_model_kind.
+# This may be replaced when dependencies are built.

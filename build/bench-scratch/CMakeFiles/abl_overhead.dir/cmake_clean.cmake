@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_overhead"
+  "../bench/abl_overhead.pdb"
+  "CMakeFiles/abl_overhead.dir/abl_overhead.cpp.o"
+  "CMakeFiles/abl_overhead.dir/abl_overhead.cpp.o.d"
+  "CMakeFiles/abl_overhead.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_overhead.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_reconfigure"
+  "../bench/abl_reconfigure.pdb"
+  "CMakeFiles/abl_reconfigure.dir/abl_reconfigure.cpp.o"
+  "CMakeFiles/abl_reconfigure.dir/abl_reconfigure.cpp.o.d"
+  "CMakeFiles/abl_reconfigure.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_reconfigure.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reconfigure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_time_shared"
+  "../bench/abl_time_shared.pdb"
+  "CMakeFiles/abl_time_shared.dir/abl_time_shared.cpp.o"
+  "CMakeFiles/abl_time_shared.dir/abl_time_shared.cpp.o.d"
+  "CMakeFiles/abl_time_shared.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_time_shared.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_time_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

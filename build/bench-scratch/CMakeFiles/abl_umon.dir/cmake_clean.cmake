@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_umon"
+  "../bench/abl_umon.pdb"
+  "CMakeFiles/abl_umon.dir/abl_umon.cpp.o"
+  "CMakeFiles/abl_umon.dir/abl_umon.cpp.o.d"
+  "CMakeFiles/abl_umon.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_umon.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_umon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

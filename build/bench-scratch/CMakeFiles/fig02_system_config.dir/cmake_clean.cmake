@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_system_config"
+  "../bench/fig02_system_config.pdb"
+  "CMakeFiles/fig02_system_config.dir/bench_common.cpp.o"
+  "CMakeFiles/fig02_system_config.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig02_system_config.dir/fig02_system_config.cpp.o"
+  "CMakeFiles/fig02_system_config.dir/fig02_system_config.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_system_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

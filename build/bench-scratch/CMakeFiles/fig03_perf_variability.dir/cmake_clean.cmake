@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_perf_variability"
+  "../bench/fig03_perf_variability.pdb"
+  "CMakeFiles/fig03_perf_variability.dir/bench_common.cpp.o"
+  "CMakeFiles/fig03_perf_variability.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig03_perf_variability.dir/fig03_perf_variability.cpp.o"
+  "CMakeFiles/fig03_perf_variability.dir/fig03_perf_variability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_perf_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_miss_variability"
+  "../bench/fig04_miss_variability.pdb"
+  "CMakeFiles/fig04_miss_variability.dir/bench_common.cpp.o"
+  "CMakeFiles/fig04_miss_variability.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig04_miss_variability.dir/fig04_miss_variability.cpp.o"
+  "CMakeFiles/fig04_miss_variability.dir/fig04_miss_variability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_miss_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

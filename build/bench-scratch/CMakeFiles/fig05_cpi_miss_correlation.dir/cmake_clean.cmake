@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_cpi_miss_correlation"
+  "../bench/fig05_cpi_miss_correlation.pdb"
+  "CMakeFiles/fig05_cpi_miss_correlation.dir/bench_common.cpp.o"
+  "CMakeFiles/fig05_cpi_miss_correlation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig05_cpi_miss_correlation.dir/fig05_cpi_miss_correlation.cpp.o"
+  "CMakeFiles/fig05_cpi_miss_correlation.dir/fig05_cpi_miss_correlation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cpi_miss_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_swim_phases"
+  "../bench/fig06_swim_phases.pdb"
+  "CMakeFiles/fig06_swim_phases.dir/bench_common.cpp.o"
+  "CMakeFiles/fig06_swim_phases.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig06_swim_phases.dir/fig06_swim_phases.cpp.o"
+  "CMakeFiles/fig06_swim_phases.dir/fig06_swim_phases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_swim_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_swim_thread2_misses"
+  "../bench/fig07_swim_thread2_misses.pdb"
+  "CMakeFiles/fig07_swim_thread2_misses.dir/bench_common.cpp.o"
+  "CMakeFiles/fig07_swim_thread2_misses.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig07_swim_thread2_misses.dir/fig07_swim_thread2_misses.cpp.o"
+  "CMakeFiles/fig07_swim_thread2_misses.dir/fig07_swim_thread2_misses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_swim_thread2_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_swim_thread2_misses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_swim_thread2_misses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_interthread_interaction"
+  "../bench/fig08_interthread_interaction.pdb"
+  "CMakeFiles/fig08_interthread_interaction.dir/bench_common.cpp.o"
+  "CMakeFiles/fig08_interthread_interaction.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig08_interthread_interaction.dir/fig08_interthread_interaction.cpp.o"
+  "CMakeFiles/fig08_interthread_interaction.dir/fig08_interthread_interaction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_interthread_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

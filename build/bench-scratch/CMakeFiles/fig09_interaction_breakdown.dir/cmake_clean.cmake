@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_interaction_breakdown"
+  "../bench/fig09_interaction_breakdown.pdb"
+  "CMakeFiles/fig09_interaction_breakdown.dir/bench_common.cpp.o"
+  "CMakeFiles/fig09_interaction_breakdown.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig09_interaction_breakdown.dir/fig09_interaction_breakdown.cpp.o"
+  "CMakeFiles/fig09_interaction_breakdown.dir/fig09_interaction_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_interaction_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

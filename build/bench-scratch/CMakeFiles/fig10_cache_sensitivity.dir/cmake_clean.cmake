@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_cache_sensitivity"
+  "../bench/fig10_cache_sensitivity.pdb"
+  "CMakeFiles/fig10_cache_sensitivity.dir/bench_common.cpp.o"
+  "CMakeFiles/fig10_cache_sensitivity.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig10_cache_sensitivity.dir/fig10_cache_sensitivity.cpp.o"
+  "CMakeFiles/fig10_cache_sensitivity.dir/fig10_cache_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cache_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_runtime_models"
+  "../bench/fig15_runtime_models.pdb"
+  "CMakeFiles/fig15_runtime_models.dir/bench_common.cpp.o"
+  "CMakeFiles/fig15_runtime_models.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig15_runtime_models.dir/fig15_runtime_models.cpp.o"
+  "CMakeFiles/fig15_runtime_models.dir/fig15_runtime_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_runtime_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

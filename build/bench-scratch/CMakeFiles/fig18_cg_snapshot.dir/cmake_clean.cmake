@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_cg_snapshot"
+  "../bench/fig18_cg_snapshot.pdb"
+  "CMakeFiles/fig18_cg_snapshot.dir/bench_common.cpp.o"
+  "CMakeFiles/fig18_cg_snapshot.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig18_cg_snapshot.dir/fig18_cg_snapshot.cpp.o"
+  "CMakeFiles/fig18_cg_snapshot.dir/fig18_cg_snapshot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_cg_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_vs_private"
+  "../bench/fig19_vs_private.pdb"
+  "CMakeFiles/fig19_vs_private.dir/bench_common.cpp.o"
+  "CMakeFiles/fig19_vs_private.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig19_vs_private.dir/fig19_vs_private.cpp.o"
+  "CMakeFiles/fig19_vs_private.dir/fig19_vs_private.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_vs_private.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_vs_shared"
+  "../bench/fig20_vs_shared.pdb"
+  "CMakeFiles/fig20_vs_shared.dir/bench_common.cpp.o"
+  "CMakeFiles/fig20_vs_shared.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig20_vs_shared.dir/fig20_vs_shared.cpp.o"
+  "CMakeFiles/fig20_vs_shared.dir/fig20_vs_shared.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_vs_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

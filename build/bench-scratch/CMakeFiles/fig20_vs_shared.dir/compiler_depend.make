@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig20_vs_shared.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_vs_throughput"
+  "../bench/fig21_vs_throughput.pdb"
+  "CMakeFiles/fig21_vs_throughput.dir/bench_common.cpp.o"
+  "CMakeFiles/fig21_vs_throughput.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig21_vs_throughput.dir/fig21_vs_throughput.cpp.o"
+  "CMakeFiles/fig21_vs_throughput.dir/fig21_vs_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_vs_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

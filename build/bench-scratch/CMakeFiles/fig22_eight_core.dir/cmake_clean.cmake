@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_eight_core"
+  "../bench/fig22_eight_core.pdb"
+  "CMakeFiles/fig22_eight_core.dir/bench_common.cpp.o"
+  "CMakeFiles/fig22_eight_core.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig22_eight_core.dir/fig22_eight_core.cpp.o"
+  "CMakeFiles/fig22_eight_core.dir/fig22_eight_core.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_eight_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

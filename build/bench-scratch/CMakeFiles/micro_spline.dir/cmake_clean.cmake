@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_spline"
+  "../bench/micro_spline.pdb"
+  "CMakeFiles/micro_spline.dir/micro_spline.cpp.o"
+  "CMakeFiles/micro_spline.dir/micro_spline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_spline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hierarchical_multiapp.dir/hierarchical_multiapp.cpp.o"
+  "CMakeFiles/example_hierarchical_multiapp.dir/hierarchical_multiapp.cpp.o.d"
+  "example_hierarchical_multiapp"
+  "example_hierarchical_multiapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hierarchical_multiapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_hierarchical_multiapp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_phase_adaptivity.dir/phase_adaptivity.cpp.o"
+  "CMakeFiles/example_phase_adaptivity.dir/phase_adaptivity.cpp.o.d"
+  "example_phase_adaptivity"
+  "example_phase_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_phase_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_policy_comparison.dir/policy_comparison.cpp.o"
+  "CMakeFiles/example_policy_comparison.dir/policy_comparison.cpp.o.d"
+  "example_policy_comparison"
+  "example_policy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

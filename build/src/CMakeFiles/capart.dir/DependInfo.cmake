@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/capart.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/capart.dir/common/rng.cpp.o.d"
+  "/root/repo/src/core/cpi_proportional_policy.cpp" "src/CMakeFiles/capart.dir/core/cpi_proportional_policy.cpp.o" "gcc" "src/CMakeFiles/capart.dir/core/cpi_proportional_policy.cpp.o.d"
+  "/root/repo/src/core/equal_policy.cpp" "src/CMakeFiles/capart.dir/core/equal_policy.cpp.o" "gcc" "src/CMakeFiles/capart.dir/core/equal_policy.cpp.o.d"
+  "/root/repo/src/core/fair_slowdown_policy.cpp" "src/CMakeFiles/capart.dir/core/fair_slowdown_policy.cpp.o" "gcc" "src/CMakeFiles/capart.dir/core/fair_slowdown_policy.cpp.o.d"
+  "/root/repo/src/core/hierarchical.cpp" "src/CMakeFiles/capart.dir/core/hierarchical.cpp.o" "gcc" "src/CMakeFiles/capart.dir/core/hierarchical.cpp.o.d"
+  "/root/repo/src/core/model_based_policy.cpp" "src/CMakeFiles/capart.dir/core/model_based_policy.cpp.o" "gcc" "src/CMakeFiles/capart.dir/core/model_based_policy.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/capart.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/capart.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/runtime_model.cpp" "src/CMakeFiles/capart.dir/core/runtime_model.cpp.o" "gcc" "src/CMakeFiles/capart.dir/core/runtime_model.cpp.o.d"
+  "/root/repo/src/core/runtime_system.cpp" "src/CMakeFiles/capart.dir/core/runtime_system.cpp.o" "gcc" "src/CMakeFiles/capart.dir/core/runtime_system.cpp.o.d"
+  "/root/repo/src/core/throughput_policy.cpp" "src/CMakeFiles/capart.dir/core/throughput_policy.cpp.o" "gcc" "src/CMakeFiles/capart.dir/core/throughput_policy.cpp.o.d"
+  "/root/repo/src/core/time_shared_policy.cpp" "src/CMakeFiles/capart.dir/core/time_shared_policy.cpp.o" "gcc" "src/CMakeFiles/capart.dir/core/time_shared_policy.cpp.o.d"
+  "/root/repo/src/core/umon_policy.cpp" "src/CMakeFiles/capart.dir/core/umon_policy.cpp.o" "gcc" "src/CMakeFiles/capart.dir/core/umon_policy.cpp.o.d"
+  "/root/repo/src/cpu/perf_counters.cpp" "src/CMakeFiles/capart.dir/cpu/perf_counters.cpp.o" "gcc" "src/CMakeFiles/capart.dir/cpu/perf_counters.cpp.o.d"
+  "/root/repo/src/math/apportion.cpp" "src/CMakeFiles/capart.dir/math/apportion.cpp.o" "gcc" "src/CMakeFiles/capart.dir/math/apportion.cpp.o.d"
+  "/root/repo/src/math/spline.cpp" "src/CMakeFiles/capart.dir/math/spline.cpp.o" "gcc" "src/CMakeFiles/capart.dir/math/spline.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "src/CMakeFiles/capart.dir/math/stats.cpp.o" "gcc" "src/CMakeFiles/capart.dir/math/stats.cpp.o.d"
+  "/root/repo/src/mem/cache_stats.cpp" "src/CMakeFiles/capart.dir/mem/cache_stats.cpp.o" "gcc" "src/CMakeFiles/capart.dir/mem/cache_stats.cpp.o.d"
+  "/root/repo/src/mem/l2_organization.cpp" "src/CMakeFiles/capart.dir/mem/l2_organization.cpp.o" "gcc" "src/CMakeFiles/capart.dir/mem/l2_organization.cpp.o.d"
+  "/root/repo/src/mem/partitioned_cache.cpp" "src/CMakeFiles/capart.dir/mem/partitioned_cache.cpp.o" "gcc" "src/CMakeFiles/capart.dir/mem/partitioned_cache.cpp.o.d"
+  "/root/repo/src/mem/set_assoc_cache.cpp" "src/CMakeFiles/capart.dir/mem/set_assoc_cache.cpp.o" "gcc" "src/CMakeFiles/capart.dir/mem/set_assoc_cache.cpp.o.d"
+  "/root/repo/src/mem/set_partitioned_cache.cpp" "src/CMakeFiles/capart.dir/mem/set_partitioned_cache.cpp.o" "gcc" "src/CMakeFiles/capart.dir/mem/set_partitioned_cache.cpp.o.d"
+  "/root/repo/src/mem/utility_monitor.cpp" "src/CMakeFiles/capart.dir/mem/utility_monitor.cpp.o" "gcc" "src/CMakeFiles/capart.dir/mem/utility_monitor.cpp.o.d"
+  "/root/repo/src/report/csv.cpp" "src/CMakeFiles/capart.dir/report/csv.cpp.o" "gcc" "src/CMakeFiles/capart.dir/report/csv.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/capart.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/capart.dir/report/table.cpp.o.d"
+  "/root/repo/src/sim/cmp_system.cpp" "src/CMakeFiles/capart.dir/sim/cmp_system.cpp.o" "gcc" "src/CMakeFiles/capart.dir/sim/cmp_system.cpp.o.d"
+  "/root/repo/src/sim/coschedule.cpp" "src/CMakeFiles/capart.dir/sim/coschedule.cpp.o" "gcc" "src/CMakeFiles/capart.dir/sim/coschedule.cpp.o.d"
+  "/root/repo/src/sim/driver.cpp" "src/CMakeFiles/capart.dir/sim/driver.cpp.o" "gcc" "src/CMakeFiles/capart.dir/sim/driver.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/capart.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/capart.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/interval.cpp" "src/CMakeFiles/capart.dir/sim/interval.cpp.o" "gcc" "src/CMakeFiles/capart.dir/sim/interval.cpp.o.d"
+  "/root/repo/src/sim/program.cpp" "src/CMakeFiles/capart.dir/sim/program.cpp.o" "gcc" "src/CMakeFiles/capart.dir/sim/program.cpp.o.d"
+  "/root/repo/src/trace/benchmarks.cpp" "src/CMakeFiles/capart.dir/trace/benchmarks.cpp.o" "gcc" "src/CMakeFiles/capart.dir/trace/benchmarks.cpp.o.d"
+  "/root/repo/src/trace/phase.cpp" "src/CMakeFiles/capart.dir/trace/phase.cpp.o" "gcc" "src/CMakeFiles/capart.dir/trace/phase.cpp.o.d"
+  "/root/repo/src/trace/stack_dist_generator.cpp" "src/CMakeFiles/capart.dir/trace/stack_dist_generator.cpp.o" "gcc" "src/CMakeFiles/capart.dir/trace/stack_dist_generator.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/capart.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/capart.dir/trace/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apportion.cpp" "tests/CMakeFiles/capart_tests.dir/test_apportion.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_apportion.cpp.o.d"
+  "/root/repo/tests/test_benchmarks.cpp" "tests/CMakeFiles/capart_tests.dir/test_benchmarks.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_benchmarks.cpp.o.d"
+  "/root/repo/tests/test_cache_stats.cpp" "tests/CMakeFiles/capart_tests.dir/test_cache_stats.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_cache_stats.cpp.o.d"
+  "/root/repo/tests/test_cmp_system.cpp" "tests/CMakeFiles/capart_tests.dir/test_cmp_system.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_cmp_system.cpp.o.d"
+  "/root/repo/tests/test_coschedule.cpp" "tests/CMakeFiles/capart_tests.dir/test_coschedule.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_coschedule.cpp.o.d"
+  "/root/repo/tests/test_driver.cpp" "tests/CMakeFiles/capart_tests.dir/test_driver.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_driver.cpp.o.d"
+  "/root/repo/tests/test_experiment_integration.cpp" "tests/CMakeFiles/capart_tests.dir/test_experiment_integration.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_experiment_integration.cpp.o.d"
+  "/root/repo/tests/test_hierarchical.cpp" "tests/CMakeFiles/capart_tests.dir/test_hierarchical.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_hierarchical.cpp.o.d"
+  "/root/repo/tests/test_interval.cpp" "tests/CMakeFiles/capart_tests.dir/test_interval.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_interval.cpp.o.d"
+  "/root/repo/tests/test_l2_organization.cpp" "tests/CMakeFiles/capart_tests.dir/test_l2_organization.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_l2_organization.cpp.o.d"
+  "/root/repo/tests/test_model_based_policy.cpp" "tests/CMakeFiles/capart_tests.dir/test_model_based_policy.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_model_based_policy.cpp.o.d"
+  "/root/repo/tests/test_partitioned_cache.cpp" "tests/CMakeFiles/capart_tests.dir/test_partitioned_cache.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_partitioned_cache.cpp.o.d"
+  "/root/repo/tests/test_perf_counters.cpp" "tests/CMakeFiles/capart_tests.dir/test_perf_counters.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_perf_counters.cpp.o.d"
+  "/root/repo/tests/test_phase.cpp" "tests/CMakeFiles/capart_tests.dir/test_phase.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_phase.cpp.o.d"
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/capart_tests.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_policies.cpp.o.d"
+  "/root/repo/tests/test_program.cpp" "tests/CMakeFiles/capart_tests.dir/test_program.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_program.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/capart_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/capart_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/capart_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runtime_system.cpp" "tests/CMakeFiles/capart_tests.dir/test_runtime_system.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_runtime_system.cpp.o.d"
+  "/root/repo/tests/test_set_assoc_cache.cpp" "tests/CMakeFiles/capart_tests.dir/test_set_assoc_cache.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_set_assoc_cache.cpp.o.d"
+  "/root/repo/tests/test_set_partitioned_cache.cpp" "tests/CMakeFiles/capart_tests.dir/test_set_partitioned_cache.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_set_partitioned_cache.cpp.o.d"
+  "/root/repo/tests/test_spline.cpp" "tests/CMakeFiles/capart_tests.dir/test_spline.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_spline.cpp.o.d"
+  "/root/repo/tests/test_stack_dist_generator.cpp" "tests/CMakeFiles/capart_tests.dir/test_stack_dist_generator.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_stack_dist_generator.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/capart_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_timing_model.cpp" "tests/CMakeFiles/capart_tests.dir/test_timing_model.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_timing_model.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/capart_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_umon_policy.cpp" "tests/CMakeFiles/capart_tests.dir/test_umon_policy.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_umon_policy.cpp.o.d"
+  "/root/repo/tests/test_utility_monitor.cpp" "tests/CMakeFiles/capart_tests.dir/test_utility_monitor.cpp.o" "gcc" "tests/CMakeFiles/capart_tests.dir/test_utility_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capart_sim.dir/capart_sim.cpp.o"
+  "CMakeFiles/capart_sim.dir/capart_sim.cpp.o.d"
+  "capart_sim"
+  "capart_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capart_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
