@@ -13,14 +13,27 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("Ablation: shared-cache bank contention sweep", opt);
 
-  report::Table table({"app", "banks", "model vs shared",
-                       "model cycles", "shared cycles"});
+  sim::ExperimentSpec spec;
+  spec.name = "abl_bandwidth";
+  auto key = [](const char* app, std::uint32_t banks, const char* arm) {
+    return std::string(app) + "/banks" + std::to_string(banks) + "/" + arm;
+  };
   for (const char* app : {"cg", "mgrid"}) {
     for (const std::uint32_t banks : {0u, 8u, 4u, 2u}) {
       sim::ExperimentConfig base = bench::base_config(opt, app);
       base.l2_banks = banks;
-      const auto model = sim::run_experiment(bench::model_arm(base));
-      const auto shared = sim::run_experiment(bench::shared_arm(base));
+      spec.add(key(app, banks, "model"), bench::model_arm(base));
+      spec.add(key(app, banks, "shared"), bench::shared_arm(base));
+    }
+  }
+  const sim::BatchResult batch = bench::run_spec(spec, opt);
+
+  report::Table table({"app", "banks", "model vs shared",
+                       "model cycles", "shared cycles"});
+  for (const char* app : {"cg", "mgrid"}) {
+    for (const std::uint32_t banks : {0u, 8u, 4u, 2u}) {
+      const auto& model = batch.at(key(app, banks, "model"));
+      const auto& shared = batch.at(key(app, banks, "shared"));
       table.add_row({app, banks == 0 ? "inf" : std::to_string(banks),
                      report::fmt_pct(sim::improvement(model, shared), 1),
                      std::to_string(model.outcome.total_cycles),

@@ -13,15 +13,31 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("Ablation: total L2 ways (capacity) sweep", opt);
 
+  sim::ExperimentSpec spec;
+  spec.name = "abl_cache_size";
+  auto key = [](const char* app, std::uint32_t ways, const char* arm) {
+    return std::string(app) + "/" + std::to_string(ways) + "w/" + arm;
+  };
+  for (const char* app : {"cg", "mgrid"}) {
+    for (const std::uint32_t ways : {8u, 16u, 32u, 64u, 96u}) {
+      sim::ExperimentConfig base = bench::base_config(opt, app);
+      base.l2.ways = ways;
+      spec.add(key(app, ways, "model"), bench::model_arm(base));
+      spec.add(key(app, ways, "shared"), bench::shared_arm(base));
+      spec.add(key(app, ways, "static_equal"), bench::static_equal_arm(base));
+    }
+  }
+  const sim::BatchResult batch = bench::run_spec(spec, opt);
+
   report::Table table({"app", "L2 ways", "L2 size", "vs shared",
                        "vs static equal"});
   for (const char* app : {"cg", "mgrid"}) {
     for (const std::uint32_t ways : {8u, 16u, 32u, 64u, 96u}) {
       sim::ExperimentConfig base = bench::base_config(opt, app);
       base.l2.ways = ways;
-      const auto dynamic = sim::run_experiment(bench::model_arm(base));
-      const auto shared = sim::run_experiment(bench::shared_arm(base));
-      const auto equal = sim::run_experiment(bench::static_equal_arm(base));
+      const auto& dynamic = batch.at(key(app, ways, "model"));
+      const auto& shared = batch.at(key(app, ways, "shared"));
+      const auto& equal = batch.at(key(app, ways, "static_equal"));
       table.add_row({app, std::to_string(ways),
                      std::to_string(base.l2.size_bytes() / 1024) + " KB",
                      report::fmt_pct(sim::improvement(dynamic, shared), 1),

@@ -14,13 +14,17 @@ int main(int argc, char** argv) {
   bench::banner("Ablation: CPI-proportional vs model-based partitioning",
                 opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(),
+                           {"model", "cpi", "shared"}, "abl_cpi_vs_model"),
+      opt);
+
   report::Table table({"app", "model vs cpi-proportional", "model vs shared",
                        "cpi-prop vs shared"});
   for (const std::string& app : trace::benchmark_names()) {
-    const sim::ExperimentConfig base = bench::base_config(opt, app);
-    const auto model = sim::run_experiment(bench::model_arm(base));
-    const auto cpi = sim::run_experiment(bench::cpi_arm(base));
-    const auto shared = sim::run_experiment(bench::shared_arm(base));
+    const auto& model = batch.at(bench::arm_key(app, "model"));
+    const auto& cpi = batch.at(bench::arm_key(app, "cpi"));
+    const auto& shared = batch.at(bench::arm_key(app, "shared"));
     table.add_row({app, report::fmt_pct(sim::improvement(model, cpi), 1),
                    report::fmt_pct(sim::improvement(model, shared), 1),
                    report::fmt_pct(sim::improvement(cpi, shared), 1)});

@@ -41,12 +41,25 @@ int main(int argc, char** argv) {
       "co-scheduled",
       opt);
 
-  const auto flat =
-      run_pair(opt, std::nullopt, core::OsAllocationMode::kStaticEqual);
-  const auto intra = run_pair(opt, core::PolicyKind::kModelBased,
-                              core::OsAllocationMode::kStaticEqual);
-  const auto full = run_pair(opt, core::PolicyKind::kModelBased,
-                             core::OsAllocationMode::kMissProportional);
+  // Co-scheduled runs are not ExperimentConfig arms; the generic map of the
+  // same executor fans them out with the same determinism guarantee.
+  const sim::BatchRunner runner(bench::resolved_jobs(opt));
+  std::vector<std::function<sim::CoScheduleResult()>> tasks;
+  tasks.emplace_back([&opt] {
+    return run_pair(opt, std::nullopt, core::OsAllocationMode::kStaticEqual);
+  });
+  tasks.emplace_back([&opt] {
+    return run_pair(opt, core::PolicyKind::kModelBased,
+                    core::OsAllocationMode::kStaticEqual);
+  });
+  tasks.emplace_back([&opt] {
+    return run_pair(opt, core::PolicyKind::kModelBased,
+                    core::OsAllocationMode::kMissProportional);
+  });
+  const auto results = runner.map(std::move(tasks));
+  const sim::CoScheduleResult& flat = results[0];
+  const sim::CoScheduleResult& intra = results[1];
+  const sim::CoScheduleResult& full = results[2];
 
   report::Table table({"configuration", "cg cycles", "mgrid cycles",
                        "cg vs flat", "mgrid vs flat"});

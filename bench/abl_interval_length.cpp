@@ -11,22 +11,41 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("Ablation: execution-interval length sensitivity", opt);
 
-  const Instructions base_len = opt.interval_instructions != 0
-                                    ? opt.interval_instructions
-                                    : Instructions{60'000} * opt.threads;
+  const Instructions base_len = bench::resolved_interval_instructions(opt);
+  auto scaled = [&](const char* app, double scale) {
+    sim::ExperimentConfig cfg = bench::base_config(opt, app);
+    cfg.interval_instructions =
+        static_cast<Instructions>(static_cast<double>(base_len) * scale);
+    // Hold total work constant so runs stay comparable.
+    cfg.num_intervals = static_cast<std::uint32_t>(
+        static_cast<double>(opt.intervals) / scale);
+    return cfg;
+  };
+  auto key = [&](const char* app, double scale, const char* arm) {
+    return std::string(app) + "/" +
+           std::to_string(scaled(app, scale).interval_instructions) + "i/" +
+           arm;
+  };
+
+  sim::ExperimentSpec spec;
+  spec.name = "abl_interval_length";
+  for (const char* app : {"cg", "swim", "mgrid"}) {
+    for (const double scale : {0.5, 1.0, 2.0, 4.0}) {
+      const sim::ExperimentConfig cfg = scaled(app, scale);
+      spec.add(key(app, scale, "model"), bench::model_arm(cfg));
+      spec.add(key(app, scale, "shared"), bench::shared_arm(cfg));
+    }
+  }
+  const sim::BatchResult batch = bench::run_spec(spec, opt);
+
   report::Table table({"app", "interval instr", "improvement vs shared"});
   for (const char* app : {"cg", "swim", "mgrid"}) {
     for (const double scale : {0.5, 1.0, 2.0, 4.0}) {
-      sim::ExperimentConfig cfg = bench::base_config(opt, app);
-      cfg.interval_instructions =
-          static_cast<Instructions>(static_cast<double>(base_len) * scale);
-      // Hold total work constant so runs stay comparable.
-      cfg.num_intervals = static_cast<std::uint32_t>(
-          static_cast<double>(opt.intervals) / scale);
-      const auto dynamic = sim::run_experiment(bench::model_arm(cfg));
-      const auto shared = sim::run_experiment(bench::shared_arm(cfg));
-      table.add_row({app, std::to_string(cfg.interval_instructions),
-                     report::fmt_pct(sim::improvement(dynamic, shared), 1)});
+      const auto& dynamic = batch.at(key(app, scale, "model"));
+      const auto& shared = batch.at(key(app, scale, "shared"));
+      table.add_row(
+          {app, std::to_string(scaled(app, scale).interval_instructions),
+           report::fmt_pct(sim::improvement(dynamic, shared), 1)});
     }
   }
   table.print(std::cout);

@@ -26,14 +26,24 @@ int main(int argc, char** argv) {
   bench::banner(
       "Ablation: partitioning a shared L3 behind private per-core L2s", opt);
 
-  report::Table table({"app", "vs shared L3", "vs static-equal L3"});
-  double total_shared = 0.0, total_equal = 0.0;
+  sim::ExperimentSpec spec;
+  spec.name = "abl_l3_target";
   for (const std::string& app : trace::benchmark_names()) {
     const sim::ExperimentConfig base =
         three_level(bench::base_config(opt, app));
-    const auto dynamic = sim::run_experiment(bench::model_arm(base));
-    const auto shared = sim::run_experiment(bench::shared_arm(base));
-    const auto equal = sim::run_experiment(bench::static_equal_arm(base));
+    spec.add(bench::arm_key(app, "model"), bench::model_arm(base));
+    spec.add(bench::arm_key(app, "shared"), bench::shared_arm(base));
+    spec.add(bench::arm_key(app, "static_equal"),
+             bench::static_equal_arm(base));
+  }
+  const sim::BatchResult batch = bench::run_spec(spec, opt);
+
+  report::Table table({"app", "vs shared L3", "vs static-equal L3"});
+  double total_shared = 0.0, total_equal = 0.0;
+  for (const std::string& app : trace::benchmark_names()) {
+    const auto& dynamic = batch.at(bench::arm_key(app, "model"));
+    const auto& shared = batch.at(bench::arm_key(app, "shared"));
+    const auto& equal = batch.at(bench::arm_key(app, "static_equal"));
     const double is = sim::improvement(dynamic, shared);
     const double ie = sim::improvement(dynamic, equal);
     total_shared += is;

@@ -19,15 +19,17 @@ int main(int argc, char** argv) {
       "partitioning",
       opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(),
+                           {"model", "coloring", "shared"}, "abl_mechanism"),
+      opt);
+
   report::Table table({"app", "ways vs shared", "colors vs shared",
                        "ways vs colors"});
   for (const std::string& app : trace::benchmark_names()) {
-    const sim::ExperimentConfig base = bench::base_config(opt, app);
-    sim::ExperimentConfig color_cfg = bench::model_arm(base);
-    color_cfg.l2_mode = mem::L2Mode::kSetPartitionedShared;
-    const auto ways = sim::run_experiment(bench::model_arm(base));
-    const auto colors = sim::run_experiment(color_cfg);
-    const auto shared = sim::run_experiment(bench::shared_arm(base));
+    const auto& ways = batch.at(bench::arm_key(app, "model"));
+    const auto& colors = batch.at(bench::arm_key(app, "coloring"));
+    const auto& shared = batch.at(bench::arm_key(app, "shared"));
     table.add_row({app, report::fmt_pct(sim::improvement(ways, shared), 1),
                    report::fmt_pct(sim::improvement(colors, shared), 1),
                    report::fmt_pct(sim::improvement(ways, colors), 1)});

@@ -12,7 +12,11 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("Ablation: thread-migration resilience", opt);
 
-  report::Table table({"app", "migrations", "improvement vs shared"});
+  auto key = [](const char* app, int migrations, const char* arm) {
+    return std::string(app) + "/mig" + std::to_string(migrations) + "/" + arm;
+  };
+  sim::ExperimentSpec spec;
+  spec.name = "abl_migration";
   for (const char* app : {"cg", "mgrid", "equake"}) {
     for (const int migrations : {0, 1, 3}) {
       sim::ExperimentConfig cfg = bench::model_arm(bench::base_config(opt, app));
@@ -25,8 +29,17 @@ int main(int argc, char** argv) {
       }
       sim::ExperimentConfig shared_cfg = bench::shared_arm(bench::base_config(opt, app));
       shared_cfg.migrations = cfg.migrations;  // baseline migrates too
-      const auto dynamic = sim::run_experiment(cfg);
-      const auto shared = sim::run_experiment(shared_cfg);
+      spec.add(key(app, migrations, "model"), std::move(cfg));
+      spec.add(key(app, migrations, "shared"), std::move(shared_cfg));
+    }
+  }
+  const sim::BatchResult batch = bench::run_spec(spec, opt);
+
+  report::Table table({"app", "migrations", "improvement vs shared"});
+  for (const char* app : {"cg", "mgrid", "equake"}) {
+    for (const int migrations : {0, 1, 3}) {
+      const auto& dynamic = batch.at(key(app, migrations, "model"));
+      const auto& shared = batch.at(key(app, migrations, "shared"));
       table.add_row({app, std::to_string(migrations),
                      report::fmt_pct(sim::improvement(dynamic, shared), 1)});
     }

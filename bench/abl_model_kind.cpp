@@ -13,16 +13,18 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("Ablation: spline vs piecewise-linear CPI models", opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(),
+                           {"model", "linear_model", "shared"},
+                           "abl_model_kind"),
+      opt);
+
   report::Table table(
       {"app", "spline vs shared", "linear vs shared", "spline vs linear"});
   for (const std::string& app : trace::benchmark_names()) {
-    const sim::ExperimentConfig base = bench::base_config(opt, app);
-    sim::ExperimentConfig spline_cfg = bench::model_arm(base);
-    sim::ExperimentConfig linear_cfg = bench::model_arm(base);
-    linear_cfg.policy_options.model_kind = core::ModelKind::kPiecewiseLinear;
-    const auto spline = sim::run_experiment(spline_cfg);
-    const auto linear = sim::run_experiment(linear_cfg);
-    const auto shared = sim::run_experiment(bench::shared_arm(base));
+    const auto& spline = batch.at(bench::arm_key(app, "model"));
+    const auto& linear = batch.at(bench::arm_key(app, "linear_model"));
+    const auto& shared = batch.at(bench::arm_key(app, "shared"));
     table.add_row({app, report::fmt_pct(sim::improvement(spline, shared), 1),
                    report::fmt_pct(sim::improvement(linear, shared), 1),
                    report::fmt_pct(sim::improvement(spline, linear), 1)});

@@ -12,18 +12,32 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("Ablation: runtime repartition overhead sweep", opt);
 
-  report::Table table({"overhead cycles/interval", "overhead share",
-                       "cg improvement vs shared",
-                       "mgrid improvement vs shared"});
-  for (const Cycles overhead : {Cycles{0}, Cycles{800}, Cycles{2'000},
-                                Cycles{5'000}, Cycles{20'000}}) {
-    std::vector<std::string> row = {std::to_string(overhead)};
-    bool first = true;
+  const auto overheads = {Cycles{0}, Cycles{800}, Cycles{2'000}, Cycles{5'000},
+                          Cycles{20'000}};
+  auto key = [](const char* app, Cycles overhead, const char* arm) {
+    return std::string(app) + "/oh" + std::to_string(overhead) + "/" + arm;
+  };
+  sim::ExperimentSpec spec;
+  spec.name = "abl_overhead";
+  for (const Cycles overhead : overheads) {
     for (const char* app : {"cg", "mgrid"}) {
       sim::ExperimentConfig cfg = bench::base_config(opt, app);
       cfg.runtime_overhead_cycles = overhead;
-      const auto dynamic = sim::run_experiment(bench::model_arm(cfg));
-      const auto shared = sim::run_experiment(bench::shared_arm(cfg));
+      spec.add(key(app, overhead, "model"), bench::model_arm(cfg));
+      spec.add(key(app, overhead, "shared"), bench::shared_arm(cfg));
+    }
+  }
+  const sim::BatchResult batch = bench::run_spec(spec, opt);
+
+  report::Table table({"overhead cycles/interval", "overhead share",
+                       "cg improvement vs shared",
+                       "mgrid improvement vs shared"});
+  for (const Cycles overhead : overheads) {
+    std::vector<std::string> row = {std::to_string(overhead)};
+    bool first = true;
+    for (const char* app : {"cg", "mgrid"}) {
+      const auto& dynamic = batch.at(key(app, overhead, "model"));
+      const auto& shared = batch.at(key(app, overhead, "shared"));
       if (first) {
         const double share =
             static_cast<double>(overhead) * opt.intervals /

@@ -16,16 +16,18 @@ int main(int argc, char** argv) {
       "Ablation: eviction-control vs flush-reconfiguration partitioning",
       opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(),
+                           {"model", "flush", "shared"}, "abl_reconfigure"),
+      opt);
+
   report::Table table({"app", "eviction-control vs shared",
                        "flush-reconfigure vs shared",
                        "eviction-control vs flush"});
   for (const std::string& app : trace::benchmark_names()) {
-    const sim::ExperimentConfig base = bench::base_config(opt, app);
-    sim::ExperimentConfig flush_cfg = bench::model_arm(base);
-    flush_cfg.l2_mode = mem::L2Mode::kFlushReconfigureShared;
-    const auto gradual = sim::run_experiment(bench::model_arm(base));
-    const auto flush = sim::run_experiment(flush_cfg);
-    const auto shared = sim::run_experiment(bench::shared_arm(base));
+    const auto& gradual = batch.at(bench::arm_key(app, "model"));
+    const auto& flush = batch.at(bench::arm_key(app, "flush"));
+    const auto& shared = batch.at(bench::arm_key(app, "shared"));
     table.add_row({app,
                    report::fmt_pct(sim::improvement(gradual, shared), 1),
                    report::fmt_pct(sim::improvement(flush, shared), 1),

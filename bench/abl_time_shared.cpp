@@ -14,17 +14,20 @@ int main(int argc, char** argv) {
   bench::banner("Ablation: model-based vs time-shared (fairness) partitioning",
                 opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(),
+                           {"model", "time_shared", "fair", "static_equal"},
+                           "abl_time_shared"),
+      opt);
+
   report::Table table({"app", "model vs time-shared",
                        "model vs fair-slowdown",
                        "time-shared vs static equal"});
   for (const std::string& app : trace::benchmark_names()) {
-    const sim::ExperimentConfig base = bench::base_config(opt, app);
-    sim::ExperimentConfig fair_cfg = bench::model_arm(base);
-    fair_cfg.policy = core::PolicyKind::kFairSlowdown;
-    const auto model = sim::run_experiment(bench::model_arm(base));
-    const auto shared_time = sim::run_experiment(bench::time_shared_arm(base));
-    const auto fair = sim::run_experiment(fair_cfg);
-    const auto equal = sim::run_experiment(bench::static_equal_arm(base));
+    const auto& model = batch.at(bench::arm_key(app, "model"));
+    const auto& shared_time = batch.at(bench::arm_key(app, "time_shared"));
+    const auto& fair = batch.at(bench::arm_key(app, "fair"));
+    const auto& equal = batch.at(bench::arm_key(app, "static_equal"));
     table.add_row(
         {app, report::fmt_pct(sim::improvement(model, shared_time), 1),
          report::fmt_pct(sim::improvement(model, fair), 1),

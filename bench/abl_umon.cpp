@@ -15,15 +15,17 @@ int main(int argc, char** argv) {
   bench::banner(
       "Ablation: learned (model-based) vs measured (UMON) cache curves", opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(),
+                           {"model", "umon", "shared"}, "abl_umon"),
+      opt);
+
   report::Table table({"app", "model-based vs shared", "umon vs shared",
                        "umon vs model-based"});
   for (const std::string& app : trace::benchmark_names()) {
-    const sim::ExperimentConfig base = bench::base_config(opt, app);
-    sim::ExperimentConfig umon_cfg = bench::model_arm(base);
-    umon_cfg.policy = core::PolicyKind::kUmonCriticalPath;
-    const auto model = sim::run_experiment(bench::model_arm(base));
-    const auto umon = sim::run_experiment(umon_cfg);
-    const auto shared = sim::run_experiment(bench::shared_arm(base));
+    const auto& model = batch.at(bench::arm_key(app, "model"));
+    const auto& umon = batch.at(bench::arm_key(app, "umon"));
+    const auto& shared = batch.at(bench::arm_key(app, "shared"));
     table.add_row({app, report::fmt_pct(sim::improvement(model, shared), 1),
                    report::fmt_pct(sim::improvement(umon, shared), 1),
                    report::fmt_pct(sim::improvement(umon, model), 1)});

@@ -3,17 +3,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <string_view>
+#include <iostream>
+
+#include "src/report/batch_summary.hpp"
 
 namespace capart::bench {
 namespace {
 
 std::uint64_t parse_u64(std::string_view value, const char* flag) {
+  // A flag without "=value" arrives as an empty view with a null data
+  // pointer; copy before strtoull/printf ever dereference it.
+  const std::string copy(value);
   char* end = nullptr;
-  const std::uint64_t v = std::strtoull(value.data(), &end, 10);
-  if (end != value.data() + value.size()) {
-    std::fprintf(stderr, "invalid value for %s: %.*s\n", flag,
-                 static_cast<int>(value.size()), value.data());
+  const std::uint64_t v = std::strtoull(copy.c_str(), &end, 10);
+  if (copy.empty() || end != copy.c_str() + copy.size()) {
+    std::fprintf(stderr, "invalid value for %s: %s\n", flag, copy.c_str());
     std::exit(2);
   }
   return v;
@@ -37,9 +41,19 @@ BenchOptions parse_options(int argc, char** argv) {
       opt.threads = static_cast<ThreadId>(parse_u64(value, "--threads"));
     } else if (key == "--seed") {
       opt.seed = parse_u64(value, "--seed");
+    } else if (key == "--jobs") {
+      opt.jobs = static_cast<unsigned>(parse_u64(value, "--jobs"));
+      if (opt.jobs == 0) {
+        std::fprintf(stderr, "invalid value for --jobs: must be >= 1\n");
+        std::exit(2);
+      }
     } else if (key == "--help" || key == "-h") {
       std::printf(
-          "flags: --intervals=N --interval-instr=N --threads=N --seed=N\n");
+          "flags: --intervals=N --interval-instr=N --threads=N --seed=N "
+          "--jobs=N\n"
+          "  --jobs=N  run up to N experiments concurrently (default: all "
+          "cores);\n"
+          "            results are bit-identical for any value\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
@@ -49,17 +63,92 @@ BenchOptions parse_options(int argc, char** argv) {
   return opt;
 }
 
+Instructions resolved_interval_instructions(const BenchOptions& opt) noexcept {
+  return opt.interval_instructions != 0 ? opt.interval_instructions
+                                        : Instructions{60'000} * opt.threads;
+}
+
+unsigned resolved_jobs(const BenchOptions& opt) noexcept {
+  return opt.jobs != 0 ? opt.jobs : sim::default_jobs();
+}
+
 sim::ExperimentConfig base_config(const BenchOptions& opt,
                                   const std::string& profile) {
   sim::ExperimentConfig cfg;
   cfg.profile = profile;
   cfg.num_threads = opt.threads;
   cfg.num_intervals = opt.intervals;
-  cfg.interval_instructions = opt.interval_instructions != 0
-                                  ? opt.interval_instructions
-                                  : Instructions{60'000} * opt.threads;
+  cfg.interval_instructions = resolved_interval_instructions(opt);
   cfg.seed = opt.seed;
   return cfg;
+}
+
+const std::vector<ArmEntry>& arm_registry() {
+  static const std::vector<ArmEntry> registry = {
+      {"shared", shared_arm},
+      {"private", private_arm},
+      {"static_equal", static_equal_arm},
+      {"model", model_arm},
+      {"cpi", cpi_arm},
+      {"throughput", throughput_arm},
+      {"time_shared", time_shared_arm},
+      {"umon", umon_arm},
+      {"fair", fair_arm},
+      {"coloring", coloring_arm},
+      {"flush", flush_arm},
+      {"linear_model", linear_model_arm},
+  };
+  return registry;
+}
+
+ArmTransform find_arm(std::string_view arm) {
+  for (const ArmEntry& entry : arm_registry()) {
+    if (entry.name == arm) return entry.transform;
+  }
+  std::fprintf(stderr, "unknown experiment arm '%.*s'; known arms:",
+               static_cast<int>(arm.size()), arm.data());
+  for (const ArmEntry& entry : arm_registry()) {
+    std::fprintf(stderr, " %.*s", static_cast<int>(entry.name.size()),
+                 entry.name.data());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+sim::ExperimentConfig make_arm(std::string_view arm,
+                               sim::ExperimentConfig cfg) {
+  return find_arm(arm)(std::move(cfg));
+}
+
+std::string arm_key(std::string_view profile, std::string_view arm) {
+  std::string key(profile);
+  key += '/';
+  key += arm;
+  return key;
+}
+
+sim::ExperimentSpec profile_sweep(const BenchOptions& opt,
+                                  const std::vector<std::string>& profiles,
+                                  const std::vector<std::string>& arms,
+                                  std::string spec_name) {
+  sim::ExperimentSpec spec;
+  spec.name = std::move(spec_name);
+  for (const std::string& profile : profiles) {
+    const sim::ExperimentConfig base = base_config(opt, profile);
+    for (const std::string& arm : arms) {
+      spec.add(arm_key(profile, arm), make_arm(arm, base));
+    }
+  }
+  return spec;
+}
+
+sim::BatchResult run_spec(const sim::ExperimentSpec& spec,
+                          const BenchOptions& opt) {
+  const sim::BatchRunner runner(resolved_jobs(opt));
+  sim::BatchResult batch = runner.run(spec);
+  report::print_batch_summary(std::cout, batch);
+  std::cout << "\n";
+  return batch;
 }
 
 sim::ExperimentConfig shared_arm(sim::ExperimentConfig cfg) {
@@ -104,17 +193,45 @@ sim::ExperimentConfig time_shared_arm(sim::ExperimentConfig cfg) {
   return cfg;
 }
 
+sim::ExperimentConfig umon_arm(sim::ExperimentConfig cfg) {
+  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
+  cfg.policy = core::PolicyKind::kUmonCriticalPath;
+  return cfg;
+}
+
+sim::ExperimentConfig fair_arm(sim::ExperimentConfig cfg) {
+  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
+  cfg.policy = core::PolicyKind::kFairSlowdown;
+  return cfg;
+}
+
+sim::ExperimentConfig coloring_arm(sim::ExperimentConfig cfg) {
+  cfg.l2_mode = mem::L2Mode::kSetPartitionedShared;
+  cfg.policy = core::PolicyKind::kModelBased;
+  return cfg;
+}
+
+sim::ExperimentConfig flush_arm(sim::ExperimentConfig cfg) {
+  cfg.l2_mode = mem::L2Mode::kFlushReconfigureShared;
+  cfg.policy = core::PolicyKind::kModelBased;
+  return cfg;
+}
+
+sim::ExperimentConfig linear_model_arm(sim::ExperimentConfig cfg) {
+  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
+  cfg.policy = core::PolicyKind::kModelBased;
+  cfg.policy_options.model_kind = core::ModelKind::kPiecewiseLinear;
+  return cfg;
+}
+
 void banner(const std::string& what, const BenchOptions& opt) {
   std::printf("== %s ==\n", what.c_str());
   std::printf(
-      "threads=%u intervals=%u interval-instr=%llu seed=%llu "
+      "threads=%u intervals=%u interval-instr=%llu seed=%llu jobs=%u "
       "(scaled config; see EXPERIMENTS.md)\n\n",
       opt.threads, opt.intervals,
-      static_cast<unsigned long long>(
-          opt.interval_instructions != 0
-              ? opt.interval_instructions
-              : Instructions{60'000} * opt.threads),
-      static_cast<unsigned long long>(opt.seed));
+      static_cast<unsigned long long>(resolved_interval_instructions(opt)),
+      static_cast<unsigned long long>(opt.seed), resolved_jobs(opt));
 }
 
 }  // namespace capart::bench

@@ -1,18 +1,28 @@
-// Shared command-line handling and experiment-arm builders for the bench
-// binaries. Every figure/table bench accepts:
+// Shared command-line handling, experiment-arm registry and batch helpers
+// for the bench binaries. Every figure/table bench accepts:
 //   --intervals=N           execution intervals per run (default 40)
 //   --interval-instr=N      aggregate instructions per interval
 //                           (default 60'000 x threads)
 //   --threads=N             cores/threads (default 4; fig22 uses 8)
 //   --seed=N                workload seed (default 42)
+//   --jobs=N                concurrent experiments (default: all cores)
 // Defaults are the scaled-down configuration documented in EXPERIMENTS.md:
 // the paper used 15 M-instruction intervals on a full-system simulator; the
 // dynamics are interval-count-, not interval-length-, driven (paper §VII and
 // the abl_interval_length bench).
+//
+// Benches declare their runs as a sim::ExperimentSpec (usually via
+// profile_sweep) and execute them through run_spec, which fans the arms out
+// over a BatchRunner and prints the timing footer. Results come back in spec
+// order and are addressed by "profile/arm" keys; they are bit-identical for
+// any --jobs value.
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "src/sim/batch.hpp"
 #include "src/sim/experiment.hpp"
 
 namespace capart::bench {
@@ -22,23 +32,72 @@ struct BenchOptions {
   Instructions interval_instructions = 0;  // 0 -> 60'000 x threads
   ThreadId threads = 4;
   std::uint64_t seed = 42;
+  unsigned jobs = 0;  // 0 -> sim::default_jobs()
 };
 
 /// Parses --key=value flags; unknown flags abort with a usage message.
 BenchOptions parse_options(int argc, char** argv);
 
+/// The interval-instruction count a run actually uses: the explicit flag
+/// value, or the 60'000-per-thread fallback.
+Instructions resolved_interval_instructions(const BenchOptions& opt) noexcept;
+
+/// The executor width run_spec uses: --jobs, or every hardware thread.
+unsigned resolved_jobs(const BenchOptions& opt) noexcept;
+
 /// Baseline experiment configuration for one application profile.
 sim::ExperimentConfig base_config(const BenchOptions& opt,
                                   const std::string& profile);
 
-/// The four experiment arms the paper compares.
-sim::ExperimentConfig shared_arm(sim::ExperimentConfig cfg);
-sim::ExperimentConfig private_arm(sim::ExperimentConfig cfg);
-sim::ExperimentConfig static_equal_arm(sim::ExperimentConfig cfg);
-sim::ExperimentConfig model_arm(sim::ExperimentConfig cfg);
-sim::ExperimentConfig cpi_arm(sim::ExperimentConfig cfg);
-sim::ExperimentConfig throughput_arm(sim::ExperimentConfig cfg);
-sim::ExperimentConfig time_shared_arm(sim::ExperimentConfig cfg);
+/// An arm maps a base configuration to one point of the design space
+/// (cache organization + policy); arms are registered by name so specs can
+/// compose them declaratively.
+using ArmTransform = sim::ExperimentConfig (*)(sim::ExperimentConfig);
+
+struct ArmEntry {
+  std::string_view name;
+  ArmTransform transform;
+};
+
+/// Every registered arm, in registration order.
+const std::vector<ArmEntry>& arm_registry();
+
+/// Looks up a registered arm; aborts listing the known names on a miss.
+ArmTransform find_arm(std::string_view arm);
+
+/// Applies registered arm `arm` to `cfg`.
+sim::ExperimentConfig make_arm(std::string_view arm,
+                               sim::ExperimentConfig cfg);
+
+/// Spec key of profile `profile` under arm `arm`: "profile/arm".
+std::string arm_key(std::string_view profile, std::string_view arm);
+
+/// The cross product profiles x arms as a spec with "profile/arm" keys —
+/// the shape every figure sweep runs.
+sim::ExperimentSpec profile_sweep(const BenchOptions& opt,
+                                  const std::vector<std::string>& profiles,
+                                  const std::vector<std::string>& arms,
+                                  std::string spec_name = "");
+
+/// Runs `spec` on a BatchRunner with resolved_jobs(opt) and prints the
+/// timing footer (wall, serial-equivalent, speedup, slowest arms).
+sim::BatchResult run_spec(const sim::ExperimentSpec& spec,
+                          const BenchOptions& opt);
+
+/// The experiment arms the paper and the ablations compare. Registered
+/// under the names in parentheses.
+sim::ExperimentConfig shared_arm(sim::ExperimentConfig cfg);       // shared
+sim::ExperimentConfig private_arm(sim::ExperimentConfig cfg);      // private
+sim::ExperimentConfig static_equal_arm(sim::ExperimentConfig cfg);  // static_equal
+sim::ExperimentConfig model_arm(sim::ExperimentConfig cfg);        // model
+sim::ExperimentConfig cpi_arm(sim::ExperimentConfig cfg);          // cpi
+sim::ExperimentConfig throughput_arm(sim::ExperimentConfig cfg);   // throughput
+sim::ExperimentConfig time_shared_arm(sim::ExperimentConfig cfg);  // time_shared
+sim::ExperimentConfig umon_arm(sim::ExperimentConfig cfg);         // umon
+sim::ExperimentConfig fair_arm(sim::ExperimentConfig cfg);         // fair
+sim::ExperimentConfig coloring_arm(sim::ExperimentConfig cfg);     // coloring
+sim::ExperimentConfig flush_arm(sim::ExperimentConfig cfg);        // flush
+sim::ExperimentConfig linear_model_arm(sim::ExperimentConfig cfg);  // linear_model
 
 /// Prints the standard bench banner.
 void banner(const std::string& what, const BenchOptions& opt);

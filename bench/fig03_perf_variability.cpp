@@ -14,6 +14,10 @@ int main(int argc, char** argv) {
       "Fig 3: normalized per-thread performance (shared unpartitioned L2)",
       opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(), {"shared"}, "fig03"),
+      opt);
+
   std::vector<std::string> headers = {"app"};
   for (ThreadId t = 0; t < opt.threads; ++t) {
     headers.push_back("thread " + std::to_string(t + 1));
@@ -22,8 +26,7 @@ int main(int argc, char** argv) {
   report::Table table(headers);
 
   for (const std::string& app : trace::benchmark_names()) {
-    const auto r =
-        sim::run_experiment(bench::shared_arm(bench::base_config(opt, app)));
+    const sim::ExperimentResult& r = batch.at(bench::arm_key(app, "shared"));
     // Performance of a thread = 1 / execution (non-stall) cycles; all
     // threads retire equal work, so this is 1/exec_cycles up to a constant.
     std::vector<double> perf;

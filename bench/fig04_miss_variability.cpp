@@ -12,6 +12,10 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("Fig 4: normalized per-thread L2 misses (shared L2)", opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(), {"shared"}, "fig04"),
+      opt);
+
   std::vector<std::string> headers = {"app"};
   for (ThreadId t = 0; t < opt.threads; ++t) {
     headers.push_back("thread " + std::to_string(t + 1));
@@ -20,8 +24,7 @@ int main(int argc, char** argv) {
   report::Table table(headers);
 
   for (const std::string& app : trace::benchmark_names()) {
-    const auto r =
-        sim::run_experiment(bench::shared_arm(bench::base_config(opt, app)));
+    const sim::ExperimentResult& r = batch.at(bench::arm_key(app, "shared"));
     std::uint64_t most = 1;
     std::size_t most_idx = 0;
     for (std::size_t t = 0; t < r.thread_totals.size(); ++t) {

@@ -15,11 +15,14 @@ int main(int argc, char** argv) {
   bench::banner("Fig 5: correlation of interval CPI vs interval L2 misses",
                 opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(), {"shared"}, "fig05"),
+      opt);
+
   report::Table table({"app", "correlation coefficient"});
   double total = 0.0;
   for (const std::string& app : trace::benchmark_names()) {
-    const auto r =
-        sim::run_experiment(bench::shared_arm(bench::base_config(opt, app)));
+    const sim::ExperimentResult& r = batch.at(bench::arm_key(app, "shared"));
     double corr_sum = 0.0;
     int threads_counted = 0;
     for (ThreadId t = 0; t < opt.threads; ++t) {

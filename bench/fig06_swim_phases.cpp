@@ -12,8 +12,9 @@ int main(int argc, char** argv) {
   if (opt.intervals == 40) opt.intervals = 50;  // paper plots 50 intervals
   bench::banner("Fig 6: SWIM per-thread CPI across execution intervals", opt);
 
-  const auto r =
-      sim::run_experiment(bench::shared_arm(bench::base_config(opt, "swim")));
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, {"swim"}, {"shared"}, "fig06"), opt);
+  const sim::ExperimentResult& r = batch.at("swim/shared");
 
   std::vector<std::string> headers = {"interval"};
   for (ThreadId t = 0; t < opt.threads; ++t) {

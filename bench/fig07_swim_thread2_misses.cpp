@@ -13,8 +13,9 @@ int main(int argc, char** argv) {
   bench::banner("Fig 7: SWIM thread 2 L2 misses across execution intervals",
                 opt);
 
-  const auto r =
-      sim::run_experiment(bench::shared_arm(bench::base_config(opt, "swim")));
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, {"swim"}, {"shared"}, "fig07"), opt);
+  const sim::ExperimentResult& r = batch.at("swim/shared");
   constexpr ThreadId kThread2 = 1;  // paper's 1-based "thread 2"
 
   report::Table table({"interval", "L2 misses", "CPI"});

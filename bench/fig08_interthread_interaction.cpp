@@ -12,11 +12,14 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("Fig 8: inter-thread share of L2 cache interactions", opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(), {"shared"}, "fig08"),
+      opt);
+
   report::Table table({"app", "inter-thread interactions"});
   double total = 0.0;
   for (const std::string& app : trace::benchmark_names()) {
-    const auto r =
-        sim::run_experiment(bench::shared_arm(bench::base_config(opt, app)));
+    const sim::ExperimentResult& r = batch.at(bench::arm_key(app, "shared"));
     const double frac = r.l2_stats.inter_thread_fraction();
     total += frac;
     table.add_row({app, report::fmt_pct(frac, 1)});

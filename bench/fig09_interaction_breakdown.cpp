@@ -13,11 +13,14 @@ int main(int argc, char** argv) {
   bench::banner("Fig 9: constructive vs destructive inter-thread interaction",
                 opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(), {"shared"}, "fig09"),
+      opt);
+
   report::Table table(
       {"app", "constructive (hits)", "destructive (evictions)"});
   for (const std::string& app : trace::benchmark_names()) {
-    const auto r =
-        sim::run_experiment(bench::shared_arm(bench::base_config(opt, app)));
+    const sim::ExperimentResult& r = batch.at(bench::arm_key(app, "shared"));
     const double constructive = r.l2_stats.constructive_fraction();
     table.add_row({app, report::fmt_pct(constructive, 1),
                    report::fmt_pct(1.0 - constructive, 1)});

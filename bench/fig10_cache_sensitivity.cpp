@@ -13,14 +13,17 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("Fig 10: SWIM thread CPI at 16 vs 32 total L2 ways", opt);
 
-  auto run_with_ways = [&](std::uint32_t ways) {
+  sim::ExperimentSpec spec;
+  spec.name = "fig10";
+  for (const std::uint32_t ways : {16u, 32u}) {
     sim::ExperimentConfig cfg =
         bench::shared_arm(bench::base_config(opt, "swim"));
     cfg.l2.ways = ways;
-    return sim::run_experiment(cfg);
-  };
-  const auto r16 = run_with_ways(16);
-  const auto r32 = run_with_ways(32);
+    spec.add("swim/" + std::to_string(ways) + "w", std::move(cfg));
+  }
+  const sim::BatchResult batch = bench::run_spec(spec, opt);
+  const sim::ExperimentResult& r16 = batch.at("swim/16w");
+  const sim::ExperimentResult& r32 = batch.at("swim/32w");
 
   report::Table table({"interval", "t1 @16w", "t1 @32w", "t2 @16w",
                        "t2 @32w"});

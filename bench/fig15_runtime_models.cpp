@@ -14,7 +14,11 @@ int main(int argc, char** argv) {
 
   sim::ExperimentConfig cfg = bench::model_arm(bench::base_config(opt, "cg"));
   cfg.l2.ways = 32;  // the paper's Fig 15 uses a 32-way cache
-  const auto r = sim::run_experiment(cfg);
+  sim::ExperimentSpec spec;
+  spec.name = "fig15";
+  spec.add("cg/model32w", cfg);  // cfg.l2.ways is reused below
+  const sim::BatchResult batch = bench::run_spec(spec, opt);
+  const sim::ExperimentResult& r = batch.at("cg/model32w");
   const sim::ModelSnapshot& snap = *r.model_snapshot;
 
   std::vector<std::string> headers = {"ways"};

@@ -12,8 +12,9 @@ int main(int argc, char** argv) {
   bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("Fig 18: dynamic partitioning snapshot on NAS CG", opt);
 
-  const auto r =
-      sim::run_experiment(bench::model_arm(bench::base_config(opt, "cg")));
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, {"cg"}, {"model"}, "fig18"), opt);
+  const sim::ExperimentResult& r = batch.at("cg/model");
 
   std::vector<std::string> headers = {"interval"};
   for (ThreadId t = 0; t < opt.threads; ++t) {

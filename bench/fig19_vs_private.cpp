@@ -16,13 +16,17 @@ int main(int argc, char** argv) {
       "cache",
       opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(),
+                           {"model", "static_equal"}, "fig19"),
+      opt);
+
   report::Table table({"app", "improvement"});
   double total = 0.0;
   for (const std::string& app : trace::benchmark_names()) {
-    const sim::ExperimentConfig base = bench::base_config(opt, app);
-    const auto dynamic = sim::run_experiment(bench::model_arm(base));
-    const auto baseline = sim::run_experiment(bench::static_equal_arm(base));
-    const double imp = sim::improvement(dynamic, baseline);
+    const double imp =
+        sim::improvement(batch.at(bench::arm_key(app, "model")),
+                         batch.at(bench::arm_key(app, "static_equal")));
     total += imp;
     table.add_row({app, report::fmt_pct(imp, 1)});
   }

@@ -14,15 +14,20 @@ int main(int argc, char** argv) {
   if (opt.threads == 4) opt.threads = 8;  // the figure's configuration
   bench::banner("Fig 22: 8-core CMP sensitivity study", opt);
 
+  const sim::BatchResult batch = bench::run_spec(
+      bench::profile_sweep(opt, trace::benchmark_names(),
+                           {"model", "static_equal", "shared"}, "fig22"),
+      opt);
+
   report::Table table({"app", "vs private", "vs shared"});
   double total_priv = 0.0, total_shared = 0.0;
   for (const std::string& app : trace::benchmark_names()) {
-    const sim::ExperimentConfig base = bench::base_config(opt, app);
-    const auto dynamic = sim::run_experiment(bench::model_arm(base));
-    const auto priv = sim::run_experiment(bench::static_equal_arm(base));
-    const auto shared = sim::run_experiment(bench::shared_arm(base));
-    const double ip = sim::improvement(dynamic, priv);
-    const double is = sim::improvement(dynamic, shared);
+    const sim::ExperimentResult& dynamic =
+        batch.at(bench::arm_key(app, "model"));
+    const double ip = sim::improvement(
+        dynamic, batch.at(bench::arm_key(app, "static_equal")));
+    const double is =
+        sim::improvement(dynamic, batch.at(bench::arm_key(app, "shared")));
     total_priv += ip;
     total_shared += is;
     table.add_row({app, report::fmt_pct(ip, 1), report::fmt_pct(is, 1)});

@@ -1,17 +1,38 @@
 // Compares every cache organization and partitioning policy on one
-// application — the whole design space of the paper in one table.
+// application — the whole design space of the paper in one table. The arms
+// are declared as a sim::ExperimentSpec and fan out over a BatchRunner, so
+// the sweep uses every core (results are bit-identical for any jobs count).
 //
-//   ./example_policy_comparison [profile]
+//   ./example_policy_comparison [profile] [--jobs=N]
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <string_view>
 
+#include "src/report/batch_summary.hpp"
 #include "src/report/table.hpp"
+#include "src/sim/batch.hpp"
 #include "src/sim/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace capart;
-  const std::string profile = argc > 1 ? argv[1] : "mgrid";
+  std::string profile = "mgrid";
+  unsigned jobs = 0;  // all cores
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      const long v = std::atol(arg.substr(7).data());
+      if (v < 1) {
+        std::fprintf(stderr, "invalid --jobs value\n");
+        return 2;
+      }
+      jobs = static_cast<unsigned>(v);
+    } else {
+      profile = std::string(arg);
+    }
+  }
 
   struct Arm {
     const char* label;
@@ -38,12 +59,8 @@ int main(int argc, char** argv) {
        core::PolicyKind::kModelBased},
   };
 
-  std::cout << "policy comparison on '" << profile << "'\n\n";
-  report::Table table({"configuration", "cycles", "vs shared"});
-
-  // Run the shared baseline first so every row can report relative time.
-  Cycles shared_cycles = 0;
-  std::vector<std::pair<const Arm*, Cycles>> results;
+  sim::ExperimentSpec spec;
+  spec.name = "policy_comparison";
   for (const Arm& arm : arms) {
     sim::ExperimentConfig cfg;
     cfg.profile = profile;
@@ -51,20 +68,27 @@ int main(int argc, char** argv) {
     cfg.policy = arm.policy;
     cfg.num_intervals = 30;
     cfg.interval_instructions = 240'000;
-    const auto r = sim::run_experiment(cfg);
-    results.emplace_back(&arm, r.outcome.total_cycles);
-    if (arm.mode == mem::L2Mode::kSharedUnpartitioned) {
-      shared_cycles = r.outcome.total_cycles;
-    }
+    spec.add(arm.label, std::move(cfg));
   }
-  for (const auto& [arm, cycles] : results) {
+
+  std::cout << "policy comparison on '" << profile << "'\n\n";
+  const sim::BatchRunner runner(jobs);
+  const sim::BatchResult batch = runner.run(spec);
+
+  const Cycles shared_cycles =
+      batch.at("shared, unpartitioned (LRU)").outcome.total_cycles;
+  report::Table table({"configuration", "cycles", "vs shared"});
+  for (const sim::ArmOutcome& arm : batch.arms) {
+    const Cycles cycles = arm.result.outcome.total_cycles;
     const double gain = (static_cast<double>(shared_cycles) -
                          static_cast<double>(cycles)) /
                         static_cast<double>(shared_cycles);
-    table.add_row({arm->label, std::to_string(cycles),
+    table.add_row({arm.name, std::to_string(cycles),
                    report::fmt_pct(gain, 1)});
   }
   table.print(std::cout);
+  std::cout << "\n";
+  report::print_batch_summary(std::cout, batch);
   std::cout << "\nThe model-based scheme should hold the best (or joint "
                "best) row: it is the only one that spends cache ways on the "
                "critical-path thread specifically.\n";

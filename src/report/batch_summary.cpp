@@ -1,0 +1,57 @@
+#include "src/report/batch_summary.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/report/table.hpp"
+
+namespace capart::report {
+namespace {
+
+std::string fmt_seconds(double seconds) {
+  return seconds < 1.0 ? fmt(seconds * 1e3, 1) + " ms"
+                       : fmt(seconds, 2) + " s";
+}
+
+}  // namespace
+
+void print_batch_summary(std::ostream& os, const sim::BatchResult& batch,
+                         const BatchSummaryOptions& options) {
+  const std::string label =
+      batch.spec_name.empty() ? "batch" : "batch " + batch.spec_name;
+  os << "[" << label << "] " << batch.arms.size() << " arm"
+     << (batch.arms.size() == 1 ? "" : "s") << ", jobs=" << batch.jobs
+     << ": wall " << fmt_seconds(batch.wall_seconds) << ", serial-equivalent "
+     << fmt_seconds(batch.serial_seconds()) << ", speedup "
+     << fmt(batch.speedup(), 1) << "x\n";
+  if (batch.arms.empty()) return;
+
+  if (options.list_arms) {
+    Table table({"arm", "wall"});
+    for (const sim::ArmOutcome& arm : batch.arms) {
+      table.add_row({arm.name, fmt_seconds(arm.wall_seconds)});
+    }
+    table.print(os);
+    return;
+  }
+
+  std::vector<std::size_t> order(batch.arms.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return batch.arms[a].wall_seconds >
+                            batch.arms[b].wall_seconds;
+                   });
+  const std::size_t shown = std::min(options.slowest, order.size());
+  if (shown == 0) return;
+  os << "  slowest:";
+  for (std::size_t i = 0; i < shown; ++i) {
+    const sim::ArmOutcome& arm = batch.arms[order[i]];
+    os << (i == 0 ? " " : "; ") << arm.name << " "
+       << fmt_seconds(arm.wall_seconds);
+  }
+  os << "\n";
+}
+
+}  // namespace capart::report

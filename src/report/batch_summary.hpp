@@ -1,0 +1,26 @@
+// Wall-time reporting for batch runs: how long the batch took, the
+// serial-equivalent cost, the speedup the executor bought, and where the
+// time went per arm.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+#include "src/sim/batch.hpp"
+
+namespace capart::report {
+
+struct BatchSummaryOptions {
+  /// Print a per-arm wall-time table instead of naming only the slowest arms.
+  bool list_arms = false;
+  /// Slowest arms to name in compact mode.
+  std::size_t slowest = 3;
+};
+
+/// Prints the timing summary of a batch: one line with arms/jobs/wall/
+/// serial-equivalent/speedup, then either the slowest arms (compact) or the
+/// full per-arm wall-time table.
+void print_batch_summary(std::ostream& os, const sim::BatchResult& batch,
+                         const BatchSummaryOptions& options = {});
+
+}  // namespace capart::report

@@ -1,0 +1,169 @@
+#include "src/sim/batch.hpp"
+
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "src/common/check.hpp"
+
+namespace capart::sim {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One worker's queue of arm indices. Owner pops from the front, thieves
+/// from the back, so a stolen arm is the one the owner would reach last.
+struct WorkQueue {
+  std::mutex mutex;
+  std::deque<std::size_t> indices;
+};
+
+}  // namespace
+
+ExperimentSpec& ExperimentSpec::add(std::string arm_name,
+                                    ExperimentConfig config) {
+  CAPART_CHECK(!contains(arm_name), "duplicate arm name in spec");
+  arms.push_back({std::move(arm_name), std::move(config)});
+  return *this;
+}
+
+bool ExperimentSpec::contains(std::string_view arm_name) const noexcept {
+  for (const ExperimentArm& arm : arms) {
+    if (arm.name == arm_name) return true;
+  }
+  return false;
+}
+
+double BatchResult::serial_seconds() const noexcept {
+  double total = 0.0;
+  for (const ArmOutcome& arm : arms) total += arm.wall_seconds;
+  return total;
+}
+
+double BatchResult::speedup() const noexcept {
+  const double serial = serial_seconds();
+  return (wall_seconds > 0.0 && serial > 0.0) ? serial / wall_seconds : 1.0;
+}
+
+const ArmOutcome& BatchResult::outcome(std::string_view arm_name) const {
+  for (const ArmOutcome& arm : arms) {
+    if (arm.name == arm_name) return arm;
+  }
+  CAPART_CHECK(false, "unknown arm name in batch result");
+}
+
+const ExperimentResult& BatchResult::at(std::string_view arm_name) const {
+  return outcome(arm_name).result;
+}
+
+unsigned default_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+BatchRunner::BatchRunner(unsigned jobs)
+    : jobs_(jobs != 0 ? jobs : default_jobs()) {}
+
+void BatchRunner::run_indexed(std::size_t count,
+                              const std::function<void(std::size_t)>& body,
+                              std::vector<double>* wall_seconds) const {
+  if (wall_seconds != nullptr) wall_seconds->assign(count, 0.0);
+  if (count == 0) return;
+
+  auto timed_body = [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    body(i);
+    // Workers write disjoint slots; no synchronization needed.
+    if (wall_seconds != nullptr) (*wall_seconds)[i] = seconds_since(start);
+  };
+
+  const auto workers =
+      static_cast<std::size_t>(jobs_) < count ? jobs_ : static_cast<unsigned>(count);
+  std::vector<std::exception_ptr> errors(count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        timed_body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    // Round-robin seeding spreads heterogeneous arm costs across workers;
+    // stealing evens out whatever the seeding got wrong.
+    std::vector<WorkQueue> queues(workers);
+    for (std::size_t i = 0; i < count; ++i) {
+      queues[i % workers].indices.push_back(i);
+    }
+
+    auto worker = [&](std::size_t self) {
+      for (;;) {
+        std::size_t index = count;  // sentinel: nothing claimed
+        {
+          std::lock_guard<std::mutex> lock(queues[self].mutex);
+          if (!queues[self].indices.empty()) {
+            index = queues[self].indices.front();
+            queues[self].indices.pop_front();
+          }
+        }
+        if (index == count) {
+          for (std::size_t v = 0; v < workers && index == count; ++v) {
+            if (v == self) continue;
+            std::lock_guard<std::mutex> lock(queues[v].mutex);
+            if (!queues[v].indices.empty()) {
+              index = queues[v].indices.back();
+              queues[v].indices.pop_back();
+            }
+          }
+        }
+        if (index == count) return;  // every queue is dry
+        try {
+          timed_body(index);
+        } catch (...) {
+          errors[index] = std::current_exception();
+        }
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker, w);
+    for (std::thread& t : threads) t.join();
+  }
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+BatchResult BatchRunner::run(const ExperimentSpec& spec) const {
+  BatchResult batch;
+  batch.spec_name = spec.name;
+  batch.jobs = jobs_;
+  batch.arms.resize(spec.arms.size());
+  for (std::size_t i = 0; i < spec.arms.size(); ++i) {
+    batch.arms[i].name = spec.arms[i].name;
+  }
+
+  std::vector<double> wall(spec.arms.size(), 0.0);
+  const auto start = std::chrono::steady_clock::now();
+  run_indexed(
+      spec.arms.size(),
+      [&](std::size_t i) {
+        batch.arms[i].result = run_experiment(spec.arms[i].config);
+      },
+      &wall);
+  batch.wall_seconds = seconds_since(start);
+  for (std::size_t i = 0; i < spec.arms.size(); ++i) {
+    batch.arms[i].wall_seconds = wall[i];
+  }
+  return batch;
+}
+
+}  // namespace capart::sim

@@ -1,0 +1,101 @@
+// Declarative experiment batches: an ExperimentSpec names a set of
+// ExperimentConfig arms, a BatchRunner executes the arms on a work-stealing
+// thread pool and collects results in spec order. Because run_experiment is
+// a pure function of its config (every run owns its system, generators and
+// RNG streams), batch results are bit-identical for any jobs count — that
+// invariant is this layer's contract and is pinned by test_batch_runner.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/experiment.hpp"
+
+namespace capart::sim {
+
+/// One named experiment inside a spec.
+struct ExperimentArm {
+  std::string name;
+  ExperimentConfig config;
+};
+
+/// A named, ordered set of experiment arms — the declarative description a
+/// bench, tool or sweep hands to a BatchRunner. Arm names are unique keys
+/// (benches use "profile/arm", e.g. "cg/model").
+struct ExperimentSpec {
+  std::string name;
+  std::vector<ExperimentArm> arms;
+
+  /// Appends an arm; aborts if `arm_name` is already present.
+  ExperimentSpec& add(std::string arm_name, ExperimentConfig config);
+
+  bool contains(std::string_view arm_name) const noexcept;
+};
+
+/// One arm's result plus its own wall time.
+struct ArmOutcome {
+  std::string name;
+  ExperimentResult result;
+  double wall_seconds = 0.0;
+};
+
+/// All arm results, in the deterministic order the spec declared them.
+struct BatchResult {
+  std::string spec_name;
+  unsigned jobs = 1;
+  std::vector<ArmOutcome> arms;
+  /// Wall time of the whole batch (concurrent execution).
+  double wall_seconds = 0.0;
+
+  /// Sum of per-arm wall times — the serial-equivalent cost.
+  double serial_seconds() const noexcept;
+  /// serial_seconds / wall_seconds; 1.0 for empty or instant batches.
+  double speedup() const noexcept;
+
+  const ArmOutcome& outcome(std::string_view arm_name) const;
+  const ExperimentResult& at(std::string_view arm_name) const;
+};
+
+/// Executor default when jobs == 0: hardware_concurrency, at least 1.
+unsigned default_jobs() noexcept;
+
+/// Work-stealing thread-pool executor over independent experiments. Each
+/// worker owns a queue of arm indices and steals from the back of a victim's
+/// queue once its own runs dry; results land in pre-assigned slots, so
+/// output order never depends on scheduling.
+class BatchRunner {
+ public:
+  /// `jobs` == 0 selects default_jobs().
+  explicit BatchRunner(unsigned jobs = 0);
+
+  unsigned jobs() const noexcept { return jobs_; }
+
+  BatchResult run(const ExperimentSpec& spec) const;
+
+  /// Deterministic parallel map for work that is not an ExperimentConfig
+  /// (e.g. co-scheduled runs): executes `tasks` under the same executor and
+  /// returns their results in input order. Optionally reports per-task wall
+  /// seconds through `wall_seconds`.
+  template <class R>
+  std::vector<R> map(std::vector<std::function<R()>> tasks,
+                     std::vector<double>* wall_seconds = nullptr) const {
+    std::vector<R> results(tasks.size());
+    run_indexed(
+        tasks.size(), [&](std::size_t i) { results[i] = tasks[i](); },
+        wall_seconds);
+    return results;
+  }
+
+ private:
+  /// Runs body(0..count-1) across the pool; rethrows the first failure in
+  /// index order after all workers have drained.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& body,
+                   std::vector<double>* wall_seconds) const;
+
+  unsigned jobs_;
+};
+
+}  // namespace capart::sim

@@ -7,6 +7,11 @@
 //   capart_sim --profile=cg --policy=model --l2-mode=partitioned
 //              --intervals=40 --interval-instr=240000 --csv=intervals.csv
 //
+// --profile and --policy accept comma-separated lists; the cross product
+// becomes a batch that runs concurrently (--jobs=N, default: all cores)
+// with one summary row per arm. Batch results are bit-identical for any
+// jobs count.
+//
 // Run with --help for the full flag list.
 #include <cstdio>
 #include <cstdlib>
@@ -18,8 +23,10 @@
 #include <string_view>
 #include <vector>
 
+#include "src/report/batch_summary.hpp"
 #include "src/report/csv.hpp"
 #include "src/report/table.hpp"
+#include "src/sim/batch.hpp"
 #include "src/sim/experiment.hpp"
 #include "src/trace/benchmarks.hpp"
 
@@ -31,8 +38,10 @@ using namespace capart;
   std::printf(R"(capart_sim — intra-application cache partitioning simulator
 
 flags:
-  --profile=NAME        workload: cg mg ft lu bt swim mgrid applu equake
-  --policy=NAME         none static cpi model throughput timeshared umon fair
+  --profile=NAME[,..]   workload: cg mg ft lu bt swim mgrid applu equake
+                        (a comma-separated list runs every profile)
+  --policy=NAME[,..]    none static cpi model throughput timeshared umon fair
+                        (a comma-separated list runs every policy)
   --l2-mode=NAME        shared partitioned private coloring flush
   --threads=N           cores/threads (default 4)
   --intervals=N         execution intervals (default 40)
@@ -42,8 +51,10 @@ flags:
   --overhead=N          runtime repartition overhead in cycles (default 800)
   --l2-banks=N          shared-cache banks for contention modeling (0 = off)
   --seed=N              workload seed (default 42)
+  --jobs=N              concurrent experiments in batch mode (default: all
+                        cores); results are bit-identical for any value
   --private-l2          insert private per-core L2s (shared cache becomes L3)
-  --csv=PATH            write the per-interval series as CSV
+  --csv=PATH            write the per-interval series as CSV (single run only)
   --quiet               print only the one-line summary
   --help
 )");
@@ -74,20 +85,39 @@ mem::L2Mode parse_mode(std::string_view v) {
 }
 
 std::uint64_t parse_num(std::string_view v, const char* flag) {
+  // A flag without "=value" arrives as an empty view with a null data
+  // pointer; copy before strtoull ever dereferences it.
+  const std::string copy(v);
   char* end = nullptr;
-  const std::uint64_t n = std::strtoull(v.data(), &end, 10);
-  if (end != v.data() + v.size()) {
+  const std::uint64_t n = std::strtoull(copy.c_str(), &end, 10);
+  if (copy.empty() || end != copy.c_str() + copy.size()) {
     std::fprintf(stderr, "invalid value for %s\n", flag);
     usage(2);
   }
   return n;
 }
 
+std::vector<std::string> split_list(std::string_view v) {
+  std::vector<std::string> items;
+  while (!v.empty()) {
+    const auto comma = v.find(',');
+    items.emplace_back(v.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    v.remove_prefix(comma + 1);
+  }
+  return items;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   sim::ExperimentConfig cfg;
+  std::vector<std::string> profiles = {cfg.profile};
+  // (name, kind) pairs; the default mirrors ExperimentConfig's default.
+  std::vector<std::pair<std::string, std::optional<core::PolicyKind>>>
+      policies = {{"model", cfg.policy}};
   bool had_policy_flag = false;
+  unsigned jobs = 0;
   std::string csv_path;
   bool quiet = false;
 
@@ -98,9 +128,12 @@ int main(int argc, char** argv) {
     const std::string_view value =
         eq == std::string_view::npos ? std::string_view{} : arg.substr(eq + 1);
     if (key == "--help" || key == "-h") usage(0);
-    else if (key == "--profile") cfg.profile = std::string(value);
+    else if (key == "--profile") profiles = split_list(value);
     else if (key == "--policy") {
-      cfg.policy = parse_policy(value);
+      policies.clear();
+      for (const std::string& name : split_list(value)) {
+        policies.emplace_back(name, parse_policy(name));
+      }
       had_policy_flag = true;
     } else if (key == "--l2-mode") cfg.l2_mode = parse_mode(value);
     else if (key == "--threads")
@@ -119,7 +152,13 @@ int main(int argc, char** argv) {
     else if (key == "--l2-banks")
       cfg.l2_banks = static_cast<std::uint32_t>(parse_num(value, "--l2-banks"));
     else if (key == "--seed") cfg.seed = parse_num(value, "--seed");
-    else if (key == "--private-l2") cfg.enable_private_l2 = true;
+    else if (key == "--jobs") {
+      jobs = static_cast<unsigned>(parse_num(value, "--jobs"));
+      if (jobs == 0) {
+        std::fprintf(stderr, "invalid value for --jobs: must be >= 1\n");
+        usage(2);
+      }
+    } else if (key == "--private-l2") cfg.enable_private_l2 = true;
     else if (key == "--csv") csv_path = std::string(value);
     else if (key == "--quiet") quiet = true;
     else {
@@ -132,9 +171,54 @@ int main(int argc, char** argv) {
   if (!had_policy_flag &&
       (cfg.l2_mode == mem::L2Mode::kSharedUnpartitioned ||
        cfg.l2_mode == mem::L2Mode::kPrivatePerThread)) {
-    cfg.policy.reset();
+    policies = {{"none", std::nullopt}};
+  }
+  if (profiles.empty() || policies.empty()) {
+    std::fprintf(stderr, "empty --profile or --policy list\n");
+    usage(2);
   }
 
+  // Several profiles and/or policies: run the cross product as a batch and
+  // print one summary row per arm instead of the single-run detail view.
+  if (profiles.size() * policies.size() > 1) {
+    if (!csv_path.empty()) {
+      std::fprintf(stderr, "--csv only applies to a single run\n");
+      usage(2);
+    }
+    sim::ExperimentSpec spec;
+    spec.name = "capart_sim";
+    for (const std::string& profile : profiles) {
+      for (const auto& [policy_name, policy] : policies) {
+        sim::ExperimentConfig arm = cfg;
+        arm.profile = profile;
+        arm.policy = policy;
+        spec.add(profile + "/" + policy_name, std::move(arm));
+      }
+    }
+    const sim::BatchRunner runner(jobs);
+    const sim::BatchResult batch = runner.run(spec);
+    report::Table table({"arm", "cycles", "instructions", "wall-CPI", "wall"});
+    for (const sim::ArmOutcome& arm : batch.arms) {
+      const double arm_cpi =
+          static_cast<double>(arm.result.outcome.total_cycles) /
+          (static_cast<double>(arm.result.outcome.instructions_retired) /
+           cfg.num_threads);
+      table.add_row({arm.name, std::to_string(arm.result.outcome.total_cycles),
+                     std::to_string(arm.result.outcome.instructions_retired),
+                     report::fmt(arm_cpi, 2),
+                     report::fmt(arm.wall_seconds * 1e3, 1) + " ms"});
+    }
+    if (!quiet) {
+      table.print(std::cout);
+      std::cout << "\n";
+    }
+    report::print_batch_summary(std::cout, batch,
+                                {.list_arms = false, .slowest = 0});
+    return 0;
+  }
+
+  cfg.profile = profiles.front();
+  cfg.policy = policies.front().second;
   const sim::ExperimentResult r = sim::run_experiment(cfg);
 
   const double total_cpi =
