@@ -3,9 +3,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
+#include "src/obs/chrome_trace.hpp"
+#include "src/obs/jsonl_sink.hpp"
 #include "src/report/batch_summary.hpp"
+#include "src/report/csv.hpp"
 
 namespace capart::bench {
 namespace {
@@ -47,13 +52,25 @@ BenchOptions parse_options(int argc, char** argv) {
         std::fprintf(stderr, "invalid value for --jobs: must be >= 1\n");
         std::exit(2);
       }
+    } else if (key == "--events-out") {
+      opt.events_out = std::string(value);
+    } else if (key == "--trace-out") {
+      opt.trace_out = std::string(value);
+    } else if (key == "--csv") {
+      opt.csv_out = std::string(value);
     } else if (key == "--help" || key == "-h") {
       std::printf(
           "flags: --intervals=N --interval-instr=N --threads=N --seed=N "
           "--jobs=N\n"
+          "       --events-out=PATH --trace-out=STEM --csv=STEM\n"
           "  --jobs=N  run up to N experiments concurrently (default: all "
           "cores);\n"
-          "            results are bit-identical for any value\n");
+          "            results are bit-identical for any value\n"
+          "  --events-out=PATH  JSONL run telemetry, all arms in one file\n"
+          "  --trace-out=STEM   Chrome trace per arm "
+          "(STEM.<profile>.<arm>.json)\n"
+          "  --csv=STEM         per-interval CSV per arm "
+          "(STEM.<profile>.<arm>.csv)\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
@@ -142,10 +159,65 @@ sim::ExperimentSpec profile_sweep(const BenchOptions& opt,
   return spec;
 }
 
+namespace {
+
+/// "cg/model" -> "cg.model" (arm keys become file-name fragments).
+std::string arm_file_fragment(std::string arm) {
+  for (char& ch : arm) {
+    if (ch == '/') ch = '.';
+  }
+  return arm;
+}
+
+}  // namespace
+
 sim::BatchResult run_spec(const sim::ExperimentSpec& spec,
                           const BenchOptions& opt) {
   const sim::BatchRunner runner(resolved_jobs(opt));
-  sim::BatchResult batch = runner.run(spec);
+
+  // Observability: all arms share one JSONL sink; each event carries its arm
+  // name, so the file stays attributable under concurrent execution.
+  std::unique_ptr<obs::JsonlSink> sink;
+  const sim::ExperimentSpec* to_run = &spec;
+  sim::ExperimentSpec observed;
+  if (!opt.events_out.empty()) {
+    sink = std::make_unique<obs::JsonlSink>(opt.events_out);
+    observed = spec;
+    for (sim::ExperimentArm& arm : observed.arms) {
+      arm.config.obs.sink = sink.get();
+      arm.config.obs.run_name = arm.name;
+    }
+    to_run = &observed;
+  }
+
+  sim::BatchResult batch = runner.run(*to_run);
+  if (sink != nullptr) sink->flush();
+
+  if (!opt.trace_out.empty()) {
+    for (const sim::ArmOutcome& arm : batch.arms) {
+      const std::string path =
+          opt.trace_out + "." + arm_file_fragment(arm.name) + ".json";
+      std::ofstream os(path);
+      if (!os.is_open()) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+      }
+      obs::write_chrome_trace(os, arm.result.intervals, arm.name);
+    }
+  }
+  if (!opt.csv_out.empty()) {
+    for (const sim::ArmOutcome& arm : batch.arms) {
+      const std::string path =
+          opt.csv_out + "." + arm_file_fragment(arm.name) + ".csv";
+      std::ofstream os(path);
+      if (!os.is_open()) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+      }
+      report::write_interval_csv(os, arm.result.intervals);
+    }
+  }
+
   report::print_batch_summary(std::cout, batch);
   std::cout << "\n";
   return batch;

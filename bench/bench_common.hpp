@@ -6,6 +6,12 @@
 //   --threads=N             cores/threads (default 4; fig22 uses 8)
 //   --seed=N                workload seed (default 42)
 //   --jobs=N                concurrent experiments (default: all cores)
+//   --events-out=PATH       JSONL run telemetry for every arm (src/obs),
+//                           one shared file tagged by "profile/arm"
+//   --trace-out=STEM        Chrome-trace timeline per arm
+//                           (STEM.<profile>.<arm>.json; open in Perfetto)
+//   --csv=STEM              per-interval CSV per arm
+//                           (STEM.<profile>.<arm>.csv)
 // Defaults are the scaled-down configuration documented in EXPERIMENTS.md:
 // the paper used 15 M-instruction intervals on a full-system simulator; the
 // dynamics are interval-count-, not interval-length-, driven (paper §VII and
@@ -33,6 +39,10 @@ struct BenchOptions {
   ThreadId threads = 4;
   std::uint64_t seed = 42;
   unsigned jobs = 0;  // 0 -> sim::default_jobs()
+  /// Observability outputs (empty = off); see the header comment.
+  std::string events_out;
+  std::string trace_out;
+  std::string csv_out;
 };
 
 /// Parses --key=value flags; unknown flags abort with a usage message.
@@ -80,7 +90,10 @@ sim::ExperimentSpec profile_sweep(const BenchOptions& opt,
                                   std::string spec_name = "");
 
 /// Runs `spec` on a BatchRunner with resolved_jobs(opt) and prints the
-/// timing footer (wall, serial-equivalent, speedup, slowest arms).
+/// timing footer (wall, serial-equivalent, speedup, slowest arms). When the
+/// observability flags are set, every arm publishes into a shared JSONL sink
+/// (tagged with its arm name) and per-arm Chrome traces / interval CSVs are
+/// written after the batch.
 sim::BatchResult run_spec(const sim::ExperimentSpec& spec,
                           const BenchOptions& opt);
 

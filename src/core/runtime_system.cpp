@@ -1,19 +1,24 @@
 #include "src/core/runtime_system.hpp"
 
 #include <numeric>
+#include <utility>
 
 #include "src/common/check.hpp"
+#include "src/core/model_based_policy.hpp"
+#include "src/obs/events.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace capart::core {
 
 RuntimeSystem::RuntimeSystem(sim::CmpSystem& system,
                              std::unique_ptr<PartitionPolicy> policy,
                              Cycles overhead_cycles,
-                             Cycles flush_cost_per_line)
+                             Cycles flush_cost_per_line, obs::ObsConfig obs)
     : system_(system),
       policy_(std::move(policy)),
       overhead_cycles_(overhead_cycles),
       flush_cost_per_line_(flush_cost_per_line),
+      obs_(std::move(obs)),
       current_targets_(system.l2().current_targets()) {}
 
 Cycles RuntimeSystem::on_interval(std::uint64_t interval_index) {
@@ -21,6 +26,12 @@ Cycles RuntimeSystem::on_interval(std::uint64_t interval_index) {
   const auto deltas = system_.counters().sample_interval();
   history_.push_back(
       sim::make_interval_record(interval_index, deltas, current_targets_));
+  if (obs_.sink != nullptr) {
+    obs_.sink->on_interval({obs_.run_name, history_.back()});
+  }
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->add("runtime/intervals_observed");
+  }
 
   if (policy_ == nullptr) return 0;
 
@@ -48,6 +59,36 @@ Cycles RuntimeSystem::on_interval(std::uint64_t interval_index) {
   }
   CAPART_CHECK(sum == ctx.total_ways,
                "policy allocation does not sum to total ways");
+
+  if (obs_.sink != nullptr) {
+    obs::RepartitionEvent event;
+    event.run = obs_.run_name;
+    event.interval = interval_index;
+    event.policy = std::string(policy_->name());
+    event.old_ways = current_targets_;
+    event.new_ways = next;
+    // The model-based policy can explain its decision: predicted CPI of
+    // every thread at the allocation it just chose.
+    if (const auto* model = dynamic_cast<const ModelBasedPolicy*>(
+            policy_.get())) {
+      event.predicted_cpi.reserve(next.size());
+      for (ThreadId t = 0; t < next.size(); ++t) {
+        event.predicted_cpi.push_back(model->predict(t, next[t]));
+      }
+    }
+    obs_.sink->on_repartition(event);
+  }
+  if (obs_.metrics != nullptr) {
+    std::uint64_t moved = 0;
+    for (std::size_t t = 0; t < next.size() && t < current_targets_.size();
+         ++t) {
+      moved += next[t] > current_targets_[t] ? next[t] - current_targets_[t]
+                                             : current_targets_[t] - next[t];
+    }
+    if (policy_->is_dynamic()) obs_.metrics->add("runtime/repartitions");
+    obs_.metrics->add("runtime/ways_moved", moved / 2);
+  }
+
   system_.l2().set_targets(next);
   if (system_.l2().partitionable()) {
     current_targets_ = std::move(next);
@@ -56,7 +97,12 @@ Cycles RuntimeSystem::on_interval(std::uint64_t interval_index) {
   Cycles overhead = policy_->is_dynamic() ? overhead_cycles_ : 0;
   // Reconfiguration stall: flushing is not free (§V's argument) — writing
   // back and refetching the discarded lines stalls every core.
-  overhead += flush_cost_per_line_ * system_.l2().flushed_on_last_retarget();
+  const std::uint64_t flushed = system_.l2().flushed_on_last_retarget();
+  overhead += flush_cost_per_line_ * flushed;
+  if (obs_.metrics != nullptr) {
+    if (flushed > 0) obs_.metrics->add("runtime/flushed_lines", flushed);
+    if (overhead > 0) obs_.metrics->add("runtime/overhead_cycles", overhead);
+  }
   return overhead;
 }
 

@@ -11,6 +11,7 @@
 
 #include "src/common/types.hpp"
 #include "src/core/policy.hpp"
+#include "src/obs/obs.hpp"
 #include "src/sim/cmp_system.hpp"
 #include "src/sim/driver.hpp"
 #include "src/sim/interval.hpp"
@@ -25,8 +26,11 @@ class RuntimeSystem {
   /// `flush_cost_per_line` is the extra reconfiguration stall charged per
   /// line a flush-reconfiguring L2 discarded on retarget (§V's rejected
   /// alternative; zero-cost for the eviction-control mechanism).
+  /// `obs` attaches the observability subsystem: every interval record and
+  /// repartition decision is mirrored to its sink and counters.
   RuntimeSystem(sim::CmpSystem& system, std::unique_ptr<PartitionPolicy> policy,
-                Cycles overhead_cycles, Cycles flush_cost_per_line = 4);
+                Cycles overhead_cycles, Cycles flush_cost_per_line = 4,
+                obs::ObsConfig obs = {});
 
   /// Interval-boundary entry point; wire into Driver::set_interval_callback.
   Cycles on_interval(std::uint64_t interval_index);
@@ -47,6 +51,7 @@ class RuntimeSystem {
   std::unique_ptr<PartitionPolicy> policy_;
   Cycles overhead_cycles_;
   Cycles flush_cost_per_line_;
+  obs::ObsConfig obs_;
   std::vector<sim::IntervalRecord> history_;
   std::vector<std::uint32_t> current_targets_;
 };

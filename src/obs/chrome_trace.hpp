@@ -1,0 +1,25 @@
+// Chrome trace-event exporter: renders a run's per-interval series as a
+// timeline loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. Each simulated thread becomes a track of "exec" /
+// "stall" complete-event slices (one pair per interval, durations in
+// simulated cycles reported as trace microseconds), and a "ways" counter
+// track stacks every thread's way allocation over time. Output is fully
+// deterministic — fixed member order, fixed float precision — so a tiny run
+// can be pinned by a golden file.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/interval.hpp"
+
+namespace capart::obs {
+
+/// Writes the trace JSON for one run's interval series. `run_name` becomes
+/// the process name in the timeline UI.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<sim::IntervalRecord>& intervals,
+                        std::string_view run_name = "capart");
+
+}  // namespace capart::obs

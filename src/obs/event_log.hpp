@@ -1,0 +1,84 @@
+// JSONL event-file schema: serialization of the typed events to one-line
+// JSON objects, and the parse/validate/summarize side that capart_events and
+// the round-trip tests consume. The schema is documented in EXPERIMENTS.md
+// ("Observability: event schema"); this header is its single implementation.
+//
+// Every line is a JSON object with at least {"type": <event type>, "run":
+// <run label>}. Known types: "manifest", "interval", "repartition",
+// "barrier_stall", "migration", "run_end".
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/obs/events.hpp"
+#include "src/obs/json.hpp"
+
+namespace capart::obs {
+
+/// One-line JSON serializations (no trailing newline; the sink appends it).
+std::string to_jsonl(const ManifestEvent& event);
+std::string to_jsonl(const IntervalEvent& event);
+std::string to_jsonl(const RepartitionEvent& event);
+std::string to_jsonl(const BarrierStallEvent& event);
+std::string to_jsonl(const ThreadMigrationEvent& event);
+std::string to_jsonl(const RunEndEvent& event);
+
+/// One parsed event line.
+struct ParsedEvent {
+  std::size_t line = 0;  ///< 1-based line number in the file
+  std::string type;
+  std::string run;
+  JsonValue json;
+};
+
+/// One schema violation found while reading an events file.
+struct ValidationIssue {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct EventLog {
+  std::vector<ParsedEvent> events;  ///< lines that parsed as JSON objects
+  std::vector<ValidationIssue> issues;
+
+  bool ok() const noexcept { return issues.empty(); }
+};
+
+/// Reads a JSONL stream, validating every line against the schema (valid
+/// JSON object, known type, required fields of the right kind, way vectors
+/// and thread arrays shaped consistently). Blank lines are ignored.
+EventLog read_event_log(std::istream& is);
+
+/// Reconstructs the IntervalRecord an "interval" event was serialized from.
+/// The event must have passed validation; malformed input aborts.
+sim::IntervalRecord to_interval_record(const JsonValue& json);
+
+/// Per-run aggregate of an event log.
+struct RunLogSummary {
+  std::string run;
+  std::uint64_t events = 0;
+  std::uint64_t intervals = 0;
+  std::uint64_t repartitions = 0;
+  std::uint64_t barrier_stalls = 0;
+  std::uint64_t migrations = 0;
+  ThreadId threads = 0;          ///< from the first interval event
+  bool has_manifest = false;
+  bool has_run_end = false;
+  Cycles total_cycles = 0;       ///< from run_end, when present
+  double wall_seconds = 0.0;     ///< from run_end, when present
+};
+
+struct EventLogSummary {
+  std::uint64_t total_events = 0;
+  /// (type, count), in fixed schema order, zero-count types omitted.
+  std::vector<std::pair<std::string, std::uint64_t>> per_type;
+  /// One entry per distinct run label, in first-appearance order.
+  std::vector<RunLogSummary> runs;
+};
+
+EventLogSummary summarize(const EventLog& log);
+
+}  // namespace capart::obs

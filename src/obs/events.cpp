@@ -1,0 +1,65 @@
+#include "src/obs/events.hpp"
+
+namespace capart::obs {
+
+void VectorSink::on_manifest(const ManifestEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  manifests_.push_back(event);
+}
+
+void VectorSink::on_interval(const IntervalEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  intervals_.push_back(event);
+}
+
+void VectorSink::on_repartition(const RepartitionEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  repartitions_.push_back(event);
+}
+
+void VectorSink::on_barrier_stall(const BarrierStallEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  barrier_stalls_.push_back(event);
+}
+
+void VectorSink::on_migration(const ThreadMigrationEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  migrations_.push_back(event);
+}
+
+void VectorSink::on_run_end(const RunEndEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  run_ends_.push_back(event);
+}
+
+std::vector<ManifestEvent> VectorSink::manifests() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return manifests_;
+}
+
+std::vector<IntervalEvent> VectorSink::intervals() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return intervals_;
+}
+
+std::vector<RepartitionEvent> VectorSink::repartitions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return repartitions_;
+}
+
+std::vector<BarrierStallEvent> VectorSink::barrier_stalls() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return barrier_stalls_;
+}
+
+std::vector<ThreadMigrationEvent> VectorSink::migrations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return migrations_;
+}
+
+std::vector<RunEndEvent> VectorSink::run_ends() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return run_ends_;
+}
+
+}  // namespace capart::obs

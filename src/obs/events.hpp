@@ -1,0 +1,134 @@
+// Typed run-telemetry events and the EventSink interface they flow through
+// (the "structured log" half of the observability subsystem; the metrics
+// half is src/obs/metrics.hpp).
+//
+// Emission sites: run_experiment publishes the manifest and run-end events,
+// core::RuntimeSystem the interval and repartition events, sim::Driver the
+// barrier-stall and migration events. Sinks must be safe to share across
+// concurrently executing runs (BatchRunner fans arms out over a thread
+// pool); the bundled sinks serialize internally.
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/sim/experiment.hpp"
+#include "src/sim/interval.hpp"
+
+namespace capart::obs {
+
+/// Start-of-run event: the full configuration, so an events file alone
+/// reproduces the run. Wall time arrives in RunEndEvent once known.
+struct ManifestEvent {
+  std::string run;
+  sim::ExperimentConfig config;
+};
+
+/// One interval boundary: the IntervalRecord the runtime's monitor built
+/// (per-thread counters plus the way targets in force during the interval).
+struct IntervalEvent {
+  std::string run;
+  sim::IntervalRecord record;
+};
+
+/// A repartition decision: the way vector the policy replaced, the one it
+/// installed, and (for the model-based policy) the model's predicted CPI of
+/// every thread at its new allocation.
+struct RepartitionEvent {
+  std::string run;
+  std::uint64_t interval = 0;
+  std::string policy;
+  std::vector<std::uint32_t> old_ways;
+  std::vector<std::uint32_t> new_ways;
+  /// predicted_cpi[t] = model CPI of thread t at new_ways[t]; empty when the
+  /// policy has no predictive model.
+  std::vector<double> predicted_cpi;
+};
+
+/// A barrier release: every live member of `group` reached the barrier of
+/// `section`; the slowest arrived at `release_cycle` (including the release
+/// cost) and each member was charged its stall share.
+struct BarrierStallEvent {
+  std::string run;
+  std::uint32_t group = 0;
+  std::uint64_t section = 0;
+  Cycles release_cycle = 0;
+  /// (thread, stall cycles charged at this release) per group member.
+  std::vector<std::pair<ThreadId, Cycles>> stalls;
+};
+
+/// A scheduled thread migration taking effect (threads swap cores).
+struct ThreadMigrationEvent {
+  std::string run;
+  std::uint64_t interval = 0;
+  ThreadId a = 0;
+  ThreadId b = 0;
+};
+
+/// End of run: the outcome totals plus the measured wall time.
+struct RunEndEvent {
+  std::string run;
+  Cycles total_cycles = 0;
+  std::uint64_t intervals_completed = 0;
+  Instructions instructions_retired = 0;
+  double wall_seconds = 0.0;
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  virtual void on_manifest(const ManifestEvent& event) = 0;
+  virtual void on_interval(const IntervalEvent& event) = 0;
+  virtual void on_repartition(const RepartitionEvent& event) = 0;
+  virtual void on_barrier_stall(const BarrierStallEvent& event) = 0;
+  virtual void on_migration(const ThreadMigrationEvent& event) = 0;
+  virtual void on_run_end(const RunEndEvent& event) = 0;
+
+  /// Pushes buffered output to the backing store; called at end of run and
+  /// safe to call at any time.
+  virtual void flush() {}
+};
+
+/// Discards everything; for explicitly observability-free wiring.
+class NullSink final : public EventSink {
+ public:
+  void on_manifest(const ManifestEvent&) override {}
+  void on_interval(const IntervalEvent&) override {}
+  void on_repartition(const RepartitionEvent&) override {}
+  void on_barrier_stall(const BarrierStallEvent&) override {}
+  void on_migration(const ThreadMigrationEvent&) override {}
+  void on_run_end(const RunEndEvent&) override {}
+};
+
+/// Collects events in memory (thread-safe); the test and programmatic
+/// consumer backend.
+class VectorSink final : public EventSink {
+ public:
+  void on_manifest(const ManifestEvent& event) override;
+  void on_interval(const IntervalEvent& event) override;
+  void on_repartition(const RepartitionEvent& event) override;
+  void on_barrier_stall(const BarrierStallEvent& event) override;
+  void on_migration(const ThreadMigrationEvent& event) override;
+  void on_run_end(const RunEndEvent& event) override;
+
+  std::vector<ManifestEvent> manifests() const;
+  std::vector<IntervalEvent> intervals() const;
+  std::vector<RepartitionEvent> repartitions() const;
+  std::vector<BarrierStallEvent> barrier_stalls() const;
+  std::vector<ThreadMigrationEvent> migrations() const;
+  std::vector<RunEndEvent> run_ends() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ManifestEvent> manifests_;
+  std::vector<IntervalEvent> intervals_;
+  std::vector<RepartitionEvent> repartitions_;
+  std::vector<BarrierStallEvent> barrier_stalls_;
+  std::vector<ThreadMigrationEvent> migrations_;
+  std::vector<RunEndEvent> run_ends_;
+};
+
+}  // namespace capart::obs

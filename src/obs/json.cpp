@@ -1,0 +1,417 @@
+#include "src/obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/check.hpp"
+
+namespace capart::obs {
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+void JsonWriter::before_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  CAPART_CHECK(stack_.empty() || !stack_.back().is_object,
+               "JSON object members need key() before the value");
+  if (!stack_.empty()) {
+    if (!stack_.back().first) out_ += ',';
+    stack_.back().first = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back({.is_object = true, .first = true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  CAPART_CHECK(!stack_.empty() && stack_.back().is_object && !key_pending_,
+               "end_object without matching begin_object");
+  out_ += '}';
+  stack_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back({.is_object = false, .first = true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  CAPART_CHECK(!stack_.empty() && !stack_.back().is_object,
+               "end_array without matching begin_array");
+  out_ += ']';
+  stack_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  CAPART_CHECK(!stack_.empty() && stack_.back().is_object && !key_pending_,
+               "key() is only valid directly inside an object");
+  if (!stack_.back().first) out_ += ',';
+  stack_.back().first = false;
+  out_ += '"';
+  append_json_escaped(out_, name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ += '"';
+  append_json_escaped(out_, text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", number);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::unsigned_integer(std::uint64_t number) {
+  before_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(number));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::integer(std::int64_t number) {
+  before_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(number));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view text) {
+  before_value();
+  out_ += text;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  CAPART_CHECK(stack_.empty() && !key_pending_,
+               "JSON document has unclosed containers");
+  return out_;
+}
+
+const JsonValue* JsonValue::find(std::string_view name) const noexcept {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const noexcept {
+  if (kind != Kind::kNumber) return fallback;
+  return is_integer ? u64 : static_cast<std::uint64_t>(number);
+}
+
+double JsonValue::as_double(double fallback) const noexcept {
+  if (kind != Kind::kNumber) return fallback;
+  return is_integer ? static_cast<double>(u64) : number;
+}
+
+std::string_view JsonValue::as_string(std::string_view fallback) const noexcept {
+  return kind == Kind::kString ? std::string_view(string) : fallback;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    std::optional<JsonValue> value = parse_value();
+    if (value.has_value()) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        value.reset();
+        error_ = "trailing characters after document";
+      }
+    }
+    if (!value.has_value() && error != nullptr) {
+      *error = "offset " + std::to_string(pos_) + ": " + error_;
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char ch) {
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> fail(std::string message) {
+    error_ = std::move(message);
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string_value();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (eat('}')) return value;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::optional<std::string> name = parse_string();
+      if (!name.has_value()) return std::nullopt;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':' after object key");
+      std::optional<JsonValue> member = parse_value();
+      if (!member.has_value()) return std::nullopt;
+      value.object.emplace_back(std::move(*name), std::move(*member));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return value;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::optional<JsonValue> parse_array() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (eat(']')) return value;
+    for (;;) {
+      std::optional<JsonValue> element = parse_value();
+      if (!element.has_value()) return std::nullopt;
+      value.array.push_back(std::move(*element));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return value;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            error_ = "truncated \\u escape";
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char hex = text_[pos_++];
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') code |= unsigned(hex - '0');
+            else if (hex >= 'a' && hex <= 'f') code |= unsigned(hex - 'a' + 10);
+            else if (hex >= 'A' && hex <= 'F') code |= unsigned(hex - 'A' + 10);
+            else {
+              error_ = "invalid \\u escape";
+              return std::nullopt;
+            }
+          }
+          // The writer only emits \u00XX for control bytes; decode those and
+          // pass anything wider through as UTF-8 for the basic-latin range.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          error_ = "invalid escape character";
+          return std::nullopt;
+      }
+    }
+    error_ = "unterminated string";
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_string_value() {
+    std::optional<std::string> text = parse_string();
+    if (!text.has_value()) return std::nullopt;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    value.string = std::move(*text);
+    return value;
+  }
+
+  std::optional<JsonValue> parse_bool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      value.boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      value.boolean = false;
+      pos_ += 5;
+      return value;
+    }
+    return fail("invalid literal");
+  }
+
+  std::optional<JsonValue> parse_null() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return fail("invalid literal");
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (eat('-')) {}
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool fractional = false;
+    if (eat('.')) {
+      fractional = true;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      fractional = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") return fail("invalid number");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    char* end = nullptr;
+    if (!fractional && token[0] != '-') {
+      value.u64 = std::strtoull(token.c_str(), &end, 10);
+      value.is_integer = (end == token.c_str() + token.size());
+      value.number = static_cast<double>(value.u64);
+      if (value.is_integer) return value;
+    }
+    end = nullptr;
+    value.is_integer = false;
+    value.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("invalid number");
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_ = "parse error";
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace capart::obs

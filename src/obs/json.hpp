@@ -1,0 +1,118 @@
+// Minimal JSON support for the observability subsystem: a streaming writer
+// (JsonWriter) that the event sinks and the Chrome-trace exporter serialize
+// through, and a small recursive-descent parser (parse_json) that
+// capart_events and the round-trip tests read event files back with. Scope
+// is deliberately narrow — UTF-8 pass-through, no \uXXXX decoding beyond
+// escaping control characters on output — which is all the subsystem's own
+// files need.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace capart::obs {
+
+/// Appends `text` to `out` with JSON string escaping ("\"", "\\", control
+/// characters); does not add the surrounding quotes.
+void append_json_escaped(std::string& out, std::string_view text);
+
+/// Incremental JSON document builder. Comma placement and key/value pairing
+/// are handled internally; misuse (a value with no open container, a key in
+/// an array) aborts via CAPART_CHECK, so serialization bugs fail loudly in
+/// tests rather than producing unparsable files.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts a "key": inside the enclosing object; the next value/begin_*
+  /// call provides the value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool flag);
+  JsonWriter& value(double number);
+  template <class T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T number) {
+    if constexpr (std::is_signed_v<T>) {
+      return integer(static_cast<std::int64_t>(number));
+    } else {
+      return unsigned_integer(static_cast<std::uint64_t>(number));
+    }
+  }
+  JsonWriter& null();
+
+  /// Emits `text` verbatim as a value — for numbers pre-formatted with a
+  /// fixed precision (golden-file-stable output).
+  JsonWriter& raw(std::string_view text);
+
+  /// The finished document; valid once every container has been closed.
+  const std::string& str() const;
+
+ private:
+  JsonWriter& unsigned_integer(std::uint64_t number);
+  JsonWriter& integer(std::int64_t number);
+  void before_value();
+
+  struct Frame {
+    bool is_object = false;
+    bool first = true;
+  };
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+/// Parsed JSON document. Object member order is preserved as written so the
+/// golden-file and round-trip tests can compare deterministically.
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Exact value when the literal was a non-negative integer (counters,
+  /// cycle counts) — doubles lose precision past 2^53.
+  std::uint64_t u64 = 0;
+  bool is_integer = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const noexcept { return kind == Kind::kObject; }
+  bool is_array() const noexcept { return kind == Kind::kArray; }
+  bool is_string() const noexcept { return kind == Kind::kString; }
+  bool is_number() const noexcept { return kind == Kind::kNumber; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Typed accessors returning the fallback on kind mismatch.
+  std::uint64_t as_u64(std::uint64_t fallback = 0) const noexcept;
+  double as_double(double fallback = 0.0) const noexcept;
+  std::string_view as_string(std::string_view fallback = {}) const noexcept;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error. On failure
+/// returns nullopt and, when `error` is non-null, a byte offset + message.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace capart::obs

@@ -1,0 +1,69 @@
+#include "src/obs/jsonl_sink.hpp"
+
+#include "src/common/check.hpp"
+#include "src/obs/event_log.hpp"
+
+namespace capart::obs {
+
+JsonlSink::JsonlSink(std::ostream& os, std::size_t flush_threshold)
+    : os_(&os), flush_threshold_(flush_threshold) {}
+
+JsonlSink::JsonlSink(const std::string& path, std::size_t flush_threshold)
+    : owned_(std::in_place, path, std::ios::trunc),
+      os_(&*owned_),
+      flush_threshold_(flush_threshold) {
+  CAPART_CHECK(owned_->is_open(), "cannot open events output file");
+}
+
+JsonlSink::~JsonlSink() { flush(); }
+
+void JsonlSink::append_line(std::string line) {
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(mutex_);
+  buffer_ += line;
+  ++count_;
+  if (buffer_.size() >= flush_threshold_) {
+    os_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+}
+
+void JsonlSink::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!buffer_.empty()) {
+    os_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  os_->flush();
+}
+
+std::uint64_t JsonlSink::events_written() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+void JsonlSink::on_manifest(const ManifestEvent& event) {
+  append_line(to_jsonl(event));
+}
+
+void JsonlSink::on_interval(const IntervalEvent& event) {
+  append_line(to_jsonl(event));
+}
+
+void JsonlSink::on_repartition(const RepartitionEvent& event) {
+  append_line(to_jsonl(event));
+}
+
+void JsonlSink::on_barrier_stall(const BarrierStallEvent& event) {
+  append_line(to_jsonl(event));
+}
+
+void JsonlSink::on_migration(const ThreadMigrationEvent& event) {
+  append_line(to_jsonl(event));
+}
+
+void JsonlSink::on_run_end(const RunEndEvent& event) {
+  append_line(to_jsonl(event));
+}
+
+}  // namespace capart::obs

@@ -1,0 +1,56 @@
+// Buffered, thread-safe JSONL event sink. Each event serializes to one JSON
+// line (src/obs/event_log.hpp owns the schema); lines are appended to an
+// internal buffer under a mutex and flushed to the backing stream when the
+// buffer crosses the threshold, on flush(), and on destruction. Because a
+// whole line is built before the lock is taken and written in one append,
+// concurrent runs sharing a sink can never interleave or tear lines — the
+// invariant the BatchRunner thread-safety test pins.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "src/obs/events.hpp"
+
+namespace capart::obs {
+
+class JsonlSink final : public EventSink {
+ public:
+  /// Writes to a caller-owned stream (kept alive past the sink).
+  explicit JsonlSink(std::ostream& os, std::size_t flush_threshold = 64 * 1024);
+  /// Opens `path` for writing (truncating); aborts if it cannot be opened.
+  explicit JsonlSink(const std::string& path,
+                     std::size_t flush_threshold = 64 * 1024);
+  ~JsonlSink() override;
+
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  void on_manifest(const ManifestEvent& event) override;
+  void on_interval(const IntervalEvent& event) override;
+  void on_repartition(const RepartitionEvent& event) override;
+  void on_barrier_stall(const BarrierStallEvent& event) override;
+  void on_migration(const ThreadMigrationEvent& event) override;
+  void on_run_end(const RunEndEvent& event) override;
+
+  void flush() override;
+
+  std::uint64_t events_written() const;
+
+ private:
+  void append_line(std::string line);
+
+  std::optional<std::ofstream> owned_;
+  std::ostream* os_;
+  std::size_t flush_threshold_;
+  mutable std::mutex mutex_;
+  std::string buffer_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace capart::obs

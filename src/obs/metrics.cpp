@@ -1,0 +1,73 @@
+#include "src/obs/metrics.hpp"
+
+#include <cstdio>
+
+#include "src/report/table.hpp"
+
+namespace capart::obs {
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.name = std::string(name);
+  }
+  it->second.is_counter = true;
+  it->second.count += delta;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.name = std::string(name);
+  }
+  it->second.is_counter = false;
+  it->second.value = value;
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.is_counter ? it->second.count : 0;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && !it->second.is_counter ? it->second.value
+                                                        : 0.0;
+}
+
+bool MetricsRegistry::empty() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.empty();
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) entries.push_back(entry);
+  return entries;
+}
+
+void MetricsRegistry::print_rollup(std::ostream& os) const {
+  report::Table table({"metric", "value"});
+  for (const Entry& entry : snapshot()) {
+    std::string value;
+    if (entry.is_counter) {
+      value = std::to_string(entry.count);
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.6g", entry.value);
+      value = buf;
+    }
+    table.add_row({entry.name, std::move(value)});
+  }
+  table.print(os);
+}
+
+}  // namespace capart::obs

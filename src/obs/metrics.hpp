@@ -1,0 +1,53 @@
+// Metrics registry: named counters and gauges the simulator layers publish
+// into at interval granularity (never on the per-access hot path). Names are
+// hierarchical slash-separated paths — "driver/intervals",
+// "runtime/ways_moved", "batch/arms_completed" — so the end-of-run rollup
+// groups related series together when sorted. Thread-safe: one registry can
+// back a whole BatchRunner batch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace capart::obs {
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to counter `name`, creating it at zero first.
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Sets gauge `name` to `value` (last write wins).
+  void set_gauge(std::string_view name, double value);
+
+  /// Current counter value; 0 when the counter does not exist.
+  std::uint64_t counter(std::string_view name) const;
+
+  /// Current gauge value; 0.0 when the gauge does not exist.
+  double gauge(std::string_view name) const;
+
+  bool empty() const;
+
+  struct Entry {
+    std::string name;
+    bool is_counter = true;
+    std::uint64_t count = 0;
+    double value = 0.0;
+  };
+
+  /// Every metric, sorted by name (so hierarchical prefixes group).
+  std::vector<Entry> snapshot() const;
+
+  /// Renders the end-of-run rollup table (metric | value).
+  void print_rollup(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace capart::obs

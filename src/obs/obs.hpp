@@ -1,0 +1,34 @@
+// Observability attachment point. ObsConfig is embedded (by value) in
+// ExperimentConfig and DriverConfig; both pointers are non-owning and null
+// by default, so a run with no observers skips every emission with a single
+// branch — the disabled path costs nothing measurable.
+//
+// Only forward declarations live here so low-level headers (sim/driver.hpp,
+// sim/experiment.hpp) can embed ObsConfig without pulling in the event or
+// metrics definitions; emitters include src/obs/events.hpp /
+// src/obs/metrics.hpp from their .cpp files.
+#pragma once
+
+#include <string>
+
+namespace capart::obs {
+
+class EventSink;
+class MetricsRegistry;
+
+struct ObsConfig {
+  /// Structured-event consumer (JSONL file, test vector, ...); null
+  /// disables event emission.
+  EventSink* sink = nullptr;
+  /// Counter/gauge registry the run publishes into; null disables.
+  MetricsRegistry* metrics = nullptr;
+  /// Label attached to every event — the arm name in batch runs, so one
+  /// shared sink can serve a whole spec.
+  std::string run_name = "run";
+
+  bool enabled() const noexcept {
+    return sink != nullptr || metrics != nullptr;
+  }
+};
+
+}  // namespace capart::obs

@@ -1,11 +1,13 @@
 #include "src/report/csv.hpp"
 
+#include "src/report/table.hpp"
+
 namespace capart::report {
 
 void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const std::string& cell = cells[i];
-    const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+    const bool quote = cell.find_first_of(",\"\n\r") != std::string::npos;
     if (quote) {
       os << '"';
       for (char ch : cell) {
@@ -17,6 +19,29 @@ void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
       os << cell;
     }
     os << (i + 1 == cells.size() ? "\n" : ",");
+  }
+}
+
+void write_interval_csv(std::ostream& os,
+                        const std::vector<sim::IntervalRecord>& intervals) {
+  const std::size_t num_threads =
+      intervals.empty() ? 0 : intervals.front().threads.size();
+  std::vector<std::string> header = {"interval"};
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    const std::string id = std::to_string(t + 1);
+    header.push_back("t" + id + "_ways");
+    header.push_back("t" + id + "_cpi");
+    header.push_back("t" + id + "_l2_misses");
+  }
+  write_csv_row(os, header);
+  for (const sim::IntervalRecord& rec : intervals) {
+    std::vector<std::string> row = {std::to_string(rec.index + 1)};
+    for (const sim::ThreadIntervalRecord& t : rec.threads) {
+      row.push_back(std::to_string(t.ways));
+      row.push_back(fmt(t.cpi(), 4));
+      row.push_back(std::to_string(t.l2_misses));
+    }
+    write_csv_row(os, row);
   }
 }
 

@@ -5,9 +5,20 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/interval.hpp"
+
 namespace capart::report {
 
-/// Writes one CSV row, quoting cells that contain separators or quotes.
+/// Writes one CSV row with RFC-4180 quoting: cells containing separators,
+/// double quotes, newlines or carriage returns are wrapped in quotes with
+/// embedded quotes doubled.
 void write_csv_row(std::ostream& os, const std::vector<std::string>& cells);
+
+/// Writes a run's per-interval series: header then one row per interval with
+/// `tN_ways,tN_cpi,tN_l2_misses` columns per thread (1-based interval and
+/// thread labels). The canonical interval-CSV shape shared by capart_sim and
+/// the bench harness.
+void write_interval_csv(std::ostream& os,
+                        const std::vector<sim::IntervalRecord>& intervals);
 
 }  // namespace capart::report

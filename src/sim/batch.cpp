@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "src/common/check.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace capart::sim {
 namespace {
@@ -157,6 +158,9 @@ BatchResult BatchRunner::run(const ExperimentSpec& spec) const {
       spec.arms.size(),
       [&](std::size_t i) {
         batch.arms[i].result = run_experiment(spec.arms[i].config);
+        if (obs::MetricsRegistry* metrics = spec.arms[i].config.obs.metrics) {
+          metrics->add("batch/arms_completed");
+        }
       },
       &wall);
   batch.wall_seconds = seconds_since(start);

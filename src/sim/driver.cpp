@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/check.hpp"
+#include "src/obs/events.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace capart::sim {
 
@@ -70,10 +72,20 @@ void Driver::release_group_once(std::uint32_t group) {
     next_section = ts.section + 1;
   }
   latest += config_.barrier_release_cost;
+  obs::BarrierStallEvent event;
+  if (config_.obs.sink != nullptr) {
+    event.run = config_.obs.run_name;
+    event.group = group;
+    event.section = next_section - 1;
+    event.release_cycle = latest;
+  }
   for (ThreadId t = 0; t < threads_.size(); ++t) {
     ThreadState& ts = threads_[t];
     if (group_of_[t] != group || ts.done) continue;
     system_.counters().thread(t).stall_cycles += latest - ts.clock;
+    if (config_.obs.sink != nullptr) {
+      event.stalls.emplace_back(t, latest - ts.clock);
+    }
     ts.clock = latest;
     ts.section = next_section;
     if (ts.section >= program_.sections.size()) {
@@ -81,6 +93,12 @@ void Driver::release_group_once(std::uint32_t group) {
     } else {
       enter_section(ts, t);
     }
+  }
+  if (config_.obs.sink != nullptr) {
+    config_.obs.sink->on_barrier_stall(event);
+  }
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("driver/barrier_releases");
   }
 }
 
@@ -135,7 +153,17 @@ void Driver::on_interval_boundary() {
       const ThreadId core_b = system_.core_of(m.b);
       system_.bind(m.a, core_b);
       system_.bind(m.b, core_a);
+      if (config_.obs.sink != nullptr) {
+        config_.obs.sink->on_migration(
+            {config_.obs.run_name, interval_index_, m.a, m.b});
+      }
+      if (config_.obs.metrics != nullptr) {
+        config_.obs.metrics->add("driver/migrations");
+      }
     }
+  }
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("driver/intervals");
   }
   ++interval_index_;
   next_boundary_ += config_.interval_instructions;

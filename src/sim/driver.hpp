@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/types.hpp"
+#include "src/obs/obs.hpp"
 #include "src/sim/cmp_system.hpp"
 #include "src/sim/program.hpp"
 #include "src/trace/op_source.hpp"
@@ -37,6 +38,9 @@ struct DriverConfig {
   /// Fig 16) each co-scheduled application is its own group: its threads
   /// synchronize with one another only.
   std::vector<std::uint32_t> barrier_group;
+  /// Observability attachment (barrier-stall/migration events, driver
+  /// counters); disabled by default.
+  obs::ObsConfig obs;
 };
 
 /// Invoked at each interval boundary; returns per-thread overhead cycles the

@@ -1,9 +1,13 @@
 #include "src/sim/experiment.hpp"
 
+#include <chrono>
+
 #include "src/common/check.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/model_based_policy.hpp"
 #include "src/core/runtime_system.hpp"
+#include "src/obs/events.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/sim/cmp_system.hpp"
 #include "src/trace/benchmarks.hpp"
 
@@ -19,6 +23,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   CAPART_CHECK(config.num_intervals >= 1, "experiment needs >= 1 interval");
   CAPART_CHECK(config.interval_instructions >= 1'000,
                "interval too short for stable counters");
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (config.obs.sink != nullptr) {
+    config.obs.sink->on_manifest({config.obs.run_name, config});
+  }
 
   const trace::BenchmarkProfile profile =
       trace::make_profile(config.profile, config.num_threads);
@@ -62,6 +71,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       .interval_instructions = config.interval_instructions,
       .barrier_release_cost = config.barrier_release_cost,
       .barrier_group = {},
+      .obs = config.obs,
   };
   Driver driver(system, std::move(program), std::move(generators),
                 driver_config);
@@ -75,7 +85,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   core::RuntimeSystem runtime(system, std::move(policy),
                               config.runtime_overhead_cycles,
-                              config.reconfigure_flush_cost_per_line);
+                              config.reconfigure_flush_cost_per_line,
+                              config.obs);
   driver.set_interval_callback(runtime.callback());
 
   ExperimentResult result;
@@ -107,6 +118,26 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
     snapshot.final_allocation = system.l2().current_targets();
     result.model_snapshot = std::move(snapshot);
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (config.obs.sink != nullptr) {
+    config.obs.sink->on_run_end({config.obs.run_name,
+                                 result.outcome.total_cycles,
+                                 result.outcome.intervals_completed,
+                                 result.outcome.instructions_retired,
+                                 result.wall_seconds});
+    config.obs.sink->flush();
+  }
+  if (config.obs.metrics != nullptr) {
+    config.obs.metrics->add("experiment/runs");
+    config.obs.metrics->add("experiment/cycles_simulated",
+                            result.outcome.total_cycles);
+    config.obs.metrics->add("experiment/instructions_simulated",
+                            result.outcome.instructions_retired);
   }
 
   return result;

@@ -15,6 +15,7 @@
 #include "src/mem/cache_config.hpp"
 #include "src/mem/cache_stats.hpp"
 #include "src/mem/l2_organization.hpp"
+#include "src/obs/obs.hpp"
 #include "src/sim/driver.hpp"
 #include "src/sim/interval.hpp"
 
@@ -73,6 +74,12 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
 
   std::vector<MigrationEvent> migrations;
+
+  /// Observability attachment (src/obs): when a sink or metrics registry is
+  /// set, the run publishes a manifest, per-interval records, repartition
+  /// decisions, barrier stalls, migrations and a run-end event. Null by
+  /// default — a disabled run takes the single-branch fast path everywhere.
+  obs::ObsConfig obs;
 };
 
 /// Fig 15 material: the fitted runtime CPI models at the end of a
@@ -92,6 +99,8 @@ struct ExperimentResult {
   mem::CacheStats l2_stats{1};
   std::vector<cpu::CounterBlock> thread_totals;
   std::optional<ModelSnapshot> model_snapshot;
+  /// Wall-clock of this run (also published as the run_end event).
+  double wall_seconds = 0.0;
 
   /// The paper's performance metric: inverse of execution time.
   double performance() const noexcept {

@@ -1,0 +1,253 @@
+// Event-pipeline contract tests: the ISSUE's round-trip guarantee (a JSONL
+// file reproduces the run's in-memory IntervalRecords and configuration) and
+// the sink thread-safety guarantee (a sink shared across a parallel batch
+// never tears or interleaves lines).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/event_log.hpp"
+#include "src/obs/events.hpp"
+#include "src/obs/jsonl_sink.hpp"
+#include "src/sim/batch.hpp"
+#include "src/sim/experiment.hpp"
+
+namespace capart::obs {
+namespace {
+
+sim::ExperimentConfig tiny_config() {
+  sim::ExperimentConfig c;
+  c.profile = "cg";
+  c.num_threads = 2;
+  c.num_intervals = 6;
+  c.interval_instructions = 30'000;
+  c.seed = 7;
+  return c;
+}
+
+void expect_equal_records(const sim::IntervalRecord& a,
+                          const sim::IntervalRecord& b) {
+  EXPECT_EQ(a.index, b.index);
+  ASSERT_EQ(a.threads.size(), b.threads.size());
+  for (std::size_t t = 0; t < a.threads.size(); ++t) {
+    EXPECT_EQ(a.threads[t].instructions, b.threads[t].instructions);
+    EXPECT_EQ(a.threads[t].exec_cycles, b.threads[t].exec_cycles);
+    EXPECT_EQ(a.threads[t].stall_cycles, b.threads[t].stall_cycles);
+    EXPECT_EQ(a.threads[t].l1_misses, b.threads[t].l1_misses);
+    EXPECT_EQ(a.threads[t].l2_accesses, b.threads[t].l2_accesses);
+    EXPECT_EQ(a.threads[t].l2_hits, b.threads[t].l2_hits);
+    EXPECT_EQ(a.threads[t].l2_misses, b.threads[t].l2_misses);
+    EXPECT_EQ(a.threads[t].ways, b.threads[t].ways);
+  }
+}
+
+TEST(ObsConfig, DisabledByDefault) {
+  ObsConfig obs;
+  EXPECT_FALSE(obs.enabled());
+  NullSink sink;
+  obs.sink = &sink;
+  EXPECT_TRUE(obs.enabled());
+}
+
+TEST(VectorSink, CapturesEveryEventOfARun) {
+  VectorSink sink;
+  sim::ExperimentConfig config = tiny_config();
+  config.obs.sink = &sink;
+  config.obs.run_name = "tiny";
+  const sim::ExperimentResult result = sim::run_experiment(config);
+
+  ASSERT_EQ(sink.manifests().size(), 1u);
+  EXPECT_EQ(sink.manifests()[0].run, "tiny");
+  EXPECT_EQ(sink.manifests()[0].config.profile, "cg");
+
+  const std::vector<IntervalEvent> intervals = sink.intervals();
+  ASSERT_EQ(intervals.size(), result.intervals.size());
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    expect_equal_records(intervals[i].record, result.intervals[i]);
+  }
+
+  // The model-based policy decides once per interval.
+  EXPECT_EQ(sink.repartitions().size(), result.intervals.size());
+  for (const RepartitionEvent& r : sink.repartitions()) {
+    EXPECT_EQ(r.old_ways.size(), 2u);
+    EXPECT_EQ(r.new_ways.size(), 2u);
+    EXPECT_EQ(r.predicted_cpi.size(), 2u);
+  }
+
+  ASSERT_EQ(sink.run_ends().size(), 1u);
+  EXPECT_EQ(sink.run_ends()[0].total_cycles, result.outcome.total_cycles);
+  EXPECT_GT(sink.run_ends()[0].wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(sink.run_ends()[0].wall_seconds, result.wall_seconds);
+}
+
+TEST(JsonlRoundTrip, IntervalEventsReproduceInMemoryRecords) {
+  std::ostringstream os;
+  sim::ExperimentResult result;
+  {
+    JsonlSink sink(os);
+    sim::ExperimentConfig config = tiny_config();
+    config.obs.sink = &sink;
+    config.obs.run_name = "tiny";
+    result = sim::run_experiment(config);
+  }
+
+  std::istringstream is(os.str());
+  const EventLog log = read_event_log(is);
+  for (const ValidationIssue& issue : log.issues) {
+    ADD_FAILURE() << "line " << issue.line << ": " << issue.message;
+  }
+
+  std::vector<sim::IntervalRecord> parsed;
+  for (const ParsedEvent& event : log.events) {
+    EXPECT_EQ(event.run, "tiny");
+    if (event.type == "interval") {
+      parsed.push_back(to_interval_record(event.json));
+    }
+  }
+  ASSERT_EQ(parsed.size(), result.intervals.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    expect_equal_records(parsed[i], result.intervals[i]);
+  }
+
+  // First line is the manifest, last the run_end with the outcome totals.
+  ASSERT_FALSE(log.events.empty());
+  EXPECT_EQ(log.events.front().type, "manifest");
+  const ParsedEvent& last = log.events.back();
+  EXPECT_EQ(last.type, "run_end");
+  EXPECT_EQ(last.json.find("total_cycles")->as_u64(),
+            result.outcome.total_cycles);
+  EXPECT_EQ(last.json.find("intervals_completed")->as_u64(),
+            result.outcome.intervals_completed);
+  EXPECT_EQ(last.json.find("instructions_retired")->as_u64(),
+            result.outcome.instructions_retired);
+}
+
+TEST(JsonlRoundTrip, ManifestReproducesTheConfiguration) {
+  std::ostringstream os;
+  sim::ExperimentConfig config = tiny_config();
+  {
+    JsonlSink sink(os);
+    config.obs.sink = &sink;
+    config.obs.run_name = "tiny";
+    (void)sim::run_experiment(config);
+  }
+
+  std::istringstream is(os.str());
+  const EventLog log = read_event_log(is);
+  ASSERT_TRUE(log.ok());
+  ASSERT_FALSE(log.events.empty());
+  const JsonValue& m = log.events.front().json;
+
+  EXPECT_EQ(m.find("profile")->as_string(), "cg");
+  EXPECT_EQ(m.find("policy")->as_string(), "model-based");
+  EXPECT_EQ(m.find("l2_mode")->as_string(), "partitioned-shared");
+  EXPECT_EQ(m.find("threads")->as_u64(), config.num_threads);
+  EXPECT_EQ(m.find("intervals")->as_u64(), config.num_intervals);
+  EXPECT_EQ(m.find("interval_instructions")->as_u64(),
+            config.interval_instructions);
+  EXPECT_EQ(m.find("seed")->as_u64(), config.seed);
+  const JsonValue* l2 = m.find("l2");
+  ASSERT_NE(l2, nullptr);
+  EXPECT_EQ(l2->find("sets")->as_u64(), config.l2.sets);
+  EXPECT_EQ(l2->find("ways")->as_u64(), config.l2.ways);
+  EXPECT_EQ(l2->find("line_bytes")->as_u64(), config.l2.line_bytes);
+  const JsonValue* opts = m.find("policy_options");
+  ASSERT_NE(opts, nullptr);
+  EXPECT_EQ(opts->find("model_kind")->as_string(), "cubic-spline");
+  EXPECT_EQ(m.find("enable_private_l2")->kind, JsonValue::Kind::kBool);
+}
+
+TEST(JsonlSinkTest, SharedSinkAcrossParallelBatchProducesNoTornLines) {
+  std::ostringstream os;
+  std::size_t events_written = 0;
+  sim::ExperimentSpec spec;
+  spec.name = "torn-lines";
+  {
+    // A tiny threshold forces many stream flushes, maximizing interleaving
+    // opportunities between the eight worker threads.
+    JsonlSink sink(os, /*flush_threshold=*/64);
+    for (int i = 0; i < 8; ++i) {
+      sim::ExperimentConfig config = tiny_config();
+      config.seed = 100 + static_cast<std::uint64_t>(i);
+      config.obs.sink = &sink;
+      config.obs.run_name = "arm" + std::to_string(i);
+      spec.add(config.obs.run_name, config);
+    }
+    const sim::BatchResult batch = sim::BatchRunner(8).run(spec);
+    ASSERT_EQ(batch.arms.size(), 8u);
+    sink.flush();
+    events_written = sink.events_written();
+  }
+
+  std::istringstream is(os.str());
+  const EventLog log = read_event_log(is);
+  for (const ValidationIssue& issue : log.issues) {
+    ADD_FAILURE() << "line " << issue.line << ": " << issue.message;
+  }
+  EXPECT_EQ(log.events.size(), events_written);
+
+  // Every arm's full event stream must arrive intact: one manifest, every
+  // interval, one run_end, each tagged with the arm's run label.
+  for (int i = 0; i < 8; ++i) {
+    const std::string run = "arm" + std::to_string(i);
+    std::size_t manifests = 0, intervals = 0, run_ends = 0;
+    for (const ParsedEvent& event : log.events) {
+      if (event.run != run) continue;
+      manifests += event.type == "manifest";
+      intervals += event.type == "interval";
+      run_ends += event.type == "run_end";
+    }
+    EXPECT_EQ(manifests, 1u) << run;
+    EXPECT_EQ(intervals, 6u) << run;
+    EXPECT_EQ(run_ends, 1u) << run;
+  }
+}
+
+TEST(ReadEventLog, FlagsMalformedLines) {
+  std::istringstream is(
+      "{\"type\":\"run_end\",\"run\":\"r\",\"total_cycles\":1,"
+      "\"intervals_completed\":1,\"instructions_retired\":1,"
+      "\"wall_seconds\":0.1}\n"
+      "not json at all\n"
+      "{\"run\":\"r\"}\n"
+      "{\"type\":\"mystery\",\"run\":\"r\"}\n"
+      "{\"type\":\"repartition\",\"run\":\"r\",\"interval\":1,"
+      "\"policy\":\"p\",\"old_ways\":[1,2],\"new_ways\":[3],"
+      "\"predicted_cpi\":[]}\n");
+  const EventLog log = read_event_log(is);
+  EXPECT_FALSE(log.ok());
+  ASSERT_EQ(log.issues.size(), 4u);
+  EXPECT_EQ(log.issues[0].line, 2u);  // not valid JSON
+  EXPECT_EQ(log.issues[1].line, 3u);  // missing "type"
+  EXPECT_EQ(log.issues[2].line, 4u);  // unknown type
+  EXPECT_EQ(log.issues[3].line, 5u);  // old_ways/new_ways length mismatch
+}
+
+TEST(ReadEventLog, FlagsWrongFieldKinds) {
+  std::istringstream is(
+      "{\"type\":\"run_end\",\"run\":\"r\",\"total_cycles\":\"oops\","
+      "\"intervals_completed\":1,\"instructions_retired\":1,"
+      "\"wall_seconds\":0.1}\n");
+  const EventLog log = read_event_log(is);
+  ASSERT_EQ(log.issues.size(), 1u);
+  EXPECT_NE(log.issues[0].message.find("total_cycles"), std::string::npos);
+}
+
+TEST(JsonlSinkTest, CountsEventsAndWritesTrailingNewlines) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  sink.on_run_end({"r", 10, 1, 100, 0.5});
+  sink.on_migration({"r", 3, 0, 1});
+  sink.flush();
+  EXPECT_EQ(sink.events_written(), 2u);
+  const std::string text = os.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace capart::obs

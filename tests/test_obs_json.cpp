@@ -1,0 +1,149 @@
+// JsonWriter / parse_json unit tests. The event-log round-trip tests lean on
+// these primitives, so misuse aborting loudly and numbers surviving exactly
+// are pinned here first.
+#include "src/obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace capart::obs {
+namespace {
+
+TEST(JsonWriter, BuildsNestedDocumentWithCommas) {
+  JsonWriter w;
+  w.begin_object()
+      .key("name").value("run")
+      .key("n").value(3)
+      .key("ok").value(true)
+      .key("list").begin_array().value(1).value(2).end_array()
+      .key("nested").begin_object().key("x").null().end_object()
+      .end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"run","n":3,"ok":true,"list":[1,2],"nested":{"x":null}})");
+}
+
+TEST(JsonWriter, EscapesStringsOnOutput) {
+  JsonWriter w;
+  w.begin_object().key("s").value("a\"b\\c\nd\te\x01").end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+}
+
+TEST(JsonWriter, RawEmitsPreformattedNumbersVerbatim) {
+  JsonWriter w;
+  w.begin_array().raw("1.2500").raw("0.0000").end_array();
+  EXPECT_EQ(w.str(), "[1.2500,0.0000]");
+}
+
+TEST(JsonWriter, IntegersKeepFullUint64Range) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<std::uint64_t>::max())
+      .value(std::int64_t{-42})
+      .end_array();
+  EXPECT_EQ(w.str(), "[18446744073709551615,-42]");
+}
+
+TEST(JsonWriterDeathTest, MisuseAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.begin_array().key("k");
+      },
+      "key");
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.begin_object().value(1);
+      },
+      "key");
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.begin_object().str();
+      },
+      "unclosed");
+}
+
+TEST(ParseJson, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object()
+      .key("run").value("cg/model")
+      .key("cycles").value(std::uint64_t{987654321})
+      .key("cpi").value(1.5)
+      .key("flags").begin_array().value(true).value(false).null().end_array()
+      .end_object();
+
+  const std::optional<JsonValue> doc = parse_json(w.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->find("run")->as_string(), "cg/model");
+  EXPECT_EQ(doc->find("cycles")->as_u64(), 987654321u);
+  EXPECT_DOUBLE_EQ(doc->find("cpi")->as_double(), 1.5);
+  const JsonValue* flags = doc->find("flags");
+  ASSERT_TRUE(flags != nullptr && flags->is_array());
+  ASSERT_EQ(flags->array.size(), 3u);
+  EXPECT_TRUE(flags->array[0].boolean);
+  EXPECT_FALSE(flags->array[1].boolean);
+  EXPECT_EQ(flags->array[2].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(ParseJson, LargeIntegersAreExact) {
+  // 2^63 + 1 is not representable as a double; the u64 side-channel keeps
+  // cycle counters exact through a serialize/parse round trip.
+  const std::optional<JsonValue> doc = parse_json("9223372036854775809");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->is_integer);
+  EXPECT_EQ(doc->as_u64(), 9223372036854775809ull);
+}
+
+TEST(ParseJson, NegativeAndScientificNumbersAreDoubles) {
+  const std::optional<JsonValue> neg = parse_json("-17");
+  ASSERT_TRUE(neg.has_value());
+  EXPECT_FALSE(neg->is_integer);
+  EXPECT_DOUBLE_EQ(neg->as_double(), -17.0);
+
+  const std::optional<JsonValue> sci = parse_json("2.5e3");
+  ASSERT_TRUE(sci.has_value());
+  EXPECT_DOUBLE_EQ(sci->as_double(), 2500.0);
+}
+
+TEST(ParseJson, DecodesStringEscapes) {
+  const std::optional<JsonValue> doc =
+      parse_json(R"("a\"b\\c\nd\te")");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_string(), std::string_view("a\"b\\c\nd\te"));
+}
+
+TEST(ParseJson, PreservesObjectMemberOrder) {
+  const std::optional<JsonValue> doc = parse_json(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->object.size(), 3u);
+  EXPECT_EQ(doc->object[0].first, "z");
+  EXPECT_EQ(doc->object[1].first, "a");
+  EXPECT_EQ(doc->object[2].first, "m");
+}
+
+TEST(ParseJson, ReportsErrorsWithOffsets) {
+  for (const char* bad : {"{", "{\"a\":}", "[1,]", "\"open", "tru", "1 2",
+                          "{\"a\" 1}", "nul", "-", ""}) {
+    std::string error;
+    EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
+    EXPECT_NE(error.find("offset"), std::string::npos) << bad;
+  }
+}
+
+TEST(ParseJson, TypedAccessorsFallBackOnKindMismatch) {
+  const std::optional<JsonValue> doc = parse_json(R"({"s":"x"})");
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* s = doc->find("s");
+  EXPECT_EQ(s->as_u64(7), 7u);
+  EXPECT_DOUBLE_EQ(s->as_double(1.25), 1.25);
+  EXPECT_EQ(doc->as_string("fallback"), "fallback");
+}
+
+}  // namespace
+}  // namespace capart::obs

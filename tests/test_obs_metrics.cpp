@@ -1,0 +1,100 @@
+// MetricsRegistry unit tests: counter/gauge semantics, the sorted snapshot
+// the rollup table renders from, and safety under concurrent publishers
+// (one registry backs a whole BatchRunner batch).
+#include "src/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/sim/batch.hpp"
+#include "src/sim/experiment.hpp"
+
+namespace capart::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulateAndDefaultToZero) {
+  MetricsRegistry metrics;
+  EXPECT_TRUE(metrics.empty());
+  EXPECT_EQ(metrics.counter("driver/intervals"), 0u);
+  metrics.add("driver/intervals");
+  metrics.add("driver/intervals", 4);
+  EXPECT_EQ(metrics.counter("driver/intervals"), 5u);
+  EXPECT_FALSE(metrics.empty());
+}
+
+TEST(MetricsRegistry, GaugesKeepTheLastWrite) {
+  MetricsRegistry metrics;
+  EXPECT_DOUBLE_EQ(metrics.gauge("batch/speedup"), 0.0);
+  metrics.set_gauge("batch/speedup", 3.5);
+  metrics.set_gauge("batch/speedup", 4.25);
+  EXPECT_DOUBLE_EQ(metrics.gauge("batch/speedup"), 4.25);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedSoHierarchiesGroup) {
+  MetricsRegistry metrics;
+  metrics.add("runtime/repartitions");
+  metrics.add("driver/intervals");
+  metrics.add("runtime/flushed_lines");
+  metrics.set_gauge("batch/speedup", 2.0);
+  const std::vector<MetricsRegistry::Entry> entries = metrics.snapshot();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].name, "batch/speedup");
+  EXPECT_EQ(entries[1].name, "driver/intervals");
+  EXPECT_EQ(entries[2].name, "runtime/flushed_lines");
+  EXPECT_EQ(entries[3].name, "runtime/repartitions");
+}
+
+TEST(MetricsRegistry, RollupRendersCountersAndGauges) {
+  MetricsRegistry metrics;
+  metrics.add("driver/intervals", 8);
+  metrics.set_gauge("batch/speedup", 3.5);
+  std::ostringstream os;
+  metrics.print_rollup(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("driver/intervals"), std::string::npos);
+  EXPECT_NE(out.find("8"), std::string::npos);
+  EXPECT_NE(out.find("batch/speedup"), std::string::npos);
+  EXPECT_NE(out.find("3.5"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentAddsAreLossless) {
+  MetricsRegistry metrics;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&metrics] {
+      for (int i = 0; i < 10'000; ++i) metrics.add("stress/adds");
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(metrics.counter("stress/adds"), 80'000u);
+}
+
+TEST(MetricsRegistry, BatchRunPublishesLayeredMetrics) {
+  MetricsRegistry metrics;
+  sim::ExperimentSpec spec;
+  spec.name = "metrics";
+  for (int i = 0; i < 4; ++i) {
+    sim::ExperimentConfig config;
+    config.profile = "cg";
+    config.num_threads = 2;
+    config.num_intervals = 5;
+    config.interval_instructions = 30'000;
+    config.seed = static_cast<std::uint64_t>(i);
+    config.obs.metrics = &metrics;
+    spec.add("arm" + std::to_string(i), config);
+  }
+  (void)sim::BatchRunner(4).run(spec);
+
+  EXPECT_EQ(metrics.counter("batch/arms_completed"), 4u);
+  EXPECT_EQ(metrics.counter("experiment/runs"), 4u);
+  EXPECT_EQ(metrics.counter("driver/intervals"), 20u);
+  EXPECT_EQ(metrics.counter("runtime/intervals_observed"), 20u);
+  EXPECT_GT(metrics.counter("experiment/cycles_simulated"), 0u);
+  EXPECT_GT(metrics.counter("driver/barrier_releases"), 0u);
+}
+
+}  // namespace
+}  // namespace capart::obs

@@ -1,0 +1,125 @@
+// Chrome-trace exporter tests. The exporter promises fully deterministic
+// output (fixed member order, fixed float precision), so a tiny two-thread
+// run is pinned byte-for-byte by tests/golden/tiny_trace.json. Regenerate
+// after an intentional format change with:
+//   CAPART_REGEN_GOLDEN=1 ./build/tests/capart_tests
+//       --gtest_filter=ChromeTrace.GoldenTwoThreadRun
+#include "src/obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/mem/cache_config.hpp"
+#include "src/obs/json.hpp"
+#include "src/sim/experiment.hpp"
+
+namespace capart::obs {
+namespace {
+
+/// The golden run: small enough to eyeball, big enough to exercise slices,
+/// counters and a repartition or two.
+sim::ExperimentResult golden_run() {
+  sim::ExperimentConfig config;
+  config.profile = "cg";
+  config.num_threads = 2;
+  config.num_intervals = 4;
+  config.interval_instructions = 20'000;
+  config.seed = 3;
+  return sim::run_experiment(config);
+}
+
+std::string golden_path() {
+  return std::string(CAPART_GOLDEN_DIR) + "/tiny_trace.json";
+}
+
+TEST(ChromeTrace, GoldenTwoThreadRun) {
+  const sim::ExperimentResult result = golden_run();
+  std::ostringstream os;
+  write_chrome_trace(os, result.intervals, "tiny");
+
+  if (std::getenv("CAPART_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.is_open()) << golden_path();
+    out << os.str();
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.is_open())
+      << golden_path() << " missing; regenerate with CAPART_REGEN_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(os.str(), expected.str());
+}
+
+TEST(ChromeTrace, EmitsWellFormedTimeline) {
+  const sim::ExperimentResult result = golden_run();
+  std::ostringstream os;
+  write_chrome_trace(os, result.intervals, "tiny");
+
+  const std::optional<JsonValue> doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("displayTimeUnit")->as_string(), "ms");
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+
+  // Track metadata first: the run names the process, each simulated thread
+  // its track.
+  ASSERT_GE(events->array.size(), 3u);
+  const JsonValue& process = events->array[0];
+  EXPECT_EQ(process.find("name")->as_string(), "process_name");
+  EXPECT_EQ(process.find("ph")->as_string(), "M");
+  EXPECT_EQ(process.find("args")->find("name")->as_string(), "tiny");
+
+  std::size_t counters = 0, exec_slices = 0, stall_slices = 0;
+  std::uint64_t last_exec_end[2] = {0, 0};
+  for (const JsonValue& event : events->array) {
+    const std::string_view ph = event.find("ph")->as_string();
+    const std::string_view name = event.find("name")->as_string();
+    if (ph == "C") {
+      ASSERT_EQ(name, "ways");
+      const JsonValue* args = event.find("args");
+      ASSERT_NE(args, nullptr);
+      // One stacked sample per thread, way counts inside the L2.
+      ASSERT_EQ(args->object.size(), 2u);
+      EXPECT_EQ(args->find("t0")->as_u64() + args->find("t1")->as_u64(),
+                mem::kDefaultL2.ways);
+      ++counters;
+    } else if (ph == "X") {
+      EXPECT_GT(event.find("dur")->as_u64(), 0u);
+      const std::uint64_t tid = event.find("tid")->as_u64();
+      ASSERT_LT(tid, 2u);
+      if (name == "exec") {
+        // exec slices chain along each thread's own clock.
+        EXPECT_GE(event.find("ts")->as_u64(), last_exec_end[tid]);
+        last_exec_end[tid] =
+            event.find("ts")->as_u64() + event.find("dur")->as_u64();
+        ++exec_slices;
+      } else {
+        EXPECT_EQ(name, "stall");
+        ++stall_slices;
+      }
+    }
+  }
+  EXPECT_EQ(counters, result.intervals.size());
+  EXPECT_EQ(exec_slices, 2 * result.intervals.size());
+  EXPECT_GT(stall_slices, 0u);
+}
+
+TEST(ChromeTrace, EmptyRunStillLoads) {
+  std::ostringstream os;
+  write_chrome_trace(os, {}, "empty");
+  const std::optional<JsonValue> doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  ASSERT_EQ(events->array.size(), 1u);  // just the process_name metadata
+  EXPECT_EQ(events->array[0].find("args")->find("name")->as_string(), "empty");
+}
+
+}  // namespace
+}  // namespace capart::obs

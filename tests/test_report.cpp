@@ -62,5 +62,56 @@ TEST(Csv, SpecialCellsAreQuotedAndEscaped) {
   EXPECT_EQ(os.str(), "\"a,b\",\"say \"\"hi\"\"\",\"multi\nline\"\n");
 }
 
+TEST(Csv, CarriageReturnsAreQuotedToo) {
+  // RFC 4180: a bare CR needs quoting just like LF, or readers that split
+  // on either line ending tear the row apart.
+  std::ostringstream os;
+  write_csv_row(os, {"cr\rhere", "plain"});
+  EXPECT_EQ(os.str(), "\"cr\rhere\",plain\n");
+}
+
+TEST(Csv, IntervalCsvRendersHeaderAndPerThreadColumns) {
+  std::vector<sim::IntervalRecord> intervals(2);
+  intervals[0].index = 0;
+  intervals[0].threads.resize(2);
+  intervals[0].threads[0] = {.instructions = 100,
+                             .exec_cycles = 250,
+                             .stall_cycles = 10,
+                             .l1_misses = 5,
+                             .l2_accesses = 5,
+                             .l2_hits = 3,
+                             .l2_misses = 2,
+                             .ways = 20};
+  intervals[0].threads[1] = {.instructions = 200,
+                             .exec_cycles = 300,
+                             .stall_cycles = 0,
+                             .l1_misses = 8,
+                             .l2_accesses = 8,
+                             .l2_hits = 4,
+                             .l2_misses = 4,
+                             .ways = 12};
+  intervals[1] = intervals[0];
+  intervals[1].index = 1;
+
+  std::ostringstream os;
+  write_interval_csv(os, intervals);
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "interval,t1_ways,t1_cpi,t1_l2_misses,"
+                  "t2_ways,t2_cpi,t2_l2_misses");
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "1,20,2.5000,2,12,1.5000,4");
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "2,20,2.5000,2,12,1.5000,4");
+  EXPECT_FALSE(std::getline(is, line));
+}
+
+TEST(Csv, IntervalCsvOfNoIntervalsIsJustTheIndexHeader) {
+  std::ostringstream os;
+  write_interval_csv(os, {});
+  EXPECT_EQ(os.str(), "interval\n");
+}
+
 }  // namespace
 }  // namespace capart::report

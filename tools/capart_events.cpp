@@ -1,0 +1,185 @@
+// capart_events — validate, filter and summarize JSONL event files produced
+// by the observability subsystem (capart_sim --events-out=, bench
+// --events-out=).
+//
+//   capart_events events.jsonl                 summary tables
+//   capart_events --validate events.jsonl      schema check; exit 1 on issues
+//   capart_events --filter=repartition events.jsonl   matching lines to stdout
+//   capart_events --run=cg/model events.jsonl  restrict to one run label
+//
+// --filter and --run compose; the summary respects --run too.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/event_log.hpp"
+#include "src/report/table.hpp"
+
+namespace {
+
+using namespace capart;
+
+[[noreturn]] void usage(int code) {
+  std::printf(R"(capart_events — inspect capart JSONL event files
+
+usage: capart_events [flags] FILE
+
+flags:
+  --validate            check every line against the event schema; print the
+                        issues and exit non-zero if any are found
+  --filter=TYPE[,..]    print the raw lines of the given event types
+                        (manifest interval repartition barrier_stall
+                        migration run_end) and exit
+  --run=NAME            restrict --filter / the summary to one run label
+  --help
+
+With no flags, prints per-type counts and a per-run summary table.
+)");
+  std::exit(code);
+}
+
+std::vector<std::string> split_list(std::string_view v) {
+  std::vector<std::string> items;
+  while (!v.empty()) {
+    const auto comma = v.find(',');
+    items.emplace_back(v.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    v.remove_prefix(comma + 1);
+  }
+  return items;
+}
+
+bool contains(const std::vector<std::string>& names, std::string_view name) {
+  for (const std::string& candidate : names) {
+    if (candidate == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool validate = false;
+  std::vector<std::string> filter_types;
+  std::string run_filter;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string_view key = arg.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view{} : arg.substr(eq + 1);
+    if (key == "--help" || key == "-h") usage(0);
+    else if (key == "--validate") validate = true;
+    else if (key == "--filter") filter_types = split_list(value);
+    else if (key == "--run") run_filter = std::string(value);
+    else if (arg.starts_with("--")) {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      usage(2);
+    } else if (path.empty()) {
+      path = std::string(arg);
+    } else {
+      std::fprintf(stderr, "multiple input files given\n");
+      usage(2);
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "no input file given\n");
+    usage(2);
+  }
+
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const obs::EventLog log = obs::read_event_log(is);
+
+  if (validate) {
+    for (const obs::ValidationIssue& issue : log.issues) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), issue.line,
+                   issue.message.c_str());
+    }
+    if (!log.ok()) {
+      std::fprintf(stderr, "%zu issue(s) in %zu event line(s)\n",
+                   log.issues.size(), log.events.size());
+      return 1;
+    }
+    std::printf("%s: %zu events, schema OK\n", path.c_str(),
+                log.events.size());
+    return 0;
+  }
+
+  if (!filter_types.empty()) {
+    // Re-read the raw lines so filtered output is byte-identical to the
+    // input (parsing and re-serializing could reorder or reformat). Events
+    // are stored in line order, so one cursor tracks the current line.
+    std::ifstream raw(path);
+    std::string line;
+    std::size_t line_no = 0;
+    std::size_t matched = 0;
+    std::size_t next = 0;
+    while (std::getline(raw, line)) {
+      ++line_no;
+      while (next < log.events.size() && log.events[next].line < line_no) {
+        ++next;
+      }
+      if (next >= log.events.size() || log.events[next].line != line_no) {
+        continue;
+      }
+      const obs::ParsedEvent& event = log.events[next];
+      if (contains(filter_types, event.type) &&
+          (run_filter.empty() || event.run == run_filter)) {
+        std::cout << line << "\n";
+        ++matched;
+      }
+    }
+    std::fprintf(stderr, "%zu matching event(s)\n", matched);
+    return 0;
+  }
+
+  obs::EventLog selected;
+  for (const obs::ParsedEvent& event : log.events) {
+    if (run_filter.empty() || event.run == run_filter) {
+      selected.events.push_back(event);
+    }
+  }
+  const obs::EventLogSummary summary = obs::summarize(selected);
+
+  std::printf("%s: %llu events", path.c_str(),
+              static_cast<unsigned long long>(summary.total_events));
+  if (!log.issues.empty()) {
+    std::printf(" (%zu schema issues; run --validate)", log.issues.size());
+  }
+  std::printf("\n\n");
+
+  report::Table types({"event type", "count"});
+  for (const auto& [type, count] : summary.per_type) {
+    types.add_row({type, std::to_string(count)});
+  }
+  types.print(std::cout);
+
+  if (!summary.runs.empty()) {
+    std::cout << "\n";
+    report::Table runs({"run", "events", "intervals", "repartitions",
+                        "stalls", "threads", "cycles", "wall"});
+    for (const obs::RunLogSummary& run : summary.runs) {
+      runs.add_row({run.run, std::to_string(run.events),
+                    std::to_string(run.intervals),
+                    std::to_string(run.repartitions),
+                    std::to_string(run.barrier_stalls),
+                    std::to_string(run.threads),
+                    run.has_run_end ? std::to_string(run.total_cycles) : "-",
+                    run.has_run_end
+                        ? report::fmt(run.wall_seconds * 1e3, 1) + " ms"
+                        : "-"});
+    }
+    runs.print(std::cout);
+  }
+  return 0;
+}

@@ -18,11 +18,15 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/obs/chrome_trace.hpp"
+#include "src/obs/jsonl_sink.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/report/batch_summary.hpp"
 #include "src/report/csv.hpp"
 #include "src/report/table.hpp"
@@ -54,7 +58,16 @@ flags:
   --jobs=N              concurrent experiments in batch mode (default: all
                         cores); results are bit-identical for any value
   --private-l2          insert private per-core L2s (shared cache becomes L3)
-  --csv=PATH            write the per-interval series as CSV (single run only)
+  --csv=PATH            write the per-interval series as CSV; in batch mode
+                        PATH is a stem and each arm writes
+                        stem.<profile>.<policy>.csv
+  --events-out=PATH     write structured JSONL run telemetry (manifest,
+                        intervals, repartitions, barrier stalls, migrations,
+                        run end); batch arms share the file, tagged by arm
+  --trace-out=PATH      write a Chrome trace-event timeline (open in
+                        https://ui.perfetto.dev); in batch mode PATH is a
+                        stem and each arm writes stem.<profile>.<policy>.json
+  --metrics             print the metrics-registry rollup after the run
   --quiet               print only the one-line summary
   --help
 )");
@@ -108,6 +121,33 @@ std::vector<std::string> split_list(std::string_view v) {
   return items;
 }
 
+/// Batch output files derive from a stem: "runs.csv" -> "runs", so arm files
+/// become runs.<profile>.<policy>.csv rather than runs.csv.cg.model.csv.
+std::string strip_suffix(std::string path, std::string_view suffix) {
+  if (path.size() > suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    path.resize(path.size() - suffix.size());
+  }
+  return path;
+}
+
+/// "cg/model" -> "cg.model" (arm keys become file-name fragments).
+std::string arm_file_fragment(std::string arm) {
+  for (char& ch : arm) {
+    if (ch == '/') ch = '.';
+  }
+  return arm;
+}
+
+bool open_or_die(std::ofstream& os, const std::string& path) {
+  os.open(path);
+  if (!os.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,6 +159,9 @@ int main(int argc, char** argv) {
   bool had_policy_flag = false;
   unsigned jobs = 0;
   std::string csv_path;
+  std::string events_path;
+  std::string trace_path;
+  bool want_metrics = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -160,6 +203,9 @@ int main(int argc, char** argv) {
       }
     } else if (key == "--private-l2") cfg.enable_private_l2 = true;
     else if (key == "--csv") csv_path = std::string(value);
+    else if (key == "--events-out") events_path = std::string(value);
+    else if (key == "--trace-out") trace_path = std::string(value);
+    else if (key == "--metrics") want_metrics = true;
     else if (key == "--quiet") quiet = true;
     else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
@@ -181,10 +227,11 @@ int main(int argc, char** argv) {
   // Several profiles and/or policies: run the cross product as a batch and
   // print one summary row per arm instead of the single-run detail view.
   if (profiles.size() * policies.size() > 1) {
-    if (!csv_path.empty()) {
-      std::fprintf(stderr, "--csv only applies to a single run\n");
-      usage(2);
+    std::unique_ptr<obs::JsonlSink> sink;
+    if (!events_path.empty()) {
+      sink = std::make_unique<obs::JsonlSink>(events_path);
     }
+    obs::MetricsRegistry metrics;
     sim::ExperimentSpec spec;
     spec.name = "capart_sim";
     for (const std::string& profile : profiles) {
@@ -192,11 +239,15 @@ int main(int argc, char** argv) {
         sim::ExperimentConfig arm = cfg;
         arm.profile = profile;
         arm.policy = policy;
+        arm.obs.sink = sink.get();
+        arm.obs.metrics = want_metrics ? &metrics : nullptr;
+        arm.obs.run_name = profile + "/" + policy_name;
         spec.add(profile + "/" + policy_name, std::move(arm));
       }
     }
     const sim::BatchRunner runner(jobs);
     const sim::BatchResult batch = runner.run(spec);
+    if (sink != nullptr) sink->flush();
     report::Table table({"arm", "cycles", "instructions", "wall-CPI", "wall"});
     for (const sim::ArmOutcome& arm : batch.arms) {
       const double arm_cpi =
@@ -212,14 +263,57 @@ int main(int argc, char** argv) {
       table.print(std::cout);
       std::cout << "\n";
     }
+    // Per-arm interval CSVs / Chrome traces: the flag value is a stem, one
+    // file per arm (stem.<profile>.<policy>.csv / .json).
+    if (!csv_path.empty()) {
+      const std::string stem = strip_suffix(csv_path, ".csv");
+      for (const sim::ArmOutcome& arm : batch.arms) {
+        const std::string path =
+            stem + "." + arm_file_fragment(arm.name) + ".csv";
+        std::ofstream os;
+        if (!open_or_die(os, path)) return 1;
+        report::write_interval_csv(os, arm.result.intervals);
+      }
+      if (!quiet) {
+        std::cout << "per-interval CSVs written to " << stem
+                  << ".<profile>.<policy>.csv\n";
+      }
+    }
+    if (!trace_path.empty()) {
+      const std::string stem = strip_suffix(trace_path, ".json");
+      for (const sim::ArmOutcome& arm : batch.arms) {
+        const std::string path =
+            stem + "." + arm_file_fragment(arm.name) + ".json";
+        std::ofstream os;
+        if (!open_or_die(os, path)) return 1;
+        obs::write_chrome_trace(os, arm.result.intervals, arm.name);
+      }
+      if (!quiet) {
+        std::cout << "Chrome traces written to " << stem
+                  << ".<profile>.<policy>.json\n";
+      }
+    }
     report::print_batch_summary(std::cout, batch,
                                 {.list_arms = false, .slowest = 0});
+    if (want_metrics) {
+      std::cout << "\n";
+      metrics.print_rollup(std::cout);
+    }
     return 0;
   }
 
   cfg.profile = profiles.front();
   cfg.policy = policies.front().second;
+  std::unique_ptr<obs::JsonlSink> sink;
+  if (!events_path.empty()) {
+    sink = std::make_unique<obs::JsonlSink>(events_path);
+    cfg.obs.sink = sink.get();
+  }
+  obs::MetricsRegistry metrics;
+  if (want_metrics) cfg.obs.metrics = &metrics;
+  cfg.obs.run_name = cfg.profile + "/" + policies.front().first;
   const sim::ExperimentResult r = sim::run_experiment(cfg);
+  if (sink != nullptr) sink->flush();
 
   const double total_cpi =
       static_cast<double>(r.outcome.total_cycles) /
@@ -259,31 +353,29 @@ int main(int argc, char** argv) {
   }
 
   if (!csv_path.empty()) {
-    std::ofstream os(csv_path);
-    if (!os.is_open()) {
-      std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
-      return 1;
-    }
-    std::vector<std::string> header = {"interval"};
-    for (ThreadId t = 0; t < cfg.num_threads; ++t) {
-      const std::string id = std::to_string(t + 1);
-      header.push_back("t" + id + "_ways");
-      header.push_back("t" + id + "_cpi");
-      header.push_back("t" + id + "_l2_misses");
-    }
-    report::write_csv_row(os, header);
-    for (const auto& rec : r.intervals) {
-      std::vector<std::string> row = {std::to_string(rec.index + 1)};
-      for (const auto& t : rec.threads) {
-        row.push_back(std::to_string(t.ways));
-        row.push_back(report::fmt(t.cpi(), 4));
-        row.push_back(std::to_string(t.l2_misses));
-      }
-      report::write_csv_row(os, row);
-    }
+    std::ofstream os;
+    if (!open_or_die(os, csv_path)) return 1;
+    report::write_interval_csv(os, r.intervals);
     if (!quiet) {
       std::cout << "per-interval series written to " << csv_path << "\n";
     }
+  }
+  if (!trace_path.empty()) {
+    std::ofstream os;
+    if (!open_or_die(os, trace_path)) return 1;
+    obs::write_chrome_trace(os, r.intervals, cfg.obs.run_name);
+    if (!quiet) {
+      std::cout << "Chrome trace written to " << trace_path
+                << " (open in https://ui.perfetto.dev)\n";
+    }
+  }
+  if (!events_path.empty() && !quiet) {
+    std::cout << "events written to " << events_path << " ("
+              << sink->events_written() << " events)\n";
+  }
+  if (want_metrics) {
+    std::cout << "\n";
+    metrics.print_rollup(std::cout);
   }
   return 0;
 }
