@@ -46,6 +46,12 @@ BenchOptions parse_options(int argc, char** argv) {
       opt.threads = static_cast<ThreadId>(parse_u64(value, "--threads"));
     } else if (key == "--seed") {
       opt.seed = parse_u64(value, "--seed");
+    } else if (key == "--l2-repl") {
+      if (!mem::parse_replacement(value, opt.l2_repl)) {
+        std::fprintf(stderr,
+                     "invalid value for --l2-repl: want lru, plru or srrip\n");
+        std::exit(2);
+      }
     } else if (key == "--jobs") {
       opt.jobs = static_cast<unsigned>(parse_u64(value, "--jobs"));
       if (opt.jobs == 0) {
@@ -62,7 +68,9 @@ BenchOptions parse_options(int argc, char** argv) {
       std::printf(
           "flags: --intervals=N --interval-instr=N --threads=N --seed=N "
           "--jobs=N\n"
-          "       --events-out=PATH --trace-out=STEM --csv=STEM\n"
+          "       --l2-repl=lru|plru|srrip --events-out=PATH "
+          "--trace-out=STEM --csv=STEM\n"
+          "  --l2-repl=NAME  shared-L2 replacement policy (default lru)\n"
           "  --jobs=N  run up to N experiments concurrently (default: all "
           "cores);\n"
           "            results are bit-identical for any value\n"
@@ -97,6 +105,7 @@ sim::ExperimentConfig base_config(const BenchOptions& opt,
   cfg.num_intervals = opt.intervals;
   cfg.interval_instructions = resolved_interval_instructions(opt);
   cfg.seed = opt.seed;
+  cfg.l2.repl = opt.l2_repl;
   return cfg;
 }
 

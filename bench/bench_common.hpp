@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/mem/replacement.hpp"
 #include "src/sim/batch.hpp"
 #include "src/sim/experiment.hpp"
 
@@ -39,6 +40,9 @@ struct BenchOptions {
   ThreadId threads = 4;
   std::uint64_t seed = 42;
   unsigned jobs = 0;  // 0 -> sim::default_jobs()
+  /// Shared-L2 replacement policy (--l2-repl=lru|plru|srrip). True LRU is
+  /// the paper-faithful default; abl_replacement sweeps the others.
+  mem::ReplacementKind l2_repl = mem::ReplacementKind::kTrueLru;
   /// Observability outputs (empty = off); see the header comment.
   std::string events_out;
   std::string trace_out;

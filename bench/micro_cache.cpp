@@ -2,8 +2,11 @@
 // paths, since the simulator's throughput bounds every experiment above.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "src/common/rng.hpp"
 #include "src/mem/partitioned_cache.hpp"
+#include "src/mem/replacement.hpp"
 #include "src/mem/set_assoc_cache.hpp"
 
 namespace {
@@ -64,6 +67,56 @@ void BM_PartitionedMissGlobalLru(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PartitionedMissGlobalLru);
+
+// Per-access cost per replacement policy, hit and miss paths, at the
+// paper's 64-way shared-L2 associativity. Arg 0 selects the policy
+// (0 = lru, 1 = plru, 2 = srrip). The LRU miss path is the number to watch:
+// it used to rescan 64 per-line stamps per victim search; the recency
+// permutation finds the victim without the stamp scan.
+mem::CacheGeometry repl_geometry(std::int64_t arg) {
+  return {.sets = 256,
+          .ways = 64,
+          .line_bytes = 64,
+          .repl = mem::kAllReplacementKinds[static_cast<std::size_t>(arg)]};
+}
+
+void repl_arg_name(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"repl"})->Arg(0)->Arg(1)->Arg(2);
+}
+
+void BM_ReplacementHit(benchmark::State& state) {
+  mem::PartitionedCache cache(repl_geometry(state.range(0)), 4,
+                              mem::PartitionMode::kEvictionControl);
+  cache.access(0, 0, AccessType::kRead);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(0, 0, AccessType::kRead));
+  }
+}
+BENCHMARK(BM_ReplacementHit)->Apply(repl_arg_name);
+
+void BM_ReplacementMissEvictionControl(benchmark::State& state) {
+  mem::PartitionedCache cache(repl_geometry(state.range(0)), 4,
+                              mem::PartitionMode::kEvictionControl);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto tid = static_cast<ThreadId>(rng.below(4));
+    benchmark::DoNotOptimize(
+        cache.access(tid, rng.below(1u << 24) * 64, AccessType::kRead));
+  }
+}
+BENCHMARK(BM_ReplacementMissEvictionControl)->Apply(repl_arg_name);
+
+void BM_ReplacementMissGlobal(benchmark::State& state) {
+  mem::PartitionedCache cache(repl_geometry(state.range(0)), 4,
+                              mem::PartitionMode::kUnpartitioned);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto tid = static_cast<ThreadId>(rng.below(4));
+    benchmark::DoNotOptimize(
+        cache.access(tid, rng.below(1u << 24) * 64, AccessType::kRead));
+  }
+}
+BENCHMARK(BM_ReplacementMissGlobal)->Apply(repl_arg_name);
 
 void BM_Retarget(benchmark::State& state) {
   mem::PartitionedCache cache({.sets = 256, .ways = 64, .line_bytes = 64}, 4,

@@ -6,6 +6,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/types.hpp"
+#include "src/mem/replacement.hpp"
 
 namespace capart::mem {
 
@@ -19,6 +20,10 @@ struct CacheGeometry {
   std::uint32_t sets = 256;
   std::uint32_t ways = 64;
   std::uint32_t line_bytes = 64;
+  /// Replacement policy of the structure. True LRU is the paper-faithful
+  /// default; tree-PLRU and SRRIP are hardware-realism alternatives (the
+  /// abl_replacement ablation). Not part of the address decomposition.
+  ReplacementKind repl = ReplacementKind::kTrueLru;
 
   constexpr std::uint64_t size_bytes() const noexcept {
     return static_cast<std::uint64_t>(sets) * ways * line_bytes;

@@ -1,0 +1,214 @@
+#include "src/mem/cache_core.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace capart::mem {
+
+std::string_view to_string(PartitionEnforcement enforcement) noexcept {
+  switch (enforcement) {
+    case PartitionEnforcement::kNone: return "none";
+    case PartitionEnforcement::kWayEvictionControl: return "eviction-control";
+    case PartitionEnforcement::kWayFlushReconfigure: return "flush-reconfigure";
+    case PartitionEnforcement::kSetColoring: return "set-coloring";
+  }
+  return "unknown";
+}
+
+CacheCore::CacheCore(const CacheGeometry& geometry, ThreadId num_threads,
+                     PartitionEnforcement enforcement)
+    : geometry_(geometry),
+      num_threads_(num_threads),
+      enforcement_(enforcement),
+      stats_(num_threads) {
+  geometry_.validate();
+  CAPART_CHECK(num_threads_ > 0, "cache core needs >= 1 thread");
+  const std::size_t lines =
+      static_cast<std::size_t>(geometry_.sets) * geometry_.ways;
+  repl_ = make_replacement(geometry_.repl, geometry_.sets, geometry_.ways);
+  blocks_.assign(lines, 0);
+  owner_.assign(lines, kNoThread);
+  last_accessor_.assign(lines, kNoThread);
+  valid_.assign(lines, 0);
+  dirty_.assign(lines, 0);
+  owned_.assign(static_cast<std::size_t>(geometry_.sets) * num_threads_, 0);
+  // Start from an equal split (paper Fig 13 initialization). Recorded in all
+  // modes so current_targets() reads sensibly even without enforcement.
+  targets_.assign(num_threads_, geometry_.ways / num_threads_);
+  std::uint32_t leftover = geometry_.ways % num_threads_;
+  for (std::uint32_t t = 0; t < leftover; ++t) targets_[t] += 1;
+}
+
+void CacheCore::set_targets(std::span<const std::uint32_t> targets) {
+  CAPART_CHECK(enforcement_ == PartitionEnforcement::kWayEvictionControl ||
+                   enforcement_ == PartitionEnforcement::kWayFlushReconfigure,
+               "set_targets is only meaningful with eviction control");
+  CAPART_CHECK(targets.size() == num_threads_,
+               "one way target per thread required");
+  std::uint32_t sum = 0;
+  for (std::uint32_t t : targets) {
+    CAPART_CHECK(t >= 1, "every thread must keep at least one way");
+    sum += t;
+  }
+  CAPART_CHECK(sum == geometry_.ways, "way targets must sum to total ways");
+
+  flushed_on_last_retarget_ = 0;
+  if (enforcement_ == PartitionEnforcement::kWayFlushReconfigure) {
+    // Reconfiguration removes ways from the shrinking threads immediately:
+    // in every set, each shrinking thread loses its replacement-policy
+    // victims (its LRU lines, under true LRU) down to the new target — the
+    // data loss §V argues against. The gradual mechanism
+    // (kWayEvictionControl) never flushes.
+    bool any = false;
+    for (ThreadId t = 0; t < num_threads_; ++t) {
+      any = any || targets[t] < targets_[t];
+    }
+    if (any) {
+      for (std::uint32_t s = 0; s < geometry_.sets; ++s) {
+        const std::size_t base = line_index(s, 0);
+        for (ThreadId t = 0; t < num_threads_; ++t) {
+          if (targets[t] >= targets_[t]) continue;
+          while (owned(s, t) > targets[t]) {
+            const ReplacementPolicy::Eligible own_lines{
+                .valid = &valid_[base],
+                .owner = &owner_[base],
+                .scope = ReplacementPolicy::Eligible::Scope::kOwnedBy,
+                .thread = t};
+            const std::uint32_t way = repl_->victim(s, own_lines);
+            valid_[base + way] = 0;
+            owned(s, t) -= 1;
+            ++flushed_on_last_retarget_;
+          }
+        }
+      }
+    }
+  }
+  targets_.assign(targets.begin(), targets.end());
+}
+
+std::uint32_t CacheCore::choose_victim(std::uint32_t set, ThreadId thread) {
+  const std::size_t base = line_index(set, 0);
+  const std::uint8_t* valid = &valid_[base];
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (valid[w] == 0) return w;
+  }
+
+  // All lines valid: ask the replacement policy within the enforcement scope.
+  using Scope = ReplacementPolicy::Eligible::Scope;
+  Scope scope = Scope::kAnyValid;
+  if (enforcement_ == PartitionEnforcement::kWayEvictionControl ||
+      enforcement_ == PartitionEnforcement::kWayFlushReconfigure) {
+    // §V eviction control. All lines are valid here, so if the thread is
+    // below target a foreign line must exist (owned < target <= ways), and
+    // at-or-above target it owns at least one line (target >= 1); the
+    // fallbacks are defensive.
+    const std::uint32_t own = owned(set, thread);
+    if (own < targets_[thread]) {
+      scope = own < geometry_.ways ? Scope::kNotOwnedBy : Scope::kOwnedBy;
+    } else {
+      scope = own > 0 ? Scope::kOwnedBy : Scope::kAnyValid;
+    }
+  }
+  const ReplacementPolicy::Eligible eligible{.valid = valid,
+                                             .owner = &owner_[base],
+                                             .scope = scope,
+                                             .thread = thread};
+  return repl_->victim(set, eligible);
+}
+
+CacheCore::AccessResult CacheCore::access(ThreadId thread, Addr addr,
+                                          AccessType type) {
+  const std::uint64_t block = geometry_.block_of(addr);
+  return access_in_set(thread, block, geometry_.set_of_block(block), type);
+}
+
+CacheCore::AccessResult CacheCore::access_in_set(ThreadId thread,
+                                                 std::uint64_t block,
+                                                 std::uint32_t set,
+                                                 AccessType type) {
+  CAPART_CHECK(thread < num_threads_, "thread id out of range");
+  ThreadCacheCounters& mine = stats_.thread(thread);
+  ++mine.accesses;
+
+  const std::size_t base = line_index(set, 0);
+  const std::uint64_t* blocks = &blocks_[base];
+  const std::uint8_t* valid = &valid_[base];
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (valid[w] != 0 && blocks[w] == block) {
+      AccessResult result{.hit = true};
+      ++mine.hits;
+      if (last_accessor_[base + w] != thread) {
+        result.inter_thread_hit = true;
+        ++mine.inter_thread_hits;
+      }
+      repl_->on_hit(set, w);
+      last_accessor_[base + w] = thread;
+      if (type == AccessType::kWrite) dirty_[base + w] = 1;
+      return result;
+    }
+  }
+
+  // Miss: choose a victim under the replacement policy and fill.
+  ++mine.misses;
+  AccessResult result{};
+  const std::uint32_t way = choose_victim(set, thread);
+  const std::size_t idx = base + way;
+  if (valid_[idx] != 0) {
+    owned(set, owner_[idx]) -= 1;
+    if (dirty_[idx] != 0) ++mine.writebacks;
+    if (last_accessor_[idx] != thread) {
+      result.inter_thread_eviction = true;
+      ++mine.inter_thread_evictions_caused;
+      ++stats_.thread(last_accessor_[idx]).inter_thread_evictions_suffered;
+    } else {
+      ++mine.intra_thread_evictions;
+    }
+  }
+  valid_[idx] = 1;
+  blocks_[idx] = block;
+  owner_[idx] = thread;
+  last_accessor_[idx] = thread;
+  dirty_[idx] = (type == AccessType::kWrite) ? 1 : 0;
+  owned(set, thread) += 1;
+  repl_->on_fill(set, way);
+  return result;
+}
+
+void CacheCore::flush() {
+  std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+  std::fill(owned_.begin(), owned_.end(), std::uint16_t{0});
+  repl_->reset();
+}
+
+bool CacheCore::contains(Addr addr) const noexcept {
+  const std::uint64_t block = geometry_.block_of(addr);
+  return contains_block_in_set(block, geometry_.set_of_block(block));
+}
+
+bool CacheCore::contains_block_in_set(std::uint64_t block,
+                                      std::uint32_t set) const noexcept {
+  const std::size_t base =
+      static_cast<std::size_t>(set) * geometry_.ways;
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (valid_[base + w] != 0 && blocks_[base + w] == block) return true;
+  }
+  return false;
+}
+
+std::uint32_t CacheCore::owned_in_set(std::uint32_t set,
+                                      ThreadId thread) const {
+  CAPART_CHECK(set < geometry_.sets && thread < num_threads_,
+               "owned_in_set: index out of range");
+  return owned(set, thread);
+}
+
+std::uint64_t CacheCore::owned_total(ThreadId thread) const {
+  CAPART_CHECK(thread < num_threads_, "owned_total: thread out of range");
+  std::uint64_t sum = 0;
+  for (std::uint32_t s = 0; s < geometry_.sets; ++s) sum += owned(s, thread);
+  return sum;
+}
+
+}  // namespace capart::mem

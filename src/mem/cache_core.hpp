@@ -1,0 +1,145 @@
+// The unified cache core behind every cache structure in the simulator.
+//
+// Historically `SetAssocCache`, `PartitionedCache`, and `SetPartitionedCache`
+// each carried their own stamp-scan LRU, victim loop, and statistics — three
+// copies of the hottest code in the simulator, and three places to touch for
+// any second replacement policy. The core factors the shared machinery into
+// one class along two orthogonal axes:
+//
+//   * replacement — a pluggable `ReplacementPolicy` (true LRU / tree-PLRU /
+//     SRRIP) with compact per-set metadata, selected via
+//     `CacheGeometry::repl`;
+//   * enforcement — how partitioning constrains victim choice
+//     (`PartitionEnforcement`): none, way partitioning by eviction control
+//     (paper §V), way partitioning by flush-reconfiguration (the alternative
+//     §V argues against), or set partitioning (the coloring wrapper maps
+//     blocks to sets itself and victimizes globally within the set).
+//
+// The legacy classes remain as thin wrappers with their exact historical
+// APIs; under true LRU the core reproduces their observable behaviour
+// bit-identically (stamps induced a total recency order; the recency
+// permutation is that same order stored compactly).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/mem/cache_config.hpp"
+#include "src/mem/cache_stats.hpp"
+#include "src/mem/replacement.hpp"
+
+namespace capart::mem {
+
+/// How partitioning constrains the victim search.
+enum class PartitionEnforcement : std::uint8_t {
+  /// Global replacement; targets are recorded but never enforced.
+  kNone,
+  /// Paper §V: a thread below its way target evicts the policy victim among
+  /// *foreign* lines, a thread at/above target among its *own* lines. The
+  /// partition drifts toward the targets; no line is ever flushed.
+  kWayEvictionControl,
+  /// Retargeting immediately invalidates the shrinking threads' policy
+  /// victims down to the new per-set target ("considerable loss of data
+  /// during the reconfiguration"); replacement otherwise behaves like
+  /// eviction control.
+  kWayFlushReconfigure,
+  /// Set partitioning: isolation comes from the caller's block->set mapping
+  /// (page coloring), so victim choice within a set is unconstrained.
+  kSetColoring,
+};
+
+std::string_view to_string(PartitionEnforcement enforcement) noexcept;
+
+class CacheCore {
+ public:
+  struct AccessResult {
+    bool hit = false;
+    /// Previous toucher of the line differed (hit) — constructive sharing.
+    bool inter_thread_hit = false;
+    /// A valid line last touched by another thread was evicted.
+    bool inter_thread_eviction = false;
+  };
+
+  /// The replacement policy is taken from `geometry.repl`.
+  CacheCore(const CacheGeometry& geometry, ThreadId num_threads,
+            PartitionEnforcement enforcement);
+
+  /// One access by `thread` to the set `geometry().set_of_block(block)`.
+  AccessResult access(ThreadId thread, Addr addr, AccessType type);
+
+  /// One access with a caller-supplied set index (the coloring wrapper maps
+  /// blocks to sets through page ownership instead of the address bits).
+  AccessResult access_in_set(ThreadId thread, std::uint64_t block,
+                             std::uint32_t set, AccessType type);
+
+  /// Installs new per-thread way targets (one per thread, each >= 1, summing
+  /// to the way count). Only meaningful under way enforcement; under
+  /// kWayFlushReconfigure shrinking threads immediately lose their policy
+  /// victims down to the new per-set target.
+  void set_targets(std::span<const std::uint32_t> targets);
+
+  /// Lines invalidated by the most recent set_targets() (always 0 outside
+  /// kWayFlushReconfigure).
+  std::uint64_t flushed_on_last_retarget() const noexcept {
+    return flushed_on_last_retarget_;
+  }
+
+  /// Drops all contents and replacement state (stats are kept).
+  void flush();
+
+  /// True when `block` is resident in the address-mapped set.
+  bool contains(Addr addr) const noexcept;
+
+  /// True when `block` is resident in `set` (coloring wrapper lookup).
+  bool contains_block_in_set(std::uint64_t block,
+                             std::uint32_t set) const noexcept;
+
+  /// Lines currently owned by `thread` in set `set` (test/introspection).
+  std::uint32_t owned_in_set(std::uint32_t set, ThreadId thread) const;
+
+  /// Lines currently owned by `thread` across all sets.
+  std::uint64_t owned_total(ThreadId thread) const;
+
+  std::span<const std::uint32_t> targets() const noexcept { return targets_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+  const CacheGeometry& geometry() const noexcept { return geometry_; }
+  ThreadId num_threads() const noexcept { return num_threads_; }
+  PartitionEnforcement enforcement() const noexcept { return enforcement_; }
+  ReplacementKind replacement_kind() const noexcept { return repl_->kind(); }
+
+ private:
+  std::size_t line_index(std::uint32_t set, std::uint32_t way) const noexcept {
+    return static_cast<std::size_t>(set) * geometry_.ways + way;
+  }
+  std::uint16_t& owned(std::uint32_t set, ThreadId t) noexcept {
+    return owned_[static_cast<std::size_t>(set) * num_threads_ + t];
+  }
+  std::uint16_t owned(std::uint32_t set, ThreadId t) const noexcept {
+    return owned_[static_cast<std::size_t>(set) * num_threads_ + t];
+  }
+
+  /// Victim way for a miss by `thread` in `set`: first invalid way, else the
+  /// replacement policy's pick within the enforcement-permitted scope.
+  std::uint32_t choose_victim(std::uint32_t set, ThreadId thread);
+
+  CacheGeometry geometry_;
+  ThreadId num_threads_;
+  PartitionEnforcement enforcement_;
+  std::unique_ptr<ReplacementPolicy> repl_;
+  // Line storage, struct-of-arrays, set-major (`sets * ways` each): the hit
+  // scan touches only blocks_/valid_, the victim filter only valid_/owner_.
+  std::vector<std::uint64_t> blocks_;
+  std::vector<ThreadId> owner_;          ///< inserting thread
+  std::vector<ThreadId> last_accessor_;  ///< most recent toucher
+  std::vector<std::uint8_t> valid_;
+  std::vector<std::uint8_t> dirty_;      ///< eviction costs a writeback
+  std::vector<std::uint16_t> owned_;     // sets * num_threads
+  std::vector<std::uint32_t> targets_;
+  CacheStats stats_;
+  std::uint64_t flushed_on_last_retarget_ = 0;
+};
+
+}  // namespace capart::mem

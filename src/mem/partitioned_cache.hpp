@@ -6,28 +6,34 @@
 // thread (owner = thread that inserted the line). When thread t misses:
 //
 //   * if the set holds an invalid line, it is used;
-//   * else if owned[set][t] < target[t], the LRU line owned by some *other*
-//     thread is evicted (the partition grows toward its target gradually);
-//   * else the LRU line owned by t itself is evicted.
+//   * else if owned[set][t] < target[t], the replacement victim among lines
+//     owned by some *other* thread is evicted (the partition grows toward
+//     its target gradually);
+//   * else the replacement victim among t's own lines is evicted.
 //
 // Hits are unrestricted — any thread may hit on any line, wherever it lives —
 // so constructive inter-thread sharing is preserved while destructive
 // inter-thread evictions are controlled. In Unpartitioned mode the cache is
-// plain global LRU (the paper's "shared cache with no partitions" baseline).
+// plain global replacement (the paper's "shared cache with no partitions"
+// baseline). The paper assumes true LRU; `CacheGeometry::repl` swaps in
+// tree-PLRU or SRRIP for the hardware-realism ablation.
+//
+// This is a thin facade over `CacheCore` with the way-enforcement modes.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
+#include "src/common/check.hpp"
 #include "src/common/types.hpp"
 #include "src/mem/cache_config.hpp"
+#include "src/mem/cache_core.hpp"
 #include "src/mem/cache_stats.hpp"
 
 namespace capart::mem {
 
 enum class PartitionMode : std::uint8_t {
-  kUnpartitioned,     ///< global LRU, targets ignored
+  kUnpartitioned,     ///< global replacement, targets ignored
   kEvictionControl,   ///< paper §V way partitioning
   /// The reconfigurable-cache alternative §V argues *against*: retargeting
   /// immediately removes ways from shrinking threads, flushing their LRU
@@ -38,22 +44,32 @@ enum class PartitionMode : std::uint8_t {
   kFlushReconfigure,
 };
 
+constexpr PartitionEnforcement to_enforcement(PartitionMode mode) noexcept {
+  switch (mode) {
+    case PartitionMode::kUnpartitioned: return PartitionEnforcement::kNone;
+    case PartitionMode::kEvictionControl:
+      return PartitionEnforcement::kWayEvictionControl;
+    case PartitionMode::kFlushReconfigure:
+      return PartitionEnforcement::kWayFlushReconfigure;
+  }
+  return PartitionEnforcement::kNone;
+}
+
 class PartitionedCache {
  public:
-  PartitionedCache(const CacheGeometry& geometry, ThreadId num_threads,
-                   PartitionMode mode);
+  using AccessResult = CacheCore::AccessResult;
 
-  struct AccessResult {
-    bool hit = false;
-    /// Previous toucher of the line differed (hit) — constructive sharing.
-    bool inter_thread_hit = false;
-    /// A valid line last touched by another thread was evicted.
-    bool inter_thread_eviction = false;
-  };
+  PartitionedCache(const CacheGeometry& geometry, ThreadId num_threads,
+                   PartitionMode mode)
+      : mode_(mode),
+        core_(checked(geometry, num_threads), num_threads,
+              to_enforcement(mode)) {}
 
   /// Performs one access by `thread`, filling on miss per the replacement
   /// policy described above. Updates interaction statistics.
-  AccessResult access(ThreadId thread, Addr addr, AccessType type);
+  AccessResult access(ThreadId thread, Addr addr, AccessType type) {
+    return core_.access(thread, addr, type);
+  }
 
   /// Installs new per-thread way targets. Requires one entry per thread, each
   /// at least 1, summing exactly to the way count. Under kEvictionControl no
@@ -61,62 +77,51 @@ class PartitionedCache {
   /// replacements; under kFlushReconfigure shrinking threads immediately
   /// lose their LRU lines down to the new per-set target. Invalid in
   /// kUnpartitioned mode.
-  void set_targets(std::span<const std::uint32_t> targets);
+  void set_targets(std::span<const std::uint32_t> targets) {
+    core_.set_targets(targets);
+  }
 
   /// Lines invalidated by the most recent set_targets() (always 0 outside
   /// kFlushReconfigure); the runtime charges reconfiguration stall for them.
   std::uint64_t flushed_on_last_retarget() const noexcept {
-    return flushed_on_last_retarget_;
+    return core_.flushed_on_last_retarget();
   }
 
-  std::span<const std::uint32_t> targets() const noexcept { return targets_; }
+  std::span<const std::uint32_t> targets() const noexcept {
+    return core_.targets();
+  }
   PartitionMode mode() const noexcept { return mode_; }
-  const CacheGeometry& geometry() const noexcept { return geometry_; }
-  ThreadId num_threads() const noexcept { return num_threads_; }
-  const CacheStats& stats() const noexcept { return stats_; }
+  const CacheGeometry& geometry() const noexcept { return core_.geometry(); }
+  ThreadId num_threads() const noexcept { return core_.num_threads(); }
+  const CacheStats& stats() const noexcept { return core_.stats(); }
+  ReplacementKind replacement_kind() const noexcept {
+    return core_.replacement_kind();
+  }
 
   /// Lines currently owned by `thread` in set `set` (test/introspection).
-  std::uint32_t owned_in_set(std::uint32_t set, ThreadId thread) const;
+  std::uint32_t owned_in_set(std::uint32_t set, ThreadId thread) const {
+    return core_.owned_in_set(set, thread);
+  }
 
   /// Lines currently owned by `thread` across all sets.
-  std::uint64_t owned_total(ThreadId thread) const;
+  std::uint64_t owned_total(ThreadId thread) const {
+    return core_.owned_total(thread);
+  }
 
   /// True when the block containing `addr` is resident (any owner).
-  bool contains(Addr addr) const noexcept;
+  bool contains(Addr addr) const noexcept { return core_.contains(addr); }
 
  private:
-  struct Line {
-    std::uint64_t block = 0;
-    std::uint64_t stamp = 0;
-    ThreadId owner = kNoThread;          ///< inserting thread
-    ThreadId last_accessor = kNoThread;  ///< most recent toucher
-    bool valid = false;
-    bool dirty = false;  ///< written since fill; eviction costs a writeback
-  };
-
-  Line* set_base(std::uint32_t set) noexcept {
-    return &lines_[static_cast<std::size_t>(set) * geometry_.ways];
-  }
-  const Line* set_base(std::uint32_t set) const noexcept {
-    return &lines_[static_cast<std::size_t>(set) * geometry_.ways];
-  }
-  std::uint16_t& owned(std::uint32_t set, ThreadId t) noexcept {
-    return owned_[static_cast<std::size_t>(set) * num_threads_ + t];
+  static const CacheGeometry& checked(const CacheGeometry& geometry,
+                                      ThreadId num_threads) {
+    CAPART_CHECK(num_threads > 0, "partitioned cache needs >= 1 thread");
+    CAPART_CHECK(num_threads <= geometry.ways,
+                 "more threads than ways: cannot guarantee 1 way per thread");
+    return geometry;
   }
 
-  /// Victim choice for a miss by `thread` in `set`; never returns a line that
-  /// holds the missing block (it is absent by precondition).
-  Line* choose_victim(std::uint32_t set, ThreadId thread);
-
-  CacheGeometry geometry_;
-  ThreadId num_threads_;
   PartitionMode mode_;
-  std::vector<Line> lines_;            // sets * ways, set-major
-  std::vector<std::uint16_t> owned_;   // sets * num_threads
-  std::vector<std::uint32_t> targets_;
-  CacheStats stats_;
-  std::uint64_t tick_ = 0;
-  std::uint64_t flushed_on_last_retarget_ = 0;
+  CacheCore core_;
 };
 
 }  // namespace capart::mem

@@ -1,0 +1,145 @@
+// Pluggable replacement policies for the unified cache core.
+//
+// Every cache structure in the simulator (private L1s, the shared L2 in all
+// its partitioned organizations, the coloring cache's sets) victimizes
+// through one of these policies. The paper's §V mechanism assumes true LRU;
+// no real CMP implements true LRU at 64 ways, so the core also offers the
+// two approximations hardware actually ships — tree-PLRU and SRRIP — to ask
+// whether intra-application partitioning survives realistic replacement
+// (the abl_replacement ablation; cf. the reuse-aware partitioning and LFOC
+// lines of work in PAPERS.md).
+//
+// Partition enforcement composes with replacement through the `Eligible`
+// filter: the cache core restricts the victim search to a subset of ways
+// (foreign-owned, own, any) and the policy picks its preferred victim within
+// that subset. For true LRU this is exactly "the LRU line among the subset";
+// for PLRU and SRRIP it is the natural constrained generalization used by
+// way-partitioning hardware (mask the tree walk / the RRPV scan).
+//
+// Metadata is compact and per-set — a recency permutation (LRU), a node-bit
+// vector (PLRU), 2-bit RRPVs (SRRIP) — instead of the former per-line 64-bit
+// stamps, which forced a full 64-stamp rescan on every miss.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace capart::mem {
+
+/// Replacement policy of one cache structure. kTrueLru is the paper-faithful
+/// configuration; kTreePlru and kSrrip are the hardware-realism extensions.
+enum class ReplacementKind : std::uint8_t {
+  kTrueLru,
+  kTreePlru,
+  kSrrip,
+};
+
+std::string_view to_string(ReplacementKind kind) noexcept;
+
+/// Parses "lru" / "plru" / "srrip"; returns false on anything else.
+bool parse_replacement(std::string_view name, ReplacementKind& out) noexcept;
+
+/// All replacement kinds, in a stable order (for sweeps and tests).
+inline constexpr ReplacementKind kAllReplacementKinds[] = {
+    ReplacementKind::kTrueLru,
+    ReplacementKind::kTreePlru,
+    ReplacementKind::kSrrip,
+};
+
+/// Compact per-set recency order: for each set, the ways listed MRU -> LRU,
+/// plus the inverse permutation for O(1) position lookup. This is the shared
+/// true-LRU metadata of the cache core's LRU policy and the shadow-tag
+/// utility monitor (whose auxiliary directory is LRU by definition,
+/// whatever the main cache runs).
+class LruStack {
+ public:
+  LruStack(std::uint32_t sets, std::uint32_t ways);
+
+  /// Moves `way` to the MRU position of `set`.
+  void touch(std::uint32_t set, std::uint32_t way);
+
+  /// Recency position of `way` in `set`: 0 = MRU, ways-1 = LRU.
+  std::uint32_t depth_of(std::uint32_t set, std::uint32_t way) const noexcept {
+    return pos_[static_cast<std::size_t>(set) * ways_ + way];
+  }
+
+  /// The way at recency position `depth` of `set` (0 = MRU).
+  std::uint32_t way_at(std::uint32_t set, std::uint32_t depth) const noexcept {
+    return order_[static_cast<std::size_t>(set) * ways_ + depth];
+  }
+
+  /// Scans from the LRU end toward MRU and returns the first way satisfying
+  /// `pred`, or `ways()` when none does.
+  template <class Pred>
+  std::uint32_t find_from_lru(std::uint32_t set, Pred&& pred) const {
+    const std::uint16_t* order = &order_[static_cast<std::size_t>(set) * ways_];
+    for (std::uint32_t d = ways_; d-- > 0;) {
+      const std::uint32_t way = order[d];
+      if (pred(way)) return way;
+    }
+    return ways_;
+  }
+
+  /// Restores the initial identity order in every set.
+  void reset();
+
+  std::uint32_t ways() const noexcept { return ways_; }
+
+ private:
+  std::uint32_t ways_;
+  std::vector<std::uint16_t> order_;  // sets x ways, MRU first
+  std::vector<std::uint16_t> pos_;    // sets x ways, way -> position
+};
+
+/// Interface the cache core victimizes through.
+class ReplacementPolicy {
+ public:
+  /// Victim-eligibility filter: a way qualifies when its line is valid and
+  /// matches the ownership scope. The arrays view the candidate set's lines
+  /// (cache-core storage is set-major, so these are spans of `ways` entries).
+  struct Eligible {
+    enum class Scope : std::uint8_t { kAnyValid, kOwnedBy, kNotOwnedBy };
+
+    const std::uint8_t* valid = nullptr;
+    const ThreadId* owner = nullptr;
+    Scope scope = Scope::kAnyValid;
+    ThreadId thread = 0;
+
+    bool operator()(std::uint32_t way) const noexcept {
+      if (valid[way] == 0) return false;
+      switch (scope) {
+        case Scope::kAnyValid: return true;
+        case Scope::kOwnedBy: return owner[way] == thread;
+        case Scope::kNotOwnedBy: return owner[way] != thread;
+      }
+      return false;
+    }
+  };
+
+  virtual ~ReplacementPolicy() = default;
+
+  virtual ReplacementKind kind() const noexcept = 0;
+
+  /// A miss filled (set, way).
+  virtual void on_fill(std::uint32_t set, std::uint32_t way) = 0;
+
+  /// A hit touched (set, way).
+  virtual void on_hit(std::uint32_t set, std::uint32_t way) = 0;
+
+  /// Picks the replacement victim among the eligible ways of `set`. The
+  /// caller guarantees at least one way is eligible.
+  virtual std::uint32_t victim(std::uint32_t set, const Eligible& eligible) = 0;
+
+  /// Drops all recency state (cache flush).
+  virtual void reset() = 0;
+};
+
+std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind,
+                                                    std::uint32_t sets,
+                                                    std::uint32_t ways);
+
+}  // namespace capart::mem

@@ -1,51 +1,50 @@
-// Plain set-associative cache with true LRU replacement.
+// Plain set-associative cache (no partition enforcement).
 //
 // Used for the private per-core L1 caches and for the slices of the
 // private-L2 organization. Tag/data contents are not modeled — only presence
 // — because the simulator is trace-driven and the timing model needs hit/miss
-// outcomes only.
+// outcomes only. This is a thin single-thread facade over `CacheCore`; the
+// replacement policy comes from `CacheGeometry::repl` (true LRU by default).
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "src/common/types.hpp"
 #include "src/mem/cache_config.hpp"
+#include "src/mem/cache_core.hpp"
 
 namespace capart::mem {
 
 class SetAssocCache {
  public:
-  explicit SetAssocCache(const CacheGeometry& geometry);
+  explicit SetAssocCache(const CacheGeometry& geometry)
+      : core_(geometry, /*num_threads=*/1, PartitionEnforcement::kNone) {}
 
-  /// Looks up `addr`; on a miss the block is filled, evicting the set's LRU
-  /// line. Returns true on hit. Writes allocate like reads (write-allocate;
-  /// writeback traffic is not timed — see DESIGN.md timing model).
-  bool access(Addr addr, AccessType type);
+  /// Looks up `addr`; on a miss the block is filled, evicting the set's
+  /// replacement victim. Returns true on hit. Writes allocate like reads
+  /// (write-allocate; writeback traffic is not timed — see DESIGN.md timing
+  /// model).
+  bool access(Addr addr, AccessType type) {
+    return core_.access(/*thread=*/0, addr, type).hit;
+  }
 
   /// True when the block containing `addr` is currently resident.
-  bool contains(Addr addr) const noexcept;
+  bool contains(Addr addr) const noexcept { return core_.contains(addr); }
 
-  /// Drops all contents (stats are kept).
-  void flush();
+  /// Drops all contents and replacement state (stats are kept).
+  void flush() { core_.flush(); }
 
-  const CacheGeometry& geometry() const noexcept { return geometry_; }
-  std::uint64_t accesses() const noexcept { return accesses_; }
-  std::uint64_t hits() const noexcept { return hits_; }
-  std::uint64_t misses() const noexcept { return accesses_ - hits_; }
+  const CacheGeometry& geometry() const noexcept { return core_.geometry(); }
+  std::uint64_t accesses() const noexcept {
+    return core_.stats().thread(0).accesses;
+  }
+  std::uint64_t hits() const noexcept { return core_.stats().thread(0).hits; }
+  std::uint64_t misses() const noexcept {
+    return core_.stats().thread(0).misses;
+  }
 
  private:
-  struct Line {
-    std::uint64_t block = 0;
-    std::uint64_t stamp = 0;
-    bool valid = false;
-  };
-
-  CacheGeometry geometry_;
-  std::vector<Line> lines_;  // sets * ways, set-major
-  std::uint64_t tick_ = 0;
-  std::uint64_t accesses_ = 0;
-  std::uint64_t hits_ = 0;
+  CacheCore core_;
 };
 
 }  // namespace capart::mem

@@ -1,31 +1,39 @@
 #include "src/mem/set_partitioned_cache.hpp"
 
-#include <numeric>
+#include <algorithm>
 
 #include "src/common/check.hpp"
 
 namespace capart::mem {
 
+namespace {
+
+const CacheGeometry& checked(const CacheGeometry& geometry,
+                             ThreadId num_threads, std::uint32_t colors,
+                             std::uint32_t page_bytes) {
+  geometry.validate();
+  CAPART_CHECK(num_threads >= 1, "set-partitioned cache needs >= 1 thread");
+  CAPART_CHECK(colors >= num_threads, "need at least one color per thread");
+  CAPART_CHECK(colors <= geometry.sets && geometry.sets % colors == 0,
+               "colors must divide the set count");
+  CAPART_CHECK(page_bytes >= geometry.line_bytes &&
+                   page_bytes % geometry.line_bytes == 0,
+               "page size must be a multiple of the line size");
+  return geometry;
+}
+
+}  // namespace
+
 SetPartitionedCache::SetPartitionedCache(const CacheGeometry& geometry,
                                          ThreadId num_threads,
                                          std::uint32_t colors,
                                          std::uint32_t page_bytes)
-    : geometry_(geometry),
-      num_threads_(num_threads),
+    : num_threads_(num_threads),
       colors_(colors),
       sets_per_color_(geometry.sets / colors),
       blocks_per_page_(page_bytes / geometry.line_bytes),
-      stats_(num_threads) {
-  geometry_.validate();
-  CAPART_CHECK(num_threads_ >= 1, "set-partitioned cache needs >= 1 thread");
-  CAPART_CHECK(colors_ >= num_threads_,
-               "need at least one color per thread");
-  CAPART_CHECK(colors_ <= geometry_.sets && geometry_.sets % colors_ == 0,
-               "colors must divide the set count");
-  CAPART_CHECK(page_bytes >= geometry_.line_bytes &&
-                   page_bytes % geometry_.line_bytes == 0,
-               "page size must be a multiple of the line size");
-  lines_.resize(static_cast<std::size_t>(geometry_.sets) * geometry_.ways);
+      core_(checked(geometry, num_threads, colors, page_bytes), num_threads,
+            PartitionEnforcement::kSetColoring) {
   next_color_slot_.assign(num_threads_, 0);
   // Equal initial split, like the way-partitioned cache.
   targets_.assign(num_threads_, colors_ / num_threads_);
@@ -95,56 +103,11 @@ std::uint32_t SetPartitionedCache::set_of(std::uint64_t block,
 }
 
 SetPartitionedCache::AccessResult SetPartitionedCache::access(
-    ThreadId thread, Addr addr, AccessType /*type*/) {
+    ThreadId thread, Addr addr, AccessType type) {
   CAPART_CHECK(thread < num_threads_, "thread id out of range");
-  ++tick_;
-  ThreadCacheCounters& mine = stats_.thread(thread);
-  ++mine.accesses;
-
-  const std::uint64_t block = geometry_.block_of(addr);
+  const std::uint64_t block = geometry().block_of(addr);
   const PageInfo& info = page_of(thread, block);
-  const std::uint32_t set = set_of(block, info);
-  Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
-
-  Line* invalid = nullptr;
-  Line* lru = nullptr;
-  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.block == block) {
-      AccessResult result{.hit = true};
-      ++mine.hits;
-      if (line.last_accessor != thread) {
-        result.inter_thread_hit = true;
-        ++mine.inter_thread_hits;
-      }
-      line.stamp = tick_;
-      line.last_accessor = thread;
-      return result;
-    }
-    if (!line.valid) {
-      if (invalid == nullptr) invalid = &line;
-    } else if (lru == nullptr || line.stamp < lru->stamp) {
-      lru = &line;
-    }
-  }
-
-  ++mine.misses;
-  AccessResult result{};
-  Line* victim = invalid != nullptr ? invalid : lru;
-  if (victim->valid) {
-    if (victim->last_accessor != thread) {
-      result.inter_thread_eviction = true;
-      ++mine.inter_thread_evictions_caused;
-      ++stats_.thread(victim->last_accessor).inter_thread_evictions_suffered;
-    } else {
-      ++mine.intra_thread_evictions;
-    }
-  }
-  victim->valid = true;
-  victim->block = block;
-  victim->stamp = tick_;
-  victim->last_accessor = thread;
-  return result;
+  return core_.access_in_set(thread, block, set_of(block, info), type);
 }
 
 std::vector<std::uint32_t> SetPartitionedCache::colors_of(
@@ -154,15 +117,10 @@ std::vector<std::uint32_t> SetPartitionedCache::colors_of(
 }
 
 bool SetPartitionedCache::contains(Addr addr) const {
-  const std::uint64_t block = geometry_.block_of(addr);
+  const std::uint64_t block = geometry().block_of(addr);
   const auto it = pages_.find(block / blocks_per_page_);
   if (it == pages_.end()) return false;
-  const std::uint32_t set = set_of(block, it->second);
-  const Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
-  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    if (base[w].valid && base[w].block == block) return true;
-  }
-  return false;
+  return core_.contains_block_in_set(block, set_of(block, it->second));
 }
 
 }  // namespace capart::mem

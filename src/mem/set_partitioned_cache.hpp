@@ -21,6 +21,11 @@
 // cache — targets are counted in colors, and with colors == ways (the
 // default pairing of 64 colors with the 64-way cache) policies are reusable
 // unchanged. See SetPartitionedL2 for the L2Organization adapter.
+//
+// Only the page-coloring machinery lives here; line storage, replacement
+// (`CacheGeometry::repl`), and statistics delegate to `CacheCore` in its
+// kSetColoring mode, where isolation comes entirely from the block->set
+// mapping and victim choice within a set is unconstrained.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +35,7 @@
 
 #include "src/common/types.hpp"
 #include "src/mem/cache_config.hpp"
+#include "src/mem/cache_core.hpp"
 #include "src/mem/cache_stats.hpp"
 
 namespace capart::mem {
@@ -42,11 +48,7 @@ class SetPartitionedCache {
                       std::uint32_t colors = 64,
                       std::uint32_t page_bytes = 4096);
 
-  struct AccessResult {
-    bool hit = false;
-    bool inter_thread_hit = false;
-    bool inter_thread_eviction = false;
-  };
+  using AccessResult = CacheCore::AccessResult;
 
   AccessResult access(ThreadId thread, Addr addr, AccessType type);
 
@@ -57,8 +59,8 @@ class SetPartitionedCache {
   void set_targets(std::span<const std::uint32_t> targets);
 
   std::span<const std::uint32_t> targets() const noexcept { return targets_; }
-  const CacheStats& stats() const noexcept { return stats_; }
-  const CacheGeometry& geometry() const noexcept { return geometry_; }
+  const CacheStats& stats() const noexcept { return core_.stats(); }
+  const CacheGeometry& geometry() const noexcept { return core_.geometry(); }
   std::uint32_t colors() const noexcept { return colors_; }
 
   /// Colors currently assigned to `thread` (introspection/tests).
@@ -69,13 +71,6 @@ class SetPartitionedCache {
   bool contains(Addr addr) const;
 
  private:
-  struct Line {
-    std::uint64_t block = 0;
-    std::uint64_t stamp = 0;
-    ThreadId last_accessor = kNoThread;
-    bool valid = false;
-  };
-
   struct PageInfo {
     ThreadId owner = kNoThread;
     std::uint32_t color = 0;
@@ -91,7 +86,6 @@ class SetPartitionedCache {
   /// Page of a block, and the page's info (created on first touch).
   PageInfo& page_of(ThreadId toucher, std::uint64_t block);
 
-  CacheGeometry geometry_;
   ThreadId num_threads_;
   std::uint32_t colors_;
   std::uint32_t sets_per_color_;
@@ -101,9 +95,7 @@ class SetPartitionedCache {
   std::vector<std::vector<std::uint32_t>> thread_colors_;  // thread -> colors
   std::unordered_map<std::uint64_t, PageInfo> pages_;
   std::vector<std::uint64_t> next_color_slot_;  // round-robin per thread
-  std::vector<Line> lines_;                  // sets * ways
-  CacheStats stats_;
-  std::uint64_t tick_ = 0;
+  CacheCore core_;
 };
 
 }  // namespace capart::mem

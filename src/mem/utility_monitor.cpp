@@ -15,9 +15,14 @@ UtilityMonitor::UtilityMonitor(const CacheGeometry& geometry,
   CAPART_CHECK(num_threads_ >= 1, "utility monitor needs >= 1 thread");
   CAPART_CHECK(sampled_sets_ >= 1,
                "sampling shift leaves no sets to monitor");
-  shadow_.assign(num_threads_,
-                 std::vector<ShadowLine>(
-                     static_cast<std::size_t>(sampled_sets_) * geometry_.ways));
+  const std::size_t lines =
+      static_cast<std::size_t>(sampled_sets_) * geometry_.ways;
+  shadow_blocks_.assign(num_threads_, std::vector<std::uint64_t>(lines, 0));
+  shadow_valid_.assign(num_threads_, std::vector<std::uint8_t>(lines, 0));
+  shadow_order_.reserve(num_threads_);
+  for (ThreadId t = 0; t < num_threads_; ++t) {
+    shadow_order_.emplace_back(sampled_sets_, geometry_.ways);
+  }
   depth_hits_.assign(num_threads_,
                      std::vector<std::uint64_t>(geometry_.ways, 0));
   accesses_.assign(num_threads_, 0);
@@ -41,42 +46,40 @@ void UtilityMonitor::observe(ThreadId thread, Addr addr) {
   std::uint32_t shadow_set = 0;
   if (!sampled(block, shadow_set)) return;
 
-  ++tick_;
   ++accesses_[thread];
-  ShadowLine* base =
-      &shadow_[thread][static_cast<std::size_t>(shadow_set) * geometry_.ways];
+  const std::size_t base =
+      static_cast<std::size_t>(shadow_set) * geometry_.ways;
+  std::uint64_t* blocks = &shadow_blocks_[thread][base];
+  std::uint8_t* valid = &shadow_valid_[thread][base];
+  LruStack& order = shadow_order_[thread];
 
-  // One pass: find the line and, if present, its LRU stack position (number
-  // of valid lines more recently used than it); also track the victim.
-  ShadowLine* found = nullptr;
-  ShadowLine* invalid = nullptr;
-  ShadowLine* lru = nullptr;
-  std::uint32_t more_recent = 0;
+  // One pass: find the line (its LRU stack depth is then an O(1) position
+  // lookup — valid lines always occupy the top of the recency order because
+  // shadow lines are never invalidated) and the first invalid way.
+  std::uint32_t found = geometry_.ways;
+  std::uint32_t invalid = geometry_.ways;
   for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    ShadowLine& line = base[w];
-    if (!line.valid) {
-      if (invalid == nullptr) invalid = &line;
-      continue;
+    if (valid[w] == 0) {
+      if (invalid == geometry_.ways) invalid = w;
+    } else if (blocks[w] == block) {
+      found = w;
     }
-    if (line.block == block) {
-      found = &line;
-      continue;
-    }
-    if (lru == nullptr || line.stamp < lru->stamp) lru = &line;
   }
-  if (found != nullptr) {
-    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-      if (base[w].valid && base[w].stamp > found->stamp) ++more_recent;
-    }
-    ++depth_hits_[thread][more_recent];
-    found->stamp = tick_;
+  if (found < geometry_.ways) {
+    ++depth_hits_[thread][order.depth_of(shadow_set, found)];
+    order.touch(shadow_set, found);
     return;
   }
   ++misses_[thread];
-  ShadowLine* victim = invalid != nullptr ? invalid : lru;
-  victim->valid = true;
-  victim->block = block;
-  victim->stamp = tick_;
+  // Victim: first invalid way, else the LRU way (all valid then, so the
+  // bottom of the recency order).
+  const std::uint32_t victim = invalid < geometry_.ways
+                                   ? invalid
+                                   : order.way_at(shadow_set,
+                                                  geometry_.ways - 1);
+  valid[victim] = 1;
+  blocks[victim] = block;
+  order.touch(shadow_set, victim);
 }
 
 std::uint64_t UtilityMonitor::hits_at_depth(ThreadId thread,

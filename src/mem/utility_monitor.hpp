@@ -25,6 +25,7 @@
 
 #include "src/common/types.hpp"
 #include "src/mem/cache_config.hpp"
+#include "src/mem/replacement.hpp"
 
 namespace capart::mem {
 
@@ -61,12 +62,6 @@ class UtilityMonitor {
   }
 
  private:
-  struct ShadowLine {
-    std::uint64_t block = 0;
-    std::uint64_t stamp = 0;
-    bool valid = false;
-  };
-
   /// Index into the per-thread shadow directory, or sets_ when unsampled.
   bool sampled(std::uint64_t block, std::uint32_t& shadow_set) const;
 
@@ -74,12 +69,16 @@ class UtilityMonitor {
   ThreadId num_threads_;
   std::uint32_t sampling_shift_;
   std::uint32_t sampled_sets_;
-  // Per thread: shadow tags (sampled_sets x ways) and interval counters.
-  std::vector<std::vector<ShadowLine>> shadow_;
+  // Per thread: shadow tags (sampled_sets x ways, blocks + valid bits plus a
+  // compact recency permutation — the directory is LRU by definition,
+  // whatever policy the monitored cache runs, so the hit's stack depth is an
+  // O(1) position lookup) and interval counters.
+  std::vector<std::vector<std::uint64_t>> shadow_blocks_;
+  std::vector<std::vector<std::uint8_t>> shadow_valid_;
+  std::vector<LruStack> shadow_order_;
   std::vector<std::vector<std::uint64_t>> depth_hits_;  // [thread][depth]
   std::vector<std::uint64_t> accesses_;
   std::vector<std::uint64_t> misses_;
-  std::uint64_t tick_ = 0;
 };
 
 }  // namespace capart::mem

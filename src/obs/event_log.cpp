@@ -19,6 +19,7 @@ void write_geometry(JsonWriter& w, const mem::CacheGeometry& g) {
       .key("sets").value(g.sets)
       .key("ways").value(g.ways)
       .key("line_bytes").value(g.line_bytes)
+      .key("repl").value(mem::to_string(g.repl))
       .end_object();
 }
 

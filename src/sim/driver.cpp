@@ -72,20 +72,24 @@ void Driver::release_group_once(std::uint32_t group) {
     next_section = ts.section + 1;
   }
   latest += config_.barrier_release_cost;
+  // The event (with its per-thread stall vector) is only materialized when a
+  // sink will consume it; the metrics rollup needs just the cycle total.
+  const bool want_event = config_.obs.sink != nullptr;
   obs::BarrierStallEvent event;
-  if (config_.obs.sink != nullptr) {
+  if (want_event) {
     event.run = config_.obs.run_name;
     event.group = group;
     event.section = next_section - 1;
     event.release_cycle = latest;
   }
+  Cycles total_stall = 0;
   for (ThreadId t = 0; t < threads_.size(); ++t) {
     ThreadState& ts = threads_[t];
     if (group_of_[t] != group || ts.done) continue;
-    system_.counters().thread(t).stall_cycles += latest - ts.clock;
-    if (config_.obs.sink != nullptr) {
-      event.stalls.emplace_back(t, latest - ts.clock);
-    }
+    const Cycles stall = latest - ts.clock;
+    system_.counters().thread(t).stall_cycles += stall;
+    total_stall += stall;
+    if (want_event) event.stalls.emplace_back(t, stall);
     ts.clock = latest;
     ts.section = next_section;
     if (ts.section >= program_.sections.size()) {
@@ -94,11 +98,10 @@ void Driver::release_group_once(std::uint32_t group) {
       enter_section(ts, t);
     }
   }
-  if (config_.obs.sink != nullptr) {
-    config_.obs.sink->on_barrier_stall(event);
-  }
+  if (want_event) config_.obs.sink->on_barrier_stall(event);
   if (config_.obs.metrics != nullptr) {
     config_.obs.metrics->add("driver/barrier_releases");
+    config_.obs.metrics->add("driver/barrier_stall_cycles", total_stall);
   }
 }
 
@@ -177,6 +180,13 @@ RunOutcome Driver::run() {
   for (ThreadId t = 0; t < threads_.size(); ++t) {
     maybe_release_group(group_of_[t]);
   }
+  const bool use_heap =
+      config_.scheduler == SchedulerKind::kHeap ||
+      (config_.scheduler == SchedulerKind::kAuto && threads_.size() > 4);
+  return use_heap ? run_heap() : run_scan();
+}
+
+RunOutcome Driver::run_scan() {
   for (;;) {
     // Pick the runnable thread with the smallest clock.
     ThreadId chosen = kNoThread;
@@ -201,7 +211,64 @@ RunOutcome Driver::run() {
       on_interval_boundary();
     }
   }
+  return finish();
+}
 
+RunOutcome Driver::run_heap() {
+  // Binary min-heap of runnable threads keyed by (clock, tid) — the same
+  // total order the scan's strict-< scan induces (lowest tid wins clock
+  // ties), so both schedulers pick identical threads and produce identical
+  // outcomes. Clock mutations outside pop/push are always uniform across
+  // every live thread (interval-boundary overhead), which preserves the heap
+  // invariant in place; barrier releases only touch waiting threads, which
+  // are never in the heap.
+  const auto later = [this](ThreadId a, ThreadId b) noexcept {
+    const Cycles ca = threads_[a].clock;
+    const Cycles cb = threads_[b].clock;
+    return ca != cb ? ca > cb : a > b;
+  };
+  std::vector<ThreadId> heap;
+  heap.reserve(threads_.size());
+  std::vector<std::uint8_t> in_heap(threads_.size(), 0);
+  const auto push_runnable = [&](ThreadId t) {
+    const ThreadState& ts = threads_[t];
+    if (ts.done || ts.waiting || in_heap[t] != 0) return;
+    in_heap[t] = 1;
+    heap.push_back(t);
+    std::push_heap(heap.begin(), heap.end(), later);
+  };
+  for (ThreadId t = 0; t < threads_.size(); ++t) push_runnable(t);
+
+  for (;;) {
+    if (heap.empty()) {
+      bool any_live = false;
+      for (const ThreadState& ts : threads_) any_live = any_live || !ts.done;
+      if (!any_live) break;
+      CAPART_CHECK(false,
+                   "deadlock: live threads exist but none are runnable");
+    }
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const ThreadId chosen = heap.back();
+    heap.pop_back();
+    in_heap[chosen] = 0;
+    step(chosen);
+    if (threads_[chosen].waiting) {
+      maybe_release_group(group_of_[chosen]);
+      // A release wakes whole groups at once (rare next to steps, so the
+      // scan over members is cheap); re-admit everyone now runnable —
+      // including `chosen` if its barrier already resolved.
+      for (ThreadId t = 0; t < threads_.size(); ++t) push_runnable(t);
+    } else {
+      push_runnable(chosen);
+    }
+    if (aggregate_instructions_ >= next_boundary_) {
+      on_interval_boundary();
+    }
+  }
+  return finish();
+}
+
+RunOutcome Driver::finish() {
   RunOutcome outcome;
   for (const ThreadState& ts : threads_) {
     outcome.total_cycles = std::max(outcome.total_cycles, ts.clock);

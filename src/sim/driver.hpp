@@ -27,9 +27,23 @@
 
 namespace capart::sim {
 
+/// How Driver::run() picks the next runnable thread (always the one with the
+/// smallest clock, lowest tid on ties — the choice of structure never changes
+/// the outcome, only the cost of finding the minimum).
+enum class SchedulerKind : std::uint8_t {
+  /// Linear scan for <= 4 threads, binary heap above (the scan's better
+  /// constant wins at small counts; the heap's O(log n) wins at scale).
+  kAuto,
+  kScan,  ///< O(threads) min-clock scan per step
+  kHeap,  ///< binary min-heap keyed by (clock, tid)
+};
+
 struct DriverConfig {
   /// Aggregate retired instructions per execution interval.
   Instructions interval_instructions = 240'000;
+  /// Runnable-thread selection structure; outcome-invariant (see
+  /// SchedulerKind).
+  SchedulerKind scheduler = SchedulerKind::kAuto;
   /// Fixed cycles added to every thread at each barrier release (the cost of
   /// the synchronization construct itself).
   Cycles barrier_release_cost = 100;
@@ -101,6 +115,10 @@ class Driver {
   bool group_fully_waiting(std::uint32_t group) const;
   void step(ThreadId t);
   void on_interval_boundary();
+
+  RunOutcome run_scan();
+  RunOutcome run_heap();
+  RunOutcome finish();
 
   CmpSystem& system_;
   Program program_;

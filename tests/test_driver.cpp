@@ -183,6 +183,81 @@ TEST(Driver, BarrierReleaseCostIsCharged) {
   EXPECT_GE(run_with_cost(1'000), run_with_cost(0) + 10 * 1'000);
 }
 
+// The heap scheduler must be a pure data-structure swap: same thread picked
+// at every step as the scan, hence bit-identical outcomes and counters. Runs
+// a deliberately uneven 8-thread workload (mixed memory intensity, two
+// barrier groups, interval-callback overhead, one migration) under both
+// schedulers and compares everything observable.
+TEST(Driver, HeapSchedulerIsBitIdenticalToScan) {
+  struct Result {
+    RunOutcome outcome;
+    std::vector<cpu::CounterBlock> counters;
+  };
+  const auto run_with = [](SchedulerKind scheduler) {
+    const ThreadId n = 8;
+    CmpSystem sys(config(n));
+    Sources gens;
+    for (ThreadId t = 0; t < n; ++t) {
+      // Alternate fast compute-bound and slow memory-bound threads so clock
+      // ties and barrier stalls both occur.
+      gens.push_back(t % 2 == 0 ? generator(t, 0.05)
+                                : generator(t, 0.5, 2'048));
+    }
+    DriverConfig dc;
+    dc.interval_instructions = 20'000;
+    dc.scheduler = scheduler;
+    dc.barrier_group = {0, 0, 0, 0, 1, 1, 1, 1};
+    Driver driver(sys, make_uniform_program(n, 6, 15'000), std::move(gens),
+                  dc);
+    driver.set_interval_callback([](std::uint64_t) -> Cycles { return 250; });
+    driver.schedule_migration(2, 0, 1);
+    Result r;
+    r.outcome = driver.run();
+    for (ThreadId t = 0; t < n; ++t) {
+      r.counters.push_back(sys.counters().thread(t));
+    }
+    return r;
+  };
+  const Result scan = run_with(SchedulerKind::kScan);
+  const Result heap = run_with(SchedulerKind::kHeap);
+  EXPECT_EQ(scan.outcome.total_cycles, heap.outcome.total_cycles);
+  EXPECT_EQ(scan.outcome.intervals_completed, heap.outcome.intervals_completed);
+  EXPECT_EQ(scan.outcome.instructions_retired,
+            heap.outcome.instructions_retired);
+  ASSERT_EQ(scan.counters.size(), heap.counters.size());
+  for (std::size_t t = 0; t < scan.counters.size(); ++t) {
+    const cpu::CounterBlock& a = scan.counters[t];
+    const cpu::CounterBlock& b = heap.counters[t];
+    EXPECT_EQ(a.instructions, b.instructions) << "thread " << t;
+    EXPECT_EQ(a.exec_cycles, b.exec_cycles) << "thread " << t;
+    EXPECT_EQ(a.stall_cycles, b.stall_cycles) << "thread " << t;
+    EXPECT_EQ(a.l1_accesses, b.l1_accesses) << "thread " << t;
+    EXPECT_EQ(a.l1_misses, b.l1_misses) << "thread " << t;
+    EXPECT_EQ(a.l2_accesses, b.l2_accesses) << "thread " << t;
+    EXPECT_EQ(a.l2_hits, b.l2_hits) << "thread " << t;
+    EXPECT_EQ(a.l2_misses, b.l2_misses) << "thread " << t;
+  }
+}
+
+TEST(Driver, AutoSchedulerMatchesScanAtSmallThreadCounts) {
+  // kAuto stays on the scan for <= 4 threads and must equal an explicit
+  // kHeap run regardless (the dispatch is outcome-invariant either way).
+  const auto total = [](SchedulerKind scheduler) {
+    CmpSystem sys(config(2));
+    Sources gens;
+    gens.push_back(generator(0, 0.3));
+    gens.push_back(generator(1, 0.4));
+    DriverConfig dc;
+    dc.scheduler = scheduler;
+    Driver driver(sys, make_uniform_program(2, 3, 8'000), std::move(gens),
+                  dc);
+    return driver.run().total_cycles;
+  };
+  const Cycles auto_cycles = total(SchedulerKind::kAuto);
+  EXPECT_EQ(auto_cycles, total(SchedulerKind::kScan));
+  EXPECT_EQ(auto_cycles, total(SchedulerKind::kHeap));
+}
+
 TEST(Driver, RejectsMismatchedConfiguration) {
   CmpSystem sys(config(2));
   Sources one;

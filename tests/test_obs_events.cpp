@@ -128,6 +128,7 @@ TEST(JsonlRoundTrip, IntervalEventsReproduceInMemoryRecords) {
 TEST(JsonlRoundTrip, ManifestReproducesTheConfiguration) {
   std::ostringstream os;
   sim::ExperimentConfig config = tiny_config();
+  config.l2.repl = mem::ReplacementKind::kSrrip;
   {
     JsonlSink sink(os);
     config.obs.sink = &sink;
@@ -154,6 +155,7 @@ TEST(JsonlRoundTrip, ManifestReproducesTheConfiguration) {
   EXPECT_EQ(l2->find("sets")->as_u64(), config.l2.sets);
   EXPECT_EQ(l2->find("ways")->as_u64(), config.l2.ways);
   EXPECT_EQ(l2->find("line_bytes")->as_u64(), config.l2.line_bytes);
+  EXPECT_EQ(l2->find("repl")->as_string(), "srrip");
   const JsonValue* opts = m.find("policy_options");
   ASSERT_NE(opts, nullptr);
   EXPECT_EQ(opts->find("model_kind")->as_string(), "cubic-spline");

@@ -52,6 +52,8 @@ flags:
   --interval-instr=N    aggregate instructions per interval (default 240000)
   --l2-ways=N           shared-cache associativity (default 64)
   --l2-sets=N           shared-cache sets (default 256)
+  --l2-repl=NAME        shared-cache replacement: lru plru srrip (default lru)
+  --l1-repl=NAME        private-L1 replacement: lru plru srrip (default lru)
   --overhead=N          runtime repartition overhead in cycles (default 800)
   --l2-banks=N          shared-cache banks for contention modeling (0 = off)
   --seed=N              workload seed (default 42)
@@ -95,6 +97,16 @@ mem::L2Mode parse_mode(std::string_view v) {
   if (v == "flush") return mem::L2Mode::kFlushReconfigureShared;
   std::fprintf(stderr, "unknown l2 mode '%.*s'\n", int(v.size()), v.data());
   usage(2);
+}
+
+mem::ReplacementKind parse_repl(std::string_view v, const char* flag) {
+  mem::ReplacementKind kind{};
+  if (!mem::parse_replacement(v, kind)) {
+    std::fprintf(stderr, "invalid value for %s: want lru, plru or srrip\n",
+                 flag);
+    usage(2);
+  }
+  return kind;
 }
 
 std::uint64_t parse_num(std::string_view v, const char* flag) {
@@ -190,6 +202,8 @@ int main(int argc, char** argv) {
       cfg.l2.ways = static_cast<std::uint32_t>(parse_num(value, "--l2-ways"));
     else if (key == "--l2-sets")
       cfg.l2.sets = static_cast<std::uint32_t>(parse_num(value, "--l2-sets"));
+    else if (key == "--l2-repl") cfg.l2.repl = parse_repl(value, "--l2-repl");
+    else if (key == "--l1-repl") cfg.l1.repl = parse_repl(value, "--l1-repl");
     else if (key == "--overhead")
       cfg.runtime_overhead_cycles = parse_num(value, "--overhead");
     else if (key == "--l2-banks")
