@@ -44,5 +44,5 @@ int main(int argc, char** argv) {
   std::cout << "\n(banks=inf reproduces the paper's infinite-bandwidth "
                "setup; fewer banks add queueing on top of capacity "
                "contention)\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -47,5 +47,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(gains should peak where the critical thread's working "
                "set fits a large share but not an equal share)\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -33,5 +33,5 @@ int main(int argc, char** argv) {
   std::cout << "\n(paper §VII: the curve-fitting scheme outperforms the "
                "simple CPI-based scheme in all tested cases — the CPI scheme "
                "is blind to cache sensitivity)\n";
-  return 0;
+  return bench::exit_status();
 }

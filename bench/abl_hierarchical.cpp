@@ -82,5 +82,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper Fig 16: the OS partitions among applications, the "
                "runtime partitions within each; both levels compose)\n";
-  return 0;
+  return bench::exit_status();
 }

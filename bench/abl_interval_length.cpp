@@ -51,5 +51,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: little variation when the interval is increased "
                "or decreased)\n";
-  return 0;
+  return bench::exit_status();
 }

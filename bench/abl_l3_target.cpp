@@ -57,5 +57,5 @@ int main(int argc, char** argv) {
   std::cout << "\n(the private L2s filter locality, so absolute gains "
                "shrink, but the critical-path scheme still wins at the "
                "shared L3)\n";
-  return 0;
+  return bench::exit_status();
 }

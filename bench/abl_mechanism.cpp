@@ -39,5 +39,5 @@ int main(int argc, char** argv) {
                "flush-free transitions; coloring pays for every repartition "
                "in stranded lines and leaks isolation through shared "
                "pages)\n";
-  return 0;
+  return bench::exit_status();
 }

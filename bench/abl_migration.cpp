@@ -47,5 +47,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: the approach is quite resistant to thread "
                "migrations — gains should degrade only mildly)\n";
-  return 0;
+  return bench::exit_status();
 }

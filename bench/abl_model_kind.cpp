@@ -32,5 +32,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: the fitting algorithm is interchangeable; both "
                "families should land close)\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -52,5 +52,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: overhead below 1.5% of execution time, already "
                "included in the reported gains)\n";
-  return 0;
+  return bench::exit_status();
 }

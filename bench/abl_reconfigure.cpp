@@ -38,5 +38,5 @@ int main(int argc, char** argv) {
                "with problems of cache unavailability during "
                "reconfiguration\" — the flush variant pays for every "
                "repartition in lost data and stall)\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -79,5 +79,5 @@ int main(int argc, char** argv) {
   std::cout << "(paper figs 19-21 assume true LRU; the plru/srrip sections "
                "test whether the\n partitioning gains persist under the "
                "replacement policies hardware ships)\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -37,5 +37,5 @@ int main(int argc, char** argv) {
   std::cout << "\n(time sharing gives every thread the big partition in "
                "turn; only the critical thread's turns help the application, "
                "so the targeted scheme wins)\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -35,5 +35,5 @@ int main(int argc, char** argv) {
                "immediately; the software-only scheme needs none of the "
                "shadow-tag hardware — the gap is the price of staying "
                "software-only)\n";
-  return 0;
+  return bench::exit_status();
 }

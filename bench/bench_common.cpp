@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -7,6 +8,8 @@
 #include <iostream>
 #include <memory>
 
+#include "src/common/error.hpp"
+#include "src/common/parse.hpp"
 #include "src/obs/chrome_trace.hpp"
 #include "src/obs/jsonl_sink.hpp"
 #include "src/report/batch_summary.hpp"
@@ -15,22 +18,14 @@
 namespace capart::bench {
 namespace {
 
-std::uint64_t parse_u64(std::string_view value, const char* flag) {
-  // A flag without "=value" arrives as an empty view with a null data
-  // pointer; copy before strtoull/printf ever dereference it.
-  const std::string copy(value);
-  char* end = nullptr;
-  const std::uint64_t v = std::strtoull(copy.c_str(), &end, 10);
-  if (copy.empty() || end != copy.c_str() + copy.size()) {
-    std::fprintf(stderr, "invalid value for %s: %s\n", flag, copy.c_str());
-    std::exit(2);
-  }
-  return v;
-}
+/// Set once a batch finishes with failed arms; read by exit_status().
+std::atomic<bool> g_arms_failed{false};
 
 }  // namespace
 
-BenchOptions parse_options(int argc, char** argv) {
+int exit_status() noexcept { return g_arms_failed.load() ? 1 : 0; }
+
+BenchOptions parse_options(int argc, char** argv) try {
   BenchOptions opt;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -39,13 +34,13 @@ BenchOptions parse_options(int argc, char** argv) {
     const std::string_view value =
         eq == std::string_view::npos ? std::string_view{} : arg.substr(eq + 1);
     if (key == "--intervals") {
-      opt.intervals = static_cast<std::uint32_t>(parse_u64(value, "--intervals"));
+      opt.intervals = parse_u32_flag(value, "--intervals");
     } else if (key == "--interval-instr") {
-      opt.interval_instructions = parse_u64(value, "--interval-instr");
+      opt.interval_instructions = parse_u64_flag(value, "--interval-instr");
     } else if (key == "--threads") {
-      opt.threads = static_cast<ThreadId>(parse_u64(value, "--threads"));
+      opt.threads = parse_u32_flag(value, "--threads");
     } else if (key == "--seed") {
-      opt.seed = parse_u64(value, "--seed");
+      opt.seed = parse_u64_flag(value, "--seed");
     } else if (key == "--l2-repl") {
       if (!mem::parse_replacement(value, opt.l2_repl)) {
         std::fprintf(stderr,
@@ -53,11 +48,15 @@ BenchOptions parse_options(int argc, char** argv) {
         std::exit(2);
       }
     } else if (key == "--jobs") {
-      opt.jobs = static_cast<unsigned>(parse_u64(value, "--jobs"));
+      opt.jobs = parse_u32_flag(value, "--jobs");
       if (opt.jobs == 0) {
         std::fprintf(stderr, "invalid value for --jobs: must be >= 1\n");
         std::exit(2);
       }
+    } else if (key == "--arm-retries") {
+      opt.arm_retries = parse_u32_flag(value, "--arm-retries");
+    } else if (key == "--arm-deadline") {
+      opt.arm_deadline = parse_f64_flag(value, "--arm-deadline");
     } else if (key == "--events-out") {
       opt.events_out = std::string(value);
     } else if (key == "--trace-out") {
@@ -68,12 +67,19 @@ BenchOptions parse_options(int argc, char** argv) {
       std::printf(
           "flags: --intervals=N --interval-instr=N --threads=N --seed=N "
           "--jobs=N\n"
+          "       --arm-retries=N --arm-deadline=SECONDS\n"
           "       --l2-repl=lru|plru|srrip --events-out=PATH "
           "--trace-out=STEM --csv=STEM\n"
           "  --l2-repl=NAME  shared-L2 replacement policy (default lru)\n"
           "  --jobs=N  run up to N experiments concurrently (default: all "
           "cores);\n"
           "            results are bit-identical for any value\n"
+          "  --arm-retries=N        re-run a failed arm up to N times "
+          "(default 0)\n"
+          "  --arm-deadline=SEC     per-arm wall-clock budget; an expired arm "
+          "stops\n"
+          "                         at its next interval boundary (default: "
+          "none)\n"
           "  --events-out=PATH  JSONL run telemetry, all arms in one file\n"
           "  --trace-out=STEM   Chrome trace per arm "
           "(STEM.<profile>.<arm>.json)\n"
@@ -86,6 +92,9 @@ BenchOptions parse_options(int argc, char** argv) {
     }
   }
   return opt;
+} catch (const Error& error) {
+  std::fprintf(stderr, "%s\n", error.what());
+  std::exit(2);
 }
 
 Instructions resolved_interval_instructions(const BenchOptions& opt) noexcept {
@@ -182,7 +191,10 @@ std::string arm_file_fragment(std::string arm) {
 
 sim::BatchResult run_spec(const sim::ExperimentSpec& spec,
                           const BenchOptions& opt) {
-  const sim::BatchRunner runner(resolved_jobs(opt));
+  const sim::BatchPolicy policy{.max_retries = opt.arm_retries,
+                                .arm_deadline_seconds = opt.arm_deadline,
+                                .fail_fast = false};
+  const sim::BatchRunner runner(resolved_jobs(opt), policy);
 
   // Observability: all arms share one JSONL sink; each event carries its arm
   // name, so the file stays attributable under concurrent execution.
@@ -190,7 +202,12 @@ sim::BatchResult run_spec(const sim::ExperimentSpec& spec,
   const sim::ExperimentSpec* to_run = &spec;
   sim::ExperimentSpec observed;
   if (!opt.events_out.empty()) {
-    sink = std::make_unique<obs::JsonlSink>(opt.events_out);
+    try {
+      sink = std::make_unique<obs::JsonlSink>(opt.events_out);
+    } catch (const Error& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      std::exit(1);
+    }
     observed = spec;
     for (sim::ExperimentArm& arm : observed.arms) {
       arm.config.obs.sink = sink.get();
@@ -202,8 +219,10 @@ sim::BatchResult run_spec(const sim::ExperimentSpec& spec,
   sim::BatchResult batch = runner.run(*to_run);
   if (sink != nullptr) sink->flush();
 
+  // Failed arms carry no result; only surviving arms produce artifacts.
   if (!opt.trace_out.empty()) {
     for (const sim::ArmOutcome& arm : batch.arms) {
+      if (!arm.ok()) continue;
       const std::string path =
           opt.trace_out + "." + arm_file_fragment(arm.name) + ".json";
       std::ofstream os(path);
@@ -216,6 +235,7 @@ sim::BatchResult run_spec(const sim::ExperimentSpec& spec,
   }
   if (!opt.csv_out.empty()) {
     for (const sim::ArmOutcome& arm : batch.arms) {
+      if (!arm.ok()) continue;
       const std::string path =
           opt.csv_out + "." + arm_file_fragment(arm.name) + ".csv";
       std::ofstream os(path);
@@ -229,6 +249,10 @@ sim::BatchResult run_spec(const sim::ExperimentSpec& spec,
 
   report::print_batch_summary(std::cout, batch);
   std::cout << "\n";
+  if (!batch.all_ok()) {
+    report::print_failed_arms(std::cerr, batch);
+    g_arms_failed.store(true);
+  }
   return batch;
 }
 

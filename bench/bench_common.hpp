@@ -6,6 +6,9 @@
 //   --threads=N             cores/threads (default 4; fig22 uses 8)
 //   --seed=N                workload seed (default 42)
 //   --jobs=N                concurrent experiments (default: all cores)
+//   --arm-retries=N         re-run a failed arm up to N times (default 0)
+//   --arm-deadline=SEC      per-arm wall-clock budget; expired arms stop at
+//                           the next interval boundary as timed_out
 //   --events-out=PATH       JSONL run telemetry for every arm (src/obs),
 //                           one shared file tagged by "profile/arm"
 //   --trace-out=STEM        Chrome-trace timeline per arm
@@ -40,6 +43,11 @@ struct BenchOptions {
   ThreadId threads = 4;
   std::uint64_t seed = 42;
   unsigned jobs = 0;  // 0 -> sim::default_jobs()
+  /// Fault-isolation policy of the batch (--arm-retries / --arm-deadline):
+  /// re-runs per failed arm, and the per-arm wall-clock budget in seconds
+  /// (0 = none). See sim::BatchPolicy.
+  std::uint32_t arm_retries = 0;
+  double arm_deadline = 0.0;
   /// Shared-L2 replacement policy (--l2-repl=lru|plru|srrip). True LRU is
   /// the paper-faithful default; abl_replacement sweeps the others.
   mem::ReplacementKind l2_repl = mem::ReplacementKind::kTrueLru;
@@ -100,6 +108,12 @@ sim::ExperimentSpec profile_sweep(const BenchOptions& opt,
 /// written after the batch.
 sim::BatchResult run_spec(const sim::ExperimentSpec& spec,
                           const BenchOptions& opt);
+
+/// Process exit status for bench mains: 1 once any run_spec batch in this
+/// process finished with failed or timed-out arms, 0 otherwise. Failed arms
+/// never abort the batch — siblings complete and artifacts are written — but
+/// the process must still signal the loss to scripts and CI.
+int exit_status() noexcept;
 
 /// The experiment arms the paper and the ablations compare. Registered
 /// under the names in parentheses.

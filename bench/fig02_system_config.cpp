@@ -35,5 +35,5 @@ int main(int argc, char** argv) {
   t.add_row({"Runtime repartition overhead",
              std::to_string(cfg.runtime_overhead_cycles) + " cycles/interval"});
   t.print(std::cout);
-  return 0;
+  return bench::exit_status();
 }

@@ -47,5 +47,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: wide variability; the lowest bar per app "
                "determines application performance)\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -44,5 +44,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: miss variability mirrors the performance "
                "variability of Fig 3)\n";
-  return 0;
+  return bench::exit_status();
 }

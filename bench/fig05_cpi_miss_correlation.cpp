@@ -50,5 +50,5 @@ int main(int argc, char** argv) {
                              3)});
   table.print(std::cout);
   std::cout << "\n(paper: average correlation coefficient ~0.97)\n";
-  return 0;
+  return bench::exit_status();
 }

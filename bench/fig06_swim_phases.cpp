@@ -31,5 +31,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: CPI varies across intervals as the program moves "
                "through phases; the critical thread can change)\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -34,5 +34,5 @@ int main(int argc, char** argv) {
   std::cout << "\ncorrelation with the Fig 6(b) CPI series: "
             << report::fmt(math::pearson(cpis, misses), 3)
             << "  (paper: clear correlation)\n";
-  return 0;
+  return bench::exit_status();
 }

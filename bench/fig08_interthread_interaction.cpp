@@ -31,5 +31,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: considerable inter-thread interaction, averaging "
                "about 11.5% of all cache interactions)\n";
-  return 0;
+  return bench::exit_status();
 }

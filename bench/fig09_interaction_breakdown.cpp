@@ -30,5 +30,5 @@ int main(int argc, char** argv) {
                "constructive; a significant eviction share exists.\n"
                " A partitioned shared cache keeps the constructive hits and "
                "suppresses the destructive evictions.)\n";
-  return 0;
+  return bench::exit_status();
 }

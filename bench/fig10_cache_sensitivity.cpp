@@ -48,5 +48,5 @@ int main(int argc, char** argv) {
             << report::fmt_pct(t2_gain, 1)
             << "\n(paper: thread 1 improves considerably, thread 2 shows "
                "very little improvement)\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -50,5 +50,5 @@ int main(int argc, char** argv) {
   std::cout << "\n(paper: the critical thread receives the largest "
                "partition; the partition minimizes the predicted maximum "
                "CPI)\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -37,5 +37,5 @@ int main(int argc, char** argv) {
   std::cout << "\n(paper's Fig 18: interval 1 runs with equal ways; from "
                "interval 2 the slowest thread holds the largest partition "
                "and the overall CPI drops)\n";
-  return 0;
+  return bench::exit_status();
 }

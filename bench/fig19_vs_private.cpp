@@ -36,5 +36,5 @@ int main(int argc, char** argv) {
            total / static_cast<double>(trace::benchmark_names().size()), 1)});
   table.print(std::cout);
   std::cout << "\n(paper: up to 23% improvement, about 11% on average)\n";
-  return 0;
+  return bench::exit_status();
 }

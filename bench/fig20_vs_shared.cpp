@@ -33,5 +33,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: up to 15% improvement, about 9% on average; ft, "
                "lu, bt gain little due to small working sets)\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -36,5 +36,5 @@ int main(int argc, char** argv) {
   std::cout << "\n(paper: over 20% at best; the throughput scheme speeds up "
                "whichever thread buys the most misses, not the critical "
                "path)\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -37,5 +37,5 @@ int main(int argc, char** argv) {
                  report::fmt_pct(total_shared / n, 1)});
   table.print(std::cout);
   std::cout << "\n(paper: performance gains similar to the 4-core case)\n";
-  return 0;
+  return bench::exit_status();
 }

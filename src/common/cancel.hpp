@@ -1,0 +1,55 @@
+// Cooperative cancellation token for bounded experiment runs.
+//
+// A CancelToken is shared between a controller (the BatchRunner, which arms
+// per-arm deadlines and broadcasts fail-fast cancellation) and a runner (the
+// Driver, which polls should_stop() at interval boundaries — never on the
+// per-access hot path, so a token costs one relaxed load plus a clock read
+// per interval). Runs therefore stop at deterministic simulation points:
+// whether an arm times out depends on the wall clock, but where it stops is
+// always an interval boundary.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace capart {
+
+class CancelToken {
+ public:
+  /// Requests cancellation (thread-safe; callable from any thread). Sticky:
+  /// a cancelled token stays cancelled across rearm() so retries of a
+  /// fail-fast-cancelled arm stop immediately.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// (Re)arms the deadline `seconds` from now; <= 0 disarms it. Called by
+  /// the owning worker before each attempt — not safe to race with
+  /// should_stop() from another thread, which the batch layer never does.
+  void rearm_deadline(double seconds) noexcept {
+    has_deadline_ = seconds > 0.0;
+    if (has_deadline_) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(seconds));
+    }
+  }
+
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool deadline_expired() const noexcept {
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// The poll the driver runs at each interval boundary.
+  bool should_stop() const noexcept {
+    return cancelled() || deadline_expired();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace capart

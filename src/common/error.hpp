@@ -1,0 +1,57 @@
+// Structured, recoverable error types.
+//
+// The error-handling contract (DESIGN.md "Error handling"): conditions a
+// caller can provoke from the outside — a bad flag value, an impossible
+// cache geometry, an unknown profile name, an unopenable output file — throw
+// capart::Error (or a subclass) and are contained at the experiment-stack
+// boundaries: the BatchRunner turns a throwing arm into a failed ArmOutcome
+// without touching its siblings, and the CLI front ends print the message
+// and exit non-zero. CAPART_CHECK (src/common/check.hpp) remains reserved
+// for true internal invariants whose violation means the simulator state is
+// already corrupt; those still abort, in release builds too.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace capart {
+
+/// Base class of every recoverable capart error.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Invalid configuration or command-line input. `field()` names what was
+/// wrong — a flag ("--intervals"), a config member ("l2.sets"), a profile —
+/// so batch reports and CLI messages can point at the offending knob; the
+/// message already embeds it.
+class ConfigError : public Error {
+ public:
+  ConfigError(std::string field, const std::string& message)
+      : Error(message), field_(std::move(field)) {}
+
+  const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::string field_;
+};
+
+/// A run stopped by its cancellation token at an interval boundary — either
+/// its deadline expired (a timed-out batch arm) or it was cancelled
+/// explicitly (fail-fast sibling shutdown).
+class CancelledError : public Error {
+ public:
+  CancelledError(const std::string& message, bool deadline_expired)
+      : Error(message), deadline_expired_(deadline_expired) {}
+
+  /// True when the stop was a deadline expiry rather than an explicit
+  /// cancel; the BatchRunner maps this to ArmStatus::kTimedOut.
+  bool deadline_expired() const noexcept { return deadline_expired_; }
+
+ private:
+  bool deadline_expired_;
+};
+
+}  // namespace capart

@@ -3,13 +3,16 @@
 #include <algorithm>
 
 #include "src/common/check.hpp"
+#include "src/common/error.hpp"
 
 namespace capart::core {
 
 RuntimeModelSet::RuntimeModelSet(ModelKind kind, double ewma_alpha)
     : kind_(kind), alpha_(ewma_alpha) {
-  CAPART_CHECK(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
-               "EWMA alpha must lie in (0, 1]");
+  // PolicyOptions.ewma_alpha is caller-supplied configuration.
+  if (!(ewma_alpha > 0.0 && ewma_alpha <= 1.0)) {
+    throw ConfigError("ewma_alpha", "EWMA alpha must lie in (0, 1]");
+  }
 }
 
 void RuntimeModelSet::ensure_thread(ThreadId thread) {

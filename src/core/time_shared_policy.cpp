@@ -2,16 +2,23 @@
 
 #include <algorithm>
 
-#include "src/common/check.hpp"
+#include "src/common/error.hpp"
 
 namespace capart::core {
 
 TimeSharedPolicy::TimeSharedPolicy(const PolicyOptions& options)
     : big_fraction_(options.time_shared_big_fraction),
       quantum_(options.time_shared_quantum) {
-  CAPART_CHECK(big_fraction_ > 0.0 && big_fraction_ < 1.0,
-               "time-shared: big fraction must lie in (0, 1)");
-  CAPART_CHECK(quantum_ >= 1, "time-shared: quantum must be >= 1 interval");
+  // PolicyOptions come straight from callers/CLI; reject bad values as a
+  // recoverable configuration error.
+  if (!(big_fraction_ > 0.0 && big_fraction_ < 1.0)) {
+    throw ConfigError("time_shared_big_fraction",
+                      "time-shared: big fraction must lie in (0, 1)");
+  }
+  if (quantum_ < 1) {
+    throw ConfigError("time_shared_quantum",
+                      "time-shared: quantum must be >= 1 interval");
+  }
 }
 
 std::vector<std::uint32_t> TimeSharedPolicy::repartition(

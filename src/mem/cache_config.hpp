@@ -4,7 +4,7 @@
 #include <bit>
 #include <cstdint>
 
-#include "src/common/check.hpp"
+#include "src/common/error.hpp"
 #include "src/common/types.hpp"
 #include "src/mem/replacement.hpp"
 
@@ -29,12 +29,22 @@ struct CacheGeometry {
     return static_cast<std::uint64_t>(sets) * ways * line_bytes;
   }
 
+  /// Geometry is user-facing configuration (--l2-sets and friends reach it
+  /// directly), so violations throw ConfigError rather than aborting; the
+  /// batch layer contains them per arm and the CLIs print them cleanly.
   void validate() const {
-    CAPART_CHECK(sets > 0 && std::has_single_bit(sets),
-                 "cache sets must be a nonzero power of two");
-    CAPART_CHECK(ways > 0, "cache must have at least one way");
-    CAPART_CHECK(line_bytes >= 8 && std::has_single_bit(line_bytes),
-                 "line size must be a power of two >= 8");
+    if (!(sets > 0 && std::has_single_bit(sets))) {
+      throw ConfigError("sets", "cache sets must be a nonzero power of two (got " +
+                                    std::to_string(sets) + ")");
+    }
+    if (ways == 0) {
+      throw ConfigError("ways", "cache must have at least one way");
+    }
+    if (!(line_bytes >= 8 && std::has_single_bit(line_bytes))) {
+      throw ConfigError("line_bytes",
+                        "line size must be a power of two >= 8 (got " +
+                            std::to_string(line_bytes) + ")");
+    }
   }
 
   /// Block number (line-granular address).

@@ -160,6 +160,17 @@ std::string to_jsonl(const RunEndEvent& event) {
   return w.str();
 }
 
+std::string to_jsonl(const ArmFailedEvent& event) {
+  JsonWriter w;
+  write_header(w, "arm_failed", event.run);
+  w.key("arm").value(event.arm)
+      .key("status").value(event.status)
+      .key("error").value(event.error)
+      .key("retries").value(event.retries)
+      .end_object();
+  return w.str();
+}
+
 namespace {
 
 /// Required-field table entry: a top-level member and its expected kind.
@@ -206,6 +217,12 @@ const std::vector<FieldRule>& rules_for(std::string_view type) {
       {"instructions_retired", K::kNumber},
       {"wall_seconds", K::kNumber},
   };
+  static const std::vector<FieldRule> kArmFailed = {
+      {"arm", K::kString},
+      {"status", K::kString},
+      {"error", K::kString},
+      {"retries", K::kNumber},
+  };
   static const std::vector<FieldRule> kNone = {};
   if (type == "manifest") return kManifest;
   if (type == "interval") return kInterval;
@@ -213,12 +230,14 @@ const std::vector<FieldRule>& rules_for(std::string_view type) {
   if (type == "barrier_stall") return kBarrierStall;
   if (type == "migration") return kMigration;
   if (type == "run_end") return kRunEnd;
+  if (type == "arm_failed") return kArmFailed;
   return kNone;
 }
 
 bool known_type(std::string_view type) {
   return type == "manifest" || type == "interval" || type == "repartition" ||
-         type == "barrier_stall" || type == "migration" || type == "run_end";
+         type == "barrier_stall" || type == "migration" ||
+         type == "run_end" || type == "arm_failed";
 }
 
 const char* kind_name(JsonValue::Kind kind) {
@@ -372,7 +391,8 @@ EventLogSummary summarize(const EventLog& log) {
   summary.total_events = log.events.size();
   static const char* kTypeOrder[] = {"manifest",      "interval",
                                      "repartition",   "barrier_stall",
-                                     "migration",     "run_end"};
+                                     "migration",     "run_end",
+                                     "arm_failed"};
   for (const char* type : kTypeOrder) {
     std::uint64_t count = 0;
     for (const ParsedEvent& event : log.events) {
@@ -415,6 +435,11 @@ EventLogSummary summarize(const EventLog& log) {
       }
       if (const JsonValue* wall = event.json.find("wall_seconds")) {
         run->wall_seconds = wall->as_double();
+      }
+    } else if (event.type == "arm_failed") {
+      run->failed = true;
+      if (const JsonValue* status = event.json.find("status")) {
+        if (status->is_string()) run->failure_status = status->string;
       }
     }
   }

@@ -5,7 +5,7 @@
 //
 // Every line is a JSON object with at least {"type": <event type>, "run":
 // <run label>}. Known types: "manifest", "interval", "repartition",
-// "barrier_stall", "migration", "run_end".
+// "barrier_stall", "migration", "run_end", "arm_failed".
 #pragma once
 
 #include <cstddef>
@@ -25,6 +25,7 @@ std::string to_jsonl(const RepartitionEvent& event);
 std::string to_jsonl(const BarrierStallEvent& event);
 std::string to_jsonl(const ThreadMigrationEvent& event);
 std::string to_jsonl(const RunEndEvent& event);
+std::string to_jsonl(const ArmFailedEvent& event);
 
 /// One parsed event line.
 struct ParsedEvent {
@@ -67,6 +68,10 @@ struct RunLogSummary {
   ThreadId threads = 0;          ///< from the first interval event
   bool has_manifest = false;
   bool has_run_end = false;
+  /// The run's batch arm reached a terminal failure ("arm_failed" present).
+  bool failed = false;
+  /// Failure status from the arm_failed event ("failed"/"timed_out").
+  std::string failure_status;
   Cycles total_cycles = 0;       ///< from run_end, when present
   double wall_seconds = 0.0;     ///< from run_end, when present
 };

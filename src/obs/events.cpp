@@ -32,6 +32,11 @@ void VectorSink::on_run_end(const RunEndEvent& event) {
   run_ends_.push_back(event);
 }
 
+void VectorSink::on_arm_failed(const ArmFailedEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  arm_failures_.push_back(event);
+}
+
 std::vector<ManifestEvent> VectorSink::manifests() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return manifests_;
@@ -60,6 +65,11 @@ std::vector<ThreadMigrationEvent> VectorSink::migrations() const {
 std::vector<RunEndEvent> VectorSink::run_ends() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return run_ends_;
+}
+
+std::vector<ArmFailedEvent> VectorSink::arm_failures() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return arm_failures_;
 }
 
 }  // namespace capart::obs

@@ -67,6 +67,22 @@ struct ThreadMigrationEvent {
   ThreadId b = 0;
 };
 
+/// A batch arm that reached a terminal non-ok state: thrown configuration
+/// or runtime error (after exhausting retries), deadline expiry, or
+/// fail-fast cancellation. Published by the BatchRunner through the arm's
+/// own sink, after the arm's last attempt.
+struct ArmFailedEvent {
+  std::string run;
+  /// Spec-level arm name (usually equals `run`).
+  std::string arm;
+  /// Terminal ArmStatus as text: "failed" or "timed_out".
+  std::string status;
+  /// The exception message that ended the arm.
+  std::string error;
+  /// Attempts beyond the first that the arm consumed before giving up.
+  std::uint32_t retries = 0;
+};
+
 /// End of run: the outcome totals plus the measured wall time.
 struct RunEndEvent {
   std::string run;
@@ -86,6 +102,9 @@ class EventSink {
   virtual void on_barrier_stall(const BarrierStallEvent& event) = 0;
   virtual void on_migration(const ThreadMigrationEvent& event) = 0;
   virtual void on_run_end(const RunEndEvent& event) = 0;
+  /// Batch-level failure notification; default no-op so sinks that predate
+  /// fault isolation keep compiling unchanged.
+  virtual void on_arm_failed(const ArmFailedEvent& /*event*/) {}
 
   /// Pushes buffered output to the backing store; called at end of run and
   /// safe to call at any time.
@@ -113,6 +132,7 @@ class VectorSink final : public EventSink {
   void on_barrier_stall(const BarrierStallEvent& event) override;
   void on_migration(const ThreadMigrationEvent& event) override;
   void on_run_end(const RunEndEvent& event) override;
+  void on_arm_failed(const ArmFailedEvent& event) override;
 
   std::vector<ManifestEvent> manifests() const;
   std::vector<IntervalEvent> intervals() const;
@@ -120,6 +140,7 @@ class VectorSink final : public EventSink {
   std::vector<BarrierStallEvent> barrier_stalls() const;
   std::vector<ThreadMigrationEvent> migrations() const;
   std::vector<RunEndEvent> run_ends() const;
+  std::vector<ArmFailedEvent> arm_failures() const;
 
  private:
   mutable std::mutex mutex_;
@@ -129,6 +150,7 @@ class VectorSink final : public EventSink {
   std::vector<BarrierStallEvent> barrier_stalls_;
   std::vector<ThreadMigrationEvent> migrations_;
   std::vector<RunEndEvent> run_ends_;
+  std::vector<ArmFailedEvent> arm_failures_;
 };
 
 }  // namespace capart::obs

@@ -1,6 +1,6 @@
 #include "src/obs/jsonl_sink.hpp"
 
-#include "src/common/check.hpp"
+#include "src/common/error.hpp"
 #include "src/obs/event_log.hpp"
 
 namespace capart::obs {
@@ -12,7 +12,12 @@ JsonlSink::JsonlSink(const std::string& path, std::size_t flush_threshold)
     : owned_(std::in_place, path, std::ios::trunc),
       os_(&*owned_),
       flush_threshold_(flush_threshold) {
-  CAPART_CHECK(owned_->is_open(), "cannot open events output file");
+  // An unwritable path is an environment problem the caller can report and
+  // recover from (tools degrade to running without telemetry or exit with a
+  // clean message), not an internal invariant worth a check trace.
+  if (!owned_->is_open()) {
+    throw Error("cannot open " + path);
+  }
 }
 
 JsonlSink::~JsonlSink() { flush(); }
@@ -63,6 +68,10 @@ void JsonlSink::on_migration(const ThreadMigrationEvent& event) {
 }
 
 void JsonlSink::on_run_end(const RunEndEvent& event) {
+  append_line(to_jsonl(event));
+}
+
+void JsonlSink::on_arm_failed(const ArmFailedEvent& event) {
   append_line(to_jsonl(event));
 }
 

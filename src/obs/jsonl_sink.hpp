@@ -23,7 +23,8 @@ class JsonlSink final : public EventSink {
  public:
   /// Writes to a caller-owned stream (kept alive past the sink).
   explicit JsonlSink(std::ostream& os, std::size_t flush_threshold = 64 * 1024);
-  /// Opens `path` for writing (truncating); aborts if it cannot be opened.
+  /// Opens `path` for writing (truncating); throws capart::Error if it
+  /// cannot be opened, so tools report "cannot open X" and exit cleanly.
   explicit JsonlSink(const std::string& path,
                      std::size_t flush_threshold = 64 * 1024);
   ~JsonlSink() override;
@@ -37,6 +38,7 @@ class JsonlSink final : public EventSink {
   void on_barrier_stall(const BarrierStallEvent& event) override;
   void on_migration(const ThreadMigrationEvent& event) override;
   void on_run_end(const RunEndEvent& event) override;
+  void on_arm_failed(const ArmFailedEvent& event) override;
 
   void flush() override;
 

@@ -20,19 +20,24 @@ void print_batch_summary(std::ostream& os, const sim::BatchResult& batch,
                          const BatchSummaryOptions& options) {
   const std::string label =
       batch.spec_name.empty() ? "batch" : "batch " + batch.spec_name;
+  const std::size_t failed = batch.arms_failed();
   os << "[" << label << "] " << batch.arms.size() << " arm"
      << (batch.arms.size() == 1 ? "" : "s") << ", jobs=" << batch.jobs
      << ": wall " << fmt_seconds(batch.wall_seconds) << ", serial-equivalent "
      << fmt_seconds(batch.serial_seconds()) << ", speedup "
-     << fmt(batch.speedup(), 1) << "x\n";
+     << fmt(batch.speedup(), 1) << "x";
+  if (failed > 0) os << ", " << failed << " FAILED";
+  os << "\n";
   if (batch.arms.empty()) return;
 
   if (options.list_arms) {
-    Table table({"arm", "wall"});
+    Table table({"arm", "status", "wall"});
     for (const sim::ArmOutcome& arm : batch.arms) {
-      table.add_row({arm.name, fmt_seconds(arm.wall_seconds)});
+      table.add_row({arm.name, std::string(sim::to_string(arm.status)),
+                     fmt_seconds(arm.wall_seconds)});
     }
     table.print(os);
+    print_failed_arms(os, batch);
     return;
   }
 
@@ -44,14 +49,29 @@ void print_batch_summary(std::ostream& os, const sim::BatchResult& batch,
                             batch.arms[b].wall_seconds;
                    });
   const std::size_t shown = std::min(options.slowest, order.size());
-  if (shown == 0) return;
-  os << "  slowest:";
-  for (std::size_t i = 0; i < shown; ++i) {
-    const sim::ArmOutcome& arm = batch.arms[order[i]];
-    os << (i == 0 ? " " : "; ") << arm.name << " "
-       << fmt_seconds(arm.wall_seconds);
+  if (shown != 0) {
+    os << "  slowest:";
+    for (std::size_t i = 0; i < shown; ++i) {
+      const sim::ArmOutcome& arm = batch.arms[order[i]];
+      os << (i == 0 ? " " : "; ") << arm.name << " "
+         << fmt_seconds(arm.wall_seconds);
+    }
+    os << "\n";
   }
-  os << "\n";
+  print_failed_arms(os, batch);
+}
+
+void print_failed_arms(std::ostream& os, const sim::BatchResult& batch) {
+  for (const sim::ArmOutcome& arm : batch.arms) {
+    if (arm.ok()) continue;
+    os << "  arm " << arm.name << " " << sim::to_string(arm.status) << ": "
+       << arm.error;
+    if (arm.retries > 0) {
+      os << " (after " << arm.retries
+         << (arm.retries == 1 ? " retry" : " retries") << ")";
+    }
+    os << "\n";
+  }
 }
 
 }  // namespace capart::report

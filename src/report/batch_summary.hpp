@@ -23,4 +23,9 @@ struct BatchSummaryOptions {
 void print_batch_summary(std::ostream& os, const sim::BatchResult& batch,
                          const BatchSummaryOptions& options = {});
 
+/// One "  arm <name> <status>: <error>" line per non-ok arm (nothing when
+/// every arm succeeded). Included by print_batch_summary; exposed for front
+/// ends that want the failure report on a different stream (stderr).
+void print_failed_arms(std::ostream& os, const sim::BatchResult& batch);
+
 }  // namespace capart::report

@@ -1,5 +1,6 @@
 #include "src/sim/batch.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <exception>
@@ -7,6 +8,8 @@
 #include <thread>
 
 #include "src/common/check.hpp"
+#include "src/common/error.hpp"
+#include "src/obs/events.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace capart::sim {
@@ -29,7 +32,10 @@ struct WorkQueue {
 
 ExperimentSpec& ExperimentSpec::add(std::string arm_name,
                                     ExperimentConfig config) {
-  CAPART_CHECK(!contains(arm_name), "duplicate arm name in spec");
+  if (contains(arm_name)) {
+    throw ConfigError("arm",
+                      "duplicate arm name '" + arm_name + "' in spec");
+  }
   arms.push_back({std::move(arm_name), std::move(config)});
   return *this;
 }
@@ -41,6 +47,18 @@ bool ExperimentSpec::contains(std::string_view arm_name) const noexcept {
   return false;
 }
 
+std::string_view to_string(ArmStatus status) noexcept {
+  switch (status) {
+    case ArmStatus::kOk:
+      return "ok";
+    case ArmStatus::kFailed:
+      return "failed";
+    case ArmStatus::kTimedOut:
+      return "timed_out";
+  }
+  return "unknown";
+}
+
 double BatchResult::serial_seconds() const noexcept {
   double total = 0.0;
   for (const ArmOutcome& arm : arms) total += arm.wall_seconds;
@@ -50,6 +68,14 @@ double BatchResult::serial_seconds() const noexcept {
 double BatchResult::speedup() const noexcept {
   const double serial = serial_seconds();
   return (wall_seconds > 0.0 && serial > 0.0) ? serial / wall_seconds : 1.0;
+}
+
+std::size_t BatchResult::arms_failed() const noexcept {
+  std::size_t failed = 0;
+  for (const ArmOutcome& arm : arms) {
+    if (!arm.ok()) ++failed;
+  }
+  return failed;
 }
 
 const ArmOutcome& BatchResult::outcome(std::string_view arm_name) const {
@@ -68,8 +94,8 @@ unsigned default_jobs() noexcept {
   return hw != 0 ? hw : 1;
 }
 
-BatchRunner::BatchRunner(unsigned jobs)
-    : jobs_(jobs != 0 ? jobs : default_jobs()) {}
+BatchRunner::BatchRunner(unsigned jobs, BatchPolicy policy)
+    : jobs_(jobs != 0 ? jobs : default_jobs()), policy_(policy) {}
 
 void BatchRunner::run_indexed(std::size_t count,
                               const std::function<void(std::size_t)>& body,
@@ -152,17 +178,80 @@ BatchResult BatchRunner::run(const ExperimentSpec& spec) const {
     batch.arms[i].name = spec.arms[i].name;
   }
 
+  // One token per arm: the owning worker rearms the deadline before each
+  // attempt; fail-fast cancels every token from whichever worker failed
+  // (cancel() is atomic and sticky across rearms).
+  std::vector<CancelToken> tokens(spec.arms.size());
+  std::atomic<bool> abort{false};
+
+  auto report_failure = [&](const ExperimentArm& arm, ArmOutcome& out) {
+    if (obs::MetricsRegistry* metrics = arm.config.obs.metrics) {
+      metrics->add("batch/arms_failed");
+      if (out.retries > 0) metrics->add("batch/arm_retries", out.retries);
+    }
+    if (arm.config.obs.sink != nullptr) {
+      arm.config.obs.sink->on_arm_failed(
+          {arm.config.obs.run_name.empty() ? out.name : arm.config.obs.run_name,
+           out.name, std::string(to_string(out.status)), out.error,
+           out.retries});
+      arm.config.obs.sink->flush();
+    }
+    if (policy_.fail_fast) {
+      abort.store(true, std::memory_order_relaxed);
+      for (CancelToken& token : tokens) token.cancel();
+    }
+  };
+
+  auto run_arm = [&](std::size_t i) {
+    const ExperimentArm& arm = spec.arms[i];
+    ArmOutcome& out = batch.arms[i];
+    if (policy_.fail_fast && abort.load(std::memory_order_relaxed)) {
+      out.status = ArmStatus::kFailed;
+      out.error = "skipped: batch cancelled (fail-fast)";
+      if (obs::MetricsRegistry* metrics = arm.config.obs.metrics) {
+        metrics->add("batch/arms_failed");
+      }
+      return;
+    }
+    ExperimentConfig config = arm.config;
+    config.cancel = &tokens[i];
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      tokens[i].rearm_deadline(policy_.arm_deadline_seconds);
+      try {
+        out.result = run_experiment(config);
+        out.status = ArmStatus::kOk;
+        out.retries = attempt;
+        if (obs::MetricsRegistry* metrics = arm.config.obs.metrics) {
+          metrics->add("batch/arms_completed");
+          if (attempt > 0) metrics->add("batch/arm_retries", attempt);
+        }
+        return;
+      } catch (const CancelledError& error) {
+        // Deadline expiries and fail-fast cancellations are terminal: a
+        // deadline that expired once will expire again, and a cancelled
+        // batch is already shutting down.
+        out.status = error.deadline_expired() ? ArmStatus::kTimedOut
+                                              : ArmStatus::kFailed;
+        out.error = error.what();
+        out.retries = attempt;
+        break;
+      } catch (const std::exception& error) {
+        if (attempt < policy_.max_retries &&
+            !(policy_.fail_fast && abort.load(std::memory_order_relaxed))) {
+          continue;
+        }
+        out.status = ArmStatus::kFailed;
+        out.error = error.what();
+        out.retries = attempt;
+        break;
+      }
+    }
+    report_failure(arm, out);
+  };
+
   std::vector<double> wall(spec.arms.size(), 0.0);
   const auto start = std::chrono::steady_clock::now();
-  run_indexed(
-      spec.arms.size(),
-      [&](std::size_t i) {
-        batch.arms[i].result = run_experiment(spec.arms[i].config);
-        if (obs::MetricsRegistry* metrics = spec.arms[i].config.obs.metrics) {
-          metrics->add("batch/arms_completed");
-        }
-      },
-      &wall);
+  run_indexed(spec.arms.size(), run_arm, &wall);
   batch.wall_seconds = seconds_since(start);
   for (std::size_t i = 0; i < spec.arms.size(); ++i) {
     batch.arms[i].wall_seconds = wall[i];

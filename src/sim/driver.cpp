@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "src/common/check.hpp"
+#include "src/common/error.hpp"
 #include "src/obs/events.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/sim/fault_injector.hpp"
 
 namespace capart::sim {
 
@@ -142,6 +144,16 @@ void Driver::step(ThreadId t) {
 }
 
 void Driver::on_interval_boundary() {
+  if (config_.fault != nullptr) {
+    config_.fault->on_interval(config_.obs.run_name, interval_index_);
+  }
+  if (config_.cancel != nullptr && config_.cancel->should_stop()) {
+    const bool deadline = config_.cancel->deadline_expired();
+    throw CancelledError(
+        std::string(deadline ? "deadline expired" : "cancelled") +
+            " at interval " + std::to_string(interval_index_),
+        deadline);
+  }
   const Cycles overhead = callback_ ? callback_(interval_index_) : 0;
   if (overhead > 0) {
     for (ThreadId t = 0; t < threads_.size(); ++t) {

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/cancel.hpp"
 #include "src/common/types.hpp"
 #include "src/obs/obs.hpp"
 #include "src/sim/cmp_system.hpp"
@@ -26,6 +27,8 @@
 #include "src/trace/op_source.hpp"
 
 namespace capart::sim {
+
+class FaultInjector;
 
 /// How Driver::run() picks the next runnable thread (always the one with the
 /// smallest clock, lowest tid on ties — the choice of structure never changes
@@ -55,6 +58,15 @@ struct DriverConfig {
   /// Observability attachment (barrier-stall/migration events, driver
   /// counters); disabled by default.
   obs::ObsConfig obs;
+  /// Cooperative cancellation (non-owning). When set, the driver polls the
+  /// token at every interval boundary and stops the run by throwing
+  /// capart::CancelledError — the BatchRunner's deadline and fail-fast
+  /// mechanisms. Runs always stop at boundary granularity, never mid-access.
+  const CancelToken* cancel = nullptr;
+  /// Test-only fault-injection hook (non-owning); fired at every interval
+  /// boundary before the cancellation poll so injected stalls can drive a
+  /// deadline expiry at the same boundary.
+  FaultInjector* fault = nullptr;
 };
 
 /// Invoked at each interval boundary; returns per-thread overhead cycles the

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "src/common/check.hpp"
+#include "src/common/error.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/model_based_policy.hpp"
 #include "src/core/runtime_system.hpp"
@@ -19,10 +20,36 @@ Addr private_region_base(ThreadId t) noexcept {
 
 Addr shared_region_base() noexcept { return Addr{1} << 52; }
 
+void ExperimentConfig::validate() const {
+  if (num_threads < 1) {
+    throw ConfigError("threads", "experiment needs at least one thread");
+  }
+  if (num_intervals < 1) {
+    throw ConfigError("intervals", "experiment needs >= 1 interval");
+  }
+  if (interval_instructions < 1'000) {
+    throw ConfigError("interval-instr",
+                      "interval too short for stable counters (need >= 1000 "
+                      "instructions)");
+  }
+  l1.validate();
+  l2.validate();
+  if (enable_private_l2) private_l2.validate();
+  // Way-granular organizations keep >= 1 way per thread; catching the
+  // violation here names the flags instead of aborting in cache setup.
+  const bool way_granular = l2_mode == mem::L2Mode::kPartitionedShared ||
+                            l2_mode == mem::L2Mode::kFlushReconfigureShared ||
+                            l2_mode == mem::L2Mode::kPrivatePerThread;
+  if (way_granular && l2.ways < num_threads) {
+    throw ConfigError("l2-ways", "l2 needs at least one way per thread (" +
+                                     std::to_string(l2.ways) + " ways, " +
+                                     std::to_string(num_threads) +
+                                     " threads)");
+  }
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  CAPART_CHECK(config.num_intervals >= 1, "experiment needs >= 1 interval");
-  CAPART_CHECK(config.interval_instructions >= 1'000,
-               "interval too short for stable counters");
+  config.validate();
 
   const auto wall_start = std::chrono::steady_clock::now();
   if (config.obs.sink != nullptr) {
@@ -72,6 +99,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       .barrier_release_cost = config.barrier_release_cost,
       .barrier_group = {},
       .obs = config.obs,
+      .cancel = config.cancel,
+      .fault = config.fault,
   };
   Driver driver(system, std::move(program), std::move(generators),
                 driver_config);

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/cancel.hpp"
 #include "src/common/types.hpp"
 #include "src/core/policy.hpp"
 #include "src/cpu/perf_counters.hpp"
@@ -20,6 +21,8 @@
 #include "src/sim/interval.hpp"
 
 namespace capart::sim {
+
+class FaultInjector;
 
 /// A migration event for the resilience ablation: at interval boundary
 /// `interval`, threads `a` and `b` swap cores (and therefore L1s).
@@ -80,6 +83,21 @@ struct ExperimentConfig {
   /// decisions, barrier stalls, migrations and a run-end event. Null by
   /// default — a disabled run takes the single-branch fast path everywhere.
   obs::ObsConfig obs;
+
+  /// Cooperative cancellation (non-owning): polled by the driver at every
+  /// interval boundary; a fired token stops the run with CancelledError.
+  /// The BatchRunner injects one per arm to enforce deadlines and fail-fast.
+  const CancelToken* cancel = nullptr;
+
+  /// Test-only fault-injection hook (non-owning; see sim/fault_injector.hpp).
+  FaultInjector* fault = nullptr;
+
+  /// Rejects configurations the simulator cannot run — bad interval
+  /// parameters, impossible cache geometry, way-partitioned modes with more
+  /// threads than ways — with ConfigError naming the offending field.
+  /// run_experiment calls it first; the BatchRunner contains the throw as a
+  /// failed arm. The profile name is validated later, in trace setup.
+  void validate() const;
 };
 
 /// Fig 15 material: the fitted runtime CPI models at the end of a

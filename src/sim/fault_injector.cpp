@@ -1,0 +1,52 @@
+#include "src/sim/fault_injector.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/error.hpp"
+
+namespace capart::sim {
+
+void FaultInjector::add(Fault fault) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  faults_.push_back({std::move(fault), 0});
+}
+
+void FaultInjector::on_interval(std::string_view run, std::uint64_t interval) {
+  // Decide under the lock, act (sleep/throw) outside it so a stalling arm
+  // does not serialize its siblings' boundaries behind the mutex.
+  double stall_seconds = 0.0;
+  std::string throw_message;
+  bool do_throw = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (Armed& armed : faults_) {
+      const Fault& f = armed.fault;
+      if (f.interval != interval) continue;
+      if (!f.arm.empty() && f.arm != run) continue;
+      if (f.times != 0 && armed.fired >= f.times) continue;
+      ++armed.fired;
+      ++fires_;
+      if (f.kind == Kind::kThrow) {
+        do_throw = true;
+        throw_message = f.message;
+        break;  // the throw ends this attempt; later faults stay armed
+      }
+      stall_seconds += f.stall_seconds;
+    }
+  }
+  if (stall_seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(stall_seconds));
+  }
+  if (do_throw) {
+    throw Error(throw_message + " (arm '" + std::string(run) + "', interval " +
+                std::to_string(interval) + ")");
+  }
+}
+
+std::uint64_t FaultInjector::fires() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return fires_;
+}
+
+}  // namespace capart::sim

@@ -1,0 +1,68 @@
+// Test-only fault injection for the experiment stack.
+//
+// A FaultInjector is attached (non-owning) to ExperimentConfig.fault and
+// polled by the Driver at every interval boundary — the same deterministic
+// point where the runtime system, the cancellation token and the interval
+// callback run. Faults fire for a named run (the arm's obs.run_name) at a
+// chosen interval and either throw a capart::Error (a poisoned arm) or stall
+// the wall clock (driving a deadline expiry), which is exactly the failure
+// matrix the BatchRunner's containment, retry and deadline paths must
+// survive. Production runs never construct one; the disabled path is a
+// single null-pointer branch per interval.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace capart::sim {
+
+class FaultInjector {
+ public:
+  enum class Kind : std::uint8_t {
+    kThrow,  ///< throw capart::Error(message) at the boundary
+    kStall,  ///< sleep for stall_seconds at the boundary (wall clock only)
+  };
+
+  struct Fault {
+    /// Run/arm name to match (ExperimentConfig.obs.run_name); empty matches
+    /// every run.
+    std::string arm;
+    /// Interval boundary at which to fire (0 = the first boundary).
+    std::uint64_t interval = 0;
+    Kind kind = Kind::kThrow;
+    /// Attempts of the matching arm to affect before the fault burns out;
+    /// 0 = every attempt. times=2 with max_retries=2 means two failing
+    /// attempts and a clean third — the retry-success test shape.
+    std::uint32_t times = 0;
+    /// Wall-clock stall for kStall.
+    double stall_seconds = 0.0;
+    std::string message = "injected fault";
+  };
+
+  /// Registers a fault. Not thread-safe against concurrent on_interval();
+  /// set the injector up before handing configs to a BatchRunner.
+  void add(Fault fault);
+
+  /// Driver hook: fires every matching armed fault for `run` at `interval`.
+  /// Thread-safe (arms run concurrently). kThrow faults throw capart::Error;
+  /// kStall faults block the calling worker, then return.
+  void on_interval(std::string_view run, std::uint64_t interval);
+
+  /// Total times any fault has fired (throws + stalls), across all arms.
+  std::uint64_t fires() const;
+
+ private:
+  struct Armed {
+    Fault fault;
+    std::uint32_t fired = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Armed> faults_;
+  std::uint64_t fires_ = 0;
+};
+
+}  // namespace capart::sim

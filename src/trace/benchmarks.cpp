@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "src/common/check.hpp"
+#include "src/common/error.hpp"
 
 namespace capart::trace {
 namespace {
@@ -150,7 +150,10 @@ BenchmarkProfile base_profile(std::string_view name) {
         light(3'500, 0.24, 0.035),
     };
   } else {
-    CAPART_CHECK(false, "unknown benchmark profile name");
+    // Reachable straight from --profile; a recoverable config error, not an
+    // invariant.
+    throw ConfigError("profile",
+                      "unknown benchmark profile '" + std::string(name) + "'");
   }
   return p;
 }
@@ -176,7 +179,9 @@ const std::vector<std::string>& benchmark_names() {
 }
 
 BenchmarkProfile make_profile(std::string_view name, ThreadId num_threads) {
-  CAPART_CHECK(num_threads >= 1, "profile needs at least one thread");
+  if (num_threads < 1) {
+    throw ConfigError("threads", "profile needs at least one thread");
+  }
   BenchmarkProfile base = base_profile(name);
   if (num_threads == base.threads.size()) return base;
 

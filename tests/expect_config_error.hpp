@@ -1,0 +1,25 @@
+// Assertion helper for the recoverable-error contract (src/common/error.hpp):
+// configuration mistakes throw capart::ConfigError instead of aborting, so
+// tests assert on the exception and its message rather than on process death.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/error.hpp"
+
+/// Expects `stmt` to throw capart::ConfigError with `substr` in its message.
+#define EXPECT_CONFIG_ERROR(stmt, substr)                                  \
+  do {                                                                     \
+    bool caught_config_error = false;                                      \
+    try {                                                                  \
+      stmt;                                                                \
+    } catch (const ::capart::ConfigError& error) {                         \
+      caught_config_error = true;                                          \
+      EXPECT_NE(std::string(error.what()).find(substr), std::string::npos) \
+          << "message was: " << error.what();                              \
+    }                                                                      \
+    EXPECT_TRUE(caught_config_error)                                       \
+        << "expected ConfigError from: " #stmt;                            \
+  } while (0)

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/expect_config_error.hpp"
+
 #include <atomic>
 #include <stdexcept>
 #include <string>
@@ -146,7 +148,7 @@ TEST(BatchRunner, DefaultJobsIsAtLeastOne) {
 TEST(BatchRunner, SpecRejectsDuplicateArmNames) {
   ExperimentSpec spec;
   spec.add("a", ExperimentConfig{});
-  EXPECT_DEATH(spec.add("a", ExperimentConfig{}), "duplicate arm name");
+  EXPECT_CONFIG_ERROR(spec.add("a", ExperimentConfig{}), "duplicate arm name");
 }
 
 TEST(BatchRunner, UnknownArmLookupAborts) {

@@ -94,6 +94,35 @@ TEST(BenchOptionsDeathTest, RejectsNonNumericJobs) {
               "invalid value for --jobs");
 }
 
+// strtoull used to wrap "-1" to 2^64-1 and the narrowing cast made it
+// 4294967295 intervals; signs must be rejected outright.
+TEST(BenchOptionsDeathTest, RejectsNegativeValue) {
+  EXPECT_EXIT(parse({"--intervals=-1"}), ::testing::ExitedWithCode(2),
+              "invalid value for --intervals");
+  EXPECT_EXIT(parse({"--seed=+7"}), ::testing::ExitedWithCode(2),
+              "invalid value for --seed");
+}
+
+// Values that overflow the 32-bit destination used to truncate silently
+// (--threads=4294967300 became 4); they must be range errors.
+TEST(BenchOptionsDeathTest, RejectsOverflowingValue) {
+  EXPECT_EXIT(parse({"--threads=4294967300"}), ::testing::ExitedWithCode(2),
+              "value for --threads out of range");
+  EXPECT_EXIT(parse({"--seed=99999999999999999999999"}),
+              ::testing::ExitedWithCode(2), "value for --seed out of range");
+}
+
+TEST(BenchOptions, ParsesFaultIsolationFlags) {
+  const BenchOptions opt = parse({"--arm-retries=2", "--arm-deadline=1.5"});
+  EXPECT_EQ(opt.arm_retries, 2u);
+  EXPECT_DOUBLE_EQ(opt.arm_deadline, 1.5);
+}
+
+TEST(BenchOptionsDeathTest, RejectsNegativeDeadline) {
+  EXPECT_EXIT(parse({"--arm-deadline=-1"}), ::testing::ExitedWithCode(2),
+              "invalid value for --arm-deadline");
+}
+
 TEST(BenchOptionsDeathTest, HelpExitsCleanly) {
   EXPECT_EXIT(parse({"--help"}), ::testing::ExitedWithCode(0), "");
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/expect_config_error.hpp"
+
 namespace capart::trace {
 namespace {
 
@@ -12,8 +14,8 @@ TEST(Benchmarks, NinePaperApplications) {
   EXPECT_EQ(names.back(), "equake");
 }
 
-TEST(Benchmarks, UnknownNameAborts) {
-  EXPECT_DEATH(make_profile("nonexistent", 4), "unknown benchmark");
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_CONFIG_ERROR(make_profile("nonexistent", 4), "unknown benchmark");
 }
 
 TEST(Benchmarks, EightThreadProfilesCycleWithReducedWorkingSets) {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/expect_config_error.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -196,10 +198,10 @@ TEST(Experiment, ImprovementIsAntisymmetricInSign) {
 TEST(Experiment, RejectsDegenerateConfigs) {
   ExperimentConfig c = small("cg");
   c.interval_instructions = 10;
-  EXPECT_DEATH(run_experiment(c), "interval too short");
+  EXPECT_CONFIG_ERROR(run_experiment(c), "interval too short");
   ExperimentConfig c2 = small("cg");
   c2.num_intervals = 0;
-  EXPECT_DEATH(run_experiment(c2), ">= 1 interval");
+  EXPECT_CONFIG_ERROR(run_experiment(c2), ">= 1 interval");
 }
 
 TEST(Experiment, RegionBasesAreDisjoint) {

@@ -1,0 +1,104 @@
+// Strict flag-value parsing (src/common/parse.hpp). These pin the fixes for
+// the CLI bugs that used to feed the batch runner garbage: strtoull wrapping
+// "-1" into 2^64-1, ERANGE overflow ignored before a narrowing cast, and
+// split lists silently emitting empty profile/policy names.
+#include "src/common/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "tests/expect_config_error.hpp"
+
+namespace capart {
+namespace {
+
+TEST(ParseU64Flag, AcceptsPlainDecimal) {
+  EXPECT_EQ(parse_u64_flag("0", "--seed"), 0u);
+  EXPECT_EQ(parse_u64_flag("42", "--seed"), 42u);
+  EXPECT_EQ(parse_u64_flag("18446744073709551615", "--seed"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64Flag, RejectsSignsThatStrtoullWouldWrap) {
+  // strtoull("-1") == 2^64-1: the original bug.
+  EXPECT_CONFIG_ERROR(parse_u64_flag("-1", "--intervals"),
+                      "invalid value for --intervals");
+  EXPECT_CONFIG_ERROR(parse_u64_flag("+7", "--seed"),
+                      "invalid value for --seed");
+}
+
+TEST(ParseU64Flag, RejectsEmptyGarbageAndTrailingText) {
+  EXPECT_CONFIG_ERROR(parse_u64_flag("", "--seed"), "invalid value");
+  EXPECT_CONFIG_ERROR(parse_u64_flag("abc", "--seed"), "invalid value");
+  EXPECT_CONFIG_ERROR(parse_u64_flag("12x", "--seed"), "invalid value");
+  EXPECT_CONFIG_ERROR(parse_u64_flag(" 12", "--seed"), "invalid value");
+  EXPECT_CONFIG_ERROR(parse_u64_flag("0x10", "--seed"), "invalid value");
+}
+
+TEST(ParseU64Flag, ReportsOverflowAsOutOfRange) {
+  // 2^64 + change: strtoull sets ERANGE, which used to be ignored.
+  EXPECT_CONFIG_ERROR(parse_u64_flag("99999999999999999999999", "--seed"),
+                      "value for --seed out of range");
+}
+
+TEST(ParseU64Flag, EnforcesTheCallerBound) {
+  EXPECT_EQ(parse_u64_flag("16", "--ways", 16), 16u);
+  EXPECT_CONFIG_ERROR(parse_u64_flag("17", "--ways", 16),
+                      "value for --ways out of range (max 16)");
+}
+
+TEST(ParseU32Flag, RejectsValuesTheNarrowingCastUsedToTruncate) {
+  // 4294967300 % 2^32 == 4: the --threads truncation bug.
+  EXPECT_CONFIG_ERROR(parse_u32_flag("4294967300", "--threads"),
+                      "value for --threads out of range");
+  EXPECT_EQ(parse_u32_flag("4294967295", "--threads"),
+            std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(ParseF64Flag, AcceptsNonNegativeDecimals) {
+  EXPECT_DOUBLE_EQ(parse_f64_flag("1.5", "--arm-deadline"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_f64_flag(".5", "--arm-deadline"), 0.5);
+  EXPECT_DOUBLE_EQ(parse_f64_flag("0", "--arm-deadline"), 0.0);
+}
+
+TEST(ParseF64Flag, RejectsSignsGarbageAndNonFinite) {
+  EXPECT_CONFIG_ERROR(parse_f64_flag("-1", "--arm-deadline"),
+                      "invalid value for --arm-deadline");
+  EXPECT_CONFIG_ERROR(parse_f64_flag("+1", "--arm-deadline"), "invalid value");
+  EXPECT_CONFIG_ERROR(parse_f64_flag("", "--arm-deadline"), "invalid value");
+  EXPECT_CONFIG_ERROR(parse_f64_flag("fast", "--arm-deadline"),
+                      "invalid value");
+  EXPECT_CONFIG_ERROR(parse_f64_flag("1.5s", "--arm-deadline"),
+                      "invalid value");
+  EXPECT_CONFIG_ERROR(parse_f64_flag("inf", "--arm-deadline"),
+                      "invalid value");
+  EXPECT_CONFIG_ERROR(parse_f64_flag("1e999", "--arm-deadline"),
+                      "invalid value");
+}
+
+TEST(SplitFlagList, SplitsOnCommas) {
+  EXPECT_EQ(split_flag_list("cg", "--profile"),
+            (std::vector<std::string>{"cg"}));
+  EXPECT_EQ(split_flag_list("cg,mg,swim", "--profile"),
+            (std::vector<std::string>{"cg", "mg", "swim"}));
+}
+
+TEST(SplitFlagList, RejectsEmptyItemsNamingTheFlag) {
+  // "--profile=,cg" used to produce an empty profile that failed deep inside
+  // trace setup; now the flag itself is the error.
+  EXPECT_CONFIG_ERROR(split_flag_list(",cg", "--profile"),
+                      "empty item in --profile list");
+  EXPECT_CONFIG_ERROR(split_flag_list("cg,,mg", "--profile"),
+                      "empty item in --profile list");
+  EXPECT_CONFIG_ERROR(split_flag_list("cg,", "--policy"),
+                      "empty item in --policy list");
+  EXPECT_CONFIG_ERROR(split_flag_list("", "--policy"),
+                      "empty item in --policy list");
+}
+
+}  // namespace
+}  // namespace capart

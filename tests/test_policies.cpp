@@ -2,6 +2,8 @@
 // throughput-oriented policies (the model-based scheme has its own file).
 #include <gtest/gtest.h>
 
+#include "tests/expect_config_error.hpp"
+
 #include <numeric>
 
 #include "src/core/cpi_proportional_policy.hpp"
@@ -132,10 +134,10 @@ TEST(TimeSharedPolicy, SingleThreadGetsEverything) {
 TEST(TimeSharedPolicy, RejectsBadOptions) {
   PolicyOptions opt;
   opt.time_shared_big_fraction = 1.0;
-  EXPECT_DEATH(TimeSharedPolicy{opt}, "big fraction");
+  EXPECT_CONFIG_ERROR(TimeSharedPolicy{opt}, "big fraction");
   PolicyOptions opt2;
   opt2.time_shared_quantum = 0;
-  EXPECT_DEATH(TimeSharedPolicy{opt2}, "quantum");
+  EXPECT_CONFIG_ERROR(TimeSharedPolicy{opt2}, "quantum");
 }
 
 TEST(ThroughputPolicy, BootstrapIsMissProportional) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/expect_config_error.hpp"
+
 namespace capart::mem {
 namespace {
 
@@ -91,12 +93,12 @@ TEST(SetAssocCache, CyclicSweepOverCapacityAlwaysMisses) {
 }
 
 TEST(SetAssocCache, GeometryValidation) {
-  EXPECT_DEATH(SetAssocCache({.sets = 3, .ways = 2, .line_bytes = 64}),
-               "power of two");
-  EXPECT_DEATH(SetAssocCache({.sets = 4, .ways = 0, .line_bytes = 64}),
-               "at least one way");
-  EXPECT_DEATH(SetAssocCache({.sets = 4, .ways = 2, .line_bytes = 48}),
-               "power of two");
+  EXPECT_CONFIG_ERROR(SetAssocCache({.sets = 3, .ways = 2, .line_bytes = 64}),
+                      "power of two");
+  EXPECT_CONFIG_ERROR(SetAssocCache({.sets = 4, .ways = 0, .line_bytes = 64}),
+                      "at least one way");
+  EXPECT_CONFIG_ERROR(SetAssocCache({.sets = 4, .ways = 2, .line_bytes = 48}),
+                      "power of two");
 }
 
 TEST(SetAssocCache, GeometryHelpers) {

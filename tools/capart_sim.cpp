@@ -24,6 +24,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/error.hpp"
+#include "src/common/parse.hpp"
 #include "src/obs/chrome_trace.hpp"
 #include "src/obs/jsonl_sink.hpp"
 #include "src/obs/metrics.hpp"
@@ -59,6 +61,11 @@ flags:
   --seed=N              workload seed (default 42)
   --jobs=N              concurrent experiments in batch mode (default: all
                         cores); results are bit-identical for any value
+  --arm-retries=N       batch mode: re-run a failed arm up to N times
+                        (default 0)
+  --arm-deadline=SEC    batch mode: per-arm wall-clock budget in seconds; an
+                        expired arm stops at its next interval boundary and
+                        reports timed_out (default: none)
   --private-l2          insert private per-core L2s (shared cache becomes L3)
   --csv=PATH            write the per-interval series as CSV; in batch mode
                         PATH is a stem and each arm writes
@@ -109,30 +116,6 @@ mem::ReplacementKind parse_repl(std::string_view v, const char* flag) {
   return kind;
 }
 
-std::uint64_t parse_num(std::string_view v, const char* flag) {
-  // A flag without "=value" arrives as an empty view with a null data
-  // pointer; copy before strtoull ever dereferences it.
-  const std::string copy(v);
-  char* end = nullptr;
-  const std::uint64_t n = std::strtoull(copy.c_str(), &end, 10);
-  if (copy.empty() || end != copy.c_str() + copy.size()) {
-    std::fprintf(stderr, "invalid value for %s\n", flag);
-    usage(2);
-  }
-  return n;
-}
-
-std::vector<std::string> split_list(std::string_view v) {
-  std::vector<std::string> items;
-  while (!v.empty()) {
-    const auto comma = v.find(',');
-    items.emplace_back(v.substr(0, comma));
-    if (comma == std::string_view::npos) break;
-    v.remove_prefix(comma + 1);
-  }
-  return items;
-}
-
 /// Batch output files derive from a stem: "runs.csv" -> "runs", so arm files
 /// become runs.<profile>.<policy>.csv rather than runs.csv.cg.model.csv.
 std::string strip_suffix(std::string path, std::string_view suffix) {
@@ -170,61 +153,73 @@ int main(int argc, char** argv) {
       policies = {{"model", cfg.policy}};
   bool had_policy_flag = false;
   unsigned jobs = 0;
+  sim::BatchPolicy batch_policy;
   std::string csv_path;
   std::string events_path;
   std::string trace_path;
   bool want_metrics = false;
   bool quiet = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    const auto eq = arg.find('=');
-    const std::string_view key = arg.substr(0, eq);
-    const std::string_view value =
-        eq == std::string_view::npos ? std::string_view{} : arg.substr(eq + 1);
-    if (key == "--help" || key == "-h") usage(0);
-    else if (key == "--profile") profiles = split_list(value);
-    else if (key == "--policy") {
-      policies.clear();
-      for (const std::string& name : split_list(value)) {
-        policies.emplace_back(name, parse_policy(name));
-      }
-      had_policy_flag = true;
-    } else if (key == "--l2-mode") cfg.l2_mode = parse_mode(value);
-    else if (key == "--threads")
-      cfg.num_threads = static_cast<ThreadId>(parse_num(value, "--threads"));
-    else if (key == "--intervals")
-      cfg.num_intervals =
-          static_cast<std::uint32_t>(parse_num(value, "--intervals"));
-    else if (key == "--interval-instr")
-      cfg.interval_instructions = parse_num(value, "--interval-instr");
-    else if (key == "--l2-ways")
-      cfg.l2.ways = static_cast<std::uint32_t>(parse_num(value, "--l2-ways"));
-    else if (key == "--l2-sets")
-      cfg.l2.sets = static_cast<std::uint32_t>(parse_num(value, "--l2-sets"));
-    else if (key == "--l2-repl") cfg.l2.repl = parse_repl(value, "--l2-repl");
-    else if (key == "--l1-repl") cfg.l1.repl = parse_repl(value, "--l1-repl");
-    else if (key == "--overhead")
-      cfg.runtime_overhead_cycles = parse_num(value, "--overhead");
-    else if (key == "--l2-banks")
-      cfg.l2_banks = static_cast<std::uint32_t>(parse_num(value, "--l2-banks"));
-    else if (key == "--seed") cfg.seed = parse_num(value, "--seed");
-    else if (key == "--jobs") {
-      jobs = static_cast<unsigned>(parse_num(value, "--jobs"));
-      if (jobs == 0) {
-        std::fprintf(stderr, "invalid value for --jobs: must be >= 1\n");
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      const auto eq = arg.find('=');
+      const std::string_view key = arg.substr(0, eq);
+      const std::string_view value = eq == std::string_view::npos
+                                         ? std::string_view{}
+                                         : arg.substr(eq + 1);
+      if (key == "--help" || key == "-h") usage(0);
+      else if (key == "--profile")
+        profiles = split_flag_list(value, "--profile");
+      else if (key == "--policy") {
+        policies.clear();
+        for (const std::string& name : split_flag_list(value, "--policy")) {
+          policies.emplace_back(name, parse_policy(name));
+        }
+        had_policy_flag = true;
+      } else if (key == "--l2-mode") cfg.l2_mode = parse_mode(value);
+      else if (key == "--threads")
+        cfg.num_threads = parse_u32_flag(value, "--threads");
+      else if (key == "--intervals")
+        cfg.num_intervals = parse_u32_flag(value, "--intervals");
+      else if (key == "--interval-instr")
+        cfg.interval_instructions = parse_u64_flag(value, "--interval-instr");
+      else if (key == "--l2-ways")
+        cfg.l2.ways = parse_u32_flag(value, "--l2-ways");
+      else if (key == "--l2-sets")
+        cfg.l2.sets = parse_u32_flag(value, "--l2-sets");
+      else if (key == "--l2-repl") cfg.l2.repl = parse_repl(value, "--l2-repl");
+      else if (key == "--l1-repl") cfg.l1.repl = parse_repl(value, "--l1-repl");
+      else if (key == "--overhead")
+        cfg.runtime_overhead_cycles = parse_u64_flag(value, "--overhead");
+      else if (key == "--l2-banks")
+        cfg.l2_banks = parse_u32_flag(value, "--l2-banks");
+      else if (key == "--seed") cfg.seed = parse_u64_flag(value, "--seed");
+      else if (key == "--jobs") {
+        jobs = parse_u32_flag(value, "--jobs");
+        if (jobs == 0) {
+          std::fprintf(stderr, "invalid value for --jobs: must be >= 1\n");
+          usage(2);
+        }
+      } else if (key == "--arm-retries")
+        batch_policy.max_retries = parse_u32_flag(value, "--arm-retries");
+      else if (key == "--arm-deadline")
+        batch_policy.arm_deadline_seconds =
+            parse_f64_flag(value, "--arm-deadline");
+      else if (key == "--private-l2") cfg.enable_private_l2 = true;
+      else if (key == "--csv") csv_path = std::string(value);
+      else if (key == "--events-out") events_path = std::string(value);
+      else if (key == "--trace-out") trace_path = std::string(value);
+      else if (key == "--metrics") want_metrics = true;
+      else if (key == "--quiet") quiet = true;
+      else {
+        std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
         usage(2);
       }
-    } else if (key == "--private-l2") cfg.enable_private_l2 = true;
-    else if (key == "--csv") csv_path = std::string(value);
-    else if (key == "--events-out") events_path = std::string(value);
-    else if (key == "--trace-out") trace_path = std::string(value);
-    else if (key == "--metrics") want_metrics = true;
-    else if (key == "--quiet") quiet = true;
-    else {
-      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
-      usage(2);
     }
+  } catch (const Error& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    usage(2);
   }
   // Pure monitor runs make sense on non-partitionable organizations; keep
   // the partitioned default policy otherwise.
@@ -242,46 +237,60 @@ int main(int argc, char** argv) {
   // print one summary row per arm instead of the single-run detail view.
   if (profiles.size() * policies.size() > 1) {
     std::unique_ptr<obs::JsonlSink> sink;
-    if (!events_path.empty()) {
-      sink = std::make_unique<obs::JsonlSink>(events_path);
-    }
     obs::MetricsRegistry metrics;
     sim::ExperimentSpec spec;
     spec.name = "capart_sim";
-    for (const std::string& profile : profiles) {
-      for (const auto& [policy_name, policy] : policies) {
-        sim::ExperimentConfig arm = cfg;
-        arm.profile = profile;
-        arm.policy = policy;
-        arm.obs.sink = sink.get();
-        arm.obs.metrics = want_metrics ? &metrics : nullptr;
-        arm.obs.run_name = profile + "/" + policy_name;
-        spec.add(profile + "/" + policy_name, std::move(arm));
+    try {
+      if (!events_path.empty()) {
+        sink = std::make_unique<obs::JsonlSink>(events_path);
       }
+      for (const std::string& profile : profiles) {
+        for (const auto& [policy_name, policy] : policies) {
+          sim::ExperimentConfig arm = cfg;
+          arm.profile = profile;
+          arm.policy = policy;
+          arm.obs.sink = sink.get();
+          arm.obs.metrics = want_metrics ? &metrics : nullptr;
+          arm.obs.run_name = profile + "/" + policy_name;
+          spec.add(profile + "/" + policy_name, std::move(arm));
+        }
+      }
+    } catch (const Error& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      return 1;
     }
-    const sim::BatchRunner runner(jobs);
+    const sim::BatchRunner runner(jobs, batch_policy);
     const sim::BatchResult batch = runner.run(spec);
     if (sink != nullptr) sink->flush();
-    report::Table table({"arm", "cycles", "instructions", "wall-CPI", "wall"});
+    report::Table table(
+        {"arm", "status", "cycles", "instructions", "wall-CPI", "wall"});
     for (const sim::ArmOutcome& arm : batch.arms) {
+      const std::string wall = report::fmt(arm.wall_seconds * 1e3, 1) + " ms";
+      if (!arm.ok()) {
+        table.add_row({arm.name, std::string(sim::to_string(arm.status)), "-",
+                       "-", "-", wall});
+        continue;
+      }
       const double arm_cpi =
           static_cast<double>(arm.result.outcome.total_cycles) /
           (static_cast<double>(arm.result.outcome.instructions_retired) /
            cfg.num_threads);
-      table.add_row({arm.name, std::to_string(arm.result.outcome.total_cycles),
+      table.add_row({arm.name, "ok",
+                     std::to_string(arm.result.outcome.total_cycles),
                      std::to_string(arm.result.outcome.instructions_retired),
-                     report::fmt(arm_cpi, 2),
-                     report::fmt(arm.wall_seconds * 1e3, 1) + " ms"});
+                     report::fmt(arm_cpi, 2), wall});
     }
     if (!quiet) {
       table.print(std::cout);
       std::cout << "\n";
     }
     // Per-arm interval CSVs / Chrome traces: the flag value is a stem, one
-    // file per arm (stem.<profile>.<policy>.csv / .json).
+    // file per arm (stem.<profile>.<policy>.csv / .json). Failed arms carry
+    // no result and write nothing.
     if (!csv_path.empty()) {
       const std::string stem = strip_suffix(csv_path, ".csv");
       for (const sim::ArmOutcome& arm : batch.arms) {
+        if (!arm.ok()) continue;
         const std::string path =
             stem + "." + arm_file_fragment(arm.name) + ".csv";
         std::ofstream os;
@@ -296,6 +305,7 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) {
       const std::string stem = strip_suffix(trace_path, ".json");
       for (const sim::ArmOutcome& arm : batch.arms) {
+        if (!arm.ok()) continue;
         const std::string path =
             stem + "." + arm_file_fragment(arm.name) + ".json";
         std::ofstream os;
@@ -313,20 +323,30 @@ int main(int argc, char** argv) {
       std::cout << "\n";
       metrics.print_rollup(std::cout);
     }
+    if (!batch.all_ok()) {
+      report::print_failed_arms(std::cerr, batch);
+      return 1;
+    }
     return 0;
   }
 
   cfg.profile = profiles.front();
   cfg.policy = policies.front().second;
   std::unique_ptr<obs::JsonlSink> sink;
-  if (!events_path.empty()) {
-    sink = std::make_unique<obs::JsonlSink>(events_path);
-    cfg.obs.sink = sink.get();
-  }
   obs::MetricsRegistry metrics;
-  if (want_metrics) cfg.obs.metrics = &metrics;
-  cfg.obs.run_name = cfg.profile + "/" + policies.front().first;
-  const sim::ExperimentResult r = sim::run_experiment(cfg);
+  sim::ExperimentResult r;
+  try {
+    if (!events_path.empty()) {
+      sink = std::make_unique<obs::JsonlSink>(events_path);
+      cfg.obs.sink = sink.get();
+    }
+    if (want_metrics) cfg.obs.metrics = &metrics;
+    cfg.obs.run_name = cfg.profile + "/" + policies.front().first;
+    r = sim::run_experiment(cfg);
+  } catch (const Error& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
   if (sink != nullptr) sink->flush();
 
   const double total_cpi =
