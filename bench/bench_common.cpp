@@ -47,6 +47,12 @@ BenchOptions parse_options(int argc, char** argv) try {
                      "invalid value for --l2-repl: want lru, plru or srrip\n");
         std::exit(2);
       }
+    } else if (key == "--l2-index") {
+      if (!mem::parse_index_kind(value, opt.l2_index)) {
+        std::fprintf(stderr,
+                     "invalid value for --l2-index: want scan, hash or auto\n");
+        std::exit(2);
+      }
     } else if (key == "--jobs") {
       opt.jobs = parse_u32_flag(value, "--jobs");
       if (opt.jobs == 0) {
@@ -68,9 +74,12 @@ BenchOptions parse_options(int argc, char** argv) try {
           "flags: --intervals=N --interval-instr=N --threads=N --seed=N "
           "--jobs=N\n"
           "       --arm-retries=N --arm-deadline=SECONDS\n"
-          "       --l2-repl=lru|plru|srrip --events-out=PATH "
-          "--trace-out=STEM --csv=STEM\n"
+          "       --l2-repl=lru|plru|srrip --l2-index=scan|hash|auto\n"
+          "       --events-out=PATH --trace-out=STEM --csv=STEM\n"
           "  --l2-repl=NAME  shared-L2 replacement policy (default lru)\n"
+          "  --l2-index=NAME shared-L2 tag lookup (default auto; "
+          "bit-identical\n"
+          "                  results across kinds, different speed)\n"
           "  --jobs=N  run up to N experiments concurrently (default: all "
           "cores);\n"
           "            results are bit-identical for any value\n"
@@ -115,6 +124,7 @@ sim::ExperimentConfig base_config(const BenchOptions& opt,
   cfg.interval_instructions = resolved_interval_instructions(opt);
   cfg.seed = opt.seed;
   cfg.l2.repl = opt.l2_repl;
+  cfg.l2.index = opt.l2_index;
   return cfg;
 }
 

@@ -5,6 +5,8 @@
 //                           (default 60'000 x threads)
 //   --threads=N             cores/threads (default 4; fig22 uses 8)
 //   --seed=N                workload seed (default 42)
+//   --l2-index=NAME         shared-L2 tag lookup: scan hash auto (default
+//                           auto; bit-identical results, different speed)
 //   --jobs=N                concurrent experiments (default: all cores)
 //   --arm-retries=N         re-run a failed arm up to N times (default 0)
 //   --arm-deadline=SEC      per-arm wall-clock budget; expired arms stop at
@@ -31,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/mem/block_index.hpp"
 #include "src/mem/replacement.hpp"
 #include "src/sim/batch.hpp"
 #include "src/sim/experiment.hpp"
@@ -51,6 +54,10 @@ struct BenchOptions {
   /// Shared-L2 replacement policy (--l2-repl=lru|plru|srrip). True LRU is
   /// the paper-faithful default; abl_replacement sweeps the others.
   mem::ReplacementKind l2_repl = mem::ReplacementKind::kTrueLru;
+  /// Shared-L2 tag-lookup mechanism (--l2-index=scan|hash|auto). Purely an
+  /// engineering knob — results are bit-identical across kinds; the
+  /// perfsmoke harness sweeps it to quantify the hot-path win.
+  mem::IndexKind l2_index = mem::IndexKind::kAuto;
   /// Observability outputs (empty = off); see the header comment.
   std::string events_out;
   std::string trace_out;

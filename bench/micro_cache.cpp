@@ -3,8 +3,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/mem/block_index.hpp"
+#include "src/mem/cache_core.hpp"
 #include "src/mem/partitioned_cache.hpp"
 #include "src/mem/replacement.hpp"
 #include "src/mem/set_assoc_cache.hpp"
@@ -117,6 +120,106 @@ void BM_ReplacementMissGlobal(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReplacementMissGlobal)->Apply(repl_arg_name);
+
+// Tag-lookup mechanism ablation (--l2-index). Args: {ways, index} with
+// index 0 = scan, 1 = hash. The hit path re-walks a resident working set
+// (pure lookup cost); the random miss stream adds victim choice and index
+// maintenance. The kAuto crossover in CacheGeometry::resolved_index comes
+// from these numbers.
+mem::CacheGeometry index_geometry(std::int64_t ways, std::int64_t kind) {
+  return {.sets = 256,
+          .ways = static_cast<std::uint32_t>(ways),
+          .line_bytes = 64,
+          .index = mem::kAllIndexMechanisms[static_cast<std::size_t>(kind)]};
+}
+
+void index_args(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"ways", "index"});
+  for (std::int64_t ways : {16, 32, 64}) {
+    b->Args({ways, 0});
+    b->Args({ways, 1});
+  }
+}
+
+void BM_IndexHit(benchmark::State& state) {
+  mem::PartitionedCache cache(index_geometry(state.range(0), state.range(1)),
+                              4, mem::PartitionMode::kEvictionControl);
+  // A resident working set of ~4 lines per set: every loop access hits, with
+  // a realistic mix of probe depths.
+  Rng rng(7);
+  std::vector<Addr> addrs;
+  addrs.reserve(1024);
+  for (int i = 0; i < 1024; ++i) addrs.push_back(rng.below(1u << 24) * 64);
+  for (const Addr a : addrs) cache.access(0, a, AccessType::kRead);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(0, addrs[i], AccessType::kRead));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_IndexHit)->Apply(index_args);
+
+void BM_IndexMissEvictionControl(benchmark::State& state) {
+  mem::PartitionedCache cache(index_geometry(state.range(0), state.range(1)),
+                              4, mem::PartitionMode::kEvictionControl);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto tid = static_cast<ThreadId>(rng.below(4));
+    benchmark::DoNotOptimize(
+        cache.access(tid, rng.below(1u << 24) * 64, AccessType::kRead));
+  }
+}
+BENCHMARK(BM_IndexMissEvictionControl)->Apply(index_args);
+
+// Full hot-path matrix at the paper's 64-way L2: replacement policy x
+// enforcement mode x lookup mechanism over a mixed hit/miss random stream
+// (~25% hits). Args: {repl, enforce, index}. kSetColoring drives
+// access_in_set directly — the coloring wrapper's own block->set mapping is
+// not what is being measured.
+constexpr mem::PartitionEnforcement kAllEnforcements[] = {
+    mem::PartitionEnforcement::kNone,
+    mem::PartitionEnforcement::kWayEvictionControl,
+    mem::PartitionEnforcement::kWayFlushReconfigure,
+    mem::PartitionEnforcement::kSetColoring,
+};
+
+void hot_path_args(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"repl", "enforce", "index"});
+  for (std::int64_t repl = 0; repl < 3; ++repl) {
+    for (std::int64_t enforce = 0; enforce < 4; ++enforce) {
+      b->Args({repl, enforce, 0});
+      b->Args({repl, enforce, 1});
+    }
+  }
+}
+
+void BM_HotPath(benchmark::State& state) {
+  const mem::CacheGeometry geometry = {
+      .sets = 256,
+      .ways = 64,
+      .line_bytes = 64,
+      .repl =
+          mem::kAllReplacementKinds[static_cast<std::size_t>(state.range(0))],
+      .index =
+          mem::kAllIndexMechanisms[static_cast<std::size_t>(state.range(2))]};
+  const mem::PartitionEnforcement enforcement =
+      kAllEnforcements[static_cast<std::size_t>(state.range(1))];
+  mem::CacheCore core(geometry, 4, enforcement);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto tid = static_cast<ThreadId>(rng.below(4));
+    const std::uint64_t block = rng.below(1u << 16);
+    if (enforcement == mem::PartitionEnforcement::kSetColoring) {
+      benchmark::DoNotOptimize(core.access_in_set(
+          tid, block, static_cast<std::uint32_t>(block & 255),
+          AccessType::kRead));
+    } else {
+      benchmark::DoNotOptimize(
+          core.access(tid, block * 64, AccessType::kRead));
+    }
+  }
+}
+BENCHMARK(BM_HotPath)->Apply(hot_path_args);
 
 void BM_Retarget(benchmark::State& state) {
   mem::PartitionedCache cache({.sets = 256, .ways = 64, .line_bytes = 64}, 4,

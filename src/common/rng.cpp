@@ -3,10 +3,6 @@
 namespace capart {
 namespace {
 
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
 /// SplitMix64 step; used only for seeding.
 constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
   x += 0x9e3779b97f4a7c15ULL;
@@ -26,37 +22,6 @@ Rng::Rng(std::uint64_t seed) noexcept : state_{}, seed_(seed) {
   if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
     state_[0] = 1;
   }
-}
-
-Rng::result_type Rng::operator()() noexcept {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::below(std::uint64_t bound) noexcept {
-  // Lemire's multiply-shift bounded generation (biased by < 2^-64 for the
-  // bounds used here; acceptable for workload synthesis).
-  __extension__ using uint128 = unsigned __int128;
-  const std::uint64_t x = (*this)();
-  const uint128 m = static_cast<uint128>(x) * static_cast<uint128>(bound);
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-double Rng::unit() noexcept {
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::chance(double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return unit() < p;
 }
 
 Rng Rng::fork(std::uint64_t tag) const noexcept {

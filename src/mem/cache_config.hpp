@@ -6,6 +6,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/types.hpp"
+#include "src/mem/block_index.hpp"
 #include "src/mem/replacement.hpp"
 
 namespace capart::mem {
@@ -24,6 +25,11 @@ struct CacheGeometry {
   /// default; tree-PLRU and SRRIP are hardware-realism alternatives (the
   /// abl_replacement ablation). Not part of the address decomposition.
   ReplacementKind repl = ReplacementKind::kTrueLru;
+  /// Tag-lookup mechanism (--l2-index): linear scan over the ways, the
+  /// incremental block->way hash index, or auto (hash at the
+  /// associativities where it wins). Purely an engineering knob — results
+  /// are bit-identical across kinds; see src/mem/block_index.hpp.
+  IndexKind index = IndexKind::kAuto;
 
   constexpr std::uint64_t size_bytes() const noexcept {
     return static_cast<std::uint64_t>(sets) * ways * line_bytes;
@@ -55,6 +61,15 @@ struct CacheGeometry {
   /// Set index for a block number.
   constexpr std::uint32_t set_of_block(std::uint64_t block) const noexcept {
     return static_cast<std::uint32_t>(block & (sets - 1));
+  }
+
+  /// The concrete lookup mechanism `index` selects for this geometry. kAuto
+  /// picks the hash index once the scan has enough ways to lose to it (the
+  /// crossover measured by bench/micro_cache sits well below 16 ways; small
+  /// L1-like structures keep the branch-free scan).
+  constexpr IndexKind resolved_index() const noexcept {
+    if (index != IndexKind::kAuto) return index;
+    return ways >= 16 ? IndexKind::kHash : IndexKind::kScan;
   }
 };
 

@@ -21,18 +21,25 @@ CacheCore::CacheCore(const CacheGeometry& geometry, ThreadId num_threads,
     : geometry_(geometry),
       num_threads_(num_threads),
       enforcement_(enforcement),
+      index_kind_(geometry.resolved_index()),
       stats_(num_threads) {
   geometry_.validate();
   CAPART_CHECK(num_threads_ > 0, "cache core needs >= 1 thread");
   const std::size_t lines =
       static_cast<std::size_t>(geometry_.sets) * geometry_.ways;
   repl_ = make_replacement(geometry_.repl, geometry_.sets, geometry_.ways);
+  lru_fast_ = repl_->lru_list();
   blocks_.assign(lines, 0);
   owner_.assign(lines, kNoThread);
   last_accessor_.assign(lines, kNoThread);
   valid_.assign(lines, 0);
   dirty_.assign(lines, 0);
   owned_.assign(static_cast<std::size_t>(geometry_.sets) * num_threads_, 0);
+  fill_count_.assign(geometry_.sets, 0);
+  owned_totals_.assign(num_threads_, 0);
+  if (index_kind_ == IndexKind::kHash) {
+    index_ = std::make_unique<BlockWayIndex>(geometry_.sets, geometry_.ways);
+  }
   // Start from an equal split (paper Fig 13 initialization). Recorded in all
   // modes so current_targets() reads sensibly even without enforcement.
   targets_.assign(num_threads_, geometry_.ways / num_threads_);
@@ -76,8 +83,7 @@ void CacheCore::set_targets(std::span<const std::uint32_t> targets) {
                 .scope = ReplacementPolicy::Eligible::Scope::kOwnedBy,
                 .thread = t};
             const std::uint32_t way = repl_->victim(s, own_lines);
-            valid_[base + way] = 0;
-            owned(s, t) -= 1;
+            invalidate_line(s, way);
             ++flushed_on_last_retarget_;
           }
         }
@@ -87,11 +93,26 @@ void CacheCore::set_targets(std::span<const std::uint32_t> targets) {
   targets_.assign(targets.begin(), targets.end());
 }
 
+void CacheCore::invalidate_line(std::uint32_t set, std::uint32_t way) {
+  const std::size_t idx = line_index(set, way);
+  CAPART_DCHECK(valid_[idx] != 0, "invalidating an invalid line");
+  valid_[idx] = 0;
+  if (index_ != nullptr) index_->erase(set, blocks_[idx]);
+  fill_count_[set] -= 1;
+  owned(set, owner_[idx]) -= 1;
+  --owned_totals_[owner_[idx]];
+}
+
 std::uint32_t CacheCore::choose_victim(std::uint32_t set, ThreadId thread) {
   const std::size_t base = line_index(set, 0);
   const std::uint8_t* valid = &valid_[base];
-  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    if (valid[w] == 0) return w;
+  // The fill count skips the first-invalid scan once the set is full — the
+  // steady state of every long run; a partially filled set (warmup, or holes
+  // from a reconfiguration flush) still takes the bounded scan below.
+  if (fill_count_[set] < geometry_.ways) {
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+      if (valid[w] == 0) return w;
+    }
   }
 
   // All lines valid: ask the replacement policy within the enforcement scope.
@@ -123,30 +144,50 @@ CacheCore::AccessResult CacheCore::access(ThreadId thread, Addr addr,
   return access_in_set(thread, block, geometry_.set_of_block(block), type);
 }
 
-CacheCore::AccessResult CacheCore::access_in_set(ThreadId thread,
-                                                 std::uint64_t block,
-                                                 std::uint32_t set,
-                                                 AccessType type) {
-  CAPART_CHECK(thread < num_threads_, "thread id out of range");
-  ThreadCacheCounters& mine = stats_.thread(thread);
-  ++mine.accesses;
-
-  const std::size_t base = line_index(set, 0);
+std::uint32_t CacheCore::find_way(std::uint32_t set, std::uint64_t block,
+                                  std::uint32_t& probes) const noexcept {
+  if (index_ != nullptr) return index_->lookup(set, block, &probes);
+  const std::size_t base =
+      static_cast<std::size_t>(set) * geometry_.ways;
   const std::uint64_t* blocks = &blocks_[base];
   const std::uint8_t* valid = &valid_[base];
   for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
     if (valid[w] != 0 && blocks[w] == block) {
-      AccessResult result{.hit = true};
-      ++mine.hits;
-      if (last_accessor_[base + w] != thread) {
-        result.inter_thread_hit = true;
-        ++mine.inter_thread_hits;
-      }
-      repl_->on_hit(set, w);
-      last_accessor_[base + w] = thread;
-      if (type == AccessType::kWrite) dirty_[base + w] = 1;
-      return result;
+      probes = w + 1;
+      return w;
     }
+  }
+  probes = geometry_.ways;
+  return BlockWayIndex::kNotFound;
+}
+
+CacheCore::AccessResult CacheCore::access_in_set(ThreadId thread,
+                                                 std::uint64_t block,
+                                                 std::uint32_t set,
+                                                 AccessType type) {
+  CAPART_DCHECK(thread < num_threads_, "thread id out of range");
+  ThreadCacheCounters& mine = stats_.thread(thread);
+  ++mine.accesses;
+
+  const std::size_t base = line_index(set, 0);
+  std::uint32_t probes = 0;
+  const std::uint32_t w = find_way(set, block, probes);
+  note_lookup(probes);
+  if (w != BlockWayIndex::kNotFound) {
+    AccessResult result{.hit = true};
+    ++mine.hits;
+    if (last_accessor_[base + w] != thread) {
+      result.inter_thread_hit = true;
+      ++mine.inter_thread_hits;
+    }
+    if (lru_fast_ != nullptr) {
+      lru_fast_->touch(set, w);
+    } else {
+      repl_->on_hit(set, w);
+    }
+    last_accessor_[base + w] = thread;
+    if (type == AccessType::kWrite) dirty_[base + w] = 1;
+    return result;
   }
 
   // Miss: choose a victim under the replacement policy and fill.
@@ -156,6 +197,8 @@ CacheCore::AccessResult CacheCore::access_in_set(ThreadId thread,
   const std::size_t idx = base + way;
   if (valid_[idx] != 0) {
     owned(set, owner_[idx]) -= 1;
+    --owned_totals_[owner_[idx]];
+    if (index_ != nullptr) index_->erase(set, blocks_[idx]);
     if (dirty_[idx] != 0) ++mine.writebacks;
     if (last_accessor_[idx] != thread) {
       result.inter_thread_eviction = true;
@@ -164,6 +207,8 @@ CacheCore::AccessResult CacheCore::access_in_set(ThreadId thread,
     } else {
       ++mine.intra_thread_evictions;
     }
+  } else {
+    fill_count_[set] += 1;
   }
   valid_[idx] = 1;
   blocks_[idx] = block;
@@ -171,7 +216,13 @@ CacheCore::AccessResult CacheCore::access_in_set(ThreadId thread,
   last_accessor_[idx] = thread;
   dirty_[idx] = (type == AccessType::kWrite) ? 1 : 0;
   owned(set, thread) += 1;
-  repl_->on_fill(set, way);
+  ++owned_totals_[thread];
+  if (index_ != nullptr) index_->insert(set, block, way);
+  if (lru_fast_ != nullptr) {
+    lru_fast_->touch(set, way);
+  } else {
+    repl_->on_fill(set, way);
+  }
   return result;
 }
 
@@ -179,6 +230,9 @@ void CacheCore::flush() {
   std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
   std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
   std::fill(owned_.begin(), owned_.end(), std::uint16_t{0});
+  std::fill(fill_count_.begin(), fill_count_.end(), std::uint16_t{0});
+  std::fill(owned_totals_.begin(), owned_totals_.end(), std::uint64_t{0});
+  if (index_ != nullptr) index_->clear();
   repl_->reset();
 }
 
@@ -189,12 +243,8 @@ bool CacheCore::contains(Addr addr) const noexcept {
 
 bool CacheCore::contains_block_in_set(std::uint64_t block,
                                       std::uint32_t set) const noexcept {
-  const std::size_t base =
-      static_cast<std::size_t>(set) * geometry_.ways;
-  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    if (valid_[base + w] != 0 && blocks_[base + w] == block) return true;
-  }
-  return false;
+  std::uint32_t probes = 0;
+  return find_way(set, block, probes) != BlockWayIndex::kNotFound;
 }
 
 std::uint32_t CacheCore::owned_in_set(std::uint32_t set,
@@ -206,9 +256,7 @@ std::uint32_t CacheCore::owned_in_set(std::uint32_t set,
 
 std::uint64_t CacheCore::owned_total(ThreadId thread) const {
   CAPART_CHECK(thread < num_threads_, "owned_total: thread out of range");
-  std::uint64_t sum = 0;
-  for (std::uint32_t s = 0; s < geometry_.sets; ++s) sum += owned(s, thread);
-  return sum;
+  return owned_totals_[thread];
 }
 
 }  // namespace capart::mem

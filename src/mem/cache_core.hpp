@@ -19,14 +19,22 @@
 // APIs; under true LRU the core reproduces their observable behaviour
 // bit-identically (stamps induced a total recency order; the recency
 // permutation is that same order stored compactly).
+//
+// Tag lookup — finding the resident way of a block — is a third, purely
+// mechanical axis (`CacheGeometry::index`): a linear scan over the ways, or
+// the incremental block->way hash index of block_index.hpp. The choice never
+// affects which line hits or which way is victimized, only the cost of
+// finding out; results are bit-identical across kinds.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "src/common/types.hpp"
+#include "src/mem/block_index.hpp"
 #include "src/mem/cache_config.hpp"
 #include "src/mem/cache_stats.hpp"
 #include "src/mem/replacement.hpp"
@@ -61,6 +69,25 @@ class CacheCore {
     bool inter_thread_hit = false;
     /// A valid line last touched by another thread was evicted.
     bool inter_thread_eviction = false;
+  };
+
+  /// Tag-lookup telemetry: how many lookups ran and how many slots (hash) or
+  /// ways (scan) each examined. Published as the l2/lookup_* metrics.
+  struct LookupStats {
+    std::uint64_t lookups = 0;
+    /// Total slots/ways examined across all lookups.
+    std::uint64_t probed_slots = 0;
+    /// Histogram-ish probe-length buckets: 1, 2, 3-4, 5-8, >8.
+    std::array<std::uint64_t, 5> probe_len_hist{};
+
+    LookupStats& operator+=(const LookupStats& o) noexcept {
+      lookups += o.lookups;
+      probed_slots += o.probed_slots;
+      for (std::size_t b = 0; b < probe_len_hist.size(); ++b) {
+        probe_len_hist[b] += o.probe_len_hist[b];
+      }
+      return *this;
+    }
   };
 
   /// The replacement policy is taken from `geometry.repl`.
@@ -109,6 +136,9 @@ class CacheCore {
   ThreadId num_threads() const noexcept { return num_threads_; }
   PartitionEnforcement enforcement() const noexcept { return enforcement_; }
   ReplacementKind replacement_kind() const noexcept { return repl_->kind(); }
+  /// The concrete lookup mechanism in force (kAuto already resolved).
+  IndexKind index_kind() const noexcept { return index_kind_; }
+  const LookupStats& lookup_stats() const noexcept { return lookup_stats_; }
 
  private:
   std::size_t line_index(std::uint32_t set, std::uint32_t way) const noexcept {
@@ -125,10 +155,34 @@ class CacheCore {
   /// replacement policy's pick within the enforcement-permitted scope.
   std::uint32_t choose_victim(std::uint32_t set, ThreadId thread);
 
+  /// Resident way of `block` in `set` via the configured mechanism, or
+  /// BlockWayIndex::kNotFound; `probes` receives the slots/ways examined.
+  std::uint32_t find_way(std::uint32_t set, std::uint64_t block,
+                         std::uint32_t& probes) const noexcept;
+
+  /// Lookup telemetry bucket for a probe chain of `n` slots/ways.
+  static constexpr std::size_t probe_bucket(std::uint32_t n) noexcept {
+    return n <= 1 ? 0 : n == 2 ? 1 : n <= 4 ? 2 : n <= 8 ? 3 : 4;
+  }
+
+  void note_lookup(std::uint32_t probes) noexcept {
+    ++lookup_stats_.lookups;
+    lookup_stats_.probed_slots += probes;
+    ++lookup_stats_.probe_len_hist[probe_bucket(probes)];
+  }
+
+  /// Invalidates the valid line (set, way), keeping the block index, fill
+  /// count and ownership counters consistent (retarget flush path).
+  void invalidate_line(std::uint32_t set, std::uint32_t way);
+
   CacheGeometry geometry_;
   ThreadId num_threads_;
   PartitionEnforcement enforcement_;
+  IndexKind index_kind_;
   std::unique_ptr<ReplacementPolicy> repl_;
+  /// repl_'s LruList when the policy is true LRU (the default), else null:
+  /// the per-access touch then inlines instead of dispatching virtually.
+  LruList* lru_fast_ = nullptr;
   // Line storage, struct-of-arrays, set-major (`sets * ways` each): the hit
   // scan touches only blocks_/valid_, the victim filter only valid_/owner_.
   std::vector<std::uint64_t> blocks_;
@@ -137,8 +191,18 @@ class CacheCore {
   std::vector<std::uint8_t> valid_;
   std::vector<std::uint8_t> dirty_;      ///< eviction costs a writeback
   std::vector<std::uint16_t> owned_;     // sets * num_threads
+  /// Valid lines per set; skips the invalid-way scan once a set is full
+  /// (the steady state) and bounds the first-invalid search otherwise.
+  std::vector<std::uint16_t> fill_count_;
+  /// Per-thread total of owned lines across all sets, maintained on
+  /// fill/evict/flush so owned_total() is O(1) instead of an O(sets) sweep.
+  std::vector<std::uint64_t> owned_totals_;
+  /// Block->way index (only when index_kind_ == kHash); mirrors the valid
+  /// lines exactly — see block_index.hpp for the invariant.
+  std::unique_ptr<BlockWayIndex> index_;
   std::vector<std::uint32_t> targets_;
   CacheStats stats_;
+  LookupStats lookup_stats_;
   std::uint64_t flushed_on_last_retarget_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/check.hpp"
 #include "src/common/types.hpp"
 
 namespace capart::mem {
@@ -48,9 +49,15 @@ class CacheStats {
   explicit CacheStats(ThreadId num_threads)
       : per_thread_(num_threads) {}
 
-  ThreadCacheCounters& thread(ThreadId t) { return per_thread_.at(t); }
+  // Accessed multiple times per cache access; the range check is debug-only
+  // (callers validate thread ids at their cold boundaries).
+  ThreadCacheCounters& thread(ThreadId t) {
+    CAPART_DCHECK(t < per_thread_.size(), "thread id out of range");
+    return per_thread_[t];
+  }
   const ThreadCacheCounters& thread(ThreadId t) const {
-    return per_thread_.at(t);
+    CAPART_DCHECK(t < per_thread_.size(), "thread id out of range");
+    return per_thread_[t];
   }
 
   ThreadId num_threads() const noexcept {

@@ -65,6 +65,10 @@ class L2Organization {
   virtual std::uint64_t flushed_on_last_retarget() const noexcept {
     return 0;
   }
+
+  /// Tag-lookup telemetry of the organization's cache structures (summed
+  /// over private slices); published as the l2/lookup_* metrics.
+  virtual CacheCore::LookupStats lookup_stats() const noexcept = 0;
 };
 
 /// Factory for the mode requested by an experiment configuration.
@@ -95,6 +99,10 @@ class SharedOrPartitionedL2 final : public L2Organization {
     return cache_.flushed_on_last_retarget();
   }
 
+  CacheCore::LookupStats lookup_stats() const noexcept override {
+    return cache_.lookup_stats();
+  }
+
   /// Underlying cache, for tests and introspection benches.
   const PartitionedCache& cache() const noexcept { return cache_; }
 
@@ -118,6 +126,12 @@ class PrivateL2 final : public L2Organization {
     return static_cast<ThreadId>(slices_.size());
   }
   L2Mode mode() const noexcept override { return L2Mode::kPrivatePerThread; }
+
+  CacheCore::LookupStats lookup_stats() const noexcept override {
+    CacheCore::LookupStats total;
+    for (const SetAssocCache& slice : slices_) total += slice.lookup_stats();
+    return total;
+  }
 
  private:
   std::vector<SetAssocCache> slices_;
@@ -145,6 +159,10 @@ class SetPartitionedL2 final : public L2Organization {
   }
   L2Mode mode() const noexcept override {
     return L2Mode::kSetPartitionedShared;
+  }
+
+  CacheCore::LookupStats lookup_stats() const noexcept override {
+    return cache_.lookup_stats();
   }
 
   const SetPartitionedCache& cache() const noexcept { return cache_; }

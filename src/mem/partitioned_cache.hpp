@@ -97,6 +97,10 @@ class PartitionedCache {
   ReplacementKind replacement_kind() const noexcept {
     return core_.replacement_kind();
   }
+  IndexKind index_kind() const noexcept { return core_.index_kind(); }
+  const CacheCore::LookupStats& lookup_stats() const noexcept {
+    return core_.lookup_stats();
+  }
 
   /// Lines currently owned by `thread` in set `set` (test/introspection).
   std::uint32_t owned_in_set(std::uint32_t set, ThreadId thread) const {

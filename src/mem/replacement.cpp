@@ -61,38 +61,64 @@ void LruStack::touch(std::uint32_t set, std::uint32_t way) {
   for (std::uint32_t d = 0; d <= p; ++d) pos[order[d]] = static_cast<std::uint16_t>(d);
 }
 
+LruList::LruList(std::uint32_t sets, std::uint32_t ways) : ways_(ways) {
+  CAPART_CHECK(sets > 0 && ways > 0, "LRU list needs sets and ways");
+  CAPART_CHECK(ways <= 65535, "LRU list supports at most 65535 ways");
+  prev_.resize(static_cast<std::size_t>(sets) * ways_);
+  next_.resize(prev_.size());
+  head_.resize(sets);
+  tail_.resize(sets);
+  reset();
+}
+
+void LruList::reset() {
+  const std::size_t sets = head_.size();
+  for (std::size_t s = 0; s < sets; ++s) {
+    std::uint16_t* prev = &prev_[s * ways_];
+    std::uint16_t* next = &next_[s * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      prev[w] = static_cast<std::uint16_t>(w - 1);  // undefined at the head
+      next[w] = static_cast<std::uint16_t>(w + 1);  // undefined at the tail
+    }
+    head_[s] = 0;
+    tail_[s] = static_cast<std::uint16_t>(ways_ - 1);
+  }
+}
+
 namespace {
 
-/// True LRU over the compact recency permutation. Victim = the eligible way
-/// closest to the LRU end — exactly "the least recently used line among the
+/// True LRU over the linked recency list. Victim = the eligible way closest
+/// to the LRU end — exactly "the least recently used line among the
 /// permitted subset", which is what the paper's §V eviction control asks of
 /// the base policy.
 class LruReplacement final : public ReplacementPolicy {
  public:
-  LruReplacement(std::uint32_t sets, std::uint32_t ways) : stack_(sets, ways) {}
+  LruReplacement(std::uint32_t sets, std::uint32_t ways) : list_(sets, ways) {}
 
   ReplacementKind kind() const noexcept override {
     return ReplacementKind::kTrueLru;
   }
 
+  LruList* lru_list() noexcept override { return &list_; }
+
   void on_fill(std::uint32_t set, std::uint32_t way) override {
-    stack_.touch(set, way);
+    list_.touch(set, way);
   }
 
   void on_hit(std::uint32_t set, std::uint32_t way) override {
-    stack_.touch(set, way);
+    list_.touch(set, way);
   }
 
   std::uint32_t victim(std::uint32_t set, const Eligible& eligible) override {
-    const std::uint32_t way = stack_.find_from_lru(set, eligible);
-    CAPART_CHECK(way < stack_.ways(), "LRU victim search found no candidate");
+    const std::uint32_t way = list_.find_from_lru(set, eligible);
+    CAPART_CHECK(way < list_.ways(), "LRU victim search found no candidate");
     return way;
   }
 
-  void reset() override { stack_.reset(); }
+  void reset() override { list_.reset(); }
 
  private:
-  LruStack stack_;
+  LruList list_;
 };
 
 /// Tree-PLRU: one bit per internal node of a binary tree over the ways

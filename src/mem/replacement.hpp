@@ -95,6 +95,63 @@ class LruStack {
   std::vector<std::uint16_t> pos_;    // sets x ways, way -> position
 };
 
+/// The same per-set true-LRU recency order as LruStack, stored as an
+/// intrusive doubly-linked list instead of a permutation: move-to-front —
+/// the operation every single access performs — is O(1) link surgery rather
+/// than an O(depth) rotate of the order array, which was the hottest loop
+/// left in the cache core once the block->way index removed the tag scan.
+/// The victim search walks from the LRU end exactly as LruStack's does, so
+/// victim choice is bit-identical. LruStack remains for consumers that need
+/// O(1) depth_of / way_at (the UMON shadow directory's stack-depth query).
+class LruList {
+ public:
+  LruList(std::uint32_t sets, std::uint32_t ways);
+
+  /// Moves `way` to the MRU position of `set` in O(1).
+  void touch(std::uint32_t set, std::uint32_t way) noexcept {
+    if (head_[set] == way) return;
+    std::uint16_t* prev = &prev_[static_cast<std::size_t>(set) * ways_];
+    std::uint16_t* next = &next_[static_cast<std::size_t>(set) * ways_];
+    const std::uint16_t p = prev[way];  // valid: way is not the head
+    if (way == tail_[set]) {
+      tail_[set] = p;
+    } else {
+      prev[next[way]] = p;
+    }
+    next[p] = next[way];
+    prev[head_[set]] = static_cast<std::uint16_t>(way);
+    next[way] = head_[set];
+    head_[set] = static_cast<std::uint16_t>(way);
+  }
+
+  /// Walks from the LRU end toward MRU and returns the first way satisfying
+  /// `pred`, or `ways()` when none does.
+  template <class Pred>
+  std::uint32_t find_from_lru(std::uint32_t set, Pred&& pred) const {
+    const std::uint16_t* prev = &prev_[static_cast<std::size_t>(set) * ways_];
+    const std::uint32_t head = head_[set];
+    std::uint32_t way = tail_[set];
+    while (true) {
+      if (pred(way)) return way;
+      if (way == head) return ways_;
+      way = prev[way];
+    }
+  }
+
+  /// Restores the initial identity order (way 0 MRU ... way ways-1 LRU) in
+  /// every set — the same order LruStack::reset produces.
+  void reset();
+
+  std::uint32_t ways() const noexcept { return ways_; }
+
+ private:
+  std::uint32_t ways_;
+  std::vector<std::uint16_t> prev_;  // sets x ways; undefined at the head
+  std::vector<std::uint16_t> next_;  // sets x ways; undefined at the tail
+  std::vector<std::uint16_t> head_;  // per set, MRU way
+  std::vector<std::uint16_t> tail_;  // per set, LRU way
+};
+
 /// Interface the cache core victimizes through.
 class ReplacementPolicy {
  public:
@@ -123,6 +180,12 @@ class ReplacementPolicy {
   virtual ~ReplacementPolicy() = default;
 
   virtual ReplacementKind kind() const noexcept = 0;
+
+  /// The true-LRU policy's recency list, or nullptr for every other policy.
+  /// Lets the cache core inline the per-access touch (on_hit == on_fill ==
+  /// LruList::touch for true LRU) instead of paying a virtual dispatch on
+  /// the hot path; victim selection stays virtual.
+  virtual LruList* lru_list() noexcept { return nullptr; }
 
   /// A miss filled (set, way).
   virtual void on_fill(std::uint32_t set, std::uint32_t way) = 0;

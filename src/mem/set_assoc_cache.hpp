@@ -42,6 +42,10 @@ class SetAssocCache {
   std::uint64_t misses() const noexcept {
     return core_.stats().thread(0).misses;
   }
+  IndexKind index_kind() const noexcept { return core_.index_kind(); }
+  const CacheCore::LookupStats& lookup_stats() const noexcept {
+    return core_.lookup_stats();
+  }
 
  private:
   CacheCore core_;

@@ -62,6 +62,10 @@ class SetPartitionedCache {
   const CacheStats& stats() const noexcept { return core_.stats(); }
   const CacheGeometry& geometry() const noexcept { return core_.geometry(); }
   std::uint32_t colors() const noexcept { return colors_; }
+  IndexKind index_kind() const noexcept { return core_.index_kind(); }
+  const CacheCore::LookupStats& lookup_stats() const noexcept {
+    return core_.lookup_stats();
+  }
 
   /// Colors currently assigned to `thread` (introspection/tests).
   std::vector<std::uint32_t> colors_of(ThreadId thread) const;

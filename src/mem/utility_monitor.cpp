@@ -10,7 +10,8 @@ UtilityMonitor::UtilityMonitor(const CacheGeometry& geometry,
     : geometry_(geometry),
       num_threads_(num_threads),
       sampling_shift_(sampling_shift),
-      sampled_sets_(geometry.sets >> sampling_shift) {
+      sampled_sets_(geometry.sets >> sampling_shift),
+      index_kind_(geometry.resolved_index()) {
   geometry_.validate();
   CAPART_CHECK(num_threads_ >= 1, "utility monitor needs >= 1 thread");
   CAPART_CHECK(sampled_sets_ >= 1,
@@ -22,6 +23,15 @@ UtilityMonitor::UtilityMonitor(const CacheGeometry& geometry,
   shadow_order_.reserve(num_threads_);
   for (ThreadId t = 0; t < num_threads_; ++t) {
     shadow_order_.emplace_back(sampled_sets_, geometry_.ways);
+  }
+  if (index_kind_ == IndexKind::kHash) {
+    shadow_index_.reserve(num_threads_);
+    for (ThreadId t = 0; t < num_threads_; ++t) {
+      shadow_index_.push_back(
+          std::make_unique<BlockWayIndex>(sampled_sets_, geometry_.ways));
+    }
+    shadow_fill_.assign(num_threads_,
+                        std::vector<std::uint16_t>(sampled_sets_, 0));
   }
   depth_hits_.assign(num_threads_,
                      std::vector<std::uint64_t>(geometry_.ways, 0));
@@ -41,7 +51,7 @@ bool UtilityMonitor::sampled(std::uint64_t block,
 }
 
 void UtilityMonitor::observe(ThreadId thread, Addr addr) {
-  CAPART_CHECK(thread < num_threads_, "utility monitor: thread out of range");
+  CAPART_DCHECK(thread < num_threads_, "utility monitor: thread out of range");
   const std::uint64_t block = geometry_.block_of(addr);
   std::uint32_t shadow_set = 0;
   if (!sampled(block, shadow_set)) return;
@@ -52,6 +62,36 @@ void UtilityMonitor::observe(ThreadId thread, Addr addr) {
   std::uint64_t* blocks = &shadow_blocks_[thread][base];
   std::uint8_t* valid = &shadow_valid_[thread][base];
   LruStack& order = shadow_order_[thread];
+
+  if (index_kind_ == IndexKind::kHash) {
+    // O(1) paths: the block->way index answers the tag lookup, and because
+    // shadow lines are never invalidated the per-set fill count is exactly
+    // the first invalid way. Bit-identical to the scan below — a set holds
+    // at most one copy of a block, and fills always take the first invalid
+    // way in both mechanisms.
+    BlockWayIndex& index = *shadow_index_[thread];
+    const std::uint32_t found = index.lookup(shadow_set, block);
+    if (found != BlockWayIndex::kNotFound) {
+      ++depth_hits_[thread][order.depth_of(shadow_set, found)];
+      order.touch(shadow_set, found);
+      return;
+    }
+    ++misses_[thread];
+    std::uint16_t& filled = shadow_fill_[thread][shadow_set];
+    std::uint32_t victim;
+    if (filled < geometry_.ways) {
+      victim = filled;
+      ++filled;
+    } else {
+      victim = order.way_at(shadow_set, geometry_.ways - 1);
+      index.erase(shadow_set, blocks[victim]);
+    }
+    valid[victim] = 1;
+    blocks[victim] = block;
+    index.insert(shadow_set, block, victim);
+    order.touch(shadow_set, victim);
+    return;
+  }
 
   // One pass: find the line (its LRU stack depth is then an O(1) position
   // lookup — valid lines always occupy the top of the recency order because

@@ -21,9 +21,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/types.hpp"
+#include "src/mem/block_index.hpp"
 #include "src/mem/cache_config.hpp"
 #include "src/mem/replacement.hpp"
 
@@ -60,6 +62,9 @@ class UtilityMonitor {
     return static_cast<double>(geometry_.sets) /
            static_cast<double>(sampled_sets_);
   }
+  /// The tag-lookup mechanism of the shadow directories (follows the
+  /// monitored cache's `CacheGeometry::index`, kAuto resolved).
+  IndexKind index_kind() const noexcept { return index_kind_; }
 
  private:
   /// Index into the per-thread shadow directory, or sets_ when unsampled.
@@ -69,6 +74,7 @@ class UtilityMonitor {
   ThreadId num_threads_;
   std::uint32_t sampling_shift_;
   std::uint32_t sampled_sets_;
+  IndexKind index_kind_;
   // Per thread: shadow tags (sampled_sets x ways, blocks + valid bits plus a
   // compact recency permutation — the directory is LRU by definition,
   // whatever policy the monitored cache runs, so the hit's stack depth is an
@@ -76,6 +82,13 @@ class UtilityMonitor {
   std::vector<std::vector<std::uint64_t>> shadow_blocks_;
   std::vector<std::vector<std::uint8_t>> shadow_valid_;
   std::vector<LruStack> shadow_order_;
+  /// Per-thread block->way index over the shadow directory (kHash only);
+  /// shadow lines are never invalidated, so entries are only ever replaced.
+  std::vector<std::unique_ptr<BlockWayIndex>> shadow_index_;
+  /// Valid lines per shadow set, per thread: shadow fills always take the
+  /// first invalid way and nothing is ever invalidated, so the fill count
+  /// *is* the first invalid way — no scan needed (kHash only).
+  std::vector<std::vector<std::uint16_t>> shadow_fill_;
   std::vector<std::vector<std::uint64_t>> depth_hits_;  // [thread][depth]
   std::vector<std::uint64_t> accesses_;
   std::vector<std::uint64_t> misses_;

@@ -20,6 +20,7 @@ void write_geometry(JsonWriter& w, const mem::CacheGeometry& g) {
       .key("ways").value(g.ways)
       .key("line_bytes").value(g.line_bytes)
       .key("repl").value(mem::to_string(g.repl))
+      .key("index").value(mem::to_string(g.index))
       .end_object();
 }
 

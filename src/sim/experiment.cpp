@@ -167,6 +167,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                             result.outcome.total_cycles);
     config.obs.metrics->add("experiment/instructions_simulated",
                             result.outcome.instructions_retired);
+    // Hot-path telemetry: L2 tag-lookup cost under the configured
+    // --l2-index mechanism, and simulated L2 accesses per wall second (the
+    // number the perf-regression harness tracks).
+    const mem::CacheCore::LookupStats lookup = system.l2().lookup_stats();
+    config.obs.metrics->add("l2/lookups", lookup.lookups);
+    config.obs.metrics->add("l2/lookup_probe_len_total", lookup.probed_slots);
+    config.obs.metrics->add("l2/lookup_probe_len_1",
+                            lookup.probe_len_hist[0]);
+    config.obs.metrics->add("l2/lookup_probe_len_2",
+                            lookup.probe_len_hist[1]);
+    config.obs.metrics->add("l2/lookup_probe_len_3_4",
+                            lookup.probe_len_hist[2]);
+    config.obs.metrics->add("l2/lookup_probe_len_5_8",
+                            lookup.probe_len_hist[3]);
+    config.obs.metrics->add("l2/lookup_probe_len_gt_8",
+                            lookup.probe_len_hist[4]);
+    if (result.wall_seconds > 0.0) {
+      config.obs.metrics->set_gauge(
+          "sim/accesses_per_sec",
+          static_cast<double>(result.l2_stats.total().accesses) /
+              result.wall_seconds);
+    }
   }
 
   return result;

@@ -25,28 +25,39 @@ StackDistGenerator::StackDistGenerator(const GenParams& params, Rng rng,
       shared_base_(shared_base) {
   CAPART_CHECK(params_.working_set_blocks >= 1,
                "working set must hold at least one block");
-  stack_.reserve(params_.working_set_blocks);
+  refresh_param_cache();
+}
+
+void StackDistGenerator::refresh_param_cache() {
+  const double m = clamp(params_.mem_ratio, 0.005, 0.95);
+  gap_log_denom_ = std::log1p(-m);
 }
 
 void StackDistGenerator::set_params(const GenParams& params) {
   CAPART_CHECK(params.working_set_blocks >= 1,
                "working set must hold at least one block");
   params_ = params;
+  refresh_param_cache();
   // Shrinking the working set drops the least recently used blocks: the
   // program stopped touching them.
-  if (stack_.size() > params_.working_set_blocks) {
-    stack_.erase(stack_.begin(),
-                 stack_.begin() + static_cast<std::ptrdiff_t>(
-                                      stack_.size() - params_.working_set_blocks));
+  if (stack_size() > params_.working_set_blocks) {
+    drop_lru(stack_size() - params_.working_set_blocks);
+  }
+}
+
+void StackDistGenerator::drop_lru(std::size_t n) {
+  base_ += n;
+  if (base_ >= stack_.size() - base_) {
+    stack_.erase(stack_.begin(), stack_.begin() + static_cast<std::ptrdiff_t>(base_));
+    base_ = 0;
   }
 }
 
 Instructions StackDistGenerator::draw_gap() {
-  const double m = clamp(params_.mem_ratio, 0.005, 0.95);
   // Geometric gap with mean (1-m)/m so memory ops are an m-fraction of
-  // instructions; inversion sampling.
+  // instructions; inversion sampling. The denominator is cached per phase.
   const double u = rng_.unit();
-  const double g = std::log1p(-u) / std::log1p(-m);
+  const double g = std::log1p(-u) / gap_log_denom_;
   const auto gap = static_cast<Instructions>(g);
   return std::min(gap, kMaxGap);
 }
@@ -75,11 +86,11 @@ Addr StackDistGenerator::private_access(bool& was_new) {
   const bool force_new = rng_.chance(params_.p_new);
   std::uint32_t block;
   std::uint64_t depth = 0;
-  if (!force_new && !stack_.empty()) {
+  if (!force_new && stack_size() > 0) {
     depth = draw_depth();
   }
   was_new = false;
-  if (depth >= 1 && depth <= stack_.size()) {
+  if (depth >= 1 && depth <= stack_size()) {
     // Re-reference the block at stack depth `depth` (1 = MRU) and move it to
     // the MRU position.
     const std::size_t idx = stack_.size() - static_cast<std::size_t>(depth);
@@ -91,8 +102,8 @@ Addr StackDistGenerator::private_access(bool& was_new) {
     was_new = true;
     block = next_block_++;
     stack_.push_back(block);
-    if (stack_.size() > params_.working_set_blocks) {
-      stack_.erase(stack_.begin());
+    if (stack_size() > params_.working_set_blocks) {
+      drop_lru(1);
     }
   }
   return private_base_ + static_cast<Addr>(block) * kLineBytes;

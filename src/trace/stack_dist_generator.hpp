@@ -87,11 +87,34 @@ class StackDistGenerator {
   /// Returns the address; sets `was_new` when a never-seen block was touched.
   Addr private_access(bool& was_new);
 
+  /// Re-derives the cached per-params terms below (phase switch / ctor).
+  void refresh_param_cache();
+
+  /// Number of live blocks on the LRU stack.
+  std::size_t stack_size() const noexcept { return stack_.size() - base_; }
+
+  /// Drops the `n` least recently used blocks in amortized O(1): the dead
+  /// prefix grows and is compacted once it reaches the live size.
+  void drop_lru(std::size_t n);
+
   GenParams params_;
   Rng rng_;
+  /// log1p(-clamped mem_ratio): the gap draw's denominator depends only on
+  /// the params, not the draw — computing it once per phase keeps one
+  /// transcendental off the per-op path (the division itself is unchanged,
+  /// so drawn gaps are bit-identical).
+  double gap_log_denom_ = 0.0;
   Addr private_base_;
   Addr shared_base_;
-  std::vector<std::uint32_t> stack_;  // LRU stack of private blocks, MRU at back
+  /// LRU stack of private blocks: logical entries are stack_[base_..) with
+  /// the MRU at the back. The steady-state streaming access drops the LRU
+  /// block; with a plain vector that erase(begin()) memmoves the whole
+  /// working set on every streaming op, so instead the dead prefix just
+  /// grows (++base_) and is compacted in one move once it reaches the live
+  /// size — amortized O(1). Logical element order, and therefore the
+  /// generated stream, is identical to the plain-vector representation.
+  std::vector<std::uint32_t> stack_;
+  std::size_t base_ = 0;
   std::uint32_t next_block_ = 0;
 };
 

@@ -1,0 +1,291 @@
+// Perf-regression smoke for the simulator hot path (the --l2-index axis).
+//
+// Runs the fig19-21 arm union (every benchmark profile x {model,
+// static_equal, shared, throughput}) once per tag-lookup mechanism — scan
+// and hash — on the same seed, then:
+//
+//   * asserts bit-identity: per-arm simulated cycles, instructions, L2
+//     accesses/hits/misses must match exactly between the two mechanisms
+//     (the index only changes how the resident way is found, never what the
+//     cache does — src/mem/block_index.hpp);
+//   * emits BENCH_hotpath.json with per-arm wall seconds, per-kind
+//     accesses/sec, and the headline speedup_hash_over_scan;
+//   * with --check=BASELINE.json, compares the measured speedup *ratio*
+//     against the committed baseline and fails on a >tolerance regression.
+//     The ratio (not absolute accesses/sec) is compared so the gate holds
+//     across machines of different speeds.
+//
+// CI runs this in Release at --jobs=1 (tools/run via .github/workflows);
+// regenerate the baseline with:
+//   build/tools/capart_perfsmoke --out=bench/BENCH_hotpath_baseline.json
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "src/mem/block_index.hpp"
+#include "src/obs/json.hpp"
+#include "src/sim/batch.hpp"
+#include "src/trace/benchmarks.hpp"
+
+namespace {
+
+using namespace capart;
+
+struct Options {
+  std::uint32_t intervals = 40;
+  Instructions interval_instructions = 0;  // 0 -> bench default
+  ThreadId threads = 4;
+  std::uint64_t seed = 42;
+  unsigned jobs = 1;  // serial by default: wall time is the measurement
+  std::string out = "BENCH_hotpath.json";
+  std::string check;      // baseline JSON to gate against (empty = no gate)
+  double tolerance = 0.25;  // allowed fractional speedup regression
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(
+      stderr,
+      "usage: capart_perfsmoke [flags]\n"
+      "  --intervals=N       execution intervals per arm (default 40)\n"
+      "  --interval-instr=N  instructions per interval (default bench)\n"
+      "  --threads=N         cores (default 4)\n"
+      "  --seed=N            workload seed (default 42)\n"
+      "  --jobs=N            concurrent arms (default 1; keep 1 for timing)\n"
+      "  --out=PATH          result JSON (default BENCH_hotpath.json)\n"
+      "  --check=PATH        baseline JSON; fail on speedup regression\n"
+      "  --tolerance=X       allowed fractional regression (default 0.25)\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) usage_and_exit();
+    const std::string_view key = arg.substr(0, eq);
+    const std::string value{arg.substr(eq + 1)};
+    if (key == "--intervals") {
+      opt.intervals = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (key == "--interval-instr") {
+      opt.interval_instructions = std::stoull(value);
+    } else if (key == "--threads") {
+      opt.threads = static_cast<ThreadId>(std::stoul(value));
+    } else if (key == "--seed") {
+      opt.seed = std::stoull(value);
+    } else if (key == "--jobs") {
+      opt.jobs = static_cast<unsigned>(std::stoul(value));
+    } else if (key == "--out") {
+      opt.out = value;
+    } else if (key == "--check") {
+      opt.check = value;
+    } else if (key == "--tolerance") {
+      opt.tolerance = std::stod(value);
+    } else {
+      std::fprintf(stderr, "unknown flag: %.*s\n",
+                   static_cast<int>(key.size()), key.data());
+      usage_and_exit();
+    }
+  }
+  return opt;
+}
+
+/// One mechanism's measurement: the full fig19-21 arm union under `kind`.
+struct KindRun {
+  mem::IndexKind kind;
+  sim::BatchResult batch;
+  double serial_seconds = 0.0;
+  std::uint64_t accesses = 0;
+};
+
+KindRun run_kind(const Options& opt, mem::IndexKind kind) {
+  bench::BenchOptions bopt;
+  bopt.intervals = opt.intervals;
+  bopt.interval_instructions = opt.interval_instructions;
+  bopt.threads = opt.threads;
+  bopt.seed = opt.seed;
+  bopt.jobs = opt.jobs;
+  bopt.l2_index = kind;
+  const std::vector<std::string> arms = {"model", "static_equal", "shared",
+                                         "throughput"};
+  const sim::ExperimentSpec spec = bench::profile_sweep(
+      bopt, trace::benchmark_names(), arms,
+      std::string("hotpath_") + std::string(mem::to_string(kind)));
+
+  KindRun run{.kind = kind,
+              .batch = sim::BatchRunner(opt.jobs).run(spec)};
+  for (const sim::ArmOutcome& arm : run.batch.arms) {
+    if (!arm.ok()) {
+      std::fprintf(stderr, "arm %s failed under %s: %s\n", arm.name.c_str(),
+                   std::string(mem::to_string(kind)).c_str(),
+                   arm.error.c_str());
+      std::exit(1);
+    }
+    run.serial_seconds += arm.wall_seconds;
+    run.accesses += arm.result.l2_stats.total().accesses;
+  }
+  return run;
+}
+
+/// Exact-equality gate: the lookup mechanism must not change simulation
+/// results at all. Any drift here is a correctness bug, not a perf matter.
+bool bit_identical(const KindRun& scan, const KindRun& hash) {
+  bool ok = true;
+  for (std::size_t i = 0; i < scan.batch.arms.size(); ++i) {
+    const sim::ArmOutcome& a = scan.batch.arms[i];
+    const sim::ArmOutcome& b = hash.batch.arms[i];
+    const mem::ThreadCacheCounters ta = a.result.l2_stats.total();
+    const mem::ThreadCacheCounters tb = b.result.l2_stats.total();
+    if (a.name != b.name ||
+        a.result.outcome.total_cycles != b.result.outcome.total_cycles ||
+        a.result.outcome.instructions_retired !=
+            b.result.outcome.instructions_retired ||
+        ta.accesses != tb.accesses || ta.hits != tb.hits ||
+        ta.misses != tb.misses || ta.writebacks != tb.writebacks) {
+      std::fprintf(stderr,
+                   "BIT-IDENTITY VIOLATION at arm %s: scan/hash disagree "
+                   "(cycles %llu vs %llu, accesses %llu vs %llu)\n",
+                   a.name.c_str(),
+                   static_cast<unsigned long long>(
+                       a.result.outcome.total_cycles),
+                   static_cast<unsigned long long>(
+                       b.result.outcome.total_cycles),
+                   static_cast<unsigned long long>(ta.accesses),
+                   static_cast<unsigned long long>(tb.accesses));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void write_kind(obs::JsonWriter& w, const KindRun& run) {
+  w.begin_object()
+      .key("index")
+      .value(mem::to_string(run.kind))
+      .key("serial_seconds")
+      .value(run.serial_seconds)
+      .key("wall_seconds")
+      .value(run.batch.wall_seconds)
+      .key("accesses")
+      .value(run.accesses)
+      .key("accesses_per_sec")
+      .value(run.serial_seconds > 0.0
+                 ? static_cast<double>(run.accesses) / run.serial_seconds
+                 : 0.0)
+      .key("arms")
+      .begin_array();
+  for (const sim::ArmOutcome& arm : run.batch.arms) {
+    w.begin_object()
+        .key("name")
+        .value(arm.name)
+        .key("wall_seconds")
+        .value(arm.wall_seconds)
+        .key("accesses")
+        .value(arm.result.l2_stats.total().accesses)
+        .end_object();
+  }
+  w.end_array().end_object();
+}
+
+/// Reads `path`'s speedup_hash_over_scan; exits on parse failure.
+double baseline_speedup(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open baseline %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto doc = obs::parse_json(buf.str(), &error);
+  if (!doc) {
+    std::fprintf(stderr, "baseline %s is not valid JSON: %s\n", path.c_str(),
+                 error.c_str());
+    std::exit(1);
+  }
+  const obs::JsonValue* speedup = doc->find("speedup_hash_over_scan");
+  if (speedup == nullptr || !speedup->is_number()) {
+    std::fprintf(stderr, "baseline %s lacks speedup_hash_over_scan\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  return speedup->as_double();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  std::printf(
+      "capart_perfsmoke: fig19-21 arm union, scan vs hash tag lookup\n"
+      "  intervals=%u threads=%u seed=%llu jobs=%u\n",
+      opt.intervals, static_cast<unsigned>(opt.threads),
+      static_cast<unsigned long long>(opt.seed), opt.jobs);
+
+  const KindRun scan = run_kind(opt, mem::IndexKind::kScan);
+  const KindRun hash = run_kind(opt, mem::IndexKind::kHash);
+  if (!bit_identical(scan, hash)) return 1;
+
+  const double speedup = hash.serial_seconds > 0.0
+                             ? scan.serial_seconds / hash.serial_seconds
+                             : 0.0;
+  std::printf("  scan: %.2fs serial (%.3g accesses/s)\n", scan.serial_seconds,
+              static_cast<double>(scan.accesses) / scan.serial_seconds);
+  std::printf("  hash: %.2fs serial (%.3g accesses/s)\n", hash.serial_seconds,
+              static_cast<double>(hash.accesses) / hash.serial_seconds);
+  std::printf("  speedup (hash over scan): %.2fx\n", speedup);
+
+  obs::JsonWriter w;
+  w.begin_object()
+      .key("bench")
+      .value("hotpath")
+      .key("intervals")
+      .value(opt.intervals)
+      .key("threads")
+      .value(static_cast<std::uint32_t>(opt.threads))
+      .key("seed")
+      .value(opt.seed)
+      .key("jobs")
+      .value(opt.jobs)
+      .key("bit_identical")
+      .value(true)
+      .key("speedup_hash_over_scan")
+      .value(speedup)
+      .key("kinds")
+      .begin_array();
+  write_kind(w, scan);
+  write_kind(w, hash);
+  w.end_array().end_object();
+
+  std::ofstream out(opt.out, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  out << w.str() << '\n';
+  out.close();
+  std::printf("  wrote %s\n", opt.out.c_str());
+
+  if (!opt.check.empty()) {
+    const double base = baseline_speedup(opt.check);
+    const double floor = base * (1.0 - opt.tolerance);
+    std::printf(
+        "  baseline speedup %.2fx, tolerance %.0f%% -> floor %.2fx: %s\n",
+        base, opt.tolerance * 100.0, floor,
+        speedup >= floor ? "ok" : "REGRESSION");
+    if (speedup < floor) {
+      std::fprintf(stderr,
+                   "perf regression: hash-over-scan speedup %.2fx fell below "
+                   "%.2fx (baseline %.2fx - %.0f%%)\n",
+                   speedup, floor, base, opt.tolerance * 100.0);
+      return 1;
+    }
+  }
+  return 0;
+}
