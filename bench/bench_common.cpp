@@ -53,6 +53,24 @@ BenchOptions parse_options(int argc, char** argv) try {
                      "invalid value for --l2-index: want scan, hash or auto\n");
         std::exit(2);
       }
+    } else if (key == "--l2-banks") {
+      opt.l2_banks = parse_u32_flag(value, "--l2-banks");
+    } else if (key == "--l2-enforce") {
+      if (!mem::parse_l2_enforce(value, opt.l2_enforce)) {
+        std::fprintf(stderr,
+                     "invalid value for --l2-enforce: want default, "
+                     "eviction-control or clos\n");
+        std::exit(2);
+      }
+    } else if (key == "--clos-budget") {
+      opt.clos_budget = parse_u32_flag(value, "--clos-budget");
+    } else if (key == "--clos-mapper") {
+      if (!core::parse_clos_mapper(value, opt.clos_mapper)) {
+        std::fprintf(stderr,
+                     "invalid value for --clos-mapper: want none, nearest or "
+                     "minmax\n");
+        std::exit(2);
+      }
     } else if (key == "--jobs") {
       opt.jobs = parse_u32_flag(value, "--jobs");
       if (opt.jobs == 0) {
@@ -75,11 +93,21 @@ BenchOptions parse_options(int argc, char** argv) try {
           "--jobs=N\n"
           "       --arm-retries=N --arm-deadline=SECONDS\n"
           "       --l2-repl=lru|plru|srrip --l2-index=scan|hash|auto\n"
+          "       --l2-banks=N --l2-enforce=default|eviction-control|clos\n"
+          "       --clos-budget=N --clos-mapper=none|nearest|minmax\n"
           "       --events-out=PATH --trace-out=STEM --csv=STEM\n"
           "  --l2-repl=NAME  shared-L2 replacement policy (default lru)\n"
           "  --l2-index=NAME shared-L2 tag lookup (default auto; "
           "bit-identical\n"
           "                  results across kinds, different speed)\n"
+          "  --l2-banks=N    banked shared L2 (power of two; 0 = monolithic "
+          "with\n"
+          "                  infinite bandwidth; contents bit-identical)\n"
+          "  --l2-enforce=NAME  partition enforcement (clos = CAT-style "
+          "way\n"
+          "                  masks; supports threads > ways)\n"
+          "  --clos-budget=N    CLOS classes under clos (default 8)\n"
+          "  --clos-mapper=NAME thread->CLOS clustering (default nearest)\n"
           "  --jobs=N  run up to N experiments concurrently (default: all "
           "cores);\n"
           "            results are bit-identical for any value\n"
@@ -125,6 +153,10 @@ sim::ExperimentConfig base_config(const BenchOptions& opt,
   cfg.seed = opt.seed;
   cfg.l2.repl = opt.l2_repl;
   cfg.l2.index = opt.l2_index;
+  cfg.l2_banks = opt.l2_banks;
+  cfg.l2_enforce = opt.l2_enforce;
+  cfg.clos_budget = opt.clos_budget;
+  cfg.clos_mapper = opt.clos_mapper;
   return cfg;
 }
 

@@ -7,6 +7,14 @@
 //   --seed=N                workload seed (default 42)
 //   --l2-index=NAME         shared-L2 tag lookup: scan hash auto (default
 //                           auto; bit-identical results, different speed)
+//   --l2-banks=N            banked shared L2 (power of two; 0 = monolithic
+//                           with infinite bandwidth; contents bit-identical)
+//   --l2-enforce=NAME       partition enforcement: default eviction-control
+//                           clos (clos = CAT-style way masks; supports
+//                           threads > ways)
+//   --clos-budget=N         CLOS classes under --l2-enforce=clos (default 8)
+//   --clos-mapper=NAME      thread->CLOS clustering: none nearest minmax
+//                           (default nearest)
 //   --jobs=N                concurrent experiments (default: all cores)
 //   --arm-retries=N         re-run a failed arm up to N times (default 0)
 //   --arm-deadline=SEC      per-arm wall-clock budget; expired arms stop at
@@ -33,7 +41,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/core/clos_mapper.hpp"
 #include "src/mem/block_index.hpp"
+#include "src/mem/l2_organization.hpp"
 #include "src/mem/replacement.hpp"
 #include "src/sim/batch.hpp"
 #include "src/sim/experiment.hpp"
@@ -58,6 +68,16 @@ struct BenchOptions {
   /// engineering knob — results are bit-identical across kinds; the
   /// perfsmoke harness sweeps it to quantify the hot-path win.
   mem::IndexKind l2_index = mem::IndexKind::kAuto;
+  /// Banked shared L2 (--l2-banks=N, power of two; 0 = monolithic with
+  /// infinite bandwidth). Contents stay bit-identical; banks drive the
+  /// contention model and per-bank stats.
+  std::uint32_t l2_banks = 0;
+  /// Partition enforcement (--l2-enforce=default|eviction-control|clos) plus
+  /// the CLOS knobs (--clos-budget=N, --clos-mapper=none|nearest|minmax).
+  /// clos is the organization that supports threads > ways.
+  mem::L2Enforce l2_enforce = mem::L2Enforce::kModeDefault;
+  std::uint32_t clos_budget = 8;
+  core::ClosMapperKind clos_mapper = core::ClosMapperKind::kNearest;
   /// Observability outputs (empty = off); see the header comment.
   std::string events_out;
   std::string trace_out;

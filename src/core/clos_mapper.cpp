@@ -1,0 +1,120 @@
+#include "src/core/clos_mapper.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace capart::core {
+
+std::string_view to_string(ClosMapperKind kind) noexcept {
+  switch (kind) {
+    case ClosMapperKind::kNone: return "none";
+    case ClosMapperKind::kNearest: return "nearest";
+    case ClosMapperKind::kMinMax: return "minmax";
+  }
+  return "unknown";
+}
+
+bool parse_clos_mapper(std::string_view name, ClosMapperKind& out) noexcept {
+  if (name == "none") {
+    out = ClosMapperKind::kNone;
+  } else if (name == "nearest") {
+    out = ClosMapperKind::kNearest;
+  } else if (name == "minmax") {
+    out = ClosMapperKind::kMinMax;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Thread ids sorted by descending share; equal shares keep thread order.
+std::vector<std::uint32_t> by_descending_share(
+    std::span<const std::uint32_t> shares) {
+  std::vector<std::uint32_t> order(shares.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return shares[a] > shares[b];
+                   });
+  return order;
+}
+
+class NoneMapper final : public ClosMapper {
+ public:
+  ClosMapperKind kind() const noexcept override {
+    return ClosMapperKind::kNone;
+  }
+  std::vector<std::uint32_t> cluster(std::span<const std::uint32_t> shares,
+                                     std::uint32_t budget) const override {
+    CAPART_CHECK(budget >= 1, "clos budget must be >= 1");
+    std::vector<std::uint32_t> clos_of(shares.size());
+    for (std::size_t t = 0; t < shares.size(); ++t) {
+      clos_of[t] = static_cast<std::uint32_t>(t) % budget;
+    }
+    return clos_of;
+  }
+};
+
+class NearestMapper final : public ClosMapper {
+ public:
+  ClosMapperKind kind() const noexcept override {
+    return ClosMapperKind::kNearest;
+  }
+  std::vector<std::uint32_t> cluster(std::span<const std::uint32_t> shares,
+                                     std::uint32_t budget) const override {
+    CAPART_CHECK(budget >= 1, "clos budget must be >= 1");
+    // Demand-sorted threads, cut into `budget` contiguous groups of
+    // near-equal population: neighbours in demand share a CLOS, so each
+    // mask's width can track its members' (similar) targets closely.
+    const std::vector<std::uint32_t> order = by_descending_share(shares);
+    const std::size_t n = order.size();
+    std::vector<std::uint32_t> clos_of(n, 0);
+    for (std::uint32_t g = 0; g < budget; ++g) {
+      const std::size_t begin = n * g / budget;
+      const std::size_t end = n * (g + 1) / budget;
+      for (std::size_t i = begin; i < end; ++i) clos_of[order[i]] = g;
+    }
+    return clos_of;
+  }
+};
+
+class MinMaxMapper final : public ClosMapper {
+ public:
+  ClosMapperKind kind() const noexcept override {
+    return ClosMapperKind::kMinMax;
+  }
+  std::vector<std::uint32_t> cluster(std::span<const std::uint32_t> shares,
+                                     std::uint32_t budget) const override {
+    CAPART_CHECK(budget >= 1, "clos budget must be >= 1");
+    // Longest-processing-time greedy: heaviest thread first, each into the
+    // currently lightest cluster — pairs heavy threads with light ones and
+    // equalizes per-CLOS demand (pmctrack's min-max pairing generalized).
+    const std::vector<std::uint32_t> order = by_descending_share(shares);
+    std::vector<std::uint64_t> load(budget, 0);
+    std::vector<std::uint32_t> clos_of(shares.size(), 0);
+    for (const std::uint32_t t : order) {
+      const std::uint32_t c = static_cast<std::uint32_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      clos_of[t] = c;
+      load[c] += shares[t];
+    }
+    return clos_of;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ClosMapper> make_clos_mapper(ClosMapperKind kind) {
+  switch (kind) {
+    case ClosMapperKind::kNone: return std::make_unique<NoneMapper>();
+    case ClosMapperKind::kNearest: return std::make_unique<NearestMapper>();
+    case ClosMapperKind::kMinMax: return std::make_unique<MinMaxMapper>();
+  }
+  CAPART_CHECK(false, "unreachable clos mapper kind");
+}
+
+}  // namespace capart::core

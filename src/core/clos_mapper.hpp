@@ -1,0 +1,60 @@
+// Thread -> CLOS clustering: the quantization layer between the partition
+// policies (which emit one way target per thread) and CAT-style enforcement
+// (which offers a small budget of CLOS way masks).
+//
+// At 64+ threads the policies keep running unmodified in a *virtual* way
+// space (>= one way per thread); a ClosMapper then clusters the threads onto
+// the CLOS budget so threads with compatible demands share a mask, and
+// mem::build_clos_plan apportions the physical ways over the clusters. The
+// mapper kinds follow pmctrack's thread-pairing policies (None / Nearest /
+// MinMax): `none` ignores demand (static round-robin), `nearest` groups
+// threads of similar demand, `minmax` balances cluster demand by pairing
+// heavy with light threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace capart::core {
+
+enum class ClosMapperKind : std::uint8_t {
+  kNone,     ///< static t % budget, demand-oblivious
+  kNearest,  ///< sort by demand, contiguous groups of similar threads
+  kMinMax,   ///< greedy balance: each thread joins the lightest cluster
+};
+
+std::string_view to_string(ClosMapperKind kind) noexcept;
+
+/// Parses "none" / "nearest" / "minmax"; returns false on anything else.
+bool parse_clos_mapper(std::string_view name, ClosMapperKind& out) noexcept;
+
+/// All mapper kinds, in a stable order (for sweeps and tests).
+inline constexpr ClosMapperKind kAllClosMapperKinds[] = {
+    ClosMapperKind::kNone,
+    ClosMapperKind::kNearest,
+    ClosMapperKind::kMinMax,
+};
+
+/// Clusters threads onto the CLOS budget given their desired way shares.
+class ClosMapper {
+ public:
+  virtual ~ClosMapper() = default;
+
+  virtual ClosMapperKind kind() const noexcept = 0;
+  std::string_view name() const noexcept { return to_string(kind()); }
+
+  /// Returns clos_of: one CLOS id (< budget) per thread. `shares` are the
+  /// policy's per-thread way targets (virtual-way space). Deterministic:
+  /// ties break toward lower thread/cluster ids.
+  virtual std::vector<std::uint32_t> cluster(
+      std::span<const std::uint32_t> shares, std::uint32_t budget) const = 0;
+};
+
+std::unique_ptr<ClosMapper> make_clos_mapper(ClosMapperKind kind);
+
+}  // namespace capart::core

@@ -1,5 +1,6 @@
 #include "src/core/runtime_system.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <utility>
 
@@ -13,13 +14,30 @@ namespace capart::core {
 RuntimeSystem::RuntimeSystem(sim::CmpSystem& system,
                              std::unique_ptr<PartitionPolicy> policy,
                              Cycles overhead_cycles,
-                             Cycles flush_cost_per_line, obs::ObsConfig obs)
+                             Cycles flush_cost_per_line, obs::ObsConfig obs,
+                             ClosRuntimeConfig clos)
     : system_(system),
       policy_(std::move(policy)),
       overhead_cycles_(overhead_cycles),
       flush_cost_per_line_(flush_cost_per_line),
       obs_(std::move(obs)),
-      current_targets_(system.l2().current_targets()) {}
+      clos_(std::move(clos)),
+      current_targets_(system.l2().current_targets()) {
+  if (clos_.mapper != nullptr) {
+    CAPART_CHECK(system_.l2().clos_enforced(),
+                 "CLOS runtime config on an L2 without CLOS enforcement");
+    CAPART_CHECK(clos_.budget >= 1, "clos budget must be >= 1");
+    // The virtual way space: large enough that every policy's
+    // one-way-per-thread contract holds whatever the thread count.
+    const ThreadId n = system_.config().num_threads;
+    virtual_ways_ = std::max(system_.l2().total_ways(), n);
+    current_targets_ = equal_split(virtual_ways_, n);
+  }
+}
+
+std::uint32_t RuntimeSystem::policy_ways() const noexcept {
+  return virtual_ways_ != 0 ? virtual_ways_ : system_.l2().total_ways();
+}
 
 Cycles RuntimeSystem::on_interval(std::uint64_t interval_index) {
   // Monitor: read and rebase the performance counters.
@@ -35,9 +53,11 @@ Cycles RuntimeSystem::on_interval(std::uint64_t interval_index) {
 
   if (policy_ == nullptr) return 0;
 
-  // Partition engine.
+  // Partition engine. Under CLOS enforcement the policy runs in the virtual
+  // way space (>= one way per thread even with threads > physical ways); the
+  // decision is quantized onto the CLOS budget below.
   const PartitionContext ctx{
-      .total_ways = system_.l2().total_ways(),
+      .total_ways = policy_ways(),
       .num_threads = system_.config().num_threads,
       .utility_monitor = system_.utility_monitor(),
       .memory_penalty = system_.timing().params().memory_penalty,
@@ -89,12 +109,29 @@ Cycles RuntimeSystem::on_interval(std::uint64_t interval_index) {
     obs_.metrics->add("runtime/ways_moved", moved / 2);
   }
 
-  system_.l2().set_targets(next);
-  if (system_.l2().partitionable()) {
+  Cycles overhead = policy_->is_dynamic() ? overhead_cycles_ : 0;
+  if (clos_.mapper != nullptr) {
+    // Configuration unit, CAT flavor: cluster the threads onto the CLOS
+    // budget, apportion the physical ways over the clusters, install the
+    // masks, and pay the per-mask-update cost (one MSR write per changed
+    // mask on real hardware) — charged exactly once per changed mask.
+    const std::vector<std::uint32_t> clos_of =
+        clos_.mapper->cluster(next, clos_.budget);
+    const mem::ClosPlan plan = mem::build_clos_plan(
+        next, clos_of, system_.l2().total_ways(), clos_.budget);
+    const std::uint32_t changed = system_.l2().apply_clos_plan(plan);
+    overhead += clos_.mask_update_cycles * changed;
+    if (obs_.metrics != nullptr && changed > 0) {
+      obs_.metrics->add("clos/mask_updates", changed);
+    }
     current_targets_ = std::move(next);
+  } else {
+    system_.l2().set_targets(next);
+    if (system_.l2().partitionable()) {
+      current_targets_ = std::move(next);
+    }
   }
 
-  Cycles overhead = policy_->is_dynamic() ? overhead_cycles_ : 0;
   // Reconfiguration stall: flushing is not free (§V's argument) — writing
   // back and refetching the discarded lines stalls every core.
   const std::uint64_t flushed = system_.l2().flushed_on_last_retarget();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/common/types.hpp"
+#include "src/core/clos_mapper.hpp"
 #include "src/core/policy.hpp"
 #include "src/obs/obs.hpp"
 #include "src/sim/cmp_system.hpp"
@@ -17,6 +18,19 @@
 #include "src/sim/interval.hpp"
 
 namespace capart::core {
+
+/// CLOS enforcement attachment for the runtime (CAT-style hardware). With a
+/// mapper set, the policies run in a *virtual* way space of
+/// max(total_ways, num_threads) ways — their one-way-per-thread contract
+/// stays satisfiable at any thread count — and each decision is quantized
+/// onto the L2's CLOS budget: the mapper clusters the threads, the ways are
+/// apportioned over the clusters, and the resulting masks are installed via
+/// apply_clos_plan, charging `mask_update_cycles` once per changed mask.
+struct ClosRuntimeConfig {
+  std::unique_ptr<ClosMapper> mapper;  ///< null disables CLOS handling
+  std::uint32_t budget = 0;
+  Cycles mask_update_cycles = 0;
+};
 
 class RuntimeSystem {
  public:
@@ -30,7 +44,7 @@ class RuntimeSystem {
   /// repartition decision is mirrored to its sink and counters.
   RuntimeSystem(sim::CmpSystem& system, std::unique_ptr<PartitionPolicy> policy,
                 Cycles overhead_cycles, Cycles flush_cost_per_line = 4,
-                obs::ObsConfig obs = {});
+                obs::ObsConfig obs = {}, ClosRuntimeConfig clos = {});
 
   /// Interval-boundary entry point; wire into Driver::set_interval_callback.
   Cycles on_interval(std::uint64_t interval_index);
@@ -46,12 +60,19 @@ class RuntimeSystem {
   PartitionPolicy* policy() noexcept { return policy_.get(); }
   const PartitionPolicy* policy() const noexcept { return policy_.get(); }
 
+  /// The way count the policies see: the virtual space under CLOS
+  /// enforcement, the physical ways otherwise.
+  std::uint32_t policy_ways() const noexcept;
+
  private:
   sim::CmpSystem& system_;
   std::unique_ptr<PartitionPolicy> policy_;
   Cycles overhead_cycles_;
   Cycles flush_cost_per_line_;
   obs::ObsConfig obs_;
+  ClosRuntimeConfig clos_;
+  /// Virtual way-space size under CLOS enforcement; 0 = CLOS disabled.
+  std::uint32_t virtual_ways_ = 0;
   std::vector<sim::IntervalRecord> history_;
   std::vector<std::uint32_t> current_targets_;
 };

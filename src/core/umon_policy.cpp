@@ -35,12 +35,19 @@ std::vector<std::uint32_t> UmonPolicy::repartition(
   }
 
   // Predicted CPI of thread t at `ways`, anchored at its observed CPI under
-  // the allocation that was in force this interval.
+  // the allocation that was in force this interval. Under CLOS enforcement
+  // the allocation lives in a virtual way space that can exceed the shadow
+  // directory's associativity; beyond it extra ways add no hits, so the
+  // prediction clamps (the miss curve is flat past the real way count).
+  const auto monitored = [&](std::uint32_t ways) {
+    return std::min(ways, umon.monitored_ways());
+  };
   const auto predict = [&](ThreadId t, std::uint32_t ways) {
     const auto& tr = record.threads[t];
     if (tr.instructions == 0) return 0.0;
-    const double base = umon.predicted_misses(t, record.threads[t].ways);
-    const double delta = umon.predicted_misses(t, ways) - base;
+    const double base =
+        umon.predicted_misses(t, monitored(record.threads[t].ways));
+    const double delta = umon.predicted_misses(t, monitored(ways)) - base;
     const double cpi = tr.cpi() + delta * static_cast<double>(
                                               ctx.memory_penalty) /
                                       static_cast<double>(tr.instructions);

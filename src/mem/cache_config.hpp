@@ -78,4 +78,9 @@ struct CacheGeometry {
 inline constexpr CacheGeometry kDefaultL1{.sets = 32, .ways = 4, .line_bytes = 64};
 inline constexpr CacheGeometry kDefaultL2{.sets = 256, .ways = 64, .line_bytes = 64};
 
+/// Default per-core private L2 slice of the three-level (Dunnington-style)
+/// configuration: 64 KB, 8-way (paper footnote 1).
+inline constexpr CacheGeometry kDefaultPrivateL2{
+    .sets = 128, .ways = 8, .line_bytes = 64};
+
 }  // namespace capart::mem

@@ -12,6 +12,7 @@ std::string_view to_string(PartitionEnforcement enforcement) noexcept {
     case PartitionEnforcement::kWayEvictionControl: return "eviction-control";
     case PartitionEnforcement::kWayFlushReconfigure: return "flush-reconfigure";
     case PartitionEnforcement::kSetColoring: return "set-coloring";
+    case PartitionEnforcement::kClosWayMask: return "clos-way-mask";
   }
   return "unknown";
 }
@@ -45,6 +46,24 @@ CacheCore::CacheCore(const CacheGeometry& geometry, ThreadId num_threads,
   targets_.assign(num_threads_, geometry_.ways / num_threads_);
   std::uint32_t leftover = geometry_.ways % num_threads_;
   for (std::uint32_t t = 0; t < leftover; ++t) targets_[t] += 1;
+  if (enforcement_ == PartitionEnforcement::kClosWayMask) {
+    // Full-cache masks until the owner installs real ones.
+    ranges_.assign(num_threads_,
+                   WayMask{.low_way = 0, .nr_ways = geometry_.ways});
+  }
+}
+
+void CacheCore::set_way_ranges(std::span<const WayMask> per_thread) {
+  CAPART_CHECK(enforcement_ == PartitionEnforcement::kClosWayMask,
+               "set_way_ranges is only meaningful with clos enforcement");
+  CAPART_CHECK(per_thread.size() == num_threads_,
+               "one way mask per thread required");
+  for (const WayMask& m : per_thread) {
+    CAPART_CHECK(m.nr_ways >= 1, "every thread's CLOS keeps at least one way");
+    CAPART_CHECK(m.high_way() <= geometry_.ways,
+                 "way mask beyond the cache's ways");
+  }
+  ranges_.assign(per_thread.begin(), per_thread.end());
 }
 
 void CacheCore::set_targets(std::span<const std::uint32_t> targets) {
@@ -106,6 +125,27 @@ void CacheCore::invalidate_line(std::uint32_t set, std::uint32_t way) {
 std::uint32_t CacheCore::choose_victim(std::uint32_t set, ThreadId thread) {
   const std::size_t base = line_index(set, 0);
   const std::uint8_t* valid = &valid_[base];
+  if (enforcement_ == PartitionEnforcement::kClosWayMask) {
+    // CAT semantics: fill and victimize strictly within the thread's mask.
+    // The global first-invalid fast path below would escape the mask, so the
+    // invalid scan is bounded to the mask here.
+    const WayMask& m = ranges_[thread];
+    if (fill_count_[set] < geometry_.ways) {
+      for (std::uint32_t w = m.low_way; w < m.high_way(); ++w) {
+        if (valid[w] == 0) return w;
+      }
+    }
+    // Every way of the mask holds a valid line (whoever owns it) — evict the
+    // replacement policy's pick among them.
+    const ReplacementPolicy::Eligible in_mask{
+        .valid = valid,
+        .owner = &owner_[base],
+        .scope = ReplacementPolicy::Eligible::Scope::kWayRange,
+        .thread = thread,
+        .range_lo = m.low_way,
+        .range_hi = m.high_way()};
+    return repl_->victim(set, in_mask);
+  }
   // The fill count skips the first-invalid scan once the set is full — the
   // steady state of every long run; a partially filled set (warmup, or holes
   // from a reconfiguration flush) still takes the bounded scan below.

@@ -33,10 +33,12 @@
 #include <span>
 #include <vector>
 
+#include "src/common/check.hpp"
 #include "src/common/types.hpp"
 #include "src/mem/block_index.hpp"
 #include "src/mem/cache_config.hpp"
 #include "src/mem/cache_stats.hpp"
+#include "src/mem/clos.hpp"
 #include "src/mem/replacement.hpp"
 
 namespace capart::mem {
@@ -57,6 +59,12 @@ enum class PartitionEnforcement : std::uint8_t {
   /// Set partitioning: isolation comes from the caller's block->set mapping
   /// (page coloring), so victim choice within a set is unconstrained.
   kSetColoring,
+  /// CAT-style way masks (Intel RDT / pmctrack `intel_rdt` semantics): each
+  /// thread fills and victimizes only within its CLOS's contiguous way
+  /// range (set_way_ranges); hits anywhere remain unrestricted, and a mask
+  /// change never flushes — lines outside the new mask stay resident until
+  /// naturally evicted, exactly the way-bouncing behaviour of the hardware.
+  kClosWayMask,
 };
 
 std::string_view to_string(PartitionEnforcement enforcement) noexcept;
@@ -107,6 +115,21 @@ class CacheCore {
   /// kWayFlushReconfigure shrinking threads immediately lose their policy
   /// victims down to the new per-set target.
   void set_targets(std::span<const std::uint32_t> targets);
+
+  /// Installs per-thread contiguous way masks (one per thread, each at least
+  /// one way wide, within the geometry). Only valid under kClosWayMask.
+  /// Nothing is flushed: lines outside a thread's new mask remain resident
+  /// and hittable until evicted by the threads now filling those ways.
+  void set_way_ranges(std::span<const WayMask> per_thread);
+
+  /// Mask of `thread` under kClosWayMask (full cache before the first
+  /// set_way_ranges call).
+  const WayMask& way_range(ThreadId thread) const {
+    CAPART_CHECK(enforcement_ == PartitionEnforcement::kClosWayMask &&
+                     thread < ranges_.size(),
+                 "way_range: not under clos enforcement");
+    return ranges_[thread];
+  }
 
   /// Lines invalidated by the most recent set_targets() (always 0 outside
   /// kWayFlushReconfigure).
@@ -201,6 +224,8 @@ class CacheCore {
   /// lines exactly — see block_index.hpp for the invariant.
   std::unique_ptr<BlockWayIndex> index_;
   std::vector<std::uint32_t> targets_;
+  /// Per-thread CLOS way masks (kClosWayMask only; empty otherwise).
+  std::vector<WayMask> ranges_;
   CacheStats stats_;
   LookupStats lookup_stats_;
   std::uint64_t flushed_on_last_retarget_ = 0;

@@ -1,0 +1,84 @@
+#include "src/mem/clos.hpp"
+
+#include "src/common/check.hpp"
+#include "src/math/apportion.hpp"
+
+namespace capart::mem {
+
+void validate_clos_plan(const ClosPlan& plan, std::uint32_t total_ways,
+                        ThreadId num_threads) {
+  CAPART_CHECK(!plan.masks.empty(), "clos plan needs at least one CLOS");
+  std::uint32_t offset = 0;
+  for (const WayMask& m : plan.masks) {
+    CAPART_CHECK(m.low_way == offset,
+                 "clos masks must tile the ways contiguously in CLOS order");
+    offset += m.nr_ways;
+  }
+  CAPART_CHECK(offset == total_ways, "clos masks must cover all ways exactly");
+  CAPART_CHECK(plan.clos_of.size() == num_threads,
+               "clos plan needs one CLOS id per thread");
+  for (const std::uint32_t c : plan.clos_of) {
+    CAPART_CHECK(c < plan.masks.size(), "thread mapped to unknown CLOS");
+    CAPART_CHECK(plan.masks[c].nr_ways >= 1,
+                 "thread mapped to an empty CLOS");
+  }
+}
+
+ClosPlan build_clos_plan(std::span<const std::uint32_t> shares,
+                         std::span<const std::uint32_t> clos_of,
+                         std::uint32_t total_ways, std::uint32_t budget) {
+  CAPART_CHECK(budget >= 1, "clos budget must be >= 1");
+  CAPART_CHECK(shares.size() == clos_of.size(),
+               "one share and one CLOS id per thread required");
+  std::vector<double> weight(budget, 0.0);
+  std::vector<std::uint32_t> members(budget, 0);
+  for (std::size_t t = 0; t < clos_of.size(); ++t) {
+    CAPART_CHECK(clos_of[t] < budget, "CLOS id beyond the budget");
+    weight[clos_of[t]] += static_cast<double>(shares[t]);
+    ++members[clos_of[t]];
+  }
+
+  // Apportion the physical ways over the *non-empty* CLOSes only; an unused
+  // CLOS keeps a zero-width mask instead of wasting a way.
+  std::vector<double> used_weights;
+  used_weights.reserve(budget);
+  for (std::uint32_t c = 0; c < budget; ++c) {
+    if (members[c] > 0) used_weights.push_back(weight[c]);
+  }
+  std::vector<std::uint32_t> widths;
+  if (!used_weights.empty()) {
+    CAPART_CHECK(used_weights.size() <= total_ways,
+                 "more populated CLOSes than ways");
+    widths = math::apportion(used_weights, total_ways, /*minimum=*/1);
+  }
+
+  ClosPlan plan;
+  plan.masks.resize(budget);
+  plan.clos_of.assign(clos_of.begin(), clos_of.end());
+  std::uint32_t offset = 0;
+  std::size_t k = 0;
+  for (std::uint32_t c = 0; c < budget; ++c) {
+    if (members[c] == 0) {
+      plan.masks[c] = WayMask{.low_way = offset, .nr_ways = 0};
+    } else {
+      plan.masks[c] = WayMask{.low_way = offset, .nr_ways = widths[k]};
+      offset += widths[k];
+      ++k;
+    }
+  }
+  // With no threads at all the masks cannot cover the ways; that
+  // configuration is rejected long before reaching here.
+  CAPART_CHECK(offset == total_ways || clos_of.empty(),
+               "clos apportionment did not cover all ways");
+  return plan;
+}
+
+ClosPlan initial_clos_plan(std::uint32_t total_ways, ThreadId num_threads,
+                           std::uint32_t budget) {
+  std::vector<std::uint32_t> shares(num_threads, 1);
+  std::vector<std::uint32_t> clos_of(num_threads);
+  for (ThreadId t = 0; t < num_threads; ++t) clos_of[t] = t % budget;
+  return build_clos_plan(shares, clos_of, total_ways, budget);
+}
+
+}  // namespace capart::mem

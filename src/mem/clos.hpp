@@ -1,0 +1,66 @@
+// CAT-style classes of service (CLOS): contiguous per-class way masks over a
+// shared cache, mirroring Intel RDT / pmctrack's `intel_rdt` semantics.
+//
+// Commodity way partitioning does not give every thread its own partition:
+// the hardware exposes a small budget of CLOSes (4-16 on real parts), each
+// defined by a *contiguous* way mask, and every thread is assigned to exactly
+// one CLOS. A partitioning policy that thinks in per-thread way targets
+// therefore needs a quantization step — cluster the threads onto the CLOS
+// budget and apportion the physical ways over the clusters. The types here
+// describe the enforced state (masks + thread->CLOS map); the clustering
+// policies live in src/core/clos_mapper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace capart::mem {
+
+/// One CLOS's contiguous way mask: ways [low_way, low_way + nr_ways).
+/// nr_ways == 0 marks an unused (empty) CLOS. Matches pmctrack's
+/// cat_cache_part_t {low_way, nr_ways} representation.
+struct WayMask {
+  std::uint32_t low_way = 0;
+  std::uint32_t nr_ways = 0;
+
+  /// One-past-the-last way of the mask.
+  constexpr std::uint32_t high_way() const noexcept {
+    return low_way + nr_ways;
+  }
+  constexpr bool contains(std::uint32_t way) const noexcept {
+    return way >= low_way && way < high_way();
+  }
+  friend constexpr bool operator==(const WayMask&, const WayMask&) = default;
+};
+
+/// A complete CLOS configuration: the mask of every CLOS (ascending,
+/// contiguous, tiling [0, total_ways) exactly) plus the thread->CLOS map.
+/// Every thread maps to a CLOS with at least one way.
+struct ClosPlan {
+  std::vector<WayMask> masks;          ///< one per CLOS id
+  std::vector<std::uint32_t> clos_of;  ///< one per thread
+};
+
+/// CHECK-validates the structural invariants above (internal contract;
+/// configuration-level errors are rejected earlier with ConfigError).
+void validate_clos_plan(const ClosPlan& plan, std::uint32_t total_ways,
+                        ThreadId num_threads);
+
+/// Quantizes per-thread way shares onto the CLOS budget: CLOS c's weight is
+/// the summed share of its member threads, the physical ways are apportioned
+/// over the non-empty CLOSes (largest-remainder, >= 1 way each) and laid out
+/// contiguously in CLOS-id order. Deterministic. `clos_of[t]` < `budget`.
+ClosPlan build_clos_plan(std::span<const std::uint32_t> shares,
+                         std::span<const std::uint32_t> clos_of,
+                         std::uint32_t total_ways, std::uint32_t budget);
+
+/// The boot-time configuration: threads assigned round-robin (t % budget,
+/// pmctrack's static "none" pairing) and ways split equally over the
+/// non-empty CLOSes.
+ClosPlan initial_clos_plan(std::uint32_t total_ways, ThreadId num_threads,
+                           std::uint32_t budget);
+
+}  // namespace capart::mem

@@ -1,6 +1,7 @@
 #include "src/mem/l2_organization.hpp"
 
 #include "src/common/check.hpp"
+#include "src/mem/banked_l2.hpp"
 
 namespace capart::mem {
 
@@ -15,9 +16,67 @@ std::string_view to_string(L2Mode mode) noexcept {
   return "unknown";
 }
 
+std::string_view to_string(L2Enforce enforce) noexcept {
+  switch (enforce) {
+    case L2Enforce::kModeDefault: return "default";
+    case L2Enforce::kEvictionControl: return "eviction-control";
+    case L2Enforce::kClosWayMask: return "clos";
+  }
+  return "unknown";
+}
+
+bool parse_l2_enforce(std::string_view name, L2Enforce& out) noexcept {
+  if (name == "default") {
+    out = L2Enforce::kModeDefault;
+  } else if (name == "eviction-control" || name == "eviction") {
+    out = L2Enforce::kEvictionControl;
+  } else if (name == "clos" || name == "clos-way-mask") {
+    out = L2Enforce::kClosWayMask;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t L2Organization::apply_clos_plan(const ClosPlan& /*plan*/) {
+  CAPART_CHECK(false, "apply_clos_plan on an organization without CLOS "
+                      "enforcement");
+}
+
 std::unique_ptr<L2Organization> make_l2(L2Mode mode,
                                         const CacheGeometry& geometry,
-                                        ThreadId num_threads) {
+                                        ThreadId num_threads,
+                                        const L2BuildOptions& opts) {
+  const std::uint32_t banks = opts.banks == 0 ? 1 : opts.banks;
+  if (opts.enforce == L2Enforce::kClosWayMask) {
+    // CLOS masks ride on the banked organization even single-banked; the
+    // mode restriction is validated (with ConfigError) at the config layer.
+    CAPART_CHECK(mode == L2Mode::kPartitionedShared,
+                 "clos enforcement requires the partitioned shared mode");
+    return std::make_unique<BankedL2>(geometry, num_threads, banks,
+                                      PartitionMode::kEvictionControl,
+                                      /*clos=*/true, opts.clos_budget);
+  }
+  if (banks > 1) {
+    // Only the shared structure is physically banked; the private and
+    // coloring organizations keep their monolithic structures (the bank
+    // knob then only drives the contention model, as before).
+    switch (mode) {
+      case L2Mode::kSharedUnpartitioned:
+        return std::make_unique<BankedL2>(geometry, num_threads, banks,
+                                          PartitionMode::kUnpartitioned,
+                                          /*clos=*/false, 0);
+      case L2Mode::kPartitionedShared:
+        return std::make_unique<BankedL2>(geometry, num_threads, banks,
+                                          PartitionMode::kEvictionControl,
+                                          /*clos=*/false, 0);
+      case L2Mode::kFlushReconfigureShared:
+        return std::make_unique<BankedL2>(geometry, num_threads, banks,
+                                          PartitionMode::kFlushReconfigure,
+                                          /*clos=*/false, 0);
+      default: break;  // fall through to the monolithic organizations
+    }
+  }
   switch (mode) {
     case L2Mode::kSharedUnpartitioned:
       return std::make_unique<SharedOrPartitionedL2>(

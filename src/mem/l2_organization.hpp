@@ -17,6 +17,7 @@
 #include "src/common/types.hpp"
 #include "src/mem/cache_config.hpp"
 #include "src/mem/cache_stats.hpp"
+#include "src/mem/clos.hpp"
 #include "src/mem/partitioned_cache.hpp"
 #include "src/mem/set_assoc_cache.hpp"
 #include "src/mem/set_partitioned_cache.hpp"
@@ -37,6 +38,26 @@ enum class L2Mode : std::uint8_t {
 };
 
 std::string_view to_string(L2Mode mode) noexcept;
+
+/// How a way-partitioned shared L2 enforces its partition (--l2-enforce).
+enum class L2Enforce : std::uint8_t {
+  /// Whatever the L2 mode implies (eviction control for the partitioned
+  /// mode, flush for the flush-reconfigure mode, nothing for the rest).
+  kModeDefault,
+  /// Explicitly the paper's §V eviction control (same as the partitioned
+  /// mode's default; named for symmetry on the command line).
+  kEvictionControl,
+  /// CAT-style CLOS way masks: a small budget of contiguous way masks that
+  /// threads are clustered onto — the commodity-hardware enforcement
+  /// (Intel RDT semantics; see src/mem/clos.hpp). Requires the partitioned
+  /// shared mode and supports more threads than ways.
+  kClosWayMask,
+};
+
+std::string_view to_string(L2Enforce enforce) noexcept;
+
+/// Parses "default" / "eviction-control" / "clos"; returns false otherwise.
+bool parse_l2_enforce(std::string_view name, L2Enforce& out) noexcept;
 
 /// Uniform interface the CMP system and the runtime use for the L2 level.
 class L2Organization {
@@ -69,12 +90,36 @@ class L2Organization {
   /// Tag-lookup telemetry of the organization's cache structures (summed
   /// over private slices); published as the l2/lookup_* metrics.
   virtual CacheCore::LookupStats lookup_stats() const noexcept = 0;
+
+  /// True when partitioning is enforced through CLOS way masks; the runtime
+  /// then reconfigures through apply_clos_plan instead of set_targets.
+  virtual bool clos_enforced() const noexcept { return false; }
+
+  /// Installs a CLOS configuration and returns how many CLOS masks actually
+  /// changed (the runtime charges the mask-update cost once per changed
+  /// mask). Aborts on organizations without CLOS enforcement.
+  virtual std::uint32_t apply_clos_plan(const ClosPlan& plan);
+
+  /// The CLOS configuration in force, or nullptr without CLOS enforcement.
+  virtual const ClosPlan* clos_plan() const noexcept { return nullptr; }
+};
+
+/// Structural options for make_l2 beyond the mode (defaults reproduce the
+/// historical monolithic organizations exactly).
+struct L2BuildOptions {
+  /// Bank count of the shared structure; 0/1 = monolithic. Must be a power
+  /// of two <= the set count. Only the shared way-granular modes bank.
+  std::uint32_t banks = 1;
+  L2Enforce enforce = L2Enforce::kModeDefault;
+  /// Number of CLOSes when enforce == kClosWayMask.
+  std::uint32_t clos_budget = 8;
 };
 
 /// Factory for the mode requested by an experiment configuration.
 std::unique_ptr<L2Organization> make_l2(L2Mode mode,
                                         const CacheGeometry& geometry,
-                                        ThreadId num_threads);
+                                        ThreadId num_threads,
+                                        const L2BuildOptions& opts = {});
 
 /// Shared (optionally way-partitioned) L2 over one PartitionedCache.
 class SharedOrPartitionedL2 final : public L2Organization {

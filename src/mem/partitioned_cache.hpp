@@ -23,8 +23,10 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "src/common/check.hpp"
+#include "src/common/error.hpp"
 #include "src/common/types.hpp"
 #include "src/mem/cache_config.hpp"
 #include "src/mem/cache_core.hpp"
@@ -116,11 +118,22 @@ class PartitionedCache {
   bool contains(Addr addr) const noexcept { return core_.contains(addr); }
 
  private:
+  // Thread/way mismatch is user-reachable configuration (--threads beyond
+  // --l2-ways), so it throws a recoverable ConfigError instead of aborting;
+  // CLOS enforcement is the organization that does support threads > ways.
   static const CacheGeometry& checked(const CacheGeometry& geometry,
                                       ThreadId num_threads) {
-    CAPART_CHECK(num_threads > 0, "partitioned cache needs >= 1 thread");
-    CAPART_CHECK(num_threads <= geometry.ways,
-                 "more threads than ways: cannot guarantee 1 way per thread");
+    if (num_threads < 1) {
+      throw ConfigError("threads", "partitioned cache needs >= 1 thread");
+    }
+    if (num_threads > geometry.ways) {
+      throw ConfigError(
+          "l2-ways",
+          "more threads (" + std::to_string(num_threads) + ") than ways (" +
+              std::to_string(geometry.ways) +
+              "): per-thread way targets keep >= 1 way per thread; use "
+              "--l2-enforce=clos to cluster threads onto CLOS way masks");
+    }
     return geometry;
   }
 

@@ -159,12 +159,21 @@ class ReplacementPolicy {
   /// matches the ownership scope. The arrays view the candidate set's lines
   /// (cache-core storage is set-major, so these are spans of `ways` entries).
   struct Eligible {
-    enum class Scope : std::uint8_t { kAnyValid, kOwnedBy, kNotOwnedBy };
+    enum class Scope : std::uint8_t {
+      kAnyValid,
+      kOwnedBy,
+      kNotOwnedBy,
+      /// CAT-style way masks: only ways in [range_lo, range_hi) qualify,
+      /// whoever owns them (CLOS masks constrain placement, not ownership).
+      kWayRange,
+    };
 
     const std::uint8_t* valid = nullptr;
     const ThreadId* owner = nullptr;
     Scope scope = Scope::kAnyValid;
     ThreadId thread = 0;
+    std::uint32_t range_lo = 0;  ///< kWayRange only
+    std::uint32_t range_hi = 0;  ///< kWayRange only, exclusive
 
     bool operator()(std::uint32_t way) const noexcept {
       if (valid[way] == 0) return false;
@@ -172,6 +181,7 @@ class ReplacementPolicy {
         case Scope::kAnyValid: return true;
         case Scope::kOwnedBy: return owner[way] == thread;
         case Scope::kNotOwnedBy: return owner[way] != thread;
+        case Scope::kWayRange: return way >= range_lo && way < range_hi;
       }
       return false;
     }

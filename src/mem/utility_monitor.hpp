@@ -58,6 +58,10 @@ class UtilityMonitor {
   void reset_interval();
 
   std::uint32_t sampled_sets() const noexcept { return sampled_sets_; }
+  /// Deepest way the shadow directory can predict for (the monitored
+  /// cache's associativity); callers running in a larger virtual way space
+  /// clamp their queries here.
+  std::uint32_t monitored_ways() const noexcept { return geometry_.ways; }
   double scale() const noexcept {
     return static_cast<double>(geometry_.sets) /
            static_cast<double>(sampled_sets_);

@@ -57,6 +57,10 @@ std::string to_jsonl(const ManifestEvent& event) {
       .end_object();
   w.key("l2_banks").value(c.l2_banks)
       .key("l2_bank_service_cycles").value(c.l2_bank_service_cycles)
+      .key("l2_enforce").value(mem::to_string(c.l2_enforce))
+      .key("clos_budget").value(c.clos_budget)
+      .key("clos_mapper").value(core::to_string(c.clos_mapper))
+      .key("clos_mask_update_cycles").value(c.clos_mask_update_cycles)
       .key("enable_private_l2").value(c.enable_private_l2);
   w.key("private_l2");
   write_geometry(w, c.private_l2);

@@ -6,10 +6,29 @@
 
 namespace capart::sim {
 
+namespace {
+
+// The shared way-granular organizations physically bank; the private and
+// coloring organizations keep monolithic structures (banks then only drive
+// the contention model below).
+mem::L2BuildOptions l2_build_options(const SystemConfig& config) {
+  const bool shared = config.l2_mode == mem::L2Mode::kSharedUnpartitioned ||
+                      config.l2_mode == mem::L2Mode::kPartitionedShared ||
+                      config.l2_mode == mem::L2Mode::kFlushReconfigureShared;
+  return mem::L2BuildOptions{
+      .banks = shared ? std::max<std::uint32_t>(1, config.l2_banks) : 1,
+      .enforce = config.l2_enforce,
+      .clos_budget = config.clos_budget,
+  };
+}
+
+}  // namespace
+
 CmpSystem::CmpSystem(const SystemConfig& config)
     : config_(config),
       timing_(config.timing),
-      l2_(mem::make_l2(config.l2_mode, config.l2, config.num_threads)),
+      l2_(mem::make_l2(config.l2_mode, config.l2, config.num_threads,
+                       l2_build_options(config))),
       counters_(config.num_threads),
       core_of_(config.num_threads) {
   CAPART_CHECK(config_.num_threads >= 1, "system needs at least one thread");
@@ -30,6 +49,7 @@ CmpSystem::CmpSystem(const SystemConfig& config)
   }
   if (config_.l2_banks > 0) {
     bank_busy_until_.assign(config_.l2_banks, 0);
+    bank_contention_.assign(config_.l2_banks, BankContention{});
   }
 }
 
@@ -67,6 +87,12 @@ Cycles CmpSystem::memory_access(ThreadId thread, Addr addr, AccessType type,
       contention_wait = start - now;
       bank_busy_until_[bank] = start + config_.l2_bank_service_cycles;
       c.contention_wait_cycles += contention_wait;
+      BankContention& bc = bank_contention_[bank];
+      ++bc.accesses;
+      if (contention_wait > 0) {
+        ++bc.conflicts;
+        bc.wait_cycles += contention_wait;
+      }
     }
     if (umon_ != nullptr) umon_->observe(thread, addr);
     if (l2_->access(thread, addr, type)) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/types.hpp"
@@ -32,13 +33,29 @@ struct SystemConfig {
   /// paper footnote 1 — "our work can target any shared cache component").
   bool enable_private_l2 = false;
   /// Geometry of each private L2 slice (default 64 KB, 8-way).
-  mem::CacheGeometry private_l2 = {.sets = 128, .ways = 8, .line_bytes = 64};
-  /// Banks of the shared cache for port-contention modeling; 0 disables
-  /// contention (infinite bandwidth, the default). With N banks, concurrent
-  /// accesses to the same bank serialize at `l2_bank_service_cycles` apart
-  /// and the waiting time is charged to the requester.
+  mem::CacheGeometry private_l2 = mem::kDefaultPrivateL2;
+  /// Banks of the shared cache; 0 keeps the historical monolithic structure
+  /// with no contention (infinite bandwidth, the default). With N banks two
+  /// things happen: (timing) concurrent accesses to the same bank serialize
+  /// at `l2_bank_service_cycles` apart with the waiting time charged to the
+  /// requester, and (structure) the shared way-granular organizations build
+  /// N address-interleaved banks (see mem::BankedL2; contents stay
+  /// bit-identical to a monolithic cache for any power-of-two count).
   std::uint32_t l2_banks = 0;
   Cycles l2_bank_service_cycles = 4;
+  /// Partition enforcement flavor of the shared L2 (kClosWayMask = CAT-style
+  /// way masks with `clos_budget` classes of service).
+  mem::L2Enforce l2_enforce = mem::L2Enforce::kModeDefault;
+  std::uint32_t clos_budget = 8;
+};
+
+/// Per-bank contention telemetry of the shared cache (the timing model's
+/// queueing view; per-bank hit/miss stats live on mem::BankedL2).
+struct BankContention {
+  std::uint64_t accesses = 0;
+  /// Accesses that found the bank busy and had to wait.
+  std::uint64_t conflicts = 0;
+  Cycles wait_cycles = 0;
 };
 
 class CmpSystem {
@@ -77,6 +94,11 @@ class CmpSystem {
     return umon_.get();
   }
 
+  /// Per-bank contention counters; empty when l2_banks == 0.
+  std::span<const BankContention> bank_contention() const noexcept {
+    return bank_contention_;
+  }
+
  private:
   SystemConfig config_;
   cpu::TimingModel timing_;
@@ -85,6 +107,7 @@ class CmpSystem {
   std::unique_ptr<mem::L2Organization> l2_;
   std::unique_ptr<mem::UtilityMonitor> umon_;
   std::vector<Cycles> bank_busy_until_;
+  std::vector<BankContention> bank_contention_;
   cpu::PerfCounters counters_;
   std::vector<ThreadId> core_of_;
 };

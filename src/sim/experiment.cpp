@@ -1,5 +1,7 @@
 #include "src/sim/experiment.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <chrono>
 
 #include "src/common/check.hpp"
@@ -35,16 +37,55 @@ void ExperimentConfig::validate() const {
   l1.validate();
   l2.validate();
   if (enable_private_l2) private_l2.validate();
-  // Way-granular organizations keep >= 1 way per thread; catching the
-  // violation here names the flags instead of aborting in cache setup.
-  const bool way_granular = l2_mode == mem::L2Mode::kPartitionedShared ||
-                            l2_mode == mem::L2Mode::kFlushReconfigureShared ||
-                            l2_mode == mem::L2Mode::kPrivatePerThread;
-  if (way_granular && l2.ways < num_threads) {
-    throw ConfigError("l2-ways", "l2 needs at least one way per thread (" +
-                                     std::to_string(l2.ways) + " ways, " +
-                                     std::to_string(num_threads) +
-                                     " threads)");
+  const bool clos = l2_enforce == mem::L2Enforce::kClosWayMask;
+  if (clos) {
+    if (l2_mode != mem::L2Mode::kPartitionedShared) {
+      throw ConfigError("l2-enforce",
+                        "clos way masks require --l2-mode=partitioned (got " +
+                            std::string(to_string(l2_mode)) + ")");
+    }
+    if (clos_budget < 1 || clos_budget > l2.ways) {
+      throw ConfigError("clos-budget",
+                        "clos budget must be in [1, l2 ways] (" +
+                            std::to_string(clos_budget) + " CLOSes, " +
+                            std::to_string(l2.ways) + " ways)");
+    }
+  } else {
+    if (l2_enforce == mem::L2Enforce::kEvictionControl &&
+        l2_mode != mem::L2Mode::kPartitionedShared &&
+        l2_mode != mem::L2Mode::kFlushReconfigureShared) {
+      throw ConfigError("l2-enforce",
+                        "eviction control requires a way-partitioned mode");
+    }
+    // Non-CLOS way-granular organizations — and any policy driving the L2
+    // through per-thread targets — keep >= 1 way per thread; catching the
+    // violation here names the flags instead of aborting in cache setup.
+    // Clustering threads onto CLOS way masks (--l2-enforce=clos) is the
+    // organization that supports threads > ways.
+    const bool way_granular =
+        l2_mode == mem::L2Mode::kPartitionedShared ||
+        l2_mode == mem::L2Mode::kFlushReconfigureShared ||
+        l2_mode == mem::L2Mode::kPrivatePerThread ||
+        l2_mode == mem::L2Mode::kSetPartitionedShared;
+    if ((way_granular || policy.has_value()) && l2.ways < num_threads) {
+      throw ConfigError(
+          "l2-ways",
+          "l2 needs at least one way per thread (" + std::to_string(l2.ways) +
+              " ways, " + std::to_string(num_threads) +
+              " threads); use --l2-enforce=clos to run more threads than "
+              "ways");
+    }
+  }
+  if (l2_banks > 1) {
+    if (!std::has_single_bit(l2_banks)) {
+      throw ConfigError("l2-banks", "bank count must be a power of two (got " +
+                                        std::to_string(l2_banks) + ")");
+    }
+    if (l2_banks > l2.sets) {
+      throw ConfigError("l2-banks", "more banks than cache sets (" +
+                                        std::to_string(l2_banks) + " banks, " +
+                                        std::to_string(l2.sets) + " sets)");
+    }
   }
 }
 
@@ -73,6 +114,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       .private_l2 = config.private_l2,
       .l2_banks = config.l2_banks,
       .l2_bank_service_cycles = config.l2_bank_service_cycles,
+      .l2_enforce = config.l2_enforce,
+      .clos_budget = config.clos_budget,
   };
   CmpSystem system(sys_config);
 
@@ -112,10 +155,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.policy.has_value()) {
     policy = core::make_policy(*config.policy, config.policy_options);
   }
+  core::ClosRuntimeConfig clos_runtime;
+  if (config.l2_enforce == mem::L2Enforce::kClosWayMask) {
+    clos_runtime.mapper = core::make_clos_mapper(config.clos_mapper);
+    clos_runtime.budget = config.clos_budget;
+    clos_runtime.mask_update_cycles = config.clos_mask_update_cycles;
+  }
   core::RuntimeSystem runtime(system, std::move(policy),
                               config.runtime_overhead_cycles,
                               config.reconfigure_flush_cost_per_line,
-                              config.obs);
+                              config.obs, std::move(clos_runtime));
   driver.set_interval_callback(runtime.callback());
 
   ExperimentResult result;
@@ -183,6 +232,32 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                             lookup.probe_len_hist[3]);
     config.obs.metrics->add("l2/lookup_probe_len_gt_8",
                             lookup.probe_len_hist[4]);
+    // Banked-L2 queueing: how often accesses collided on a busy bank and
+    // what the collisions cost, plus the load skew across banks.
+    const std::span<const BankContention> banks = system.bank_contention();
+    if (!banks.empty()) {
+      std::uint64_t accesses = 0;
+      std::uint64_t conflicts = 0;
+      std::uint64_t max_accesses = 0;
+      Cycles wait = 0;
+      for (const BankContention& b : banks) {
+        accesses += b.accesses;
+        conflicts += b.conflicts;
+        wait += b.wait_cycles;
+        max_accesses = std::max(max_accesses, b.accesses);
+      }
+      config.obs.metrics->add("l2/bank_accesses", accesses);
+      config.obs.metrics->add("l2/bank_conflicts", conflicts);
+      config.obs.metrics->add("l2/bank_conflict_wait_cycles", wait);
+      if (accesses > 0) {
+        // 1.0 = perfectly balanced; N = everything on one of N banks.
+        config.obs.metrics->set_gauge(
+            "l2/bank_imbalance",
+            static_cast<double>(max_accesses) *
+                static_cast<double>(banks.size()) /
+                static_cast<double>(accesses));
+      }
+    }
     if (result.wall_seconds > 0.0) {
       config.obs.metrics->set_gauge(
           "sim/accesses_per_sec",

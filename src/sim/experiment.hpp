@@ -10,6 +10,7 @@
 
 #include "src/common/cancel.hpp"
 #include "src/common/types.hpp"
+#include "src/core/clos_mapper.hpp"
 #include "src/core/policy.hpp"
 #include "src/cpu/perf_counters.hpp"
 #include "src/cpu/timing_model.hpp"
@@ -54,16 +55,31 @@ struct ExperimentConfig {
   mem::CacheGeometry l2 = mem::kDefaultL2;
   cpu::TimingParams timing{};
 
-  /// Banks of the shared cache for port-contention modeling (0 = infinite
-  /// bandwidth, the default, matching the paper's setup).
+  /// Banks of the shared cache (0 = monolithic with infinite bandwidth, the
+  /// default, matching the paper's setup). A power-of-two count N slices the
+  /// shared structure into N address-interleaved banks (contents stay
+  /// bit-identical; see mem::BankedL2) and enables the bank-contention
+  /// timing model.
   std::uint32_t l2_banks = 0;
   Cycles l2_bank_service_cycles = 4;
+
+  /// Partition enforcement of the shared L2. kClosWayMask = CAT-style CLOS
+  /// way masks (commodity-hardware semantics): policies keep emitting
+  /// per-thread targets in a virtual way space, a ClosMapper clusters the
+  /// threads onto `clos_budget` classes, and only the masks are enforced —
+  /// the organization that supports threads > ways.
+  mem::L2Enforce l2_enforce = mem::L2Enforce::kModeDefault;
+  std::uint32_t clos_budget = 8;
+  core::ClosMapperKind clos_mapper = core::ClosMapperKind::kNearest;
+  /// Cycles charged per CLOS mask actually rewritten at a repartition (the
+  /// MSR write + its serializing cost on real hardware).
+  Cycles clos_mask_update_cycles = 250;
 
   /// Three-level mode: private per-core L2s in front of the shared cache
   /// (which then plays the L3; paper footnote 1). The partitioning runtime
   /// is unchanged — it targets whatever the shared component is.
   bool enable_private_l2 = false;
-  mem::CacheGeometry private_l2 = {.sets = 128, .ways = 8, .line_bytes = 64};
+  mem::CacheGeometry private_l2 = mem::kDefaultPrivateL2;
 
   /// Cycles charged to every thread per dynamic repartition (runtime cost).
   /// Scaled to ~1 % of a default interval, matching the paper's < 1.5 %

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "src/common/error.hpp"
 #include "src/common/rng.hpp"
 #include "src/mem/set_assoc_cache.hpp"
 
@@ -238,9 +240,16 @@ TEST(PartitionedCache, TargetValidation) {
 }
 
 TEST(PartitionedCache, MoreThreadsThanWaysRejected) {
-  EXPECT_DEATH(PartitionedCache({.sets = 1, .ways = 2, .line_bytes = 64}, 3,
-                                PartitionMode::kEvictionControl),
-               "more threads than ways");
+  // Recoverable misconfiguration, not an abort: the message points at the
+  // CLOS enforcement mode, which is the configuration that can serve it.
+  try {
+    PartitionedCache c({.sets = 1, .ways = 2, .line_bytes = 64}, 3,
+                       PartitionMode::kEvictionControl);
+    FAIL() << "3 threads on 2 ways must be rejected";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("more threads"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("clos"), std::string::npos);
+  }
 }
 
 /// Property sweep: under random traffic and random (valid) retargeting, the

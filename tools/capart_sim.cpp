@@ -59,7 +59,14 @@ flags:
   --l2-index=NAME       shared-cache tag lookup: scan hash auto (default
                         auto); results are bit-identical across kinds
   --overhead=N          runtime repartition overhead in cycles (default 800)
-  --l2-banks=N          shared-cache banks for contention modeling (0 = off)
+  --l2-banks=N          shared-cache banks: address-interleaved structure +
+                        bank-contention timing (0 = monolithic, no
+                        contention; N must be a power of two)
+  --l2-enforce=NAME     partition enforcement: default eviction-control clos
+                        (clos = CAT-style way masks; supports threads > ways)
+  --clos-budget=N       CLOS count with --l2-enforce=clos (default 8)
+  --clos-mapper=NAME    thread->CLOS clustering: none nearest minmax
+                        (default nearest)
   --seed=N              workload seed (default 42)
   --jobs=N              concurrent experiments in batch mode (default: all
                         cores); results are bit-identical for any value
@@ -123,6 +130,28 @@ mem::IndexKind parse_index(std::string_view v, const char* flag) {
   if (!mem::parse_index_kind(v, kind)) {
     std::fprintf(stderr, "invalid value for %s: want scan, hash or auto\n",
                  flag);
+    usage(2);
+  }
+  return kind;
+}
+
+mem::L2Enforce parse_enforce(std::string_view v) {
+  mem::L2Enforce enforce{};
+  if (!mem::parse_l2_enforce(v, enforce)) {
+    std::fprintf(stderr,
+                 "invalid value for --l2-enforce: want default, "
+                 "eviction-control or clos\n");
+    usage(2);
+  }
+  return enforce;
+}
+
+core::ClosMapperKind parse_mapper(std::string_view v) {
+  core::ClosMapperKind kind{};
+  if (!core::parse_clos_mapper(v, kind)) {
+    std::fprintf(stderr,
+                 "invalid value for --clos-mapper: want none, nearest or "
+                 "minmax\n");
     usage(2);
   }
   return kind;
@@ -208,6 +237,10 @@ int main(int argc, char** argv) {
         cfg.runtime_overhead_cycles = parse_u64_flag(value, "--overhead");
       else if (key == "--l2-banks")
         cfg.l2_banks = parse_u32_flag(value, "--l2-banks");
+      else if (key == "--l2-enforce") cfg.l2_enforce = parse_enforce(value);
+      else if (key == "--clos-budget")
+        cfg.clos_budget = parse_u32_flag(value, "--clos-budget");
+      else if (key == "--clos-mapper") cfg.clos_mapper = parse_mapper(value);
       else if (key == "--seed") cfg.seed = parse_u64_flag(value, "--seed");
       else if (key == "--jobs") {
         jobs = parse_u32_flag(value, "--jobs");
