@@ -3,26 +3,10 @@
 #include <istream>
 
 #include "src/common/check.hpp"
-#include "src/core/policy.hpp"
-#include "src/mem/l2_organization.hpp"
+#include "src/serve/spec_json.hpp"
 
 namespace capart::obs {
 namespace {
-
-std::string_view to_string(core::ModelKind kind) noexcept {
-  return kind == core::ModelKind::kCubicSpline ? "cubic-spline"
-                                               : "piecewise-linear";
-}
-
-void write_geometry(JsonWriter& w, const mem::CacheGeometry& g) {
-  w.begin_object()
-      .key("sets").value(g.sets)
-      .key("ways").value(g.ways)
-      .key("line_bytes").value(g.line_bytes)
-      .key("repl").value(mem::to_string(g.repl))
-      .key("index").value(mem::to_string(g.index))
-      .end_object();
-}
 
 void write_header(JsonWriter& w, std::string_view type, std::string_view run) {
   w.begin_object().key("type").value(type).key("run").value(run);
@@ -31,61 +15,12 @@ void write_header(JsonWriter& w, std::string_view type, std::string_view run) {
 }  // namespace
 
 std::string to_jsonl(const ManifestEvent& event) {
-  const sim::ExperimentConfig& c = event.config;
   JsonWriter w;
   write_header(w, "manifest", event.run);
-  w.key("profile").value(c.profile)
-      .key("policy")
-      .value(c.policy.has_value() ? core::to_string(*c.policy) : "none")
-      .key("l2_mode").value(mem::to_string(c.l2_mode))
-      .key("threads").value(c.num_threads)
-      .key("intervals").value(c.num_intervals)
-      .key("interval_instructions").value(c.interval_instructions)
-      .key("sections").value(c.sections)
-      .key("seed").value(c.seed);
-  w.key("l1");
-  write_geometry(w, c.l1);
-  w.key("l2");
-  write_geometry(w, c.l2);
-  w.key("timing").begin_object()
-      .key("base_cycles_per_instruction")
-      .value(c.timing.base_cycles_per_instruction)
-      .key("private_l2_hit_penalty").value(c.timing.private_l2_hit_penalty)
-      .key("l2_hit_penalty").value(c.timing.l2_hit_penalty)
-      .key("memory_penalty").value(c.timing.memory_penalty)
-      .key("streaming_memory_penalty").value(c.timing.streaming_memory_penalty)
-      .end_object();
-  w.key("l2_banks").value(c.l2_banks)
-      .key("l2_bank_service_cycles").value(c.l2_bank_service_cycles)
-      .key("l2_enforce").value(mem::to_string(c.l2_enforce))
-      .key("clos_budget").value(c.clos_budget)
-      .key("clos_mapper").value(core::to_string(c.clos_mapper))
-      .key("clos_mask_update_cycles").value(c.clos_mask_update_cycles)
-      .key("enable_private_l2").value(c.enable_private_l2);
-  w.key("private_l2");
-  write_geometry(w, c.private_l2);
-  w.key("runtime_overhead_cycles").value(c.runtime_overhead_cycles)
-      .key("reconfigure_flush_cost_per_line")
-      .value(c.reconfigure_flush_cost_per_line)
-      .key("barrier_release_cost").value(c.barrier_release_cost);
-  w.key("policy_options").begin_object()
-      .key("model_kind").value(to_string(c.policy_options.model_kind))
-      .key("ewma_alpha").value(c.policy_options.ewma_alpha)
-      .key("max_moves_per_interval")
-      .value(c.policy_options.max_moves_per_interval)
-      .key("time_shared_big_fraction")
-      .value(c.policy_options.time_shared_big_fraction)
-      .key("time_shared_quantum").value(c.policy_options.time_shared_quantum)
-      .end_object();
-  w.key("migrations").begin_array();
-  for (const sim::MigrationEvent& m : c.migrations) {
-    w.begin_object()
-        .key("interval").value(m.interval)
-        .key("a").value(m.a)
-        .key("b").value(m.b)
-        .end_object();
-  }
-  w.end_array().end_object();
+  // The config body is shared with the capart_serve spec codec, so a config
+  // recorded in an events file is directly resubmittable to the daemon.
+  serve::write_config_fields(w, event.config);
+  w.end_object();
   return w.str();
 }
 

@@ -170,7 +170,8 @@ namespace {
 /// Recursive-descent parser over a string_view cursor.
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
 
   std::optional<JsonValue> run(std::string* error) {
     std::optional<JsonValue> value = parse_value();
@@ -179,10 +180,11 @@ class Parser {
       if (pos_ != text_.size()) {
         value.reset();
         error_ = "trailing characters after document";
+        error_pos_ = pos_;
       }
     }
     if (!value.has_value() && error != nullptr) {
-      *error = "offset " + std::to_string(pos_) + ": " + error_;
+      *error = "offset " + std::to_string(error_pos_) + ": " + error_;
     }
     return value;
   }
@@ -205,7 +207,15 @@ class Parser {
   }
 
   std::optional<JsonValue> fail(std::string message) {
+    return fail_at(pos_, std::move(message));
+  }
+
+  /// Records the failure at an explicit byte offset — the start of the
+  /// offending token, so limit violations point at the bracket/quote that
+  /// opened the oversized construct rather than wherever the cursor stopped.
+  std::optional<JsonValue> fail_at(std::size_t offset, std::string message) {
     error_ = std::move(message);
+    error_pos_ = offset;
     return std::nullopt;
   }
 
@@ -223,12 +233,25 @@ class Parser {
     }
   }
 
+  /// Depth guard shared by the two container parsers; `open_pos` is the
+  /// offset of the '{'/'[' that exceeded the limit.
+  bool enter_container(std::size_t open_pos) {
+    if (++depth_ > limits_.max_depth) {
+      fail_at(open_pos, "nesting depth exceeds " +
+                            std::to_string(limits_.max_depth));
+      return false;
+    }
+    return true;
+  }
+
   std::optional<JsonValue> parse_object() {
+    const std::size_t open_pos = pos_;
     JsonValue value;
     value.kind = JsonValue::Kind::kObject;
     ++pos_;  // '{'
+    if (!enter_container(open_pos)) return std::nullopt;
     skip_ws();
-    if (eat('}')) return value;
+    if (eat('}')) return leave_container(std::move(value));
     for (;;) {
       skip_ws();
       if (pos_ >= text_.size() || text_[pos_] != '"') {
@@ -243,32 +266,46 @@ class Parser {
       value.object.emplace_back(std::move(*name), std::move(*member));
       skip_ws();
       if (eat(',')) continue;
-      if (eat('}')) return value;
+      if (eat('}')) return leave_container(std::move(value));
       return fail("expected ',' or '}' in object");
     }
   }
 
   std::optional<JsonValue> parse_array() {
+    const std::size_t open_pos = pos_;
     JsonValue value;
     value.kind = JsonValue::Kind::kArray;
     ++pos_;  // '['
+    if (!enter_container(open_pos)) return std::nullopt;
     skip_ws();
-    if (eat(']')) return value;
+    if (eat(']')) return leave_container(std::move(value));
     for (;;) {
       std::optional<JsonValue> element = parse_value();
       if (!element.has_value()) return std::nullopt;
       value.array.push_back(std::move(*element));
       skip_ws();
       if (eat(',')) continue;
-      if (eat(']')) return value;
+      if (eat(']')) return leave_container(std::move(value));
       return fail("expected ',' or ']' in array");
     }
   }
 
+  JsonValue leave_container(JsonValue value) {
+    --depth_;
+    return value;
+  }
+
   std::optional<std::string> parse_string() {
+    const std::size_t open_pos = pos_;
     ++pos_;  // '"'
     std::string out;
     while (pos_ < text_.size()) {
+      if (out.size() > limits_.max_string_bytes) {
+        fail_at(open_pos, "string exceeds " +
+                              std::to_string(limits_.max_string_bytes) +
+                              " bytes");
+        return std::nullopt;
+      }
       const char ch = text_[pos_++];
       if (ch == '"') return out;
       if (ch != '\\') {
@@ -289,6 +326,7 @@ class Parser {
         case 'u': {
           if (pos_ + 4 > text_.size()) {
             error_ = "truncated \\u escape";
+            error_pos_ = pos_;
             return std::nullopt;
           }
           unsigned code = 0;
@@ -300,6 +338,7 @@ class Parser {
             else if (hex >= 'A' && hex <= 'F') code |= unsigned(hex - 'A' + 10);
             else {
               error_ = "invalid \\u escape";
+              error_pos_ = pos_ - 1;
               return std::nullopt;
             }
           }
@@ -319,10 +358,12 @@ class Parser {
         }
         default:
           error_ = "invalid escape character";
+          error_pos_ = pos_ - 1;
           return std::nullopt;
       }
     }
     error_ = "unterminated string";
+    error_pos_ = open_pos;
     return std::nullopt;
   }
 
@@ -385,8 +426,13 @@ class Parser {
         ++pos_;
       }
     }
+    if (pos_ - start > limits_.max_number_chars) {
+      return fail_at(start, "number exceeds " +
+                                std::to_string(limits_.max_number_chars) +
+                                " characters");
+    }
     const std::string token(text_.substr(start, pos_ - start));
-    if (token.empty() || token == "-") return fail("invalid number");
+    if (token.empty() || token == "-") return fail_at(start, "invalid number");
     JsonValue value;
     value.kind = JsonValue::Kind::kNumber;
     char* end = nullptr;
@@ -399,19 +445,25 @@ class Parser {
     end = nullptr;
     value.is_integer = false;
     value.number = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) return fail("invalid number");
+    if (end != token.c_str() + token.size()) {
+      return fail_at(start, "invalid number");
+    }
     return value;
   }
 
   std::string_view text_;
+  JsonLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t error_pos_ = 0;
   std::string error_ = "parse error";
 };
 
 }  // namespace
 
-std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
-  return Parser(text).run(error);
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error,
+                                    const JsonLimits& limits) {
+  return Parser(text, limits).run(error);
 }
 
 }  // namespace capart::obs

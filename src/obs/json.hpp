@@ -1,10 +1,16 @@
 // Minimal JSON support for the observability subsystem: a streaming writer
 // (JsonWriter) that the event sinks and the Chrome-trace exporter serialize
 // through, and a small recursive-descent parser (parse_json) that
-// capart_events and the round-trip tests read event files back with. Scope
-// is deliberately narrow — UTF-8 pass-through, no \uXXXX decoding beyond
-// escaping control characters on output — which is all the subsystem's own
-// files need.
+// capart_events, the round-trip tests and the capart_serve spec codec read
+// JSON back with. Scope is deliberately narrow — UTF-8 pass-through, no
+// \uXXXX decoding beyond escaping control characters on output — which is
+// all the subsystem's own files need.
+//
+// The parser also reads *untrusted* input (capart_serve request bodies), so
+// it enforces explicit resource limits (JsonLimits: nesting depth, string
+// and number token length) and reports every failure with the byte offset
+// of the offending token, which the spec codec surfaces in ConfigError
+// messages.
 #pragma once
 
 #include <cstdint>
@@ -110,9 +116,26 @@ struct JsonValue {
   std::string_view as_string(std::string_view fallback = {}) const noexcept;
 };
 
+/// Resource limits the parser enforces while reading untrusted input. The
+/// defaults are far above anything the subsystem's own files produce, so
+/// trusted callers never notice them; the capart_serve request path tightens
+/// them per deployment.
+struct JsonLimits {
+  /// Maximum container nesting depth (objects + arrays). A document deeper
+  /// than this fails with "nesting depth exceeds N" at the offset of the
+  /// opening bracket, bounding parser recursion on adversarial input.
+  std::size_t max_depth = 64;
+  /// Maximum decoded bytes of one string token.
+  std::size_t max_string_bytes = 1 << 20;
+  /// Maximum characters of one number token.
+  std::size_t max_number_chars = 64;
+};
+
 /// Parses one JSON document; trailing non-whitespace is an error. On failure
-/// returns nullopt and, when `error` is non-null, a byte offset + message.
+/// returns nullopt and, when `error` is non-null, writes "offset N: message"
+/// where N is the byte position of the offending token.
 std::optional<JsonValue> parse_json(std::string_view text,
-                                    std::string* error = nullptr);
+                                    std::string* error = nullptr,
+                                    const JsonLimits& limits = {});
 
 }  // namespace capart::obs

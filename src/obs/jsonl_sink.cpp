@@ -1,44 +1,129 @@
 #include "src/obs/jsonl_sink.hpp"
 
+#include <cstdlib>
+#include <unordered_set>
+
 #include "src/common/error.hpp"
 #include "src/obs/event_log.hpp"
 
 namespace capart::obs {
+namespace {
+
+/// Process-wide registry of live sinks behind flush_all(). Leaked on purpose
+/// (never destroyed) so the atexit hook can run during static destruction
+/// without use-after-free ordering concerns.
+struct SinkRegistry {
+  std::mutex mutex;
+  std::unordered_set<JsonlSink*> sinks;
+};
+
+SinkRegistry& registry() {
+  static SinkRegistry* instance = new SinkRegistry;
+  return *instance;
+}
+
+void flush_all_at_exit() { JsonlSink::flush_all(); }
+
+}  // namespace
+
+void JsonlSink::register_sink() {
+  SinkRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.sinks.empty()) {
+    // First live sink in the process: arm the exit-time flush once. Re-armed
+    // registrations would be harmless but noisy; the emptiness check keeps
+    // it to one atexit slot across the process lifetime... except after all
+    // sinks die and a new one appears, where a second (idempotent) slot is
+    // the simple and correct choice.
+    std::atexit(flush_all_at_exit);
+  }
+  reg.sinks.insert(this);
+}
+
+void JsonlSink::flush_all() noexcept {
+  SinkRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (JsonlSink* sink : reg.sinks) {
+    try {
+      sink->flush();
+    } catch (...) {
+      // Exit-path flushing must never throw through atexit; a failing
+      // stream already lost its data.
+    }
+  }
+}
 
 JsonlSink::JsonlSink(std::ostream& os, std::size_t flush_threshold)
-    : os_(&os), flush_threshold_(flush_threshold) {}
+    : JsonlSink(os, JsonlSinkOptions{.flush_threshold = flush_threshold}) {}
+
+JsonlSink::JsonlSink(std::ostream& os, const JsonlSinkOptions& options)
+    : os_(&os),
+      options_(options),
+      last_flush_(std::chrono::steady_clock::now()) {
+  register_sink();
+}
 
 JsonlSink::JsonlSink(const std::string& path, std::size_t flush_threshold)
+    : JsonlSink(path, JsonlSinkOptions{.flush_threshold = flush_threshold}) {}
+
+JsonlSink::JsonlSink(const std::string& path, const JsonlSinkOptions& options)
     : owned_(std::in_place, path, std::ios::trunc),
       os_(&*owned_),
-      flush_threshold_(flush_threshold) {
+      options_(options),
+      last_flush_(std::chrono::steady_clock::now()) {
   // An unwritable path is an environment problem the caller can report and
   // recover from (tools degrade to running without telemetry or exit with a
   // clean message), not an internal invariant worth a check trace.
   if (!owned_->is_open()) {
     throw Error("cannot open " + path);
   }
+  register_sink();
 }
 
-JsonlSink::~JsonlSink() { flush(); }
+JsonlSink::~JsonlSink() {
+  // Unregister before the final flush so a concurrent flush_all() can never
+  // reach a sink whose members are mid-destruction.
+  {
+    SinkRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.sinks.erase(this);
+  }
+  flush();
+}
+
+void JsonlSink::flush_buffer_locked() {
+  if (!buffer_.empty()) {
+    os_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  last_flush_ = std::chrono::steady_clock::now();
+}
 
 void JsonlSink::append_line(std::string line) {
   line += '\n';
   const std::lock_guard<std::mutex> lock(mutex_);
   buffer_ += line;
   ++count_;
-  if (buffer_.size() >= flush_threshold_) {
-    os_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-    buffer_.clear();
+  bool due = buffer_.size() >= options_.flush_threshold;
+  if (!due && options_.flush_interval_seconds > 0.0) {
+    const double since_flush =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      last_flush_)
+            .count();
+    due = since_flush >= options_.flush_interval_seconds;
+  }
+  if (due) {
+    flush_buffer_locked();
+    // Interval-flushing sinks feed live consumers; push the stream too so
+    // the line reaches the file/socket now, not at the stream's own
+    // buffering pleasure.
+    if (options_.flush_interval_seconds > 0.0) os_->flush();
   }
 }
 
 void JsonlSink::flush() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (!buffer_.empty()) {
-    os_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-    buffer_.clear();
-  }
+  flush_buffer_locked();
   os_->flush();
 }
 

@@ -1,12 +1,23 @@
 // Buffered, thread-safe JSONL event sink. Each event serializes to one JSON
 // line (src/obs/event_log.hpp owns the schema); lines are appended to an
 // internal buffer under a mutex and flushed to the backing stream when the
-// buffer crosses the threshold, on flush(), and on destruction. Because a
-// whole line is built before the lock is taken and written in one append,
-// concurrent runs sharing a sink can never interleave or tear lines — the
-// invariant the BatchRunner thread-safety test pins.
+// buffer crosses the size threshold, when the optional flush interval has
+// elapsed since the last flush (so live streaming consumers see events
+// promptly even under a trickle of output), on flush(), and on destruction.
+// Because a whole line is built before the lock is taken and written in one
+// append, concurrent runs sharing a sink can never interleave or tear lines —
+// the invariant the BatchRunner thread-safety test pins.
+//
+// Shutdown ordering: every live JsonlSink is tracked in a process-wide
+// registry, and JsonlSink::flush_all() pushes every buffered event to its
+// backing stream. The first sink constructed registers flush_all with
+// std::atexit, so events survive error paths that call std::exit mid-run;
+// long-lived daemons (capart_serve) additionally call flush_all() from their
+// SIGTERM drain path before exiting, which is what guarantees "no buffered
+// event is lost on graceful shutdown".
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <fstream>
@@ -19,14 +30,27 @@
 
 namespace capart::obs {
 
+/// Buffering knobs of a JsonlSink.
+struct JsonlSinkOptions {
+  /// Buffered bytes that force a flush on the next append.
+  std::size_t flush_threshold = 64 * 1024;
+  /// Maximum seconds an appended event may sit in the buffer before the
+  /// next append flushes it; <= 0 disables time-based flushing (the
+  /// historical batch behaviour). Streaming servers use sub-second values
+  /// so clients tailing the file or connection see events promptly.
+  double flush_interval_seconds = 0.0;
+};
+
 class JsonlSink final : public EventSink {
  public:
   /// Writes to a caller-owned stream (kept alive past the sink).
   explicit JsonlSink(std::ostream& os, std::size_t flush_threshold = 64 * 1024);
+  JsonlSink(std::ostream& os, const JsonlSinkOptions& options);
   /// Opens `path` for writing (truncating); throws capart::Error if it
   /// cannot be opened, so tools report "cannot open X" and exit cleanly.
   explicit JsonlSink(const std::string& path,
                      std::size_t flush_threshold = 64 * 1024);
+  JsonlSink(const std::string& path, const JsonlSinkOptions& options);
   ~JsonlSink() override;
 
   JsonlSink(const JsonlSink&) = delete;
@@ -44,15 +68,25 @@ class JsonlSink final : public EventSink {
 
   std::uint64_t events_written() const;
 
+  /// Flushes every live JsonlSink in the process. Registered with
+  /// std::atexit by the first sink constructed; called explicitly by
+  /// daemons on the SIGTERM drain path. Not async-signal-safe — call it
+  /// from normal control flow after observing the signal, never from the
+  /// handler itself.
+  static void flush_all() noexcept;
+
  private:
   void append_line(std::string line);
+  void flush_buffer_locked();
+  void register_sink();
 
   std::optional<std::ofstream> owned_;
   std::ostream* os_;
-  std::size_t flush_threshold_;
+  JsonlSinkOptions options_;
   mutable std::mutex mutex_;
   std::string buffer_;
   std::uint64_t count_ = 0;
+  std::chrono::steady_clock::time_point last_flush_;
 };
 
 }  // namespace capart::obs

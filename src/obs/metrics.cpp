@@ -1,44 +1,104 @@
 #include "src/obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "src/report/table.hpp"
 
 namespace capart::obs {
+namespace {
 
-void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+/// Bucket index of `value`: 0 for values <= base, otherwise
+/// 1 + floor(log2(value / base)), clamped to the last bucket.
+std::size_t bucket_of(double value) {
+  if (!(value > MetricsRegistry::kHistogramBase)) return 0;
+  const double exponent = std::log2(value / MetricsRegistry::kHistogramBase);
+  const auto index = static_cast<std::size_t>(exponent) + 1;
+  return std::min(index, MetricsRegistry::kHistogramBuckets - 1);
+}
+
+/// Geometric midpoint of bucket `index` — the representative value the
+/// percentile estimate reports.
+double bucket_mid(std::size_t index) {
+  if (index == 0) return MetricsRegistry::kHistogramBase;
+  const double lo =
+      MetricsRegistry::kHistogramBase * std::exp2(double(index) - 1.0);
+  return lo * std::sqrt(2.0);
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::entry_locked(std::string_view name,
+                                                      Kind kind) {
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     it = entries_.emplace(std::string(name), Entry{}).first;
     it->second.name = std::string(name);
   }
-  it->second.is_counter = true;
-  it->second.count += delta;
+  it->second.kind = kind;
+  it->second.is_counter = kind == Kind::kCounter;
+  return it->second;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entry_locked(name, Kind::kCounter).count += delta;
 }
 
 void MetricsRegistry::set_gauge(std::string_view name, double value) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    it = entries_.emplace(std::string(name), Entry{}).first;
-    it->second.name = std::string(name);
-  }
-  it->second.is_counter = false;
-  it->second.value = value;
+  entry_locked(name, Kind::kGauge).value = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_locked(name, Kind::kHistogram);
+  if (entry.count == 0 || value < entry.min) entry.min = value;
+  if (entry.count == 0 || value > entry.max) entry.max = value;
+  entry.count += 1;
+  entry.value += value;
+  entry.buckets[bucket_of(value)] += 1;
 }
 
 std::uint64_t MetricsRegistry::counter(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(name);
-  return it != entries_.end() && it->second.is_counter ? it->second.count : 0;
+  return it != entries_.end() && it->second.kind == Kind::kCounter
+             ? it->second.count
+             : 0;
 }
 
 double MetricsRegistry::gauge(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(name);
-  return it != entries_.end() && !it->second.is_counter ? it->second.value
-                                                        : 0.0;
+  return it != entries_.end() && it->second.kind == Kind::kGauge
+             ? it->second.value
+             : 0.0;
+}
+
+double MetricsRegistry::percentile_of(const Entry& entry, double q) noexcept {
+  if (entry.kind != Kind::kHistogram || entry.count == 0) return 0.0;
+  if (q <= 0.0) return entry.min;
+  if (q >= 1.0) return entry.max;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(entry.count)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < entry.buckets.size(); ++i) {
+    seen += entry.buckets[i];
+    if (seen >= rank) {
+      // Clamp the bucket estimate into the observed range so a one-sample
+      // histogram answers with the sample, not the bucket geometry.
+      return std::clamp(bucket_mid(i), entry.min, entry.max);
+    }
+  }
+  return entry.max;
+}
+
+double MetricsRegistry::percentile(std::string_view name, double q) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() ? percentile_of(it->second, q) : 0.0;
 }
 
 bool MetricsRegistry::empty() const {
@@ -58,12 +118,23 @@ void MetricsRegistry::print_rollup(std::ostream& os) const {
   report::Table table({"metric", "value"});
   for (const Entry& entry : snapshot()) {
     std::string value;
-    if (entry.is_counter) {
-      value = std::to_string(entry.count);
-    } else {
-      char buf[40];
-      std::snprintf(buf, sizeof buf, "%.6g", entry.value);
-      value = buf;
+    char buf[160];
+    switch (entry.kind) {
+      case Kind::kCounter:
+        value = std::to_string(entry.count);
+        break;
+      case Kind::kGauge:
+        std::snprintf(buf, sizeof buf, "%.6g", entry.value);
+        value = buf;
+        break;
+      case Kind::kHistogram:
+        std::snprintf(buf, sizeof buf,
+                      "n=%llu mean=%.6g p50=%.6g p99=%.6g max=%.6g",
+                      static_cast<unsigned long long>(entry.count),
+                      entry.mean(), percentile_of(entry, 0.5),
+                      percentile_of(entry, 0.99), entry.max);
+        value = buf;
+        break;
     }
     table.add_row({entry.name, std::move(value)});
   }

@@ -1,11 +1,17 @@
-// Metrics registry: named counters and gauges the simulator layers publish
-// into at interval granularity (never on the per-access hot path). Names are
-// hierarchical slash-separated paths — "driver/intervals",
-// "runtime/ways_moved", "batch/arms_completed" — so the end-of-run rollup
-// groups related series together when sorted. Thread-safe: one registry can
-// back a whole BatchRunner batch.
+// Metrics registry: named counters, gauges and histograms the simulator and
+// service layers publish into at interval/request granularity (never on the
+// per-access hot path). Names are hierarchical slash-separated paths —
+// "driver/intervals", "batch/queue_depth", "serve/request_seconds" — so the
+// end-of-run rollup groups related series together when sorted. Thread-safe:
+// one registry can back a whole BatchRunner batch or a capart_serve daemon.
+//
+// Histograms use fixed log2-spaced buckets (observe() is O(1), no
+// allocation after the first sample), which is plenty for the latency
+// percentiles the admission controller and the load generator report;
+// percentile() answers with the geometric midpoint of the covering bucket.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -18,11 +24,23 @@ namespace capart::obs {
 
 class MetricsRegistry {
  public:
+  /// Number of log2 buckets per histogram; bucket i covers values in
+  /// [kHistogramBase * 2^(i-1), kHistogramBase * 2^i), with bucket 0
+  /// absorbing everything at or below kHistogramBase. The range spans
+  /// nanoseconds to ~centuries when values are seconds.
+  static constexpr std::size_t kHistogramBuckets = 64;
+  static constexpr double kHistogramBase = 1e-9;
+
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
   /// Adds `delta` to counter `name`, creating it at zero first.
   void add(std::string_view name, std::uint64_t delta = 1);
 
   /// Sets gauge `name` to `value` (last write wins).
   void set_gauge(std::string_view name, double value);
+
+  /// Records one sample into histogram `name` (creating it empty first).
+  void observe(std::string_view name, double value);
 
   /// Current counter value; 0 when the counter does not exist.
   std::uint64_t counter(std::string_view name) const;
@@ -30,22 +48,42 @@ class MetricsRegistry {
   /// Current gauge value; 0.0 when the gauge does not exist.
   double gauge(std::string_view name) const;
 
+  /// Estimated q-quantile (q in [0,1]) of histogram `name` from its log2
+  /// buckets; 0.0 when the histogram does not exist or is empty. Exact for
+  /// min (q=0) and max (q=1).
+  double percentile(std::string_view name, double q) const;
+
   bool empty() const;
 
   struct Entry {
     std::string name;
+    Kind kind = Kind::kCounter;
+    /// Kept in sync with `kind` for pre-histogram callers (counter <=> true).
     bool is_counter = true;
+    /// Counter value, or histogram sample count.
     std::uint64_t count = 0;
+    /// Gauge value, or histogram sum.
     double value = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+    double mean() const noexcept {
+      return count == 0 ? 0.0 : value / static_cast<double>(count);
+    }
   };
 
   /// Every metric, sorted by name (so hierarchical prefixes group).
   std::vector<Entry> snapshot() const;
 
-  /// Renders the end-of-run rollup table (metric | value).
+  /// Renders the end-of-run rollup table (metric | value); histograms print
+  /// count/mean/p50/p99/max.
   void print_rollup(std::ostream& os) const;
 
  private:
+  Entry& entry_locked(std::string_view name, Kind kind);
+  static double percentile_of(const Entry& entry, double q) noexcept;
+
   mutable std::mutex mutex_;
   std::map<std::string, Entry, std::less<>> entries_;
 };

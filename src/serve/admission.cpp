@@ -1,0 +1,71 @@
+#include "src/serve/admission.hpp"
+
+namespace capart::serve {
+
+AdmissionController::AdmissionController(std::size_t max_concurrent,
+                                         std::size_t max_queue)
+    : max_concurrent_(max_concurrent == 0 ? 1 : max_concurrent),
+      max_queue_(max_queue) {}
+
+Admission AdmissionController::try_acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (draining_) return Admission::kDraining;
+  if (running_ < max_concurrent_) {
+    ++running_;
+    return Admission::kAdmitted;
+  }
+  if (queued_ >= max_queue_) return Admission::kRejected;
+  ++queued_;
+  slot_free_.wait(lock,
+                  [&] { return draining_ || running_ < max_concurrent_; });
+  --queued_;
+  // A drain that raced in while we waited wins: admitted-but-unstarted work
+  // is refused so drain() only waits on arms already executing.
+  if (draining_) {
+    all_done_.notify_all();
+    return Admission::kDraining;
+  }
+  ++running_;
+  return Admission::kAdmitted;
+}
+
+void AdmissionController::release() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (running_ > 0) --running_;
+  }
+  slot_free_.notify_one();
+  all_done_.notify_all();
+}
+
+void AdmissionController::begin_drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  slot_free_.notify_all();
+  all_done_.notify_all();
+}
+
+bool AdmissionController::draining() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void AdmissionController::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock,
+                 [&] { return draining_ && running_ == 0 && queued_ == 0; });
+}
+
+std::size_t AdmissionController::running() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+std::size_t AdmissionController::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+}  // namespace capart::serve

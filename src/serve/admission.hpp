@@ -1,0 +1,61 @@
+// Admission controller for capart_serve: bounds the work the daemon will
+// hold at once so load is shed at the door (HTTP 429) instead of queueing
+// without limit.
+//
+// The model is `max_concurrent` running slots plus at most `max_queue`
+// admitted-but-waiting requests. try_acquire() either admits (blocking in
+// the bounded queue until a slot frees), rejects immediately when the queue
+// is full (kRejected -> 429), or refuses because the controller is draining
+// (kDraining -> 503). SIGTERM calls begin_drain(): admitted work — queued
+// and running — completes, new work is refused, and drain() returns once
+// the last slot is released.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace capart::serve {
+
+enum class Admission : std::uint8_t {
+  kAdmitted,  ///< a running slot is held; release() it when done
+  kRejected,  ///< waiting queue full — shed load (429)
+  kDraining,  ///< shutting down — refuse new work (503)
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(std::size_t max_concurrent, std::size_t max_queue);
+
+  /// Tries to admit one request. kAdmitted holds a running slot the caller
+  /// must release(); the call blocks (counted against the bounded queue)
+  /// while all slots are busy. kRejected/kDraining hold nothing.
+  Admission try_acquire();
+
+  /// Releases a running slot acquired via try_acquire().
+  void release();
+
+  /// Stops admitting; queued waiters are woken and refused, running work
+  /// continues.
+  void begin_drain();
+
+  bool draining() const;
+  /// Blocks until draining and every running slot has been released.
+  void drain();
+
+  std::size_t running() const;
+  std::size_t queued() const;
+
+ private:
+  const std::size_t max_concurrent_;
+  const std::size_t max_queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  std::condition_variable all_done_;
+  std::size_t running_ = 0;
+  std::size_t queued_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace capart::serve

@@ -1,0 +1,317 @@
+#include "src/serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace capart::serve {
+namespace {
+
+char lower(char ch) noexcept {
+  return static_cast<char>(
+      std::tolower(static_cast<unsigned char>(ch)));
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string_view HttpRequest::path() const noexcept {
+  const std::string_view t = target;
+  const std::size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+std::string_view HttpRequest::query() const noexcept {
+  const std::string_view t = target;
+  const std::size_t q = t.find('?');
+  return q == std::string_view::npos ? std::string_view{} : t.substr(q + 1);
+}
+
+bool HttpRequest::query_flag(std::string_view key) const noexcept {
+  std::string_view rest = query();
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    std::string_view part =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const std::size_t eq = part.find('=');
+    const std::string_view name =
+        eq == std::string_view::npos ? part : part.substr(0, eq);
+    if (name == key) return true;
+  }
+  return false;
+}
+
+std::string_view HttpRequest::header(std::string_view name) const noexcept {
+  for (const auto& [header_name, value] : headers) {
+    if (iequals(header_name, name)) return value;
+  }
+  return {};
+}
+
+bool HttpRequest::wants_close() const noexcept {
+  return iequals(header("connection"), "close");
+}
+
+HttpRequestParser::HttpRequestParser(const HttpLimits& limits)
+    : limits_(limits) {}
+
+void HttpRequestParser::fail(int status, std::string message) {
+  state_ = State::kFailed;
+  error_status_ = status;
+  error_ = std::move(message);
+}
+
+void HttpRequestParser::feed(std::string_view bytes) {
+  if (state_ == State::kFailed) return;
+  buffer_.append(bytes.data(), bytes.size());
+  parse_buffered();
+}
+
+void HttpRequestParser::reset() {
+  if (state_ != State::kDone) return;
+  request_ = HttpRequest{};
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  state_ = State::kRequestLine;
+  parse_buffered();
+}
+
+/// Pops one CRLF- (or bare-LF-) terminated line off the buffer. Returns
+/// false when no full line is buffered yet; fails the stream when the
+/// unterminated prefix already exceeds `max_bytes`.
+bool HttpRequestParser::take_line(std::string& line, std::size_t max_bytes,
+                                  int overflow_status,
+                                  std::string_view overflow_what) {
+  const std::size_t nl = buffer_.find('\n');
+  if (nl == std::string::npos) {
+    if (buffer_.size() > max_bytes) {
+      fail(overflow_status, std::string(overflow_what) + " exceeds " +
+                                std::to_string(max_bytes) + " bytes");
+    }
+    return false;
+  }
+  if (nl > max_bytes) {
+    fail(overflow_status, std::string(overflow_what) + " exceeds " +
+                              std::to_string(max_bytes) + " bytes");
+    return false;
+  }
+  std::size_t end = nl;
+  if (end > 0 && buffer_[end - 1] == '\r') --end;
+  line.assign(buffer_, 0, end);
+  buffer_.erase(0, nl + 1);
+  return true;
+}
+
+void HttpRequestParser::parse_buffered() {
+  std::string line;
+  while (state_ == State::kRequestLine || state_ == State::kHeaders) {
+    if (state_ == State::kRequestLine) {
+      if (!take_line(line, limits_.max_request_line_bytes, 400,
+                     "request line")) {
+        return;
+      }
+      if (line.empty()) continue;  // tolerate leading blank lines (RFC 9112)
+      on_request_line(line);
+    } else {
+      if (!take_line(line, limits_.max_header_bytes, 431, "header section")) {
+        return;
+      }
+      header_bytes_ += line.size() + 2;
+      if (header_bytes_ > limits_.max_header_bytes) {
+        fail(431, "header section exceeds " +
+                      std::to_string(limits_.max_header_bytes) + " bytes");
+        return;
+      }
+      if (line.empty()) {
+        on_headers_complete();
+      } else {
+        on_header_line(line);
+      }
+    }
+  }
+  if (state_ == State::kBody) {
+    if (buffer_.size() < body_expected_) return;
+    request_.body.assign(buffer_, 0, body_expected_);
+    buffer_.erase(0, body_expected_);
+    state_ = State::kDone;
+  }
+}
+
+void HttpRequestParser::on_request_line(const std::string& line) {
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.find(' ', sp2 + 1) != std::string::npos) {
+    fail(400, "malformed request line");
+    return;
+  }
+  request_.method = line.substr(0, sp1);
+  request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = std::string_view(line).substr(sp2 + 1);
+  if (request_.method.empty() || request_.target.empty()) {
+    fail(400, "malformed request line");
+    return;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    fail(505, "unsupported protocol version '" + std::string(version) + "'");
+    return;
+  }
+  state_ = State::kHeaders;
+}
+
+void HttpRequestParser::on_header_line(const std::string& line) {
+  if (request_.headers.size() >= limits_.max_headers) {
+    fail(431, "more than " + std::to_string(limits_.max_headers) +
+                  " header fields");
+    return;
+  }
+  const std::size_t colon = line.find(':');
+  // A leading colon or space means a malformed / folded header — obsolete
+  // line folding is rejected, not unfolded (RFC 9112 §5.2).
+  if (colon == std::string::npos || colon == 0 || line[0] == ' ' ||
+      line[0] == '\t') {
+    fail(400, "malformed header line");
+    return;
+  }
+  std::string name = line.substr(0, colon);
+  for (char& ch : name) ch = lower(ch);
+  if (name.find(' ') != std::string::npos ||
+      name.find('\t') != std::string::npos) {
+    fail(400, "whitespace in header name");
+    return;
+  }
+  request_.headers.emplace_back(
+      std::move(name),
+      std::string(trim(std::string_view(line).substr(colon + 1))));
+}
+
+void HttpRequestParser::on_headers_complete() {
+  if (!request_.header("transfer-encoding").empty()) {
+    fail(400, "chunked request bodies are not supported");
+    return;
+  }
+  const std::string_view length = request_.header("content-length");
+  if (length.empty()) {
+    body_expected_ = 0;
+    state_ = State::kDone;
+    parse_buffered();  // no-op for kDone; keeps control flow obvious
+    return;
+  }
+  std::uint64_t value = 0;
+  if (length.size() > 19 ||
+      !std::all_of(length.begin(), length.end(), [](char ch) {
+        return ch >= '0' && ch <= '9';
+      })) {
+    fail(400, "malformed Content-Length");
+    return;
+  }
+  for (const char ch : length) {
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  if (value > limits_.max_body_bytes) {
+    fail(413, "request body of " + std::to_string(value) +
+                  " bytes exceeds limit of " +
+                  std::to_string(limits_.max_body_bytes));
+    return;
+  }
+  body_expected_ = static_cast<std::size_t>(value);
+  state_ = State::kBody;
+}
+
+std::string_view http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+namespace {
+
+std::string response_head(int status, std::string_view content_type,
+                          const std::vector<std::string>& extra_headers) {
+  std::string out = "HTTP/1.1 ";
+  append_u64(out, static_cast<std::uint64_t>(status));
+  out += ' ';
+  out += http_status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\n";
+  for (const std::string& header : extra_headers) {
+    out += header;
+    out += "\r\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body,
+                          const std::vector<std::string>& extra_headers,
+                          bool keep_alive) {
+  std::string out = response_head(status, content_type, extra_headers);
+  out += "Content-Length: ";
+  append_u64(out, body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string http_chunked_head(int status, std::string_view content_type,
+                              const std::vector<std::string>& extra_headers) {
+  std::string out = response_head(status, content_type, extra_headers);
+  out += "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+  return out;
+}
+
+std::string http_chunk(std::string_view data) {
+  if (data.empty()) return {};  // an empty chunk would terminate the stream
+  char size[32];
+  std::string out;
+  const int n = std::snprintf(size, sizeof size, "%zx", data.size());
+  out.append(size, static_cast<std::size_t>(n));
+  out += "\r\n";
+  out += data;
+  out += "\r\n";
+  return out;
+}
+
+std::string http_last_chunk() { return "0\r\n\r\n"; }
+
+}  // namespace capart::serve

@@ -1,0 +1,141 @@
+// Minimal HTTP/1.1 message layer for capart_serve: an incremental request
+// parser that reads untrusted bytes with explicit resource limits, and
+// response/chunk writers that produce the exact bytes a socket sends.
+//
+// Scope is deliberately narrow — enough of RFC 9112 for a JSON service:
+// request line + headers + Content-Length body (no chunked *requests*, no
+// multipart, no compression), case-insensitive header names, keep-alive by
+// default with "Connection: close" honored. Anything outside that scope is
+// rejected with a definite status code (400/405/413/431/505) instead of
+// being guessed at, because the daemon feeds these bytes straight into the
+// spec codec.
+//
+// The parser is push-based so the server can interleave poll() timeouts
+// (shutdown awareness) with reads: feed() consumes whatever bytes arrived,
+// and done()/failed() say whether a full message is available. Bytes past
+// the end of the current message are kept for the next one (pipelining).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace capart::serve {
+
+/// Resource limits the request parser enforces. Defaults fit the daemon's
+/// use (specs are small); the body cap is the knob deployments tune.
+struct HttpLimits {
+  std::size_t max_request_line_bytes = 8 * 1024;
+  std::size_t max_header_bytes = 16 * 1024;  ///< all header lines together
+  std::size_t max_headers = 64;
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+/// One parsed request. Header names are lower-cased at parse time; values
+/// keep their bytes with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;
+  std::string target;  ///< raw request target, e.g. "/run?stream=1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Path part of the target (before '?').
+  std::string_view path() const noexcept;
+  /// Query part of the target (after '?', empty when absent).
+  std::string_view query() const noexcept;
+  /// True when the query string contains `key` as a `key` or `key=...`
+  /// segment ('&'-separated).
+  bool query_flag(std::string_view key) const noexcept;
+  /// First header with (case-insensitively stored) name `name`; empty view
+  /// when absent.
+  std::string_view header(std::string_view name) const noexcept;
+  /// True when the client asked for the connection to close after this
+  /// response ("Connection: close").
+  bool wants_close() const noexcept;
+};
+
+/// Incremental HTTP/1.1 request parser (one connection's stream). Typical
+/// loop:
+///
+///   parser.feed(bytes_read);
+///   if (parser.failed()) { send error_status(); close; }
+///   if (parser.done())   { handle(parser.request()); parser.reset(); }
+///
+/// reset() keeps unconsumed bytes, so back-to-back (pipelined) requests in
+/// one read are each surfaced in turn.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(const HttpLimits& limits = {});
+
+  /// Consumes `bytes`; cheap to call with partial data.
+  void feed(std::string_view bytes);
+
+  /// True once a complete request is buffered.
+  bool done() const noexcept { return state_ == State::kDone; }
+  /// True once the stream is unrecoverable; error_status()/error() say why.
+  bool failed() const noexcept { return state_ == State::kFailed; }
+
+  /// The parsed request; valid while done().
+  const HttpRequest& request() const noexcept { return request_; }
+
+  /// Suggested response status for a failed stream (400, 413, 431 or 505).
+  int error_status() const noexcept { return error_status_; }
+  const std::string& error() const noexcept { return error_; }
+
+  /// Discards the completed request and starts parsing the next one from
+  /// any leftover bytes.
+  void reset();
+
+ private:
+  enum class State : std::uint8_t {
+    kRequestLine,
+    kHeaders,
+    kBody,
+    kDone,
+    kFailed
+  };
+
+  void fail(int status, std::string message);
+  void parse_buffered();
+  bool take_line(std::string& line, std::size_t max_bytes, int overflow_status,
+                 std::string_view overflow_what);
+  void on_request_line(const std::string& line);
+  void on_header_line(const std::string& line);
+  void on_headers_complete();
+
+  HttpLimits limits_;
+  std::string buffer_;  ///< unconsumed input bytes
+  State state_ = State::kRequestLine;
+  HttpRequest request_;
+  std::size_t header_bytes_ = 0;
+  std::size_t body_expected_ = 0;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+/// Response head + body with Content-Length framing. `extra_headers` lines
+/// are emitted verbatim between the standard headers (each "Name: value",
+/// no CRLF). Always emits Content-Type, Content-Length and Connection.
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body,
+                          const std::vector<std::string>& extra_headers = {},
+                          bool keep_alive = true);
+
+/// Response head opening a chunked-transfer stream (no terminating chunk).
+std::string http_chunked_head(int status, std::string_view content_type,
+                              const std::vector<std::string>& extra_headers =
+                                  {});
+
+/// One chunk of a chunked-transfer body.
+std::string http_chunk(std::string_view data);
+
+/// The terminating zero chunk.
+std::string http_last_chunk();
+
+/// Canonical reason phrase ("OK", "Too Many Requests", ...).
+std::string_view http_status_reason(int status) noexcept;
+
+}  // namespace capart::serve

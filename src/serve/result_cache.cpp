@@ -1,0 +1,37 @@
+#include "src/serve/result_cache.hpp"
+
+namespace capart::serve {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::optional<std::string> ResultCache::find(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->body;
+}
+
+void ResultCache::insert(std::uint64_t key, std::string body) {
+  if (capacity_ == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->body = std::move(body);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, std::move(body)});
+  index_[key] = lru_.begin();
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace capart::serve

@@ -1,0 +1,53 @@
+// Content-addressed result cache for capart_serve: canonical spec bytes
+// hash (FNV-1a 64) -> the exact response body a previous run produced.
+//
+// Byte-identity is the contract: a hit replays the stored bytes untouched,
+// so two submissions of the same spec get bit-identical bodies even though
+// wall-clock fields would differ across runs. Hit/miss status therefore
+// travels in a response *header* (X-Capart-Cache), never in the body.
+//
+// Only fully-successful batches are stored (the server's policy): a failed
+// or timed-out arm may succeed on resubmission, so caching it would pin a
+// transient failure forever. Eviction is LRU by entry count — specs are
+// small and results are one JSON line, so a few thousand entries is cheap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace capart::serve {
+
+class ResultCache {
+ public:
+  /// `capacity` == 0 disables caching entirely (every lookup misses).
+  explicit ResultCache(std::size_t capacity = 1024);
+
+  /// The stored body for `key`, refreshing its recency; nullopt on miss.
+  std::optional<std::string> find(std::uint64_t key);
+
+  /// Stores (or refreshes) `key` -> `body`, evicting the least recently
+  /// used entry when full.
+  void insert(std::uint64_t key, std::string body);
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::string body;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace capart::serve

@@ -1,0 +1,520 @@
+#include "src/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/obs/event_log.hpp"
+#include "src/obs/events.hpp"
+#include "src/serve/spec_json.hpp"
+#include "src/sim/batch.hpp"
+
+namespace capart::serve {
+namespace {
+
+/// Poll interval of the accept and connection loops: the latency bound on
+/// noticing begin_drain()/shutdown() from an idle loop.
+constexpr int kPollMillis = 200;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Writes all of `data`, riding out partial writes and EINTR. MSG_NOSIGNAL
+/// turns a peer hangup into EPIPE instead of killing the process.
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t sent =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  return true;
+}
+
+std::string error_body(std::string_view field, std::string_view message) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .key("error").value(message)
+      .key("field").value(field)
+      .end_object();
+  return w.str();
+}
+
+/// EventSink that relays every event line of a running spec to the client
+/// as one chunk of a chunked application/x-ndjson response. Shared by the
+/// arms of one spec (they may execute concurrently), hence the mutex. A
+/// failed socket write latches ok() false and silences the rest — the run
+/// itself continues; only the live feed is lost.
+class StreamSink final : public obs::EventSink {
+ public:
+  explicit StreamSink(int fd) : fd_(fd) {}
+
+  bool ok() const noexcept { return ok_; }
+
+  void on_manifest(const obs::ManifestEvent& event) override { line(event); }
+  void on_interval(const obs::IntervalEvent& event) override { line(event); }
+  void on_repartition(const obs::RepartitionEvent& event) override {
+    line(event);
+  }
+  void on_barrier_stall(const obs::BarrierStallEvent& event) override {
+    line(event);
+  }
+  void on_migration(const obs::ThreadMigrationEvent& event) override {
+    line(event);
+  }
+  void on_run_end(const obs::RunEndEvent& event) override { line(event); }
+  void on_arm_failed(const obs::ArmFailedEvent& event) override {
+    line(event);
+  }
+
+ private:
+  template <class Event>
+  void line(const Event& event) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!ok_) return;
+    if (!send_all(fd_, http_chunk(obs::to_jsonl(event) + "\n"))) ok_ = false;
+  }
+
+  int fd_;
+  std::mutex mutex_;
+  bool ok_ = true;
+};
+
+/// Forwards every event to two sinks — the per-request stream and the
+/// daemon's --events mirror.
+class TeeSink final : public obs::EventSink {
+ public:
+  TeeSink(obs::EventSink* a, obs::EventSink* b) : a_(a), b_(b) {}
+
+  void on_manifest(const obs::ManifestEvent& event) override {
+    a_->on_manifest(event);
+    b_->on_manifest(event);
+  }
+  void on_interval(const obs::IntervalEvent& event) override {
+    a_->on_interval(event);
+    b_->on_interval(event);
+  }
+  void on_repartition(const obs::RepartitionEvent& event) override {
+    a_->on_repartition(event);
+    b_->on_repartition(event);
+  }
+  void on_barrier_stall(const obs::BarrierStallEvent& event) override {
+    a_->on_barrier_stall(event);
+    b_->on_barrier_stall(event);
+  }
+  void on_migration(const obs::ThreadMigrationEvent& event) override {
+    a_->on_migration(event);
+    b_->on_migration(event);
+  }
+  void on_run_end(const obs::RunEndEvent& event) override {
+    a_->on_run_end(event);
+    b_->on_run_end(event);
+  }
+  void on_arm_failed(const obs::ArmFailedEvent& event) override {
+    a_->on_arm_failed(event);
+    b_->on_arm_failed(event);
+  }
+  void flush() override {
+    a_->flush();
+    b_->flush();
+  }
+
+ private:
+  obs::EventSink* a_;
+  obs::EventSink* b_;
+};
+
+}  // namespace
+
+struct HttpServer::Connection {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+/// One in-flight execution of a canonical spec. The leader fills status/body
+/// and flips done exactly once, under mutex; followers wait on cv. A
+/// non-200 status relays the leader's admission outcome (429/503) so
+/// followers shed load the same way the leader did.
+struct HttpServer::Flight {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  int status = 200;
+  std::string body;
+};
+
+HttpServer::HttpServer(ServerOptions options, obs::MetricsRegistry* metrics)
+    : options_(options),
+      metrics_(metrics != nullptr ? metrics : &owned_metrics_),
+      admission_(options.max_concurrent, options.max_queue),
+      cache_(options.cache_entries) {}
+
+HttpServer::~HttpServer() { shutdown(); }
+
+void HttpServer::start() {
+  // A client that disappears mid-response must surface as a send() error,
+  // not a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw Error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 512) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("bind 127.0.0.1:" + std::to_string(options_.port) + ": " +
+                what);
+  }
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::begin_drain() { admission_.begin_drain(); }
+
+void HttpServer::shutdown() {
+  if (!started_.exchange(false)) return;
+  begin_drain();
+  // Every admitted request — queued or running — completes and is answered
+  // before the loops are told to stop.
+  admission_.drain();
+  stopping_ = true;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (const std::shared_ptr<Connection>& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::publish_gauges() {
+  metrics_->set_gauge("serve/queue_depth",
+                      static_cast<double>(admission_.queued()));
+  metrics_->set_gauge("serve/running",
+                      static_cast<double>(admission_.running()));
+}
+
+void HttpServer::reap_finished_connections() {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (std::size_t i = 0; i < connections_.size();) {
+    if (connections_[i]->done.load(std::memory_order_acquire)) {
+      if (connections_[i]->thread.joinable()) connections_[i]->thread.join();
+      connections_[i] = connections_.back();
+      connections_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    publish_gauges();
+    reap_finished_connections();
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(conn);
+    }
+    conn->thread = std::thread([this, conn] { connection_loop(conn); });
+  }
+}
+
+void HttpServer::connection_loop(const std::shared_ptr<Connection>& conn) {
+  const int fd = conn->fd;
+  HttpRequestParser parser(options_.http);
+  char buffer[16 * 1024];
+  for (;;) {
+    if (parser.failed()) {
+      respond(fd, parser.error_status(),
+              error_body("http", parser.error()), false);
+      break;
+    }
+    if (parser.done()) {
+      const bool keep_alive = handle_request(fd, parser.request());
+      parser.reset();
+      if (!keep_alive) break;
+      continue;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    if (ready == 0) {
+      // Idle keep-alive connections do not outlive a drain.
+      if (admission_.draining()) break;
+      continue;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const ssize_t got = ::recv(fd, buffer, sizeof buffer, 0);
+    if (got <= 0) break;  // peer closed or errored
+    parser.feed(std::string_view(buffer, static_cast<std::size_t>(got)));
+  }
+  ::close(fd);
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool HttpServer::respond(int fd, int status, std::string_view body,
+                         bool keep_alive,
+                         const std::vector<std::string>& extra_headers) {
+  return send_all(fd, http_response(status, "application/json", body,
+                                    extra_headers, keep_alive)) &&
+         keep_alive;
+}
+
+bool HttpServer::handle_request(int fd, const HttpRequest& request) {
+  metrics_->add("serve/requests_total");
+  const std::string_view path = request.path();
+  const bool keep_alive = !request.wants_close();
+
+  if (request.method == "GET") {
+    if (path == "/healthz") {
+      obs::JsonWriter w;
+      w.begin_object()
+          .key("status").value(draining() ? "draining" : "ok")
+          .end_object();
+      return respond(fd, 200, w.str(), keep_alive);
+    }
+    if (path == "/metrics") {
+      std::ostringstream os;
+      publish_gauges();
+      metrics_->print_rollup(os);
+      return send_all(fd, http_response(200, "text/plain; charset=utf-8",
+                                        os.str(), {}, keep_alive)) &&
+             keep_alive;
+    }
+    if (path == "/run") {
+      return respond(fd, 405, error_body("http", "use POST /run"),
+                     keep_alive, {"Allow: POST"});
+    }
+  } else if (request.method == "POST") {
+    if (path == "/run") return handle_run(fd, request);
+  } else {
+    return respond(fd, 405,
+                   error_body("http", "unsupported method '" +
+                                          request.method + "'"),
+                   keep_alive, {"Allow: GET, POST"});
+  }
+  return respond(fd, 404,
+                 error_body("http", "no such endpoint '" +
+                                        std::string(path) + "'"),
+                 keep_alive);
+}
+
+bool HttpServer::handle_run(int fd, const HttpRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  const bool keep_alive = !request.wants_close();
+  const bool stream = request.query_flag("stream");
+
+  SpecRequest spec;
+  try {
+    spec = parse_spec_request(request.body, options_.json);
+  } catch (const ConfigError& error) {
+    return respond(fd, 400, error_body(error.field(), error.what()),
+                   keep_alive);
+  }
+
+  const std::string canonical = canonical_spec_json(spec);
+  const std::uint64_t key = fnv1a64(canonical);
+
+  // Cache hits bypass admission: replaying stored bytes costs nothing, so a
+  // saturated daemon still answers known specs instantly and byte-identically.
+  if (std::optional<std::string> cached = cache_.find(key)) {
+    metrics_->add("serve/cache_hits");
+    metrics_->observe("serve/request_seconds", seconds_since(start));
+    if (!stream) {
+      return respond(fd, 200, *cached, keep_alive, {"X-Capart-Cache: hit"});
+    }
+    std::string out = http_chunked_head(200, "application/x-ndjson",
+                                        {"X-Capart-Cache: hit"});
+    out += http_chunk(*cached + "\n");
+    out += http_last_chunk();
+    send_all(fd, out);
+    return false;  // chunked responses close the connection
+  }
+
+  // Single-flight: if this exact spec is already executing, wait for that
+  // result instead of running (or queueing) it again. Followers hold no
+  // admission slot — like cache hits, they consume no simulation work.
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    const std::lock_guard<std::mutex> lock(flights_mutex_);
+    std::shared_ptr<Flight>& slot = flights_[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<Flight>();
+      leader = true;
+    }
+    flight = slot;
+  }
+  if (!leader) {
+    metrics_->add("serve/coalesced");
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->cv.wait(lock, [&flight] { return flight->done; });
+    const int status = flight->status;
+    const std::string body = flight->body;
+    lock.unlock();
+    metrics_->observe("serve/request_seconds", seconds_since(start));
+    if (status != 200) {
+      return status == 429
+                 ? respond(fd, 429, body, keep_alive, {"Retry-After: 1"})
+                 : respond(fd, status, body, keep_alive);
+    }
+    if (!stream) {
+      return respond(fd, 200, body, keep_alive, {"X-Capart-Cache: hit"});
+    }
+    std::string out = http_chunked_head(200, "application/x-ndjson",
+                                        {"X-Capart-Cache: hit"});
+    out += http_chunk(body + "\n");
+    out += http_last_chunk();
+    send_all(fd, out);
+    return false;
+  }
+
+  // Leader: every exit path must finish_flight exactly once, or followers
+  // wait forever. The flight leaves the table only after execute() has
+  // populated the cache, so late arrivals find one or the other — never a
+  // gap that would let the same spec run twice.
+  const auto finish_flight = [&](int status, const std::string& body) {
+    {
+      const std::lock_guard<std::mutex> lock(flights_mutex_);
+      flights_.erase(key);
+    }
+    const std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->status = status;
+    flight->body = body;
+    flight->done = true;
+    flight->cv.notify_all();
+  };
+
+  switch (admission_.try_acquire()) {
+    case Admission::kRejected: {
+      metrics_->add("serve/admission_rejects");
+      const std::string body =
+          error_body("admission", "over capacity: " +
+                                      std::to_string(options_.max_queue) +
+                                      " requests already queued");
+      finish_flight(429, body);
+      return respond(fd, 429, body, keep_alive, {"Retry-After: 1"});
+    }
+    case Admission::kDraining: {
+      const std::string body =
+          error_body("admission", "server is draining");
+      finish_flight(503, body);
+      return respond(fd, 503, body, keep_alive, {"Connection: close"});
+    }
+    case Admission::kAdmitted:
+      break;
+  }
+  metrics_->add("serve/cache_misses");
+  publish_gauges();
+
+  std::string body;
+  bool stream_head_sent = false;
+  try {
+    if (stream) {
+      send_all(fd, http_chunked_head(200, "application/x-ndjson",
+                                     {"X-Capart-Cache: miss"}));
+      stream_head_sent = true;
+      StreamSink sink(fd);
+      body = execute(spec, key, &sink);
+    } else {
+      body = execute(spec, key, nullptr);
+    }
+  } catch (...) {
+    finish_flight(500, error_body("execute", "internal error"));
+    admission_.release();
+    throw;
+  }
+  finish_flight(200, body);
+  admission_.release();
+  publish_gauges();
+  metrics_->observe("serve/request_seconds", seconds_since(start));
+
+  if (stream_head_sent) {
+    std::string out = http_chunk(body + "\n");
+    out += http_last_chunk();
+    send_all(fd, out);
+    return false;
+  }
+  return respond(fd, 200, body, keep_alive, {"X-Capart-Cache: miss"});
+}
+
+std::string HttpServer::execute(const SpecRequest& request, std::uint64_t key,
+                                obs::EventSink* sink) {
+  TeeSink tee(sink, options_.event_sink);
+  obs::EventSink* effective = sink;
+  if (options_.event_sink != nullptr) {
+    effective = sink != nullptr ? static_cast<obs::EventSink*>(&tee)
+                                : options_.event_sink;
+  }
+  sim::ExperimentSpec spec = request.spec;
+  for (sim::ExperimentArm& arm : spec.arms) {
+    arm.config.obs.sink = effective;
+    arm.config.obs.metrics = metrics_;
+    arm.config.obs.run_name = arm.name;
+  }
+  sim::BatchPolicy policy;
+  policy.arm_deadline_seconds = request.deadline_seconds > 0.0
+                                    ? request.deadline_seconds
+                                    : options_.default_deadline_seconds;
+  const sim::BatchRunner runner(options_.jobs_per_request, policy);
+  const sim::BatchResult batch = runner.run(spec);
+  std::string body = batch_result_to_json(batch);
+  // Only fully-successful batches are cached: a failed or timed-out arm may
+  // succeed on resubmission, so pinning it would make the failure permanent.
+  if (batch.all_ok()) cache_.insert(key, body);
+  return body;
+}
+
+}  // namespace capart::serve

@@ -1,0 +1,144 @@
+// capart_serve daemon core: a long-lived HTTP/1.1 service over POSIX
+// sockets that accepts JSON ExperimentSpec submissions and executes them on
+// the existing BatchRunner, composed from the subsystem's other pieces:
+//
+//   HttpRequestParser (http.hpp)      untrusted byte stream -> request
+//   parse_spec_request (spec_json.hpp) untrusted JSON -> validated spec
+//   AdmissionController (admission.hpp) bounded concurrency, 429 backpressure
+//   ResultCache (result_cache.hpp)    canonical-hash -> byte-identical replay
+//   BatchRunner (sim/batch.hpp)       fault-isolated execution + deadlines
+//
+// Endpoints:
+//   POST /run            run a spec; 200 JSON result (per-arm statuses even
+//                        when arms fail), 400 invalid spec, 413 oversized
+//                        body, 429 over capacity, 503 draining. The
+//                        X-Capart-Cache header says "hit" or "miss"; hit
+//                        bodies are byte-identical to the first response.
+//   POST /run?stream=1   same, but the response is a chunked
+//                        application/x-ndjson stream of the run's JSONL
+//                        events live, ending with the result line.
+//   GET  /healthz        {"status":"ok"|"draining"} liveness probe
+//   GET  /metrics        plain-text rollup of the shared MetricsRegistry
+//
+// Threading: one accept thread plus one thread per connection (keep-alive;
+// a connection runs one spec at a time). Both loops poll() with a short
+// timeout so begin_drain() is observed promptly: accepting stops, idle
+// connections close, in-flight work — queued and running — completes and is
+// answered, then shutdown() returns. Cache hits bypass admission, so a
+// saturated daemon still answers known specs instantly. Concurrent
+// submissions of one identical spec are single-flighted: followers wait for
+// the leader's result instead of executing (or queueing) again.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/obs.hpp"
+#include "src/serve/admission.hpp"
+#include "src/serve/http.hpp"
+#include "src/serve/result_cache.hpp"
+
+namespace capart::serve {
+
+struct ServerOptions {
+  /// 0 selects an ephemeral port; port() reports the bound one.
+  std::uint16_t port = 0;
+  /// Batches executing at once. Each admitted request runs its arms on
+  /// `jobs_per_request` workers, so max_concurrent * jobs_per_request bounds
+  /// the simulation threads alive at once.
+  std::size_t max_concurrent = 2;
+  /// Admitted requests allowed to wait for a slot; the one past this gets
+  /// 429 immediately (bounded queue — load is shed, never accumulated).
+  std::size_t max_queue = 16;
+  std::size_t cache_entries = 1024;
+  unsigned jobs_per_request = 1;
+  /// Per-arm deadline when the spec does not carry "deadline_seconds".
+  double default_deadline_seconds = 0.0;
+  /// Non-owning sink every run's events are mirrored into (the daemon's
+  /// --events file), in addition to any per-request stream. May be null.
+  obs::EventSink* event_sink = nullptr;
+  HttpLimits http{};
+  obs::JsonLimits json{};
+};
+
+class HttpServer {
+ public:
+  /// `metrics` may be null (the server then keeps a private registry). The
+  /// same registry receives serve/* and the BatchRunner's batch/* series.
+  explicit HttpServer(ServerOptions options,
+                      obs::MetricsRegistry* metrics = nullptr);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:port, listens and starts the accept thread. Throws
+  /// capart::Error when the socket cannot be set up.
+  void start();
+
+  /// The bound port; valid after start().
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting work (new submissions get 503) without waiting.
+  /// Safe to call from a signal-watching thread; idempotent.
+  void begin_drain();
+
+  bool draining() const { return admission_.draining(); }
+
+  /// begin_drain() + wait for every in-flight request and connection, then
+  /// tear the sockets down. Idempotent; also run by the destructor.
+  void shutdown();
+
+  obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void connection_loop(const std::shared_ptr<Connection>& conn);
+  /// Handles one parsed request; returns false when the connection must
+  /// close afterwards (streaming responses, protocol errors, drain).
+  bool handle_request(int fd, const HttpRequest& request);
+  bool handle_run(int fd, const HttpRequest& request);
+  bool respond(int fd, int status, std::string_view body, bool keep_alive,
+               const std::vector<std::string>& extra_headers = {});
+  /// Runs an admitted spec and returns the result body; also inserts it
+  /// into the cache when every arm succeeded.
+  std::string execute(const struct SpecRequest& request, std::uint64_t key,
+                      obs::EventSink* sink);
+  void reap_finished_connections();
+  void publish_gauges();
+
+  ServerOptions options_;
+  obs::MetricsRegistry owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  AdmissionController admission_;
+  ResultCache cache_;
+
+  /// Single-flight table: concurrent submissions of the same canonical spec
+  /// coalesce onto the first one's execution and answer with the same bytes,
+  /// so a cold cache under a thundering herd still runs each spec once and
+  /// the byte-identity guarantee holds from the very first response.
+  struct Flight;
+  std::mutex flights_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> flights_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace capart::serve

@@ -183,6 +183,10 @@ BatchResult BatchRunner::run(const ExperimentSpec& spec) const {
   // (cancel() is atomic and sticky across rearms).
   std::vector<CancelToken> tokens(spec.arms.size());
   std::atomic<bool> abort{false};
+  // Arms not yet claimed by a worker — published as the "batch/queue_depth"
+  // gauge so a daemon's admission controller and capart_perfsmoke read the
+  // same backlog signal the runner itself acts on.
+  std::atomic<std::size_t> pending{spec.arms.size()};
 
   auto report_failure = [&](const ExperimentArm& arm, ArmOutcome& out) {
     if (obs::MetricsRegistry* metrics = arm.config.obs.metrics) {
@@ -205,6 +209,11 @@ BatchResult BatchRunner::run(const ExperimentSpec& spec) const {
   auto run_arm = [&](std::size_t i) {
     const ExperimentArm& arm = spec.arms[i];
     ArmOutcome& out = batch.arms[i];
+    const std::size_t left =
+        pending.fetch_sub(1, std::memory_order_relaxed) - 1;
+    if (obs::MetricsRegistry* metrics = arm.config.obs.metrics) {
+      metrics->set_gauge("batch/queue_depth", static_cast<double>(left));
+    }
     if (policy_.fail_fast && abort.load(std::memory_order_relaxed)) {
       out.status = ArmStatus::kFailed;
       out.error = "skipped: batch cancelled (fail-fast)";
@@ -213,6 +222,7 @@ BatchResult BatchRunner::run(const ExperimentSpec& spec) const {
       }
       return;
     }
+    const auto arm_start = std::chrono::steady_clock::now();
     ExperimentConfig config = arm.config;
     config.cancel = &tokens[i];
     for (std::uint32_t attempt = 0;; ++attempt) {
@@ -224,6 +234,8 @@ BatchResult BatchRunner::run(const ExperimentSpec& spec) const {
         if (obs::MetricsRegistry* metrics = arm.config.obs.metrics) {
           metrics->add("batch/arms_completed");
           if (attempt > 0) metrics->add("batch/arm_retries", attempt);
+          metrics->observe("batch/arm_wall_seconds",
+                           seconds_since(arm_start));
         }
         return;
       } catch (const CancelledError& error) {
@@ -245,6 +257,9 @@ BatchResult BatchRunner::run(const ExperimentSpec& spec) const {
         out.retries = attempt;
         break;
       }
+    }
+    if (obs::MetricsRegistry* metrics = arm.config.obs.metrics) {
+      metrics->observe("batch/arm_wall_seconds", seconds_since(arm_start));
     }
     report_failure(arm, out);
   };

@@ -124,7 +124,11 @@ class BatchRunner {
 
   /// Runs every arm, containing per-arm failures (see ArmOutcome). Failed
   /// arms publish an ArmFailedEvent and count into "batch/arms_failed" /
-  /// "batch/arm_retries" metrics through their arm's obs attachment.
+  /// "batch/arm_retries" metrics through their arm's obs attachment. Every
+  /// arm also feeds the "batch/queue_depth" gauge (arms not yet claimed by
+  /// a worker) and the "batch/arm_wall_seconds" histogram — the shared
+  /// backlog/latency source of truth for capart_serve's admission
+  /// controller and capart_perfsmoke.
   BatchResult run(const ExperimentSpec& spec) const;
 
   /// Deterministic parallel map for work that is not an ExperimentConfig

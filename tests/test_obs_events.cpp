@@ -238,6 +238,48 @@ TEST(ReadEventLog, FlagsWrongFieldKinds) {
   EXPECT_NE(log.issues[0].message.find("total_cycles"), std::string::npos);
 }
 
+TEST(JsonlSinkTest, FlushIntervalPushesLinesBeforeTheThreshold) {
+  std::ostringstream os;
+  JsonlSinkOptions options;
+  options.flush_threshold = 1 << 20;  // never reached by one event
+  options.flush_interval_seconds = 1e-9;  // every append is "due"
+  JsonlSink sink(os, options);
+  sink.on_run_end({"r", 10, 1, 100, 0.5});
+  // No explicit flush(): the interval alone made the line visible, which is
+  // what keeps a tail -f consumer of a quiet daemon live.
+  EXPECT_NE(os.str().find("run_end"), std::string::npos);
+}
+
+TEST(JsonlSinkTest, ZeroIntervalBuffersUntilThresholdOrFlush) {
+  std::ostringstream os;
+  JsonlSinkOptions options;
+  options.flush_threshold = 1 << 20;
+  options.flush_interval_seconds = 0.0;
+  JsonlSink sink(os, options);
+  sink.on_run_end({"r", 10, 1, 100, 0.5});
+  EXPECT_TRUE(os.str().empty());
+  sink.flush();
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(JsonlSinkTest, FlushAllReachesEveryLiveSink) {
+  std::ostringstream os1;
+  std::ostringstream os2;
+  JsonlSinkOptions options;
+  options.flush_threshold = 1 << 20;
+  JsonlSink sink1(os1, options);
+  JsonlSink sink2(os2, options);
+  sink1.on_run_end({"a", 10, 1, 100, 0.5});
+  sink2.on_migration({"b", 3, 0, 1});
+  ASSERT_TRUE(os1.str().empty());
+  ASSERT_TRUE(os2.str().empty());
+  // What the daemon's SIGTERM path calls: every registered sink's buffer
+  // reaches its stream, no matter who owns it.
+  JsonlSink::flush_all();
+  EXPECT_NE(os1.str().find("run_end"), std::string::npos);
+  EXPECT_NE(os2.str().find("migration"), std::string::npos);
+}
+
 TEST(JsonlSinkTest, CountsEventsAndWritesTrailingNewlines) {
   std::ostringstream os;
   JsonlSink sink(os);

@@ -136,6 +136,64 @@ TEST(ParseJson, ReportsErrorsWithOffsets) {
   }
 }
 
+TEST(ParseJsonLimits, RejectsOverDeepNestingAtTheOpeningBracket) {
+  JsonLimits limits;
+  limits.max_depth = 4;
+  const std::string ok = R"([[[[1]]]])";      // depth 4
+  const std::string bad = R"([[[[[1]]]]])";   // depth 5
+  EXPECT_TRUE(parse_json(ok, nullptr, limits).has_value());
+  std::string error;
+  EXPECT_FALSE(parse_json(bad, &error, limits).has_value());
+  // The violation is reported at the bracket that opened level 5.
+  EXPECT_NE(error.find("offset 4"), std::string::npos) << error;
+  EXPECT_NE(error.find("nesting depth exceeds 4"), std::string::npos)
+      << error;
+}
+
+TEST(ParseJsonLimits, DefaultDepthAllowsRealisticDocuments) {
+  std::string deep;
+  for (int i = 0; i < 60; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 60; ++i) deep += ']';
+  EXPECT_TRUE(parse_json(deep).has_value());
+}
+
+TEST(ParseJsonLimits, BoundsStringBytesAndPointsAtTheOpenQuote) {
+  JsonLimits limits;
+  limits.max_string_bytes = 4;
+  EXPECT_TRUE(parse_json(R"({"k":"abcd"})", nullptr, limits).has_value());
+  std::string error;
+  EXPECT_FALSE(parse_json(R"({"k":"abcde"})", &error, limits).has_value());
+  EXPECT_NE(error.find("offset 5"), std::string::npos) << error;
+  EXPECT_NE(error.find("exceeds 4 bytes"), std::string::npos) << error;
+}
+
+TEST(ParseJsonLimits, EscapesCountDecodedNotEncodedBytes) {
+  JsonLimits limits;
+  limits.max_string_bytes = 2;
+  // Four encoded characters but two decoded bytes: within the limit.
+  EXPECT_TRUE(parse_json(R"("\n\t")", nullptr, limits).has_value());
+}
+
+TEST(ParseJsonLimits, BoundsNumberTokenLength) {
+  JsonLimits limits;
+  limits.max_number_chars = 5;
+  EXPECT_TRUE(parse_json("12345", nullptr, limits).has_value());
+  std::string error;
+  EXPECT_FALSE(parse_json("[1, 123456]", &error, limits).has_value());
+  EXPECT_NE(error.find("offset 4"), std::string::npos) << error;
+  EXPECT_NE(error.find("number"), std::string::npos) << error;
+}
+
+TEST(ParseJsonLimits, TrustedCallersNeverNoticeTheDefaults) {
+  // A string near the subsystem's own worst case (a long profile list)
+  // parses fine under default limits.
+  std::string doc = "\"";
+  doc.append(10'000, 'x');
+  doc += '"';
+  EXPECT_TRUE(parse_json(doc).has_value());
+}
+
 TEST(ParseJson, TypedAccessorsFallBackOnKindMismatch) {
   const std::optional<JsonValue> doc = parse_json(R"({"s":"x"})");
   ASSERT_TRUE(doc.has_value());

@@ -72,6 +72,89 @@ TEST(MetricsRegistry, ConcurrentAddsAreLossless) {
   EXPECT_EQ(metrics.counter("stress/adds"), 80'000u);
 }
 
+TEST(MetricsRegistry, HistogramTracksCountMeanAndExtremes) {
+  MetricsRegistry metrics;
+  for (const double v : {0.010, 0.020, 0.030, 0.040}) {
+    metrics.observe("serve/request_seconds", v);
+  }
+  const auto entries = metrics.snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].kind, MetricsRegistry::Kind::kHistogram);
+  EXPECT_EQ(entries[0].count, 4u);
+  EXPECT_NEAR(entries[0].mean(), 0.025, 1e-12);
+  EXPECT_DOUBLE_EQ(entries[0].min, 0.010);
+  EXPECT_DOUBLE_EQ(entries[0].max, 0.040);
+}
+
+TEST(MetricsRegistry, PercentilesBracketTheObservedRange) {
+  MetricsRegistry metrics;
+  for (int i = 1; i <= 100; ++i) {
+    metrics.observe("lat", static_cast<double>(i) * 1e-3);
+  }
+  const double p50 = metrics.percentile("lat", 0.5);
+  const double p99 = metrics.percentile("lat", 0.99);
+  // Log-bucketed estimates: correct within a factor of sqrt(2) of the
+  // exact rank value, monotone in q, clamped into [min, max].
+  EXPECT_GE(p50, 0.001);
+  EXPECT_LE(p50, 0.1);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, 0.11);
+  EXPECT_GT(p50, 0.030);  // exact p50 = 0.050; sqrt(2) slack keeps > 0.035
+  EXPECT_GT(p99, 0.060);  // exact p99 = 0.099
+  EXPECT_NEAR(metrics.percentile("lat", 0.0), 0.001, 1e-15);
+  EXPECT_NEAR(metrics.percentile("lat", 1.0), 0.1, 1e-15);
+  EXPECT_DOUBLE_EQ(metrics.percentile("missing", 0.5), 0.0);
+}
+
+TEST(MetricsRegistry, SingleSampleHistogramAnswersWithTheSample) {
+  MetricsRegistry metrics;
+  metrics.observe("one", 0.125);
+  EXPECT_DOUBLE_EQ(metrics.percentile("one", 0.5), 0.125);
+  EXPECT_DOUBLE_EQ(metrics.percentile("one", 0.99), 0.125);
+}
+
+TEST(MetricsRegistry, RollupRendersHistogramSummary) {
+  MetricsRegistry metrics;
+  metrics.observe("batch/arm_wall_seconds", 0.5);
+  std::ostringstream os;
+  metrics.print_rollup(os);
+  EXPECT_NE(os.str().find("n=1"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("p99="), std::string::npos) << os.str();
+}
+
+TEST(MetricsRegistry, BatchRunPublishesQueueDepthAndWallHistogram) {
+  MetricsRegistry metrics;
+  sim::ExperimentSpec spec;
+  spec.name = "depth";
+  for (int i = 0; i < 3; ++i) {
+    sim::ExperimentConfig config;
+    config.profile = "cg";
+    config.num_threads = 2;
+    config.num_intervals = 3;
+    config.interval_instructions = 30'000;
+    config.seed = static_cast<std::uint64_t>(i);
+    config.obs.metrics = &metrics;
+    spec.add("arm" + std::to_string(i), config);
+  }
+  (void)sim::BatchRunner(1).run(spec);
+
+  // Single-worker execution claims arms in order, so the gauge ends at 0
+  // and the wall-time histogram saw every arm.
+  EXPECT_DOUBLE_EQ(metrics.gauge("batch/queue_depth"), 0.0);
+  const auto entries = metrics.snapshot();
+  bool found = false;
+  for (const auto& entry : entries) {
+    if (entry.name == "batch/arm_wall_seconds") {
+      found = true;
+      EXPECT_EQ(entry.kind, MetricsRegistry::Kind::kHistogram);
+      EXPECT_EQ(entry.count, 3u);
+      EXPECT_GT(entry.max, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GT(metrics.percentile("batch/arm_wall_seconds", 0.5), 0.0);
+}
+
 TEST(MetricsRegistry, BatchRunPublishesLayeredMetrics) {
   MetricsRegistry metrics;
   sim::ExperimentSpec spec;

@@ -1,0 +1,375 @@
+// capart_load — load generator for capart_serve (README "Serving
+// experiments over HTTP").
+//
+//   capart_load --port=PORT [--connections=64] [--requests=10]
+//               [--hot-fraction=0.9] [--hot-keys=4] [--threads=2]
+//               [--intervals=2] [--deadline=30]
+//
+// Opens --connections keep-alive connections to 127.0.0.1:PORT and drives
+// --requests POST /run submissions down each. A submission is "hot" with
+// probability --hot-fraction — one of --hot-keys shared specs, so repeats
+// hit the daemon's result cache — and otherwise "cold" (a unique seed, so
+// it must execute). Cold load is what exercises admission control; 429
+// responses are expected under pressure, counted and retried not at all
+// (backpressure is the feature under test, not an error).
+//
+// Verifies on every response: a parseable HTTP/1.1 message with a JSON
+// body; hot responses byte-identical to the first body seen for that key.
+// Prints a throughput/latency/status summary and exits non-zero on any
+// protocol error, connection failure, lost response or hot-body mismatch.
+#include <algorithm>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/parse.hpp"
+#include "src/common/rng.hpp"
+
+namespace {
+
+using namespace capart;
+
+struct LoadOptions {
+  std::uint16_t port = 0;
+  std::size_t connections = 64;
+  std::size_t requests_per_connection = 10;
+  double hot_fraction = 0.9;
+  std::size_t hot_keys = 4;
+  std::uint32_t threads = 2;
+  std::uint32_t intervals = 2;
+  double deadline_seconds = 30.0;
+};
+
+/// One worker's tally, merged at the end.
+struct WorkerStats {
+  std::vector<double> latencies_seconds;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;    ///< 429 — expected under pressure
+  std::uint64_t draining = 0;    ///< 503
+  std::uint64_t other_status = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t errors = 0;  ///< protocol/connection/verification failures
+  std::string first_error;
+};
+
+void note_error(WorkerStats& stats, const std::string& what) {
+  ++stats.errors;
+  if (stats.first_error.empty()) stats.first_error = what;
+}
+
+std::string spec_body(const LoadOptions& options, std::uint64_t seed) {
+  std::string body = "{\"name\":\"load\",\"deadline_seconds\":";
+  body += std::to_string(options.deadline_seconds);
+  body += ",\"config\":{\"profile\":\"cg\",\"threads\":";
+  body += std::to_string(options.threads);
+  body += ",\"intervals\":";
+  body += std::to_string(options.intervals);
+  body += ",\"interval_instructions\":60000,\"seed\":";
+  body += std::to_string(seed);
+  body += "}}";
+  return body;
+}
+
+std::string post_run(const std::string& body) {
+  std::string out =
+      "POST /run HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Content-Type: application/json\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+int dial(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t sent = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  return true;
+}
+
+/// One parsed response off a keep-alive stream.
+struct Response {
+  int status = 0;
+  bool cache_hit = false;
+  std::string body;
+};
+
+/// Reads one Content-Length-framed response from `fd`; `carry` holds bytes
+/// already read past the previous message. Returns false on any protocol or
+/// socket error (`what` says which).
+bool read_response(int fd, std::string& carry, Response& response,
+                   std::string& what) {
+  auto fill = [&]() -> bool {
+    char buffer[16 * 1024];
+    const ssize_t got = ::recv(fd, buffer, sizeof buffer, 0);
+    if (got <= 0) {
+      what = got == 0 ? "connection closed mid-response"
+                      : std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    carry.append(buffer, static_cast<std::size_t>(got));
+    return true;
+  };
+
+  std::size_t head_end;
+  while ((head_end = carry.find("\r\n\r\n")) == std::string::npos) {
+    if (carry.size() > 64 * 1024) {
+      what = "response headers exceed 64 KiB";
+      return false;
+    }
+    if (!fill()) return false;
+  }
+  const std::string_view head = std::string_view(carry).substr(0, head_end);
+  if (!head.starts_with("HTTP/1.1 ") || head.size() < 12) {
+    what = "malformed status line";
+    return false;
+  }
+  response.status = (head[9] - '0') * 100 + (head[10] - '0') * 10 +
+                    (head[11] - '0');
+  response.cache_hit =
+      head.find("X-Capart-Cache: hit") != std::string_view::npos;
+
+  const std::string_view length_name = "Content-Length: ";
+  const std::size_t length_at = head.find(length_name);
+  if (length_at == std::string_view::npos) {
+    what = "response without Content-Length";
+    return false;
+  }
+  std::size_t body_bytes = 0;
+  for (std::size_t i = length_at + length_name.size();
+       i < head.size() && head[i] >= '0' && head[i] <= '9'; ++i) {
+    body_bytes = body_bytes * 10 + static_cast<std::size_t>(head[i] - '0');
+  }
+  const std::size_t body_at = head_end + 4;
+  while (carry.size() < body_at + body_bytes) {
+    if (!fill()) return false;
+  }
+  response.body = carry.substr(body_at, body_bytes);
+  carry.erase(0, body_at + body_bytes);
+  return true;
+}
+
+void usage(std::ostream& os) {
+  os << "usage: capart_load --port=PORT [--connections=N] [--requests=N]\n"
+        "                   [--hot-fraction=F] [--hot-keys=N] "
+        "[--threads=N]\n"
+        "                   [--intervals=N] [--deadline=SECONDS]\n";
+}
+
+bool flag_value(std::string_view arg, std::string_view name,
+                std::string_view& value) {
+  if (arg.size() <= name.size() + 1 || !arg.starts_with(name) ||
+      arg[name.size()] != '=') {
+    return false;
+  }
+  value = arg.substr(name.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadOptions options;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      std::string_view value;
+      if (arg == "--help" || arg == "-h") {
+        usage(std::cout);
+        return 0;
+      } else if (flag_value(arg, "--port", value)) {
+        options.port = static_cast<std::uint16_t>(
+            parse_u32_flag(value, "--port", 65535));
+      } else if (flag_value(arg, "--connections", value)) {
+        options.connections = parse_u32_flag(value, "--connections", 65536);
+      } else if (flag_value(arg, "--requests", value)) {
+        options.requests_per_connection =
+            parse_u32_flag(value, "--requests");
+      } else if (flag_value(arg, "--hot-fraction", value)) {
+        options.hot_fraction = parse_f64_flag(value, "--hot-fraction");
+      } else if (flag_value(arg, "--hot-keys", value)) {
+        options.hot_keys = parse_u32_flag(value, "--hot-keys", 1 << 20);
+      } else if (flag_value(arg, "--threads", value)) {
+        options.threads = parse_u32_flag(value, "--threads");
+      } else if (flag_value(arg, "--intervals", value)) {
+        options.intervals = parse_u32_flag(value, "--intervals");
+      } else if (flag_value(arg, "--deadline", value)) {
+        options.deadline_seconds = parse_f64_flag(value, "--deadline");
+      } else {
+        std::cerr << "capart_load: unknown argument '" << arg << "'\n";
+        usage(std::cerr);
+        return 2;
+      }
+    }
+    if (options.port == 0) {
+      std::cerr << "capart_load: --port is required\n";
+      usage(std::cerr);
+      return 2;
+    }
+    if (options.hot_keys == 0) options.hot_keys = 1;
+  } catch (const capart::Error& error) {
+    std::cerr << "capart_load: " << error.what() << "\n";
+    return 2;
+  }
+
+  // First body seen per hot key — every later hot response must match it
+  // byte for byte (the daemon's cache-identity contract).
+  std::mutex hot_mutex;
+  std::vector<std::string> hot_bodies(options.hot_keys);
+
+  std::vector<WorkerStats> stats(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  const auto start = std::chrono::steady_clock::now();
+
+  for (std::size_t w = 0; w < options.connections; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerStats& mine = stats[w];
+      Rng rng(0x10adu + static_cast<std::uint64_t>(w));
+      const int fd = dial(options.port);
+      if (fd < 0) {
+        note_error(mine, std::string("connect: ") + std::strerror(errno));
+        return;
+      }
+      std::string carry;
+      for (std::size_t r = 0; r < options.requests_per_connection; ++r) {
+        const bool hot = rng.chance(options.hot_fraction);
+        const std::size_t hot_key =
+            static_cast<std::size_t>(rng.below(options.hot_keys));
+        // Hot seeds are shared across workers; cold seeds are unique, so
+        // the daemon must actually execute them.
+        const std::uint64_t seed =
+            hot ? 1000 + hot_key
+                : 0xC01Du * (w * options.requests_per_connection + r + 1);
+        const std::string body = spec_body(options, seed);
+
+        const auto sent_at = std::chrono::steady_clock::now();
+        if (!send_all(fd, post_run(body))) {
+          note_error(mine, std::string("send: ") + std::strerror(errno));
+          break;
+        }
+        Response response;
+        std::string what;
+        if (!read_response(fd, carry, response, what)) {
+          note_error(mine, what);
+          break;
+        }
+        mine.latencies_seconds.push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          sent_at)
+                .count());
+        if (response.cache_hit) ++mine.cache_hits;
+        if (response.status == 200) {
+          ++mine.ok;
+          if (response.body.find("\"ok\":") == std::string::npos) {
+            note_error(mine, "200 response without an \"ok\" field");
+          } else if (hot) {
+            const std::lock_guard<std::mutex> lock(hot_mutex);
+            if (hot_bodies[hot_key].empty()) {
+              hot_bodies[hot_key] = response.body;
+            } else if (hot_bodies[hot_key] != response.body) {
+              note_error(mine, "hot spec response bytes diverged");
+            }
+          }
+        } else if (response.status == 429) {
+          ++mine.rejected;
+        } else if (response.status == 503) {
+          ++mine.draining;
+        } else {
+          ++mine.other_status;
+          note_error(mine, "unexpected status " +
+                               std::to_string(response.status) + ": " +
+                               response.body);
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  WorkerStats total;
+  for (const WorkerStats& s : stats) {
+    total.ok += s.ok;
+    total.rejected += s.rejected;
+    total.draining += s.draining;
+    total.other_status += s.other_status;
+    total.cache_hits += s.cache_hits;
+    total.errors += s.errors;
+    if (total.first_error.empty()) total.first_error = s.first_error;
+    total.latencies_seconds.insert(total.latencies_seconds.end(),
+                                   s.latencies_seconds.begin(),
+                                   s.latencies_seconds.end());
+  }
+  std::sort(total.latencies_seconds.begin(), total.latencies_seconds.end());
+  auto percentile = [&](double q) {
+    if (total.latencies_seconds.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(total.latencies_seconds.size() - 1));
+    return total.latencies_seconds[rank];
+  };
+  const std::size_t answered = total.latencies_seconds.size();
+  const std::size_t expected =
+      options.connections * options.requests_per_connection;
+
+  std::cout << "connections " << options.connections << "  requests "
+            << answered << "/" << expected << "  wall " << wall << " s  ("
+            << (wall > 0.0 ? static_cast<double>(answered) / wall : 0.0)
+            << " req/s)\n"
+            << "status: 200=" << total.ok << " 429=" << total.rejected
+            << " 503=" << total.draining << " other=" << total.other_status
+            << "  cache_hits=" << total.cache_hits << "\n"
+            << "latency: p50=" << percentile(0.5)
+            << " s  p90=" << percentile(0.9)
+            << " s  p99=" << percentile(0.99)
+            << " s  max=" << percentile(1.0) << " s\n";
+  if (total.errors != 0) {
+    std::cerr << "capart_load: " << total.errors
+              << " error(s); first: " << total.first_error << "\n";
+    return 1;
+  }
+  if (answered != expected) {
+    std::cerr << "capart_load: lost " << (expected - answered)
+              << " response(s)\n";
+    return 1;
+  }
+  return 0;
+}

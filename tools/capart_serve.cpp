@@ -1,0 +1,147 @@
+// capart_serve — the long-lived experiment daemon (README "Serving
+// experiments over HTTP").
+//
+//   capart_serve [--port=0] [--max-concurrent=2] [--max-queue=16]
+//                [--jobs=1] [--cache-entries=1024] [--deadline=0]
+//                [--max-body-bytes=1048576] [--events=FILE]
+//                [--flush-interval=0.5]
+//
+// Binds 127.0.0.1 (port 0 = ephemeral; the bound port is printed as
+// "listening on 127.0.0.1:PORT" so scripts can scrape it), serves POST /run
+// submissions (see src/serve/server.hpp for the endpoint contract), and
+// runs until SIGTERM or SIGINT. Shutdown drains: admitted work — queued and
+// running — completes and is answered, new submissions get 503, every sink
+// is flushed, then the process exits 0.
+//
+// --events mirrors every run's JSONL events into FILE (in addition to any
+// per-request streaming), flushed at least every --flush-interval seconds
+// so a tail -f consumer stays live.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "src/common/error.hpp"
+#include "src/common/parse.hpp"
+#include "src/obs/jsonl_sink.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/serve/server.hpp"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig); }
+
+void usage(std::ostream& os) {
+  os << "usage: capart_serve [--port=N] [--max-concurrent=N] "
+        "[--max-queue=N]\n"
+        "                    [--jobs=N] [--cache-entries=N] "
+        "[--deadline=SECONDS]\n"
+        "                    [--max-body-bytes=N] [--events=FILE]\n"
+        "                    [--flush-interval=SECONDS]\n";
+}
+
+bool flag_value(std::string_view arg, std::string_view name,
+                std::string_view& value) {
+  if (arg.size() <= name.size() + 1 || !arg.starts_with(name) ||
+      arg[name.size()] != '=') {
+    return false;
+  }
+  value = arg.substr(name.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace capart;
+
+  serve::ServerOptions options;
+  std::string events_path;
+  double flush_interval = 0.5;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      std::string_view value;
+      if (arg == "--help" || arg == "-h") {
+        usage(std::cout);
+        return 0;
+      } else if (flag_value(arg, "--port", value)) {
+        options.port = static_cast<std::uint16_t>(
+            parse_u32_flag(value, "--port", 65535));
+      } else if (flag_value(arg, "--max-concurrent", value)) {
+        options.max_concurrent = parse_u32_flag(value, "--max-concurrent");
+      } else if (flag_value(arg, "--max-queue", value)) {
+        options.max_queue = parse_u32_flag(value, "--max-queue");
+      } else if (flag_value(arg, "--jobs", value)) {
+        options.jobs_per_request = parse_u32_flag(value, "--jobs", 512);
+      } else if (flag_value(arg, "--cache-entries", value)) {
+        options.cache_entries = parse_u32_flag(value, "--cache-entries");
+      } else if (flag_value(arg, "--deadline", value)) {
+        options.default_deadline_seconds =
+            parse_f64_flag(value, "--deadline");
+      } else if (flag_value(arg, "--max-body-bytes", value)) {
+        options.http.max_body_bytes =
+            parse_u64_flag(value, "--max-body-bytes");
+      } else if (flag_value(arg, "--events", value)) {
+        events_path = std::string(value);
+      } else if (flag_value(arg, "--flush-interval", value)) {
+        flush_interval = parse_f64_flag(value, "--flush-interval");
+      } else {
+        std::cerr << "capart_serve: unknown argument '" << arg << "'\n";
+        usage(std::cerr);
+        return 2;
+      }
+    }
+  } catch (const Error& error) {
+    std::cerr << "capart_serve: " << error.what() << "\n";
+    return 2;
+  }
+
+  std::unique_ptr<obs::JsonlSink> events;
+  if (!events_path.empty()) {
+    obs::JsonlSinkOptions sink_options;
+    sink_options.flush_interval_seconds = flush_interval;
+    try {
+      events = std::make_unique<obs::JsonlSink>(events_path, sink_options);
+    } catch (const Error& error) {
+      std::cerr << "capart_serve: " << error.what() << "\n";
+      return 1;
+    }
+    options.event_sink = events.get();
+  }
+
+  obs::MetricsRegistry metrics;
+  serve::HttpServer server(options, &metrics);
+  try {
+    server.start();
+  } catch (const Error& error) {
+    std::cerr << "capart_serve: " << error.what() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  // Line-buffered and flushed immediately: scripts block on this line to
+  // learn the ephemeral port.
+  std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+
+  while (g_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  const int sig = g_signal.load();
+  std::cout << "received " << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+            << ", draining" << std::endl;
+
+  server.shutdown();     // completes queued + running work, answers it
+  obs::JsonlSink::flush_all();  // every sink's buffer reaches its stream
+  std::cout << "drained cleanly" << std::endl;
+  return 0;
+}
