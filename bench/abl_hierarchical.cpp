@@ -4,7 +4,7 @@
 // app's runtime applies the intra-application model-based scheme inside its
 // share. Compared against a flat static-equal partition of the same system.
 #include <iostream>
-#include <optional>
+#include <string>
 
 #include "bench_common.hpp"
 #include "src/report/table.hpp"
@@ -15,7 +15,7 @@ namespace {
 using namespace capart;
 
 sim::CoScheduleResult run_pair(const bench::BenchOptions& opt,
-                               std::optional<core::PolicyKind> policy,
+                               const std::string& policy,
                                core::OsAllocationMode os_mode) {
   sim::CoScheduleConfig cfg;
   cfg.apps = {
@@ -46,14 +46,13 @@ int main(int argc, char** argv) {
   const sim::BatchRunner runner(bench::resolved_jobs(opt));
   std::vector<std::function<sim::CoScheduleResult()>> tasks;
   tasks.emplace_back([&opt] {
-    return run_pair(opt, std::nullopt, core::OsAllocationMode::kStaticEqual);
+    return run_pair(opt, "none", core::OsAllocationMode::kStaticEqual);
   });
   tasks.emplace_back([&opt] {
-    return run_pair(opt, core::PolicyKind::kModelBased,
-                    core::OsAllocationMode::kStaticEqual);
+    return run_pair(opt, "model-based", core::OsAllocationMode::kStaticEqual);
   });
   tasks.emplace_back([&opt] {
-    return run_pair(opt, core::PolicyKind::kModelBased,
+    return run_pair(opt, "model-based",
                     core::OsAllocationMode::kMissProportional);
   });
   const auto results = runner.map(std::move(tasks));

@@ -10,6 +10,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/parse.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/obs/chrome_trace.hpp"
 #include "src/obs/jsonl_sink.hpp"
 #include "src/report/batch_summary.hpp"
@@ -35,6 +36,8 @@ BenchOptions parse_options(int argc, char** argv) try {
         eq == std::string_view::npos ? std::string_view{} : arg.substr(eq + 1);
     if (key == "--intervals") {
       opt.intervals = parse_u32_flag(value, "--intervals");
+    } else if (key == "--profile") {
+      opt.profiles = split_flag_list(value, "--profile");
     } else if (key == "--interval-instr") {
       opt.interval_instructions = parse_u64_flag(value, "--interval-instr");
     } else if (key == "--threads") {
@@ -67,8 +70,8 @@ BenchOptions parse_options(int argc, char** argv) try {
     } else if (key == "--clos-mapper") {
       if (!core::parse_clos_mapper(value, opt.clos_mapper)) {
         std::fprintf(stderr,
-                     "invalid value for --clos-mapper: want none, nearest or "
-                     "minmax\n");
+                     "invalid value for --clos-mapper: want none, nearest, "
+                     "minmax or lfoc\n");
         std::exit(2);
       }
     } else if (key == "--jobs") {
@@ -91,11 +94,14 @@ BenchOptions parse_options(int argc, char** argv) try {
       std::printf(
           "flags: --intervals=N --interval-instr=N --threads=N --seed=N "
           "--jobs=N\n"
-          "       --arm-retries=N --arm-deadline=SECONDS\n"
+          "       --profile=NAME[,..] --arm-retries=N --arm-deadline=SECONDS\n"
           "       --l2-repl=lru|plru|srrip --l2-index=scan|hash|auto\n"
           "       --l2-banks=N --l2-enforce=default|eviction-control|clos\n"
-          "       --clos-budget=N --clos-mapper=none|nearest|minmax\n"
+          "       --clos-budget=N --clos-mapper=none|nearest|minmax|lfoc\n"
           "       --events-out=PATH --trace-out=STEM --csv=STEM\n"
+          "  --profile=NAME[,..] restrict the bench to these workload "
+          "profiles\n"
+          "                  (default: the bench's own list)\n"
           "  --l2-repl=NAME  shared-L2 replacement policy (default lru)\n"
           "  --l2-index=NAME shared-L2 tag lookup (default auto; "
           "bit-identical\n"
@@ -160,21 +166,33 @@ sim::ExperimentConfig base_config(const BenchOptions& opt,
   return cfg;
 }
 
+std::string bench_arm_name(const core::Partitioner& p) {
+  if (p.name == "static-equal") return "static_equal";
+  if (p.name == "time-shared") return "time_shared";
+  return p.aliases.empty() ? p.name : p.aliases.front();
+}
+
 const std::vector<ArmEntry>& arm_registry() {
-  static const std::vector<ArmEntry> registry = {
-      {"shared", shared_arm},
-      {"private", private_arm},
-      {"static_equal", static_equal_arm},
-      {"model", model_arm},
-      {"cpi", cpi_arm},
-      {"throughput", throughput_arm},
-      {"time_shared", time_shared_arm},
-      {"umon", umon_arm},
-      {"fair", fair_arm},
-      {"coloring", coloring_arm},
-      {"flush", flush_arm},
-      {"linear_model", linear_model_arm},
-  };
+  static const std::vector<ArmEntry> registry = [] {
+    std::vector<ArmEntry> arms;
+    arms.push_back({"shared", shared_arm});
+    arms.push_back({"private", private_arm});
+    // One arm per registered partitioner — the partitioned organization
+    // running that policy. New registry entries appear here without any
+    // bench change.
+    for (const core::Partitioner* p : core::registry().describe()) {
+      arms.push_back({bench_arm_name(*p),
+                      [name = p->name](sim::ExperimentConfig cfg) {
+                        cfg.l2_mode = mem::L2Mode::kPartitionedShared;
+                        cfg.policy = name;
+                        return cfg;
+                      }});
+    }
+    arms.push_back({"coloring", coloring_arm});
+    arms.push_back({"flush", flush_arm});
+    arms.push_back({"linear_model", linear_model_arm});
+    return arms;
+  }();
   return registry;
 }
 
@@ -300,73 +318,70 @@ sim::BatchResult run_spec(const sim::ExperimentSpec& spec,
 
 sim::ExperimentConfig shared_arm(sim::ExperimentConfig cfg) {
   cfg.l2_mode = mem::L2Mode::kSharedUnpartitioned;
-  cfg.policy.reset();
+  cfg.policy = std::string(core::kNoPolicyName);
   return cfg;
 }
 
 sim::ExperimentConfig private_arm(sim::ExperimentConfig cfg) {
   cfg.l2_mode = mem::L2Mode::kPrivatePerThread;
-  cfg.policy.reset();
+  cfg.policy = std::string(core::kNoPolicyName);
   return cfg;
 }
 
 sim::ExperimentConfig static_equal_arm(sim::ExperimentConfig cfg) {
-  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
-  cfg.policy = core::PolicyKind::kStaticEqual;
-  return cfg;
+  return make_arm("static_equal", std::move(cfg));
 }
 
 sim::ExperimentConfig model_arm(sim::ExperimentConfig cfg) {
-  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
-  cfg.policy = core::PolicyKind::kModelBased;
-  return cfg;
+  return make_arm("model", std::move(cfg));
 }
 
 sim::ExperimentConfig cpi_arm(sim::ExperimentConfig cfg) {
-  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
-  cfg.policy = core::PolicyKind::kCpiProportional;
-  return cfg;
+  return make_arm("cpi", std::move(cfg));
 }
 
 sim::ExperimentConfig throughput_arm(sim::ExperimentConfig cfg) {
-  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
-  cfg.policy = core::PolicyKind::kThroughputOriented;
-  return cfg;
+  return make_arm("throughput", std::move(cfg));
 }
 
 sim::ExperimentConfig time_shared_arm(sim::ExperimentConfig cfg) {
-  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
-  cfg.policy = core::PolicyKind::kTimeShared;
-  return cfg;
+  return make_arm("time_shared", std::move(cfg));
 }
 
 sim::ExperimentConfig umon_arm(sim::ExperimentConfig cfg) {
-  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
-  cfg.policy = core::PolicyKind::kUmonCriticalPath;
-  return cfg;
+  return make_arm("umon", std::move(cfg));
 }
 
 sim::ExperimentConfig fair_arm(sim::ExperimentConfig cfg) {
-  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
-  cfg.policy = core::PolicyKind::kFairSlowdown;
-  return cfg;
+  return make_arm("fair", std::move(cfg));
+}
+
+sim::ExperimentConfig ucp_arm(sim::ExperimentConfig cfg) {
+  return make_arm("ucp", std::move(cfg));
+}
+
+sim::ExperimentConfig lfoc_arm(sim::ExperimentConfig cfg) {
+  return make_arm("lfoc", std::move(cfg));
+}
+
+sim::ExperimentConfig reuse_arm(sim::ExperimentConfig cfg) {
+  return make_arm("reuse", std::move(cfg));
 }
 
 sim::ExperimentConfig coloring_arm(sim::ExperimentConfig cfg) {
   cfg.l2_mode = mem::L2Mode::kSetPartitionedShared;
-  cfg.policy = core::PolicyKind::kModelBased;
+  cfg.policy = "model-based";
   return cfg;
 }
 
 sim::ExperimentConfig flush_arm(sim::ExperimentConfig cfg) {
   cfg.l2_mode = mem::L2Mode::kFlushReconfigureShared;
-  cfg.policy = core::PolicyKind::kModelBased;
+  cfg.policy = "model-based";
   return cfg;
 }
 
 sim::ExperimentConfig linear_model_arm(sim::ExperimentConfig cfg) {
-  cfg.l2_mode = mem::L2Mode::kPartitionedShared;
-  cfg.policy = core::PolicyKind::kModelBased;
+  cfg = make_arm("model", std::move(cfg));
   cfg.policy_options.model_kind = core::ModelKind::kPiecewiseLinear;
   return cfg;
 }

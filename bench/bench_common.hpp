@@ -4,6 +4,8 @@
 //   --interval-instr=N      aggregate instructions per interval
 //                           (default 60'000 x threads)
 //   --threads=N             cores/threads (default 4; fig22 uses 8)
+//   --profile=NAME[,..]     restrict the bench to these workload profiles
+//                           (default: the bench's own list)
 //   --seed=N                workload seed (default 42)
 //   --l2-index=NAME         shared-L2 tag lookup: scan hash auto (default
 //                           auto; bit-identical results, different speed)
@@ -14,7 +16,7 @@
 //                           threads > ways)
 //   --clos-budget=N         CLOS classes under --l2-enforce=clos (default 8)
 //   --clos-mapper=NAME      thread->CLOS clustering: none nearest minmax
-//                           (default nearest)
+//                           lfoc (default nearest)
 //   --jobs=N                concurrent experiments (default: all cores)
 //   --arm-retries=N         re-run a failed arm up to N times (default 0)
 //   --arm-deadline=SEC      per-arm wall-clock budget; expired arms stop at
@@ -37,11 +39,13 @@
 // any --jobs value.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/core/clos_mapper.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/mem/block_index.hpp"
 #include "src/mem/l2_organization.hpp"
 #include "src/mem/replacement.hpp"
@@ -54,6 +58,9 @@ struct BenchOptions {
   std::uint32_t intervals = 40;
   Instructions interval_instructions = 0;  // 0 -> 60'000 x threads
   ThreadId threads = 4;
+  /// Workload subset (--profile=NAME[,..]); empty = the bench's own default
+  /// profile list. Lets CI smoke a sweep on one profile.
+  std::vector<std::string> profiles;
   std::uint64_t seed = 42;
   unsigned jobs = 0;  // 0 -> sim::default_jobs()
   /// Fault-isolation policy of the batch (--arm-retries / --arm-deadline):
@@ -101,14 +108,23 @@ sim::ExperimentConfig base_config(const BenchOptions& opt,
 /// An arm maps a base configuration to one point of the design space
 /// (cache organization + policy); arms are registered by name so specs can
 /// compose them declaratively.
-using ArmTransform = sim::ExperimentConfig (*)(sim::ExperimentConfig);
+using ArmTransform =
+    std::function<sim::ExperimentConfig(sim::ExperimentConfig)>;
 
 struct ArmEntry {
-  std::string_view name;
+  std::string name;
   ArmTransform transform;
 };
 
-/// Every registered arm, in registration order.
+/// Bench spelling of a registry partitioner: the historical short arm names
+/// scripts and CI file names depend on — the first alias when one exists,
+/// with the two legacy underscore spellings pinned.
+std::string bench_arm_name(const core::Partitioner& p);
+
+/// Every registered arm: the cache-organization arms plus one generated arm
+/// per partitioner in core::registry() (under the short bench spellings —
+/// static_equal, model, cpi, ... — so scripts and CI file names stay
+/// stable). New registry policies appear here automatically.
 const std::vector<ArmEntry>& arm_registry();
 
 /// Looks up a registered arm; aborts listing the known names on a miss.
@@ -153,6 +169,9 @@ sim::ExperimentConfig throughput_arm(sim::ExperimentConfig cfg);   // throughput
 sim::ExperimentConfig time_shared_arm(sim::ExperimentConfig cfg);  // time_shared
 sim::ExperimentConfig umon_arm(sim::ExperimentConfig cfg);         // umon
 sim::ExperimentConfig fair_arm(sim::ExperimentConfig cfg);         // fair
+sim::ExperimentConfig ucp_arm(sim::ExperimentConfig cfg);          // ucp
+sim::ExperimentConfig lfoc_arm(sim::ExperimentConfig cfg);         // lfoc
+sim::ExperimentConfig reuse_arm(sim::ExperimentConfig cfg);        // reuse
 sim::ExperimentConfig coloring_arm(sim::ExperimentConfig cfg);     // coloring
 sim::ExperimentConfig flush_arm(sim::ExperimentConfig cfg);        // flush
 sim::ExperimentConfig linear_model_arm(sim::ExperimentConfig cfg);  // linear_model

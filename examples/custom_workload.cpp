@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/core/runtime_system.hpp"
 #include "src/report/table.hpp"
 #include "src/sim/cmp_system.hpp"
@@ -69,8 +70,7 @@ int main() {
   driver_cfg.interval_instructions = 240'000;
   sim::Driver driver(system, sim::make_uniform_program(4, 10, 1'800'000),
                      std::move(generators), driver_cfg);
-  core::RuntimeSystem runtime(system,
-                              core::make_policy(core::PolicyKind::kModelBased),
+  core::RuntimeSystem runtime(system, core::registry().make("model-based"),
                               /*overhead_cycles=*/800);
   driver.set_interval_callback(runtime.callback());
 

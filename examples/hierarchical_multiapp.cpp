@@ -8,6 +8,7 @@
 
 #include "src/common/rng.hpp"
 #include "src/core/hierarchical.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/report/table.hpp"
 #include "src/sim/cmp_system.hpp"
 #include "src/sim/driver.hpp"
@@ -54,8 +55,8 @@ int main() {
   std::vector<core::AppSpec> apps = {core::AppSpec{.threads = {0, 1}},
                                      core::AppSpec{.threads = {2, 3}}};
   std::vector<std::unique_ptr<core::PartitionPolicy>> policies;
-  policies.push_back(core::make_policy(core::PolicyKind::kModelBased));
-  policies.push_back(core::make_policy(core::PolicyKind::kModelBased));
+  policies.push_back(core::registry().make("model-based"));
+  policies.push_back(core::registry().make("model-based"));
   core::HierarchicalRuntime runtime(
       system, std::move(apps), std::move(policies),
       core::OsAllocationMode::kMissProportional, /*os_period_intervals=*/4,

@@ -16,7 +16,7 @@ int main() {
 
   sim::ExperimentConfig cfg;
   cfg.profile = "swim";
-  cfg.policy = core::PolicyKind::kModelBased;
+  cfg.policy = "model-based";
   cfg.num_intervals = 50;
   cfg.interval_instructions = 240'000;
 

@@ -7,7 +7,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <string_view>
 
@@ -37,26 +36,32 @@ int main(int argc, char** argv) {
   struct Arm {
     const char* label;
     mem::L2Mode mode;
-    std::optional<core::PolicyKind> policy;
+    const char* policy;  // core::registry() name; "none" = pure monitor
   };
   const Arm arms[] = {
-      {"private per-thread L2", mem::L2Mode::kPrivatePerThread, std::nullopt},
+      {"private per-thread L2", mem::L2Mode::kPrivatePerThread, "none"},
       {"shared, unpartitioned (LRU)", mem::L2Mode::kSharedUnpartitioned,
-       std::nullopt},
+       "none"},
       {"static equal partition", mem::L2Mode::kPartitionedShared,
-       core::PolicyKind::kStaticEqual},
+       "static-equal"},
       {"time-shared (fairness)", mem::L2Mode::kPartitionedShared,
-       core::PolicyKind::kTimeShared},
+       "time-shared"},
       {"throughput-oriented", mem::L2Mode::kPartitionedShared,
-       core::PolicyKind::kThroughputOriented},
+       "throughput-oriented"},
       {"CPI-proportional (paper VI-A)", mem::L2Mode::kPartitionedShared,
-       core::PolicyKind::kCpiProportional},
+       "cpi-proportional"},
       {"model-based (paper VI-B)", mem::L2Mode::kPartitionedShared,
-       core::PolicyKind::kModelBased},
+       "model-based"},
       {"umon-measured curves (extension)", mem::L2Mode::kPartitionedShared,
-       core::PolicyKind::kUmonCriticalPath},
+       "umon-critical-path"},
+      {"UCP lookahead (competitor)", mem::L2Mode::kPartitionedShared,
+       "ucp-lookahead"},
+      {"LFOC-style classing (competitor)", mem::L2Mode::kPartitionedShared,
+       "lfoc-classing"},
+      {"reuse-aware (competitor)", mem::L2Mode::kPartitionedShared,
+       "reuse-aware"},
       {"page-coloring + model (extension)", mem::L2Mode::kSetPartitionedShared,
-       core::PolicyKind::kModelBased},
+       "model-based"},
   };
 
   sim::ExperimentSpec spec;

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   sim::ExperimentConfig config;
   config.profile = argc > 1 ? argv[1] : "cg";
   config.l2_mode = mem::L2Mode::kPartitionedShared;
-  config.policy = core::PolicyKind::kModelBased;  // the paper's scheme
+  config.policy = "model-based";  // the paper's scheme
   config.num_intervals = 30;
   config.interval_instructions = 240'000;
 
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   // 4. Compare against the unpartitioned shared cache in one more line.
   sim::ExperimentConfig baseline = config;
   baseline.l2_mode = mem::L2Mode::kSharedUnpartitioned;
-  baseline.policy.reset();
+  baseline.policy = "none";
   const sim::ExperimentResult shared = sim::run_experiment(baseline);
   std::cout << "improvement over the shared unpartitioned cache: "
             << report::fmt_pct(sim::improvement(result, shared), 1) << "\n";

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/core/runtime_system.hpp"
 #include "src/sim/cmp_system.hpp"
 #include "src/sim/driver.hpp"
@@ -32,8 +33,8 @@ int main() {
     sim::Driver driver(system, sim::make_uniform_program(kThreads, 8,
                                                          per_thread),
                        std::move(sources), cfg);
-    core::RuntimeSystem runtime(
-        system, core::make_policy(core::PolicyKind::kModelBased), 800);
+    core::RuntimeSystem runtime(system, core::registry().make("model-based"),
+                                800);
     driver.set_interval_callback(runtime.callback());
     return driver.run();
   };

@@ -1,0 +1,45 @@
+// Cache-behaviour classes in the LFOC style (Garcia-Garcia et al.): a
+// lightweight label per thread derived from its miss rate and the shape of
+// its miss curve. The lfoc-classing partitioner assigns labels each interval
+// and the lfoc ClosMapper consumes them to group threads of the same class
+// onto shared CLOS masks (streaming threads confined together, light threads
+// packed together, cache-sensitive threads spread over the remaining budget).
+//
+// The enum lives in its own header so clos_mapper.hpp can consume classes
+// without depending on any concrete policy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace capart::core {
+
+enum class CacheClass : std::uint8_t {
+  kLight,           ///< low MPKI: barely touches L2, any allocation works
+  kStreaming,       ///< high miss rate, flat miss curve: caching cannot help
+  kCacheSensitive,  ///< miss curve falls with ways: allocation matters
+};
+
+inline std::string_view to_string(CacheClass c) noexcept {
+  switch (c) {
+    case CacheClass::kLight: return "light";
+    case CacheClass::kStreaming: return "streaming";
+    case CacheClass::kCacheSensitive: return "cache-sensitive";
+  }
+  return "unknown";
+}
+
+/// Implemented by partition policies that publish per-thread cache classes
+/// (the lfoc-classing policy). The runtime discovers it by dynamic_cast and
+/// forwards the classes to ClosMappers that want them.
+class CacheClassSource {
+ public:
+  virtual ~CacheClassSource() = default;
+
+  /// Classes for every thread as of the last repartition(); empty before the
+  /// first interval completes.
+  virtual std::span<const CacheClass> cache_classes() const noexcept = 0;
+};
+
+}  // namespace capart::core

@@ -12,6 +12,7 @@ std::string_view to_string(ClosMapperKind kind) noexcept {
     case ClosMapperKind::kNone: return "none";
     case ClosMapperKind::kNearest: return "nearest";
     case ClosMapperKind::kMinMax: return "minmax";
+    case ClosMapperKind::kLfoc: return "lfoc";
   }
   return "unknown";
 }
@@ -23,6 +24,8 @@ bool parse_clos_mapper(std::string_view name, ClosMapperKind& out) noexcept {
     out = ClosMapperKind::kNearest;
   } else if (name == "minmax") {
     out = ClosMapperKind::kMinMax;
+  } else if (name == "lfoc") {
+    out = ClosMapperKind::kLfoc;
   } else {
     return false;
   }
@@ -106,6 +109,76 @@ class MinMaxMapper final : public ClosMapper {
   }
 };
 
+class LfocMapper final : public ClosMapper {
+ public:
+  ClosMapperKind kind() const noexcept override {
+    return ClosMapperKind::kLfoc;
+  }
+  bool wants_classes() const noexcept override { return true; }
+
+  // Without classes (policy publishes none) the mapper can only see demand,
+  // so it behaves like `nearest`.
+  std::vector<std::uint32_t> cluster(std::span<const std::uint32_t> shares,
+                                     std::uint32_t budget) const override {
+    return NearestMapper{}.cluster(shares, budget);
+  }
+
+  std::vector<std::uint32_t> cluster(const ClusterContext& ctx,
+                                     std::uint32_t budget) const override {
+    CAPART_CHECK(budget >= 1, "clos budget must be >= 1");
+    if (ctx.classes.size() != ctx.shares.size()) {
+      return cluster(ctx.shares, budget);
+    }
+    // LFOC's partition groups: streaming threads share one pen (they miss
+    // regardless, so mixing them costs nothing), light threads share
+    // another, and the cache-sensitive threads get every remaining CLOS,
+    // nearest-grouped by demand. Pens only pay off while the sensitive
+    // threads still have a cluster to themselves.
+    bool any_light = false;
+    bool any_streaming = false;
+    std::vector<std::uint32_t> sensitive;
+    for (std::size_t t = 0; t < ctx.classes.size(); ++t) {
+      switch (ctx.classes[t]) {
+        case CacheClass::kLight: any_light = true; break;
+        case CacheClass::kStreaming: any_streaming = true; break;
+        case CacheClass::kCacheSensitive:
+          sensitive.push_back(static_cast<std::uint32_t>(t));
+          break;
+      }
+    }
+    const std::uint32_t pens = (any_light ? 1u : 0u) +
+                               (any_streaming ? 1u : 0u);
+    if (pens == 0 || budget <= pens || sensitive.empty()) {
+      return cluster(ctx.shares, budget);
+    }
+    const std::uint32_t sensitive_budget = budget - pens;
+    const std::uint32_t light_pen = sensitive_budget;  // first pen id
+    const std::uint32_t streaming_pen = any_light ? sensitive_budget + 1
+                                                  : sensitive_budget;
+
+    std::vector<std::uint32_t> clos_of(ctx.shares.size(), 0);
+    for (std::size_t t = 0; t < ctx.classes.size(); ++t) {
+      if (ctx.classes[t] == CacheClass::kLight) clos_of[t] = light_pen;
+      if (ctx.classes[t] == CacheClass::kStreaming) {
+        clos_of[t] = streaming_pen;
+      }
+    }
+    // Nearest-style contiguous grouping of the sensitive threads over their
+    // clusters, heaviest demand first.
+    std::stable_sort(sensitive.begin(), sensitive.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return ctx.shares[a] > ctx.shares[b];
+                     });
+    const std::size_t n = sensitive.size();
+    for (std::uint32_t g = 0; g < sensitive_budget; ++g) {
+      const std::size_t begin = n * g / sensitive_budget;
+      const std::size_t end = n * (g + 1) / sensitive_budget;
+      for (std::size_t i = begin; i < end; ++i) clos_of[sensitive[i]] = g;
+    }
+    return clos_of;
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<ClosMapper> make_clos_mapper(ClosMapperKind kind) {
@@ -113,6 +186,7 @@ std::unique_ptr<ClosMapper> make_clos_mapper(ClosMapperKind kind) {
     case ClosMapperKind::kNone: return std::make_unique<NoneMapper>();
     case ClosMapperKind::kNearest: return std::make_unique<NearestMapper>();
     case ClosMapperKind::kMinMax: return std::make_unique<MinMaxMapper>();
+    case ClosMapperKind::kLfoc: return std::make_unique<LfocMapper>();
   }
   CAPART_CHECK(false, "unreachable clos mapper kind");
 }

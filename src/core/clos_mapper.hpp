@@ -9,7 +9,9 @@
 // mapper kinds follow pmctrack's thread-pairing policies (None / Nearest /
 // MinMax): `none` ignores demand (static round-robin), `nearest` groups
 // threads of similar demand, `minmax` balances cluster demand by pairing
-// heavy with light threads.
+// heavy with light threads. `lfoc` additionally consumes the cache classes
+// published by a classifying policy (CacheClassSource) and segregates
+// streaming and light threads into their own clusters.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "src/common/types.hpp"
+#include "src/core/cache_class.hpp"
 
 namespace capart::core {
 
@@ -26,11 +29,12 @@ enum class ClosMapperKind : std::uint8_t {
   kNone,     ///< static t % budget, demand-oblivious
   kNearest,  ///< sort by demand, contiguous groups of similar threads
   kMinMax,   ///< greedy balance: each thread joins the lightest cluster
+  kLfoc,     ///< class-segregated: streaming/light penned, sensitive spread
 };
 
 std::string_view to_string(ClosMapperKind kind) noexcept;
 
-/// Parses "none" / "nearest" / "minmax"; returns false on anything else.
+/// Parses "none" / "nearest" / "minmax" / "lfoc"; returns false otherwise.
 bool parse_clos_mapper(std::string_view name, ClosMapperKind& out) noexcept;
 
 /// All mapper kinds, in a stable order (for sweeps and tests).
@@ -38,6 +42,15 @@ inline constexpr ClosMapperKind kAllClosMapperKinds[] = {
     ClosMapperKind::kNone,
     ClosMapperKind::kNearest,
     ClosMapperKind::kMinMax,
+    ClosMapperKind::kLfoc,
+};
+
+/// Everything a mapper may cluster on: the policy's way targets, always, and
+/// the per-thread cache classes when the running policy publishes them
+/// (empty otherwise).
+struct ClusterContext {
+  std::span<const std::uint32_t> shares;
+  std::span<const CacheClass> classes = {};
 };
 
 /// Clusters threads onto the CLOS budget given their desired way shares.
@@ -53,6 +66,15 @@ class ClosMapper {
   /// ties break toward lower thread/cluster ids.
   virtual std::vector<std::uint32_t> cluster(
       std::span<const std::uint32_t> shares, std::uint32_t budget) const = 0;
+
+  /// Class-aware entry point; the default ignores the classes so existing
+  /// mappers stay bit-identical. The runtime only bothers collecting classes
+  /// when wants_classes() says the mapper would use them.
+  virtual std::vector<std::uint32_t> cluster(const ClusterContext& ctx,
+                                             std::uint32_t budget) const {
+    return cluster(ctx.shares, budget);
+  }
+  virtual bool wants_classes() const noexcept { return false; }
 };
 
 std::unique_ptr<ClosMapper> make_clos_mapper(ClosMapperKind kind);

@@ -1,6 +1,7 @@
 #include "src/core/cpi_proportional_policy.hpp"
 
 #include "src/common/check.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/math/apportion.hpp"
 
 namespace capart::core {
@@ -14,5 +15,18 @@ std::vector<std::uint32_t> CpiProportionalPolicy::repartition(
   for (const auto& t : record.threads) cpis.push_back(t.cpi());
   return math::apportion(cpis, ctx.total_ways, /*minimum=*/1);
 }
+
+CAPART_REGISTER_PARTITIONER(cpi_proportional, {
+    .name = "cpi-proportional",
+    .aliases = {"cpi"},
+    .summary = "partition_t = CPI_t / sum(CPI) x TotalWays, recomputed every "
+               "interval (paper SVI-A)",
+    .options = {},
+    .needs_utility_monitor = false,
+    .dynamic = true,
+    .factory = [](const PolicyOptions&) -> std::unique_ptr<PartitionPolicy> {
+      return std::make_unique<CpiProportionalPolicy>();
+    },
+})
 
 }  // namespace capart::core

@@ -1,10 +1,25 @@
 #include "src/core/equal_policy.hpp"
 
+#include "src/core/partitioner_registry.hpp"
+
 namespace capart::core {
 
 std::vector<std::uint32_t> EqualPartitionPolicy::repartition(
     const sim::IntervalRecord& /*record*/, const PartitionContext& ctx) {
   return equal_split(ctx.total_ways, ctx.num_threads);
 }
+
+CAPART_REGISTER_PARTITIONER(static_equal, {
+    .name = "static-equal",
+    .aliases = {"static"},
+    .summary = "fixed equal split for the whole run (the paper's statically "
+               "partitioned / private-cache allocation)",
+    .options = {},
+    .needs_utility_monitor = false,
+    .dynamic = false,
+    .factory = [](const PolicyOptions&) -> std::unique_ptr<PartitionPolicy> {
+      return std::make_unique<EqualPartitionPolicy>();
+    },
+})
 
 }  // namespace capart::core

@@ -5,6 +5,7 @@
 
 #include "src/common/check.hpp"
 #include "src/core/hill_climb.hpp"
+#include "src/core/partitioner_registry.hpp"
 
 namespace capart::core {
 
@@ -73,5 +74,22 @@ void FairSlowdownPolicy::reset() {
   models_.reset();
   intervals_seen_ = 0;
 }
+
+CAPART_REGISTER_PARTITIONER(fair_slowdown, {
+    .name = "fair-slowdown",
+    .aliases = {"fair"},
+    .summary = "equalizes modeled slowdown relative to each thread's equal "
+               "(private-equivalent) share",
+    .options = {{"model_kind", "CPI model family: cubic-spline or linear"},
+                {"ewma_alpha", "EWMA weight for repeated way observations"},
+                {"max_moves_per_interval",
+                 "cap on ways moved per repartition (0 = unbounded)"}},
+    .needs_utility_monitor = false,
+    .dynamic = true,
+    .factory = [](const PolicyOptions& options)
+        -> std::unique_ptr<PartitionPolicy> {
+      return std::make_unique<FairSlowdownPolicy>(options);
+    },
+})
 
 }  // namespace capart::core

@@ -1,0 +1,109 @@
+#include "src/core/lfoc_policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.hpp"
+#include "src/core/partitioner_registry.hpp"
+#include "src/math/apportion.hpp"
+#include "src/mem/utility_monitor.hpp"
+
+namespace capart::core {
+
+LfocPolicy::LfocPolicy(const PolicyOptions& /*options*/) {}
+
+std::vector<std::uint32_t> LfocPolicy::repartition(
+    const sim::IntervalRecord& record, const PartitionContext& ctx) {
+  CAPART_CHECK(record.threads.size() == ctx.num_threads,
+               "lfoc: record/context thread mismatch");
+  CAPART_CHECK(ctx.utility_monitor != nullptr,
+               "lfoc policy requires a utility monitor");
+  const mem::UtilityMonitor& umon = *ctx.utility_monitor;
+  const ThreadId n = ctx.num_threads;
+  const std::uint32_t deep =
+      std::min(ctx.total_ways, umon.monitored_ways());
+
+  // Classify: light threads barely touch L2 (MPKI below threshold);
+  // among the rest, a flat miss curve (keeping all monitored ways removes
+  // less than kFlatCurveUtility of the one-way misses) marks streaming —
+  // misses happen regardless of allocation — and everything else is
+  // cache-sensitive, weighted by how many misses the full curve removes.
+  classes_.assign(n, CacheClass::kLight);
+  std::vector<double> benefit(n, 0.0);
+  for (ThreadId t = 0; t < n; ++t) {
+    const auto& tr = record.threads[t];
+    const double mpki =
+        tr.instructions == 0
+            ? 0.0
+            : 1000.0 * static_cast<double>(tr.l2_misses) /
+                  static_cast<double>(tr.instructions);
+    if (mpki < kLightMpki) continue;  // stays light
+    const double at_one = umon.predicted_misses(t, 1);
+    const double at_deep = umon.predicted_misses(t, deep);
+    const double removed = std::max(0.0, at_one - at_deep);
+    const double utility = at_one > 0.0 ? removed / at_one : 0.0;
+    if (utility < kFlatCurveUtility) {
+      classes_[t] = CacheClass::kStreaming;
+    } else {
+      classes_[t] = CacheClass::kCacheSensitive;
+      benefit[t] = removed;
+    }
+  }
+
+  // Allocate: light threads hold the one-way floor, streaming threads get a
+  // two-way pen (enough not to thrash their own reuse, small enough not to
+  // pollute), and the cache-sensitive threads divide everything else in
+  // proportion to the misses their curves say caching removes.
+  std::vector<ThreadId> sensitive;
+  std::uint32_t reserved = 0;
+  for (ThreadId t = 0; t < n; ++t) {
+    switch (classes_[t]) {
+      case CacheClass::kLight: reserved += 1; break;
+      case CacheClass::kStreaming: reserved += 2; break;
+      case CacheClass::kCacheSensitive: sensitive.push_back(t); break;
+    }
+  }
+  if (sensitive.empty() ||
+      ctx.total_ways < reserved + static_cast<std::uint32_t>(
+                                      sensitive.size())) {
+    // Nothing is sensitive (or the cache is too small to honour the pens):
+    // class labels still stand for the mapper, allocation falls back flat.
+    return equal_split(ctx.total_ways, n);
+  }
+
+  std::vector<double> weights;
+  weights.reserve(sensitive.size());
+  for (const ThreadId t : sensitive) weights.push_back(benefit[t]);
+  const std::vector<std::uint32_t> shares = math::apportion(
+      weights, ctx.total_ways - reserved, /*minimum=*/1);
+
+  std::vector<std::uint32_t> alloc(n, 1);
+  for (ThreadId t = 0; t < n; ++t) {
+    if (classes_[t] == CacheClass::kStreaming) alloc[t] = 2;
+  }
+  for (std::size_t i = 0; i < sensitive.size(); ++i) {
+    alloc[sensitive[i]] = shares[i];
+  }
+
+  CAPART_CHECK(std::accumulate(alloc.begin(), alloc.end(), 0u) ==
+                   ctx.total_ways,
+               "lfoc: allocation does not sum to total ways");
+  return alloc;
+}
+
+CAPART_REGISTER_PARTITIONER(lfoc_classing, {
+    .name = "lfoc-classing",
+    .aliases = {"lfoc"},
+    .summary = "LFOC-style light/streaming/cache-sensitive classing from "
+               "miss-curve shape; classes drive allocation and the lfoc "
+               "CLOS mapper",
+    .options = {},
+    .needs_utility_monitor = true,
+    .dynamic = true,
+    .factory = [](const PolicyOptions& options)
+        -> std::unique_ptr<PartitionPolicy> {
+      return std::make_unique<LfocPolicy>(options);
+    },
+})
+
+}  // namespace capart::core

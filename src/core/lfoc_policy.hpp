@@ -1,0 +1,40 @@
+// LFOC-style partitioner: classify first, allocate second. Following the
+// LFOC proposal (Garcia-Garcia et al.), threads are labelled light /
+// streaming / cache-sensitive from their miss rate and the shape of their
+// shadow-tag miss curve; labels then drive both the way allocation (fixed
+// small partitions for light and streaming threads, the rest divided among
+// the sensitive ones by curve benefit) and — via CacheClassSource — the lfoc
+// ClosMapper's thread clustering.
+#pragma once
+
+#include <vector>
+
+#include "src/core/cache_class.hpp"
+#include "src/core/policy.hpp"
+
+namespace capart::core {
+
+class LfocPolicy final : public PartitionPolicy, public CacheClassSource {
+ public:
+  explicit LfocPolicy(const PolicyOptions& options);
+
+  std::string_view name() const noexcept override { return "lfoc-classing"; }
+
+  std::vector<std::uint32_t> repartition(
+      const sim::IntervalRecord& record, const PartitionContext& ctx) override;
+
+  std::span<const CacheClass> cache_classes() const noexcept override {
+    return classes_;
+  }
+
+  void reset() override { classes_.clear(); }
+
+  // Classification thresholds (exposed for the unit tests).
+  static constexpr double kLightMpki = 0.5;
+  static constexpr double kFlatCurveUtility = 0.2;
+
+ private:
+  std::vector<CacheClass> classes_;
+};
+
+}  // namespace capart::core

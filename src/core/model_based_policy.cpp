@@ -5,6 +5,7 @@
 
 #include "src/common/check.hpp"
 #include "src/core/hill_climb.hpp"
+#include "src/core/partitioner_registry.hpp"
 
 namespace capart::core {
 
@@ -87,5 +88,23 @@ void ModelBasedPolicy::reset() {
   models_.reset();
   intervals_seen_ = 0;
 }
+
+CAPART_REGISTER_PARTITIONER(model_based, {
+    .name = "model-based",
+    .aliases = {"model"},
+    .summary = "the paper's scheme: per-thread CPI-vs-ways models drive a "
+               "take-from-fastest / give-to-slowest reassignment loop "
+               "(paper SVI-B, Fig 13)",
+    .options = {{"model_kind", "cpi model family: cubic-spline or linear"},
+                {"ewma_alpha", "EWMA weight for repeated way observations"},
+                {"max_moves_per_interval",
+                 "cap on ways moved per repartition (0 = unbounded)"}},
+    .needs_utility_monitor = false,
+    .dynamic = true,
+    .factory = [](const PolicyOptions& options)
+        -> std::unique_ptr<PartitionPolicy> {
+      return std::make_unique<ModelBasedPolicy>(options);
+    },
+})
 
 }  // namespace capart::core

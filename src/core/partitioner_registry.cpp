@@ -1,0 +1,102 @@
+#include "src/core/partitioner_registry.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+#include "src/common/error.hpp"
+
+namespace capart::core {
+
+bool PartitionerRegistry::add(Partitioner entry) {
+  CAPART_CHECK(!entry.name.empty() && !is_no_policy(entry.name),
+               "partitioner registration needs a real name");
+  CAPART_CHECK(entry.factory != nullptr,
+               "partitioner registration needs a factory");
+  const auto taken = [&](std::string_view name) {
+    return find(name) != nullptr || is_no_policy(name);
+  };
+  CAPART_CHECK(!taken(entry.name), "duplicate partitioner name");
+  for (const std::string& alias : entry.aliases) {
+    CAPART_CHECK(!alias.empty() && !taken(alias) && alias != entry.name,
+                 "duplicate partitioner alias");
+  }
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+const Partitioner* PartitionerRegistry::find(
+    std::string_view name_or_alias) const noexcept {
+  for (const Partitioner& entry : entries_) {
+    if (entry.name == name_or_alias) return &entry;
+    for (const std::string& alias : entry.aliases) {
+      if (alias == name_or_alias) return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::string_view PartitionerRegistry::canonical(
+    std::string_view name_or_alias) const noexcept {
+  if (is_no_policy(name_or_alias)) return kNoPolicyName;
+  const Partitioner* entry = find(name_or_alias);
+  return entry != nullptr ? std::string_view(entry->name)
+                          : std::string_view{};
+}
+
+const Partitioner& PartitionerRegistry::require(
+    std::string_view name_or_alias, std::string_view field) const {
+  const Partitioner* entry = find(name_or_alias);
+  if (entry == nullptr) {
+    throw ConfigError(std::string(field),
+                      std::string(field) + ": unknown policy '" +
+                          std::string(name_or_alias) + "' (expected " +
+                          known_names(/*include_none=*/true) + ")");
+  }
+  return *entry;
+}
+
+std::unique_ptr<PartitionPolicy> PartitionerRegistry::make(
+    std::string_view name_or_alias, const PolicyOptions& options,
+    std::string_view field) const {
+  const Partitioner& entry = require(name_or_alias, field);
+  options.validate();
+  std::unique_ptr<PartitionPolicy> policy = entry.factory(options);
+  CAPART_CHECK(policy != nullptr, "partitioner factory returned null");
+  return policy;
+}
+
+std::vector<std::string> PartitionerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Partitioner& entry : entries_) out.push_back(entry.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<const Partitioner*> PartitionerRegistry::describe() const {
+  std::vector<const Partitioner*> out;
+  out.reserve(entries_.size());
+  for (const Partitioner& entry : entries_) out.push_back(&entry);
+  std::sort(out.begin(), out.end(),
+            [](const Partitioner* a, const Partitioner* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+std::string PartitionerRegistry::known_names(bool include_none) const {
+  std::string out;
+  if (include_none) out = std::string(kNoPolicyName);
+  for (const std::string& name : names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+PartitionerRegistry& registry() {
+  static PartitionerRegistry instance;
+  return instance;
+}
+
+}  // namespace capart::core

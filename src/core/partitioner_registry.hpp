@@ -1,0 +1,110 @@
+// PartitionerRegistry: the single source of truth for partitioning-policy
+// names. Every concrete policy registers a factory, its accepted spellings
+// and its option schema from its own translation unit (the Multi2Sim
+// string-keyed policy-map shape); the CLI `--policy` flag, the serve spec
+// codec, the obs manifest spelling and the bench arm registry all resolve
+// names here instead of each keeping a parallel switch statement.
+//
+// Registration happens via static initializers, so the library must be
+// linked whole (src/CMakeLists.txt builds it as an OBJECT library precisely
+// so no policy translation unit can be dropped by the archiver).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/policy.hpp"
+
+namespace capart::core {
+
+/// One PolicyOptions field a partitioner actually reads, for describe().
+struct PartitionerOption {
+  std::string_view key;  ///< the PolicyOptions field / spec JSON key
+  std::string_view doc;
+};
+
+struct Partitioner {
+  /// Canonical name — the spelling the serve codec and the obs manifest
+  /// emit, e.g. "model-based".
+  std::string name;
+  /// Accepted alternative spellings (the historical short CLI names).
+  std::vector<std::string> aliases;
+  /// One-line description for `--list-policies` and the README table.
+  std::string summary;
+  /// The PolicyOptions fields this partitioner consumes.
+  std::vector<PartitionerOption> options;
+  /// Whether the CMP must provision shadow-tag monitoring hardware
+  /// (mem::UtilityMonitor) for this policy to run.
+  bool needs_utility_monitor = false;
+  /// Whether repartition() does per-interval work (mirrors
+  /// PartitionPolicy::is_dynamic without constructing an instance).
+  bool dynamic = true;
+  std::function<std::unique_ptr<PartitionPolicy>(const PolicyOptions&)>
+      factory;
+};
+
+/// The "run as a pure monitor" pseudo-policy: accepted wherever a policy
+/// name is parsed, never present in the registry.
+inline constexpr std::string_view kNoPolicyName = "none";
+
+inline bool is_no_policy(std::string_view name) noexcept {
+  return name == kNoPolicyName;
+}
+
+class PartitionerRegistry {
+ public:
+  /// Registers `entry`; duplicate names or aliases abort (a programming
+  /// error, not a configuration error). Returns true so the call can seed a
+  /// static initializer.
+  bool add(Partitioner entry);
+
+  /// Looks `name_or_alias` up; nullptr when unknown. "none" is not an entry.
+  const Partitioner* find(std::string_view name_or_alias) const noexcept;
+
+  /// The canonical spelling of `name_or_alias`, or an empty view when the
+  /// name is unknown. "none" canonicalizes to itself.
+  std::string_view canonical(std::string_view name_or_alias) const noexcept;
+
+  /// find() that throws ConfigError(`field`) listing the known names.
+  const Partitioner& require(std::string_view name_or_alias,
+                             std::string_view field = "policy") const;
+
+  /// Validates `options` and constructs the policy registered under
+  /// `name_or_alias`; throws ConfigError on unknown names or bad options.
+  std::unique_ptr<PartitionPolicy> make(std::string_view name_or_alias,
+                                        const PolicyOptions& options = {},
+                                        std::string_view field = "policy")
+      const;
+
+  /// Canonical names, sorted — the stable public ordering used by sweeps,
+  /// help text and error messages.
+  std::vector<std::string> names() const;
+
+  /// All entries, sorted by canonical name.
+  std::vector<const Partitioner*> describe() const;
+
+  /// "cpi-proportional, fair-slowdown, ..." for error messages and usage
+  /// text; `include_none` prepends the monitor pseudo-policy.
+  std::string known_names(bool include_none) const;
+
+ private:
+  std::vector<Partitioner> entries_;
+};
+
+/// The process-wide registry (construct-on-first-use; safe to call from the
+/// policies' static registration initializers).
+PartitionerRegistry& registry();
+
+}  // namespace capart::core
+
+/// Registers a partitioner from a policy's translation unit:
+///   CAPART_REGISTER_PARTITIONER(equal, { entry expression })
+/// The tag only namespaces the generated registration symbol.
+#define CAPART_REGISTER_PARTITIONER(tag, ...)                            \
+  namespace {                                                            \
+  const bool capart_partitioner_registered_##tag =                       \
+      ::capart::core::registry().add(__VA_ARGS__);                       \
+  }

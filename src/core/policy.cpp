@@ -1,48 +1,28 @@
 #include "src/core/policy.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "src/common/check.hpp"
-#include "src/core/cpi_proportional_policy.hpp"
-#include "src/core/equal_policy.hpp"
-#include "src/core/model_based_policy.hpp"
-#include "src/core/throughput_policy.hpp"
-#include "src/core/time_shared_policy.hpp"
-#include "src/core/fair_slowdown_policy.hpp"
-#include "src/core/umon_policy.hpp"
+#include "src/common/error.hpp"
 
 namespace capart::core {
 
-std::string_view to_string(PolicyKind kind) noexcept {
-  switch (kind) {
-    case PolicyKind::kStaticEqual: return "static-equal";
-    case PolicyKind::kCpiProportional: return "cpi-proportional";
-    case PolicyKind::kModelBased: return "model-based";
-    case PolicyKind::kThroughputOriented: return "throughput-oriented";
-    case PolicyKind::kTimeShared: return "time-shared";
-    case PolicyKind::kUmonCriticalPath: return "umon-critical-path";
-    case PolicyKind::kFairSlowdown: return "fair-slowdown";
+void PolicyOptions::validate() const {
+  if (!(ewma_alpha > 0.0 && ewma_alpha <= 1.0) || std::isnan(ewma_alpha)) {
+    throw ConfigError("policy_options.ewma_alpha",
+                      "ewma_alpha must lie in (0, 1] (got " +
+                          std::to_string(ewma_alpha) + ")");
   }
-  return "unknown";
-}
-
-std::unique_ptr<PartitionPolicy> make_policy(PolicyKind kind,
-                                             const PolicyOptions& options) {
-  switch (kind) {
-    case PolicyKind::kStaticEqual:
-      return std::make_unique<EqualPartitionPolicy>();
-    case PolicyKind::kCpiProportional:
-      return std::make_unique<CpiProportionalPolicy>();
-    case PolicyKind::kModelBased:
-      return std::make_unique<ModelBasedPolicy>(options);
-    case PolicyKind::kThroughputOriented:
-      return std::make_unique<ThroughputOrientedPolicy>(options);
-    case PolicyKind::kTimeShared:
-      return std::make_unique<TimeSharedPolicy>(options);
-    case PolicyKind::kUmonCriticalPath:
-      return std::make_unique<UmonPolicy>(options);
-    case PolicyKind::kFairSlowdown:
-      return std::make_unique<FairSlowdownPolicy>(options);
+  if (!(time_shared_big_fraction > 0.0 && time_shared_big_fraction < 1.0)) {
+    throw ConfigError("policy_options.time_shared_big_fraction",
+                      "time_shared_big_fraction must lie in (0, 1) (got " +
+                          std::to_string(time_shared_big_fraction) + ")");
   }
-  CAPART_CHECK(false, "unreachable policy kind");
+  if (time_shared_quantum < 1) {
+    throw ConfigError("policy_options.time_shared_quantum",
+                      "time_shared_quantum must be >= 1 interval");
+  }
 }
 
 std::vector<std::uint32_t> equal_split(std::uint32_t total_ways, ThreadId n) {

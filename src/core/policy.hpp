@@ -3,10 +3,15 @@
 // boundary, the per-thread counters of the interval that just ended together
 // with the way allocation that was in force, and returns the way targets for
 // the next interval.
+//
+// Concrete policies are not enumerated here: each one registers itself with
+// the PartitionerRegistry (see partitioner_registry.hpp) from its own
+// translation unit, and every front end — CLI, serve codec, bench arms,
+// obs manifest — resolves policy names through that single registry.
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -19,6 +24,16 @@ class UtilityMonitor;
 
 namespace capart::core {
 
+/// Static sharing behaviour of one thread, summarized from the trace
+/// generators' phase schedules (instruction-weighted averages): what fraction
+/// of its accesses target the application-shared region, and how large that
+/// region is. The reuse/sharing-aware partitioner reads this; runs without a
+/// known workload profile leave PartitionContext::sharing empty.
+struct ThreadSharing {
+  double share_fraction = 0.0;
+  double shared_region_blocks = 0.0;
+};
+
 struct PartitionContext {
   std::uint32_t total_ways = 64;
   ThreadId num_threads = 4;
@@ -28,6 +43,12 @@ struct PartitionContext {
   /// DRAM miss penalty of the timing model; the measured-curve policies use
   /// it to convert miss deltas into CPI deltas.
   Cycles memory_penalty = 200;
+  /// Sets of the partitioned cache: converts a footprint in blocks into the
+  /// ways needed to hold it (footprint_blocks / sets).
+  std::uint32_t l2_sets = 256;
+  /// Per-thread shared-region structure of the workload (empty when the
+  /// runtime has no profile to derive it from).
+  std::span<const ThreadSharing> sharing = {};
 };
 
 class PartitionPolicy {
@@ -50,20 +71,6 @@ class PartitionPolicy {
   virtual void reset() {}
 };
 
-/// The policies evaluated in the paper plus the related-work comparators.
-enum class PolicyKind : std::uint8_t {
-  kStaticEqual,        ///< fixed equal split (≈ private cache / fairness)
-  kCpiProportional,    ///< paper §VI-A
-  kModelBased,         ///< paper §VI-B (the headline scheme)
-  kThroughputOriented, ///< §IV-B comparator: greedy marginal miss utility
-  kTimeShared,         ///< Chang & Sohi-style rotating big partition
-  kUmonCriticalPath,   ///< extension: measured curves (shadow-tag UMON,
-                       ///< Suh-style monitoring, refs [28]/[29]) driving the
-                       ///< same critical-path objective
-  kFairSlowdown,       ///< Kim et al.-style fairness: equalize predicted
-                       ///< per-thread slowdowns (paper ref [18])
-};
-
 /// Curve family for the runtime CPI / miss models (paper §VI-B notes the
 /// fitting algorithm is interchangeable; the ablation compares these).
 enum class ModelKind : std::uint8_t { kCubicSpline, kPiecewiseLinear };
@@ -82,12 +89,14 @@ struct PolicyOptions {
   double time_shared_big_fraction = 0.5;
   /// TimeShared: intervals between rotations.
   std::uint32_t time_shared_quantum = 1;
+
+  /// Rejects option values no policy could run with — ewma_alpha outside
+  /// (0, 1], a big fraction outside (0, 1), a zero quantum — as recoverable
+  /// ConfigError naming the policy_options field. The registry calls this
+  /// before constructing any policy, so nonsense coming in through a CLI
+  /// flag or a serve spec fails the arm instead of silently misbehaving.
+  void validate() const;
 };
-
-std::string_view to_string(PolicyKind kind) noexcept;
-
-std::unique_ptr<PartitionPolicy> make_policy(PolicyKind kind,
-                                             const PolicyOptions& options = {});
 
 /// Equal split with the first `total % n` threads receiving the extra way.
 std::vector<std::uint32_t> equal_split(std::uint32_t total_ways, ThreadId n);

@@ -1,0 +1,100 @@
+#include "src/core/reuse_aware_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.hpp"
+#include "src/core/partitioner_registry.hpp"
+#include "src/math/apportion.hpp"
+
+namespace capart::core {
+
+ReuseAwarePolicy::ReuseAwarePolicy(const PolicyOptions& /*options*/) {}
+
+std::vector<std::uint32_t> ReuseAwarePolicy::repartition(
+    const sim::IntervalRecord& record, const PartitionContext& ctx) {
+  CAPART_CHECK(record.threads.size() == ctx.num_threads,
+               "reuse-aware: record/context thread mismatch");
+  const ThreadId n = ctx.num_threads;
+
+  std::vector<double> demand(n);
+  for (ThreadId t = 0; t < n; ++t) {
+    demand[t] = std::max(1.0, static_cast<double>(record.threads[t].l2_misses));
+  }
+
+  // No sharing profile (or a profile that says nothing is shared): the
+  // shared-region reasoning has no input, so fall back to miss-proportional.
+  const bool have_profile =
+      ctx.sharing.size() == n &&
+      std::any_of(ctx.sharing.begin(), ctx.sharing.end(),
+                  [](const ThreadSharing& s) {
+                    return s.share_fraction > 0.0 &&
+                           s.shared_region_blocks > 0.0;
+                  });
+  if (!have_profile) return math::apportion(demand, ctx.total_ways, 1);
+
+  // Size the host partition to hold the shared region once: blocks spread
+  // over the sets, so footprint_blocks / sets rounds up to ways — capped at
+  // half the cache so private working sets are never starved wholesale.
+  double shared_blocks = 0.0;
+  for (const ThreadSharing& s : ctx.sharing) {
+    shared_blocks = std::max(shared_blocks, s.shared_region_blocks);
+  }
+  const auto footprint_ways = static_cast<std::uint32_t>(
+      std::ceil(shared_blocks / static_cast<double>(ctx.l2_sets)));
+  const std::uint32_t shared_ways =
+      std::clamp(footprint_ways, 1u, std::max(1u, ctx.total_ways / 2));
+
+  // Host = the dominant sharer: the thread directing the most of its L2
+  // traffic into the shared region keeps the region's lines hot in its own
+  // partition, so every other sharer hits them without owning copies.
+  ThreadId host = 0;
+  double host_traffic = -1.0;
+  for (ThreadId t = 0; t < n; ++t) {
+    const double traffic =
+        ctx.sharing[t].share_fraction *
+        static_cast<double>(record.threads[t].l2_accesses);
+    if (traffic > host_traffic) {
+      host_traffic = traffic;
+      host = t;
+    }
+  }
+
+  // Remaining ways go to private working sets: each thread's miss demand,
+  // discounted by the fraction of its accesses the host partition now
+  // serves.
+  if (ctx.total_ways < shared_ways + n) {
+    return math::apportion(demand, ctx.total_ways, 1);  // cache too small
+  }
+  std::vector<double> private_demand(n);
+  for (ThreadId t = 0; t < n; ++t) {
+    private_demand[t] =
+        demand[t] * std::max(0.0, 1.0 - ctx.sharing[t].share_fraction);
+  }
+  std::vector<std::uint32_t> alloc =
+      math::apportion(private_demand, ctx.total_ways - shared_ways, 1);
+  alloc[host] += shared_ways;
+
+  CAPART_CHECK(std::accumulate(alloc.begin(), alloc.end(), 0u) ==
+                   ctx.total_ways,
+               "reuse-aware: allocation does not sum to total ways");
+  return alloc;
+}
+
+CAPART_REGISTER_PARTITIONER(reuse_aware, {
+    .name = "reuse-aware",
+    .aliases = {"reuse"},
+    .summary = "hosts the workload's shared region once in the dominant "
+               "sharer's partition and splits the rest by private miss "
+               "demand (data-sharing-aware partitioning)",
+    .options = {},
+    .needs_utility_monitor = false,
+    .dynamic = true,
+    .factory = [](const PolicyOptions& options)
+        -> std::unique_ptr<PartitionPolicy> {
+      return std::make_unique<ReuseAwarePolicy>(options);
+    },
+})
+
+}  // namespace capart::core

@@ -1,0 +1,26 @@
+// Reuse/sharing-aware partitioner: exploits the inter-thread shared-region
+// structure that the trace generators synthesize (GenParams.share_fraction /
+// shared_region_blocks). Way partitioning replicates shared lines into every
+// sharer's partition; this policy instead sizes one partition to hold the
+// shared region once — hosted by the thread that references it most — and
+// divides the remaining ways by private miss demand, discounted by each
+// thread's shared fraction. Without a workload profile (empty
+// PartitionContext::sharing) it degrades to plain miss-proportional
+// apportionment.
+#pragma once
+
+#include "src/core/policy.hpp"
+
+namespace capart::core {
+
+class ReuseAwarePolicy final : public PartitionPolicy {
+ public:
+  explicit ReuseAwarePolicy(const PolicyOptions& options);
+
+  std::string_view name() const noexcept override { return "reuse-aware"; }
+
+  std::vector<std::uint32_t> repartition(
+      const sim::IntervalRecord& record, const PartitionContext& ctx) override;
+};
+
+}  // namespace capart::core

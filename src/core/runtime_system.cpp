@@ -15,14 +15,19 @@ RuntimeSystem::RuntimeSystem(sim::CmpSystem& system,
                              std::unique_ptr<PartitionPolicy> policy,
                              Cycles overhead_cycles,
                              Cycles flush_cost_per_line, obs::ObsConfig obs,
-                             ClosRuntimeConfig clos)
+                             ClosRuntimeConfig clos,
+                             std::vector<ThreadSharing> sharing)
     : system_(system),
       policy_(std::move(policy)),
       overhead_cycles_(overhead_cycles),
       flush_cost_per_line_(flush_cost_per_line),
       obs_(std::move(obs)),
       clos_(std::move(clos)),
+      sharing_(std::move(sharing)),
       current_targets_(system.l2().current_targets()) {
+  CAPART_CHECK(sharing_.empty() ||
+                   sharing_.size() == system_.config().num_threads,
+               "sharing profile must cover every thread (or be empty)");
   if (clos_.mapper != nullptr) {
     CAPART_CHECK(system_.l2().clos_enforced(),
                  "CLOS runtime config on an L2 without CLOS enforcement");
@@ -61,6 +66,8 @@ Cycles RuntimeSystem::on_interval(std::uint64_t interval_index) {
       .num_threads = system_.config().num_threads,
       .utility_monitor = system_.utility_monitor(),
       .memory_penalty = system_.timing().params().memory_penalty,
+      .l2_sets = system_.config().l2.sets,
+      .sharing = sharing_,
   };
   std::vector<std::uint32_t> next =
       policy_->repartition(history_.back(), ctx);
@@ -115,8 +122,17 @@ Cycles RuntimeSystem::on_interval(std::uint64_t interval_index) {
     // budget, apportion the physical ways over the clusters, install the
     // masks, and pay the per-mask-update cost (one MSR write per changed
     // mask on real hardware) — charged exactly once per changed mask.
+    ClusterContext cluster_ctx{.shares = next};
+    if (clos_.mapper->wants_classes()) {
+      // Classifying policies publish per-thread cache classes; a class-aware
+      // mapper clusters on them (demand-only mappers never pay the cast).
+      if (const auto* source =
+              dynamic_cast<const CacheClassSource*>(policy_.get())) {
+        cluster_ctx.classes = source->cache_classes();
+      }
+    }
     const std::vector<std::uint32_t> clos_of =
-        clos_.mapper->cluster(next, clos_.budget);
+        clos_.mapper->cluster(cluster_ctx, clos_.budget);
     const mem::ClosPlan plan = mem::build_clos_plan(
         next, clos_of, system_.l2().total_ways(), clos_.budget);
     const std::uint32_t changed = system_.l2().apply_clos_plan(plan);

@@ -42,9 +42,13 @@ class RuntimeSystem {
   /// alternative; zero-cost for the eviction-control mechanism).
   /// `obs` attaches the observability subsystem: every interval record and
   /// repartition decision is mirrored to its sink and counters.
+  /// `sharing` is the workload's per-thread shared-region profile (one entry
+  /// per thread, or empty when no profile exists); the runtime forwards it to
+  /// the policies through PartitionContext::sharing.
   RuntimeSystem(sim::CmpSystem& system, std::unique_ptr<PartitionPolicy> policy,
                 Cycles overhead_cycles, Cycles flush_cost_per_line = 4,
-                obs::ObsConfig obs = {}, ClosRuntimeConfig clos = {});
+                obs::ObsConfig obs = {}, ClosRuntimeConfig clos = {},
+                std::vector<ThreadSharing> sharing = {});
 
   /// Interval-boundary entry point; wire into Driver::set_interval_callback.
   Cycles on_interval(std::uint64_t interval_index);
@@ -71,6 +75,7 @@ class RuntimeSystem {
   Cycles flush_cost_per_line_;
   obs::ObsConfig obs_;
   ClosRuntimeConfig clos_;
+  std::vector<ThreadSharing> sharing_;
   /// Virtual way-space size under CLOS enforcement; 0 = CLOS disabled.
   std::uint32_t virtual_ways_ = 0;
   std::vector<sim::IntervalRecord> history_;

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "src/common/check.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/math/apportion.hpp"
 
 namespace capart::core {
@@ -123,5 +124,22 @@ void ThroughputOrientedPolicy::reset() {
   models_.reset();
   intervals_seen_ = 0;
 }
+
+CAPART_REGISTER_PARTITIONER(throughput_oriented, {
+    .name = "throughput-oriented",
+    .aliases = {"throughput"},
+    .summary = "greedy marginal-utility allocation over modeled MPKI curves "
+               "(minimizes total misses, not the critical path)",
+    .options = {{"model_kind", "MPKI model family: cubic-spline or linear"},
+                {"ewma_alpha", "EWMA weight for repeated way observations"},
+                {"max_moves_per_interval",
+                 "cap on ways moved per repartition (0 = unbounded)"}},
+    .needs_utility_monitor = false,
+    .dynamic = true,
+    .factory = [](const PolicyOptions& options)
+        -> std::unique_ptr<PartitionPolicy> {
+      return std::make_unique<ThroughputOrientedPolicy>(options);
+    },
+})
 
 }  // namespace capart::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/error.hpp"
+#include "src/core/partitioner_registry.hpp"
 
 namespace capart::core {
 
@@ -46,5 +47,22 @@ std::vector<std::uint32_t> TimeSharedPolicy::repartition(
   }
   return alloc;
 }
+
+CAPART_REGISTER_PARTITIONER(time_shared, {
+    .name = "time-shared",
+    .aliases = {"timeshared"},
+    .summary = "round-robin a large partition across threads every quantum "
+               "(the time-multiplexed strawman)",
+    .options = {{"time_shared_big_fraction",
+                 "fraction of ways in the rotating large partition"},
+                {"time_shared_quantum",
+                 "intervals each thread holds the large partition"}},
+    .needs_utility_monitor = false,
+    .dynamic = true,
+    .factory = [](const PolicyOptions& options)
+        -> std::unique_ptr<PartitionPolicy> {
+      return std::make_unique<TimeSharedPolicy>(options);
+    },
+})
 
 }  // namespace capart::core

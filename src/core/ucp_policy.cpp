@@ -1,0 +1,88 @@
+#include "src/core/ucp_policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.hpp"
+#include "src/core/partitioner_registry.hpp"
+#include "src/mem/utility_monitor.hpp"
+
+namespace capart::core {
+
+UcpLookaheadPolicy::UcpLookaheadPolicy(const PolicyOptions& /*options*/) {}
+
+std::vector<std::uint32_t> UcpLookaheadPolicy::repartition(
+    const sim::IntervalRecord& record, const PartitionContext& ctx) {
+  CAPART_CHECK(record.threads.size() == ctx.num_threads,
+               "ucp: record/context thread mismatch");
+  CAPART_CHECK(ctx.utility_monitor != nullptr,
+               "ucp policy requires a utility monitor");
+  const mem::UtilityMonitor& umon = *ctx.utility_monitor;
+  const ThreadId n = ctx.num_threads;
+
+  // Under CLOS enforcement the allocation lives in a virtual way space that
+  // can exceed the shadow directory's associativity; past it the curve is
+  // flat, so queries clamp (as the umon-critical-path policy does).
+  const auto misses = [&](ThreadId t, std::uint32_t ways) {
+    return umon.predicted_misses(t, std::min(ways, umon.monitored_ways()));
+  };
+
+  // Lookahead assignment (Qureshi & Patt, Algorithm 1): everyone starts at
+  // the one-way floor; each round hands the unassigned balance's best block
+  // of ways to the thread with the highest marginal utility per way,
+  //   mu_t(k) = (misses(alloc_t) - misses(alloc_t + k)) / k,
+  // maximized over block sizes k — the lookahead that sees past flat
+  // prefixes of non-convex curves.
+  std::vector<std::uint32_t> alloc(n, 1);
+  std::uint32_t balance = ctx.total_ways - n;
+  while (balance > 0) {
+    ThreadId best_thread = kNoThread;
+    std::uint32_t best_block = 0;
+    double best_mu = 0.0;
+    for (ThreadId t = 0; t < n; ++t) {
+      const double base = misses(t, alloc[t]);
+      for (std::uint32_t k = 1; k <= balance; ++k) {
+        const double mu = (base - misses(t, alloc[t] + k)) /
+                          static_cast<double>(k);
+        if (mu > best_mu) {
+          best_mu = mu;
+          best_thread = t;
+          best_block = k;
+        }
+      }
+    }
+    if (best_thread == kNoThread) break;  // every curve is flat from here
+    alloc[best_thread] += best_block;
+    balance -= best_block;
+  }
+
+  // No one profits from the remainder: fill toward an equal split so the
+  // leftover ways are not parked arbitrarily.
+  while (balance > 0) {
+    const ThreadId smallest = static_cast<ThreadId>(
+        std::min_element(alloc.begin(), alloc.end()) - alloc.begin());
+    alloc[smallest] += 1;
+    --balance;
+  }
+
+  CAPART_CHECK(std::accumulate(alloc.begin(), alloc.end(), 0u) ==
+                   ctx.total_ways,
+               "ucp: allocation does not sum to total ways");
+  return alloc;
+}
+
+CAPART_REGISTER_PARTITIONER(ucp_lookahead, {
+    .name = "ucp-lookahead",
+    .aliases = {"ucp"},
+    .summary = "utility-based partitioning: greedy max-marginal-utility over "
+               "shadow-tag miss curves with Qureshi-style lookahead blocks",
+    .options = {},
+    .needs_utility_monitor = true,
+    .dynamic = true,
+    .factory = [](const PolicyOptions& options)
+        -> std::unique_ptr<PartitionPolicy> {
+      return std::make_unique<UcpLookaheadPolicy>(options);
+    },
+})
+
+}  // namespace capart::core

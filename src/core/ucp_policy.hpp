@@ -1,0 +1,27 @@
+// Utility-based cache partitioning with Qureshi & Patt's lookahead
+// assignment: the classic hardware competitor to the paper's model-learning
+// runtime. Where the paper learns CPI-vs-ways curves by observing executed
+// allocations, UCP reads the whole miss curve each interval from the
+// shadow-tag utility monitor and redistributes from scratch.
+#pragma once
+
+#include "src/core/policy.hpp"
+
+namespace capart::core {
+
+/// Greedy max-marginal-utility allocation over UMON miss curves. The
+/// lookahead refinement considers blocks of 1..balance ways at once so a
+/// thread whose curve has a knee several ways out (zero marginal utility
+/// until the working set fits) still competes against threads with
+/// immediately convex curves.
+class UcpLookaheadPolicy final : public PartitionPolicy {
+ public:
+  explicit UcpLookaheadPolicy(const PolicyOptions& options);
+
+  std::string_view name() const noexcept override { return "ucp-lookahead"; }
+
+  std::vector<std::uint32_t> repartition(
+      const sim::IntervalRecord& record, const PartitionContext& ctx) override;
+};
+
+}  // namespace capart::core

@@ -5,6 +5,7 @@
 
 #include "src/common/check.hpp"
 #include "src/core/hill_climb.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/mem/utility_monitor.hpp"
 
 namespace capart::core {
@@ -61,5 +62,20 @@ std::vector<std::uint32_t> UmonPolicy::repartition(
                "umon: allocation does not sum to total ways");
   return alloc;
 }
+
+CAPART_REGISTER_PARTITIONER(umon_critical_path, {
+    .name = "umon-critical-path",
+    .aliases = {"umon"},
+    .summary = "shadow-tag UMON miss curves drive the paper's critical-path "
+               "reassignment loop (no CPI model fitting)",
+    .options = {{"max_moves_per_interval",
+                 "cap on ways moved per repartition (0 = unbounded)"}},
+    .needs_utility_monitor = true,
+    .dynamic = true,
+    .factory = [](const PolicyOptions& options)
+        -> std::unique_ptr<PartitionPolicy> {
+      return std::make_unique<UmonPolicy>(options);
+    },
+})
 
 }  // namespace capart::core

@@ -6,6 +6,7 @@
 
 #include "src/common/error.hpp"
 #include "src/core/clos_mapper.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/core/policy.hpp"
 #include "src/mem/block_index.hpp"
 #include "src/mem/l2_organization.hpp"
@@ -120,25 +121,6 @@ class ObjectReader {
   std::vector<bool> used_;
 };
 
-bool parse_policy_name(std::string_view name,
-                       std::optional<core::PolicyKind>& out) noexcept {
-  if (name == "none") {
-    out = std::nullopt;
-    return true;
-  }
-  for (core::PolicyKind kind :
-       {core::PolicyKind::kStaticEqual, core::PolicyKind::kCpiProportional,
-        core::PolicyKind::kModelBased, core::PolicyKind::kThroughputOriented,
-        core::PolicyKind::kTimeShared, core::PolicyKind::kUmonCriticalPath,
-        core::PolicyKind::kFairSlowdown}) {
-    if (name == core::to_string(kind)) {
-      out = kind;
-      return true;
-    }
-  }
-  return false;
-}
-
 bool parse_l2_mode(std::string_view name, mem::L2Mode& out) noexcept {
   for (mem::L2Mode mode :
        {mem::L2Mode::kSharedUnpartitioned, mem::L2Mode::kPartitionedShared,
@@ -189,8 +171,7 @@ void write_geometry(obs::JsonWriter& w, const mem::CacheGeometry& g) {
 
 void write_config_fields(obs::JsonWriter& w, const sim::ExperimentConfig& c) {
   w.key("profile").value(c.profile)
-      .key("policy")
-      .value(c.policy.has_value() ? core::to_string(*c.policy) : "none")
+      .key("policy").value(c.policy)
       .key("l2_mode").value(mem::to_string(c.l2_mode))
       .key("threads").value(c.num_threads)
       .key("intervals").value(c.num_intervals)
@@ -257,13 +238,16 @@ sim::ExperimentConfig config_from_json(const obs::JsonValue& json,
   r.string("profile", c.profile);
   if (const obs::JsonValue* v = r.take("policy")) {
     if (!v->is_string()) fail(r.path("policy"), "expected a string");
-    if (!parse_policy_name(v->string, c.policy)) {
+    // Resolve against the live registry (aliases canonicalize, so the spec
+    // that comes back from config_to_json round-trips byte-identically).
+    const std::string_view canonical =
+        core::registry().canonical(v->string);
+    if (canonical.empty()) {
       fail(r.path("policy"),
-           "unknown policy '" + v->string +
-               "' (expected none, static-equal, cpi-proportional, "
-               "model-based, throughput-oriented, time-shared, "
-               "umon-critical-path or fair-slowdown)");
+           "unknown policy '" + v->string + "' (expected " +
+               core::registry().known_names(/*include_none=*/true) + ")");
     }
+    c.policy = std::string(canonical);
   }
   r.enumeration("l2_mode", c.l2_mode, parse_l2_mode,
                 "shared-unpartitioned, partitioned-shared, "
@@ -296,7 +280,7 @@ sim::ExperimentConfig config_from_json(const obs::JsonValue& json,
                 "default, eviction-control or clos");
   r.u_int("clos_budget", c.clos_budget);
   r.enumeration("clos_mapper", c.clos_mapper, core::parse_clos_mapper,
-                "none, nearest or minmax");
+                "none, nearest, minmax or lfoc");
   r.u_int("clos_mask_update_cycles", c.clos_mask_update_cycles);
   r.boolean("enable_private_l2", c.enable_private_l2);
   if (const obs::JsonValue* v = r.take("private_l2")) {

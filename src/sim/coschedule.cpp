@@ -2,6 +2,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/rng.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/sim/cmp_system.hpp"
 #include "src/sim/driver.hpp"
 #include "src/sim/experiment.hpp"
@@ -69,9 +70,13 @@ CoScheduleResult run_coscheduled(const CoScheduleConfig& config) {
 
   std::vector<std::unique_ptr<core::PartitionPolicy>> policies;
   for (const CoScheduledApp& app : config.apps) {
-    policies.push_back(core::make_policy(
-        app.policy.value_or(core::PolicyKind::kStaticEqual),
-        app.policy_options));
+    // The hierarchical runtime needs a policy object per app; "none"
+    // degrades to a static equal split of the app's share.
+    const std::string_view name = core::is_no_policy(app.policy)
+                                      ? std::string_view("static-equal")
+                                      : std::string_view(app.policy);
+    policies.push_back(
+        core::registry().make(name, app.policy_options, "apps.policy"));
   }
   core::HierarchicalRuntime runtime(system, std::move(app_specs),
                                     std::move(policies), config.os_mode,

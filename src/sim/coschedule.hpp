@@ -5,7 +5,6 @@
 // runtime applies an intra-application policy within each share.
 #pragma once
 
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,8 +23,9 @@ struct CoScheduledApp {
   /// Workload profile name (trace::benchmark_names()).
   std::string profile = "cg";
   ThreadId num_threads = 2;
-  /// Intra-application policy for this app's share; nullopt = static equal.
-  std::optional<core::PolicyKind> policy = core::PolicyKind::kModelBased;
+  /// Intra-application policy name (core::registry()); "none" means no
+  /// dynamic engine for this app, i.e. a static equal split of its share.
+  std::string policy = "model-based";
   core::PolicyOptions policy_options{};
 };
 

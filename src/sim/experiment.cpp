@@ -8,6 +8,7 @@
 #include "src/common/error.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/model_based_policy.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/core/runtime_system.hpp"
 #include "src/obs/events.hpp"
 #include "src/obs/metrics.hpp"
@@ -26,6 +27,10 @@ void ExperimentConfig::validate() const {
   if (num_threads < 1) {
     throw ConfigError("threads", "experiment needs at least one thread");
   }
+  if (!core::is_no_policy(policy)) {
+    core::registry().require(policy, "policy");
+  }
+  policy_options.validate();
   if (num_intervals < 1) {
     throw ConfigError("intervals", "experiment needs >= 1 interval");
   }
@@ -67,7 +72,8 @@ void ExperimentConfig::validate() const {
         l2_mode == mem::L2Mode::kFlushReconfigureShared ||
         l2_mode == mem::L2Mode::kPrivatePerThread ||
         l2_mode == mem::L2Mode::kSetPartitionedShared;
-    if ((way_granular || policy.has_value()) && l2.ways < num_threads) {
+    if ((way_granular || !core::is_no_policy(policy)) &&
+        l2.ways < num_threads) {
       throw ConfigError(
           "l2-ways",
           "l2 needs at least one way per thread (" + std::to_string(l2.ways) +
@@ -99,6 +105,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   const trace::BenchmarkProfile profile =
       trace::make_profile(config.profile, config.num_threads);
+  const core::Partitioner* partitioner =
+      core::is_no_policy(config.policy)
+          ? nullptr
+          : &core::registry().require(config.policy, "policy");
 
   SystemConfig sys_config{
       .num_threads = config.num_threads,
@@ -106,9 +116,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       .l2 = config.l2,
       .l2_mode = config.l2_mode,
       .timing = config.timing,
-      // The measured-curve policy models monitoring hardware; provision it.
+      // Measured-curve policies model monitoring hardware; provision it.
       .enable_utility_monitor =
-          config.policy == core::PolicyKind::kUmonCriticalPath,
+          partitioner != nullptr && partitioner->needs_utility_monitor,
       .umon_sampling_shift = 3,
       .enable_private_l2 = config.enable_private_l2,
       .private_l2 = config.private_l2,
@@ -152,8 +162,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   std::unique_ptr<core::PartitionPolicy> policy;
-  if (config.policy.has_value()) {
-    policy = core::make_policy(*config.policy, config.policy_options);
+  if (partitioner != nullptr) {
+    policy = core::registry().make(config.policy, config.policy_options);
   }
   core::ClosRuntimeConfig clos_runtime;
   if (config.l2_enforce == mem::L2Enforce::kClosWayMask) {
@@ -161,10 +171,32 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     clos_runtime.budget = config.clos_budget;
     clos_runtime.mask_update_cycles = config.clos_mask_update_cycles;
   }
+  // Shared-region profile for the sharing-aware policies: each thread's
+  // phase schedule, averaged with phase durations as weights (what fraction
+  // of accesses hit the shared region, and how big that region is).
+  std::vector<core::ThreadSharing> sharing;
+  sharing.reserve(config.num_threads);
+  for (ThreadId t = 0; t < config.num_threads; ++t) {
+    double weight = 0.0;
+    core::ThreadSharing s;
+    for (const trace::Phase& phase : profile.threads[t].phases) {
+      const auto d = static_cast<double>(phase.duration);
+      s.share_fraction += phase.params.share_fraction * d;
+      s.shared_region_blocks +=
+          static_cast<double>(phase.params.shared_region_blocks) * d;
+      weight += d;
+    }
+    if (weight > 0.0) {
+      s.share_fraction /= weight;
+      s.shared_region_blocks /= weight;
+    }
+    sharing.push_back(s);
+  }
   core::RuntimeSystem runtime(system, std::move(policy),
                               config.runtime_overhead_cycles,
                               config.reconfigure_flush_cost_per_line,
-                              config.obs, std::move(clos_runtime));
+                              config.obs, std::move(clos_runtime),
+                              std::move(sharing));
   driver.set_interval_callback(runtime.callback());
 
   ExperimentResult result;
@@ -176,11 +208,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.thread_totals.push_back(system.counters().thread(t));
   }
 
-  if (config.policy == core::PolicyKind::kModelBased) {
-    const auto* model_policy =
-        dynamic_cast<const core::ModelBasedPolicy*>(runtime.policy());
-    CAPART_CHECK(model_policy != nullptr,
-                 "model-based run without a model-based policy");
+  if (const auto* model_policy =
+          dynamic_cast<const core::ModelBasedPolicy*>(runtime.policy())) {
     ModelSnapshot snapshot;
     const std::uint32_t total_ways = system.l2().total_ways();
     snapshot.predicted.resize(config.num_threads);

@@ -39,9 +39,10 @@ struct ExperimentConfig {
   ThreadId num_threads = 4;
 
   mem::L2Mode l2_mode = mem::L2Mode::kPartitionedShared;
-  /// Partitioning policy; nullopt runs a pure monitor (baselines and
+  /// Partitioning policy name, resolved through core::registry() (canonical
+  /// names or their aliases); "none" runs a pure monitor (baselines and
   /// motivation figures).
-  std::optional<core::PolicyKind> policy = core::PolicyKind::kModelBased;
+  std::string policy = "model-based";
   core::PolicyOptions policy_options{};
 
   /// Aggregate retired instructions per execution interval (all threads).
@@ -108,11 +109,12 @@ struct ExperimentConfig {
   /// Test-only fault-injection hook (non-owning; see sim/fault_injector.hpp).
   FaultInjector* fault = nullptr;
 
-  /// Rejects configurations the simulator cannot run — bad interval
-  /// parameters, impossible cache geometry, way-partitioned modes with more
-  /// threads than ways — with ConfigError naming the offending field.
-  /// run_experiment calls it first; the BatchRunner contains the throw as a
-  /// failed arm. The profile name is validated later, in trace setup.
+  /// Rejects configurations the simulator cannot run — unknown policy names
+  /// or out-of-range policy options, bad interval parameters, impossible
+  /// cache geometry, way-partitioned modes with more threads than ways —
+  /// with ConfigError naming the offending field. run_experiment calls it
+  /// first; the BatchRunner contains the throw as a failed arm. The profile
+  /// name is validated later, in trace setup.
   void validate() const;
 };
 

@@ -37,7 +37,7 @@ ExperimentSpec figure_shaped_spec(std::uint64_t seed) {
 
     ExperimentConfig shared = small(profile, seed);
     shared.l2_mode = mem::L2Mode::kSharedUnpartitioned;
-    shared.policy.reset();
+    shared.policy = "none";
     spec.add(profile + "/shared", shared);
   }
   return spec;

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "src/core/partitioner_registry.hpp"
+
 namespace capart::bench {
 namespace {
 
@@ -130,8 +132,20 @@ TEST(BenchOptionsDeathTest, HelpExitsCleanly) {
 TEST(BenchArms, RegistryCoversTheDesignSpace) {
   for (const char* name :
        {"shared", "private", "static_equal", "model", "cpi", "throughput",
-        "time_shared", "umon", "fair", "coloring", "flush", "linear_model"}) {
+        "time_shared", "umon", "fair", "ucp", "lfoc", "reuse", "coloring",
+        "flush", "linear_model"}) {
     EXPECT_NE(find_arm(name), nullptr) << name;
+  }
+}
+
+TEST(BenchArms, EveryRegisteredPartitionerHasAnArm) {
+  // The arm list is generated from core::registry(), so a newly registered
+  // partitioner must show up under its bench spelling with the right policy.
+  for (const core::Partitioner* p : core::registry().describe()) {
+    const sim::ExperimentConfig cfg =
+        make_arm(bench_arm_name(*p), sim::ExperimentConfig{});
+    EXPECT_EQ(cfg.l2_mode, mem::L2Mode::kPartitionedShared) << p->name;
+    EXPECT_EQ(cfg.policy, p->name);
   }
 }
 
@@ -139,11 +153,11 @@ TEST(BenchArms, MakeArmAppliesTheRegisteredTransform) {
   BenchOptions opt;
   const sim::ExperimentConfig shared = make_arm("shared", base_config(opt, "cg"));
   EXPECT_EQ(shared.l2_mode, mem::L2Mode::kSharedUnpartitioned);
-  EXPECT_FALSE(shared.policy.has_value());
+  EXPECT_EQ(shared.policy, "none");
 
   const sim::ExperimentConfig model = make_arm("model", base_config(opt, "cg"));
   EXPECT_EQ(model.l2_mode, mem::L2Mode::kPartitionedShared);
-  EXPECT_EQ(model.policy, core::PolicyKind::kModelBased);
+  EXPECT_EQ(model.policy, "model-based");
 }
 
 TEST(BenchArms, ProfileSweepBuildsTheCrossProduct) {

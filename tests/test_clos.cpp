@@ -12,6 +12,7 @@
 
 #include "expect_config_error.hpp"
 #include "src/core/clos_mapper.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/mem/banked_l2.hpp"
 #include "src/mem/cache_core.hpp"
 #include "src/mem/partitioned_cache.hpp"
@@ -170,6 +171,53 @@ TEST(ClosMapper, MinMaxBalancesClusterWeight) {
             (std::vector<std::uint32_t>{0, 1, 1, 0}));
 }
 
+TEST(ClosMapper, LfocWithoutClassesFallsBackToNearest) {
+  const auto lfoc = core::make_clos_mapper(core::ClosMapperKind::kLfoc);
+  const auto nearest = core::make_clos_mapper(core::ClosMapperKind::kNearest);
+  const std::vector<std::uint32_t> shares = {1, 9, 1, 9, 1, 9};
+  EXPECT_TRUE(lfoc->wants_classes());
+  EXPECT_EQ(lfoc->cluster(shares, 2), nearest->cluster(shares, 2));
+  // The ClusterContext overload without classes is the same fallback.
+  EXPECT_EQ(lfoc->cluster(core::ClusterContext{.shares = shares}, 2),
+            nearest->cluster(shares, 2));
+}
+
+TEST(ClosMapper, LfocSegregatesClassesIntoDedicatedClos) {
+  const auto lfoc = core::make_clos_mapper(core::ClosMapperKind::kLfoc);
+  const std::vector<std::uint32_t> shares = {1, 2, 10, 9, 1, 2};
+  const std::vector<core::CacheClass> classes = {
+      core::CacheClass::kLight,          core::CacheClass::kStreaming,
+      core::CacheClass::kCacheSensitive, core::CacheClass::kCacheSensitive,
+      core::CacheClass::kLight,          core::CacheClass::kStreaming};
+  const auto clos_of = lfoc->cluster(
+      core::ClusterContext{.shares = shares, .classes = classes}, 4);
+  ASSERT_EQ(clos_of.size(), shares.size());
+  // Same class -> same CLOS; different classes never share one.
+  EXPECT_EQ(clos_of[0], clos_of[4]);  // both light
+  EXPECT_EQ(clos_of[1], clos_of[5]);  // both streaming
+  EXPECT_NE(clos_of[0], clos_of[1]);
+  EXPECT_NE(clos_of[0], clos_of[2]);
+  EXPECT_NE(clos_of[1], clos_of[2]);
+  // Deterministic.
+  EXPECT_EQ(lfoc->cluster(
+                core::ClusterContext{.shares = shares, .classes = classes}, 4),
+            clos_of);
+}
+
+TEST(ClosMapper, LfocTightBudgetFallsBackGracefully) {
+  // Budget too small to give each class its own CLOS: the mapper must still
+  // produce a valid clustering (nearest fallback).
+  const auto lfoc = core::make_clos_mapper(core::ClosMapperKind::kLfoc);
+  const std::vector<std::uint32_t> shares = {1, 10, 5};
+  const std::vector<core::CacheClass> classes = {
+      core::CacheClass::kLight, core::CacheClass::kCacheSensitive,
+      core::CacheClass::kStreaming};
+  const auto clos_of = lfoc->cluster(
+      core::ClusterContext{.shares = shares, .classes = classes}, 1);
+  ASSERT_EQ(clos_of.size(), 3u);
+  for (const std::uint32_t c : clos_of) EXPECT_EQ(c, 0u);
+}
+
 TEST(ClosMapper, ParseAndNames) {
   for (const core::ClosMapperKind kind : core::kAllClosMapperKinds) {
     core::ClosMapperKind parsed{};
@@ -282,22 +330,37 @@ TEST(ClosConfig, BudgetMustFitTheWays) {
 TEST(ClosExperiment, EveryPolicyRunsWithMoreThreadsThanWays) {
   // The clustering layer keeps all policies running unmodified when threads
   // far exceed the physical ways (16 threads on an 8-way L2, budget 4).
-  for (const core::PolicyKind kind :
-       {core::PolicyKind::kStaticEqual, core::PolicyKind::kCpiProportional,
-        core::PolicyKind::kModelBased, core::PolicyKind::kThroughputOriented,
-        core::PolicyKind::kTimeShared, core::PolicyKind::kUmonCriticalPath,
-        core::PolicyKind::kFairSlowdown}) {
+  // Sweeping the registry means every future partitioner is covered too.
+  for (const std::string& name : core::registry().names()) {
     sim::ExperimentConfig config;
     config.num_threads = 16;
     config.l2 = geom(64, 8);
     config.num_intervals = 3;
     config.interval_instructions = 16'000;
-    config.policy = kind;
+    config.policy = name;
     config.l2_enforce = mem::L2Enforce::kClosWayMask;
     config.clos_budget = 4;
     const sim::ExperimentResult result = sim::run_experiment(config);
-    EXPECT_EQ(result.outcome.intervals_completed, 3u)
-        << "policy " << static_cast<int>(kind);
+    EXPECT_EQ(result.outcome.intervals_completed, 3u) << "policy " << name;
+    EXPECT_GT(result.l2_stats.total().accesses, 0u);
+  }
+}
+
+TEST(ClosExperiment, LfocMapperRunsUnderEveryPolicy) {
+  // The class-aware mapper must work whether or not the active policy
+  // publishes cache classes (only lfoc-classing does).
+  for (const char* name : {"lfoc-classing", "model-based", "static-equal"}) {
+    sim::ExperimentConfig config;
+    config.num_threads = 16;
+    config.l2 = geom(64, 8);
+    config.num_intervals = 3;
+    config.interval_instructions = 16'000;
+    config.policy = name;
+    config.l2_enforce = mem::L2Enforce::kClosWayMask;
+    config.clos_budget = 4;
+    config.clos_mapper = core::ClosMapperKind::kLfoc;
+    const sim::ExperimentResult result = sim::run_experiment(config);
+    EXPECT_EQ(result.outcome.intervals_completed, 3u) << "policy " << name;
     EXPECT_GT(result.l2_stats.total().accesses, 0u);
   }
 }

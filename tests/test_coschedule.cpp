@@ -68,8 +68,8 @@ TEST(CoSchedule, IntraAppModelPolicyHelpsTheHeterogeneousApp) {
   CoScheduleConfig with_model = small_pair();
   with_model.num_intervals = 16;
   CoScheduleConfig without = with_model;
-  without.apps[0].policy.reset();  // static equal inside cg's share
-  without.apps[1].policy.reset();
+  without.apps[0].policy = "none";  // static equal inside cg's share
+  without.apps[1].policy = "none";
   const CoScheduleResult m = run_coscheduled(with_model);
   const CoScheduleResult s = run_coscheduled(without);
   // cg (heterogeneous) should benefit from intra-app partitioning.

@@ -52,7 +52,7 @@ TEST(Experiment, RetiresTheConfiguredWork) {
 TEST(Experiment, MonitorOnlyRunRecordsButNeverRepartitions) {
   ExperimentConfig c = small("cg");
   c.l2_mode = mem::L2Mode::kSharedUnpartitioned;
-  c.policy.reset();
+  c.policy = "none";
   const ExperimentResult r = run_experiment(c);
   EXPECT_EQ(r.intervals.size(), 12u);
   for (const auto& rec : r.intervals) {
@@ -79,7 +79,7 @@ TEST(Experiment, ModelBasedBeatsStaticEqualOnHeterogeneousApp) {
   ExperimentConfig model_cfg = small("cg");
   model_cfg.num_intervals = 20;
   ExperimentConfig equal_cfg = model_cfg;
-  equal_cfg.policy = core::PolicyKind::kStaticEqual;
+  equal_cfg.policy = "static-equal";
   const ExperimentResult model = run_experiment(model_cfg);
   const ExperimentResult equal = run_experiment(equal_cfg);
   EXPECT_GT(improvement(model, equal), 0.03);
@@ -92,7 +92,7 @@ TEST(Experiment, ModelBasedBeatsSharedOnPollutedApp) {
   model_cfg.num_intervals = 20;
   ExperimentConfig shared_cfg = model_cfg;
   shared_cfg.l2_mode = mem::L2Mode::kSharedUnpartitioned;
-  shared_cfg.policy.reset();
+  shared_cfg.policy = "none";
   const ExperimentResult model = run_experiment(model_cfg);
   const ExperimentResult shared = run_experiment(shared_cfg);
   EXPECT_GT(improvement(model, shared), 0.03);
@@ -101,7 +101,7 @@ TEST(Experiment, ModelBasedBeatsSharedOnPollutedApp) {
 TEST(Experiment, PrivateModeRuns) {
   ExperimentConfig c = small("lu");
   c.l2_mode = mem::L2Mode::kPrivatePerThread;
-  c.policy.reset();
+  c.policy = "none";
   const ExperimentResult r = run_experiment(c);
   EXPECT_GT(r.outcome.total_cycles, 0u);
   // Private caches never show inter-thread interaction.
@@ -111,7 +111,7 @@ TEST(Experiment, PrivateModeRuns) {
 TEST(Experiment, SharedModeShowsInterThreadInteraction) {
   ExperimentConfig c = small("ft");  // high-sharing profile
   c.l2_mode = mem::L2Mode::kSharedUnpartitioned;
-  c.policy.reset();
+  c.policy = "none";
   const ExperimentResult r = run_experiment(c);
   EXPECT_GT(r.l2_stats.inter_thread_fraction(), 0.02);
   EXPECT_GT(r.l2_stats.constructive_fraction(), 0.3);
@@ -139,7 +139,7 @@ TEST(Experiment, PerThreadPerformanceVariabilityExists) {
   // substantially within one application.
   ExperimentConfig c = small("mgrid");
   c.l2_mode = mem::L2Mode::kSharedUnpartitioned;
-  c.policy.reset();
+  c.policy = "none";
   const ExperimentResult r = run_experiment(c);
   double min_cpi = 1e9, max_cpi = 0;
   for (const auto& t : r.thread_totals) {
@@ -155,7 +155,7 @@ TEST(Experiment, CpiCorrelatesWithL2Misses) {
   ExperimentConfig c = small("cg");
   c.num_intervals = 16;
   c.l2_mode = mem::L2Mode::kSharedUnpartitioned;
-  c.policy.reset();
+  c.policy = "none";
   const ExperimentResult r = run_experiment(c);
   // Per-interval instruction counts vary with barrier stalls in our
   // aggregate-interval scheme, so the raw miss count aliases progress into
@@ -187,7 +187,7 @@ TEST(Experiment, CpiCorrelatesWithL2Misses) {
 TEST(Experiment, ImprovementIsAntisymmetricInSign) {
   const ExperimentResult fast = run_experiment(small("cg"));
   ExperimentConfig slow_cfg = small("cg");
-  slow_cfg.policy = core::PolicyKind::kStaticEqual;
+  slow_cfg.policy = "static-equal";
   const ExperimentResult slow = run_experiment(slow_cfg);
   const double a = improvement(fast, slow);
   const double b = improvement(slow, fast);

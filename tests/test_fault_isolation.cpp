@@ -42,7 +42,7 @@ ExperimentSpec healthy_spec() {
     spec.add(profile + "/model", small(profile));
     ExperimentConfig shared = small(profile);
     shared.l2_mode = mem::L2Mode::kSharedUnpartitioned;
-    shared.policy.reset();
+    shared.policy = "none";
     spec.add(profile + "/shared", shared);
   }
   return spec;

@@ -5,6 +5,7 @@
 
 #include <numeric>
 
+#include "src/core/partitioner_registry.hpp"
 #include "src/core/policy.hpp"
 
 namespace capart::core {
@@ -19,10 +20,11 @@ sim::SystemConfig system_config(ThreadId threads) {
   return c;
 }
 
-std::vector<std::unique_ptr<PartitionPolicy>> two_policies(PolicyKind kind) {
+std::vector<std::unique_ptr<PartitionPolicy>> two_policies(
+    std::string_view name) {
   std::vector<std::unique_ptr<PartitionPolicy>> v;
-  v.push_back(make_policy(kind));
-  v.push_back(make_policy(kind));
+  v.push_back(registry().make(name));
+  v.push_back(registry().make(name));
   return v;
 }
 
@@ -33,7 +35,7 @@ std::vector<AppSpec> two_apps() {
 TEST(HierarchicalRuntime, InitialSharesAreThreadProportional) {
   sim::CmpSystem sys(system_config(4));
   HierarchicalRuntime rt(sys, two_apps(),
-                         two_policies(PolicyKind::kStaticEqual),
+                         two_policies("static-equal"),
                          OsAllocationMode::kStaticEqual, 1, 100);
   const auto shares = rt.app_shares();
   ASSERT_EQ(shares.size(), 2u);
@@ -46,8 +48,8 @@ TEST(HierarchicalRuntime, UnevenAppsGetProportionalShares) {
   std::vector<AppSpec> apps = {AppSpec{.threads = {0, 1, 2}},
                                AppSpec{.threads = {3}}};
   std::vector<std::unique_ptr<PartitionPolicy>> policies;
-  policies.push_back(make_policy(PolicyKind::kStaticEqual));
-  policies.push_back(make_policy(PolicyKind::kStaticEqual));
+  policies.push_back(registry().make("static-equal"));
+  policies.push_back(registry().make("static-equal"));
   HierarchicalRuntime rt(sys, std::move(apps), std::move(policies),
                          OsAllocationMode::kStaticEqual, 1, 100);
   EXPECT_EQ(rt.app_shares()[0], 12u);
@@ -57,7 +59,7 @@ TEST(HierarchicalRuntime, UnevenAppsGetProportionalShares) {
 TEST(HierarchicalRuntime, BarrierGroupsFollowAppOwnership) {
   sim::CmpSystem sys(system_config(4));
   HierarchicalRuntime rt(sys, two_apps(),
-                         two_policies(PolicyKind::kStaticEqual),
+                         two_policies("static-equal"),
                          OsAllocationMode::kStaticEqual, 1, 100);
   EXPECT_EQ(rt.barrier_groups(), (std::vector<std::uint32_t>{0, 0, 1, 1}));
 }
@@ -65,7 +67,7 @@ TEST(HierarchicalRuntime, BarrierGroupsFollowAppOwnership) {
 TEST(HierarchicalRuntime, PerAppPartitionsStayWithinShares) {
   sim::CmpSystem sys(system_config(4));
   HierarchicalRuntime rt(sys, two_apps(),
-                         two_policies(PolicyKind::kCpiProportional),
+                         two_policies("cpi-proportional"),
                          OsAllocationMode::kStaticEqual, 1, 100);
   // App 0's thread 0 is slow; app 1's threads equal.
   sys.counters().thread(0).instructions = 1'000;
@@ -87,7 +89,7 @@ TEST(HierarchicalRuntime, PerAppPartitionsStayWithinShares) {
 TEST(HierarchicalRuntime, MissProportionalOsShiftsSharesTowardMissierApp) {
   sim::CmpSystem sys(system_config(4));
   HierarchicalRuntime rt(sys, two_apps(),
-                         two_policies(PolicyKind::kStaticEqual),
+                         two_policies("static-equal"),
                          OsAllocationMode::kMissProportional, 1, 100);
   // App 1 misses 9x more than app 0.
   sys.counters().thread(0).l2_misses = 100;
@@ -107,7 +109,7 @@ TEST(HierarchicalRuntime, MissProportionalOsShiftsSharesTowardMissierApp) {
 TEST(HierarchicalRuntime, OsPeriodThrottlesReallocation) {
   sim::CmpSystem sys(system_config(4));
   HierarchicalRuntime rt(sys, two_apps(),
-                         two_policies(PolicyKind::kStaticEqual),
+                         two_policies("static-equal"),
                          OsAllocationMode::kMissProportional,
                          /*os_period=*/4, 100);
   auto drive = [&](std::uint64_t idx, std::uint64_t app0_misses,
@@ -134,7 +136,7 @@ TEST(HierarchicalRuntime, OsPeriodThrottlesReallocation) {
 TEST(HierarchicalRuntime, HistoryRecordsEveryInterval) {
   sim::CmpSystem sys(system_config(4));
   HierarchicalRuntime rt(sys, two_apps(),
-                         two_policies(PolicyKind::kStaticEqual),
+                         two_policies("static-equal"),
                          OsAllocationMode::kStaticEqual, 1, 100);
   rt.on_interval(0);
   rt.on_interval(1);
@@ -147,7 +149,7 @@ TEST(HierarchicalRuntime, RejectsBadOwnership) {
     std::vector<AppSpec> overlapping = {AppSpec{.threads = {0, 1}},
                                         AppSpec{.threads = {1, 2, 3}}};
     EXPECT_DEATH(HierarchicalRuntime(sys, std::move(overlapping),
-                                     two_policies(PolicyKind::kStaticEqual),
+                                     two_policies("static-equal"),
                                      OsAllocationMode::kStaticEqual, 1, 100),
                  "owned by two");
   }
@@ -155,7 +157,7 @@ TEST(HierarchicalRuntime, RejectsBadOwnership) {
     std::vector<AppSpec> missing = {AppSpec{.threads = {0, 1}},
                                     AppSpec{.threads = {2}}};
     EXPECT_DEATH(HierarchicalRuntime(sys, std::move(missing),
-                                     two_policies(PolicyKind::kStaticEqual),
+                                     two_policies("static-equal"),
                                      OsAllocationMode::kStaticEqual, 1, 100),
                  "unowned");
   }
@@ -165,7 +167,7 @@ TEST(HierarchicalRuntime, ModelBasedPoliciesComposePerApp) {
   // End-to-end plumbing with the real headline policy inside each app.
   sim::CmpSystem sys(system_config(4));
   HierarchicalRuntime rt(sys, two_apps(),
-                         two_policies(PolicyKind::kModelBased),
+                         two_policies("model-based"),
                          OsAllocationMode::kStaticEqual, 1, 100);
   for (std::uint64_t i = 0; i < 6; ++i) {
     for (ThreadId t = 0; t < 4; ++t) {

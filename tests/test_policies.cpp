@@ -8,6 +8,7 @@
 
 #include "src/core/cpi_proportional_policy.hpp"
 #include "src/core/equal_policy.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/core/policy.hpp"
 #include "src/core/throughput_policy.hpp"
 #include "src/core/fair_slowdown_policy.hpp"
@@ -234,27 +235,51 @@ TEST(FairSlowdownPolicy, BootstrapsAndResets) {
   EXPECT_EQ(b, a);
 }
 
-TEST(PolicyFactory, ProducesEveryKindWithMatchingNames) {
-  const std::pair<PolicyKind, std::string_view> table[] = {
-      {PolicyKind::kStaticEqual, "static-equal"},
-      {PolicyKind::kCpiProportional, "cpi-proportional"},
-      {PolicyKind::kModelBased, "model-based(spline)"},
-      {PolicyKind::kThroughputOriented, "throughput-oriented"},
-      {PolicyKind::kTimeShared, "time-shared"},
-      {PolicyKind::kFairSlowdown, "fair-slowdown"},
+TEST(PolicyFactory, RegistryProducesMatchingNames) {
+  const std::pair<std::string_view, std::string_view> table[] = {
+      {"static-equal", "static-equal"},
+      {"cpi-proportional", "cpi-proportional"},
+      {"model-based", "model-based(spline)"},
+      {"throughput-oriented", "throughput-oriented"},
+      {"time-shared", "time-shared"},
+      {"fair-slowdown", "fair-slowdown"},
+      // Short aliases build the same policies.
+      {"static", "static-equal"},
+      {"model", "model-based(spline)"},
   };
-  for (const auto& [kind, name] : table) {
-    auto p = make_policy(kind);
+  for (const auto& [key, name] : table) {
+    auto p = registry().make(key);
     ASSERT_NE(p, nullptr);
-    EXPECT_EQ(p->name(), name) << to_string(kind);
+    EXPECT_EQ(p->name(), name) << key;
   }
 }
 
 TEST(PolicyFactory, LinearModelVariantName) {
   PolicyOptions opt;
   opt.model_kind = ModelKind::kPiecewiseLinear;
-  EXPECT_EQ(make_policy(PolicyKind::kModelBased, opt)->name(),
+  EXPECT_EQ(registry().make("model-based", opt)->name(),
             "model-based(linear)");
+}
+
+TEST(PolicyFactory, UnknownNameIsARecoverableConfigError) {
+  EXPECT_CONFIG_ERROR(registry().make("warp-drive"), "warp-drive");
+  EXPECT_CONFIG_ERROR(registry().require("none"), "policy");
+}
+
+TEST(PolicyOptionsValidation, RejectsOutOfRangeValues) {
+  PolicyOptions alpha;
+  alpha.ewma_alpha = 0.0;
+  EXPECT_CONFIG_ERROR(alpha.validate(), "ewma_alpha");
+  alpha.ewma_alpha = 1.5;
+  EXPECT_CONFIG_ERROR(alpha.validate(), "ewma_alpha");
+  PolicyOptions frac;
+  frac.time_shared_big_fraction = 1.0;
+  EXPECT_CONFIG_ERROR(frac.validate(), "big_fraction");
+  PolicyOptions quantum;
+  quantum.time_shared_quantum = 0;
+  EXPECT_CONFIG_ERROR(quantum.validate(), "quantum");
+  PolicyOptions fine;
+  fine.validate();  // defaults pass
 }
 
 }  // namespace

@@ -2,9 +2,11 @@
 // (seeded-random) inputs, swept with parameterized tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "src/common/rng.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/core/policy.hpp"
 #include "src/mem/utility_monitor.hpp"
 #include "src/sim/experiment.hpp"
@@ -14,14 +16,14 @@ namespace capart {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Every policy kind, fed random-but-plausible interval records, must always
-// return a valid partition: one entry per thread, >= 1 each, summing to the
-// total way count. This is the contract the Configuration Unit enforces with
-// hard aborts, so any violation here is a real bug.
+// Every registered partitioner, fed random-but-plausible interval records,
+// must always return a valid partition: one entry per thread, >= 1 each,
+// summing to the total way count. This is the contract the Configuration Unit
+// enforces with hard aborts, so any violation here is a real bug.
 // ---------------------------------------------------------------------------
 
 struct PolicyCase {
-  core::PolicyKind kind;
+  const char* name;
   std::uint64_t seed;
 };
 
@@ -29,10 +31,10 @@ class PolicyAllocationProperty : public ::testing::TestWithParam<PolicyCase> {
 };
 
 TEST_P(PolicyAllocationProperty, AlwaysReturnsValidPartitions) {
-  const auto [kind, seed] = GetParam();
+  const auto [name, seed] = GetParam();
   Rng rng(seed);
   core::PolicyOptions opt;
-  auto policy = core::make_policy(kind, opt);
+  auto policy = core::registry().make(name, opt);
   const ThreadId n = static_cast<ThreadId>(2 + rng.below(7));
   const std::uint32_t total = n * (1 + static_cast<std::uint32_t>(rng.below(16)));
   // The measured-curve policy needs monitoring hardware; give it one fed
@@ -42,10 +44,21 @@ TEST_P(PolicyAllocationProperty, AlwaysReturnsValidPartitions) {
   for (int i = 0; i < 5'000; ++i) {
     umon.observe(static_cast<ThreadId>(rng.below(n)), rng.below(5'000) * 64);
   }
+  // Half the seeds provide a sharing profile (exercises the reuse-aware
+  // policy's profile path); the other half leave it empty (fallback path).
+  std::vector<core::ThreadSharing> sharing;
+  if (seed % 2 == 0) {
+    for (ThreadId t = 0; t < n; ++t) {
+      sharing.push_back(core::ThreadSharing{
+          .share_fraction = static_cast<double>(rng.below(100)) / 100.0,
+          .shared_region_blocks = static_cast<double>(rng.below(20'000))});
+    }
+  }
   const core::PartitionContext ctx{.total_ways = total,
                                    .num_threads = n,
                                    .utility_monitor = &umon,
-                                   .memory_penalty = 200};
+                                   .memory_penalty = 200,
+                                   .sharing = sharing};
 
   std::vector<std::uint32_t> ways = core::equal_split(total, n);
   for (std::uint64_t interval = 0; interval < 40; ++interval) {
@@ -79,21 +92,33 @@ TEST_P(PolicyAllocationProperty, AlwaysReturnsValidPartitions) {
 INSTANTIATE_TEST_SUITE_P(
     AllKindsManySeeds, PolicyAllocationProperty,
     ::testing::Values(
-        PolicyCase{core::PolicyKind::kStaticEqual, 1},
-        PolicyCase{core::PolicyKind::kStaticEqual, 2},
-        PolicyCase{core::PolicyKind::kCpiProportional, 3},
-        PolicyCase{core::PolicyKind::kCpiProportional, 4},
-        PolicyCase{core::PolicyKind::kModelBased, 5},
-        PolicyCase{core::PolicyKind::kModelBased, 6},
-        PolicyCase{core::PolicyKind::kModelBased, 7},
-        PolicyCase{core::PolicyKind::kThroughputOriented, 8},
-        PolicyCase{core::PolicyKind::kThroughputOriented, 9},
-        PolicyCase{core::PolicyKind::kTimeShared, 10},
-        PolicyCase{core::PolicyKind::kTimeShared, 11},
-        PolicyCase{core::PolicyKind::kUmonCriticalPath, 12},
-        PolicyCase{core::PolicyKind::kUmonCriticalPath, 13},
-        PolicyCase{core::PolicyKind::kFairSlowdown, 14},
-        PolicyCase{core::PolicyKind::kFairSlowdown, 15}));
+        PolicyCase{"static-equal", 1}, PolicyCase{"static-equal", 2},
+        PolicyCase{"cpi-proportional", 3}, PolicyCase{"cpi-proportional", 4},
+        PolicyCase{"model-based", 5}, PolicyCase{"model-based", 6},
+        PolicyCase{"model-based", 7}, PolicyCase{"throughput-oriented", 8},
+        PolicyCase{"throughput-oriented", 9}, PolicyCase{"time-shared", 10},
+        PolicyCase{"time-shared", 11}, PolicyCase{"umon-critical-path", 12},
+        PolicyCase{"umon-critical-path", 13}, PolicyCase{"fair-slowdown", 14},
+        PolicyCase{"fair-slowdown", 15}, PolicyCase{"ucp-lookahead", 16},
+        PolicyCase{"ucp-lookahead", 17}, PolicyCase{"lfoc-classing", 18},
+        PolicyCase{"lfoc-classing", 19}, PolicyCase{"reuse-aware", 20},
+        PolicyCase{"reuse-aware", 21}));
+
+// A sweep kept honest against the registry itself: every registered name
+// appears in the hand-written case list above at least once, so adding a
+// partitioner without extending the property suite fails here.
+TEST(PolicyAllocationProperty, CaseListCoversTheWholeRegistry) {
+  std::vector<std::string> covered = {
+      "static-equal",   "cpi-proportional",   "model-based",
+      "throughput-oriented", "time-shared",   "umon-critical-path",
+      "fair-slowdown",  "ucp-lookahead",      "lfoc-classing",
+      "reuse-aware"};
+  for (const std::string& name : core::registry().names()) {
+    EXPECT_NE(std::find(covered.begin(), covered.end(), name), covered.end())
+        << "registered partitioner '" << name
+        << "' missing from PolicyAllocationProperty";
+  }
+}
 
 // ---------------------------------------------------------------------------
 // End-to-end conservation: whatever the profile, policy, and L2 mode, a run
@@ -104,7 +129,7 @@ INSTANTIATE_TEST_SUITE_P(
 struct RunCase {
   const char* profile;
   mem::L2Mode mode;
-  std::optional<core::PolicyKind> policy;
+  const char* policy;  // registry name; "none" = no partitioner
 };
 
 class RunConservationProperty : public ::testing::TestWithParam<RunCase> {};
@@ -144,27 +169,22 @@ TEST_P(RunConservationProperty, WorkAndTimeAreConserved) {
 INSTANTIATE_TEST_SUITE_P(
     ProfilesAndModes, RunConservationProperty,
     ::testing::Values(
-        RunCase{"cg", mem::L2Mode::kPartitionedShared,
-                core::PolicyKind::kModelBased},
-        RunCase{"mg", mem::L2Mode::kPartitionedShared,
-                core::PolicyKind::kCpiProportional},
-        RunCase{"ft", mem::L2Mode::kPartitionedShared,
-                core::PolicyKind::kThroughputOriented},
-        RunCase{"lu", mem::L2Mode::kPartitionedShared,
-                core::PolicyKind::kTimeShared},
-        RunCase{"bt", mem::L2Mode::kPartitionedShared,
-                core::PolicyKind::kStaticEqual},
-        RunCase{"swim", mem::L2Mode::kSharedUnpartitioned, std::nullopt},
-        RunCase{"mgrid", mem::L2Mode::kPrivatePerThread, std::nullopt},
-        RunCase{"applu", mem::L2Mode::kSharedUnpartitioned, std::nullopt},
+        RunCase{"cg", mem::L2Mode::kPartitionedShared, "model-based"},
+        RunCase{"mg", mem::L2Mode::kPartitionedShared, "cpi-proportional"},
+        RunCase{"ft", mem::L2Mode::kPartitionedShared, "throughput-oriented"},
+        RunCase{"lu", mem::L2Mode::kPartitionedShared, "time-shared"},
+        RunCase{"bt", mem::L2Mode::kPartitionedShared, "static-equal"},
+        RunCase{"swim", mem::L2Mode::kSharedUnpartitioned, "none"},
+        RunCase{"mgrid", mem::L2Mode::kPrivatePerThread, "none"},
+        RunCase{"applu", mem::L2Mode::kSharedUnpartitioned, "none"},
+        RunCase{"equake", mem::L2Mode::kPartitionedShared, "model-based"},
+        RunCase{"cg", mem::L2Mode::kSetPartitionedShared, "model-based"},
+        RunCase{"mg", mem::L2Mode::kFlushReconfigureShared, "model-based"},
         RunCase{"equake", mem::L2Mode::kPartitionedShared,
-                core::PolicyKind::kModelBased},
-        RunCase{"cg", mem::L2Mode::kSetPartitionedShared,
-                core::PolicyKind::kModelBased},
-        RunCase{"mg", mem::L2Mode::kFlushReconfigureShared,
-                core::PolicyKind::kModelBased},
-        RunCase{"equake", mem::L2Mode::kPartitionedShared,
-                core::PolicyKind::kUmonCriticalPath}));
+                "umon-critical-path"},
+        RunCase{"cg", mem::L2Mode::kPartitionedShared, "ucp-lookahead"},
+        RunCase{"swim", mem::L2Mode::kPartitionedShared, "lfoc-classing"},
+        RunCase{"equake", mem::L2Mode::kPartitionedShared, "reuse-aware"}));
 
 // ---------------------------------------------------------------------------
 // Partition targets recorded over a model-based run are always valid and the

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "expect_config_error.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/obs/event_log.hpp"
 #include "src/obs/events.hpp"
 
@@ -25,7 +26,7 @@ sim::ExperimentConfig full_config() {
   c.profile = "mg";
   c.num_threads = 3;
   c.l2_mode = mem::L2Mode::kSetPartitionedShared;
-  c.policy = core::PolicyKind::kFairSlowdown;
+  c.policy = "fair-slowdown";
   c.policy_options.model_kind = core::ModelKind::kPiecewiseLinear;
   c.policy_options.ewma_alpha = 0.5;
   c.policy_options.max_moves_per_interval = 3;
@@ -165,17 +166,44 @@ TEST(SpecJson, RejectsUnknownEnumSpellings) {
   EXPECT_CONFIG_ERROR(reparse(R"({"l2_enforce":"msr"})"),
                       "default, eviction-control or clos");
   EXPECT_CONFIG_ERROR(reparse(R"({"clos_mapper":"furthest"})"),
-                      "none, nearest or minmax");
+                      "none, nearest, minmax or lfoc");
   EXPECT_CONFIG_ERROR(
       reparse(R"({"policy_options":{"model_kind":"quartic"}})"),
       "cubic-spline or piecewise-linear");
 }
 
-TEST(SpecJson, PolicyNoneMapsToNullopt) {
+TEST(SpecJson, PolicyNoneRoundTrips) {
   const sim::ExperimentConfig decoded = reparse(R"({"policy":"none"})");
-  EXPECT_FALSE(decoded.policy.has_value());
+  EXPECT_TRUE(core::is_no_policy(decoded.policy));
   EXPECT_NE(config_to_json(decoded).find("\"policy\":\"none\""),
             std::string::npos);
+}
+
+TEST(SpecJson, PolicyAliasesCanonicalize) {
+  // Short CLI spellings are accepted on the wire but serialize canonically,
+  // so cache keys cannot split across spellings of one policy.
+  const sim::ExperimentConfig decoded = reparse(R"({"policy":"model"})");
+  EXPECT_EQ(decoded.policy, "model-based");
+  EXPECT_NE(config_to_json(decoded).find("\"policy\":\"model-based\""),
+            std::string::npos);
+}
+
+TEST(SpecJson, EveryRegisteredPolicyRoundTripsByteIdentically) {
+  // Registry totality: each canonical name survives write -> parse -> write
+  // with identical bytes, and the unknown-name error lists the whole
+  // registry so clients can self-correct.
+  for (const std::string& name : core::registry().names()) {
+    sim::ExperimentConfig c;
+    c.policy = name;
+    const std::string first = config_to_json(c);
+    const sim::ExperimentConfig decoded = reparse(first);
+    EXPECT_EQ(decoded.policy, name);
+    EXPECT_EQ(config_to_json(decoded), first) << name;
+  }
+  EXPECT_CONFIG_ERROR(reparse(R"({"policy":"quantum-foam"})"),
+                      "spec.policy");
+  EXPECT_CONFIG_ERROR(reparse(R"({"policy":"quantum-foam"})"),
+                      "ucp-lookahead");
 }
 
 TEST(SpecRequestJson, ShorthandConfigBecomesOneArmNamedRun) {
@@ -313,7 +341,7 @@ TEST(SpecRequestJson, GoldenSpecDocumentStaysParseable) {
   EXPECT_EQ(request.spec.arms[0].config.l2.index, mem::IndexKind::kHash);
   EXPECT_EQ(request.spec.arms[0].config.l2_banks, 4u);
   EXPECT_EQ(request.spec.arms[1].name, "mg/baseline");
-  EXPECT_FALSE(request.spec.arms[1].config.policy.has_value());
+  EXPECT_TRUE(core::is_no_policy(request.spec.arms[1].config.policy));
 
   // The canonical bytes of the golden document are pinned to a second
   // golden file, so an accidental wire-format change (field rename, order

@@ -91,11 +91,11 @@ TEST(UmonPolicy, EndToEndBeatsStaticEqualWithoutLearningRounds) {
   // a short run should already beat the static split on a heterogeneous app.
   sim::ExperimentConfig umon_cfg;
   umon_cfg.profile = "cg";
-  umon_cfg.policy = core::PolicyKind::kUmonCriticalPath;
+  umon_cfg.policy = "umon-critical-path";
   umon_cfg.num_intervals = 12;
   umon_cfg.interval_instructions = 120'000;
   sim::ExperimentConfig equal_cfg = umon_cfg;
-  equal_cfg.policy = core::PolicyKind::kStaticEqual;
+  equal_cfg.policy = "static-equal";
   const auto umon_run = sim::run_experiment(umon_cfg);
   const auto equal_run = sim::run_experiment(equal_cfg);
   EXPECT_GT(sim::improvement(umon_run, equal_run), 0.02);

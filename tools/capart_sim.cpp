@@ -26,6 +26,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/parse.hpp"
+#include "src/core/partitioner_registry.hpp"
 #include "src/obs/chrome_trace.hpp"
 #include "src/obs/jsonl_sink.hpp"
 #include "src/obs/metrics.hpp"
@@ -46,8 +47,11 @@ using namespace capart;
 flags:
   --profile=NAME[,..]   workload: cg mg ft lu bt swim mgrid applu equake
                         (a comma-separated list runs every profile)
-  --policy=NAME[,..]    none static cpi model throughput timeshared umon fair
+  --policy=NAME[,..]    a registered partitioner (canonical name or alias;
+                        see --list-policies) or none for a pure monitor
                         (a comma-separated list runs every policy)
+  --list-policies       print every registered partitioner with its aliases,
+                        options and summary, then exit
   --l2-mode=NAME        shared partitioned private coloring flush
   --threads=N           cores/threads (default 4)
   --intervals=N         execution intervals (default 40)
@@ -65,8 +69,9 @@ flags:
   --l2-enforce=NAME     partition enforcement: default eviction-control clos
                         (clos = CAT-style way masks; supports threads > ways)
   --clos-budget=N       CLOS count with --l2-enforce=clos (default 8)
-  --clos-mapper=NAME    thread->CLOS clustering: none nearest minmax
-                        (default nearest)
+  --clos-mapper=NAME    thread->CLOS clustering: none nearest minmax lfoc
+                        (default nearest; lfoc clusters on the classes a
+                        classifying policy publishes)
   --seed=N              workload seed (default 42)
   --jobs=N              concurrent experiments in batch mode (default: all
                         cores); results are bit-identical for any value
@@ -92,17 +97,38 @@ flags:
   std::exit(code);
 }
 
-std::optional<core::PolicyKind> parse_policy(std::string_view v) {
-  if (v == "none") return std::nullopt;
-  if (v == "static") return core::PolicyKind::kStaticEqual;
-  if (v == "cpi") return core::PolicyKind::kCpiProportional;
-  if (v == "model") return core::PolicyKind::kModelBased;
-  if (v == "throughput") return core::PolicyKind::kThroughputOriented;
-  if (v == "timeshared") return core::PolicyKind::kTimeShared;
-  if (v == "umon") return core::PolicyKind::kUmonCriticalPath;
-  if (v == "fair") return core::PolicyKind::kFairSlowdown;
-  std::fprintf(stderr, "unknown policy '%.*s'\n", int(v.size()), v.data());
-  usage(2);
+/// The registry is the source of truth for --policy: any canonical name or
+/// alias resolves; anything else lists what would have been accepted.
+std::string parse_policy(std::string_view v) {
+  const std::string_view canonical = core::registry().canonical(v);
+  if (canonical.empty()) {
+    std::fprintf(stderr, "unknown policy '%.*s' (expected %s)\n",
+                 int(v.size()), v.data(),
+                 core::registry().known_names(/*include_none=*/true).c_str());
+    usage(2);
+  }
+  return std::string(canonical);
+}
+
+[[noreturn]] void list_policies() {
+  std::printf(
+      "registered partitioners (--policy accepts canonical names or "
+      "aliases):\n");
+  for (const core::Partitioner* p : core::registry().describe()) {
+    std::printf("\n  %s", p->name.c_str());
+    for (const std::string& alias : p->aliases) {
+      std::printf(" (alias: %s)", alias.c_str());
+    }
+    if (p->needs_utility_monitor) std::printf(" [needs shadow-tag UMON]");
+    if (!p->dynamic) std::printf(" [static]");
+    std::printf("\n      %s\n", p->summary.c_str());
+    for (const core::PartitionerOption& opt : p->options) {
+      std::printf("      option %.*s: %.*s\n", int(opt.key.size()),
+                  opt.key.data(), int(opt.doc.size()), opt.doc.data());
+    }
+  }
+  std::printf("\n  none\n      pure monitor: no repartitioning at all\n");
+  std::exit(0);
 }
 
 mem::L2Mode parse_mode(std::string_view v) {
@@ -150,8 +176,8 @@ core::ClosMapperKind parse_mapper(std::string_view v) {
   core::ClosMapperKind kind{};
   if (!core::parse_clos_mapper(v, kind)) {
     std::fprintf(stderr,
-                 "invalid value for --clos-mapper: want none, nearest or "
-                 "minmax\n");
+                 "invalid value for --clos-mapper: want none, nearest, "
+                 "minmax or lfoc\n");
     usage(2);
   }
   return kind;
@@ -189,9 +215,11 @@ bool open_or_die(std::ofstream& os, const std::string& path) {
 int main(int argc, char** argv) {
   sim::ExperimentConfig cfg;
   std::vector<std::string> profiles = {cfg.profile};
-  // (name, kind) pairs; the default mirrors ExperimentConfig's default.
-  std::vector<std::pair<std::string, std::optional<core::PolicyKind>>>
-      policies = {{"model", cfg.policy}};
+  // (display name as typed, canonical registry name) pairs: the user's
+  // spelling names the arm (and its output files), the canonical name goes
+  // into the config. The default mirrors ExperimentConfig's default.
+  std::vector<std::pair<std::string, std::string>> policies = {
+      {"model", cfg.policy}};
   bool had_policy_flag = false;
   unsigned jobs = 0;
   sim::BatchPolicy batch_policy;
@@ -210,6 +238,7 @@ int main(int argc, char** argv) {
                                          ? std::string_view{}
                                          : arg.substr(eq + 1);
       if (key == "--help" || key == "-h") usage(0);
+      else if (key == "--list-policies") list_policies();
       else if (key == "--profile")
         profiles = split_flag_list(value, "--profile");
       else if (key == "--policy") {
@@ -273,7 +302,7 @@ int main(int argc, char** argv) {
   if (!had_policy_flag &&
       (cfg.l2_mode == mem::L2Mode::kSharedUnpartitioned ||
        cfg.l2_mode == mem::L2Mode::kPrivatePerThread)) {
-    policies = {{"none", std::nullopt}};
+    policies = {{"none", std::string(core::kNoPolicyName)}};
   }
   if (profiles.empty() || policies.empty()) {
     std::fprintf(stderr, "empty --profile or --policy list\n");
@@ -403,8 +432,7 @@ int main(int argc, char** argv) {
   std::printf(
       "%s policy=%s l2=%s threads=%u: %llu cycles, %llu instructions, "
       "wall-CPI %.2f\n",
-      cfg.profile.c_str(),
-      cfg.policy ? std::string(core::to_string(*cfg.policy)).c_str() : "none",
+      cfg.profile.c_str(), cfg.policy.c_str(),
       std::string(mem::to_string(cfg.l2_mode)).c_str(), cfg.num_threads,
       static_cast<unsigned long long>(r.outcome.total_cycles),
       static_cast<unsigned long long>(r.outcome.instructions_retired),
