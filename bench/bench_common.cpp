@@ -80,6 +80,14 @@ BenchOptions parse_options(int argc, char** argv) try {
         std::fprintf(stderr, "invalid value for --jobs: must be >= 1\n");
         std::exit(2);
       }
+    } else if (key == "--intra-jobs") {
+      opt.intra_jobs = parse_u32_flag(value, "--intra-jobs");
+      if (opt.intra_jobs == 0) {
+        std::fprintf(stderr, "invalid value for --intra-jobs: must be >= 1\n");
+        std::exit(2);
+      }
+    } else if (key == "--trace-dir") {
+      opt.trace_dir = std::string(value);
     } else if (key == "--arm-retries") {
       opt.arm_retries = parse_u32_flag(value, "--arm-retries");
     } else if (key == "--arm-deadline") {
@@ -94,6 +102,7 @@ BenchOptions parse_options(int argc, char** argv) try {
       std::printf(
           "flags: --intervals=N --interval-instr=N --threads=N --seed=N "
           "--jobs=N\n"
+          "       --intra-jobs=N --trace-dir=DIR\n"
           "       --profile=NAME[,..] --arm-retries=N --arm-deadline=SECONDS\n"
           "       --l2-repl=lru|plru|srrip --l2-index=scan|hash|auto\n"
           "       --l2-banks=N --l2-enforce=default|eviction-control|clos\n"
@@ -117,6 +126,11 @@ BenchOptions parse_options(int argc, char** argv) try {
           "  --jobs=N  run up to N experiments concurrently (default: all "
           "cores);\n"
           "            results are bit-identical for any value\n"
+          "  --intra-jobs=N  worker threads inside each experiment (spool\n"
+          "            resolves + monitor feeding); bit-identical for any "
+          "value\n"
+          "  --trace-dir=DIR resolved-trace spool directory (default off);\n"
+          "            arms sharing a profile amortize one resolve pass\n"
           "  --arm-retries=N        re-run a failed arm up to N times "
           "(default 0)\n"
           "  --arm-deadline=SEC     per-arm wall-clock budget; an expired arm "
@@ -163,6 +177,8 @@ sim::ExperimentConfig base_config(const BenchOptions& opt,
   cfg.l2_enforce = opt.l2_enforce;
   cfg.clos_budget = opt.clos_budget;
   cfg.clos_mapper = opt.clos_mapper;
+  cfg.intra_jobs = opt.intra_jobs;
+  cfg.trace_spool_dir = opt.trace_dir;
   return cfg;
 }
 

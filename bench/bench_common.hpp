@@ -18,6 +18,12 @@
 //   --clos-mapper=NAME      thread->CLOS clustering: none nearest minmax
 //                           lfoc (default nearest)
 //   --jobs=N                concurrent experiments (default: all cores)
+//   --intra-jobs=N          worker threads inside each experiment (parallel
+//                           trace-spool resolves + sharded monitor feeding;
+//                           bit-identical for any value; default 1)
+//   --trace-dir=DIR         resolved-trace spool directory (empty = off);
+//                           arms sharing a profile amortize one
+//                           generate+resolve pass; bit-identical
 //   --arm-retries=N         re-run a failed arm up to N times (default 0)
 //   --arm-deadline=SEC      per-arm wall-clock budget; expired arms stop at
 //                           the next interval boundary as timed_out
@@ -63,6 +69,14 @@ struct BenchOptions {
   std::vector<std::string> profiles;
   std::uint64_t seed = 42;
   unsigned jobs = 0;  // 0 -> sim::default_jobs()
+  /// Intra-experiment workers (--intra-jobs=N): parallel spool resolves and
+  /// sharded utility-monitor feeding inside each arm. Bit-identical for any
+  /// value; composes with --jobs (total threads ~ jobs x intra_jobs).
+  std::uint32_t intra_jobs = 1;
+  /// Resolved-trace spool directory (--trace-dir=DIR; empty = off). See
+  /// sim/trace_spool.hpp — arms sharing a workload profile pay for one
+  /// generation+resolve pass; results are bit-identical either way.
+  std::string trace_dir;
   /// Fault-isolation policy of the batch (--arm-retries / --arm-deadline):
   /// re-runs per failed arm, and the per-arm wall-clock budget in seconds
   /// (0 = none). See sim::BatchPolicy.

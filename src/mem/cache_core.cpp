@@ -26,6 +26,8 @@ CacheCore::CacheCore(const CacheGeometry& geometry, ThreadId num_threads,
       stats_(num_threads) {
   geometry_.validate();
   CAPART_CHECK(num_threads_ > 0, "cache core needs >= 1 thread");
+  mono_ = num_threads_ == 1 &&
+          enforcement_ != PartitionEnforcement::kClosWayMask;
   const std::size_t lines =
       static_cast<std::size_t>(geometry_.sets) * geometry_.ways;
   repl_ = make_replacement(geometry_.repl, geometry_.sets, geometry_.ways);
@@ -158,8 +160,9 @@ std::uint32_t CacheCore::choose_victim(std::uint32_t set, ThreadId thread) {
   // All lines valid: ask the replacement policy within the enforcement scope.
   using Scope = ReplacementPolicy::Eligible::Scope;
   Scope scope = Scope::kAnyValid;
-  if (enforcement_ == PartitionEnforcement::kWayEvictionControl ||
-      enforcement_ == PartitionEnforcement::kWayFlushReconfigure) {
+  if (!mono_ &&
+      (enforcement_ == PartitionEnforcement::kWayEvictionControl ||
+       enforcement_ == PartitionEnforcement::kWayFlushReconfigure)) {
     // §V eviction control. All lines are valid here, so if the thread is
     // below target a foreign line must exist (owned < target <= ways), and
     // at-or-above target it owns at least one line (target >= 1); the
@@ -170,6 +173,22 @@ std::uint32_t CacheCore::choose_victim(std::uint32_t set, ThreadId thread) {
     } else {
       scope = own > 0 ? Scope::kOwnedBy : Scope::kAnyValid;
     }
+    // The ownership scope degenerates to "any valid line" when the thread
+    // owns nothing (every line is foreign) or everything (every line is its
+    // own): the eligibility predicate then agrees with kAnyValid on every
+    // way, so the policy's pick is unchanged and the cheaper scope (and the
+    // LRU tail shortcut below) applies.
+    if ((scope == Scope::kNotOwnedBy && own == 0) ||
+        (scope == Scope::kOwnedBy && own == geometry_.ways)) {
+      scope = Scope::kAnyValid;
+    }
+  }
+  if (scope == Scope::kAnyValid && lru_fast_ != nullptr) {
+    // Full set, every way eligible: true LRU's victim is the recency tail —
+    // exactly what find_from_lru returns on its first probe, minus the
+    // virtual dispatch and the walk setup. This is the steady-state victim
+    // path of every unpartitioned cache.
+    return lru_fast_->lru_way(set);
   }
   const ReplacementPolicy::Eligible eligible{.valid = valid,
                                              .owner = &owner_[base],
@@ -213,6 +232,43 @@ CacheCore::AccessResult CacheCore::access_in_set(ThreadId thread,
   std::uint32_t probes = 0;
   const std::uint32_t w = find_way(set, block, probes);
   note_lookup(probes);
+  if (mono_) {
+    // Lean single-thread path: the sole thread is always the inserter and
+    // the last toucher, so the sharing checks cannot fire and the
+    // owner/accessor/ownership bookkeeping is dead weight. Counters that can
+    // change (hits/misses/writebacks/intra_thread_evictions) are maintained
+    // identically to the general path.
+    if (w != BlockWayIndex::kNotFound) {
+      ++mine.hits;
+      if (lru_fast_ != nullptr) {
+        lru_fast_->touch(set, w);
+      } else {
+        repl_->on_hit(set, w);
+      }
+      if (type == AccessType::kWrite) dirty_[base + w] = 1;
+      return AccessResult{.hit = true};
+    }
+    ++mine.misses;
+    const std::uint32_t way = choose_victim(set, thread);
+    const std::size_t idx = base + way;
+    if (valid_[idx] != 0) {
+      if (index_ != nullptr) index_->erase(set, blocks_[idx]);
+      if (dirty_[idx] != 0) ++mine.writebacks;
+      ++mine.intra_thread_evictions;
+    } else {
+      fill_count_[set] += 1;
+    }
+    valid_[idx] = 1;
+    blocks_[idx] = block;
+    dirty_[idx] = (type == AccessType::kWrite) ? 1 : 0;
+    if (index_ != nullptr) index_->insert(set, block, way);
+    if (lru_fast_ != nullptr) {
+      lru_fast_->touch(set, way);
+    } else {
+      repl_->on_fill(set, way);
+    }
+    return AccessResult{};
+  }
   if (w != BlockWayIndex::kNotFound) {
     AccessResult result{.hit = true};
     ++mine.hits;
@@ -291,11 +347,19 @@ std::uint32_t CacheCore::owned_in_set(std::uint32_t set,
                                       ThreadId thread) const {
   CAPART_CHECK(set < geometry_.sets && thread < num_threads_,
                "owned_in_set: index out of range");
+  // Mono caches skip the ownership counters; every valid line is the sole
+  // thread's, so the fill count is the ownership count.
+  if (mono_) return fill_count_[set];
   return owned(set, thread);
 }
 
 std::uint64_t CacheCore::owned_total(ThreadId thread) const {
   CAPART_CHECK(thread < num_threads_, "owned_total: thread out of range");
+  if (mono_) {
+    std::uint64_t total = 0;
+    for (const std::uint16_t filled : fill_count_) total += filled;
+    return total;
+  }
   return owned_totals_[thread];
 }
 

@@ -201,6 +201,14 @@ class CacheCore {
   CacheGeometry geometry_;
   ThreadId num_threads_;
   PartitionEnforcement enforcement_;
+  /// Single-thread cache outside CLOS enforcement (every private L1 and
+  /// private-L2 slice). The sharing checks and the owner/accessor/ownership
+  /// bookkeeping are then vacuous — the sole thread owns and last-touched
+  /// every valid line — so access_in_set takes a lean path that skips them
+  /// and choose_victim collapses every enforcement scope to kAnyValid
+  /// (bit-identical: with one thread all scopes admit exactly the valid
+  /// lines). owned_in_set/owned_total derive from fill counts instead.
+  bool mono_ = false;
   IndexKind index_kind_;
   std::unique_ptr<ReplacementPolicy> repl_;
   /// repl_'s LruList when the policy is true LRU (the default), else null:

@@ -138,6 +138,13 @@ class LruList {
     }
   }
 
+  /// The LRU way of `set` in O(1) — what find_from_lru returns when every
+  /// way is eligible, which lets the cache core's victim fast path skip the
+  /// walk (and the virtual policy dispatch) entirely for true LRU.
+  std::uint32_t lru_way(std::uint32_t set) const noexcept {
+    return tail_[set];
+  }
+
   /// Restores the initial identity order (way 0 MRU ... way ways-1 LRU) in
   /// every set — the same order LruStack::reset produces.
   void reset();

@@ -1,0 +1,96 @@
+#include "src/mem/umon_feed.hpp"
+
+#include <algorithm>
+
+namespace capart::mem {
+
+ShardedUmonFeed::ShardedUmonFeed(UtilityMonitor& umon, std::uint32_t jobs)
+    : umon_(umon) {
+  const std::uint32_t workers = std::min(std::max(jobs, 1u), umon.shards());
+  if (workers <= 1) return;  // synchronous degenerate case: no threads
+  shards_.resize(workers);
+  for (std::uint32_t s = 0; s < workers; ++s) {
+    shards_[s].pending.reserve(kBatch);
+    shards_[s].worker = std::thread([this, s] { run_worker(s); });
+  }
+}
+
+ShardedUmonFeed::~ShardedUmonFeed() {
+  if (shards_.empty()) return;
+  drain();
+  for (Shard& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.stop = true;
+    }
+    shard.work_ready.notify_one();
+  }
+  for (Shard& shard : shards_) shard.worker.join();
+}
+
+void ShardedUmonFeed::push(ThreadId thread, Addr addr) {
+  std::uint32_t shadow_set = 0;
+  if (!umon_.route(addr, shadow_set)) return;
+  const std::uint32_t shard_id = umon_.shard_of(shadow_set);
+  if (shards_.empty()) {
+    // Synchronous: one worker would serialize everything anyway.
+    umon_.observe_routed(shard_id, thread, addr, shadow_set);
+    return;
+  }
+  // Feed workers modulo the worker count: when the monitor has more counter
+  // shards than workers, each worker still serializes every shard it owns.
+  const std::uint32_t w =
+      shard_id % static_cast<std::uint32_t>(shards_.size());
+  Shard& shard = shards_[w];
+  shard.pending.push_back(
+      Entry{.addr = addr, .shadow_set = shadow_set, .thread = thread});
+  if (shard.pending.size() >= kBatch) flush_shard(w);
+}
+
+void ShardedUmonFeed::flush_shard(std::uint32_t shard_id) {
+  Shard& shard = shards_[shard_id];
+  if (shard.pending.empty()) return;
+  std::vector<Entry> batch;
+  batch.reserve(kBatch);
+  batch.swap(shard.pending);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.batches.push_back(std::move(batch));
+  }
+  shard.work_ready.notify_one();
+}
+
+void ShardedUmonFeed::drain() {
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) flush_shard(s);
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.idle.wait(lock,
+                    [&shard] { return shard.batches.empty() && !shard.busy; });
+  }
+}
+
+void ShardedUmonFeed::run_worker(std::uint32_t shard_id) {
+  Shard& shard = shards_[shard_id];
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  while (true) {
+    shard.work_ready.wait(
+        lock, [&shard] { return shard.stop || !shard.batches.empty(); });
+    if (shard.batches.empty()) {
+      if (shard.stop) return;
+      continue;
+    }
+    std::vector<Entry> batch = std::move(shard.batches.front());
+    shard.batches.pop_front();
+    shard.busy = true;
+    lock.unlock();
+    for (const Entry& e : batch) {
+      umon_.observe_routed(umon_.shard_of(e.shadow_set), e.thread, e.addr,
+                           e.shadow_set);
+    }
+    lock.lock();
+    shard.busy = false;
+    if (shard.batches.empty()) shard.idle.notify_all();
+  }
+}
+
+}  // namespace capart::mem

@@ -1,0 +1,92 @@
+// Sharded asynchronous feed for the utility monitor (--intra-jobs).
+//
+// The UMON is pure instrumentation: nothing on the timed simulation path
+// reads it until the interval boundary, so its observes are the one part of
+// an experiment that can legally run off the driver's thread. The feed
+// exploits the monitor's per-shadow-set disjointness (utility_monitor.hpp):
+// the producer routes each L2 access to its shard (shard = shadow_set %
+// nshards), batches entries per shard, and hands full batches to one worker
+// thread per shard. Per-shard FIFO order preserves the per-set observe order
+// — the only order that affects shadow state — and the sharded interval
+// counters make cross-shard interleaving invisible, so drained results are
+// bit-identical to synchronous observes for any shard count (asserted by
+// tests/test_intra_jobs_differential.cpp).
+//
+// drain() is the interval-boundary sync point: it flushes partial batches
+// and blocks until every worker has gone idle, after which the monitor may
+// be read or reset. With jobs <= 1 the feed degenerates to synchronous
+// observe() calls and owns no threads at all — the serial path pays nothing.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/mem/utility_monitor.hpp"
+
+namespace capart::mem {
+
+class ShardedUmonFeed {
+ public:
+  /// Feeds `umon`, fanning observes across min(jobs, umon.shards()) workers.
+  /// The monitor must outlive the feed and must not be observed through any
+  /// other path while the feed exists.
+  ShardedUmonFeed(UtilityMonitor& umon, std::uint32_t jobs);
+
+  /// Stops the workers. Pending batches are drained first so a normally
+  /// completed run never loses observes; a cancelled run destroys the whole
+  /// system anyway.
+  ~ShardedUmonFeed();
+
+  ShardedUmonFeed(const ShardedUmonFeed&) = delete;
+  ShardedUmonFeed& operator=(const ShardedUmonFeed&) = delete;
+
+  /// Routes one access (producer side — the driver thread only). Unsampled
+  /// accesses are dropped here, before any queueing cost.
+  void push(ThreadId thread, Addr addr);
+
+  /// Blocks until every queued observe has been applied. Call before any
+  /// monitor read or reset — in practice, at each interval boundary.
+  void drain();
+
+  /// Worker threads actually running (0 in the synchronous degenerate case).
+  std::uint32_t workers() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+ private:
+  struct Entry {
+    Addr addr;
+    std::uint32_t shadow_set;
+    ThreadId thread;
+  };
+
+  /// One worker's mailbox. Batches keep the mutex out of the per-op path:
+  /// the producer appends to its private pending buffer and only locks when
+  /// a batch fills (or at drain()).
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable work_ready;
+    std::condition_variable idle;
+    std::deque<std::vector<Entry>> batches;
+    bool busy = false;
+    bool stop = false;
+    std::thread worker;
+    std::vector<Entry> pending;  // producer-private, no lock needed
+  };
+
+  void flush_shard(std::uint32_t shard);
+  void run_worker(std::uint32_t shard);
+
+  static constexpr std::size_t kBatch = 4096;
+
+  UtilityMonitor& umon_;
+  /// deque: Shard is immovable (mutex), and the count is fixed at start.
+  std::deque<Shard> shards_;
+};
+
+}  // namespace capart::mem

@@ -1,16 +1,22 @@
 #include "src/mem/utility_monitor.hpp"
 
+#include <algorithm>
+
 #include "src/common/check.hpp"
 
 namespace capart::mem {
 
 UtilityMonitor::UtilityMonitor(const CacheGeometry& geometry,
                                ThreadId num_threads,
-                               std::uint32_t sampling_shift)
+                               std::uint32_t sampling_shift,
+                               std::uint32_t shards)
     : geometry_(geometry),
       num_threads_(num_threads),
       sampling_shift_(sampling_shift),
       sampled_sets_(geometry.sets >> sampling_shift),
+      shards_(std::clamp<std::uint32_t>(shards, 1,
+                                        std::max(1u, geometry.sets >>
+                                                         sampling_shift))),
       index_kind_(geometry.resolved_index()) {
   geometry_.validate();
   CAPART_CHECK(num_threads_ >= 1, "utility monitor needs >= 1 thread");
@@ -33,10 +39,12 @@ UtilityMonitor::UtilityMonitor(const CacheGeometry& geometry,
     shadow_fill_.assign(num_threads_,
                         std::vector<std::uint16_t>(sampled_sets_, 0));
   }
-  depth_hits_.assign(num_threads_,
-                     std::vector<std::uint64_t>(geometry_.ways, 0));
-  accesses_.assign(num_threads_, 0);
-  misses_.assign(num_threads_, 0);
+  depth_hits_.assign(
+      shards_, std::vector<std::uint64_t>(
+                   static_cast<std::size_t>(num_threads_) * geometry_.ways,
+                   0));
+  accesses_.assign(shards_, std::vector<std::uint64_t>(num_threads_, 0));
+  misses_.assign(shards_, std::vector<std::uint64_t>(num_threads_, 0));
 }
 
 bool UtilityMonitor::sampled(std::uint64_t block,
@@ -50,13 +58,26 @@ bool UtilityMonitor::sampled(std::uint64_t block,
   return true;
 }
 
+bool UtilityMonitor::route(Addr addr, std::uint32_t& shadow_set) const noexcept {
+  return sampled(geometry_.block_of(addr), shadow_set);
+}
+
 void UtilityMonitor::observe(ThreadId thread, Addr addr) {
   CAPART_DCHECK(thread < num_threads_, "utility monitor: thread out of range");
-  const std::uint64_t block = geometry_.block_of(addr);
   std::uint32_t shadow_set = 0;
-  if (!sampled(block, shadow_set)) return;
+  if (!sampled(geometry_.block_of(addr), shadow_set)) return;
+  observe_routed(shard_of(shadow_set), thread, addr, shadow_set);
+}
 
-  ++accesses_[thread];
+void UtilityMonitor::observe_routed(std::uint32_t shard, ThreadId thread,
+                                    Addr addr, std::uint32_t shadow_set) {
+  CAPART_DCHECK(shard < shards_ && thread < num_threads_ &&
+                    shadow_set < sampled_sets_,
+                "utility monitor: routed observe out of range");
+  const std::uint64_t block = geometry_.block_of(addr);
+  ++accesses_[shard][thread];
+  std::uint64_t* depth_hits =
+      &depth_hits_[shard][static_cast<std::size_t>(thread) * geometry_.ways];
   const std::size_t base =
       static_cast<std::size_t>(shadow_set) * geometry_.ways;
   std::uint64_t* blocks = &shadow_blocks_[thread][base];
@@ -72,11 +93,11 @@ void UtilityMonitor::observe(ThreadId thread, Addr addr) {
     BlockWayIndex& index = *shadow_index_[thread];
     const std::uint32_t found = index.lookup(shadow_set, block);
     if (found != BlockWayIndex::kNotFound) {
-      ++depth_hits_[thread][order.depth_of(shadow_set, found)];
+      ++depth_hits[order.depth_of(shadow_set, found)];
       order.touch(shadow_set, found);
       return;
     }
-    ++misses_[thread];
+    ++misses_[shard][thread];
     std::uint16_t& filled = shadow_fill_[thread][shadow_set];
     std::uint32_t victim;
     if (filled < geometry_.ways) {
@@ -106,11 +127,11 @@ void UtilityMonitor::observe(ThreadId thread, Addr addr) {
     }
   }
   if (found < geometry_.ways) {
-    ++depth_hits_[thread][order.depth_of(shadow_set, found)];
+    ++depth_hits[order.depth_of(shadow_set, found)];
     order.touch(shadow_set, found);
     return;
   }
-  ++misses_[thread];
+  ++misses_[shard][thread];
   // Victim: first invalid way, else the LRU way (all valid then, so the
   // bottom of the recency order).
   const std::uint32_t victim = invalid < geometry_.ways
@@ -126,17 +147,26 @@ std::uint64_t UtilityMonitor::hits_at_depth(ThreadId thread,
                                             std::uint32_t depth) const {
   CAPART_CHECK(thread < num_threads_ && depth < geometry_.ways,
                "utility monitor: index out of range");
-  return depth_hits_[thread][depth];
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    total += depth_hits_[s][static_cast<std::size_t>(thread) * geometry_.ways +
+                            depth];
+  }
+  return total;
 }
 
 std::uint64_t UtilityMonitor::sampled_accesses(ThreadId thread) const {
   CAPART_CHECK(thread < num_threads_, "utility monitor: thread out of range");
-  return accesses_[thread];
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < shards_; ++s) total += accesses_[s][thread];
+  return total;
 }
 
 std::uint64_t UtilityMonitor::sampled_misses(ThreadId thread) const {
   CAPART_CHECK(thread < num_threads_, "utility monitor: thread out of range");
-  return misses_[thread];
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < shards_; ++s) total += misses_[s][thread];
+  return total;
 }
 
 double UtilityMonitor::predicted_misses(ThreadId thread,
@@ -144,19 +174,17 @@ double UtilityMonitor::predicted_misses(ThreadId thread,
   CAPART_CHECK(thread < num_threads_, "utility monitor: thread out of range");
   CAPART_CHECK(ways >= 1 && ways <= geometry_.ways,
                "utility monitor: ways out of range");
-  std::uint64_t would_miss = misses_[thread];
+  std::uint64_t would_miss = sampled_misses(thread);
   for (std::uint32_t p = ways; p < geometry_.ways; ++p) {
-    would_miss += depth_hits_[thread][p];
+    would_miss += hits_at_depth(thread, p);
   }
   return static_cast<double>(would_miss) * scale();
 }
 
 void UtilityMonitor::reset_interval() {
-  for (auto& hist : depth_hits_) {
-    std::fill(hist.begin(), hist.end(), 0);
-  }
-  std::fill(accesses_.begin(), accesses_.end(), 0);
-  std::fill(misses_.begin(), misses_.end(), 0);
+  for (auto& hist : depth_hits_) std::fill(hist.begin(), hist.end(), 0);
+  for (auto& acc : accesses_) std::fill(acc.begin(), acc.end(), 0);
+  for (auto& mis : misses_) std::fill(mis.begin(), mis.end(), 0);
 }
 
 }  // namespace capart::mem

@@ -22,7 +22,10 @@ SinkRegistry& registry() {
   return *instance;
 }
 
-void flush_all_at_exit() { JsonlSink::flush_all(); }
+/// The atexit hook retires, not merely flushes: static destruction may tear
+/// down a sink's backing stream while worker threads are still appending,
+/// and a retired sink never touches the stream again.
+void shutdown_all_at_exit() { JsonlSink::shutdown_all(); }
 
 }  // namespace
 
@@ -35,7 +38,7 @@ void JsonlSink::register_sink() {
     // it to one atexit slot across the process lifetime... except after all
     // sinks die and a new one appears, where a second (idempotent) slot is
     // the simple and correct choice.
-    std::atexit(flush_all_at_exit);
+    std::atexit(shutdown_all_at_exit);
   }
   reg.sinks.insert(this);
 }
@@ -51,6 +54,26 @@ void JsonlSink::flush_all() noexcept {
       // stream already lost its data.
     }
   }
+}
+
+void JsonlSink::shutdown_all() noexcept {
+  SinkRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (JsonlSink* sink : reg.sinks) {
+    try {
+      sink->retire();
+    } catch (...) {
+      // Same contract as flush_all: never throw through atexit.
+    }
+  }
+}
+
+void JsonlSink::retire() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (retired_) return;
+  flush_buffer_locked();
+  os_->flush();
+  retired_ = true;
 }
 
 JsonlSink::JsonlSink(std::ostream& os, std::size_t flush_threshold)
@@ -102,6 +125,9 @@ void JsonlSink::flush_buffer_locked() {
 void JsonlSink::append_line(std::string line) {
   line += '\n';
   const std::lock_guard<std::mutex> lock(mutex_);
+  // A retired sink's stream may already be destroyed (process exit); drop
+  // the event rather than buffer it forever or race the destruction.
+  if (retired_) return;
   buffer_ += line;
   ++count_;
   bool due = buffer_.size() >= options_.flush_threshold;
@@ -123,6 +149,7 @@ void JsonlSink::append_line(std::string line) {
 
 void JsonlSink::flush() {
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (retired_) return;
   flush_buffer_locked();
   os_->flush();
 }

@@ -9,12 +9,18 @@
 // the invariant the BatchRunner thread-safety test pins.
 //
 // Shutdown ordering: every live JsonlSink is tracked in a process-wide
-// registry, and JsonlSink::flush_all() pushes every buffered event to its
-// backing stream. The first sink constructed registers flush_all with
-// std::atexit, so events survive error paths that call std::exit mid-run;
-// long-lived daemons (capart_serve) additionally call flush_all() from their
-// SIGTERM drain path before exiting, which is what guarantees "no buffered
-// event is lost on graceful shutdown".
+// registry. JsonlSink::flush_all() pushes every buffered event to its
+// backing stream; JsonlSink::shutdown_all() does the same and then RETIRES
+// each sink — a retired sink drops subsequent appends and turns flush() into
+// a no-op, never touching the backing stream again. The first sink
+// constructed registers shutdown_all with std::atexit: during std::exit the
+// stream a sink writes to (a static std::ofstream, std::cout's buffer, a
+// stream owned by a destructing static) can die before the sink does, and a
+// worker thread still running past the atexit hooks must not be able to push
+// one more event into a destroyed stream. Retirement makes that window
+// inert instead of a use-after-free. Long-lived daemons (capart_serve) call
+// shutdown_all() from their SIGTERM drain path before exiting, which is what
+// guarantees "no buffered event is lost on graceful shutdown".
 #pragma once
 
 #include <chrono>
@@ -68,17 +74,23 @@ class JsonlSink final : public EventSink {
 
   std::uint64_t events_written() const;
 
-  /// Flushes every live JsonlSink in the process. Registered with
-  /// std::atexit by the first sink constructed; called explicitly by
-  /// daemons on the SIGTERM drain path. Not async-signal-safe — call it
-  /// from normal control flow after observing the signal, never from the
-  /// handler itself.
+  /// Flushes every live JsonlSink in the process; sinks keep operating.
   static void flush_all() noexcept;
+
+  /// Flushes every live JsonlSink and retires it: later appends are dropped
+  /// and later flushes are no-ops, so no sink ever touches its backing
+  /// stream again (the stream may be destroyed first during process exit).
+  /// Registered with std::atexit by the first sink constructed; called
+  /// explicitly by daemons on the SIGTERM drain path. Not async-signal-safe
+  /// — call it from normal control flow after observing the signal, never
+  /// from the handler itself.
+  static void shutdown_all() noexcept;
 
  private:
   void append_line(std::string line);
   void flush_buffer_locked();
   void register_sink();
+  void retire();
 
   std::optional<std::ofstream> owned_;
   std::ostream* os_;
@@ -86,6 +98,9 @@ class JsonlSink final : public EventSink {
   mutable std::mutex mutex_;
   std::string buffer_;
   std::uint64_t count_ = 0;
+  /// Set by shutdown_all(): the backing stream may already be gone, so every
+  /// later append/flush must be inert. Guarded by mutex_.
+  bool retired_ = false;
   std::chrono::steady_clock::time_point last_flush_;
 };
 

@@ -82,6 +82,13 @@ void HttpRequestParser::fail(int status, std::string message) {
   state_ = State::kFailed;
   error_status_ = status;
   error_ = std::move(message);
+  // The stream is desynced — nobody knows where the next message starts, so
+  // the buffered tail must never be re-parsed. Discarding it here (not just
+  // relying on callers to close) makes keep-alive poisoning structurally
+  // impossible: even a caller that wrongly reuses the parser can only ever
+  // see failed(), never a request assembled from misaligned bytes.
+  buffer_.clear();
+  buffer_.shrink_to_fit();
 }
 
 void HttpRequestParser::feed(std::string_view bytes) {

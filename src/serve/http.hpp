@@ -76,6 +76,11 @@ class HttpRequestParser {
   /// True once a complete request is buffered.
   bool done() const noexcept { return state_ == State::kDone; }
   /// True once the stream is unrecoverable; error_status()/error() say why.
+  /// Failure is TERMINAL: the byte position of the next message is unknown
+  /// (desynced), so the parser discards its buffer, feed() drops all later
+  /// bytes, reset() stays failed, and the connection must be closed after
+  /// the error response — a failed parser can never resume and hand a
+  /// pipelined follow-up request to the wrong handler.
   bool failed() const noexcept { return state_ == State::kFailed; }
 
   /// The parsed request; valid while done().
@@ -86,7 +91,8 @@ class HttpRequestParser {
   const std::string& error() const noexcept { return error_; }
 
   /// Discards the completed request and starts parsing the next one from
-  /// any leftover bytes.
+  /// any leftover bytes. No-op unless done() — in particular a failed
+  /// parser stays failed (see failed()).
   void reset();
 
  private:

@@ -44,8 +44,12 @@ CmpSystem::CmpSystem(const SystemConfig& config)
   }
   std::iota(core_of_.begin(), core_of_.end(), ThreadId{0});
   if (config_.enable_utility_monitor) {
+    const std::uint32_t shards = std::max(1u, config_.monitor_shards);
     umon_ = std::make_unique<mem::UtilityMonitor>(
-        config_.l2, config_.num_threads, config_.umon_sampling_shift);
+        config_.l2, config_.num_threads, config_.umon_sampling_shift, shards);
+    if (shards > 1) {
+      umon_feed_ = std::make_unique<mem::ShardedUmonFeed>(*umon_, shards);
+    }
   }
   if (config_.l2_banks > 0) {
     bank_busy_until_.assign(config_.l2_banks, 0);
@@ -77,36 +81,90 @@ Cycles CmpSystem::memory_access(ThreadId thread, Addr addr, AccessType type,
   }
   Cycles contention_wait = 0;
   if (reaches_shared) {
-    c.l2_accesses += 1;
-    if (!bank_busy_until_.empty()) {
-      // Serialize same-bank accesses: the requester waits until the bank is
-      // free, then occupies it for one service slot.
-      const auto bank = static_cast<std::uint32_t>(
-          config_.l2.block_of(addr) % bank_busy_until_.size());
-      const Cycles start = std::max(now, bank_busy_until_[bank]);
-      contention_wait = start - now;
-      bank_busy_until_[bank] = start + config_.l2_bank_service_cycles;
-      c.contention_wait_cycles += contention_wait;
-      BankContention& bc = bank_contention_[bank];
-      ++bc.accesses;
-      if (contention_wait > 0) {
-        ++bc.conflicts;
-        bc.wait_cycles += contention_wait;
-      }
-    }
-    if (umon_ != nullptr) umon_->observe(thread, addr);
-    if (l2_->access(thread, addr, type)) {
-      c.l2_hits += 1;
-      level = cpu::MemoryLevel::kSharedCache;
-    } else {
-      c.l2_misses += 1;
-      level = cpu::MemoryLevel::kMemory;
-    }
+    level = shared_access(thread, addr, type, now, c, contention_wait);
   }
   const Cycles cost = timing_.memory_cost(level, prefetchable) +
                       contention_wait;
   c.exec_cycles += cost;
   return cost;
+}
+
+cpu::MemoryLevel CmpSystem::shared_access(ThreadId thread, Addr addr,
+                                          AccessType type, Cycles now,
+                                          cpu::CounterBlock& c,
+                                          Cycles& contention_wait) {
+  c.l2_accesses += 1;
+  if (!bank_busy_until_.empty()) {
+    // Serialize same-bank accesses: the requester waits until the bank is
+    // free, then occupies it for one service slot.
+    const auto bank = static_cast<std::uint32_t>(
+        config_.l2.block_of(addr) % bank_busy_until_.size());
+    const Cycles start = std::max(now, bank_busy_until_[bank]);
+    contention_wait = start - now;
+    bank_busy_until_[bank] = start + config_.l2_bank_service_cycles;
+    c.contention_wait_cycles += contention_wait;
+    BankContention& bc = bank_contention_[bank];
+    ++bc.accesses;
+    if (contention_wait > 0) {
+      ++bc.conflicts;
+      bc.wait_cycles += contention_wait;
+    }
+  }
+  if (umon_feed_ != nullptr) {
+    umon_feed_->push(thread, addr);
+  } else if (umon_ != nullptr) {
+    umon_->observe(thread, addr);
+  }
+  if (l2_->access(thread, addr, type)) {
+    c.l2_hits += 1;
+    return cpu::MemoryLevel::kSharedCache;
+  }
+  c.l2_misses += 1;
+  return cpu::MemoryLevel::kMemory;
+}
+
+Cycles CmpSystem::memory_access_resolved(ThreadId thread, Addr addr,
+                                         AccessType type, bool prefetchable,
+                                         trace::ResolvedLevel resolved,
+                                         Cycles now) {
+  CAPART_DCHECK(thread < config_.num_threads, "thread id out of range");
+  cpu::CounterBlock& c = counters_.thread(thread);
+  c.instructions += 1;
+  c.l1_accesses += 1;
+
+  // Replay the private-hierarchy outcome's counter effects without touching
+  // the private caches — the resolve pass already ran them. The branch
+  // structure mirrors memory_access exactly.
+  cpu::MemoryLevel level = cpu::MemoryLevel::kL1;
+  Cycles contention_wait = 0;
+  switch (resolved) {
+    case trace::ResolvedLevel::kL1Hit:
+      break;
+    case trace::ResolvedLevel::kPrivateL2Hit:
+      c.l1_misses += 1;
+      c.private_l2_accesses += 1;
+      c.private_l2_hits += 1;
+      level = cpu::MemoryLevel::kPrivateL2;
+      break;
+    case trace::ResolvedLevel::kShared:
+      c.l1_misses += 1;
+      if (config_.enable_private_l2) {
+        c.private_l2_accesses += 1;
+        c.private_l2_misses += 1;
+      }
+      level = shared_access(thread, addr, type, now, c, contention_wait);
+      break;
+    case trace::ResolvedLevel::kUnresolved:
+      CAPART_CHECK(false, "memory_access_resolved: unresolved op");
+  }
+  const Cycles cost = timing_.memory_cost(level, prefetchable) +
+                      contention_wait;
+  c.exec_cycles += cost;
+  return cost;
+}
+
+void CmpSystem::sync_monitor() {
+  if (umon_feed_ != nullptr) umon_feed_->drain();
 }
 
 Cycles CmpSystem::non_memory(ThreadId thread, Instructions count) {

@@ -13,7 +13,9 @@
 #include "src/mem/cache_config.hpp"
 #include "src/mem/l2_organization.hpp"
 #include "src/mem/set_assoc_cache.hpp"
+#include "src/mem/umon_feed.hpp"
 #include "src/mem/utility_monitor.hpp"
+#include "src/trace/access.hpp"
 
 namespace capart::sim {
 
@@ -47,6 +49,12 @@ struct SystemConfig {
   /// way masks with `clos_budget` classes of service).
   mem::L2Enforce l2_enforce = mem::L2Enforce::kModeDefault;
   std::uint32_t clos_budget = 8;
+  /// Shards (worker threads) feeding the utility monitor (--intra-jobs).
+  /// The UMON is pure instrumentation read only at interval boundaries, so
+  /// its observes run off the driver's thread, sharded by shadow set;
+  /// sync_monitor() is the boundary sync. Results are bit-identical to the
+  /// serial feed for any value (see mem::ShardedUmonFeed). 1 = synchronous.
+  std::uint32_t monitor_shards = 1;
 };
 
 /// Per-bank contention telemetry of the shared cache (the timing model's
@@ -71,6 +79,23 @@ class CmpSystem {
   /// (pass 0 when contention is disabled).
   Cycles memory_access(ThreadId thread, Addr addr, AccessType type,
                        bool prefetchable = false, Cycles now = 0);
+
+  /// memory_access for a *resolved* op: the private-level outcome (`level` =
+  /// L1 hit / private-L2 hit / reaches the shared cache) was precomputed by
+  /// a trace-spool resolve pass over the identical private hierarchy, so the
+  /// private caches are not simulated again — only their counters are
+  /// updated, exactly as memory_access would have. Valid only while threads
+  /// stay on their initial 1:1 core binding (the spool refuses migration
+  /// schedules). Counter and timing effects are bit-identical.
+  Cycles memory_access_resolved(ThreadId thread, Addr addr, AccessType type,
+                                bool prefetchable,
+                                trace::ResolvedLevel level, Cycles now);
+
+  /// Blocks until every queued utility-monitor observe has been applied
+  /// (no-op when monitor_shards <= 1 or the monitor is off). Must run before
+  /// anything reads or resets the monitor — the runtime calls it first thing
+  /// at each interval boundary.
+  void sync_monitor();
 
   /// Executes `count` non-memory instructions from `thread`.
   Cycles non_memory(ThreadId thread, Instructions count);
@@ -100,12 +125,22 @@ class CmpSystem {
   }
 
  private:
+  /// The shared-cache leg common to memory_access and its resolved variant:
+  /// bank contention, monitor feed, L2 lookup. Returns the level reached and
+  /// adds any bank wait to `contention_wait`.
+  cpu::MemoryLevel shared_access(ThreadId thread, Addr addr, AccessType type,
+                                 Cycles now, cpu::CounterBlock& c,
+                                 Cycles& contention_wait);
+
   SystemConfig config_;
   cpu::TimingModel timing_;
   std::vector<mem::SetAssocCache> l1s_;          // one per core
   std::vector<mem::SetAssocCache> private_l2s_;  // one per core, optional
   std::unique_ptr<mem::L2Organization> l2_;
   std::unique_ptr<mem::UtilityMonitor> umon_;
+  /// Parallel observe queue (monitor_shards > 1 only; else observes stay
+  /// synchronous and this is null).
+  std::unique_ptr<mem::ShardedUmonFeed> umon_feed_;
   std::vector<Cycles> bank_busy_until_;
   std::vector<BankContention> bank_contention_;
   cpu::PerfCounters counters_;

@@ -28,6 +28,7 @@ Driver::Driver(CmpSystem& system, Program program,
   CAPART_CHECK(config_.interval_instructions > 0,
                "interval length must be positive");
   threads_.resize(program_.num_threads());
+  for (ThreadState& ts : threads_) ts.ring.resize(kRingCapacity);
   if (config_.barrier_group.empty()) {
     group_of_.assign(program_.num_threads(), 0);
   } else {
@@ -115,10 +116,16 @@ void Driver::maybe_release_group(std::uint32_t group) {
 
 void Driver::step(ThreadId t) {
   ThreadState& ts = threads_[t];
-  if (!ts.has_pending) {
-    ts.pending = sources_[t]->next();
-    ts.gap_left = ts.pending.gap;
-    ts.has_pending = true;
+  if (!ts.op_in_flight) {
+    if (ts.ring_pos >= ts.ring_count) {
+      // Ring empty: refill in one batched pull (fill returns >= 1; bounded
+      // sources may come back short near their end).
+      ts.ring_count = static_cast<std::uint32_t>(
+          sources_[t]->fill(ts.ring.data(), kRingCapacity));
+      ts.ring_pos = 0;
+    }
+    ts.gap_left = ts.ring[ts.ring_pos].gap;
+    ts.op_in_flight = true;
   }
   if (ts.gap_left > 0) {
     const Instructions chunk = std::min(ts.gap_left, ts.remaining);
@@ -129,17 +136,26 @@ void Driver::step(ThreadId t) {
       aggregate_instructions_ += chunk;
     }
     if (ts.remaining == 0) {
-      // Section ended inside the gap; the pending access carries over.
+      // Section ended inside the gap; the in-flight access carries over.
       ts.waiting = true;
       return;
     }
   }
-  // Gap exhausted and work remains: perform the memory access.
-  ts.clock += system_.memory_access(t, ts.pending.addr, ts.pending.type,
-                                    ts.pending.prefetchable, ts.clock);
+  // Gap exhausted and work remains: perform the memory access. Pre-resolved
+  // ops (spooled traces) skip the private hierarchy; live ops simulate it.
+  const trace::NextOp& op = ts.ring[ts.ring_pos];
+  if (op.resolved == trace::ResolvedLevel::kUnresolved) {
+    ts.clock += system_.memory_access(t, op.addr, op.type, op.prefetchable,
+                                      ts.clock);
+  } else {
+    ts.clock += system_.memory_access_resolved(t, op.addr, op.type,
+                                               op.prefetchable, op.resolved,
+                                               ts.clock);
+  }
   ts.remaining -= 1;
   aggregate_instructions_ += 1;
-  ts.has_pending = false;
+  ++ts.ring_pos;
+  ts.op_in_flight = false;
   if (ts.remaining == 0) ts.waiting = true;
 }
 
@@ -281,6 +297,9 @@ RunOutcome Driver::run_heap() {
 }
 
 RunOutcome Driver::finish() {
+  // Apply any utility-monitor observes still queued in the parallel feed
+  // before anyone reads end-of-run state (no-op for the serial feed).
+  system_.sync_monitor();
   RunOutcome outcome;
   for (const ThreadState& ts : threads_) {
     outcome.total_cycles = std::max(outcome.total_cycles, ts.clock);

@@ -102,15 +102,27 @@ class Driver {
   RunOutcome run();
 
  private:
+  /// Ops per thread pulled ahead through OpSource::fill (the refill batch and
+  /// ring capacity). Generation is execution-independent — a source's stream
+  /// never depends on simulation state — so batching is outcome-invariant;
+  /// it exists to amortize the per-op virtual dispatch and, for packed trace
+  /// replays, to unpack straight out of the mapped file in runs.
+  static constexpr std::size_t kRingCapacity = 256;
+
   struct ThreadState {
     Cycles clock = 0;
     std::size_t section = 0;
     Instructions remaining = 0;  ///< instructions left in current section
-    trace::NextOp pending{};
     Instructions gap_left = 0;
-    bool has_pending = false;
+    std::uint32_t ring_pos = 0;    ///< current op index into `ring`
+    std::uint32_t ring_count = 0;  ///< valid ops in `ring`
+    /// Current op started (its gap is being consumed); cleared when its
+    /// access retires. A section/barrier break mid-gap leaves it set, so the
+    /// op carries over — same semantics as the old single pending slot.
+    bool op_in_flight = false;
     bool waiting = false;  ///< at the current section's barrier
     bool done = false;     ///< finished the last section
+    std::vector<trace::NextOp> ring;  ///< kRingCapacity slots
   };
 
   struct Migration {

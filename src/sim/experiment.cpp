@@ -13,6 +13,7 @@
 #include "src/obs/events.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/sim/cmp_system.hpp"
+#include "src/sim/trace_spool.hpp"
 #include "src/trace/benchmarks.hpp"
 
 namespace capart::sim {
@@ -126,22 +127,29 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       .l2_bank_service_cycles = config.l2_bank_service_cycles,
       .l2_enforce = config.l2_enforce,
       .clos_budget = config.clos_budget,
+      .monitor_shards = std::max(config.intra_jobs, 1u),
   };
   CmpSystem system(sys_config);
-
-  // One deterministic generator stream per thread.
-  const Rng root(config.seed);
-  std::vector<std::unique_ptr<trace::OpSource>> generators;
-  generators.reserve(config.num_threads);
-  for (ThreadId t = 0; t < config.num_threads; ++t) {
-    generators.push_back(std::make_unique<trace::PhasedGenerator>(
-        trace::PhaseSchedule(profile.threads[t].phases), root.fork(t),
-        private_region_base(t), shared_region_base()));
-  }
 
   const Instructions total_instructions =
       config.interval_instructions * config.num_intervals;
   const Instructions per_thread = total_instructions / config.num_threads;
+
+  // Per-thread op streams: resolved spool replays when a spool directory is
+  // configured and the run is eligible (bit-identical, but skips generation
+  // and private-hierarchy simulation), else live deterministic generators.
+  std::vector<std::unique_ptr<trace::OpSource>> generators =
+      spool_sources(config, per_thread);
+  if (generators.empty()) {
+    const Rng root(config.seed);
+    generators.reserve(config.num_threads);
+    for (ThreadId t = 0; t < config.num_threads; ++t) {
+      generators.push_back(std::make_unique<trace::PhasedGenerator>(
+          trace::PhaseSchedule(profile.threads[t].phases), root.fork(t),
+          private_region_base(t), shared_region_base()));
+    }
+  }
+
   const std::uint32_t sections =
       config.sections != 0 ? config.sections : profile.sections;
   Program program = make_uniform_program(config.num_threads, sections,

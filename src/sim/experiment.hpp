@@ -93,6 +93,21 @@ struct ExperimentConfig {
 
   std::uint64_t seed = 42;
 
+  /// Intra-experiment worker threads (--intra-jobs): parallel trace-spool
+  /// resolves and sharded utility-monitor feeding, synchronized at interval
+  /// boundaries. Purely an execution-resource knob like BatchOptions::jobs —
+  /// results are bit-identical for every value, and it is excluded from obs
+  /// manifests and serve spec codecs (it is not part of experiment
+  /// identity). 0/1 = serial.
+  std::uint32_t intra_jobs = 1;
+
+  /// Directory for resolved-trace spool files (see sim/trace_spool.hpp);
+  /// empty disables spooling and runs live generators. Arms sharing a
+  /// workload profile amortize one generation+resolve pass through this
+  /// cache; results are bit-identical with or without it. Also an
+  /// execution-resource knob, excluded from manifests and codecs.
+  std::string trace_spool_dir;
+
   std::vector<MigrationEvent> migrations;
 
   /// Observability attachment (src/obs): when a sink or metrics registry is

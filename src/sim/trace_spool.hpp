@@ -1,0 +1,63 @@
+// Trace spool: resolved-trace generation, caching and mmap replay.
+//
+// Profile sweeps run the same workload under many arms — every partitioning
+// policy, enforcement mode and index mechanism replays the identical
+// per-thread reference streams against the identical private hierarchy
+// (seeded generators, static 1:1 thread->core binding). Only the *shared*
+// cache differs between arms. The spool exploits that: the first experiment
+// needing a (profile, seed, work, private-hierarchy) combination generates
+// each thread's stream once, resolves every op against a freshly built
+// private L1 (+ optional private L2), and writes the resolved ops to a
+// packed v2 trace file (trace_io.hpp). Every later experiment — in this
+// process or any other sharing the spool directory — mmap()s the file and
+// replays it, skipping both generation (the stack-distance draws are ~30% of
+// a run) and private-hierarchy simulation (the L1 is another ~25%): the
+// driver dispatches resolved ops through CmpSystem::memory_access_resolved,
+// which replays the private-level counter effects and simulates only the
+// shared cache.
+//
+// Bit-identity: the resolve pass consumes the generator exactly as the
+// driver would (an op's access executes iff the thread's cumulative
+// instruction budget admits its gap plus one access; see the loop in
+// resolve_thread) and runs the same SetAssocCache code against the same
+// geometry, so the replayed run's counters, interval boundaries and shared
+// cache contents are byte-for-byte those of a live run. Asserted by
+// tests/test_trace_spool.cpp and the fig19-21 byte-identity gate.
+//
+// Keys and safety: every file stores its full human-readable key (profile,
+// threads, seed, per-thread work, private geometries, replacement kinds);
+// open verifies it, so hash-named files can never be confused across
+// configurations. Writes are temp+rename, so concurrent producers are safe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/sim/experiment.hpp"
+#include "src/trace/op_source.hpp"
+
+namespace capart::sim {
+
+/// The spool identity of `config` for thread `t` — everything that
+/// determines the thread's resolved stream and nothing that doesn't (shared
+/// cache, policy, enforcement, banks, index mechanism, and --jobs knobs are
+/// all excluded; arms differing only in those share spool entries).
+std::string spool_key(const ExperimentConfig& config, Instructions per_thread,
+                      ThreadId t);
+
+/// Spool file path for one (config, thread) stream inside `dir`.
+std::string spool_path(const std::string& dir, const std::string& key);
+
+/// Returns one resolved-replay OpSource per thread for `config`, resolving
+/// and writing missing spool entries first (`config.intra_jobs` resolve
+/// workers). Mapped files are cached in-process, so sibling arms pay one
+/// mmap each. Returns an empty vector when the config is ineligible for
+/// spooling (migration schedules rebind L1s mid-run). Throws capart::Error
+/// on I/O failure and ConfigError on invalid profile parameters.
+std::vector<std::unique_ptr<trace::OpSource>> spool_sources(
+    const ExperimentConfig& config, Instructions per_thread);
+
+}  // namespace capart::sim

@@ -1,9 +1,25 @@
 // Unit of work produced by a trace generator.
 #pragma once
 
+#include <cstdint>
+
 #include "src/common/types.hpp"
 
 namespace capart::trace {
+
+/// Outcome of the private-cache portion of one access, precomputed by the
+/// trace spool (sim/trace_spool.hpp). A thread's L1 (and optional private
+/// L2) sees only that thread's own stream, so its hit/miss sequence is
+/// independent of the global interleaving — it can be resolved once per
+/// (profile, seed, geometry) and replayed by every arm that shares them,
+/// skipping the private-cache simulation entirely. kUnresolved marks live
+/// generator output: the driver simulates the full hierarchy as always.
+enum class ResolvedLevel : std::uint8_t {
+  kUnresolved = 0,
+  kL1Hit,        ///< hits in the private L1
+  kPrivateL2Hit, ///< misses L1, hits the private L2 (three-level mode)
+  kShared,       ///< reaches the shared cache
+};
 
 /// A run of non-memory instructions followed by exactly one memory
 /// instruction. Batching the non-memory gap keeps the simulation loop
@@ -19,6 +35,8 @@ struct NextOp {
   /// cache *polluter* — high insertion rate, little performance return —
   /// the shared-LRU pathology of paper §I.
   bool prefetchable = false;
+  /// Precomputed private-cache outcome (trace-spool replay only).
+  ResolvedLevel resolved = ResolvedLevel::kUnresolved;
 };
 
 }  // namespace capart::trace

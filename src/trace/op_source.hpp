@@ -4,6 +4,8 @@
 // user-provided stream (e.g. one backed by real application traces).
 #pragma once
 
+#include <cstddef>
+
 #include "src/trace/access.hpp"
 
 namespace capart::trace {
@@ -15,6 +17,16 @@ class OpSource {
   /// Produces the next unit of work. Sources are conceptually unbounded —
   /// the driver pulls exactly as many ops as the program needs.
   virtual NextOp next() = 0;
+
+  /// Produces up to `n` units into `out` and returns how many were written
+  /// (>= 1). The driver's per-thread ring buffer refills through this call,
+  /// so batching sources amortize their per-op dispatch; the default simply
+  /// loops next(). Bounded sources (trace replays that abort at the end)
+  /// may return fewer than `n` when the stream is about to run out — never 0.
+  virtual std::size_t fill(NextOp* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = next();
+    return n;
+  }
 };
 
 }  // namespace capart::trace

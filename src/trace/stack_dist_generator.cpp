@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/common/check.hpp"
+#include "src/common/error.hpp"
 
 namespace capart::trace {
 namespace {
@@ -15,7 +17,55 @@ double clamp(double v, double lo, double hi) {
   return std::min(std::max(v, lo), hi);
 }
 
+void require_finite(double v, const char* field) {
+  if (!std::isfinite(v)) {
+    throw ConfigError(std::string("gen.") + field,
+                      std::string(field) + " must be finite");
+  }
+}
+
+void require_rate(double v, const char* field) {
+  require_finite(v, field);
+  if (v < 0.0 || v > 1.0) {
+    throw ConfigError(std::string("gen.") + field,
+                      std::string(field) + " must be in [0, 1] (got " +
+                          std::to_string(v) + ")");
+  }
+}
+
 }  // namespace
+
+void GenParams::validate() const {
+  require_finite(mem_ratio, "mem_ratio");
+  if (mem_ratio <= 0.0 || mem_ratio > 1.0) {
+    throw ConfigError("gen.mem_ratio",
+                      "mem_ratio must be in (0, 1] (got " +
+                          std::to_string(mem_ratio) + ")");
+  }
+  require_finite(reuse_skew, "reuse_skew");
+  if (reuse_skew <= 0.0) {
+    throw ConfigError("gen.reuse_skew", "reuse_skew must be positive (got " +
+                                            std::to_string(reuse_skew) + ")");
+  }
+  require_finite(shared_skew, "shared_skew");
+  if (shared_skew <= 0.0) {
+    throw ConfigError("gen.shared_skew",
+                      "shared_skew must be positive (got " +
+                          std::to_string(shared_skew) + ")");
+  }
+  require_rate(p_new, "p_new");
+  require_rate(share_fraction, "share_fraction");
+  require_rate(write_fraction, "write_fraction");
+  if (working_set_blocks < 1) {
+    throw ConfigError("gen.working_set_blocks",
+                      "working set must hold at least one block");
+  }
+  if (share_fraction > 0.0 && shared_region_blocks < 1) {
+    throw ConfigError("gen.shared_region_blocks",
+                      "shared accesses need a non-empty shared region "
+                      "(share_fraction > 0 with shared_region_blocks == 0)");
+  }
+}
 
 StackDistGenerator::StackDistGenerator(const GenParams& params, Rng rng,
                                        Addr private_base, Addr shared_base)
@@ -23,8 +73,7 @@ StackDistGenerator::StackDistGenerator(const GenParams& params, Rng rng,
       rng_(rng),
       private_base_(private_base),
       shared_base_(shared_base) {
-  CAPART_CHECK(params_.working_set_blocks >= 1,
-               "working set must hold at least one block");
+  params_.validate();
   refresh_param_cache();
 }
 
@@ -34,8 +83,7 @@ void StackDistGenerator::refresh_param_cache() {
 }
 
 void StackDistGenerator::set_params(const GenParams& params) {
-  CAPART_CHECK(params.working_set_blocks >= 1,
-               "working set must hold at least one block");
+  params.validate();
   params_ = params;
   refresh_param_cache();
   // Shrinking the working set drops the least recently used blocks: the

@@ -56,6 +56,16 @@ struct GenParams {
   /// False models irregular first touches (pointer chasing) that pay the
   /// full miss latency.
   bool prefetch_friendly_streams = true;
+
+  /// Rejects parameter values the generator's math cannot survive — NaN/inf
+  /// anywhere (NaN slips through the sampling clamps: std::min/max propagate
+  /// it into the cached gap log1p denominator and every drawn address),
+  /// rates outside [0, 1], non-positive skews, an empty working set, and an
+  /// empty shared region that shared accesses would still index (the
+  /// hot-block pick underflows `blocks - 1`). Throws ConfigError naming
+  /// `gen.<field>` so phase sweeps and serve specs get a recoverable,
+  /// attributable rejection instead of NaN addresses or an abort.
+  void validate() const;
 };
 
 class StackDistGenerator {

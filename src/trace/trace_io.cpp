@@ -1,12 +1,20 @@
 #include "src/trace/trace_io.hpp"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <array>
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
 #include "src/common/check.hpp"
+#include "src/common/error.hpp"
 
 namespace capart::trace {
 namespace {
@@ -16,6 +24,26 @@ constexpr std::array<char, 8> kMagic = {'C', 'A', 'P', 'T',
 constexpr std::uint32_t kVersion = 1;
 constexpr std::uint8_t kFlagWrite = 1u << 0;
 constexpr std::uint8_t kFlagPrefetchable = 1u << 1;
+constexpr std::uint8_t kResolvedShift = 2;
+constexpr std::uint8_t kResolvedMask = 0b11u << kResolvedShift;
+
+constexpr std::array<char, 8> kPackedMagic = {'C', 'A', 'P', 'T',
+                                              'R', 'C', 'V', '2'};
+constexpr std::uint32_t kPackedVersion = 2;
+
+/// Fixed v2 header prefix (before the variable-length key).
+struct PackedHeader {
+  std::array<char, 8> magic;
+  std::uint32_t version;
+  std::uint32_t key_bytes;
+  std::uint64_t count;
+};
+static_assert(sizeof(PackedHeader) == 24);
+
+std::size_t packed_records_offset(std::uint32_t key_bytes) noexcept {
+  const std::size_t raw = sizeof(PackedHeader) + key_bytes;
+  return (raw + sizeof(PackedOp) - 1) / sizeof(PackedOp) * sizeof(PackedOp);
+}
 
 template <typename T>
 void put(std::ostream& os, T value) {
@@ -85,6 +113,147 @@ std::vector<NextOp> read_trace_file(const std::string& path) {
   return read_trace(is);
 }
 
+PackedOp pack_op(const NextOp& op) noexcept {
+  CAPART_DCHECK(op.gap <= ~std::uint32_t{0}, "trace: gap exceeds 32 bits");
+  PackedOp packed;
+  packed.addr = op.addr;
+  packed.gap = static_cast<std::uint32_t>(op.gap);
+  std::uint8_t flags = 0;
+  if (op.type == AccessType::kWrite) flags |= kFlagWrite;
+  if (op.prefetchable) flags |= kFlagPrefetchable;
+  flags = static_cast<std::uint8_t>(
+      flags | (static_cast<std::uint8_t>(op.resolved) << kResolvedShift));
+  packed.flags = flags;
+  return packed;
+}
+
+NextOp unpack_op(const PackedOp& packed) noexcept {
+  NextOp op;
+  op.gap = packed.gap;
+  op.addr = packed.addr;
+  op.type = (packed.flags & kFlagWrite) != 0 ? AccessType::kWrite
+                                             : AccessType::kRead;
+  op.prefetchable = (packed.flags & kFlagPrefetchable) != 0;
+  op.resolved = static_cast<ResolvedLevel>(
+      (packed.flags & kResolvedMask) >> kResolvedShift);
+  return op;
+}
+
+void write_packed_trace_file(const std::string& path, const std::string& key,
+                             std::span<const PackedOp> ops) {
+  // The temp name must be unique per *writer*, not per process: parallel
+  // arms (--jobs) in one process can spool the same key concurrently, and a
+  // shared temp path would let one writer rename the other's file away.
+  static std::atomic<std::uint64_t> writer_serial{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(writer_serial.fetch_add(1));
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.is_open()) {
+      throw Error("trace: cannot open " + tmp + " for writing");
+    }
+    PackedHeader header{};
+    header.magic = kPackedMagic;
+    header.version = kPackedVersion;
+    header.key_bytes = static_cast<std::uint32_t>(key.size());
+    header.count = ops.size();
+    os.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    os.write(key.data(), static_cast<std::streamsize>(key.size()));
+    const std::size_t pad =
+        packed_records_offset(header.key_bytes) - sizeof(header) - key.size();
+    const std::array<char, sizeof(PackedOp)> zeros{};
+    os.write(zeros.data(), static_cast<std::streamsize>(pad));
+    os.write(reinterpret_cast<const char*>(ops.data()),
+             static_cast<std::streamsize>(ops.size_bytes()));
+    if (!os.good()) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw Error("trace: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("trace: cannot rename " + tmp + " to " + path);
+  }
+}
+
+std::unique_ptr<MmapTraceFile> MmapTraceFile::open(
+    const std::string& path, const std::string& expect_key) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return nullptr;  // miss: the spool will generate
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw Error("trace: cannot stat " + path);
+  }
+  const auto bytes = static_cast<std::size_t>(st.st_size);
+  if (bytes < sizeof(PackedHeader)) {
+    ::close(fd);
+    throw Error("trace: " + path + " is too small for a packed trace");
+  }
+  void* map = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    throw Error("trace: mmap failed for " + path);
+  }
+  auto file = std::unique_ptr<MmapTraceFile>(new MmapTraceFile);
+  file->map_ = map;
+  file->map_bytes_ = bytes;
+  PackedHeader header{};
+  std::memcpy(&header, map, sizeof(header));
+  if (header.magic != kPackedMagic || header.version != kPackedVersion) {
+    throw Error("trace: " + path + " is not a v2 packed trace");
+  }
+  const std::size_t offset = packed_records_offset(header.key_bytes);
+  if (bytes < offset + header.count * sizeof(PackedOp)) {
+    throw Error("trace: " + path + " is truncated");
+  }
+  file->key_.assign(static_cast<const char*>(map) + sizeof(header),
+                    header.key_bytes);
+  if (!expect_key.empty() && file->key_ != expect_key) {
+    throw Error("trace: " + path + " was written for a different key (" +
+                file->key_ + " vs " + expect_key + ")");
+  }
+  file->ops_ = std::span<const PackedOp>(
+      reinterpret_cast<const PackedOp*>(static_cast<const char*>(map) +
+                                        offset),
+      header.count);
+  return file;
+}
+
+MmapTraceFile::~MmapTraceFile() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+PackedReplay::PackedReplay(std::span<const PackedOp> ops, OnEnd on_end)
+    : ops_(ops), on_end_(on_end) {
+  CAPART_CHECK(!ops_.empty(), "trace: cannot replay an empty packed trace");
+}
+
+NextOp PackedReplay::next() {
+  if (position_ >= ops_.size()) {
+    CAPART_CHECK(on_end_ == OnEnd::kLoop, "trace: packed replay exhausted");
+    position_ = 0;
+  }
+  return unpack_op(ops_[position_++]);
+}
+
+std::size_t PackedReplay::fill(NextOp* out, std::size_t n) {
+  if (position_ >= ops_.size()) {
+    CAPART_CHECK(on_end_ == OnEnd::kLoop, "trace: packed replay exhausted");
+    position_ = 0;
+  }
+  const std::size_t available = ops_.size() - position_;
+  const std::size_t take = on_end_ == OnEnd::kAbort ? std::min(n, available)
+                                                    : n;
+  const PackedOp* records = ops_.data() + position_;
+  std::size_t i = 0;
+  for (; i < take && i < available; ++i) out[i] = unpack_op(records[i]);
+  position_ += i;
+  for (; i < take; ++i) out[i] = next();  // kLoop wrap-around tail
+  return take;
+}
+
 TraceReplay::TraceReplay(std::vector<NextOp> ops, OnEnd on_end)
     : ops_(std::move(ops)), on_end_(on_end) {
   CAPART_CHECK(!ops_.empty(), "trace: cannot replay an empty trace");
@@ -96,6 +265,21 @@ NextOp TraceReplay::next() {
     position_ = 0;
   }
   return ops_[position_++];
+}
+
+std::size_t TraceReplay::fill(NextOp* out, std::size_t n) {
+  if (position_ >= ops_.size()) {
+    CAPART_CHECK(on_end_ == OnEnd::kLoop, "trace: replay exhausted");
+    position_ = 0;
+  }
+  const std::size_t available = ops_.size() - position_;
+  const std::size_t take = on_end_ == OnEnd::kAbort ? std::min(n, available)
+                                                    : n;
+  std::size_t i = 0;
+  for (; i < take && i < available; ++i) out[i] = ops_[position_ + i];
+  position_ += i;
+  for (; i < take; ++i) out[i] = next();  // kLoop wrap-around tail
+  return take;
 }
 
 }  // namespace capart::trace

@@ -6,14 +6,30 @@
 // keeping every other part of the simulator identical. Record/replay of the
 // same run is bit-exact.
 //
-// Format (little-endian): 8-byte magic "CAPTRACE", u32 version, u64 record
-// count, then per record: u32 gap, u64 address, u8 flags
-// (bit 0 = write, bit 1 = prefetchable).
+// Two formats:
+//
+//   v1 (write_trace / read_trace): the historical stream format —
+//   little-endian, 8-byte magic "CAPTRACE", u32 version, u64 record count,
+//   then per record: u32 gap, u64 address, u8 flags (bit 0 = write, bit 1 =
+//   prefetchable). Compact (13 bytes/record) but unaligned, so reading
+//   materializes a std::vector<NextOp>.
+//
+//   v2 (write_packed_trace_file / MmapTraceFile): the throughput format the
+//   trace spool uses. Records are fixed 16-byte PackedOp structs laid out so
+//   a file can be mmap()ed and cast — replay reads straight from the page
+//   cache with no decode pass and no per-run copy, which is what lets every
+//   arm sharing a workload profile amortize one generation+resolve pass.
+//   Header: 8-byte magic "CAPTRCV2", u32 version, u32 key length, u64 record
+//   count, the key string (an arbitrary caller identity string, verified on
+//   open so hash-named spool files can never be confused across
+//   configurations), zero-padded to a 16-byte boundary, then the records.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,7 +37,7 @@
 
 namespace capart::trace {
 
-/// Serializes `ops` to a stream.
+/// Serializes `ops` to a stream (v1 format).
 void write_trace(std::ostream& os, const std::vector<NextOp>& ops);
 
 /// Deserializes a stream written by write_trace. Aborts on malformed input.
@@ -30,6 +46,81 @@ std::vector<NextOp> read_trace(std::istream& is);
 /// Convenience file wrappers (abort when the file cannot be opened).
 void write_trace_file(const std::string& path, const std::vector<NextOp>& ops);
 std::vector<NextOp> read_trace_file(const std::string& path);
+
+/// One v2 record: a NextOp packed into 16 aligned bytes so record arrays can
+/// be written and mapped verbatim. Flags: bit 0 = write, bit 1 =
+/// prefetchable, bits 2-3 = ResolvedLevel.
+struct PackedOp {
+  std::uint64_t addr = 0;
+  std::uint32_t gap = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t reserved[3] = {0, 0, 0};
+};
+static_assert(sizeof(PackedOp) == 16, "PackedOp must stay mmap-castable");
+
+PackedOp pack_op(const NextOp& op) noexcept;
+NextOp unpack_op(const PackedOp& packed) noexcept;
+
+/// Writes a v2 packed trace. The write goes to a sibling temporary file
+/// first and is renamed into place, so concurrent producers of the same
+/// spool entry can never expose a torn file (both write identical bytes;
+/// last rename wins). Throws capart::Error on I/O failure.
+void write_packed_trace_file(const std::string& path, const std::string& key,
+                             std::span<const PackedOp> ops);
+
+/// A read-only mmap()ed v2 trace. The mapping lives as long as the object;
+/// replay sources hold a shared_ptr to it.
+class MmapTraceFile {
+ public:
+  /// Maps `path`; returns nullptr when the file does not exist. Throws
+  /// capart::Error on a malformed header or when `expect_key` is non-empty
+  /// and does not match the stored key (a spool hash collision or a stale
+  /// file from an incompatible build — regenerating is the safe answer, so
+  /// callers treat it like a miss after removing the file).
+  static std::unique_ptr<MmapTraceFile> open(const std::string& path,
+                                             const std::string& expect_key);
+
+  ~MmapTraceFile();
+  MmapTraceFile(const MmapTraceFile&) = delete;
+  MmapTraceFile& operator=(const MmapTraceFile&) = delete;
+
+  std::span<const PackedOp> ops() const noexcept { return ops_; }
+  const std::string& key() const noexcept { return key_; }
+
+ private:
+  MmapTraceFile() = default;
+
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::span<const PackedOp> ops_;
+  std::string key_;
+};
+
+/// Replays a v2 packed record span (zero-copy: unpacks records on the fly in
+/// fill()). Does not own the records; the owner (an MmapTraceFile or a
+/// vector) must outlive it — the trace spool hands out shared ownership.
+class PackedReplay final : public OpSource {
+ public:
+  enum class OnEnd : std::uint8_t { kLoop, kAbort };
+
+  explicit PackedReplay(std::span<const PackedOp> ops,
+                        OnEnd on_end = OnEnd::kAbort);
+
+  NextOp next() override;
+
+  /// Batched refill: unpacks up to `n` records. Under OnEnd::kAbort a
+  /// partial tail batch is returned short instead of aborting — the abort
+  /// only fires on a pull past the genuine end.
+  std::size_t fill(NextOp* out, std::size_t n) override;
+
+  std::size_t size() const noexcept { return ops_.size(); }
+  std::size_t position() const noexcept { return position_; }
+
+ private:
+  std::span<const PackedOp> ops_;
+  std::size_t position_ = 0;
+  OnEnd on_end_;
+};
 
 /// Pass-through OpSource that captures everything it forwards.
 class TraceRecorder final : public OpSource {
@@ -41,6 +132,12 @@ class TraceRecorder final : public OpSource {
     const NextOp op = inner_.next();
     recorded_.push_back(op);
     return op;
+  }
+
+  std::size_t fill(NextOp* out, std::size_t n) override {
+    const std::size_t got = inner_.fill(out, n);
+    recorded_.insert(recorded_.end(), out, out + got);
+    return got;
   }
 
   const std::vector<NextOp>& recorded() const noexcept { return recorded_; }
@@ -60,6 +157,10 @@ class TraceReplay final : public OpSource {
   explicit TraceReplay(std::vector<NextOp> ops, OnEnd on_end = OnEnd::kLoop);
 
   NextOp next() override;
+
+  /// Batched refill; under OnEnd::kAbort the tail batch comes back short
+  /// (the abort fires only when a pull starts past the end).
+  std::size_t fill(NextOp* out, std::size_t n) override;
 
   std::size_t size() const noexcept { return ops_.size(); }
   std::size_t position() const noexcept { return position_; }

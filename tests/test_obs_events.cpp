@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/obs/event_log.hpp"
@@ -278,6 +282,48 @@ TEST(JsonlSinkTest, FlushAllReachesEveryLiveSink) {
   JsonlSink::flush_all();
   EXPECT_NE(os1.str().find("run_end"), std::string::npos);
   EXPECT_NE(os2.str().find("migration"), std::string::npos);
+}
+
+TEST(JsonlSinkTest, ShutdownAllFlushesThenMakesSinksInert) {
+  auto os = std::make_unique<std::ostringstream>();
+  JsonlSinkOptions options;
+  options.flush_threshold = 1 << 20;
+  JsonlSink sink(*os, options);
+  sink.on_run_end({"a", 10, 1, 100, 0.5});
+  ASSERT_TRUE(os->str().empty());
+  JsonlSink::shutdown_all();
+  EXPECT_NE(os->str().find("run_end"), std::string::npos);
+  const std::uint64_t written = sink.events_written();
+  // The destruction-order hazard this pins: during std::exit the backing
+  // stream can die before the sink (and before late worker appends). A
+  // retired sink must never touch it again.
+  os.reset();
+  sink.on_migration({"b", 3, 0, 1});  // dropped, not buffered
+  sink.flush();                       // inert, no use-after-free
+  EXPECT_EQ(sink.events_written(), written);
+}
+
+TEST(JsonlSinkTest, ShutdownAllIsSafeUnderConcurrentAppenders) {
+  auto os = std::make_unique<std::ostringstream>();
+  JsonlSinkOptions options;
+  options.flush_threshold = 256;
+  JsonlSink sink(*os, options);
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      sink.on_migration({"w", 1, 0, 1});
+    }
+  });
+  while (sink.events_written() < 64) {
+    std::this_thread::yield();
+  }
+  // Retire while the worker is mid-append, then destroy the stream under
+  // it — the post-exit shape (run under ASan by the sanitizer CI config).
+  JsonlSink::shutdown_all();
+  os.reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  worker.join();
 }
 
 TEST(JsonlSinkTest, CountsEventsAndWritesTrailingNewlines) {

@@ -116,6 +116,39 @@ TEST(HttpParser, RejectsMalformedInputWith400) {
   }
 }
 
+TEST(HttpParser, FailureIsTerminalAcrossFeedAndReset) {
+  // The keep-alive poisoning regression: after a parse error the stream is
+  // desynced, so a pipelined follow-up must never surface as a request.
+  struct Case {
+    const char* wire;
+    int status;
+  };
+  const Case cases[] = {
+      {"GARBAGE\r\n\r\n", 400},
+      {"POST / HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n", 413},
+      {"GET / HTTP/1.1\r\nH1: v\r\nH2: v\r\nH3: v\r\nH4: v\r\nH5: v\r\n", 431},
+  };
+  for (const Case& c : cases) {
+    HttpLimits limits;
+    limits.max_body_bytes = 16;
+    limits.max_headers = 3;
+    HttpRequestParser parser(limits);
+    // The bad request and a perfectly valid pipelined follow-up arrive in
+    // one read, as a real client would send them.
+    parser.feed(std::string(c.wire) + "GET /healthz HTTP/1.1\r\n\r\n");
+    ASSERT_TRUE(parser.failed()) << c.wire;
+    EXPECT_EQ(parser.error_status(), c.status) << c.wire;
+    // Neither reset() nor more bytes may revive the stream.
+    parser.reset();
+    EXPECT_TRUE(parser.failed()) << c.wire;
+    EXPECT_FALSE(parser.done()) << c.wire;
+    parser.feed("GET /healthz HTTP/1.1\r\n\r\n");
+    EXPECT_TRUE(parser.failed()) << c.wire;
+    EXPECT_FALSE(parser.done()) << c.wire;
+    EXPECT_EQ(parser.error_status(), c.status) << c.wire;
+  }
+}
+
 TEST(HttpResponse, FramesBodyWithContentLength) {
   const std::string wire =
       http_response(429, "application/json", "{\"error\":\"full\"}",

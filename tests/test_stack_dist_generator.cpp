@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
+#include "src/common/error.hpp"
 #include "src/common/rng.hpp"
 
 namespace capart::trace {
@@ -195,8 +198,99 @@ TEST(StackDistGenerator, SharedAccessesFavourHotBlocks) {
 TEST(StackDistGenerator, RejectsEmptyWorkingSet) {
   GenParams p = defaults();
   p.working_set_blocks = 0;
-  EXPECT_DEATH(StackDistGenerator(p, Rng(1), kPrivBase, kShareBase),
-               "at least one block");
+  EXPECT_THROW(StackDistGenerator(p, Rng(1), kPrivBase, kShareBase),
+               ConfigError);
+}
+
+// Degenerate phase parameters must be rejected up front: NaN survives the
+// sampling clamps (std::min/max propagate it) and used to leak NaN-derived
+// addresses out of next(); an empty shared region with share_fraction > 0
+// used to underflow the hot-block index. All must surface as recoverable
+// ConfigError, not NaN addresses or a process abort.
+TEST(StackDistGenerator, RejectsDegeneratePhaseParams) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  {
+    GenParams p = defaults();
+    p.mem_ratio = nan;
+    EXPECT_THROW(StackDistGenerator(p, Rng(1), kPrivBase, kShareBase),
+                 ConfigError);
+  }
+  {
+    GenParams p = defaults();
+    p.mem_ratio = 0.0;
+    EXPECT_THROW(StackDistGenerator(p, Rng(1), kPrivBase, kShareBase),
+                 ConfigError);
+  }
+  {
+    GenParams p = defaults();
+    p.reuse_skew = nan;
+    EXPECT_THROW(StackDistGenerator(p, Rng(1), kPrivBase, kShareBase),
+                 ConfigError);
+  }
+  {
+    GenParams p = defaults();
+    p.reuse_skew = 0.0;
+    EXPECT_THROW(StackDistGenerator(p, Rng(1), kPrivBase, kShareBase),
+                 ConfigError);
+  }
+  {
+    GenParams p = defaults();
+    p.shared_skew = inf;
+    EXPECT_THROW(StackDistGenerator(p, Rng(1), kPrivBase, kShareBase),
+                 ConfigError);
+  }
+  {
+    GenParams p = defaults();
+    p.p_new = 1.5;
+    EXPECT_THROW(StackDistGenerator(p, Rng(1), kPrivBase, kShareBase),
+                 ConfigError);
+  }
+  {
+    GenParams p = defaults();
+    p.share_fraction = nan;
+    EXPECT_THROW(StackDistGenerator(p, Rng(1), kPrivBase, kShareBase),
+                 ConfigError);
+  }
+  {
+    GenParams p = defaults();
+    p.write_fraction = -0.1;
+    EXPECT_THROW(StackDistGenerator(p, Rng(1), kPrivBase, kShareBase),
+                 ConfigError);
+  }
+  // Shared accesses into an empty shared region: the degenerate combination
+  // that used to underflow `shared_region_blocks - 1`.
+  {
+    GenParams p = defaults();
+    p.share_fraction = 0.5;
+    p.shared_region_blocks = 0;
+    EXPECT_THROW(StackDistGenerator(p, Rng(1), kPrivBase, kShareBase),
+                 ConfigError);
+  }
+  // ...but an empty shared region is fine when nothing ever touches it.
+  {
+    GenParams p = defaults();
+    p.share_fraction = 0.0;
+    p.shared_region_blocks = 0;
+    EXPECT_NO_THROW(StackDistGenerator(p, Rng(1), kPrivBase, kShareBase));
+  }
+}
+
+// A mid-run phase switch to degenerate params must throw without corrupting
+// the generator: the old params stay in force and next() keeps producing
+// finite addresses.
+TEST(StackDistGenerator, SetParamsRejectsAndPreservesState) {
+  StackDistGenerator g(defaults(), Rng(11), kPrivBase, kShareBase);
+  for (int i = 0; i < 100; ++i) g.next();
+  GenParams bad = defaults();
+  bad.mem_ratio = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(g.set_params(bad), ConfigError);
+  EXPECT_EQ(g.params().mem_ratio, defaults().mem_ratio);
+  for (int i = 0; i < 100; ++i) {
+    const NextOp op = g.next();
+    EXPECT_GE(op.addr, kPrivBase);
+  }
 }
 
 }  // namespace

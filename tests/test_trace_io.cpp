@@ -3,10 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <span>
 #include <sstream>
+#include <thread>
+#include <vector>
 
+#include "src/common/error.hpp"
 #include "src/common/rng.hpp"
 #include "src/sim/cmp_system.hpp"
 #include "src/sim/driver.hpp"
@@ -161,6 +167,133 @@ TEST(TraceReplay, RecordedRunReplaysBitExactly) {
     EXPECT_EQ(replay_system.counters().thread(t).l2_misses,
               live_system.counters().thread(t).l2_misses);
   }
+}
+
+std::vector<NextOp> sample_resolved_ops() {
+  std::vector<NextOp> ops = sample_ops();
+  ops[0].resolved = ResolvedLevel::kL1Hit;
+  ops[1].resolved = ResolvedLevel::kShared;
+  ops[2].resolved = ResolvedLevel::kPrivateL2Hit;
+  return ops;
+}
+
+TEST(PackedTrace, PackUnpackRoundTripsEveryField) {
+  for (const ResolvedLevel level :
+       {ResolvedLevel::kUnresolved, ResolvedLevel::kL1Hit,
+        ResolvedLevel::kPrivateL2Hit, ResolvedLevel::kShared}) {
+    for (const bool write : {false, true}) {
+      for (const bool prefetchable : {false, true}) {
+        NextOp op;
+        op.gap = 0xFEDCBA98;
+        op.addr = (Addr{1} << 52) + 0x40;
+        op.type = write ? AccessType::kWrite : AccessType::kRead;
+        op.prefetchable = prefetchable;
+        op.resolved = level;
+        const NextOp back = unpack_op(pack_op(op));
+        EXPECT_EQ(back.gap, op.gap);
+        EXPECT_EQ(back.addr, op.addr);
+        EXPECT_EQ(back.type, op.type);
+        EXPECT_EQ(back.prefetchable, op.prefetchable);
+        EXPECT_EQ(back.resolved, op.resolved);
+      }
+    }
+  }
+}
+
+TEST(PackedTrace, FileRoundTripsViaMmapAndVerifiesKey) {
+  const std::string path = ::testing::TempDir() + "/capart_v2_test.trc";
+  const std::string key = "capart-trace-v2;profile=test;thread=0";
+  std::vector<PackedOp> packed;
+  for (const NextOp& op : sample_resolved_ops()) packed.push_back(pack_op(op));
+  write_packed_trace_file(path, key, packed);
+
+  std::unique_ptr<MmapTraceFile> file = MmapTraceFile::open(path, key);
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->key(), key);
+  ASSERT_EQ(file->ops().size(), packed.size());
+  const std::vector<NextOp> expect = sample_resolved_ops();
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    const NextOp back = unpack_op(file->ops()[i]);
+    EXPECT_EQ(back.addr, expect[i].addr);
+    EXPECT_EQ(back.gap, expect[i].gap);
+    EXPECT_EQ(back.resolved, expect[i].resolved);
+  }
+  // A mismatched key is a hash collision or stale file — a hard error, not
+  // a silent wrong-trace replay.
+  EXPECT_THROW(MmapTraceFile::open(path, "some-other-key"), Error);
+  // An empty expectation skips verification (inspection tools).
+  EXPECT_NE(MmapTraceFile::open(path, ""), nullptr);
+  std::remove(path.c_str());
+}
+
+// Parallel arms (--jobs) in one process can spool the same key at once;
+// each writer needs its own temp file or one rename steals the other's.
+// Regression: with a pid-only temp suffix this raced to "cannot rename".
+TEST(PackedTrace, ConcurrentWritersToOnePathAllSucceed) {
+  const std::string path = ::testing::TempDir() + "/capart_v2_race.trc";
+  const std::string key = "capart-trace-v2;profile=race;thread=0";
+  std::vector<PackedOp> packed;
+  for (const NextOp& op : sample_resolved_ops()) packed.push_back(pack_op(op));
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        try {
+          write_packed_trace_file(path, key, packed);
+        } catch (const Error&) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::unique_ptr<MmapTraceFile> file = MmapTraceFile::open(path, key);
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->ops().size(), packed.size());
+  std::remove(path.c_str());
+}
+
+TEST(PackedTrace, MissingFileIsAMissNotAnError) {
+  EXPECT_EQ(MmapTraceFile::open(::testing::TempDir() + "/capart_absent.trc",
+                                "k"),
+            nullptr);
+}
+
+TEST(PackedTrace, MalformedFileThrows) {
+  const std::string path = ::testing::TempDir() + "/capart_v2_bad.trc";
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << "this is not a packed trace file, padded to header size.....";
+  }
+  EXPECT_THROW(MmapTraceFile::open(path, "k"), Error);
+  std::remove(path.c_str());
+}
+
+TEST(PackedReplay, FillReturnsShortTailUnderAbortThenDies) {
+  std::vector<PackedOp> packed;
+  for (const NextOp& op : sample_resolved_ops()) packed.push_back(pack_op(op));
+  PackedReplay replay(std::span<const PackedOp>(packed),
+                      PackedReplay::OnEnd::kAbort);
+  NextOp buffer[8];
+  // A batched refill near the end comes back short instead of aborting —
+  // the contract that lets the driver's ring ask for a full batch.
+  EXPECT_EQ(replay.fill(buffer, 2), 2u);
+  EXPECT_EQ(replay.fill(buffer, 8), 1u);
+  EXPECT_EQ(buffer[0].addr, sample_resolved_ops()[2].addr);
+  EXPECT_DEATH(replay.fill(buffer, 1), "exhausted");
+}
+
+TEST(PackedReplay, LoopModeWrapsInsideOneFill) {
+  std::vector<PackedOp> packed;
+  for (const NextOp& op : sample_resolved_ops()) packed.push_back(pack_op(op));
+  PackedReplay replay(std::span<const PackedOp>(packed),
+                      PackedReplay::OnEnd::kLoop);
+  NextOp buffer[7];
+  EXPECT_EQ(replay.fill(buffer, 7), 7u);
+  EXPECT_EQ(buffer[3].addr, sample_resolved_ops()[0].addr);
+  EXPECT_EQ(buffer[6].addr, sample_resolved_ops()[0].addr);
 }
 
 }  // namespace

@@ -1,0 +1,130 @@
+// Trace-spool contract tests: spooled replay is bit-identical to the live
+// generator+private-hierarchy path, spool keys include exactly what shapes a
+// thread's resolved stream, and the in-process registry shares one mapping
+// across arms.
+#include "src/sim/trace_spool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/mem/cache_stats.hpp"
+#include "src/sim/experiment.hpp"
+
+namespace capart::sim {
+namespace {
+
+ExperimentConfig small_config(const std::string& dir) {
+  ExperimentConfig c;
+  c.profile = "cg";
+  c.num_threads = 4;
+  c.num_intervals = 8;
+  c.interval_instructions = 48'000;
+  c.policy = "static-equal";
+  c.seed = 11;
+  c.trace_spool_dir = dir;
+  return c;
+}
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.outcome.total_cycles, b.outcome.total_cycles);
+  EXPECT_EQ(a.outcome.instructions_retired, b.outcome.instructions_retired);
+  const mem::ThreadCacheCounters ta = a.l2_stats.total();
+  const mem::ThreadCacheCounters tb = b.l2_stats.total();
+  EXPECT_EQ(ta.accesses, tb.accesses);
+  EXPECT_EQ(ta.hits, tb.hits);
+  EXPECT_EQ(ta.misses, tb.misses);
+  EXPECT_EQ(ta.writebacks, tb.writebacks);
+  ASSERT_EQ(a.intervals.size(), b.intervals.size());
+  ASSERT_EQ(a.thread_totals.size(), b.thread_totals.size());
+  for (std::size_t t = 0; t < a.thread_totals.size(); ++t) {
+    EXPECT_EQ(a.thread_totals[t].instructions, b.thread_totals[t].instructions);
+    EXPECT_EQ(a.thread_totals[t].exec_cycles, b.thread_totals[t].exec_cycles);
+    EXPECT_EQ(a.thread_totals[t].l1_accesses, b.thread_totals[t].l1_accesses);
+    EXPECT_EQ(a.thread_totals[t].l1_misses, b.thread_totals[t].l1_misses);
+    EXPECT_EQ(a.thread_totals[t].l2_accesses, b.thread_totals[t].l2_accesses);
+    EXPECT_EQ(a.thread_totals[t].l2_misses, b.thread_totals[t].l2_misses);
+  }
+}
+
+TEST(TraceSpool, SpooledRunIsBitIdenticalToLive) {
+  const std::string dir = fresh_dir("capart_spool_ident");
+  ExperimentConfig live = small_config("");
+  ExperimentConfig spooled = small_config(dir);
+  const ExperimentResult a = run_experiment(live);
+  // First spooled run resolves and writes the files, second replays them
+  // from the in-process registry: all three must agree exactly.
+  const ExperimentResult b = run_experiment(spooled);
+  const ExperimentResult c = run_experiment(spooled);
+  expect_identical(a, b);
+  expect_identical(a, c);
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 4u);  // one resolved stream per thread
+}
+
+TEST(TraceSpool, PrivateL2RunsSpoolAndMatchToo) {
+  const std::string dir = fresh_dir("capart_spool_pl2");
+  ExperimentConfig live = small_config("");
+  live.enable_private_l2 = true;
+  ExperimentConfig spooled = live;
+  spooled.trace_spool_dir = dir;
+  expect_identical(run_experiment(live), run_experiment(spooled));
+}
+
+TEST(TraceSpool, KeyCoversStreamIdentityAndNothingElse) {
+  const ExperimentConfig base = small_config("/tmp");
+  const Instructions per_thread = 1000;
+  const std::string key = spool_key(base, per_thread, 0);
+
+  // Arms differing only in shared-cache organization or execution knobs
+  // share spool entries — that sharing is the whole point of the spool.
+  ExperimentConfig arm = base;
+  arm.policy = "model-based";
+  arm.l2.index = mem::IndexKind::kHash;
+  arm.l2_banks = 4;
+  arm.l2_enforce = mem::L2Enforce::kClosWayMask;
+  arm.intra_jobs = 7;
+  EXPECT_EQ(spool_key(arm, per_thread, 0), key);
+
+  // Anything shaping the generated stream or its private-hierarchy resolve
+  // must change the key.
+  ExperimentConfig other = base;
+  other.seed = 12;
+  EXPECT_NE(spool_key(other, per_thread, 0), key);
+  other = base;
+  other.profile = "ft";
+  EXPECT_NE(spool_key(other, per_thread, 0), key);
+  other = base;
+  other.l1.ways *= 2;
+  EXPECT_NE(spool_key(other, per_thread, 0), key);
+  other = base;
+  other.enable_private_l2 = true;
+  EXPECT_NE(spool_key(other, per_thread, 0), key);
+  EXPECT_NE(spool_key(base, per_thread + 1, 0), key);
+  EXPECT_NE(spool_key(base, per_thread, 1), key);
+}
+
+TEST(TraceSpool, MigrationRunsAreIneligible) {
+  ExperimentConfig cfg = small_config(fresh_dir("capart_spool_mig"));
+  cfg.migrations.push_back({.interval = 2, .a = 0, .b = 1});
+  // Migrations rebind threads to foreign L1s mid-run; a resolved trace bakes
+  // in the static binding, so such runs must fall back to live simulation.
+  EXPECT_TRUE(spool_sources(cfg, 1000).empty());
+}
+
+}  // namespace
+}  // namespace capart::sim

@@ -141,7 +141,9 @@ int main(int argc, char** argv) {
             << ", draining" << std::endl;
 
   server.shutdown();     // completes queued + running work, answers it
-  obs::JsonlSink::flush_all();  // every sink's buffer reaches its stream
+  // Retire, not just flush: no sink may touch its stream again once static
+  // destruction starts tearing streams down under still-running threads.
+  obs::JsonlSink::shutdown_all();
   std::cout << "drained cleanly" << std::endl;
   return 0;
 }
