@@ -24,6 +24,9 @@
 //   --trace-dir=DIR         resolved-trace spool directory (empty = off);
 //                           arms sharing a profile amortize one
 //                           generate+resolve pass; bit-identical
+//   --trace-dir-max-bytes=N LRU size cap for the spool directory (0 = none)
+//   --lockstep              arms sharing a spool identity replay one shared
+//                           decoded trace in lockstep; bit-identical
 //   --arm-retries=N         re-run a failed arm up to N times (default 0)
 //   --arm-deadline=SEC      per-arm wall-clock budget; expired arms stop at
 //                           the next interval boundary as timed_out
@@ -77,6 +80,13 @@ struct BenchOptions {
   /// sim/trace_spool.hpp — arms sharing a workload profile pay for one
   /// generation+resolve pass; results are bit-identical either way.
   std::string trace_dir;
+  /// Spool-directory size cap in bytes (--trace-dir-max-bytes=N; 0 = none):
+  /// LRU eviction after every spool acquisition. Needs --trace-dir.
+  std::uint64_t trace_dir_max_bytes = 0;
+  /// Multi-arm lockstep replay (--lockstep): arms sharing a spool identity
+  /// decode the resolved trace once and advance interval-by-interval from
+  /// the shared buffer. Needs --trace-dir; bit-identical either way.
+  bool lockstep = false;
   /// Fault-isolation policy of the batch (--arm-retries / --arm-deadline):
   /// re-runs per failed arm, and the per-arm wall-clock budget in seconds
   /// (0 = none). See sim::BatchPolicy.

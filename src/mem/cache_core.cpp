@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.hpp"
+#include "src/mem/simd.hpp"
 
 namespace capart::mem {
 
@@ -32,10 +33,9 @@ CacheCore::CacheCore(const CacheGeometry& geometry, ThreadId num_threads,
       static_cast<std::size_t>(geometry_.sets) * geometry_.ways;
   repl_ = make_replacement(geometry_.repl, geometry_.sets, geometry_.ways);
   lru_fast_ = repl_->lru_list();
-  blocks_.assign(lines, 0);
+  tags_.assign(lines, kInvalidTag);
   owner_.assign(lines, kNoThread);
   last_accessor_.assign(lines, kNoThread);
-  valid_.assign(lines, 0);
   dirty_.assign(lines, 0);
   owned_.assign(static_cast<std::size_t>(geometry_.sets) * num_threads_, 0);
   fill_count_.assign(geometry_.sets, 0);
@@ -99,7 +99,7 @@ void CacheCore::set_targets(std::span<const std::uint32_t> targets) {
           if (targets[t] >= targets_[t]) continue;
           while (owned(s, t) > targets[t]) {
             const ReplacementPolicy::Eligible own_lines{
-                .valid = &valid_[base],
+                .tags = &tags_[base],
                 .owner = &owner_[base],
                 .scope = ReplacementPolicy::Eligible::Scope::kOwnedBy,
                 .thread = t};
@@ -116,9 +116,9 @@ void CacheCore::set_targets(std::span<const std::uint32_t> targets) {
 
 void CacheCore::invalidate_line(std::uint32_t set, std::uint32_t way) {
   const std::size_t idx = line_index(set, way);
-  CAPART_DCHECK(valid_[idx] != 0, "invalidating an invalid line");
-  valid_[idx] = 0;
-  if (index_ != nullptr) index_->erase(set, blocks_[idx]);
+  CAPART_DCHECK(tags_[idx] != kInvalidTag, "invalidating an invalid line");
+  if (index_ != nullptr) index_->erase(set, tags_[idx]);
+  tags_[idx] = kInvalidTag;
   fill_count_[set] -= 1;
   owned(set, owner_[idx]) -= 1;
   --owned_totals_[owner_[idx]];
@@ -126,21 +126,21 @@ void CacheCore::invalidate_line(std::uint32_t set, std::uint32_t way) {
 
 std::uint32_t CacheCore::choose_victim(std::uint32_t set, ThreadId thread) {
   const std::size_t base = line_index(set, 0);
-  const std::uint8_t* valid = &valid_[base];
+  const std::uint64_t* tags = &tags_[base];
   if (enforcement_ == PartitionEnforcement::kClosWayMask) {
     // CAT semantics: fill and victimize strictly within the thread's mask.
     // The global first-invalid fast path below would escape the mask, so the
     // invalid scan is bounded to the mask here.
     const WayMask& m = ranges_[thread];
     if (fill_count_[set] < geometry_.ways) {
-      for (std::uint32_t w = m.low_way; w < m.high_way(); ++w) {
-        if (valid[w] == 0) return w;
-      }
+      const std::uint32_t w =
+          simd::find_tag(tags + m.low_way, m.nr_ways, kInvalidTag);
+      if (w < m.nr_ways) return m.low_way + w;
     }
     // Every way of the mask holds a valid line (whoever owns it) — evict the
     // replacement policy's pick among them.
     const ReplacementPolicy::Eligible in_mask{
-        .valid = valid,
+        .tags = tags,
         .owner = &owner_[base],
         .scope = ReplacementPolicy::Eligible::Scope::kWayRange,
         .thread = thread,
@@ -150,11 +150,11 @@ std::uint32_t CacheCore::choose_victim(std::uint32_t set, ThreadId thread) {
   }
   // The fill count skips the first-invalid scan once the set is full — the
   // steady state of every long run; a partially filled set (warmup, or holes
-  // from a reconfiguration flush) still takes the bounded scan below.
+  // from a reconfiguration flush) still takes the bounded probe below.
   if (fill_count_[set] < geometry_.ways) {
-    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-      if (valid[w] == 0) return w;
-    }
+    const std::uint32_t w =
+        simd::find_tag(tags, geometry_.ways, kInvalidTag);
+    if (w < geometry_.ways) return w;
   }
 
   // All lines valid: ask the replacement policy within the enforcement scope.
@@ -190,7 +190,7 @@ std::uint32_t CacheCore::choose_victim(std::uint32_t set, ThreadId thread) {
     // path of every unpartitioned cache.
     return lru_fast_->lru_way(set);
   }
-  const ReplacementPolicy::Eligible eligible{.valid = valid,
+  const ReplacementPolicy::Eligible eligible{.tags = tags,
                                              .owner = &owner_[base],
                                              .scope = scope,
                                              .thread = thread};
@@ -208,13 +208,15 @@ std::uint32_t CacheCore::find_way(std::uint32_t set, std::uint64_t block,
   if (index_ != nullptr) return index_->lookup(set, block, &probes);
   const std::size_t base =
       static_cast<std::size_t>(set) * geometry_.ways;
-  const std::uint64_t* blocks = &blocks_[base];
-  const std::uint8_t* valid = &valid_[base];
-  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    if (valid[w] != 0 && blocks[w] == block) {
-      probes = w + 1;
-      return w;
-    }
+  // Pure contiguous tag compare: empty ways hold kInvalidTag, which no real
+  // block can equal, so validity needs no separate check and the probe
+  // vectorizes. The probes telemetry keeps the scalar scan's semantics
+  // (ways examined up to and including the hit, all of them on a miss).
+  const std::uint32_t w =
+      simd::find_tag(&tags_[base], geometry_.ways, block);
+  if (w < geometry_.ways) {
+    probes = w + 1;
+    return w;
   }
   probes = geometry_.ways;
   return BlockWayIndex::kNotFound;
@@ -225,6 +227,7 @@ CacheCore::AccessResult CacheCore::access_in_set(ThreadId thread,
                                                  std::uint32_t set,
                                                  AccessType type) {
   CAPART_DCHECK(thread < num_threads_, "thread id out of range");
+  CAPART_DCHECK(block != kInvalidTag, "block collides with the empty-way tag");
   ThreadCacheCounters& mine = stats_.thread(thread);
   ++mine.accesses;
 
@@ -251,15 +254,14 @@ CacheCore::AccessResult CacheCore::access_in_set(ThreadId thread,
     ++mine.misses;
     const std::uint32_t way = choose_victim(set, thread);
     const std::size_t idx = base + way;
-    if (valid_[idx] != 0) {
-      if (index_ != nullptr) index_->erase(set, blocks_[idx]);
+    if (tags_[idx] != kInvalidTag) {
+      if (index_ != nullptr) index_->erase(set, tags_[idx]);
       if (dirty_[idx] != 0) ++mine.writebacks;
       ++mine.intra_thread_evictions;
     } else {
       fill_count_[set] += 1;
     }
-    valid_[idx] = 1;
-    blocks_[idx] = block;
+    tags_[idx] = block;
     dirty_[idx] = (type == AccessType::kWrite) ? 1 : 0;
     if (index_ != nullptr) index_->insert(set, block, way);
     if (lru_fast_ != nullptr) {
@@ -291,10 +293,10 @@ CacheCore::AccessResult CacheCore::access_in_set(ThreadId thread,
   AccessResult result{};
   const std::uint32_t way = choose_victim(set, thread);
   const std::size_t idx = base + way;
-  if (valid_[idx] != 0) {
+  if (tags_[idx] != kInvalidTag) {
     owned(set, owner_[idx]) -= 1;
     --owned_totals_[owner_[idx]];
-    if (index_ != nullptr) index_->erase(set, blocks_[idx]);
+    if (index_ != nullptr) index_->erase(set, tags_[idx]);
     if (dirty_[idx] != 0) ++mine.writebacks;
     if (last_accessor_[idx] != thread) {
       result.inter_thread_eviction = true;
@@ -306,8 +308,7 @@ CacheCore::AccessResult CacheCore::access_in_set(ThreadId thread,
   } else {
     fill_count_[set] += 1;
   }
-  valid_[idx] = 1;
-  blocks_[idx] = block;
+  tags_[idx] = block;
   owner_[idx] = thread;
   last_accessor_[idx] = thread;
   dirty_[idx] = (type == AccessType::kWrite) ? 1 : 0;
@@ -323,7 +324,7 @@ CacheCore::AccessResult CacheCore::access_in_set(ThreadId thread,
 }
 
 void CacheCore::flush() {
-  std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
   std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
   std::fill(owned_.begin(), owned_.end(), std::uint16_t{0});
   std::fill(fill_count_.begin(), fill_count_.end(), std::uint16_t{0});

@@ -25,6 +25,13 @@
 // the incremental block->way hash index of block_index.hpp. The choice never
 // affects which line hits or which way is victimized, only the cost of
 // finding out; results are bit-identical across kinds.
+//
+// Line metadata is struct-of-arrays with validity folded into the tag array
+// (kInvalidTag marks an empty way — see replacement.hpp), so the scan probe
+// reads one contiguous run of 64-bit tags per set and dispatches to the
+// vectorized compare of simd.hpp; the separate per-line arrays (dirty,
+// owner, last accessor) are only touched on the outcome paths that need
+// them.
 #pragma once
 
 #include <array>
@@ -215,11 +222,11 @@ class CacheCore {
   /// the per-access touch then inlines instead of dispatching virtually.
   LruList* lru_fast_ = nullptr;
   // Line storage, struct-of-arrays, set-major (`sets * ways` each): the hit
-  // scan touches only blocks_/valid_, the victim filter only valid_/owner_.
-  std::vector<std::uint64_t> blocks_;
+  // scan touches only tags_ (kInvalidTag = empty way, so no validity array
+  // rides along), the victim filter only tags_/owner_.
+  std::vector<std::uint64_t> tags_;
   std::vector<ThreadId> owner_;          ///< inserting thread
   std::vector<ThreadId> last_accessor_;  ///< most recent toucher
-  std::vector<std::uint8_t> valid_;
   std::vector<std::uint8_t> dirty_;      ///< eviction costs a writeback
   std::vector<std::uint16_t> owned_;     // sets * num_threads
   /// Valid lines per set; skips the invalid-way scan once a set is full

@@ -30,6 +30,17 @@
 
 namespace capart::mem {
 
+/// Sentinel tag of an empty (invalid) way in the struct-of-arrays tag store
+/// shared by the cache core and the UMON shadow directories: validity is
+/// folded into the tag array itself — a way is valid iff its tag differs from
+/// kInvalidTag — so the hit probe is a pure contiguous 64-bit compare loop
+/// (one cache line of tags for 8 ways) with no second validity array to
+/// stride through, and it vectorizes directly (see simd.hpp). No real block
+/// can collide: block numbers are addresses divided by the line size, and
+/// the address space tops out far below 2^64 (the shared region base is
+/// 2^52; cache_core DCHECKs the invariant on every access).
+inline constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
+
 /// Replacement policy of one cache structure. kTrueLru is the paper-faithful
 /// configuration; kTreePlru and kSrrip are the hardware-realism extensions.
 enum class ReplacementKind : std::uint8_t {
@@ -162,9 +173,10 @@ class LruList {
 /// Interface the cache core victimizes through.
 class ReplacementPolicy {
  public:
-  /// Victim-eligibility filter: a way qualifies when its line is valid and
-  /// matches the ownership scope. The arrays view the candidate set's lines
-  /// (cache-core storage is set-major, so these are spans of `ways` entries).
+  /// Victim-eligibility filter: a way qualifies when its line is valid (its
+  /// tag is not kInvalidTag) and matches the ownership scope. The arrays view
+  /// the candidate set's lines (cache-core storage is set-major, so these are
+  /// spans of `ways` entries).
   struct Eligible {
     enum class Scope : std::uint8_t {
       kAnyValid,
@@ -175,7 +187,7 @@ class ReplacementPolicy {
       kWayRange,
     };
 
-    const std::uint8_t* valid = nullptr;
+    const std::uint64_t* tags = nullptr;
     const ThreadId* owner = nullptr;
     Scope scope = Scope::kAnyValid;
     ThreadId thread = 0;
@@ -183,7 +195,7 @@ class ReplacementPolicy {
     std::uint32_t range_hi = 0;  ///< kWayRange only, exclusive
 
     bool operator()(std::uint32_t way) const noexcept {
-      if (valid[way] == 0) return false;
+      if (tags[way] == kInvalidTag) return false;
       switch (scope) {
         case Scope::kAnyValid: return true;
         case Scope::kOwnedBy: return owner[way] == thread;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.hpp"
+#include "src/mem/simd.hpp"
 
 namespace capart::mem {
 
@@ -24,8 +25,8 @@ UtilityMonitor::UtilityMonitor(const CacheGeometry& geometry,
                "sampling shift leaves no sets to monitor");
   const std::size_t lines =
       static_cast<std::size_t>(sampled_sets_) * geometry_.ways;
-  shadow_blocks_.assign(num_threads_, std::vector<std::uint64_t>(lines, 0));
-  shadow_valid_.assign(num_threads_, std::vector<std::uint8_t>(lines, 0));
+  shadow_tags_.assign(num_threads_,
+                      std::vector<std::uint64_t>(lines, kInvalidTag));
   shadow_order_.reserve(num_threads_);
   for (ThreadId t = 0; t < num_threads_; ++t) {
     shadow_order_.emplace_back(sampled_sets_, geometry_.ways);
@@ -36,9 +37,9 @@ UtilityMonitor::UtilityMonitor(const CacheGeometry& geometry,
       shadow_index_.push_back(
           std::make_unique<BlockWayIndex>(sampled_sets_, geometry_.ways));
     }
-    shadow_fill_.assign(num_threads_,
-                        std::vector<std::uint16_t>(sampled_sets_, 0));
   }
+  shadow_fill_.assign(num_threads_,
+                      std::vector<std::uint16_t>(sampled_sets_, 0));
   depth_hits_.assign(
       shards_, std::vector<std::uint64_t>(
                    static_cast<std::size_t>(num_threads_) * geometry_.ways,
@@ -75,56 +76,25 @@ void UtilityMonitor::observe_routed(std::uint32_t shard, ThreadId thread,
                     shadow_set < sampled_sets_,
                 "utility monitor: routed observe out of range");
   const std::uint64_t block = geometry_.block_of(addr);
+  CAPART_DCHECK(block != kInvalidTag,
+                "utility monitor: block collides with the empty-way tag");
   ++accesses_[shard][thread];
   std::uint64_t* depth_hits =
       &depth_hits_[shard][static_cast<std::size_t>(thread) * geometry_.ways];
   const std::size_t base =
       static_cast<std::size_t>(shadow_set) * geometry_.ways;
-  std::uint64_t* blocks = &shadow_blocks_[thread][base];
-  std::uint8_t* valid = &shadow_valid_[thread][base];
+  std::uint64_t* tags = &shadow_tags_[thread][base];
   LruStack& order = shadow_order_[thread];
 
+  // Tag lookup: the block->way index (kHash), or the vectorized contiguous
+  // probe over the sentinel-tagged array (kScan). Bit-identical — a set
+  // holds at most one copy of a block in both mechanisms.
+  std::uint32_t found;
   if (index_kind_ == IndexKind::kHash) {
-    // O(1) paths: the block->way index answers the tag lookup, and because
-    // shadow lines are never invalidated the per-set fill count is exactly
-    // the first invalid way. Bit-identical to the scan below — a set holds
-    // at most one copy of a block, and fills always take the first invalid
-    // way in both mechanisms.
-    BlockWayIndex& index = *shadow_index_[thread];
-    const std::uint32_t found = index.lookup(shadow_set, block);
-    if (found != BlockWayIndex::kNotFound) {
-      ++depth_hits[order.depth_of(shadow_set, found)];
-      order.touch(shadow_set, found);
-      return;
-    }
-    ++misses_[shard][thread];
-    std::uint16_t& filled = shadow_fill_[thread][shadow_set];
-    std::uint32_t victim;
-    if (filled < geometry_.ways) {
-      victim = filled;
-      ++filled;
-    } else {
-      victim = order.way_at(shadow_set, geometry_.ways - 1);
-      index.erase(shadow_set, blocks[victim]);
-    }
-    valid[victim] = 1;
-    blocks[victim] = block;
-    index.insert(shadow_set, block, victim);
-    order.touch(shadow_set, victim);
-    return;
-  }
-
-  // One pass: find the line (its LRU stack depth is then an O(1) position
-  // lookup — valid lines always occupy the top of the recency order because
-  // shadow lines are never invalidated) and the first invalid way.
-  std::uint32_t found = geometry_.ways;
-  std::uint32_t invalid = geometry_.ways;
-  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    if (valid[w] == 0) {
-      if (invalid == geometry_.ways) invalid = w;
-    } else if (blocks[w] == block) {
-      found = w;
-    }
+    const std::uint32_t w = shadow_index_[thread]->lookup(shadow_set, block);
+    found = w != BlockWayIndex::kNotFound ? w : geometry_.ways;
+  } else {
+    found = simd::find_tag(tags, geometry_.ways, block);
   }
   if (found < geometry_.ways) {
     ++depth_hits[order.depth_of(shadow_set, found)];
@@ -132,14 +102,25 @@ void UtilityMonitor::observe_routed(std::uint32_t shard, ThreadId thread,
     return;
   }
   ++misses_[shard][thread];
-  // Victim: first invalid way, else the LRU way (all valid then, so the
-  // bottom of the recency order).
-  const std::uint32_t victim = invalid < geometry_.ways
-                                   ? invalid
-                                   : order.way_at(shadow_set,
-                                                  geometry_.ways - 1);
-  valid[victim] = 1;
-  blocks[victim] = block;
+  // Victim: shadow lines are never invalidated and fills always take the
+  // first invalid way, so the per-set fill count is exactly the first
+  // invalid way; past that, the LRU way (all valid then, so the bottom of
+  // the recency order).
+  std::uint16_t& filled = shadow_fill_[thread][shadow_set];
+  std::uint32_t victim;
+  if (filled < geometry_.ways) {
+    victim = filled;
+    ++filled;
+  } else {
+    victim = order.way_at(shadow_set, geometry_.ways - 1);
+    if (index_kind_ == IndexKind::kHash) {
+      shadow_index_[thread]->erase(shadow_set, tags[victim]);
+    }
+  }
+  tags[victim] = block;
+  if (index_kind_ == IndexKind::kHash) {
+    shadow_index_[thread]->insert(shadow_set, block, victim);
+  }
   order.touch(shadow_set, victim);
 }
 

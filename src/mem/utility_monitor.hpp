@@ -111,19 +111,20 @@ class UtilityMonitor {
   std::uint32_t sampled_sets_;
   std::uint32_t shards_;
   IndexKind index_kind_;
-  // Per thread: shadow tags (sampled_sets x ways, blocks + valid bits plus a
-  // compact recency permutation — the directory is LRU by definition,
-  // whatever policy the monitored cache runs, so the hit's stack depth is an
-  // O(1) position lookup) and interval counters.
-  std::vector<std::vector<std::uint64_t>> shadow_blocks_;
-  std::vector<std::vector<std::uint8_t>> shadow_valid_;
+  // Per thread: shadow tags (sampled_sets x ways; kInvalidTag marks an empty
+  // way, same sentinel layout as the cache core, so the probe is the
+  // vectorized contiguous compare of simd.hpp) plus a compact recency
+  // permutation — the directory is LRU by definition, whatever policy the
+  // monitored cache runs, so the hit's stack depth is an O(1) position
+  // lookup — and interval counters.
+  std::vector<std::vector<std::uint64_t>> shadow_tags_;
   std::vector<LruStack> shadow_order_;
   /// Per-thread block->way index over the shadow directory (kHash only);
   /// shadow lines are never invalidated, so entries are only ever replaced.
   std::vector<std::unique_ptr<BlockWayIndex>> shadow_index_;
   /// Valid lines per shadow set, per thread: shadow fills always take the
   /// first invalid way and nothing is ever invalidated, so the fill count
-  /// *is* the first invalid way — no scan needed (kHash only).
+  /// *is* the first invalid way — no scan needed (both mechanisms).
   std::vector<std::vector<std::uint16_t>> shadow_fill_;
   /// Interval counters, sharded so parallel feed workers never contend:
   /// readers sum across shards (bit-identical for any shard count).

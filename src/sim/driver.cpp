@@ -201,6 +201,15 @@ void Driver::on_interval_boundary() {
 }
 
 RunOutcome Driver::run() {
+  begin();
+  while (advance_interval()) {
+  }
+  return finalize();
+}
+
+void Driver::begin() {
+  CAPART_CHECK(!begun_, "driver: begin() called twice");
+  begun_ = true;
   for (ThreadId t = 0; t < threads_.size(); ++t) {
     enter_section(threads_[t], t);
   }
@@ -208,13 +217,17 @@ RunOutcome Driver::run() {
   for (ThreadId t = 0; t < threads_.size(); ++t) {
     maybe_release_group(group_of_[t]);
   }
-  const bool use_heap =
-      config_.scheduler == SchedulerKind::kHeap ||
-      (config_.scheduler == SchedulerKind::kAuto && threads_.size() > 4);
-  return use_heap ? run_heap() : run_scan();
+  use_heap_ = config_.scheduler == SchedulerKind::kHeap ||
+              (config_.scheduler == SchedulerKind::kAuto &&
+               threads_.size() > 4);
 }
 
-RunOutcome Driver::run_scan() {
+bool Driver::advance_interval() {
+  CAPART_CHECK(begun_, "driver: advance_interval() before begin()");
+  return use_heap_ ? advance_heap() : advance_scan();
+}
+
+bool Driver::advance_scan() {
   for (;;) {
     // Pick the runnable thread with the smallest clock.
     ThreadId chosen = kNoThread;
@@ -228,7 +241,7 @@ RunOutcome Driver::run_scan() {
         chosen = t;
       }
     }
-    if (!any_live) break;
+    if (!any_live) return false;
     CAPART_CHECK(chosen != kNoThread,
                  "deadlock: live threads exist but none are runnable");
     step(chosen);
@@ -237,19 +250,22 @@ RunOutcome Driver::run_scan() {
     }
     if (aggregate_instructions_ >= next_boundary_) {
       on_interval_boundary();
+      return true;
     }
   }
-  return finish();
 }
 
-RunOutcome Driver::run_heap() {
+bool Driver::advance_heap() {
   // Binary min-heap of runnable threads keyed by (clock, tid) — the same
   // total order the scan's strict-< scan induces (lowest tid wins clock
   // ties), so both schedulers pick identical threads and produce identical
   // outcomes. Clock mutations outside pop/push are always uniform across
   // every live thread (interval-boundary overhead), which preserves the heap
   // invariant in place; barrier releases only touch waiting threads, which
-  // are never in the heap.
+  // are never in the heap. The heap is rebuilt from thread state at every
+  // slice entry — at any boundary it holds exactly the runnable threads, and
+  // pop order depends only on the (clock, tid) total order, never on the
+  // heap's internal array layout, so slicing cannot change the schedule.
   const auto later = [this](ThreadId a, ThreadId b) noexcept {
     const Cycles ca = threads_[a].clock;
     const Cycles cb = threads_[b].clock;
@@ -271,7 +287,7 @@ RunOutcome Driver::run_heap() {
     if (heap.empty()) {
       bool any_live = false;
       for (const ThreadState& ts : threads_) any_live = any_live || !ts.done;
-      if (!any_live) break;
+      if (!any_live) return false;
       CAPART_CHECK(false,
                    "deadlock: live threads exist but none are runnable");
     }
@@ -291,12 +307,12 @@ RunOutcome Driver::run_heap() {
     }
     if (aggregate_instructions_ >= next_boundary_) {
       on_interval_boundary();
+      return true;
     }
   }
-  return finish();
 }
 
-RunOutcome Driver::finish() {
+RunOutcome Driver::finalize() {
   // Apply any utility-monitor observes still queued in the parallel feed
   // before anyone reads end-of-run state (no-op for the serial feed).
   system_.sync_monitor();

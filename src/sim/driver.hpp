@@ -98,8 +98,31 @@ class Driver {
   void schedule_migration(std::uint64_t interval_index, ThreadId a,
                           ThreadId b);
 
-  /// Runs the program to completion.
+  /// Runs the program to completion: begin() + advance_interval() until
+  /// exhausted + finalize(), in one call.
   RunOutcome run();
+
+  // Sliced execution: the lockstep batch runner interleaves several sibling
+  // drivers interval-by-interval, so the run loop is also exposed in three
+  // stages. run() composes exactly these, and a sliced run is bit-identical
+  // to a monolithic one: the scan scheduler re-derives its choice from
+  // thread state every step anyway, and the heap scheduler's pop order is a
+  // pure function of the (clock, tid) total order over the runnable set, so
+  // rebuilding the heap at each slice entry reproduces the uninterrupted
+  // pop sequence.
+
+  /// Opens the first sections and releases any zero-work barriers. Call
+  /// once, before the first advance_interval().
+  void begin();
+
+  /// Runs until one interval boundary fires (inclusive) or every thread
+  /// finishes. Returns true when live threads remain — call again; false
+  /// means the program completed. CancelledError propagates from the
+  /// boundary's cancellation poll (the caller may abandon the driver).
+  bool advance_interval();
+
+  /// Collects the outcome after advance_interval() returned false.
+  RunOutcome finalize();
 
  private:
   /// Ops per thread pulled ahead through OpSource::fill (the refill batch and
@@ -140,9 +163,9 @@ class Driver {
   void step(ThreadId t);
   void on_interval_boundary();
 
-  RunOutcome run_scan();
-  RunOutcome run_heap();
-  RunOutcome finish();
+  /// advance_interval() bodies per scheduler; same contract.
+  bool advance_scan();
+  bool advance_heap();
 
   CmpSystem& system_;
   Program program_;
@@ -155,6 +178,8 @@ class Driver {
   Instructions aggregate_instructions_ = 0;
   Instructions next_boundary_ = 0;
   std::uint64_t interval_index_ = 0;
+  bool begun_ = false;
+  bool use_heap_ = false;
 };
 
 }  // namespace capart::sim

@@ -96,54 +96,84 @@ void ExperimentConfig::validate() const {
   }
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-  config.validate();
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+struct PreparedExperiment::Impl {
+  explicit Impl(const SystemConfig& sys_config) : system(sys_config) {}
+
+  CmpSystem system;
+  std::unique_ptr<Driver> driver;
+  std::unique_ptr<core::RuntimeSystem> runtime;
+};
+
+PreparedExperiment::PreparedExperiment(
+    const ExperimentConfig& config,
+    std::vector<std::unique_ptr<trace::OpSource>> sources)
+    : config_(config) {
+  config_.validate();
 
   const auto wall_start = std::chrono::steady_clock::now();
-  if (config.obs.sink != nullptr) {
-    config.obs.sink->on_manifest({config.obs.run_name, config});
+  if (config_.obs.sink != nullptr) {
+    config_.obs.sink->on_manifest({config_.obs.run_name, config_});
   }
 
   const trace::BenchmarkProfile profile =
-      trace::make_profile(config.profile, config.num_threads);
+      trace::make_profile(config_.profile, config_.num_threads);
   const core::Partitioner* partitioner =
-      core::is_no_policy(config.policy)
+      core::is_no_policy(config_.policy)
           ? nullptr
-          : &core::registry().require(config.policy, "policy");
+          : &core::registry().require(config_.policy, "policy");
 
   SystemConfig sys_config{
-      .num_threads = config.num_threads,
-      .l1 = config.l1,
-      .l2 = config.l2,
-      .l2_mode = config.l2_mode,
-      .timing = config.timing,
+      .num_threads = config_.num_threads,
+      .l1 = config_.l1,
+      .l2 = config_.l2,
+      .l2_mode = config_.l2_mode,
+      .timing = config_.timing,
       // Measured-curve policies model monitoring hardware; provision it.
       .enable_utility_monitor =
           partitioner != nullptr && partitioner->needs_utility_monitor,
       .umon_sampling_shift = 3,
-      .enable_private_l2 = config.enable_private_l2,
-      .private_l2 = config.private_l2,
-      .l2_banks = config.l2_banks,
-      .l2_bank_service_cycles = config.l2_bank_service_cycles,
-      .l2_enforce = config.l2_enforce,
-      .clos_budget = config.clos_budget,
-      .monitor_shards = std::max(config.intra_jobs, 1u),
+      .enable_private_l2 = config_.enable_private_l2,
+      .private_l2 = config_.private_l2,
+      .l2_banks = config_.l2_banks,
+      .l2_bank_service_cycles = config_.l2_bank_service_cycles,
+      .l2_enforce = config_.l2_enforce,
+      .clos_budget = config_.clos_budget,
+      .monitor_shards = std::max(config_.intra_jobs, 1u),
   };
-  CmpSystem system(sys_config);
+  impl_ = std::make_unique<Impl>(sys_config);
+  CmpSystem& system = impl_->system;
 
   const Instructions total_instructions =
-      config.interval_instructions * config.num_intervals;
-  const Instructions per_thread = total_instructions / config.num_threads;
+      config_.interval_instructions * config_.num_intervals;
+  const Instructions per_thread = total_instructions / config_.num_threads;
 
-  // Per-thread op streams: resolved spool replays when a spool directory is
-  // configured and the run is eligible (bit-identical, but skips generation
-  // and private-hierarchy simulation), else live deterministic generators.
+  // Per-thread op streams: caller-supplied replays (the lockstep runner's
+  // shared decoded trace), else resolved spool replays when a spool
+  // directory is configured and the run is eligible (bit-identical, but
+  // skips generation and private-hierarchy simulation), else live
+  // deterministic generators.
   std::vector<std::unique_ptr<trace::OpSource>> generators =
-      spool_sources(config, per_thread);
+      std::move(sources);
   if (generators.empty()) {
-    const Rng root(config.seed);
-    generators.reserve(config.num_threads);
-    for (ThreadId t = 0; t < config.num_threads; ++t) {
+    generators = spool_sources(config_, per_thread);
+  } else {
+    CAPART_CHECK(generators.size() == config_.num_threads,
+                 "prepared experiment: one op source per thread required");
+  }
+  if (generators.empty()) {
+    const Rng root(config_.seed);
+    generators.reserve(config_.num_threads);
+    for (ThreadId t = 0; t < config_.num_threads; ++t) {
       generators.push_back(std::make_unique<trace::PhasedGenerator>(
           trace::PhaseSchedule(profile.threads[t].phases), root.fork(t),
           private_region_base(t), shared_region_base()));
@@ -151,40 +181,41 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   const std::uint32_t sections =
-      config.sections != 0 ? config.sections : profile.sections;
-  Program program = make_uniform_program(config.num_threads, sections,
+      config_.sections != 0 ? config_.sections : profile.sections;
+  Program program = make_uniform_program(config_.num_threads, sections,
                                          per_thread);
 
   DriverConfig driver_config{
-      .interval_instructions = config.interval_instructions,
-      .barrier_release_cost = config.barrier_release_cost,
+      .interval_instructions = config_.interval_instructions,
+      .barrier_release_cost = config_.barrier_release_cost,
       .barrier_group = {},
-      .obs = config.obs,
-      .cancel = config.cancel,
-      .fault = config.fault,
+      .obs = config_.obs,
+      .cancel = config_.cancel,
+      .fault = config_.fault,
   };
-  Driver driver(system, std::move(program), std::move(generators),
-                driver_config);
-  for (const MigrationEvent& m : config.migrations) {
-    driver.schedule_migration(m.interval, m.a, m.b);
+  impl_->driver = std::make_unique<Driver>(system, std::move(program),
+                                           std::move(generators),
+                                           driver_config);
+  for (const MigrationEvent& m : config_.migrations) {
+    impl_->driver->schedule_migration(m.interval, m.a, m.b);
   }
 
   std::unique_ptr<core::PartitionPolicy> policy;
   if (partitioner != nullptr) {
-    policy = core::registry().make(config.policy, config.policy_options);
+    policy = core::registry().make(config_.policy, config_.policy_options);
   }
   core::ClosRuntimeConfig clos_runtime;
-  if (config.l2_enforce == mem::L2Enforce::kClosWayMask) {
-    clos_runtime.mapper = core::make_clos_mapper(config.clos_mapper);
-    clos_runtime.budget = config.clos_budget;
-    clos_runtime.mask_update_cycles = config.clos_mask_update_cycles;
+  if (config_.l2_enforce == mem::L2Enforce::kClosWayMask) {
+    clos_runtime.mapper = core::make_clos_mapper(config_.clos_mapper);
+    clos_runtime.budget = config_.clos_budget;
+    clos_runtime.mask_update_cycles = config_.clos_mask_update_cycles;
   }
   // Shared-region profile for the sharing-aware policies: each thread's
   // phase schedule, averaged with phase durations as weights (what fraction
   // of accesses hit the shared region, and how big that region is).
   std::vector<core::ThreadSharing> sharing;
-  sharing.reserve(config.num_threads);
-  for (ThreadId t = 0; t < config.num_threads; ++t) {
+  sharing.reserve(config_.num_threads);
+  for (ThreadId t = 0; t < config_.num_threads; ++t) {
     double weight = 0.0;
     core::ThreadSharing s;
     for (const trace::Phase& phase : profile.threads[t].phases) {
@@ -200,19 +231,40 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
     sharing.push_back(s);
   }
-  core::RuntimeSystem runtime(system, std::move(policy),
-                              config.runtime_overhead_cycles,
-                              config.reconfigure_flush_cost_per_line,
-                              config.obs, std::move(clos_runtime),
-                              std::move(sharing));
-  driver.set_interval_callback(runtime.callback());
+  impl_->runtime = std::make_unique<core::RuntimeSystem>(
+      system, std::move(policy), config_.runtime_overhead_cycles,
+      config_.reconfigure_flush_cost_per_line, config_.obs,
+      std::move(clos_runtime), std::move(sharing));
+  impl_->driver->set_interval_callback(impl_->runtime->callback());
+  impl_->driver->begin();
+  wall_accum_ += seconds_since(wall_start);
+}
+
+PreparedExperiment::~PreparedExperiment() = default;
+
+bool PreparedExperiment::advance_interval() {
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const bool more = impl_->driver->advance_interval();
+    wall_accum_ += seconds_since(start);
+    return more;
+  } catch (...) {
+    wall_accum_ += seconds_since(start);
+    throw;
+  }
+}
+
+ExperimentResult PreparedExperiment::finalize() {
+  const auto start = std::chrono::steady_clock::now();
+  CmpSystem& system = impl_->system;
+  core::RuntimeSystem& runtime = *impl_->runtime;
 
   ExperimentResult result;
-  result.outcome = driver.run();
+  result.outcome = impl_->driver->finalize();
   result.intervals = runtime.history();
   result.l2_stats = system.l2().stats();
-  result.thread_totals.reserve(config.num_threads);
-  for (ThreadId t = 0; t < config.num_threads; ++t) {
+  result.thread_totals.reserve(config_.num_threads);
+  for (ThreadId t = 0; t < config_.num_threads; ++t) {
     result.thread_totals.push_back(system.counters().thread(t));
   }
 
@@ -220,9 +272,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           dynamic_cast<const core::ModelBasedPolicy*>(runtime.policy())) {
     ModelSnapshot snapshot;
     const std::uint32_t total_ways = system.l2().total_ways();
-    snapshot.predicted.resize(config.num_threads);
-    snapshot.observed.resize(config.num_threads);
-    for (ThreadId t = 0; t < config.num_threads; ++t) {
+    snapshot.predicted.resize(config_.num_threads);
+    snapshot.observed.resize(config_.num_threads);
+    for (ThreadId t = 0; t < config_.num_threads; ++t) {
       snapshot.predicted[t].reserve(total_ways);
       for (std::uint32_t w = 1; w <= total_ways; ++w) {
         snapshot.predicted[t].push_back(model_policy->predict(t, w));
@@ -235,39 +287,37 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.model_snapshot = std::move(snapshot);
   }
 
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
-  if (config.obs.sink != nullptr) {
-    config.obs.sink->on_run_end({config.obs.run_name,
+  result.wall_seconds = wall_accum_ + seconds_since(start);
+  wall_accum_ = result.wall_seconds;
+  if (config_.obs.sink != nullptr) {
+    config_.obs.sink->on_run_end({config_.obs.run_name,
                                  result.outcome.total_cycles,
                                  result.outcome.intervals_completed,
                                  result.outcome.instructions_retired,
                                  result.wall_seconds});
-    config.obs.sink->flush();
+    config_.obs.sink->flush();
   }
-  if (config.obs.metrics != nullptr) {
-    config.obs.metrics->add("experiment/runs");
-    config.obs.metrics->add("experiment/cycles_simulated",
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("experiment/runs");
+    config_.obs.metrics->add("experiment/cycles_simulated",
                             result.outcome.total_cycles);
-    config.obs.metrics->add("experiment/instructions_simulated",
+    config_.obs.metrics->add("experiment/instructions_simulated",
                             result.outcome.instructions_retired);
     // Hot-path telemetry: L2 tag-lookup cost under the configured
     // --l2-index mechanism, and simulated L2 accesses per wall second (the
     // number the perf-regression harness tracks).
     const mem::CacheCore::LookupStats lookup = system.l2().lookup_stats();
-    config.obs.metrics->add("l2/lookups", lookup.lookups);
-    config.obs.metrics->add("l2/lookup_probe_len_total", lookup.probed_slots);
-    config.obs.metrics->add("l2/lookup_probe_len_1",
+    config_.obs.metrics->add("l2/lookups", lookup.lookups);
+    config_.obs.metrics->add("l2/lookup_probe_len_total", lookup.probed_slots);
+    config_.obs.metrics->add("l2/lookup_probe_len_1",
                             lookup.probe_len_hist[0]);
-    config.obs.metrics->add("l2/lookup_probe_len_2",
+    config_.obs.metrics->add("l2/lookup_probe_len_2",
                             lookup.probe_len_hist[1]);
-    config.obs.metrics->add("l2/lookup_probe_len_3_4",
+    config_.obs.metrics->add("l2/lookup_probe_len_3_4",
                             lookup.probe_len_hist[2]);
-    config.obs.metrics->add("l2/lookup_probe_len_5_8",
+    config_.obs.metrics->add("l2/lookup_probe_len_5_8",
                             lookup.probe_len_hist[3]);
-    config.obs.metrics->add("l2/lookup_probe_len_gt_8",
+    config_.obs.metrics->add("l2/lookup_probe_len_gt_8",
                             lookup.probe_len_hist[4]);
     // Banked-L2 queueing: how often accesses collided on a busy bank and
     // what the collisions cost, plus the load skew across banks.
@@ -283,12 +333,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         wait += b.wait_cycles;
         max_accesses = std::max(max_accesses, b.accesses);
       }
-      config.obs.metrics->add("l2/bank_accesses", accesses);
-      config.obs.metrics->add("l2/bank_conflicts", conflicts);
-      config.obs.metrics->add("l2/bank_conflict_wait_cycles", wait);
+      config_.obs.metrics->add("l2/bank_accesses", accesses);
+      config_.obs.metrics->add("l2/bank_conflicts", conflicts);
+      config_.obs.metrics->add("l2/bank_conflict_wait_cycles", wait);
       if (accesses > 0) {
         // 1.0 = perfectly balanced; N = everything on one of N banks.
-        config.obs.metrics->set_gauge(
+        config_.obs.metrics->set_gauge(
             "l2/bank_imbalance",
             static_cast<double>(max_accesses) *
                 static_cast<double>(banks.size()) /
@@ -296,7 +346,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       }
     }
     if (result.wall_seconds > 0.0) {
-      config.obs.metrics->set_gauge(
+      config_.obs.metrics->set_gauge(
           "sim/accesses_per_sec",
           static_cast<double>(result.l2_stats.total().accesses) /
               result.wall_seconds);
@@ -304,6 +354,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  PreparedExperiment prepared(config);
+  while (prepared.advance_interval()) {
+  }
+  return prepared.finalize();
 }
 
 double improvement(const ExperimentResult& ours,

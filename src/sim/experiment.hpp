@@ -108,6 +108,13 @@ struct ExperimentConfig {
   /// execution-resource knob, excluded from manifests and codecs.
   std::string trace_spool_dir;
 
+  /// Size cap for the spool directory (--trace-dir-max-bytes): after each
+  /// spool acquisition the directory is shrunk to at most this many bytes of
+  /// spool files, evicting least-recently-used entries (acquires refresh
+  /// recency). 0 = unbounded. Execution-resource knob like trace_spool_dir —
+  /// an evicted entry just regenerates on its next miss.
+  std::uint64_t trace_spool_max_bytes = 0;
+
   std::vector<MigrationEvent> migrations;
 
   /// Observability attachment (src/obs): when a sink or metrics registry is
@@ -162,6 +169,56 @@ struct ExperimentResult {
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// run_experiment decomposed into prepare / advance / collect, so the
+/// lockstep batch runner can interleave sibling arms interval-by-interval
+/// (each arm is one PreparedExperiment; the group advances them round-robin
+/// from a shared decoded trace). run_experiment(config) is exactly
+/// `PreparedExperiment p(config); while (p.advance_interval()) {}
+/// return p.finalize();` — results are bit-identical however the advances
+/// are interleaved with other work, because every run owns its system,
+/// sources and RNG streams.
+///
+/// Wall-clock accounting: each phase (construction, every advance slice,
+/// finalize) accumulates into the run's wall_seconds, so a lockstep arm
+/// reports only its own simulation time, not its siblings' — keeping
+/// BatchResult::serial_seconds honest under interleaving.
+class PreparedExperiment {
+ public:
+  /// Everything before the first simulation step: validation, manifest
+  /// publication, system construction, op sources, program, driver and
+  /// runtime attachment. Non-empty `sources` (one per thread) override the
+  /// config's own op-source construction — the lockstep runner passes
+  /// replays of a shared decoded trace. Throws what run_experiment's setup
+  /// throws (ConfigError and friends).
+  explicit PreparedExperiment(
+      const ExperimentConfig& config,
+      std::vector<std::unique_ptr<trace::OpSource>> sources = {});
+  ~PreparedExperiment();
+  PreparedExperiment(const PreparedExperiment&) = delete;
+  PreparedExperiment& operator=(const PreparedExperiment&) = delete;
+
+  /// Runs to the next interval boundary; false when the program finished.
+  /// Propagates CancelledError from the boundary's cancellation poll — the
+  /// arm is then abandoned (destructible, but not resumable).
+  bool advance_interval();
+
+  /// Collects the result (call once, after advance_interval() returned
+  /// false); publishes run-end events and hot-path metrics.
+  ExperimentResult finalize();
+
+  /// Wall-clock consumed by this arm so far (prepare + advance slices);
+  /// the batch runner attributes a failed lockstep arm's cost from here.
+  double wall_so_far() const noexcept { return wall_accum_; }
+
+  const ExperimentConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Impl;
+  ExperimentConfig config_;
+  double wall_accum_ = 0.0;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Relative improvement of `ours` over `baseline` in execution time:
 /// (cycles_baseline - cycles_ours) / cycles_baseline. Positive = faster.

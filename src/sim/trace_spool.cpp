@@ -1,6 +1,10 @@
 #include "src/sim/trace_spool.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -62,6 +66,37 @@ class SpooledReplay final : public trace::OpSource {
   trace::PackedReplay replay_;
 };
 
+/// Serves one thread's stream from a DecodedTrace shared across the lockstep
+/// siblings. Same end-of-stream contract as PackedReplay's OnEnd::kAbort:
+/// fill() returns a short tail batch; a pull past the genuine end aborts.
+class DecodedReplay final : public trace::OpSource {
+ public:
+  explicit DecodedReplay(std::shared_ptr<const DecodedTrace> decoded)
+      : decoded_(std::move(decoded)) {
+    CAPART_CHECK(!decoded_->ops.empty(),
+                 "trace spool: cannot replay an empty decoded trace");
+  }
+
+  trace::NextOp next() override {
+    CAPART_CHECK(position_ < decoded_->ops.size(),
+                 "trace spool: decoded replay exhausted");
+    return decoded_->ops[position_++];
+  }
+
+  std::size_t fill(trace::NextOp* out, std::size_t n) override {
+    CAPART_CHECK(position_ < decoded_->ops.size(),
+                 "trace spool: decoded replay exhausted");
+    const std::size_t take = std::min(n, decoded_->ops.size() - position_);
+    std::copy_n(decoded_->ops.data() + position_, take, out);
+    position_ += take;
+    return take;
+  }
+
+ private:
+  std::shared_ptr<const DecodedTrace> decoded_;
+  std::size_t position_ = 0;
+};
+
 /// Process-wide cache of mapped spool files so the 8+ arms sharing a profile
 /// pay for one mmap (and one resolve) per thread stream. Keyed by path; the
 /// stored key string is verified against the request on every acquire.
@@ -70,6 +105,21 @@ std::map<std::string, std::shared_ptr<trace::MmapTraceFile>>& registry() {
   static auto* m =
       new std::map<std::string, std::shared_ptr<trace::MmapTraceFile>>();
   return *m;
+}
+
+/// Decoded-trace registry (same mutex): weak references only, so decoded
+/// buffers — ~24 bytes/op, an order of magnitude bigger than the packed
+/// files' page-cache footprint — live exactly as long as some replay needs
+/// them, instead of for the process lifetime like the mapped files.
+std::map<std::string, std::weak_ptr<const DecodedTrace>>& decoded_registry() {
+  static auto* m = new std::map<std::string, std::weak_ptr<const DecodedTrace>>();
+  return *m;
+}
+
+/// Refreshes `path`'s mtime so spool_gc's LRU order sees this hit (best
+/// effort: a failure only makes the entry look colder than it is).
+void touch_spool_entry(const std::string& path) noexcept {
+  ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
 }
 
 /// Generates and resolves thread `t`'s stream exactly as a live driver run
@@ -125,6 +175,7 @@ std::shared_ptr<trace::MmapTraceFile> acquire_thread(
     if (it != registry().end()) {
       CAPART_CHECK(it->second->key() == key,
                    "trace spool: path hash collision");
+      touch_spool_entry(path);
       return it->second;
     }
   }
@@ -134,10 +185,42 @@ std::shared_ptr<trace::MmapTraceFile> acquire_thread(
     resolve_thread(config, profile, per_thread, t, key, path);
     file = trace::MmapTraceFile::open(path, key);
     CAPART_CHECK(file != nullptr, "trace spool: freshly written file vanished");
+  } else {
+    // Disk hit from a previous process: refresh the GC recency stamp (a
+    // fresh resolve already carries one from the write).
+    touch_spool_entry(path);
   }
   std::lock_guard<std::mutex> lock(g_registry_mutex);
   auto [it, inserted] = registry().emplace(path, std::move(file));
   return it->second;
+}
+
+/// Decoded variant of acquire_thread: ensures the spool entry exists (same
+/// resolve path, same registries) and returns its shared decode, unpacking
+/// at most once process-wide while any holder is alive. Concurrent first
+/// decodes of one path may briefly duplicate work; the registry keeps one.
+std::shared_ptr<const DecodedTrace> acquire_decoded(
+    const ExperimentConfig& config, const trace::BenchmarkProfile& profile,
+    Instructions per_thread, ThreadId t) {
+  const std::shared_ptr<trace::MmapTraceFile> file =
+      acquire_thread(config, profile, per_thread, t);
+  const std::string path =
+      spool_path(config.trace_spool_dir, spool_key(config, per_thread, t));
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    if (auto decoded = decoded_registry()[path].lock()) return decoded;
+  }
+  auto decoded = std::make_shared<DecodedTrace>();
+  decoded->ops.reserve(file->ops().size());
+  for (const trace::PackedOp& packed : file->ops()) {
+    decoded->ops.push_back(trace::unpack_op(packed));
+  }
+  std::shared_ptr<const DecodedTrace> shared = std::move(decoded);
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  auto& slot = decoded_registry()[path];
+  if (auto raced = slot.lock()) return raced;
+  slot = shared;
+  return shared;
 }
 
 }  // namespace
@@ -210,7 +293,75 @@ std::vector<std::unique_ptr<trace::OpSource>> spool_sources(
   for (ThreadId t = 0; t < config.num_threads; ++t) {
     sources.push_back(std::make_unique<SpooledReplay>(std::move(files[t])));
   }
+  spool_gc(config.trace_spool_dir, config.trace_spool_max_bytes);
   return sources;
+}
+
+std::vector<std::unique_ptr<trace::OpSource>> decoded_spool_sources(
+    const ExperimentConfig& config, Instructions per_thread) {
+  std::vector<std::unique_ptr<trace::OpSource>> sources;
+  if (config.trace_spool_dir.empty() || !config.migrations.empty()) {
+    // Same eligibility rule as spool_sources: migrations rebind threads to
+    // foreign L1s mid-run, which resolved traces cannot express.
+    return sources;
+  }
+  const trace::BenchmarkProfile profile =
+      trace::make_profile(config.profile, config.num_threads);
+  sources.reserve(config.num_threads);
+  for (ThreadId t = 0; t < config.num_threads; ++t) {
+    sources.push_back(std::make_unique<DecodedReplay>(
+        acquire_decoded(config, profile, per_thread, t)));
+  }
+  spool_gc(config.trace_spool_dir, config.trace_spool_max_bytes);
+  return sources;
+}
+
+std::uint64_t spool_gc(const std::string& dir, std::uint64_t max_bytes) {
+  if (max_bytes == 0 || dir.empty()) return 0;
+  namespace fs = std::filesystem;
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("capart_", 0) != 0 ||
+        e.path().extension() != ".trc" || !e.is_regular_file(ec)) {
+      continue;
+    }
+    Entry entry;
+    entry.path = e.path();
+    entry.mtime = e.last_write_time(ec);
+    if (ec) continue;  // raced with a concurrent delete
+    entry.bytes = e.file_size(ec);
+    if (ec) continue;
+    total += entry.bytes;
+    entries.push_back(std::move(entry));
+  }
+  if (total <= max_bytes) return 0;
+  // Oldest first; path breaks mtime ties so eviction order is deterministic.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.mtime != b.mtime ? a.mtime < b.mtime
+                                        : a.path < b.path;
+            });
+  std::uint64_t deleted = 0;
+  for (const Entry& entry : entries) {
+    if (total - deleted <= max_bytes) break;
+    {
+      // Entries held by this process stay: deleting them would force a
+      // redundant resolve on the next acquire for no memory win (the
+      // mapping pins the pages regardless).
+      std::lock_guard<std::mutex> lock(g_registry_mutex);
+      if (registry().count(entry.path.string()) != 0) continue;
+    }
+    if (fs::remove(entry.path, ec) && !ec) deleted += entry.bytes;
+  }
+  return deleted;
 }
 
 }  // namespace capart::sim

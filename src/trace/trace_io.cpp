@@ -177,6 +177,42 @@ void write_packed_trace_file(const std::string& path, const std::string& key,
   }
 }
 
+namespace {
+
+std::atomic<bool> g_force_stream_io{false};
+
+/// Shared header/key validation for both residence paths. `data` views the
+/// whole file (mmap) or just its prologue (stream fallback).
+PackedHeader validate_packed_header(const std::string& path, const char* data,
+                                    std::size_t bytes, std::size_t file_bytes,
+                                    const std::string& expect_key,
+                                    std::string& key_out) {
+  PackedHeader header{};
+  CAPART_CHECK(bytes >= sizeof(header), "trace: header prologue too small");
+  std::memcpy(&header, data, sizeof(header));
+  if (header.magic != kPackedMagic || header.version != kPackedVersion) {
+    throw Error("trace: " + path + " is not a v2 packed trace");
+  }
+  const std::size_t offset = packed_records_offset(header.key_bytes);
+  if (file_bytes < offset + header.count * sizeof(PackedOp)) {
+    throw Error("trace: " + path + " is truncated");
+  }
+  CAPART_CHECK(bytes >= sizeof(header) + header.key_bytes,
+               "trace: header prologue missing the key");
+  key_out.assign(data + sizeof(header), header.key_bytes);
+  if (!expect_key.empty() && key_out != expect_key) {
+    throw Error("trace: " + path + " was written for a different key (" +
+                key_out + " vs " + expect_key + ")");
+  }
+  return header;
+}
+
+}  // namespace
+
+void MmapTraceFile::force_stream_io_for_testing(bool force) noexcept {
+  g_force_stream_io.store(force, std::memory_order_relaxed);
+}
+
 std::unique_ptr<MmapTraceFile> MmapTraceFile::open(
     const std::string& path, const std::string& expect_key) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
@@ -191,33 +227,59 @@ std::unique_ptr<MmapTraceFile> MmapTraceFile::open(
     ::close(fd);
     throw Error("trace: " + path + " is too small for a packed trace");
   }
-  void* map = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  void* map = MAP_FAILED;
+  if (!g_force_stream_io.load(std::memory_order_relaxed)) {
+    map = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  }
   ::close(fd);
-  if (map == MAP_FAILED) {
-    throw Error("trace: mmap failed for " + path);
-  }
   auto file = std::unique_ptr<MmapTraceFile>(new MmapTraceFile);
-  file->map_ = map;
-  file->map_bytes_ = bytes;
-  PackedHeader header{};
-  std::memcpy(&header, map, sizeof(header));
-  if (header.magic != kPackedMagic || header.version != kPackedVersion) {
-    throw Error("trace: " + path + " is not a v2 packed trace");
+  if (map != MAP_FAILED) {
+    file->map_ = map;
+    file->map_bytes_ = bytes;
+    const char* data = static_cast<const char*>(map);
+    const PackedHeader header = validate_packed_header(
+        path, data, bytes, bytes, expect_key, file->key_);
+    file->ops_ = std::span<const PackedOp>(
+        reinterpret_cast<const PackedOp*>(
+            data + packed_records_offset(header.key_bytes)),
+        header.count);
+    return file;
   }
-  const std::size_t offset = packed_records_offset(header.key_bytes);
-  if (bytes < offset + header.count * sizeof(PackedOp)) {
+  // mmap unavailable (no-MMU platform, mapping limit, unsupported
+  // filesystem): stream-read the records into an owned buffer instead.
+  // Replay semantics are identical; only memory residence differs.
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) {
+    throw Error("trace: cannot open " + path + " for reading");
+  }
+  std::vector<char> prologue(sizeof(PackedHeader));
+  is.read(prologue.data(), static_cast<std::streamsize>(prologue.size()));
+  if (!is.good()) {
+    throw Error("trace: cannot read header of " + path);
+  }
+  std::uint32_t key_bytes = 0;
+  std::memcpy(&key_bytes,
+              prologue.data() + offsetof(PackedHeader, key_bytes),
+              sizeof(key_bytes));
+  if (bytes < sizeof(PackedHeader) + key_bytes) {
     throw Error("trace: " + path + " is truncated");
   }
-  file->key_.assign(static_cast<const char*>(map) + sizeof(header),
-                    header.key_bytes);
-  if (!expect_key.empty() && file->key_ != expect_key) {
-    throw Error("trace: " + path + " was written for a different key (" +
-                file->key_ + " vs " + expect_key + ")");
+  prologue.resize(sizeof(PackedHeader) + key_bytes);
+  is.read(prologue.data() + sizeof(PackedHeader), key_bytes);
+  if (!is.good() && key_bytes > 0) {
+    throw Error("trace: cannot read key of " + path);
   }
-  file->ops_ = std::span<const PackedOp>(
-      reinterpret_cast<const PackedOp*>(static_cast<const char*>(map) +
-                                        offset),
-      header.count);
+  const PackedHeader header = validate_packed_header(
+      path, prologue.data(), prologue.size(), bytes, expect_key, file->key_);
+  file->owned_ops_.resize(header.count);
+  is.seekg(static_cast<std::streamoff>(
+      packed_records_offset(header.key_bytes)));
+  is.read(reinterpret_cast<char*>(file->owned_ops_.data()),
+          static_cast<std::streamsize>(header.count * sizeof(PackedOp)));
+  if (!is.good() && header.count > 0) {
+    throw Error("trace: cannot read records of " + path);
+  }
+  file->ops_ = std::span<const PackedOp>(file->owned_ops_);
   return file;
 }
 

@@ -68,15 +68,19 @@ NextOp unpack_op(const PackedOp& packed) noexcept;
 void write_packed_trace_file(const std::string& path, const std::string& key,
                              std::span<const PackedOp> ops);
 
-/// A read-only mmap()ed v2 trace. The mapping lives as long as the object;
+/// A read-only v2 trace, mmap()ed when the platform allows it and otherwise
+/// stream-read into an owned buffer (same records, same validation — only
+/// the residence differs). The backing storage lives as long as the object;
 /// replay sources hold a shared_ptr to it.
 class MmapTraceFile {
  public:
-  /// Maps `path`; returns nullptr when the file does not exist. Throws
+  /// Opens `path`; returns nullptr when the file does not exist. Throws
   /// capart::Error on a malformed header or when `expect_key` is non-empty
   /// and does not match the stored key (a spool hash collision or a stale
   /// file from an incompatible build — regenerating is the safe answer, so
-  /// callers treat it like a miss after removing the file).
+  /// callers treat it like a miss after removing the file). When mmap()
+  /// itself fails (no-MMU platforms, mapping limits, filesystems without
+  /// mmap support), the file is stream-read instead of erroring.
   static std::unique_ptr<MmapTraceFile> open(const std::string& path,
                                              const std::string& expect_key);
 
@@ -86,12 +90,20 @@ class MmapTraceFile {
 
   std::span<const PackedOp> ops() const noexcept { return ops_; }
   const std::string& key() const noexcept { return key_; }
+  /// True when this file came through the stream-read fallback.
+  bool streamed() const noexcept { return map_ == nullptr; }
+
+  /// Test hook: pretend mmap() is unavailable so the stream-read fallback
+  /// can be exercised on platforms where the real call never fails.
+  static void force_stream_io_for_testing(bool force) noexcept;
 
  private:
   MmapTraceFile() = default;
 
   void* map_ = nullptr;
   std::size_t map_bytes_ = 0;
+  /// Fallback storage when mmap() was unavailable (see streamed()).
+  std::vector<PackedOp> owned_ops_;
   std::span<const PackedOp> ops_;
   std::string key_;
 };

@@ -1,0 +1,210 @@
+// Differential tests for multi-arm lockstep replay (BatchPolicy::lockstep).
+//
+// The lockstep runner groups arms sharing a resolved-trace spool identity,
+// decodes the spool once and advances every group member from the shared
+// buffer, interval by interval. Its contract is that none of this is
+// observable in the results: every arm must be bit-identical to the plain
+// serial batch, whatever the grouping — including when a group member dies
+// mid-replay (fault containment) or recovers through a solo retry. These
+// tests pin that contract on randomized seeds, plus the grouping edge cases
+// (mixed eligible/ineligible specs, spool-less arms under the flag).
+#include "src/sim/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/mem/cache_stats.hpp"
+#include "src/mem/l2_organization.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/sim/fault_injector.hpp"
+
+namespace capart::sim {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+ExperimentConfig small(const std::string& profile, std::uint64_t seed,
+                       const std::string& spool_dir) {
+  ExperimentConfig c;
+  c.profile = profile;
+  c.num_threads = 4;
+  c.num_intervals = 6;
+  c.interval_instructions = 24'000;
+  c.seed = seed;
+  c.trace_spool_dir = spool_dir;
+  return c;
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.outcome.total_cycles, b.outcome.total_cycles) << what;
+  EXPECT_EQ(a.outcome.instructions_retired, b.outcome.instructions_retired)
+      << what;
+  const mem::ThreadCacheCounters ta = a.l2_stats.total();
+  const mem::ThreadCacheCounters tb = b.l2_stats.total();
+  EXPECT_EQ(ta.accesses, tb.accesses) << what;
+  EXPECT_EQ(ta.hits, tb.hits) << what;
+  EXPECT_EQ(ta.misses, tb.misses) << what;
+  EXPECT_EQ(ta.writebacks, tb.writebacks) << what;
+  ASSERT_EQ(a.intervals.size(), b.intervals.size()) << what;
+  for (std::size_t i = 0; i < a.intervals.size(); ++i) {
+    ASSERT_EQ(a.intervals[i].threads.size(), b.intervals[i].threads.size());
+    for (std::size_t t = 0; t < a.intervals[i].threads.size(); ++t) {
+      EXPECT_EQ(a.intervals[i].threads[t].exec_cycles,
+                b.intervals[i].threads[t].exec_cycles)
+          << what << " interval " << i << " thread " << t;
+      EXPECT_EQ(a.intervals[i].threads[t].l2_misses,
+                b.intervals[i].threads[t].l2_misses)
+          << what << " interval " << i << " thread " << t;
+    }
+  }
+}
+
+/// The fig19-21 shape in miniature: two profiles, several arms per profile
+/// differing only in the shared cache (one spool group per profile), plus
+/// one spool-less arm that must stay a singleton unit.
+ExperimentSpec mixed_spec(std::uint64_t seed, const std::string& dir) {
+  ExperimentSpec spec;
+  spec.name = "lockstep_mixed";
+  for (const std::string& profile : {std::string("cg"), std::string("ft")}) {
+    spec.add(profile + "/model", small(profile, seed, dir));
+    ExperimentConfig shared = small(profile, seed, dir);
+    shared.l2_mode = mem::L2Mode::kSharedUnpartitioned;
+    shared.policy = "none";
+    spec.add(profile + "/shared", shared);
+    ExperimentConfig ucp = small(profile, seed, dir);
+    ucp.policy = "ucp";
+    spec.add(profile + "/ucp", ucp);
+  }
+  spec.add("cg/nospool", small("cg", seed, ""));
+  return spec;
+}
+
+TEST(LockstepDifferential, MatchesSerialBatchBitIdentically) {
+  const std::uint64_t seed = std::random_device{}();
+  std::printf("lockstep differential seed=%llu\n",
+              static_cast<unsigned long long>(seed));
+  const std::string dir = fresh_dir("capart_lockstep_diff");
+
+  const BatchResult serial = BatchRunner(1).run(mixed_spec(seed, dir));
+  const BatchResult lockstep =
+      BatchRunner(1, BatchPolicy{.lockstep = true}).run(mixed_spec(seed, dir));
+
+  ASSERT_TRUE(serial.all_ok());
+  ASSERT_TRUE(lockstep.all_ok());
+  ASSERT_EQ(serial.arms.size(), lockstep.arms.size());
+  for (const ArmOutcome& arm : serial.arms) {
+    expect_identical(lockstep.at(arm.name), arm.result, arm.name);
+    // Lockstep arms attribute only their own prepare/advance/finalize cost.
+    EXPECT_GT(lockstep.outcome(arm.name).wall_seconds, 0.0) << arm.name;
+  }
+}
+
+TEST(LockstepDifferential, PoisonedArmLeavesTheGroupAndSiblingsSurvive) {
+  // One of three same-spool arms throws at interval boundary 3, mid-replay:
+  // it must land as kFailed while its lockstep siblings complete
+  // bit-identically to a batch that never contained it.
+  const std::uint64_t seed = std::random_device{}();
+  std::printf("lockstep poison seed=%llu\n",
+              static_cast<unsigned long long>(seed));
+  const std::string dir = fresh_dir("capart_lockstep_poison");
+
+  FaultInjector injector;
+  injector.add({.arm = "cg/poisoned", .interval = 3, .message = "mid-replay"});
+
+  ExperimentSpec spec;
+  spec.add("cg/model", small("cg", seed, dir));
+  ExperimentConfig poisoned = small("cg", seed, dir);
+  poisoned.policy = "ucp";
+  poisoned.obs.run_name = "cg/poisoned";
+  poisoned.fault = &injector;
+  spec.add("cg/poisoned", poisoned);
+  ExperimentConfig shared = small("cg", seed, dir);
+  shared.l2_mode = mem::L2Mode::kSharedUnpartitioned;
+  shared.policy = "none";
+  spec.add("cg/shared", shared);
+
+  const BatchResult batch =
+      BatchRunner(1, BatchPolicy{.lockstep = true}).run(spec);
+  EXPECT_EQ(injector.fires(), 1u);
+  const ArmOutcome& bad = batch.outcome("cg/poisoned");
+  EXPECT_EQ(bad.status, ArmStatus::kFailed);
+  EXPECT_NE(bad.error.find("mid-replay"), std::string::npos);
+
+  ExperimentSpec clean;
+  clean.add("cg/model", small("cg", seed, dir));
+  ExperimentConfig clean_shared = small("cg", seed, dir);
+  clean_shared.l2_mode = mem::L2Mode::kSharedUnpartitioned;
+  clean_shared.policy = "none";
+  clean.add("cg/shared", clean_shared);
+  const BatchResult reference = BatchRunner(1).run(clean);
+  ASSERT_TRUE(reference.all_ok());
+  for (const ArmOutcome& arm : reference.arms) {
+    EXPECT_EQ(batch.outcome(arm.name).status, ArmStatus::kOk) << arm.name;
+    expect_identical(batch.at(arm.name), arm.result, arm.name);
+  }
+}
+
+TEST(LockstepDifferential, SoloRetryRecoversATransientGroupFault) {
+  // The fault burns out after one firing: the group attempt fails, the solo
+  // re-run (attempt 1) completes clean, and the recovered result matches a
+  // batch that was never faulted.
+  const std::string dir = fresh_dir("capart_lockstep_retry");
+  FaultInjector injector;
+  injector.add({.arm = "cg/flaky", .interval = 2, .times = 1});
+
+  ExperimentSpec spec;
+  spec.add("cg/model", small("cg", 11, dir));
+  ExperimentConfig flaky = small("cg", 11, dir);
+  flaky.policy = "ucp";
+  flaky.obs.run_name = "cg/flaky";
+  flaky.fault = &injector;
+  obs::MetricsRegistry metrics;
+  flaky.obs.metrics = &metrics;
+  spec.add("cg/flaky", flaky);
+
+  const BatchRunner runner(1,
+                           BatchPolicy{.max_retries = 2, .lockstep = true});
+  const BatchResult batch = runner.run(spec);
+  EXPECT_EQ(injector.fires(), 1u);
+  const ArmOutcome& arm = batch.outcome("cg/flaky");
+  EXPECT_EQ(arm.status, ArmStatus::kOk);
+  EXPECT_EQ(arm.retries, 1u);
+  EXPECT_EQ(metrics.counter("batch/arm_retries"), 1u);
+  EXPECT_EQ(metrics.counter("batch/arms_completed"), 1u);
+
+  ExperimentConfig clean = small("cg", 11, dir);
+  clean.policy = "ucp";
+  expect_identical(arm.result, run_experiment(clean), "cg/flaky");
+}
+
+TEST(LockstepDifferential, SpoollessSpecUnderTheFlagDegradesToSoloArms) {
+  // No spool dir anywhere: every arm is ineligible, the flag must be a
+  // no-op and the batch still bit-identical to the plain run.
+  ExperimentSpec spec;
+  spec.add("cg/a", small("cg", 7, ""));
+  ExperimentConfig b = small("cg", 7, "");
+  b.policy = "ucp";
+  spec.add("cg/b", b);
+
+  const BatchResult lockstep =
+      BatchRunner(2, BatchPolicy{.lockstep = true}).run(spec);
+  const BatchResult serial = BatchRunner(1).run(spec);
+  ASSERT_TRUE(lockstep.all_ok());
+  for (const ArmOutcome& arm : serial.arms) {
+    expect_identical(lockstep.at(arm.name), arm.result, arm.name);
+  }
+}
+
+}  // namespace
+}  // namespace capart::sim

@@ -53,16 +53,16 @@ TEST(LruStackTest, FindFromLruScansInRecencyOrder) {
 }
 
 // Policy-level victim checks through the ReplacementPolicy interface, with
-// everything valid and unrestricted scope.
-ReplacementPolicy::Eligible any_valid(const std::vector<std::uint8_t>& valid,
+// everything valid (every tag != kInvalidTag) and unrestricted scope.
+ReplacementPolicy::Eligible any_valid(const std::vector<std::uint64_t>& tags,
                                       const std::vector<ThreadId>& owner) {
-  return {valid.data(), owner.data(),
+  return {tags.data(), owner.data(),
           ReplacementPolicy::Eligible::Scope::kAnyValid, 0};
 }
 
 TEST(ReplacementPolicyTest, LruEvictsLeastRecentlyTouched) {
   auto repl = make_replacement(ReplacementKind::kTrueLru, 1, 4);
-  const std::vector<std::uint8_t> valid(4, 1);
+  const std::vector<std::uint64_t> valid(4, 100);
   const std::vector<ThreadId> owner(4, 0);
   for (std::uint32_t w = 0; w < 4; ++w) repl->on_fill(0, w);
   repl->on_hit(0, 0);  // way 0 becomes MRU; way 1 is now LRU
@@ -71,7 +71,7 @@ TEST(ReplacementPolicyTest, LruEvictsLeastRecentlyTouched) {
 
 TEST(ReplacementPolicyTest, TreePlruVictimAvoidsRecentPath) {
   auto repl = make_replacement(ReplacementKind::kTreePlru, 1, 4);
-  const std::vector<std::uint8_t> valid(4, 1);
+  const std::vector<std::uint64_t> valid(4, 100);
   const std::vector<ThreadId> owner(4, 0);
   for (std::uint32_t w = 0; w < 4; ++w) repl->on_fill(0, w);
   // The victim never equals the way just touched.
@@ -83,7 +83,7 @@ TEST(ReplacementPolicyTest, TreePlruVictimAvoidsRecentPath) {
 
 TEST(ReplacementPolicyTest, TreePlruRespectsEligibility) {
   auto repl = make_replacement(ReplacementKind::kTreePlru, 1, 8);
-  std::vector<std::uint8_t> valid(8, 1);
+  std::vector<std::uint64_t> valid(8, 100);
   std::vector<ThreadId> owner(8, 0);
   owner[5] = 1;
   for (std::uint32_t w = 0; w < 8; ++w) repl->on_fill(0, w);
@@ -96,7 +96,7 @@ TEST(ReplacementPolicyTest, TreePlruRespectsEligibility) {
 
 TEST(ReplacementPolicyTest, SrripEvictsDistantFirstAndAges) {
   auto repl = make_replacement(ReplacementKind::kSrrip, 1, 4);
-  const std::vector<std::uint8_t> valid(4, 1);
+  const std::vector<std::uint64_t> valid(4, 100);
   const std::vector<ThreadId> owner(4, 0);
   for (std::uint32_t w = 0; w < 4; ++w) repl->on_fill(0, w);
   repl->on_hit(0, 2);  // way 2 -> RRPV 0, others stay at insertion RRPV

@@ -6,13 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/mem/cache_stats.hpp"
 #include "src/sim/experiment.hpp"
+#include "src/trace/trace_io.hpp"
 
 namespace capart::sim {
 namespace {
@@ -124,6 +128,140 @@ TEST(TraceSpool, MigrationRunsAreIneligible) {
   // Migrations rebind threads to foreign L1s mid-run; a resolved trace bakes
   // in the static binding, so such runs must fall back to live simulation.
   EXPECT_TRUE(spool_sources(cfg, 1000).empty());
+}
+
+TEST(TraceSpool, DecodedReplayIsBitIdenticalToMappedReplay) {
+  // The lockstep runner's shared-decode path must replay exactly what the
+  // per-arm mapped replay does (and what the live run does).
+  const std::string dir = fresh_dir("capart_spool_decoded");
+  ExperimentConfig cfg = small_config(dir);
+  cfg.seed = 21;
+  const ExperimentResult live = run_experiment([&] {
+    ExperimentConfig c = cfg;
+    c.trace_spool_dir.clear();
+    return c;
+  }());
+  const ExperimentResult mapped = run_experiment(cfg);
+
+  const Instructions per_thread =
+      cfg.interval_instructions * cfg.num_intervals / cfg.num_threads;
+  auto decoded = decoded_spool_sources(cfg, per_thread);
+  ASSERT_EQ(decoded.size(), cfg.num_threads);
+  PreparedExperiment prepared(cfg, std::move(decoded));
+  while (prepared.advance_interval()) {
+  }
+  const ExperimentResult from_decoded = prepared.finalize();
+  expect_identical(live, mapped);
+  expect_identical(live, from_decoded);
+}
+
+/// Writes a spool-shaped decoy (capart_*.trc) of `bytes` zeros with an mtime
+/// `age_rank` steps in the past, so GC order is deterministic.
+std::filesystem::path plant_spool_decoy(const std::string& dir,
+                                        const std::string& stem,
+                                        std::size_t bytes, int age_rank) {
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / ("capart_" + stem + ".trc");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << std::string(bytes, '\0');
+  }
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now() -
+                std::chrono::hours(age_rank));
+  return path;
+}
+
+TEST(TraceSpool, GcEvictsOldestFirstDownToTheCap) {
+  const std::string dir = fresh_dir("capart_spool_gc");
+  const auto oldest = plant_spool_decoy(dir, "a", 1000, 3);
+  const auto middle = plant_spool_decoy(dir, "b", 1000, 2);
+  const auto newest = plant_spool_decoy(dir, "c", 1000, 1);
+  // Non-spool files are never GC candidates, whatever their age.
+  const std::filesystem::path bystander =
+      std::filesystem::path(dir) / "notes.txt";
+  { std::ofstream(bystander) << "keep me"; }
+
+  // Cap admits two spool files: the oldest one goes, exactly.
+  EXPECT_EQ(spool_gc(dir, 2000), 1000u);
+  EXPECT_FALSE(std::filesystem::exists(oldest));
+  EXPECT_TRUE(std::filesystem::exists(middle));
+  EXPECT_TRUE(std::filesystem::exists(newest));
+  EXPECT_TRUE(std::filesystem::exists(bystander));
+
+  // Already under the cap: no-op. max_bytes == 0 disables entirely.
+  EXPECT_EQ(spool_gc(dir, 2000), 0u);
+  EXPECT_EQ(spool_gc(dir, 0), 0u);
+  EXPECT_TRUE(std::filesystem::exists(middle));
+
+  // Cap below everything: both remaining decoys go.
+  EXPECT_EQ(spool_gc(dir, 500), 2000u);
+  EXPECT_FALSE(std::filesystem::exists(middle));
+  EXPECT_FALSE(std::filesystem::exists(newest));
+}
+
+TEST(TraceSpool, GcSkipsEntriesHeldByThisProcess) {
+  // A spooled run leaves its files in the in-process registry; a cap that
+  // would evict everything must still keep them (deleting a held entry
+  // would force a pointless regenerate) while unheld decoys are collected.
+  const std::string dir = fresh_dir("capart_spool_gc_held");
+  ExperimentConfig cfg = small_config(dir);
+  cfg.seed = 22;
+  (void)run_experiment(cfg);
+  const auto decoy = plant_spool_decoy(dir, "stale", 4096, 5);
+
+  (void)spool_gc(dir, 1);
+  EXPECT_FALSE(std::filesystem::exists(decoy));
+  std::size_t spool_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++spool_files;
+  }
+  EXPECT_EQ(spool_files, 4u);  // the held per-thread streams survive
+
+  // The config knob routes through the same GC after each acquisition:
+  // a stale decoy disappears during a capped spooled run, and the run
+  // itself stays bit-identical.
+  const auto decoy2 = plant_spool_decoy(dir, "stale2", 4096, 5);
+  ExperimentConfig capped = cfg;
+  capped.trace_spool_max_bytes = 1;
+  expect_identical(run_experiment(cfg), run_experiment(capped));
+  EXPECT_FALSE(std::filesystem::exists(decoy2));
+}
+
+TEST(TraceSpool, StreamReadFallbackIsBitIdenticalToMmap) {
+  // Force the no-mmap path: opens go through the stream reader, the file
+  // reports streamed(), and a full spooled run still matches live exactly.
+  const std::string dir = fresh_dir("capart_spool_stream");
+  ExperimentConfig cfg = small_config(dir);
+  cfg.seed = 23;  // fresh identity: earlier tests' mappings stay cached
+  ExperimentConfig live = cfg;
+  live.trace_spool_dir.clear();
+
+  trace::MmapTraceFile::force_stream_io_for_testing(true);
+  const ExperimentResult streamed = run_experiment(cfg);
+
+  const Instructions per_thread =
+      cfg.interval_instructions * cfg.num_intervals / cfg.num_threads;
+  const std::string key = spool_key(cfg, per_thread, 0);
+  const auto file = trace::MmapTraceFile::open(spool_path(dir, key), key);
+  ASSERT_NE(file, nullptr);
+  EXPECT_TRUE(file->streamed());
+  EXPECT_EQ(file->key(), key);
+  trace::MmapTraceFile::force_stream_io_for_testing(false);
+
+  const auto mapped = trace::MmapTraceFile::open(spool_path(dir, key), key);
+  ASSERT_NE(mapped, nullptr);
+  EXPECT_FALSE(mapped->streamed());
+  ASSERT_EQ(file->ops().size(), mapped->ops().size());
+  for (std::size_t i = 0; i < file->ops().size(); ++i) {
+    EXPECT_EQ(std::memcmp(&file->ops()[i], &mapped->ops()[i],
+                          sizeof(trace::PackedOp)),
+              0)
+        << "record " << i;
+  }
+
+  expect_identical(run_experiment(live), streamed);
 }
 
 }  // namespace

@@ -24,13 +24,19 @@
 // --trace-dir enables the resolved-trace spool (sim/trace_spool.hpp): the
 // first pass generates+resolves each profile's streams once and every later
 // arm replays them mmap()ed, which is the production fast path and the one
-// the committed baseline measures.
+// the committed baseline measures. The resolve stage is timed separately
+// (a dedicated spool-acquire pass before measurement, reported as
+// resolve_seconds) so the measured reps are pure replay and the JSON splits
+// the two stages. --lockstep additionally groups arms sharing a spool
+// identity onto one shared decoded trace (sim::BatchPolicy::lockstep);
+// simd_backend records which tag-probe backend the binary was built with.
 //
 // CI runs this in Release at --jobs=1 (tools/run via .github/workflows);
 // regenerate the baseline with:
 //   build/tools/capart_perfsmoke --trace-dir=/tmp/capart_spool
 //       --out=bench/BENCH_hotpath_baseline.json  (one command line)
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -42,8 +48,10 @@
 
 #include "bench_common.hpp"
 #include "src/mem/block_index.hpp"
+#include "src/mem/simd.hpp"
 #include "src/obs/json.hpp"
 #include "src/sim/batch.hpp"
+#include "src/sim/trace_spool.hpp"
 #include "src/trace/benchmarks.hpp"
 
 namespace {
@@ -58,6 +66,7 @@ struct Options {
   unsigned jobs = 1;  // serial by default: wall time is the measurement
   std::uint32_t intra_jobs = 1;
   std::string trace_dir;  // resolved-trace spool directory (empty = off)
+  bool lockstep = false;  // multi-arm lockstep replay (needs --trace-dir)
   std::uint32_t reps = 3;    // measured repetitions; the median gates
   std::uint32_t warmup = 1;  // throwaway passes before measuring
   std::string out = "BENCH_hotpath.json";
@@ -76,6 +85,8 @@ struct Options {
       "  --jobs=N            concurrent arms (default 1; keep 1 for timing)\n"
       "  --intra-jobs=N      workers inside each experiment (default 1)\n"
       "  --trace-dir=DIR     resolved-trace spool directory (default off)\n"
+      "  --lockstep=0|1      multi-arm lockstep replay (default 0; needs\n"
+      "                      --trace-dir; results bit-identical either way)\n"
       "  --reps=N            measured repetitions; median gates (default 3)\n"
       "  --warmup=N          throwaway passes before measuring (default 1)\n"
       "  --out=PATH          result JSON (default BENCH_hotpath.json)\n"
@@ -106,6 +117,8 @@ Options parse(int argc, char** argv) {
       opt.intra_jobs = static_cast<std::uint32_t>(std::stoul(value));
     } else if (key == "--trace-dir") {
       opt.trace_dir = value;
+    } else if (key == "--lockstep") {
+      opt.lockstep = value != "0";
     } else if (key == "--reps") {
       opt.reps = static_cast<std::uint32_t>(std::stoul(value));
     } else if (key == "--warmup") {
@@ -133,6 +146,39 @@ double median(std::vector<double> v) {
   std::sort(v.begin(), v.end());
   const std::size_t n = v.size();
   return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+bench::BenchOptions to_bench_options(const Options& opt) {
+  bench::BenchOptions bopt;
+  bopt.intervals = opt.intervals;
+  bopt.interval_instructions = opt.interval_instructions;
+  bopt.threads = opt.threads;
+  bopt.seed = opt.seed;
+  bopt.jobs = opt.jobs;
+  bopt.intra_jobs = opt.intra_jobs;
+  bopt.trace_dir = opt.trace_dir;
+  return bopt;
+}
+
+/// The resolve stage, isolated: acquires every profile's spool entries
+/// (generating + resolving whatever is missing) and returns the pass's wall
+/// seconds. After this the measured reps below are pure replay, so the
+/// JSON's resolve_seconds / replay serial_seconds split attributes the two
+/// stages honestly. On a warm spool this is just open+verify cost. Returns
+/// 0 when spooling is off (stages are not separable in live-generator mode).
+double warm_spool_stage(const Options& opt) {
+  if (opt.trace_dir.empty()) return 0.0;
+  const bench::BenchOptions bopt = to_bench_options(opt);
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::string& profile : trace::benchmark_names()) {
+    sim::ExperimentConfig cfg = bench::base_config(bopt, profile);
+    const Instructions per_thread =
+        cfg.interval_instructions * cfg.num_intervals / cfg.num_threads;
+    (void)sim::spool_sources(cfg, per_thread);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 /// One mechanism's measurement: the full fig19-21 arm union under `kind`,
@@ -193,14 +239,7 @@ bool batches_identical(const sim::BatchResult& a, const sim::BatchResult& b,
 }
 
 KindRun run_kind(const Options& opt, mem::IndexKind kind) {
-  bench::BenchOptions bopt;
-  bopt.intervals = opt.intervals;
-  bopt.interval_instructions = opt.interval_instructions;
-  bopt.threads = opt.threads;
-  bopt.seed = opt.seed;
-  bopt.jobs = opt.jobs;
-  bopt.intra_jobs = opt.intra_jobs;
-  bopt.trace_dir = opt.trace_dir;
+  bench::BenchOptions bopt = to_bench_options(opt);
   bopt.l2_index = kind;
   const std::vector<std::string> arms = {"model", "static_equal", "shared",
                                          "throughput"};
@@ -210,7 +249,9 @@ KindRun run_kind(const Options& opt, mem::IndexKind kind) {
 
   KindRun run;
   run.kind = kind;
-  const sim::BatchRunner runner(opt.jobs);
+  sim::BatchPolicy policy;
+  policy.lockstep = opt.lockstep;
+  const sim::BatchRunner runner(opt.jobs, policy);
   for (std::uint32_t r = 0; r < opt.warmup + opt.reps; ++r) {
     sim::BatchResult batch = runner.run(spec);
     const double seconds = serial_seconds_of(batch, kind);
@@ -292,11 +333,19 @@ int main(int argc, char** argv) {
   std::printf(
       "capart_perfsmoke: fig19-21 arm union, scan vs hash tag lookup\n"
       "  intervals=%u threads=%u seed=%llu jobs=%u intra-jobs=%u "
-      "reps=%u warmup=%u spool=%s\n",
+      "reps=%u warmup=%u spool=%s lockstep=%s simd=%s\n",
       opt.intervals, static_cast<unsigned>(opt.threads),
       static_cast<unsigned long long>(opt.seed), opt.jobs, opt.intra_jobs,
       opt.reps, opt.warmup,
-      opt.trace_dir.empty() ? "off" : opt.trace_dir.c_str());
+      opt.trace_dir.empty() ? "off" : opt.trace_dir.c_str(),
+      opt.lockstep ? "on" : "off",
+      std::string(mem::simd::backend_name()).c_str());
+
+  const double resolve_seconds = warm_spool_stage(opt);
+  if (!opt.trace_dir.empty()) {
+    std::printf("  resolve stage (spool acquire, all profiles): %.2fs\n",
+                resolve_seconds);
+  }
 
   const KindRun scan = run_kind(opt, mem::IndexKind::kScan);
   const KindRun hash = run_kind(opt, mem::IndexKind::kHash);
@@ -332,6 +381,12 @@ int main(int argc, char** argv) {
       .value(opt.intra_jobs)
       .key("trace_spool")
       .value(!opt.trace_dir.empty())
+      .key("lockstep")
+      .value(opt.lockstep)
+      .key("simd_backend")
+      .value(mem::simd::backend_name())
+      .key("resolve_seconds")
+      .value(resolve_seconds)
       .key("reps")
       .value(opt.reps)
       .key("warmup")

@@ -81,6 +81,12 @@ flags:
   --trace-dir=DIR       resolved-trace spool directory (default off); runs
                         sharing a workload profile amortize one
                         generate+resolve pass; results are bit-identical
+  --trace-dir-max-bytes=N  evict least-recently-used spool files above this
+                        many bytes after each acquisition (default 0 = keep
+                        everything; files held by this process are exempt)
+  --lockstep[=0|1]      batch mode: arms sharing a spool identity replay one
+                        shared decoded trace in lockstep (default off);
+                        results are bit-identical
   --arm-retries=N       batch mode: re-run a failed arm up to N times
                         (default 0)
   --arm-deadline=SEC    batch mode: per-arm wall-clock budget in seconds; an
@@ -292,7 +298,17 @@ int main(int argc, char** argv) {
         }
       } else if (key == "--trace-dir")
         cfg.trace_spool_dir = std::string(value);
-      else if (key == "--arm-retries")
+      else if (key == "--trace-dir-max-bytes")
+        cfg.trace_spool_max_bytes =
+            parse_u64_flag(value, "--trace-dir-max-bytes");
+      else if (key == "--lockstep") {
+        if (value.empty() || value == "1") batch_policy.lockstep = true;
+        else if (value == "0") batch_policy.lockstep = false;
+        else {
+          std::fprintf(stderr, "invalid value for --lockstep: want 0 or 1\n");
+          usage(2);
+        }
+      } else if (key == "--arm-retries")
         batch_policy.max_retries = parse_u32_flag(value, "--arm-retries");
       else if (key == "--arm-deadline")
         batch_policy.arm_deadline_seconds =
